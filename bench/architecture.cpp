@@ -1,0 +1,52 @@
+// A1 — Section 1 architecture selection (after [4,5]): segmentation sweep
+// of the 12-bit converter. The analog accuracy is split-independent; the
+// decoder area explodes with the thermometer bits while DNL and glitch grow
+// with the binary bits. The paper picks b = 4, m = 8.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/architecture.hpp"
+#include "digital/decoder.hpp"
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  DacSpec spec;
+  const CellSizer sizer(t, spec);
+  // Unit-cell area from a representative min-area statistical design.
+  const SizedCell cell = sizer.size_basic(0.5, 0.25,
+                                          MarginPolicy::kStatistical);
+
+  print_header("A1", "Sec. 1 — segmentation (b binary / m unary) tradeoff");
+  std::printf("unit cell area %s um^2, sigma_u = %.4f%%\n\n",
+              um2(cell.cell.active_area()).c_str(),
+              sizer.sigma_unit() * 100);
+  print_row({"b", "m", "decoder[um2]", "latch[um2]", "analog[um2]",
+             "total[um2]", "DNLsig[LSB]", "glitch", "gates(meas)"});
+  const auto pts = explore_segmentation(spec.nbits, cell.cell.active_area(),
+                                        sizer.sigma_unit());
+  for (const auto& p : pts) {
+    // Cross-check the area model against the actual gate-level decoder
+    // (built for m >= 2; the row/column split is as even as possible).
+    std::string gates = "-";
+    if (p.unary_bits >= 2 && p.unary_bits <= 11) {
+      const int rb = p.unary_bits / 2;
+      const int cb = p.unary_bits - rb;
+      gates = fmt(digital::ThermometerDecoder(rb, cb).gate_count(), "%.0f");
+    }
+    print_row({fmt(p.binary_bits, "%.0f"), fmt(p.unary_bits, "%.0f"),
+               um2(p.decoder_area), um2(p.latch_area), um2(p.analog_area),
+               um2(p.total_area), fmt(p.dnl_sigma_lsb, "%.4f"),
+               fmt(p.glitch_metric, "%.0f"), gates});
+  }
+  const int best = optimal_binary_bits(pts, spec.inl_yield);
+  std::printf("\noptimal b (min area s.t. DNL yield and glitch budget 2^4): "
+              "%d   (paper's design: b = 4)\n",
+              best);
+  return 0;
+}

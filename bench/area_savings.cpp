@@ -1,0 +1,89 @@
+// E3 — Conclusions claim: the statistical saturation condition saves area
+// relative to the fixed safety margin. Sweeps the fixed margin 0..0.5 V and
+// reports the min-area optimum of the basic and cascode cells under each,
+// plus ablations of the statistical condition: yield level and the
+// eq. (11) sigma aggregation (max-of-four vs RSS).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/explorer.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+namespace {
+
+double min_area_basic(const DesignSpaceExplorer& ex, MarginPolicy policy,
+                      double margin) {
+  const GridAxis g{0.05, 0.9, 40};
+  const auto p = ex.optimize_basic(g, g, policy, Objective::kMinArea, margin);
+  return p ? p->area : -1.0;
+}
+
+double min_area_cascode(const DesignSpaceExplorer& ex, MarginPolicy policy,
+                        double margin, SigmaAggregation agg) {
+  const GridAxis g{0.05, 0.6, 16};
+  const auto p = ex.optimize_cascode(g, g, g, policy, Objective::kMinArea,
+                                     margin, agg);
+  return p ? p->area : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+
+  print_header("E3", "Conclusions — area vs safety-margin policy");
+  {
+    DacSpec spec;
+    const CellSizer sizer(t, spec);
+    const DesignSpaceExplorer ex(sizer);
+    const double a_stat =
+        min_area_basic(ex, MarginPolicy::kStatistical, 0.0);
+    const double ac_stat = min_area_cascode(
+        ex, MarginPolicy::kStatistical, 0.0, SigmaAggregation::kMax);
+    std::printf("\nmin-area cell [um^2] vs fixed margin (12-bit design):\n");
+    print_row({"margin [V]", "CS+SW", "vs stat", "CS+SW+CAS", "vs stat"});
+    for (double margin : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const double ab =
+          min_area_basic(ex, MarginPolicy::kFixedMargin, margin);
+      const double ac = min_area_cascode(ex, MarginPolicy::kFixedMargin,
+                                         margin, SigmaAggregation::kMax);
+      print_row({fmt(margin, "%.2f"), ab > 0 ? um2(ab) : "-",
+                 ab > 0 ? fmt(100 * (ab / a_stat - 1), "%+.1f%%") : "-",
+                 ac > 0 ? um2(ac) : "-",
+                 ac > 0 ? fmt(100 * (ac / ac_stat - 1), "%+.1f%%") : "-"});
+    }
+    std::printf("statistical condition: CS+SW %s um^2, CS+SW+CAS %s um^2\n",
+                um2(a_stat).c_str(), um2(ac_stat).c_str());
+  }
+
+  std::printf("\nablation: statistical margin vs yield target "
+              "(basic cell min area):\n");
+  print_row({"yield", "S coeff", "area [um^2]"});
+  for (double yield : {0.90, 0.99, 0.997, 0.9999}) {
+    DacSpec spec;
+    spec.inl_yield = yield;
+    const CellSizer sizer(t, spec);
+    const DesignSpaceExplorer ex(sizer);
+    const double a = min_area_basic(ex, MarginPolicy::kStatistical, 0.0);
+    print_row({fmt(yield, "%.4f"), fmt(sizer.s_coeff(), "%.2f"),
+               a > 0 ? um2(a) : "-"});
+  }
+
+  std::printf("\nablation: eq. (11) sigma aggregation (cascode min area):\n");
+  {
+    DacSpec spec;
+    const CellSizer sizer(t, spec);
+    const DesignSpaceExplorer ex(sizer);
+    const double a_max = min_area_cascode(ex, MarginPolicy::kStatistical,
+                                          0.0, SigmaAggregation::kMax);
+    const double a_rss = min_area_cascode(ex, MarginPolicy::kStatistical,
+                                          0.0, SigmaAggregation::kRss);
+    std::printf("  3*S*max(sigma)   (paper): %s um^2\n", um2(a_max).c_str());
+    std::printf("  sqrt(3)*S*rss(sigma)    : %s um^2\n", um2(a_rss).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Tiny character-grid plotter for the figure-reproduction benches: renders
+// one or more (x, y) series into a fixed-size ASCII chart with axis labels,
+// so the bench output shows the *shape* of the paper's figure, not just the
+// numbers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace csdac::bench {
+
+struct PlotSeries {
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct PlotOptions {
+  int width = 64;
+  int height = 18;
+  const char* x_label = "x";
+  const char* y_label = "y";
+  /// Optional fixed axis limits; NaN = auto from the data.
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+inline std::string ascii_plot(const std::vector<PlotSeries>& series,
+                              const PlotOptions& opts = {}) {
+  double x0 = 1e300, x1 = -1e300;
+  double y0 = 1e300, y1 = -1e300;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      x0 = std::min(x0, s.x[i]);
+      x1 = std::max(x1, s.x[i]);
+      y0 = std::min(y0, s.y[i]);
+      y1 = std::max(y1, s.y[i]);
+    }
+  }
+  if (!(x1 > x0)) x1 = x0 + 1.0;
+  if (!std::isnan(opts.y_min)) y0 = opts.y_min;
+  if (!std::isnan(opts.y_max)) y1 = opts.y_max;
+  if (!(y1 > y0)) y1 = y0 + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opts.height),
+      std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double xv = std::clamp(s.x[i], x0, x1);
+      const double yv = std::clamp(s.y[i], y0, y1);
+      const int col = static_cast<int>(std::lround(
+          (xv - x0) / (x1 - x0) * (opts.width - 1)));
+      const int row = static_cast<int>(std::lround(
+          (y1 - yv) / (y1 - y0) * (opts.height - 1)));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  std::string out;
+  char buf[160];
+  for (int r = 0; r < opts.height; ++r) {
+    if (r == 0) {
+      std::snprintf(buf, sizeof(buf), "%10.3g |", y1);
+    } else if (r == opts.height - 1) {
+      std::snprintf(buf, sizeof(buf), "%10.3g |", y0);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%10s |", "");
+    }
+    out += buf;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' +
+         std::string(static_cast<std::size_t>(opts.width), '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%10s  %-.4g%*s%.4g   (%s vs %s)\n", "",
+                x0, opts.width - 10, "", x1, opts.y_label, opts.x_label);
+  out += buf;
+  return out;
+}
+
+}  // namespace csdac::bench

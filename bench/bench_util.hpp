@@ -1,0 +1,39 @@
+// Shared output helpers for the reproduction benches: aligned tables and
+// common formatting so every bench prints self-describing, diffable text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace csdac::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, const char* f = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+inline std::string um2(double area_m2) {
+  return fmt(area_m2 * 1e12, "%.2f");  // m^2 -> um^2
+}
+
+inline std::string um(double m) { return fmt(m * 1e6, "%.3f"); }
+
+inline std::string mhz(double hz) { return fmt(hz * 1e-6, "%.1f"); }
+
+inline std::string ns(double s) { return fmt(s * 1e9, "%.3f"); }
+
+}  // namespace csdac::bench

@@ -1,0 +1,53 @@
+// E7 — extension experiment (after the paper's ref. [10], Cong & Geiger's
+// self-calibrated DAC): trimming each unary source with a small calibration
+// DAC recovers the INL yield of a deliberately under-sized current-source
+// array. Since the eq. (2) CS area scales as 1/sigma^2, allowing k-times
+// the eq. (1) sigma pre-calibration shrinks the dominant analog area by
+// k^2 — the trade the later literature builds on.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/accuracy.hpp"
+#include "core/sizer.hpp"
+#include "dac/calibration.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+
+int main() {
+  const core::DacSpec spec;
+  const double sigma0 = core::unit_sigma_spec(spec.nbits, spec.inl_yield);
+  const int chips = 200;
+
+  print_header("E7", "extension — self-calibration vs intrinsic accuracy");
+  std::printf("12-bit converter, CS array undersized to 4x the eq.(1) sigma "
+              "(16x less CS area); %d chips per point\n\n",
+              chips);
+  print_row({"cal bits", "step [LSB]", "yield before", "yield after"});
+  for (int bits : {2, 3, 4, 5, 6, 8}) {
+    dac::CalibrationOptions opts;
+    opts.range_lsb = 2.0;
+    opts.bits = bits;
+    const auto y =
+        dac::calibrated_inl_yield(spec, 4.0 * sigma0, opts, chips, 31);
+    print_row({fmt(bits, "%.0f"), fmt(opts.step_lsb(), "%.4f"),
+               fmt(y.yield_before, "%.3f"), fmt(y.yield_after, "%.3f")});
+  }
+
+  // Area implication through the sizing engine.
+  const auto t = tech::generic_035um().nmos;
+  const core::CellSizer sizer(t, spec);
+  const auto intrinsic = core::size_current_source(t, spec.i_lsb(), 0.4,
+                                                   sigma0);
+  const auto calibrated = core::size_current_source(t, spec.i_lsb(), 0.4,
+                                                    4.0 * sigma0);
+  std::printf("\nCS area at VOD = 0.4 V: intrinsic %s um^2, "
+              "pre-calibration %s um^2 (%.1fx saving)\n",
+              um2(intrinsic.area()).c_str(), um2(calibrated.area()).c_str(),
+              intrinsic.area() / calibrated.area());
+  std::printf("(measurement noise of 0.05 LSB rms raises the residual floor "
+              "but leaves the yield recovery intact — see the calibration "
+              "unit tests.)\n");
+  return 0;
+}

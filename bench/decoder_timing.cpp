@@ -1,0 +1,81 @@
+// E6 — Fig. 1's dummy decoder: "A dummy decoder is placed in the binary
+// weighted input path to equalize the delay." The gate-level thermometer
+// decoder's worst-case arrival sets the binary/thermometer skew when no
+// dummy is present; the matched buffer chain reduces it to a fraction of a
+// gate delay. The skews are then fed into the behavioral dynamic model to
+// show the impact on major-carry glitch energy and on the output spectrum.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/spec.hpp"
+#include "dac/dynamic.hpp"
+#include "dac/spectrum.hpp"
+#include "digital/decoder.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+
+namespace {
+
+struct SkewImpact {
+  double glitch_pvs = 0.0;
+  double sfdr_db = 0.0;
+};
+
+SkewImpact evaluate_skew(const core::DacSpec& spec, double skew) {
+  dac::DynamicParams p;
+  p.fs = 300e6;
+  p.oversample = 8;
+  p.tau = 0.3e-9;
+  p.binary_skew = skew;
+  dac::DynamicSimulator sim(
+      dac::SegmentedDac(spec, dac::ideal_sources(spec)), p);
+  SkewImpact r;
+  r.glitch_pvs = sim.glitch_energy(2047, 2048) * 1e12;
+  const auto codes = dac::sine_codes(spec, 1024, 181);
+  const auto wave = sim.waveform(codes);
+  dac::SpectrumOptions opts;
+  opts.max_freq = p.fs / 2.0;
+  r.sfdr_db = dac::analyze_spectrum(wave, p.fs * p.oversample, opts).sfdr_db;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const core::DacSpec spec;
+  const double gate_delay = 80e-12;  // realistic 0.35 um gate
+
+  print_header("E6", "Fig. 1 — decoder timing and the dummy decoder");
+  const digital::ThermometerDecoder dec(4, 4, gate_delay);
+  const digital::DummyDecoder dummy =
+      digital::DummyDecoder::matched(dec, spec.binary_bits, gate_delay);
+
+  std::printf("thermometer decoder (m = 8, 4x4 row/column):\n");
+  std::printf("  gates            : %d\n", dec.gate_count());
+  std::printf("  worst arrival    : %.0f ps (%.1f gate delays)\n",
+              dec.worst_arrival() * 1e12, dec.worst_arrival() / gate_delay);
+  std::printf("dummy decoder      : %d buffers, delay %.0f ps\n",
+              dummy.gate_count(), dummy.delay() * 1e12);
+  const double skew_without = dec.worst_arrival();
+  const double skew_with =
+      std::abs(dec.worst_arrival() - dummy.delay()) + gate_delay;
+  std::printf("binary path skew   : %.0f ps without dummy, %.0f ps with\n\n",
+              skew_without * 1e12, skew_with * 1e12);
+
+  print_row({"configuration", "skew [ps]", "glitch [pV*s]", "SFDR [dB]"},
+            18);
+  for (auto [name, skew] :
+       {std::pair{"no dummy decoder", skew_without},
+        std::pair{"matched dummy", skew_with},
+        std::pair{"perfect timing", 0.0}}) {
+    const SkewImpact r = evaluate_skew(spec, skew);
+    print_row({name, fmt(skew * 1e12, "%.0f"), fmt(r.glitch_pvs, "%.2f"),
+               fmt(r.sfdr_db, "%.1f")},
+              18);
+  }
+  std::printf("\npaper reference: the dummy decoder equalizes the two paths'\n"
+              "delay; the residual timing error is handled by the latch\n"
+              "placed just before the switches (Fig. 1).\n");
+  return 0;
+}

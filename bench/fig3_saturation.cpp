@@ -1,0 +1,82 @@
+// F3a — Fig. 3 (upper graph): saturation-condition boundaries in the
+// (VOD_CS, VOD_SW) plane for the basic cell. Three curves:
+//   eq. (4)           — deterministic limit VOD_CS + VOD_SW = V_o
+//   eq. (4) - 0.5 V   — prior art's arbitrary safety margin [9,11]
+//   eq. (9)           — the paper's statistical condition
+// The paper's claim: the statistical curve lies ABOVE the 0.5 V-margin
+// curve everywhere (larger feasible overdrives, smaller transistors).
+#include <cstdio>
+
+#include "ascii_plot.hpp"
+#include "bench_util.hpp"
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  const DacSpec spec;
+  const CellSizer sizer(t, spec);
+
+  print_header("F3a", "Fig. 3 (upper) — saturation boundaries, CS+SW cell");
+  print_row({"VOD_CS [V]", "eq4 limit", "eq4-0.5V", "eq9 stat",
+             "stat margin [mV]"});
+
+  int stat_above_fixed = 0, samples = 0;
+  for (double vod_cs = 0.05; vod_cs <= 0.9001; vod_cs += 0.05) {
+    const auto none = sizer.max_vod_sw_basic(vod_cs, MarginPolicy::kNone);
+    const auto fixed =
+        sizer.max_vod_sw_basic(vod_cs, MarginPolicy::kFixedMargin, 0.5);
+    const auto stat =
+        sizer.max_vod_sw_basic(vod_cs, MarginPolicy::kStatistical);
+    std::string margin_mv = "-";
+    if (stat) {
+      const SizedCell s =
+          sizer.size_basic(vod_cs, *stat, MarginPolicy::kStatistical);
+      margin_mv = fmt(s.sat.margin * 1e3, "%.1f");
+    }
+    print_row({fmt(vod_cs, "%.2f"), none ? fmt(*none, "%.3f") : "-",
+               fixed ? fmt(*fixed, "%.3f") : "-",
+               stat ? fmt(*stat, "%.3f") : "-", margin_mv});
+    if (stat && fixed) {
+      ++samples;
+      if (*stat > *fixed) ++stat_above_fixed;
+    }
+  }
+  std::printf("\nstatistical boundary above the 0.5 V-margin boundary at "
+              "%d/%d sampled VOD_CS values\n",
+              stat_above_fixed, samples);
+
+  // Render the Fig. 3 (upper) curves: '.' = eq. (4), 'o' = eq. (9)
+  // statistical, 'x' = eq. (4) - 0.5 V.
+  PlotSeries s_none{{}, {}, '.'};
+  PlotSeries s_stat{{}, {}, 'o'};
+  PlotSeries s_fixed{{}, {}, 'x'};
+  for (double vod_cs = 0.02; vod_cs <= 0.96; vod_cs += 0.02) {
+    if (const auto v = sizer.max_vod_sw_basic(vod_cs, MarginPolicy::kNone)) {
+      s_none.x.push_back(vod_cs);
+      s_none.y.push_back(*v);
+    }
+    if (const auto v =
+            sizer.max_vod_sw_basic(vod_cs, MarginPolicy::kStatistical)) {
+      s_stat.x.push_back(vod_cs);
+      s_stat.y.push_back(*v);
+    }
+    if (const auto v = sizer.max_vod_sw_basic(
+            vod_cs, MarginPolicy::kFixedMargin, 0.5)) {
+      s_fixed.x.push_back(vod_cs);
+      s_fixed.y.push_back(*v);
+    }
+  }
+  PlotOptions po;
+  po.x_label = "VOD_CS [V]";
+  po.y_label = "max VOD_SW [V]";
+  po.y_min = 0.0;
+  std::printf("\n%s", ascii_plot({s_none, s_stat, s_fixed}, po).c_str());
+  std::printf("legend: '.' eq.(4) limit, 'o' eq.(9) statistical, "
+              "'x' 0.5 V margin\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// F4 — Fig. 4: design space of the cascode (CAS+CS) topology. The surface
+// is the largest feasible VOD_CS over the (VOD_SW, VOD_CAS) plane under the
+// statistical condition eq. (11); the deterministic eq. (4)-analogue is
+// printed alongside for comparison (the paper overlays both).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  const DacSpec spec;
+  const CellSizer sizer(t, spec);
+
+  print_header("F4", "Fig. 4 — cascode-cell design space (max VOD_CS)");
+  std::printf("entries: max VOD_CS [V] under eq.(11) statistical / "
+              "eq.(4) deterministic; '.' = infeasible\n\n");
+
+  std::printf("%18s", "VOD_SW \\ VOD_CAS");
+  for (double vc = 0.05; vc <= 0.5001; vc += 0.075) {
+    std::printf("%14.3f", vc);
+  }
+  std::printf("\n");
+  for (double vs = 0.05; vs <= 0.5001; vs += 0.075) {
+    std::printf("%18.3f", vs);
+    for (double vc = 0.05; vc <= 0.5001; vc += 0.075) {
+      const auto stat =
+          sizer.max_vod_cs_cascode(vs, vc, MarginPolicy::kStatistical);
+      const auto det = sizer.max_vod_cs_cascode(vs, vc, MarginPolicy::kNone);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s/%s",
+                    stat ? fmt(*stat, "%.2f").c_str() : ".",
+                    det ? fmt(*det, "%.2f").c_str() : ".");
+      std::printf("%14s", buf);
+    }
+    std::printf("\n");
+  }
+
+  // Volume comparison: fraction of the sampled volume feasible under each
+  // condition (the statistical volume must contain the 0.5 V-margin one).
+  int vol_stat = 0, vol_fixed = 0, vol_det = 0, total = 0;
+  for (double vcs = 0.05; vcs <= 0.9; vcs += 0.05) {
+    for (double vs = 0.05; vs <= 0.5; vs += 0.05) {
+      for (double vc = 0.05; vc <= 0.5; vc += 0.05) {
+        ++total;
+        if (sizer.size_cascode(vcs, vs, vc, MarginPolicy::kNone).feasible()) {
+          ++vol_det;
+        }
+        if (sizer.size_cascode(vcs, vs, vc, MarginPolicy::kFixedMargin, 0.5)
+                .feasible()) {
+          ++vol_fixed;
+        }
+        if (sizer.size_cascode(vcs, vs, vc, MarginPolicy::kStatistical)
+                .feasible()) {
+          ++vol_stat;
+        }
+      }
+    }
+  }
+  std::printf("\nfeasible fraction of the sampled design volume:\n");
+  std::printf("  eq.(4) deterministic : %.1f%%\n", 100.0 * vol_det / total);
+  std::printf("  eq.(11) statistical  : %.1f%%\n", 100.0 * vol_stat / total);
+  std::printf("  0.5 V fixed margin   : %.1f%%\n", 100.0 * vol_fixed / total);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// F8 — Fig. 8: output spectrum of the designed 12-bit DAC for a ~53 MHz
+// sinusoid sampled at 300 MS/s, matching effects included. The paper takes
+// the DFT of 50 periods of the differential output; we synthesize a
+// coherent record with the behavioral model parameterized from the sized
+// cell (settling tau from eq. 13, unit output impedance from the cascode
+// ladder model) and a Monte-Carlo mismatch draw at the eq. (1) spec.
+#include <cstdio>
+
+#include "ascii_plot.hpp"
+#include "bench_util.hpp"
+#include "core/explorer.hpp"
+#include "core/impedance.hpp"
+#include "dac/dynamic.hpp"
+#include "dac/spectrum.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  const DacSpec spec;
+  const CellSizer sizer(t, spec);
+  const DesignSpaceExplorer ex(sizer);
+
+  print_header("F8", "Fig. 8 — 12-bit DAC spectrum, 53 MHz @ 300 MS/s");
+
+  // Design point: speed-optimized cascode cell (the paper's choice).
+  const GridAxis g3{0.05, 0.6, 12};
+  const auto pt = ex.optimize_cascode(g3, g3, g3, MarginPolicy::kStatistical,
+                                      Objective::kMaxSpeed);
+  if (!pt) {
+    std::printf("no feasible cascode design point\n");
+    return 1;
+  }
+  const SizedCell cell = sizer.size_cascode(
+      pt->vod_cs, pt->vod_sw, pt->vod_cas, MarginPolicy::kStatistical);
+
+  dac::DynamicParams dp;
+  dp.fs = 300e6;
+  dp.oversample = 8;
+  dp.tau = cell.poles.tau();
+  // Unit impedance at the signal frequency limits the SFDR.
+  dp.rout_unit = unit_zout_mag(t, spec, cell.cell, 53e6);
+  dp.binary_skew = 20e-12;
+  dp.feedthrough_lsb = 0.05;
+
+  std::printf("cell: tau=%.3f ns, |Z_unit(53MHz)|=%.1f MOhm, skew=20 ps\n",
+              dp.tau * 1e9, dp.rout_unit * 1e-6);
+
+  // Coherent capture: 1024 samples x 181 cycles -> fin = 53.03 MHz;
+  // the paper's "50 periods" record is also analyzed below.
+  mathx::Xoshiro256 rng(2003);
+  const auto errors = dac::draw_source_errors(spec, sizer.sigma_unit(), rng);
+  const dac::SegmentedDac model(spec, errors);
+  dac::DynamicSimulator sim(model, dp);
+
+  auto analyze = [&](int n_samples, int cycles, bool differential) {
+    const auto codes = dac::sine_codes(spec, n_samples, cycles);
+    const auto wave = differential ? sim.waveform_differential(codes)
+                                   : sim.waveform(codes);
+    std::vector<double> sampled;
+    for (std::size_t i = dp.oversample - 1; i < wave.size();
+         i += static_cast<std::size_t>(dp.oversample)) {
+      sampled.push_back(wave[i]);
+    }
+    return dac::analyze_spectrum(sampled, dp.fs);
+  };
+
+  // The paper analyzes the DIFFERENTIAL output (even-order distortion of
+  // the finite output impedance cancels); the single-ended result is
+  // printed for comparison.
+  const auto r = analyze(1024, 181, true);
+  const auto r_se = analyze(1024, 181, false);
+  std::printf("\nrecord: 1024 samples, 181 cycles (fin = %.2f MHz)\n",
+              181.0 / 1024.0 * 300.0);
+  std::printf("  differential : SFDR = %.1f dB  SNDR = %.1f dB  "
+              "THD = %.1f dB  ENOB = %.2f bits\n",
+              r.sfdr_db, r.sndr_db, r.thd_db, r.enob);
+  std::printf("  single-ended : SFDR = %.1f dB  SNDR = %.1f dB\n",
+              r_se.sfdr_db, r_se.sndr_db);
+
+  const auto r50 = analyze(283, 50, true);  // the paper's 50-period capture
+  std::printf("record: 283 samples, 50 cycles (fin = %.2f MHz, Bluestein "
+              "DFT)\n",
+              50.0 / 283.0 * 300.0);
+  std::printf("  differential : SFDR = %.1f dB  SNDR = %.1f dB  "
+              "ENOB = %.2f bits\n",
+              r50.sfdr_db, r50.sndr_db, r50.enob);
+
+  // Render the Fig. 8 spectrum (differential record, max-hold bins).
+  PlotSeries spec_series{{}, {}, '|'};
+  for (std::size_t k = 1; k + 2 < r.mag_db.size(); k += 2) {
+    double peak = std::max(r.mag_db[k], r.mag_db[k + 1]);
+    spec_series.x.push_back(r.freq_hz[k] * 1e-6);
+    spec_series.y.push_back(std::max(peak, -120.0));
+  }
+  PlotOptions po;
+  po.x_label = "f [MHz]";
+  po.y_label = "dBc";
+  po.y_max = 0.0;
+  po.y_min = -120.0;
+  std::printf("\nFig. 8 — differential output spectrum:\n%s",
+              ascii_plot({spec_series}, po).c_str());
+
+  std::printf("\npaper reference: SFDR compares well with state-of-the-art "
+              "12-bit DACs [9] (~60-70 dB class) at 53 MHz / 300 MS/s\n");
+  return 0;
+}

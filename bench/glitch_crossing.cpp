@@ -1,0 +1,134 @@
+// E4 — Section 2 circuit-level glitch mechanism: "the latch circuit
+// complementary output levels and crossing point are designed to minimize
+// glitches [9]". A unary cell is switched with complementary gate ramps
+// whose overlap is swept: break-before-make (negative overlap, LOW
+// crossing point) lets both switches open simultaneously, the cell current
+// pulls the internal node down, and the recovery appears as an output
+// glitch; make-before-break (positive overlap, HIGH crossing) holds the
+// node. Measured with the mini-SPICE transient on the sized cell.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/sizer.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::units;
+
+namespace {
+
+struct GlitchResult {
+  double droop_v = 0.0;      ///< deepest excursion of the internal node [V]
+  double energy_vs = 0.0;    ///< output glitch energy [V*s]
+  double cross_v = 0.0;      ///< gate-waveform crossing voltage [V]
+};
+
+GlitchResult run(const tech::MosTechParams& t, const core::DacSpec& spec,
+                 const core::SizedCell& cell, double overlap) {
+  const double weight = spec.unary_weight();
+  const double tr = 100 * ps;   // gate ramp time
+  const double t0 = 1.0 * units::ns;   // rising (turn-on) edge of SWB
+  const double t_fall = t0 + overlap;  // falling (turn-off) edge of SW
+
+  spice::Circuit ckt;
+  const int outp = ckt.node("outp");
+  const int outn = ckt.node("outn");
+  const int top = ckt.node("top");
+  const int mid = ckt.node("mid");
+  const int vterm = ckt.node("vterm");
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vterm", vterm, 0, spec.v_out_min + spec.v_swing));
+  ckt.add(std::make_unique<spice::Resistor>("rlp", vterm, outp, spec.r_load));
+  ckt.add(std::make_unique<spice::Resistor>("rln", vterm, outn, spec.r_load));
+  ckt.add(std::make_unique<spice::VoltageSource>("vgcs", ckt.node("gcs"), 0,
+                                                 cell.cell.vg_cs));
+  ckt.add(std::make_unique<spice::VoltageSource>("vgcas", ckt.node("gcas"),
+                                                 0, cell.cell.vg_cas));
+  const double von = cell.cell.vg_sw;
+  // SW steers to outp and turns OFF at t_fall; SWB steers to outn and
+  // turns ON at t0.
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vgsw", ckt.node("gsw"), 0,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, von}, {t_fall, von}, {t_fall + tr, 0.0}})));
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vgswb", ckt.node("gswb"), 0,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {t0, 0.0}, {t0 + tr, von}})));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mcs", t, mid, ckt.find_node("gcs"), 0, 0,
+      spice::Mosfet::Geometry{cell.cell.cs.w, cell.cell.cs.l, weight},
+      true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mcas", t, top, ckt.find_node("gcas"), mid, 0,
+      spice::Mosfet::Geometry{cell.cell.cas.w, cell.cell.cas.l, weight},
+      true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mswp", t, outp, ckt.find_node("gsw"), top, 0,
+      spice::Mosfet::Geometry{cell.cell.sw.w, cell.cell.sw.l, weight},
+      true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mswn", t, outn, ckt.find_node("gswb"), top, 0,
+      spice::Mosfet::Geometry{cell.cell.sw.w, cell.cell.sw.l, weight},
+      true));
+  ckt.add(std::make_unique<spice::Capacitor>("cint", top, 0, spec.c_int));
+
+  const auto res = spice::transient(ckt, 2 * ps, 5 * units::ns);
+  const auto v_top = res.node_waveform(top);
+  const auto v_outn = res.node_waveform(outn);
+
+  GlitchResult g;
+  // Internal-node droop below its pre-switch level.
+  double v_pre = v_top.front();
+  g.droop_v = v_pre;
+  for (double v : v_top) g.droop_v = std::min(g.droop_v, v);
+  g.droop_v = v_pre - g.droop_v;
+  // Output glitch energy vs an ideal instantaneous step at t0.
+  const double v_before = v_outn.front();
+  const double v_after = v_outn.back();
+  double e = 0.0;
+  for (std::size_t i = 1; i < res.time.size(); ++i) {
+    const double dt = res.time[i] - res.time[i - 1];
+    const double ideal = res.time[i] < t0 ? v_before : v_after;
+    e += std::abs(v_outn[i] - ideal) * dt;
+  }
+  g.energy_vs = e;
+  // Crossing voltage of the two gate ramps (equal slopes): setting
+  // von*(1 - (t - t_fall)/tr) = von*(t - t0)/tr with u = (t - t0)/tr gives
+  // u = (1 + overlap/tr)/2, so cross = von * clamp(u, 0, 1).
+  g.cross_v = von * std::clamp(0.5 * (1.0 + overlap / tr), 0.0, 1.0);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  const core::DacSpec spec;
+  const core::CellSizer sizer(t, spec);
+  const core::SizedCell cell =
+      sizer.size_cascode(0.25, 0.2, 0.2, core::MarginPolicy::kStatistical);
+
+  print_header("E4", "Sec. 2 — switch-gate crossing point vs glitch");
+  std::printf("unary cell (weight 16), 100 ps gate ramps; overlap > 0 = "
+              "make-before-break (high crossing)\n\n");
+  print_row({"overlap [ps]", "crossing [V]", "node droop [V]",
+             "glitch [pV*s]"},
+            16);
+  for (double ov_ps : {-100.0, -60.0, -30.0, 0.0, 30.0, 60.0, 100.0}) {
+    const GlitchResult g = run(t, spec, cell, ov_ps * ps);
+    print_row({fmt(ov_ps, "%.0f"), fmt(g.cross_v, "%.2f"),
+               fmt(g.droop_v, "%.3f"), fmt(g.energy_vs * 1e12, "%.2f")},
+              16);
+  }
+  std::printf("\npaper reference: the latch output crossing point is chosen\n"
+              "to minimize glitches [9]; break-before-make lets the cell\n"
+              "current starve the internal node.\n");
+  return 0;
+}

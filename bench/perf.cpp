@@ -1,0 +1,122 @@
+// P1 — engine micro-benchmarks (google-benchmark): the computational
+// substrates' throughput (FFT, LU, Newton DC solve, Monte-Carlo chip
+// analysis, annealing cost evaluation).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/sizer.hpp"
+#include "dac/static_analysis.hpp"
+#include "layout/switching.hpp"
+#include "mathx/fft.hpp"
+#include "mathx/linalg.hpp"
+#include "mathx/rng.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace {
+
+using namespace csdac;
+using namespace csdac::units;
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mathx::Xoshiro256 rng(1);
+  std::vector<mathx::Cplx> x(n);
+  for (auto& v : x) v = {mathx::uniform01(rng), 0.0};
+  for (auto _ : state) {
+    auto y = x;
+    mathx::fft_pow2(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(4096);
+
+void BM_Bluestein(benchmark::State& state) {
+  mathx::Xoshiro256 rng(1);
+  std::vector<mathx::Cplx> x(283);  // the Fig. 8 record length
+  for (auto& v : x) v = {mathx::uniform01(rng), 0.0};
+  for (auto _ : state) {
+    auto y = mathx::dft(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Bluestein);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mathx::Xoshiro256 rng(2);
+  mathx::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = mathx::uniform01(rng);
+    a(i, i) += n;
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    auto x = mathx::LuSolver<double>::solve_once(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DcSolveCurrentCell(benchmark::State& state) {
+  const auto t = tech::generic_035um().nmos;
+  for (auto _ : state) {
+    spice::Circuit ckt;
+    const int g = ckt.node("g");
+    const int d = ckt.node("d");
+    const int mid = ckt.node("mid");
+    ckt.add(std::make_unique<spice::VoltageSource>("vg", g, 0, 0.85));
+    ckt.add(std::make_unique<spice::VoltageSource>("vd", d, 0, 2.0));
+    ckt.add(std::make_unique<spice::Mosfet>(
+        "mcs", t, mid, g, 0, 0, spice::Mosfet::Geometry{20 * um, 2 * um}));
+    ckt.add(std::make_unique<spice::Mosfet>(
+        "msw", t, d, g, mid, 0,
+        spice::Mosfet::Geometry{2 * um, 0.35 * um}));
+    auto sol = spice::solve_dc(ckt);
+    benchmark::DoNotOptimize(sol.x.data());
+  }
+}
+BENCHMARK(BM_DcSolveCurrentCell);
+
+void BM_SizeBasicCell(benchmark::State& state) {
+  const auto t = tech::generic_035um().nmos;
+  const core::DacSpec spec;
+  const core::CellSizer sizer(t, spec);
+  for (auto _ : state) {
+    auto s = sizer.size_basic(0.35, 0.25, core::MarginPolicy::kStatistical);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_SizeBasicCell);
+
+void BM_MonteCarloChip(benchmark::State& state) {
+  core::DacSpec spec;
+  mathx::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const dac::SegmentedDac chip(
+        spec, dac::draw_source_errors(spec, 0.0026, rng));
+    const auto m = dac::analyze_transfer(chip.transfer());
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_MonteCarloChip);
+
+void BM_SequenceCost(benchmark::State& state) {
+  const layout::ArrayGeometry geo{16, 16};
+  const auto seq =
+      layout::make_sequence(layout::SwitchingScheme::kHierarchical, geo, 255);
+  const auto grads = layout::standard_gradients(0.01);
+  for (auto _ : state) {
+    const double c = layout::sequence_cost(geo, seq, grads, 16.0);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SequenceCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// T1 — Table 1 / Section 3 design point: circuit-level parameters of the
+// unit current cell of the 12-bit, 400 MS/s DAC for both topologies and
+// both optimization criteria, under the proposed statistical saturation
+// condition and under the prior-art 0.5 V fixed margin.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/explorer.hpp"
+#include "core/impedance.hpp"
+#include "tech/tech.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+using namespace csdac::core;
+
+namespace {
+
+void print_cell(const char* label, const SizedCell& s, const DacSpec& spec,
+                const tech::MosTechParams& t) {
+  std::printf("\n[%s]%s\n", label, s.feasible() ? "" : "  (INFEASIBLE)");
+  print_row({"device", "W [um]", "L [um]", "W/L", "VOD [V]", "Vg [V]"});
+  print_row({"CS", um(s.cell.cs.w), um(s.cell.cs.l),
+             fmt(s.cell.cs.aspect(), "%.3f"), fmt(s.cell.vod_cs, "%.3f"),
+             fmt(s.cell.vg_cs, "%.3f")});
+  print_row({"SW (x2)", um(s.cell.sw.w), um(s.cell.sw.l),
+             fmt(s.cell.sw.aspect(), "%.3f"), fmt(s.cell.vod_sw, "%.3f"),
+             fmt(s.cell.vg_sw, "%.3f")});
+  if (s.cell.topology == CellTopology::kCsSwCas) {
+    print_row({"CAS", um(s.cell.cas.w), um(s.cell.cas.l),
+               fmt(s.cell.cas.aspect(), "%.3f"), fmt(s.cell.vod_cas, "%.3f"),
+               fmt(s.cell.vg_cas, "%.3f")});
+  }
+  std::printf("  unit current     : %s uA\n", fmt(s.cell.i_unit * 1e6, "%.3f").c_str());
+  std::printf("  active area      : %s um^2 (CS %s um^2)\n",
+              um2(s.cell.active_area()).c_str(), um2(s.cell.cs.area()).c_str());
+  std::printf("  saturation margin: %s mV (budget V_o = %g V)\n",
+              fmt(s.sat.margin * 1e3, "%.1f").c_str(), s.sat.budget);
+  std::printf("  poles p1/p2/p3   : %s / %s / %s MHz\n",
+              mhz(s.poles.p1_hz).c_str(), mhz(s.poles.p2_hz).c_str(),
+              s.poles.p3_hz > 0 ? mhz(s.poles.p3_hz).c_str() : "-");
+  std::printf("  settling (0.5LSB): %s ns  -> max update rate ~ %s MS/s\n",
+              ns(s.poles.settling_time(spec.nbits)).c_str(),
+              mhz(1.0 / s.poles.settling_time(spec.nbits)).c_str());
+  std::printf("  unit Rout (DC)   : %s MOhm\n",
+              fmt(s.rout_unit * 1e-6, "%.1f").c_str());
+  const double r_req = required_unit_rout(spec.nbits, spec.r_load, 0.5);
+  const int wt = spec.unary_weight();
+  std::printf("  SFDR bandwidth   : %s MHz (unary source vs 0.5 LSB req.)\n",
+              mhz(impedance_bandwidth(t, spec, s.cell, r_req / wt, 1e3, 1e10,
+                                      wt))
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto t = tech::generic_035um().nmos;
+  DacSpec spec;  // the paper's design: 12 bit, b=4, 3.3 V, 1 V, 50 Ohm
+  print_header("T1", "Table 1 / Sec.3 — optimum sizing of the 12-bit cell");
+  std::printf("spec: n=%d, b=%d, m=%d, VDD=%.1fV, V_o=%.1fV, R_L=%.0f Ohm, "
+              "C_L=%.1fpF, C_int=%.0ffF, yield=%.1f%%\n",
+              spec.nbits, spec.binary_bits, spec.unary_bits(), spec.vdd,
+              spec.v_out_min, spec.r_load, spec.c_load * 1e12,
+              spec.c_int * 1e15, spec.inl_yield * 100);
+  const CellSizer sizer(t, spec);
+  std::printf("eq.(1) unit accuracy: sigma(I)/I <= %.4f%%   "
+              "S coefficient: %.3f (yield_V = %.5f)\n",
+              sizer.sigma_unit() * 100, sizer.s_coeff(),
+              bound_yield(spec.inl_yield));
+
+  {
+    // Where does the statistical margin come from? (basic cell diagnostic)
+    const SizedCell probe =
+        sizer.size_basic(0.35, 0.25, MarginPolicy::kStatistical);
+    const MarginBreakdown mb = basic_margin_breakdown(
+        t, spec, probe.cell, sizer.sigma_unit());
+    std::printf("margin variance breakdown at (0.35, 0.25): "
+                "SW VT %.0f%%, SW VOD %.0f%%, CS VT %.0f%%, R_L tol %.0f%%, "
+                "I_FS %.0f%%\n",
+                100 * mb.vt_switch / mb.total(),
+                100 * mb.vod_switch / mb.total(),
+                100 * mb.vt_cs / mb.total(),
+                100 * mb.load_tolerance / mb.total(),
+                100 * mb.full_scale_current / mb.total());
+  }
+
+  const DesignSpaceExplorer ex(sizer);
+  const GridAxis g2{0.05, 0.9, 40};
+  const GridAxis g3{0.05, 0.6, 20};
+
+  for (auto [policy, pname] :
+       {std::pair{MarginPolicy::kStatistical, "proposed statistical margin"},
+        std::pair{MarginPolicy::kFixedMargin, "prior art 0.5 V margin"}}) {
+    std::printf("\n################ policy: %s ################\n", pname);
+    for (auto [obj, oname] : {std::pair{Objective::kMinArea, "min area"},
+                              std::pair{Objective::kMaxSpeed, "max speed"}}) {
+      const auto basic = ex.optimize_basic(g2, g2, policy, obj, 0.5);
+      if (basic) {
+        const SizedCell s = sizer.size_basic(basic->vod_cs, basic->vod_sw,
+                                             policy, 0.5);
+        print_cell((std::string("CS+SW, ") + oname).c_str(), s, spec, t);
+      }
+      const auto casc = ex.optimize_cascode(g3, g3, g3, policy, obj, 0.5);
+      if (casc) {
+        const SizedCell s = sizer.size_cascode(
+            casc->vod_cs, casc->vod_sw, casc->vod_cas, policy, 0.5);
+        print_cell((std::string("CS+SW+CAS, ") + oname).c_str(), s, spec, t);
+      } else {
+        std::printf("\n[CS+SW+CAS, %s]  no feasible point under %s\n", oname,
+                    pname);
+      }
+    }
+  }
+  return 0;
+}

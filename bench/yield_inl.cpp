@@ -1,0 +1,41 @@
+// E1 — eq. (1) validation: Monte-Carlo INL (and DNL) parametric yield as a
+// function of the unit-current sigma, swept around the eq. (1) design value
+// for the paper's 12-bit converter. The design rule must be safe
+// (measured yield >= target at the spec sigma) and tight enough that a few
+// x the sigma destroys the yield.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/accuracy.hpp"
+#include "dac/static_analysis.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+
+int main() {
+  core::DacSpec spec;  // 12 bit, b = 4
+  const double target = spec.inl_yield;
+  const double sigma0 = core::unit_sigma_spec(spec.nbits, target);
+  const int chips = 400;
+
+  print_header("E1", "eq. (1) — INL yield vs unit-current accuracy");
+  std::printf("12-bit, b=4; eq.(1) spec sigma = %.4f%% for %.1f%% yield; "
+              "%d chips per point\n\n",
+              sigma0 * 100, target * 100, chips);
+  print_row({"sigma/spec", "sigma [%]", "INL yield", "DNL yield",
+             "pred. eq(1)"});
+  for (double mult : {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+    const double sigma = mult * sigma0;
+    const auto inl = dac::inl_yield_mc(spec, sigma, chips, /*seed=*/1000);
+    const auto dnl = dac::dnl_yield_mc(spec, sigma, chips, /*seed=*/1000);
+    const double pred = core::inl_yield_from_sigma(spec.nbits, sigma);
+    print_row({fmt(mult, "%.2f"), fmt(sigma * 100, "%.4f"),
+               fmt(inl.yield, "%.3f"), fmt(dnl.yield, "%.3f"),
+               fmt(pred, "%.3f")});
+  }
+  std::printf("\nNote: eq. (1) is conservative (it bounds the mid-scale\n"
+              "accumulation; measured best-fit INL yield sits above the\n"
+              "prediction). DNL yield stays ~1 wherever INL passes —\n"
+              "the paper's Section 1 remark.\n");
+  return 0;
+}

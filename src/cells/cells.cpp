@@ -1,0 +1,77 @@
+#include "cells/cells.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace csdac::cells {
+
+using spice::Circuit;
+using spice::Mosfet;
+
+namespace {
+void check_sizes(const CellSizes& s) {
+  if (!(s.wn > 0.0) || !(s.wp > 0.0) || !(s.l > 0.0)) {
+    throw std::invalid_argument("cells: bad sizes");
+  }
+}
+}  // namespace
+
+void add_inverter(Circuit& ckt, const std::string& prefix,
+                  const tech::TechParams& t, int in, int out, int vdd_node,
+                  int vss_node, const CellSizes& s) {
+  check_sizes(s);
+  ckt.add(std::make_unique<Mosfet>(prefix + ".mp", t.pmos, out, in, vdd_node,
+                                   vdd_node, Mosfet::Geometry{s.wp, s.l},
+                                   s.with_caps));
+  ckt.add(std::make_unique<Mosfet>(prefix + ".mn", t.nmos, out, in, vss_node,
+                                   /*bulk=*/0, Mosfet::Geometry{s.wn, s.l},
+                                   s.with_caps));
+}
+
+void add_transmission_gate(Circuit& ckt, const std::string& prefix,
+                           const tech::TechParams& t, int a, int b, int en,
+                           int en_b, const CellSizes& s) {
+  check_sizes(s);
+  ckt.add(std::make_unique<Mosfet>(prefix + ".mn", t.nmos, a, en, b, 0,
+                                   Mosfet::Geometry{s.wn, s.l},
+                                   s.with_caps));
+  // PMOS bulk at the highest rail the caller uses; without a dedicated
+  // nwell node we tie it to the a-side's circuit vdd via en_b's driver —
+  // the standard approximation here is bulk = source-ish node a.
+  ckt.add(std::make_unique<Mosfet>(prefix + ".mp", t.pmos, a, en_b, b, a,
+                                   Mosfet::Geometry{s.wp, s.l},
+                                   s.with_caps));
+}
+
+LatchNodes add_d_latch(Circuit& ckt, const std::string& prefix,
+                       const tech::TechParams& t, int d, int clk, int clk_b,
+                       int vdd_node, const CellSizes& s) {
+  check_sizes(s);
+  LatchNodes nodes;
+  const int x = ckt.node(prefix + ".x");  // internal storage node
+  nodes.q = ckt.node(prefix + ".q");
+  nodes.qb = ckt.node(prefix + ".qb");
+
+  // Input pass gate: d -> x while clk high.
+  add_transmission_gate(ckt, prefix + ".tg_in", t, d, x, clk, clk_b, s);
+  // Forward inverters: x -> qb -> q.
+  add_inverter(ckt, prefix + ".inv1", t, x, nodes.qb, vdd_node, 0, s);
+  add_inverter(ckt, prefix + ".inv2", t, nodes.qb, nodes.q, vdd_node, 0, s);
+  // Keeper: q -> x through a weak feedback gate enabled when clk is LOW.
+  CellSizes weak = s;
+  weak.wn *= 0.4;
+  weak.wp *= 0.4;
+  add_transmission_gate(ckt, prefix + ".tg_fb", t, nodes.q, x, clk_b, clk,
+                        weak);
+  return nodes;
+}
+
+void add_switch_driver(Circuit& ckt, const std::string& prefix,
+                       const tech::TechParams& t, int in, int out,
+                       int vdd_node, int vlow_node, const CellSizes& s) {
+  // The reduced swing comes from returning the NMOS source to the raised
+  // low rail instead of ground.
+  add_inverter(ckt, prefix, t, in, out, vdd_node, vlow_node, s);
+}
+
+}  // namespace csdac::cells

@@ -1,0 +1,55 @@
+// Transistor-level building blocks of the latch & switch array (paper §2,
+// Fig. 1): static CMOS inverter, transmission gate, a transparent-high D
+// latch (pass gate + cross-coupled keeper), and the reduced-swing switch
+// driver placed between the latch and the current switches to limit clock
+// feedthrough. Each builder stamps its devices into an existing
+// spice::Circuit under a name prefix and returns the handles a testbench
+// needs.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::cells {
+
+struct CellSizes {
+  double wn = 1.0e-6;   ///< NMOS width [m]
+  double wp = 2.5e-6;   ///< PMOS width [m] (mobility-compensated)
+  double l = 0.35e-6;   ///< channel length [m]
+  bool with_caps = true;
+};
+
+/// Static CMOS inverter between `vdd_node` and `vss_node` (pass ground = 0
+/// for a full-rail inverter; other rails give a level-shifted/reduced-swing
+/// stage). Returns nothing extra: the output node is the caller's.
+void add_inverter(spice::Circuit& ckt, const std::string& prefix,
+                  const tech::TechParams& t, int in, int out, int vdd_node,
+                  int vss_node, const CellSizes& s = {});
+
+/// CMOS transmission gate between a and b, controlled by en / en_b.
+void add_transmission_gate(spice::Circuit& ckt, const std::string& prefix,
+                           const tech::TechParams& t, int a, int b, int en,
+                           int en_b, const CellSizes& s = {});
+
+/// Transparent-high D latch: while clk is high, q follows d; on the falling
+/// edge the cross-coupled keeper holds the state. qb is the complement.
+struct LatchNodes {
+  int q = 0;
+  int qb = 0;
+};
+LatchNodes add_d_latch(spice::Circuit& ckt, const std::string& prefix,
+                       const tech::TechParams& t, int d, int clk, int clk_b,
+                       int vdd_node, const CellSizes& s = {});
+
+/// Reduced-swing switch driver (paper §2): an inverter running between the
+/// full rail and a raised low rail `vlow_node`, so the switch gate swings
+/// [vlow, vdd] instead of [0, vdd] — less clock feedthrough into the
+/// output and a controlled crossing point.
+void add_switch_driver(spice::Circuit& ckt, const std::string& prefix,
+                       const tech::TechParams& t, int in, int out,
+                       int vdd_node, int vlow_node, const CellSizes& s = {});
+
+}  // namespace csdac::cells

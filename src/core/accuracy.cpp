@@ -1,0 +1,60 @@
+#include "core/accuracy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/stats.hpp"
+
+namespace csdac::core {
+
+using mathx::normal_cdf;
+using mathx::yield_coefficient_one_sided;
+using mathx::yield_coefficient_two_sided;
+
+double unit_sigma_spec(int nbits, double inl_yield) {
+  if (nbits < 2) throw std::invalid_argument("unit_sigma_spec: bad nbits");
+  const double c = yield_coefficient_two_sided(inl_yield);
+  return 1.0 / (2.0 * c * std::sqrt(std::ldexp(1.0, nbits)));
+}
+
+double inl_yield_from_sigma(int nbits, double sigma_rel) {
+  if (!(sigma_rel > 0.0)) {
+    throw std::invalid_argument("inl_yield_from_sigma: sigma <= 0");
+  }
+  const double c = 1.0 / (2.0 * sigma_rel * std::sqrt(std::ldexp(1.0, nbits)));
+  return 2.0 * normal_cdf(c) - 1.0;
+}
+
+double bound_yield(double inl_yield) {
+  if (!(inl_yield > 0.0 && inl_yield < 1.0)) {
+    throw std::invalid_argument("bound_yield: yield out of (0,1)");
+  }
+  return std::pow(inl_yield, 0.25);
+}
+
+double s_coefficient(double inl_yield) {
+  return yield_coefficient_one_sided(bound_yield(inl_yield));
+}
+
+double inl_from_unit_rout(int nbits, double r_load, double r_out_unit) {
+  if (!(r_out_unit > 0.0)) {
+    throw std::invalid_argument("inl_from_unit_rout: r_out <= 0");
+  }
+  const double n_units = std::ldexp(1.0, nbits) - 1.0;
+  return n_units * n_units * r_load / (4.0 * r_out_unit);
+}
+
+double required_unit_rout(int nbits, double r_load, double inl_lsb) {
+  if (!(inl_lsb > 0.0)) {
+    throw std::invalid_argument("required_unit_rout: inl <= 0");
+  }
+  const double n_units = std::ldexp(1.0, nbits) - 1.0;
+  return n_units * n_units * r_load / (4.0 * inl_lsb);
+}
+
+double sfdr_single_ended_db(int nbits, double r_load, double r_out_unit) {
+  const double n_units = std::ldexp(1.0, nbits) - 1.0;
+  return 20.0 * std::log10(4.0 * r_out_unit / (n_units * r_load));
+}
+
+}  // namespace csdac::core

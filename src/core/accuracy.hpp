@@ -1,0 +1,44 @@
+// Static-accuracy design equations:
+//  - eq. (1): unit-current accuracy required for INL < 0.5 LSB at a given
+//    parametric yield (Van den Bosch et al. [10]),
+//  - the yield_V / S coefficient of the statistical saturation condition
+//    (eqs. 9 and 11),
+//  - INL contributed by finite unit output impedance (Razavi [7],
+//    Van den Bosch [8]) which decides that the 12-bit design needs the
+//    cascode topology.
+#pragma once
+
+namespace csdac::core {
+
+/// eq. (1): maximum relative sigma of a unit current source,
+/// sigma(I)/I <= 1 / (2 * C * sqrt(2^n)), C = inv_norm((1 + yield)/2).
+double unit_sigma_spec(int nbits, double inl_yield);
+
+/// Inverse of eq. (1): the INL yield achieved by a given unit sigma.
+double inl_yield_from_sigma(int nbits, double sigma_rel);
+
+/// yield_V of Section 2: the per-bound one-sided yield such that the LSB
+/// cell's two complementary switch transistors each meet both of their gate
+/// bounds: yield = yield_V^4  =>  yield_V = yield^(1/4).
+double bound_yield(double inl_yield);
+
+/// S of eqs. (9)/(11): one-sided normal quantile of bound_yield.
+double s_coefficient(double inl_yield);
+
+/// Worst-case INL (in LSB, at mid-scale) caused by the finite output
+/// resistance of the current cells, single-ended output:
+///   INL ~ N^2 * R_L / (4 * R_out,unit),  N = 2^n - 1.
+/// R_out,unit is the impedance of ONE LSB unit looking into its switch drain.
+double inl_from_unit_rout(int nbits, double r_load, double r_out_unit);
+
+/// Unit output resistance required to keep the impedance-induced INL below
+/// `inl_lsb` (inverse of inl_from_unit_rout).
+double required_unit_rout(int nbits, double r_load, double inl_lsb);
+
+/// First-order SFDR estimate [dB] for a single-ended full-scale sine limited
+/// by code-dependent output conductance (after [8]): the HD2 amplitude
+/// relative to the fundamental is ~ N*R_L / (4*R_out,unit)... expressed here
+/// as SFDR = 20*log10(4 * R_out,unit / (N * R_L)).
+double sfdr_single_ended_db(int nbits, double r_load, double r_out_unit);
+
+}  // namespace csdac::core

@@ -1,0 +1,56 @@
+#include "core/architecture.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/stats.hpp"
+
+namespace csdac::core {
+
+std::vector<SegmentationPoint> explore_segmentation(
+    int nbits, double unit_cell_area, double sigma_unit,
+    const SegmentationCosts& costs) {
+  if (nbits < 2 || !(unit_cell_area > 0.0) || !(sigma_unit > 0.0)) {
+    throw std::invalid_argument("explore_segmentation: bad arguments");
+  }
+  std::vector<SegmentationPoint> out;
+  const double total_units = std::ldexp(1.0, nbits) - 1.0;
+  for (int b = 0; b < nbits; ++b) {
+    const int m = nbits - b;
+    SegmentationPoint p;
+    p.binary_bits = b;
+    p.unary_bits = m;
+    const double num_unary = std::ldexp(1.0, m) - 1.0;
+    // Thermometer decoder plus the delay-equalizing dummy decoder in the
+    // binary path (Fig. 1): both scale with the thermometer complexity.
+    p.decoder_area = 2.0 * costs.decoder_gate_area *
+                     costs.decoder_gate_factor * m * std::ldexp(1.0, m);
+    p.latch_area = costs.latch_area * (num_unary + b);
+    p.analog_area = total_units * unit_cell_area;
+    p.total_area = p.decoder_area + p.latch_area + p.analog_area;
+    // sigma_unit is the per-unit relative error and one LSB equals one
+    // unit, so the major-carry DNL sigma in LSB is sqrt(2^(b+1)-1)*sigma_u.
+    p.dnl_sigma_lsb = std::sqrt(std::ldexp(1.0, b + 1) - 1.0) * sigma_unit;
+    p.glitch_metric = std::ldexp(1.0, b);
+    out.push_back(p);
+  }
+  return out;
+}
+
+int optimal_binary_bits(const std::vector<SegmentationPoint>& points,
+                        double inl_yield, double max_glitch) {
+  const double c = mathx::yield_coefficient_two_sided(inl_yield);
+  int best = -1;
+  double best_area = 0.0;
+  for (const auto& p : points) {
+    if (p.dnl_sigma_lsb * c > 0.5) continue;  // DNL yield constraint
+    if (p.glitch_metric > max_glitch) continue;  // glitch budget
+    if (best < 0 || p.total_area < best_area) {
+      best = p.binary_bits;
+      best_area = p.total_area;
+    }
+  }
+  return best;
+}
+
+}  // namespace csdac::core

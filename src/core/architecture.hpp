@@ -1,0 +1,56 @@
+// Architecture-level segmentation exploration (Section 1, after [4,5,6]):
+// choosing how many of the n bits are thermometer-decoded (m) versus
+// binary-weighted (b = n - m). The analog accuracy (INL) does not depend on
+// the split; the digital decoder area grows ~ m * 2^m, the worst-case DNL
+// and the glitch energy grow with 2^b.
+#pragma once
+
+#include <vector>
+
+#include "core/spec.hpp"
+
+namespace csdac::core {
+
+/// Cost-model constants (normalized units; defaults give the classic
+/// area-optimal segmentation around b = 3..5 for 12-bit converters).
+struct SegmentationCosts {
+  /// Area of one thermometer-decoder gate-equivalent [m^2].
+  double decoder_gate_area = 120e-12;
+  /// Decoder gate count model: gates ~ k * m * 2^m.
+  double decoder_gate_factor = 1.0;
+  /// Area of one latch + switch-driver block [m^2].
+  double latch_area = 400e-12;
+};
+
+struct SegmentationPoint {
+  int binary_bits = 0;     ///< b
+  int unary_bits = 0;      ///< m = n - b
+  double decoder_area = 0; ///< thermometer + dummy decoder [m^2]
+  double latch_area = 0;   ///< one latch per unary source + per binary bit
+  double analog_area = 0;  ///< current-source array (split-independent)
+  double total_area = 0;
+  /// Worst-case DNL sigma in LSB: the major-carry transition swaps the
+  /// largest binary source (2^b - 1 units) against one unary source (2^b
+  /// units): sigma_DNL = sqrt(2^(b+1) - 1) * sigma_unit.
+  double dnl_sigma_lsb = 0;
+  /// Glitch-energy proxy ~ the weight switched non-synchronously: 2^b.
+  double glitch_metric = 0;
+};
+
+/// Evaluates every segmentation 0 <= b <= n-1 of an n-bit converter.
+/// `unit_cell_area` is the active area of one LSB unit cell (from the
+/// sizing engine); `sigma_unit` the eq. (1) accuracy.
+std::vector<SegmentationPoint> explore_segmentation(
+    int nbits, double unit_cell_area, double sigma_unit,
+    const SegmentationCosts& costs = {});
+
+/// The b minimizing total area subject to (a) a DNL yield constraint
+/// (dnl_sigma_lsb * C <= 0.5, i.e. |DNL| < 0.5 LSB at the same yield level
+/// used for INL) and (b) a glitch budget: glitch_metric <= max_glitch
+/// (the glitch-energy minimization the paper defers to circuit level still
+/// caps the binary segment at architecture level; the paper's design uses
+/// b = 4, i.e. a budget of 16). Returns -1 if nothing satisfies both.
+int optimal_binary_bits(const std::vector<SegmentationPoint>& points,
+                        double inl_yield, double max_glitch = 16.0);
+
+}  // namespace csdac::core

@@ -1,0 +1,77 @@
+#include "core/cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tech/mismatch.hpp"
+
+namespace csdac::core {
+
+DeviceSize size_current_source(const tech::MosTechParams& t, double i,
+                               double vod, double sigma_i_rel) {
+  if (!(i > 0.0) || !(vod > 0.0) || !(sigma_i_rel > 0.0)) {
+    throw std::invalid_argument("size_current_source: bad arguments");
+  }
+  const double wl = tech::min_gate_area(t, vod, sigma_i_rel);
+  const double w_over_l = 2.0 * i / (t.kp * vod * vod);
+  DeviceSize d;
+  d.w = std::sqrt(wl * w_over_l);
+  d.l = std::sqrt(wl / w_over_l);
+  return d;
+}
+
+DeviceSize size_for_current(const tech::MosTechParams& t, double i, double vod,
+                            double l) {
+  if (!(i > 0.0) || !(vod > 0.0) || !(l > 0.0)) {
+    throw std::invalid_argument("size_for_current: bad arguments");
+  }
+  DeviceSize d;
+  d.l = l;
+  d.w = std::max(2.0 * i * l / (t.kp * vod * vod), t.w_min);
+  return d;
+}
+
+double vt_at_vsb(const tech::MosTechParams& t, double vsb) {
+  const double arg = std::max(t.phi_2f + vsb, 0.0);
+  return t.vt0 + t.gamma * (std::sqrt(arg) - std::sqrt(t.phi_2f));
+}
+
+double source_node_voltage(const tech::MosTechParams& t, double vg,
+                           double vod) {
+  // vs = vg - vt(vs) - vod, solved by a short fixed-point iteration (the
+  // body-effect correction is a mild contraction).
+  double vs = vg - t.vt0 - vod;
+  for (int i = 0; i < 30; ++i) {
+    const double next = vg - vt_at_vsb(t, std::max(vs, 0.0)) - vod;
+    if (std::abs(next - vs) < 1e-12) return next;
+    vs = next;
+  }
+  return vs;
+}
+
+double optimal_vg_sw_basic(const tech::MosTechParams& t, double v_o,
+                           double vod_cs, double vod_sw) {
+  const double slack = v_o - vod_cs - vod_sw;
+  // Internal node (CS drain / SW source) sits at vod_cs + slack/2.
+  const double v_int = vod_cs + 0.5 * slack;
+  return v_int + vt_at_vsb(t, v_int) + vod_sw;
+}
+
+CascodeBias optimal_vg_cascode(const tech::MosTechParams& t, double v_o,
+                               double vod_cs, double vod_cas, double vod_sw) {
+  const double slack = v_o - vod_cs - vod_cas - vod_sw;
+  const double third = slack / 3.0;
+  // CS drain at vod_cs + third; CAS drain (SW source) a cascode VDS higher.
+  const double v1 = vod_cs + third;                   // CAS source node
+  const double v2 = v1 + vod_cas + third;             // SW source node
+  CascodeBias b;
+  b.vg_cas = v1 + vt_at_vsb(t, v1) + vod_cas;
+  b.vg_sw = v2 + vt_at_vsb(t, v2) + vod_sw;
+  return b;
+}
+
+double vg_cs_for(const tech::MosTechParams& t, double vod_cs) {
+  return t.vt0 + vod_cs;
+}
+
+}  // namespace csdac::core

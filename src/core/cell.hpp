@@ -1,0 +1,80 @@
+// The unit current cell: topologies (Fig. 2), transistor sizing (eq. 2 for
+// the CS device, current/overdrive sizing for SW and CAS), and the optimum
+// gate bias voltages (eqs. 5 and 10, equal-slack form).
+#pragma once
+
+#include "core/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+
+/// Fig. 2 topologies: (a) current source + switches, (b) adds a cascode.
+enum class CellTopology { kCsSw, kCsSwCas };
+
+struct DeviceSize {
+  double w = 0.0;  ///< [m]
+  double l = 0.0;  ///< [m]
+  double area() const { return w * l; }
+  double aspect() const { return w / l; }
+};
+
+/// A fully-sized unit cell (Table 1's unknowns, solved).
+struct CellSizing {
+  CellTopology topology = CellTopology::kCsSw;
+  double i_unit = 0.0;  ///< LSB current the cell carries [A]
+
+  DeviceSize cs, sw, cas;            ///< cas is all-zero for kCsSw
+  double vod_cs = 0, vod_sw = 0, vod_cas = 0;  ///< design overdrives [V]
+  double vg_cs = 0, vg_sw = 0, vg_cas = 0;     ///< gate bias voltages [V]
+
+  /// Saturation slack: V_o minus the sum of overdrives [V].
+  double slack = 0.0;
+
+  /// Active gate area of the cell: CS + 2 switches (+ cascode) [m^2].
+  double active_area() const {
+    return cs.area() + 2.0 * sw.area() +
+           (topology == CellTopology::kCsSwCas ? cas.area() : 0.0);
+  }
+};
+
+/// eq. (2): the UNIQUE (W, L) of the current-source transistor that meets a
+/// relative current accuracy `sigma_i_rel` at overdrive `vod` while carrying
+/// current `i`:
+///   W*L  = (A_beta^2 + 4 A_VT^2 / vod^2) / sigma^2     (mismatch)
+///   W/L  = 2 i / (K' vod^2)                            (square law)
+DeviceSize size_current_source(const tech::MosTechParams& t, double i,
+                               double vod, double sigma_i_rel);
+
+/// Sizes a switch/cascode transistor from its overdrive at fixed channel
+/// length (the paper picks L = L_min for the switches to maximize speed and
+/// W = W_min consideration for the cascode):  W = 2 i L / (K' vod^2).
+DeviceSize size_for_current(const tech::MosTechParams& t, double i,
+                            double vod, double l);
+
+/// Effective threshold of a device whose source sits at `vsb` above bulk.
+double vt_at_vsb(const tech::MosTechParams& t, double vsb);
+
+/// Solves the self-consistent source-node voltage of a stacked device whose
+/// gate is at vg and which carries overdrive vod: vs = vg - vt(vs) - vod.
+double source_node_voltage(const tech::MosTechParams& t, double vg,
+                           double vod);
+
+/// eq. (5) (equal-slack form): optimum SW gate bias of the basic cell.
+/// The saturation slack D = V_o - vod_cs - vod_sw is split equally between
+/// the two devices, maximizing the DC output impedance:
+///   vg_sw = vt_sw(vsb) + vod_sw + vod_cs + D/2, with vsb = vod_cs + D/2.
+double optimal_vg_sw_basic(const tech::MosTechParams& t, double v_o,
+                           double vod_cs, double vod_sw);
+
+/// eq. (10) (equal-slack form) for the cascode cell: D split three ways.
+struct CascodeBias {
+  double vg_cas = 0.0;
+  double vg_sw = 0.0;
+};
+CascodeBias optimal_vg_cascode(const tech::MosTechParams& t, double v_o,
+                               double vod_cs, double vod_cas, double vod_sw);
+
+/// CS gate bias for a grounded-source CS device: vg_cs = vt0 + vod_cs.
+double vg_cs_for(const tech::MosTechParams& t, double vod_cs);
+
+}  // namespace csdac::core

@@ -1,0 +1,88 @@
+#include "core/explorer.hpp"
+
+namespace csdac::core {
+
+DesignPoint DesignSpaceExplorer::flatten(const SizedCell& s) {
+  DesignPoint p;
+  p.vod_cs = s.cell.vod_cs;
+  p.vod_sw = s.cell.vod_sw;
+  p.vod_cas = s.cell.vod_cas;
+  p.feasible = s.feasible();
+  p.margin = s.sat.margin;
+  p.area = s.cell.active_area();
+  p.f_min_hz = s.poles.min_hz();
+  p.t_settle_s = s.poles.settling_time(
+      /*nbits=*/12);  // overwritten below with the spec's resolution
+  p.rout_unit = s.rout_unit;
+  return p;
+}
+
+std::vector<DesignPoint> DesignSpaceExplorer::sweep_basic(
+    const GridAxis& cs, const GridAxis& sw, MarginPolicy policy,
+    double fixed_margin) const {
+  std::vector<DesignPoint> out;
+  out.reserve(static_cast<std::size_t>(cs.steps) *
+              static_cast<std::size_t>(sw.steps));
+  for (int i = 0; i < cs.steps; ++i) {
+    for (int j = 0; j < sw.steps; ++j) {
+      const SizedCell s =
+          sizer_.size_basic(cs.at(i), sw.at(j), policy, fixed_margin);
+      DesignPoint p = flatten(s);
+      p.t_settle_s = s.poles.settling_time(sizer_.spec().nbits);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<DesignPoint> DesignSpaceExplorer::sweep_cascode(
+    const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
+    MarginPolicy policy, double fixed_margin, SigmaAggregation agg) const {
+  std::vector<DesignPoint> out;
+  out.reserve(static_cast<std::size_t>(cs.steps) *
+              static_cast<std::size_t>(sw.steps) *
+              static_cast<std::size_t>(cas.steps));
+  for (int i = 0; i < cs.steps; ++i) {
+    for (int j = 0; j < sw.steps; ++j) {
+      for (int k = 0; k < cas.steps; ++k) {
+        const SizedCell s = sizer_.size_cascode(cs.at(i), sw.at(j), cas.at(k),
+                                                policy, fixed_margin, agg);
+        DesignPoint p = flatten(s);
+        p.t_settle_s = s.poles.settling_time(sizer_.spec().nbits);
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<DesignPoint> DesignSpaceExplorer::select(
+    const std::vector<DesignPoint>& points, Objective obj) {
+  std::optional<DesignPoint> best;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    if (!best) {
+      best = p;
+      continue;
+    }
+    const bool better = obj == Objective::kMinArea ? p.area < best->area
+                                                   : p.f_min_hz > best->f_min_hz;
+    if (better) best = p;
+  }
+  return best;
+}
+
+std::optional<DesignPoint> DesignSpaceExplorer::optimize_basic(
+    const GridAxis& cs, const GridAxis& sw, MarginPolicy policy, Objective obj,
+    double fixed_margin) const {
+  return select(sweep_basic(cs, sw, policy, fixed_margin), obj);
+}
+
+std::optional<DesignPoint> DesignSpaceExplorer::optimize_cascode(
+    const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
+    MarginPolicy policy, Objective obj, double fixed_margin,
+    SigmaAggregation agg) const {
+  return select(sweep_cascode(cs, sw, cas, policy, fixed_margin, agg), obj);
+}
+
+}  // namespace csdac::core

@@ -1,0 +1,80 @@
+// Design-space exploration (Section 3): sweep the overdrive plane/volume,
+// mark feasibility under a saturation policy, and select the optimum under
+// an area or speed criterion (Fig. 3 lower graph, Fig. 4 volume).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/sizer.hpp"
+
+namespace csdac::core {
+
+/// One evaluated grid point (a flattened SizedCell for plotting).
+struct DesignPoint {
+  double vod_cs = 0.0;
+  double vod_sw = 0.0;
+  double vod_cas = 0.0;  ///< 0 for the basic topology
+  bool feasible = false;
+  double margin = 0.0;        ///< saturation margin at this point [V]
+  double area = 0.0;          ///< cell active area [m^2]
+  double f_min_hz = 0.0;      ///< limiting pole
+  double t_settle_s = 0.0;    ///< settling to 0.5 LSB
+  double rout_unit = 0.0;     ///< unit output resistance [Ohm]
+};
+
+struct GridAxis {
+  double lo = 0.05;
+  double hi = 0.95;
+  int steps = 40;
+
+  double at(int i) const {
+    return lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(steps - 1);
+  }
+};
+
+enum class Objective { kMinArea, kMaxSpeed };
+
+class DesignSpaceExplorer {
+ public:
+  explicit DesignSpaceExplorer(CellSizer sizer) : sizer_(std::move(sizer)) {}
+
+  const CellSizer& sizer() const { return sizer_; }
+
+  /// Full grid over (VOD_cs, VOD_sw) for the basic cell.
+  std::vector<DesignPoint> sweep_basic(const GridAxis& cs, const GridAxis& sw,
+                                       MarginPolicy policy,
+                                       double fixed_margin = 0.5) const;
+
+  /// Full grid over (VOD_cs, VOD_sw, VOD_cas) for the cascode cell.
+  std::vector<DesignPoint> sweep_cascode(
+      const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
+      MarginPolicy policy, double fixed_margin = 0.5,
+      SigmaAggregation agg = SigmaAggregation::kMax) const;
+
+  /// Best feasible point of a sweep under the objective (nullopt if no
+  /// feasible point exists).
+  static std::optional<DesignPoint> select(
+      const std::vector<DesignPoint>& points, Objective obj);
+
+  /// Convenience: sweep + select for the basic cell.
+  std::optional<DesignPoint> optimize_basic(const GridAxis& cs,
+                                            const GridAxis& sw,
+                                            MarginPolicy policy,
+                                            Objective obj,
+                                            double fixed_margin = 0.5) const;
+
+  /// Convenience: sweep + select for the cascode cell.
+  std::optional<DesignPoint> optimize_cascode(
+      const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
+      MarginPolicy policy, Objective obj, double fixed_margin = 0.5,
+      SigmaAggregation agg = SigmaAggregation::kMax) const;
+
+ private:
+  static DesignPoint flatten(const SizedCell& s);
+
+  CellSizer sizer_;
+};
+
+}  // namespace csdac::core

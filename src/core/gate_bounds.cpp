@@ -1,0 +1,120 @@
+#include "core/gate_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csdac::core {
+namespace {
+
+double sq(double v) { return v * v; }
+
+/// Variance of a device threshold: A_VT^2 / (W L).
+double var_vt(const tech::MosTechParams& t, const DeviceSize& d) {
+  return sq(t.a_vt) / d.area();
+}
+
+/// Variance of a device's relative beta: A_beta^2 / (W L).
+double var_beta(const tech::MosTechParams& t, const DeviceSize& d) {
+  return sq(t.a_beta) / d.area();
+}
+
+/// Variance of the overdrive of a stacked device forced to carry the cell
+/// current: dVOD = (VOD/2) * (dI/I - dBeta/Beta).
+double var_vod(const tech::MosTechParams& t, const DeviceSize& d, double vod,
+               double sigma_unit) {
+  return sq(vod) / 4.0 * (sq(sigma_unit) + var_beta(t, d));
+}
+
+}  // namespace
+
+double CascodeBounds::sigma_max() const {
+  return std::max({sw_upper.sigma, sw_lower.sigma, cas_upper.sigma,
+                   cas_lower.sigma});
+}
+
+double CascodeBounds::sigma_rss() const {
+  return std::sqrt(sq(sw_upper.sigma) + sq(sw_lower.sigma) +
+                   sq(cas_upper.sigma) + sq(cas_lower.sigma));
+}
+
+BasicBounds basic_cell_bounds(const tech::MosTechParams& t,
+                              const DacSpec& spec, const CellSizing& cell,
+                              double sigma_unit) {
+  BasicBounds b;
+  const double n_tot = static_cast<double>(spec.total_units());
+
+  // eq. (6): U = V_out,min + VT_sw, with V_out,min = V_term - I_FS*R_L.
+  // The random part is the full-scale IR drop (swing) plus the SW threshold.
+  b.sw_upper.nominal = spec.v_out_min + t.vt0;
+  b.sw_upper.sigma = std::sqrt(
+      sq(spec.v_swing) * (sq(sigma_unit) / n_tot + sq(spec.r_load_tol)) +
+      var_vt(t, cell.sw));
+
+  // eq. (7): L = VOD_cs + VT_sw + VOD_sw (referenced to the cell ground;
+  // VT values here use vt0 -- the body-effect shift is deterministic and
+  // common to both bound and bias, so it cancels in the margin).
+  b.sw_lower.nominal = cell.vod_cs + t.vt0 + cell.vod_sw;
+  b.sw_lower.sigma =
+      std::sqrt(var_vt(t, cell.cs) + var_vt(t, cell.sw) +
+                var_vod(t, cell.sw, cell.vod_sw, sigma_unit));
+  return b;
+}
+
+double MarginBreakdown::dominant_fraction() const {
+  const double m = std::max({load_tolerance, full_scale_current, vt_switch,
+                             vt_cs, vod_switch});
+  const double tot = total();
+  return tot > 0.0 ? m / tot : 0.0;
+}
+
+MarginBreakdown basic_margin_breakdown(const tech::MosTechParams& t,
+                                       const DacSpec& spec,
+                                       const CellSizing& cell,
+                                       double sigma_unit) {
+  MarginBreakdown b;
+  const double n_tot = static_cast<double>(spec.total_units());
+  b.load_tolerance = sq(spec.v_swing * spec.r_load_tol);
+  b.full_scale_current = sq(spec.v_swing) * sq(sigma_unit) / n_tot;
+  // The switch V_T enters BOTH the upper and the lower bound.
+  b.vt_switch = 2.0 * var_vt(t, cell.sw);
+  b.vt_cs = var_vt(t, cell.cs);
+  b.vod_switch = var_vod(t, cell.sw, cell.vod_sw, sigma_unit);
+  return b;
+}
+
+CascodeBounds cascode_cell_bounds(const tech::MosTechParams& t,
+                                  const DacSpec& spec, const CellSizing& cell,
+                                  double sigma_unit) {
+  CascodeBounds b;
+  const double n_tot = static_cast<double>(spec.total_units());
+
+  // SW upper: as eq. (6).
+  b.sw_upper.nominal = spec.v_out_min + t.vt0;
+  b.sw_upper.sigma = std::sqrt(
+      sq(spec.v_swing) * (sq(sigma_unit) / n_tot + sq(spec.r_load_tol)) +
+      var_vt(t, cell.sw));
+
+  // SW lower: the SW source node must stay above the CAS saturation level
+  // set by the CAS gate: L_sw = Vg_cas - VT_cas + VT_sw + VOD_sw.
+  b.sw_lower.nominal = cell.vod_cs + cell.vod_cas + t.vt0 + cell.vod_sw;
+  b.sw_lower.sigma =
+      std::sqrt(var_vt(t, cell.cas) + var_vt(t, cell.sw) +
+                var_vod(t, cell.sw, cell.vod_sw, sigma_unit));
+
+  // CAS upper: the CAS drain (= SW source) is set by the SW gate; with the
+  // SW gate at its own upper bound, U_cas = V_out,min + VT_cas - VOD_sw.
+  b.cas_upper.nominal = spec.v_out_min + t.vt0 - cell.vod_sw;
+  b.cas_upper.sigma =
+      std::sqrt(var_vt(t, cell.sw) + var_vt(t, cell.cas) +
+                var_vod(t, cell.sw, cell.vod_sw, sigma_unit));
+
+  // CAS lower: keep the CS in saturation:
+  // L_cas = VOD_cs + VT_cas + VOD_cas.
+  b.cas_lower.nominal = cell.vod_cs + t.vt0 + cell.vod_cas;
+  b.cas_lower.sigma =
+      std::sqrt(var_vt(t, cell.cs) + var_vt(t, cell.cas) +
+                var_vod(t, cell.cas, cell.vod_cas, sigma_unit));
+  return b;
+}
+
+}  // namespace csdac::core

@@ -1,0 +1,99 @@
+// Statistical models of the switch/cascode gate-voltage bounds (eqs. 6, 7
+// and 12). Each saturation constraint of Section 2 is a window
+//   L <= V_g <= U
+// whose endpoints are random variables under process variation. This file
+// computes the nominal endpoints and their standard deviations; the
+// saturation module turns them into the statistical margin of eqs. (9)/(11).
+//
+// Derivation notes (the source text's equations are OCR-damaged; these are
+// reconstructed from first principles and cross-validated by Monte-Carlo
+// tests in tests/core/gate_bounds_test.cpp):
+//
+// Basic cell (CS + SW), NMOS stack sinking through R_L tied to VDD:
+//  U_sw = VDD - I_FS*R_L + VT_sw
+//    var = V_o^2 * [ (s_u^2 / Ntot) + (sR/R)^2 ] + A_VT^2/(W_sw L_sw)
+//    (the full-scale current averages Ntot = 2^n - 1 unit draws)
+//  L_sw = VOD_cs + VT_sw + VOD_sw
+//    var = A_VT^2/(W_cs L_cs)                  [dVT_cs shifts the required
+//                                               CS saturation voltage]
+//        + A_VT^2/(W_sw L_sw)                  [dVT_sw]
+//        + (VOD_sw^2/4) * (s_u^2 + A_b^2/(W_sw L_sw))
+//                                              [dVOD_sw from dI and dBeta_sw]
+// with s_u = relative sigma of the unit current (eq. 2's design value).
+//
+// Cascode cell adds two bounds for the CAS gate; see the .cpp.
+#pragma once
+
+#include "core/cell.hpp"
+#include "core/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+
+/// One stochastic bound: nominal value and standard deviation.
+struct StochasticBound {
+  double nominal = 0.0;
+  double sigma = 0.0;
+};
+
+/// The bound set of the basic (CS + SW) cell: eq. (3) endpoints with
+/// eqs. (6)-(7) variances.
+struct BasicBounds {
+  StochasticBound sw_upper;  ///< eq. (6)
+  StochasticBound sw_lower;  ///< eq. (7)
+  /// Width of the deterministic window: upper.nominal - lower.nominal.
+  double window() const { return sw_upper.nominal - sw_lower.nominal; }
+  /// Sum of the two bound sigmas (the eq. (9) margin divisor).
+  double sigma_sum() const { return sw_upper.sigma + sw_lower.sigma; }
+};
+
+/// The four bounds of the cascode cell (eq. 12).
+struct CascodeBounds {
+  StochasticBound sw_upper;
+  StochasticBound sw_lower;
+  StochasticBound cas_upper;
+  StochasticBound cas_lower;
+  /// Largest of the four sigmas (the paper's eq. (11) aggregation).
+  double sigma_max() const;
+  /// Root-sum-square of the four sigmas (ablation alternative).
+  double sigma_rss() const;
+};
+
+/// Computes eqs. (6)-(7) for a sized basic cell. `sigma_unit` is the
+/// relative sigma of the unit current (normally the eq. (1) spec value).
+BasicBounds basic_cell_bounds(const tech::MosTechParams& t,
+                              const DacSpec& spec, const CellSizing& cell,
+                              double sigma_unit);
+
+/// Computes eq. (12) for a sized cascode cell.
+CascodeBounds cascode_cell_bounds(const tech::MosTechParams& t,
+                                  const DacSpec& spec, const CellSizing& cell,
+                                  double sigma_unit);
+
+/// Decomposition of the basic cell's bound variances into physical causes —
+/// the diagnostic that tells a designer WHERE the statistical margin comes
+/// from (for the minimum-size LSB switch, its own V_T mismatch typically
+/// dominates, which is precisely the paper's point about modelling every
+/// transistor of the cell). Entries are VARIANCES [V^2]; they sum to
+/// sigma_U^2 + sigma_L^2.
+struct MarginBreakdown {
+  double load_tolerance = 0.0;   ///< R_L tolerance through the IR drop
+  double full_scale_current = 0.0;  ///< averaged unit errors in I_FS
+  double vt_switch = 0.0;        ///< switch V_T mismatch (both bounds)
+  double vt_cs = 0.0;            ///< CS V_T mismatch
+  double vod_switch = 0.0;       ///< switch overdrive variation (dI, dBeta)
+
+  double total() const {
+    return load_tolerance + full_scale_current + vt_switch + vt_cs +
+           vod_switch;
+  }
+  /// The single largest contributor's share of the total.
+  double dominant_fraction() const;
+};
+
+MarginBreakdown basic_margin_breakdown(const tech::MosTechParams& t,
+                                       const DacSpec& spec,
+                                       const CellSizing& cell,
+                                       double sigma_unit);
+
+}  // namespace csdac::core

@@ -1,0 +1,86 @@
+#include "core/impedance.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csdac::core {
+namespace {
+
+using Cplx = std::complex<double>;
+
+Cplx parallel_cap(Cplx z, double c, double omega) {
+  if (c <= 0.0) return z;
+  const Cplx zc(0.0, -1.0 / (omega * c));
+  return z * zc / (z + zc);
+}
+
+double ro_of(const tech::MosTechParams& t, double i, double l) {
+  return 1.0 / (t.lambda(l) * i);
+}
+
+}  // namespace
+
+std::complex<double> unit_zout(const tech::MosTechParams& t,
+                               const DacSpec& spec, const CellSizing& cell,
+                               double freq_hz, int weight) {
+  if (!(freq_hz > 0.0)) throw std::invalid_argument("unit_zout: f <= 0");
+  if (weight < 1) throw std::invalid_argument("unit_zout: weight < 1");
+  const double omega = 2.0 * std::numbers::pi * freq_hz;
+  const double wt = weight;
+  const double i = cell.i_unit * wt;
+
+  const double gm_sw = 2.0 * i / cell.vod_sw;
+  const double ro_sw = ro_of(t, i, cell.sw.l);
+  const double ro_cs = ro_of(t, i, cell.cs.l);
+
+  if (cell.topology == CellTopology::kCsSw) {
+    // Internal node: CS drain junction + SW gate-source + array wiring.
+    const double c1 = tech::cj_diffusion(t, cell.cs.w * wt) +
+                      tech::cgs_sat(t, cell.sw.w * wt, cell.sw.l) +
+                      spec.c_int;
+    const Cplx z1 = parallel_cap(Cplx(ro_cs, 0.0), c1, omega);
+    return Cplx(ro_sw, 0.0) + (1.0 + gm_sw * ro_sw) * z1;
+  }
+
+  const double gm_cas = 2.0 * i / cell.vod_cas;
+  const double ro_cas = ro_of(t, i, cell.cas.l);
+  // CS drain node: CS junction + CAS gate-source.
+  const double c1 = tech::cj_diffusion(t, cell.cs.w * wt) +
+                    tech::cgs_sat(t, cell.cas.w * wt, cell.cas.l);
+  const Cplx z1 = parallel_cap(Cplx(ro_cs, 0.0), c1, omega);
+  const Cplx z_mid = Cplx(ro_cas, 0.0) + (1.0 + gm_cas * ro_cas) * z1;
+  // CAS drain node: CAS junction + SW gate-source + array wiring.
+  const double c2 = tech::cj_diffusion(t, cell.cas.w * wt) +
+                    tech::cgs_sat(t, cell.sw.w * wt, cell.sw.l) + spec.c_int;
+  const Cplx z2 = parallel_cap(z_mid, c2, omega);
+  return Cplx(ro_sw, 0.0) + (1.0 + gm_sw * ro_sw) * z2;
+}
+
+double unit_zout_mag(const tech::MosTechParams& t, const DacSpec& spec,
+                     const CellSizing& cell, double freq_hz, int weight) {
+  return std::abs(unit_zout(t, spec, cell, freq_hz, weight));
+}
+
+double impedance_bandwidth(const tech::MosTechParams& t, const DacSpec& spec,
+                           const CellSizing& cell, double r_required,
+                           double f_min, double f_max, int weight) {
+  if (!(r_required > 0.0) || !(f_min > 0.0) || !(f_max > f_min)) {
+    throw std::invalid_argument("impedance_bandwidth: bad arguments");
+  }
+  if (unit_zout_mag(t, spec, cell, f_min, weight) < r_required) return 0.0;
+  if (unit_zout_mag(t, spec, cell, f_max, weight) >= r_required) return f_max;
+  // |Z| decreases monotonically through the crossover; bisect in log f.
+  double lo = std::log(f_min), hi = std::log(f_max);
+  for (int it = 0; it < 100 && hi - lo > 1e-9; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (unit_zout_mag(t, spec, cell, std::exp(mid), weight) >= r_required) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::exp(0.5 * (lo + hi));
+}
+
+}  // namespace csdac::core

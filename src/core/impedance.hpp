@@ -1,0 +1,46 @@
+// Frequency-dependent unit-cell output impedance and the SFDR-bandwidth
+// figure of merit (after Van den Bosch et al. [8], "SFDR-Bandwidth
+// Limitations for High Speed High Resolution Current Steering CMOS D/A
+// Converters"). At DC even the basic cell's saturated switch cascodes the
+// current source, so the static Rout is huge for both topologies; the
+// limitation appears at signal frequencies where the internal-node
+// capacitances shunt the cascoding action. The cascode topology pushes the
+// frequency at which |Z_out(f)| falls below the 0.5 LSB INL requirement —
+// its "SFDR bandwidth" — well beyond the basic cell's, which is the Section
+// 2 argument for adopting it at 12 bits.
+#pragma once
+
+#include <complex>
+
+#include "core/cell.hpp"
+#include "core/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+
+/// Complex output impedance of one weighted cell at frequency f [Hz],
+/// looking into the ON switch drain. Ladder model with the junction/gate/
+/// wiring capacitance at each internal node. `weight` scales the cell to a
+/// binary/unary weight (current and widths scale; the array wiring c_int
+/// does not). The distinction matters: for the minimum-size LSB cell the
+/// fixed 100 fF wiring swamps both topologies, whereas the unary cell
+/// (weight 2^b) is device-cap dominated and shows the cascode's benefit.
+std::complex<double> unit_zout(const tech::MosTechParams& t,
+                               const DacSpec& spec, const CellSizing& cell,
+                               double freq_hz, int weight = 1);
+
+/// |unit_zout|.
+double unit_zout_mag(const tech::MosTechParams& t, const DacSpec& spec,
+                     const CellSizing& cell, double freq_hz, int weight = 1);
+
+/// Highest frequency at which |Z_out(f)| still meets `r_required`
+/// (log-bisection). Pass the requirement for the SAME weight: a source of
+/// weight w carries w units of current, so it must hold
+/// required_unit_rout(...) / w. Returns 0 if even f_min fails, f_max if the
+/// impedance never falls below the requirement within [f_min, f_max].
+double impedance_bandwidth(const tech::MosTechParams& t, const DacSpec& spec,
+                           const CellSizing& cell, double r_required,
+                           double f_min = 1e3, double f_max = 1e10,
+                           int weight = 1);
+
+}  // namespace csdac::core

@@ -1,0 +1,79 @@
+#include "core/poles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csdac::core {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double PoleEstimate::min_hz() const {
+  double m = std::min(p1_hz, p2_hz);
+  if (p3_hz > 0.0) m = std::min(m, p3_hz);
+  return m;
+}
+
+double PoleEstimate::settling_time(int nbits) const {
+  return tau() * std::log(std::ldexp(1.0, nbits + 1));
+}
+
+double total_switch_drain_cap(const tech::MosTechParams& t,
+                              const DacSpec& spec, double w_sw_unit) {
+  double cap = 0.0;
+  // Unary segment: 2^m - 1 sources, each switch scaled by the unary weight.
+  cap += spec.num_unary() *
+         tech::cj_diffusion(t, w_sw_unit * spec.unary_weight());
+  // Binary segment: weights 1, 2, 4, ... 2^(b-1).
+  for (int k = 0; k < spec.binary_bits; ++k) {
+    cap += tech::cj_diffusion(t, w_sw_unit * std::ldexp(1.0, k));
+  }
+  return cap;
+}
+
+PoleEstimate estimate_poles(const tech::MosTechParams& t, const DacSpec& spec,
+                            const CellSizing& cell, int weight) {
+  if (weight < 1) throw std::invalid_argument("estimate_poles: weight < 1");
+  PoleEstimate p;
+  const double wt = weight;
+
+  // p1: output node. R_L against C_L plus every switch drain junction.
+  const double c_out = spec.c_load + total_switch_drain_cap(t, spec, cell.sw.w);
+  p.p1_hz = 1.0 / (kTwoPi * spec.r_load * c_out);
+
+  // p2: switch source node of the weighted cell. Conductance (gm + gmb) of
+  // the switch, capacitance = junction of the device below (CS or CAS) +
+  // C_gs of the switch + interconnect between the arrays.
+  const double gm_sw = 2.0 * wt * cell.i_unit / cell.vod_sw;
+  // Source of the switch sits at v_src above bulk: body effect conductance.
+  const double v_src =
+      cell.vg_sw - vt_at_vsb(t, 0.0) - cell.vod_sw;  // first-order estimate
+  const double vsb = std::max(v_src, 0.0);
+  const double gmb_sw =
+      gm_sw * t.gamma / (2.0 * std::sqrt(t.phi_2f + vsb));
+  const bool cascode = cell.topology == CellTopology::kCsSwCas;
+  const double w_below = (cascode ? cell.cas.w : cell.cs.w) * wt;
+  const double c_int_node = tech::cj_diffusion(t, w_below) +
+                            tech::cgs_sat(t, cell.sw.w * wt, cell.sw.l) +
+                            spec.c_int;
+  p.p2_hz = (gm_sw + gmb_sw) / (kTwoPi * c_int_node);
+
+  // p3 (cascode only): CS drain / CAS source node.
+  if (cascode) {
+    const double gm_cas = 2.0 * wt * cell.i_unit / cell.vod_cas;
+    const double v_src_cas =
+        cell.vg_cas - vt_at_vsb(t, 0.0) - cell.vod_cas;
+    const double vsb_cas = std::max(v_src_cas, 0.0);
+    const double gmb_cas =
+        gm_cas * t.gamma / (2.0 * std::sqrt(t.phi_2f + vsb_cas));
+    const double c_node = tech::cj_diffusion(t, cell.cs.w * wt) +
+                          tech::cgs_sat(t, cell.cas.w * wt, cell.cas.l);
+    p.p3_hz = (gm_cas + gmb_cas) / (kTwoPi * c_node);
+  }
+  return p;
+}
+
+}  // namespace csdac::core

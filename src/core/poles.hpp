@@ -1,0 +1,40 @@
+// Settling-speed model, eq. (13): two real poles, one at the output node
+// (R_L against the load plus every switch drain), one at the cell-internal
+// node (switch source), plus — for the cascode topology — the CS-drain /
+// CAS-source node. The minimum pole frequency sets the settling time.
+#pragma once
+
+#include "core/cell.hpp"
+#include "core/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+
+struct PoleEstimate {
+  double p1_hz = 0.0;  ///< output node pole
+  double p2_hz = 0.0;  ///< switch-source internal node pole
+  double p3_hz = 0.0;  ///< CS/CAS node pole (cascode only; 0 otherwise)
+
+  /// The bandwidth-limiting (lowest) pole.
+  double min_hz() const;
+  /// Time constant of the limiting pole [s].
+  double tau() const { return 1.0 / (2.0 * 3.14159265358979323846 * min_hz()); }
+  /// Single-pole settling time to within 0.5 LSB of an n-bit full scale:
+  /// t = tau * ln(2^(n+1)).
+  double settling_time(int nbits) const;
+};
+
+/// Total junction capacitance hanging on ONE output rail from all switch
+/// drains: the unary sources use switches scaled by the unary weight, the
+/// binary sources by powers of two.
+double total_switch_drain_cap(const tech::MosTechParams& t,
+                              const DacSpec& spec, double w_sw_unit);
+
+/// eq. (13) for a sized cell. `weight` scales the cell to a binary/unary
+/// weight (current, device widths and junction caps scale together; the
+/// array wiring c_int does not): weight = 1 analyses the LSB cell,
+/// weight = 2^b the unary cell whose switching dominates the settling.
+PoleEstimate estimate_poles(const tech::MosTechParams& t, const DacSpec& spec,
+                            const CellSizing& cell, int weight = 1);
+
+}  // namespace csdac::core

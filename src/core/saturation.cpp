@@ -1,0 +1,65 @@
+#include "core/saturation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csdac::core {
+namespace {
+
+void check_margin(double m) {
+  if (!(m >= 0.0)) throw std::invalid_argument("saturation: margin < 0");
+}
+
+}  // namespace
+
+SaturationCheck check_basic_classic(const DacSpec& spec, double vod_cs,
+                                    double vod_sw, double fixed_margin) {
+  check_margin(fixed_margin);
+  SaturationCheck c;
+  c.budget = spec.v_out_min;
+  c.vod_sum = vod_cs + vod_sw;
+  c.margin = fixed_margin;
+  return c;
+}
+
+SaturationCheck check_basic_statistical(const tech::MosTechParams& t,
+                                        const DacSpec& spec,
+                                        const CellSizing& cell,
+                                        double sigma_unit, double s_coeff) {
+  const BasicBounds b = basic_cell_bounds(t, spec, cell, sigma_unit);
+  SaturationCheck c;
+  c.budget = spec.v_out_min;
+  c.vod_sum = cell.vod_cs + cell.vod_sw;
+  c.margin = s_coeff * b.sigma_sum();
+  return c;
+}
+
+SaturationCheck check_cascode_classic(const DacSpec& spec, double vod_cs,
+                                      double vod_sw, double vod_cas,
+                                      double fixed_margin) {
+  check_margin(fixed_margin);
+  SaturationCheck c;
+  c.budget = spec.v_out_min;
+  c.vod_sum = vod_cs + vod_sw + vod_cas;
+  c.margin = fixed_margin;
+  return c;
+}
+
+SaturationCheck check_cascode_statistical(const tech::MosTechParams& t,
+                                          const DacSpec& spec,
+                                          const CellSizing& cell,
+                                          double sigma_unit, double s_coeff,
+                                          SigmaAggregation agg) {
+  const CascodeBounds b = cascode_cell_bounds(t, spec, cell, sigma_unit);
+  SaturationCheck c;
+  c.budget = spec.v_out_min;
+  c.vod_sum = cell.vod_cs + cell.vod_sw + cell.vod_cas;
+  // Three saturation margins stack through the two gate windows; the paper
+  // bounds them by three times the worst bound sigma (eq. 11).
+  c.margin = agg == SigmaAggregation::kMax
+                 ? 3.0 * s_coeff * b.sigma_max()
+                 : std::sqrt(3.0) * s_coeff * b.sigma_rss();
+  return c;
+}
+
+}  // namespace csdac::core

@@ -1,0 +1,52 @@
+// The saturation constraints that bound the design space — the paper's
+// central contribution. Three policies:
+//   kNone        : the deterministic limit, eq. (4)  (VOD sum <= V_o)
+//   kFixedMargin : prior art [9,11], eq. (4) with an arbitrary V_safe
+//   kStatistical : the paper's eqs. (9)/(11), margin = S * (bound sigmas)
+#pragma once
+
+#include "core/cell.hpp"
+#include "core/gate_bounds.hpp"
+#include "core/spec.hpp"
+
+namespace csdac::core {
+
+enum class MarginPolicy { kNone, kFixedMargin, kStatistical };
+
+/// How the four cascode-cell bound sigmas are aggregated in eq. (11).
+enum class SigmaAggregation {
+  kMax,  ///< the paper: 3 * S * max(sigma_i)
+  kRss   ///< ablation: sqrt(3) * S * rss(sigma_i) equivalent margin
+};
+
+/// Result of evaluating a saturation condition at a design point.
+struct SaturationCheck {
+  double budget = 0.0;   ///< V_o (spec.v_out_min)
+  double vod_sum = 0.0;  ///< sum of design overdrives
+  double margin = 0.0;   ///< subtracted safety margin [V]
+  double slack() const { return budget - margin - vod_sum; }
+  bool feasible() const { return slack() >= -1e-12; }
+};
+
+/// eq. (4) family for the basic cell (margin = 0 or V_safe).
+SaturationCheck check_basic_classic(const DacSpec& spec, double vod_cs,
+                                    double vod_sw, double fixed_margin);
+
+/// eq. (9): margin = S * (sigma_U + sigma_L) for the given sized cell.
+SaturationCheck check_basic_statistical(const tech::MosTechParams& t,
+                                        const DacSpec& spec,
+                                        const CellSizing& cell,
+                                        double sigma_unit, double s_coeff);
+
+/// eq. (4)-analog for the cascode cell.
+SaturationCheck check_cascode_classic(const DacSpec& spec, double vod_cs,
+                                      double vod_sw, double vod_cas,
+                                      double fixed_margin);
+
+/// eq. (11): margin = 3 * S * sigma_bound (max or rss aggregation).
+SaturationCheck check_cascode_statistical(
+    const tech::MosTechParams& t, const DacSpec& spec, const CellSizing& cell,
+    double sigma_unit, double s_coeff,
+    SigmaAggregation agg = SigmaAggregation::kMax);
+
+}  // namespace csdac::core

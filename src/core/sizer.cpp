@@ -1,0 +1,192 @@
+#include "core/sizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/fit.hpp"
+
+namespace csdac::core {
+namespace {
+
+/// Small-signal ro of a saturated device carrying i with channel length l:
+/// gds = lambda * i / (1 + lambda*vds) ~ lambda * i.
+double ro_of(const tech::MosTechParams& t, double i, double l) {
+  const double lam = t.lambda(l);
+  return 1.0 / (lam * i);
+}
+
+/// Unit output resistance looking into the top switch drain.
+double unit_rout(const tech::MosTechParams& t, const CellSizing& c) {
+  const double gm_sw = 2.0 * c.i_unit / c.vod_sw;
+  const double ro_sw = ro_of(t, c.i_unit, c.sw.l);
+  const double ro_cs = ro_of(t, c.i_unit, c.cs.l);
+  if (c.topology == CellTopology::kCsSw) {
+    // Cascode formula with the switch as the (only) cascoding device.
+    return ro_sw + (1.0 + gm_sw * ro_sw) * ro_cs;
+  }
+  const double gm_cas = 2.0 * c.i_unit / c.vod_cas;
+  const double ro_cas = ro_of(t, c.i_unit, c.cas.l);
+  const double r_below = ro_cas + (1.0 + gm_cas * ro_cas) * ro_cs;
+  return ro_sw + (1.0 + gm_sw * ro_sw) * r_below;
+}
+
+void check_vod(double v, const char* what) {
+  if (!(v > 0.0) || !(v < 3.0)) {
+    throw std::invalid_argument(std::string("CellSizer: bad overdrive ") +
+                                what);
+  }
+}
+
+}  // namespace
+
+CellSizer::CellSizer(const tech::MosTechParams& t, const DacSpec& spec)
+    : tech_(t), spec_(spec) {
+  spec_.validate();
+  sigma_unit_ = unit_sigma_spec(spec_.nbits, spec_.inl_yield);
+  s_coeff_ = s_coefficient(spec_.inl_yield);
+}
+
+CellSizing CellSizer::build_basic(double vod_cs, double vod_sw) const {
+  check_vod(vod_cs, "vod_cs");
+  check_vod(vod_sw, "vod_sw");
+  CellSizing c;
+  c.topology = CellTopology::kCsSw;
+  c.i_unit = spec_.i_lsb();
+  c.vod_cs = vod_cs;
+  c.vod_sw = vod_sw;
+  c.cs = size_current_source(tech_, c.i_unit, vod_cs, sigma_unit_);
+  // Switches at minimum length for speed (Section 2).
+  c.sw = size_for_current(tech_, c.i_unit, vod_sw, tech_.l_min);
+  c.vg_cs = vg_cs_for(tech_, vod_cs);
+  c.vg_sw = optimal_vg_sw_basic(tech_, spec_.v_out_min, vod_cs, vod_sw);
+  c.slack = spec_.v_out_min - vod_cs - vod_sw;
+  return c;
+}
+
+CellSizing CellSizer::build_cascode(double vod_cs, double vod_sw,
+                                    double vod_cas) const {
+  check_vod(vod_cs, "vod_cs");
+  check_vod(vod_sw, "vod_sw");
+  check_vod(vod_cas, "vod_cas");
+  CellSizing c;
+  c.topology = CellTopology::kCsSwCas;
+  c.i_unit = spec_.i_lsb();
+  c.vod_cs = vod_cs;
+  c.vod_sw = vod_sw;
+  c.vod_cas = vod_cas;
+  c.cs = size_current_source(tech_, c.i_unit, vod_cs, sigma_unit_);
+  c.sw = size_for_current(tech_, c.i_unit, vod_sw, tech_.l_min);
+  // Minimum-width criterion for the cascode (Section 2.2): smallest area
+  // that still delivers the overdrive at minimum length.
+  c.cas = size_for_current(tech_, c.i_unit, vod_cas, tech_.l_min);
+  c.vg_cs = vg_cs_for(tech_, vod_cs);
+  const CascodeBias bias =
+      optimal_vg_cascode(tech_, spec_.v_out_min, vod_cs, vod_cas, vod_sw);
+  c.vg_cas = bias.vg_cas;
+  c.vg_sw = bias.vg_sw;
+  c.slack = spec_.v_out_min - vod_cs - vod_sw - vod_cas;
+  return c;
+}
+
+SizedCell CellSizer::size_basic(double vod_cs, double vod_sw,
+                                MarginPolicy policy,
+                                double fixed_margin) const {
+  SizedCell s;
+  s.cell = build_basic(vod_cs, vod_sw);
+  s.sigma_unit = sigma_unit_;
+  s.basic_bounds = basic_cell_bounds(tech_, spec_, s.cell, sigma_unit_);
+  switch (policy) {
+    case MarginPolicy::kNone:
+      s.sat = check_basic_classic(spec_, vod_cs, vod_sw, 0.0);
+      break;
+    case MarginPolicy::kFixedMargin:
+      s.sat = check_basic_classic(spec_, vod_cs, vod_sw, fixed_margin);
+      break;
+    case MarginPolicy::kStatistical:
+      s.sat = check_basic_statistical(tech_, spec_, s.cell, sigma_unit_,
+                                      s_coeff_);
+      break;
+  }
+  // Settling is dominated by the unary cells (weight 2^b) that switch at
+  // the thermometer transitions.
+  s.poles = estimate_poles(tech_, spec_, s.cell, spec_.unary_weight());
+  s.rout_unit = unit_rout(tech_, s.cell);
+  return s;
+}
+
+SizedCell CellSizer::size_cascode(double vod_cs, double vod_sw, double vod_cas,
+                                  MarginPolicy policy, double fixed_margin,
+                                  SigmaAggregation agg) const {
+  SizedCell s;
+  s.cell = build_cascode(vod_cs, vod_sw, vod_cas);
+  s.sigma_unit = sigma_unit_;
+  s.cascode_bounds = cascode_cell_bounds(tech_, spec_, s.cell, sigma_unit_);
+  switch (policy) {
+    case MarginPolicy::kNone:
+      s.sat = check_cascode_classic(spec_, vod_cs, vod_sw, vod_cas, 0.0);
+      break;
+    case MarginPolicy::kFixedMargin:
+      s.sat =
+          check_cascode_classic(spec_, vod_cs, vod_sw, vod_cas, fixed_margin);
+      break;
+    case MarginPolicy::kStatistical:
+      s.sat = check_cascode_statistical(tech_, spec_, s.cell, sigma_unit_,
+                                        s_coeff_, agg);
+      break;
+  }
+  s.poles = estimate_poles(tech_, spec_, s.cell, spec_.unary_weight());
+  s.rout_unit = unit_rout(tech_, s.cell);
+  return s;
+}
+
+std::optional<double> CellSizer::max_vod_sw_basic(double vod_cs,
+                                                  MarginPolicy policy,
+                                                  double fixed_margin) const {
+  const double budget = spec_.v_out_min;
+  constexpr double kVodMin = 1e-3;
+  if (policy != MarginPolicy::kStatistical) {
+    const double margin =
+        policy == MarginPolicy::kFixedMargin ? fixed_margin : 0.0;
+    const double v = budget - margin - vod_cs;
+    if (v <= kVodMin) return std::nullopt;
+    return v;
+  }
+  // Statistical boundary: vod_sw such that
+  //   vod_cs + vod_sw + S*(sigma_U(vod_sw) + sigma_L(vod_sw)) = budget.
+  auto slack = [&](double vod_sw) {
+    const SizedCell s =
+        size_basic(vod_cs, vod_sw, MarginPolicy::kStatistical);
+    return s.sat.slack();
+  };
+  const double hi = budget - vod_cs - kVodMin;
+  if (hi <= kVodMin || slack(kVodMin) < 0.0) return std::nullopt;
+  if (slack(hi) >= 0.0) return hi;  // margin never binds (unlikely)
+  return mathx::bisect([&](double v) { return slack(v); }, kVodMin, hi, 1e-9);
+}
+
+std::optional<double> CellSizer::max_vod_cs_cascode(double vod_sw,
+                                                    double vod_cas,
+                                                    MarginPolicy policy,
+                                                    double fixed_margin,
+                                                    SigmaAggregation agg) const {
+  const double budget = spec_.v_out_min;
+  constexpr double kVodMin = 1e-3;
+  if (policy != MarginPolicy::kStatistical) {
+    const double margin =
+        policy == MarginPolicy::kFixedMargin ? fixed_margin : 0.0;
+    const double v = budget - margin - vod_sw - vod_cas;
+    if (v <= kVodMin) return std::nullopt;
+    return v;
+  }
+  auto slack = [&](double vod_cs) {
+    const SizedCell s = size_cascode(vod_cs, vod_sw, vod_cas,
+                                     MarginPolicy::kStatistical, 0.0, agg);
+    return s.sat.slack();
+  };
+  const double hi = budget - vod_sw - vod_cas - kVodMin;
+  if (hi <= kVodMin || slack(kVodMin) < 0.0) return std::nullopt;
+  if (slack(hi) >= 0.0) return hi;
+  return mathx::bisect([&](double v) { return slack(v); }, kVodMin, hi, 1e-9);
+}
+
+}  // namespace csdac::core

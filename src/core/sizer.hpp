@@ -1,0 +1,80 @@
+// The sizing engine of Section 2: given a candidate overdrive point it
+// produces the complete cell (device sizes, bias voltages, bound statistics,
+// saturation check, pole estimate, output impedance). The design-space
+// explorer sweeps it; the benches plot it.
+#pragma once
+
+#include <optional>
+
+#include "core/accuracy.hpp"
+#include "core/cell.hpp"
+#include "core/gate_bounds.hpp"
+#include "core/poles.hpp"
+#include "core/saturation.hpp"
+#include "core/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+
+/// Everything known about a sized design point.
+struct SizedCell {
+  CellSizing cell;
+  SaturationCheck sat;
+  PoleEstimate poles;
+  double sigma_unit = 0.0;  ///< eq. (1) design value used
+  double rout_unit = 0.0;   ///< small-signal unit output resistance [Ohm]
+  /// Bound statistics; basic cells leave the cascode entries zeroed.
+  BasicBounds basic_bounds;
+  CascodeBounds cascode_bounds;
+
+  bool feasible() const { return sat.feasible(); }
+};
+
+class CellSizer {
+ public:
+  CellSizer(const tech::MosTechParams& t, const DacSpec& spec);
+
+  const DacSpec& spec() const { return spec_; }
+  const tech::MosTechParams& tech_params() const { return tech_; }
+  /// eq. (1): relative unit-current sigma the CS area is designed for.
+  double sigma_unit() const { return sigma_unit_; }
+  /// eq. (9)/(11) one-sided yield coefficient S.
+  double s_coeff() const { return s_coeff_; }
+
+  /// Sizes the basic (CS+SW) cell at a design point and evaluates the given
+  /// saturation policy.
+  SizedCell size_basic(double vod_cs, double vod_sw,
+                       MarginPolicy policy = MarginPolicy::kStatistical,
+                       double fixed_margin = 0.5) const;
+
+  /// Sizes the cascode cell at a design point.
+  SizedCell size_cascode(double vod_cs, double vod_sw, double vod_cas,
+                         MarginPolicy policy = MarginPolicy::kStatistical,
+                         double fixed_margin = 0.5,
+                         SigmaAggregation agg = SigmaAggregation::kMax) const;
+
+  /// Saturation boundary of Fig. 3 (upper): the largest feasible VOD_sw at a
+  /// given VOD_cs under the policy. Returns nullopt when no positive VOD_sw
+  /// is feasible. For kStatistical the margin depends on the sizes, so the
+  /// boundary is solved self-consistently.
+  std::optional<double> max_vod_sw_basic(double vod_cs, MarginPolicy policy,
+                                         double fixed_margin = 0.5) const;
+
+  /// Design-space surface of Fig. 4: the largest feasible VOD_cs at a given
+  /// (VOD_sw, VOD_cas) pair under the policy.
+  std::optional<double> max_vod_cs_cascode(
+      double vod_sw, double vod_cas, MarginPolicy policy,
+      double fixed_margin = 0.5,
+      SigmaAggregation agg = SigmaAggregation::kMax) const;
+
+ private:
+  CellSizing build_basic(double vod_cs, double vod_sw) const;
+  CellSizing build_cascode(double vod_cs, double vod_sw, double vod_cas) const;
+
+  tech::MosTechParams tech_;
+  DacSpec spec_;
+  double sigma_unit_ = 0.0;
+  double s_coeff_ = 0.0;
+};
+
+}  // namespace csdac::core

@@ -1,0 +1,60 @@
+// Converter-level specification of the segmented current-steering DAC under
+// design. Defaults reproduce the paper's Section 3 design case: 12 bit,
+// b = 4 binary + m = 8 thermometer, 0.35 um CMOS, VDD = 3.3 V, V_o = 1 V,
+// R_L = 50 Ohm, C_int = 100 fF, C_L = 2 pF, 99.7 % INL yield.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csdac::core {
+
+struct DacSpec {
+  int nbits = 12;        ///< total resolution n
+  int binary_bits = 4;   ///< b least-significant binary-weighted bits
+  double vdd = 3.3;      ///< supply [V]
+  /// Full-scale output swing I_FS * R_L [V]. The output node moves in
+  /// [v_out_min, v_out_min + v_swing] (NMOS cell sinking through R_L tied
+  /// to a termination rail at v_out_min + v_swing).
+  double v_swing = 1.0;
+  /// The paper's V_o: the MINIMUM voltage at the output node, i.e. the
+  /// headroom budget the stacked overdrives must fit into (eq. 4):
+  ///   VOD_cs + VOD_sw (+ VOD_cas) <= v_out_min.
+  double v_out_min = 1.0;
+  double r_load = 50.0;      ///< load resistance R_L [Ohm]
+  double c_load = 2e-12;     ///< output load capacitance C_L [F]
+  double c_int = 100e-15;    ///< latch/switch-to-CS-array wiring cap [F]
+  double inl_yield = 0.997;  ///< target parametric yield for INL < 0.5 LSB
+  double r_load_tol = 0.01;  ///< relative sigma of R_L (process tolerance)
+
+  int unary_bits() const { return nbits - binary_bits; }
+  /// Number of unary (thermometer) current sources: 2^m - 1.
+  int num_unary() const { return (1 << unary_bits()) - 1; }
+  /// Unit weight of a unary source in LSBs: 2^b.
+  int unary_weight() const { return 1 << binary_bits; }
+  /// Total number of LSB units: 2^n - 1.
+  int total_units() const { return (1 << nbits) - 1; }
+  /// Full-scale current I_FS = V_o / R_L [A].
+  double i_fs() const { return v_swing / r_load; }
+  /// LSB unit current [A].
+  double i_lsb() const { return i_fs() / total_units(); }
+
+  void validate() const {
+    if (nbits < 2 || nbits > 20) throw std::invalid_argument("bad nbits");
+    if (binary_bits < 0 || binary_bits >= nbits) {
+      throw std::invalid_argument("bad binary_bits");
+    }
+    if (!(vdd > 0) || !(v_swing > 0) || !(v_swing < vdd) ||
+        !(v_out_min > 0) || !(v_out_min + v_swing <= vdd)) {
+      throw std::invalid_argument("bad voltage spec");
+    }
+    if (!(r_load > 0) || !(c_load >= 0) || !(c_int >= 0)) {
+      throw std::invalid_argument("bad load spec");
+    }
+    if (!(inl_yield > 0) || !(inl_yield < 1)) {
+      throw std::invalid_argument("bad yield");
+    }
+  }
+};
+
+}  // namespace csdac::core

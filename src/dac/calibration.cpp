@@ -1,0 +1,63 @@
+#include "dac/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dac/static_analysis.hpp"
+
+namespace csdac::dac {
+
+SourceErrors calibrate(const core::DacSpec& spec, const SourceErrors& chip,
+                       const CalibrationOptions& opts,
+                       mathx::Xoshiro256& rng) {
+  if (!(opts.range_lsb > 0.0) || opts.bits < 1 || opts.bits > 20 ||
+      !(opts.measure_noise_lsb >= 0.0)) {
+    throw std::invalid_argument("calibrate: bad options");
+  }
+  SourceErrors out = chip;
+  const double nominal = spec.unary_weight();
+  const double half_range = 0.5 * opts.range_lsb;
+  const double step = opts.step_lsb();
+  for (double& w : out.unary) {
+    // Measured error (with measurement noise), trimmed toward zero.
+    const double measured =
+        (w - nominal) +
+        (opts.measure_noise_lsb > 0.0
+             ? mathx::normal(rng, 0.0, opts.measure_noise_lsb)
+             : 0.0);
+    // The cal DAC applies the nearest quantized correction in range.
+    const double trim =
+        -std::clamp(std::round(measured / step) * step, -half_range,
+                    half_range);
+    w += trim;
+  }
+  return out;
+}
+
+CalibratedYield calibrated_inl_yield(const core::DacSpec& spec,
+                                     double sigma_unit,
+                                     const CalibrationOptions& opts,
+                                     int chips, std::uint64_t seed,
+                                     double inl_limit) {
+  if (chips <= 0) throw std::invalid_argument("calibrated_inl_yield: chips");
+  mathx::Xoshiro256 rng(seed);
+  CalibratedYield y;
+  y.chips = chips;
+  int pass_before = 0, pass_after = 0;
+  for (int c = 0; c < chips; ++c) {
+    const SourceErrors raw = draw_source_errors(spec, sigma_unit, rng);
+    const StaticMetrics before =
+        analyze_transfer(SegmentedDac(spec, raw).transfer());
+    if (before.inl_max < inl_limit) ++pass_before;
+    const SourceErrors fixed = calibrate(spec, raw, opts, rng);
+    const StaticMetrics after =
+        analyze_transfer(SegmentedDac(spec, fixed).transfer());
+    if (after.inl_max < inl_limit) ++pass_after;
+  }
+  y.yield_before = static_cast<double>(pass_before) / chips;
+  y.yield_after = static_cast<double>(pass_after) / chips;
+  return y;
+}
+
+}  // namespace csdac::dac

@@ -1,0 +1,89 @@
+#include "dac/dac_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csdac::dac {
+
+SourceErrors draw_source_errors(const core::DacSpec& spec, double sigma_unit,
+                                mathx::Xoshiro256& rng) {
+  if (!(sigma_unit >= 0.0)) {
+    throw std::invalid_argument("draw_source_errors: sigma < 0");
+  }
+  SourceErrors e;
+  const double uw = spec.unary_weight();
+  e.unary.reserve(static_cast<std::size_t>(spec.num_unary()));
+  for (int i = 0; i < spec.num_unary(); ++i) {
+    // Sum of `uw` independent unit draws: sigma scales with sqrt(weight).
+    e.unary.push_back(uw + sigma_unit * std::sqrt(uw) * mathx::normal(rng));
+  }
+  e.binary.reserve(static_cast<std::size_t>(spec.binary_bits));
+  for (int k = 0; k < spec.binary_bits; ++k) {
+    const double w = std::ldexp(1.0, k);
+    e.binary.push_back(w + sigma_unit * std::sqrt(w) * mathx::normal(rng));
+  }
+  return e;
+}
+
+SourceErrors ideal_sources(const core::DacSpec& spec) {
+  SourceErrors e;
+  for (int i = 0; i < spec.num_unary(); ++i) {
+    e.unary.push_back(spec.unary_weight());
+  }
+  for (int k = 0; k < spec.binary_bits; ++k) {
+    e.binary.push_back(std::ldexp(1.0, k));
+  }
+  return e;
+}
+
+SegmentedDac::SegmentedDac(const core::DacSpec& spec, SourceErrors errors)
+    : spec_(spec), errors_(std::move(errors)) {
+  spec_.validate();
+  if (errors_.unary.size() != static_cast<std::size_t>(spec_.num_unary()) ||
+      errors_.binary.size() !=
+          static_cast<std::size_t>(spec_.binary_bits)) {
+    throw std::invalid_argument("SegmentedDac: error vector size mismatch");
+  }
+  unary_prefix_.assign(errors_.unary.size() + 1, 0.0);
+  for (std::size_t i = 0; i < errors_.unary.size(); ++i) {
+    unary_prefix_[i + 1] = unary_prefix_[i] + errors_.unary[i];
+  }
+}
+
+int SegmentedDac::unary_count(int code) const {
+  return code >> spec_.binary_bits;
+}
+
+int SegmentedDac::binary_field(int code) const {
+  return code & ((1 << spec_.binary_bits) - 1);
+}
+
+double SegmentedDac::level(int code) const {
+  if (code < 0 || code >= (1 << spec_.nbits)) {
+    throw std::out_of_range("SegmentedDac::level: code out of range");
+  }
+  double lvl = unary_prefix_[static_cast<std::size_t>(unary_count(code))];
+  int bits = binary_field(code);
+  for (int k = 0; bits != 0; ++k, bits >>= 1) {
+    if (bits & 1) lvl += errors_.binary[static_cast<std::size_t>(k)];
+  }
+  return lvl;
+}
+
+std::vector<double> SegmentedDac::transfer() const {
+  const int n_codes = 1 << spec_.nbits;
+  std::vector<double> out(static_cast<std::size_t>(n_codes));
+  for (int c = 0; c < n_codes; ++c) {
+    out[static_cast<std::size_t>(c)] = level(c);
+  }
+  return out;
+}
+
+double SegmentedDac::unary_partial_sum(int k) const {
+  if (k < 0 || k > spec_.num_unary()) {
+    throw std::out_of_range("unary_partial_sum: bad k");
+  }
+  return unary_prefix_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace csdac::dac

@@ -1,0 +1,240 @@
+#include "dac/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csdac::dac {
+
+void DynamicParams::validate() const {
+  if (!(fs > 0.0) || oversample < 2 || !(tau > 0.0) || !(rout_unit > 0.0) ||
+      !(binary_skew >= 0.0) || !(jitter_sigma >= 0.0)) {
+    throw std::invalid_argument("DynamicParams: bad values");
+  }
+  if (binary_skew >= 1.0 / fs) {
+    throw std::invalid_argument("DynamicParams: skew exceeds the period");
+  }
+}
+
+DynamicSimulator::DynamicSimulator(SegmentedDac dac, DynamicParams params)
+    : dac_(std::move(dac)), params_(params) {
+  params_.validate();
+}
+
+double DynamicSimulator::v_of_level(double level_lsb) const {
+  const auto& spec = dac_.spec();
+  const double i = level_lsb * spec.i_lsb();
+  const double droop = 1.0 + level_lsb * spec.r_load / params_.rout_unit;
+  return i * spec.r_load / droop;
+}
+
+double DynamicSimulator::v_lsb() const {
+  const double mid = std::ldexp(1.0, dac_.spec().nbits - 1);
+  return v_of_level(mid + 0.5) - v_of_level(mid - 0.5);
+}
+
+namespace {
+
+/// Piecewise-exponential integrator: a sequence of (event_time, new_target)
+/// pairs plus instantaneous kicks, sampled on a uniform grid.
+struct Relaxer {
+  double v;
+  double tau;
+
+  /// Advances the state toward `target` for `dt` seconds.
+  void advance(double target, double dt) {
+    v = target + (v - target) * std::exp(-dt / tau);
+  }
+};
+
+}  // namespace
+
+std::vector<double> DynamicSimulator::waveform(const std::vector<int>& codes,
+                                               mathx::Xoshiro256* rng) const {
+  return waveform_impl(codes, rng, /*differential=*/false);
+}
+
+std::vector<double> DynamicSimulator::waveform_differential(
+    const std::vector<int>& codes, mathx::Xoshiro256* rng) const {
+  return waveform_impl(codes, rng, /*differential=*/true);
+}
+
+std::vector<double> DynamicSimulator::waveform_impl(
+    const std::vector<int>& codes, mathx::Xoshiro256* rng,
+    bool differential) const {
+  if (codes.empty()) return {};
+  if (params_.jitter_sigma > 0.0 && rng == nullptr) {
+    throw std::invalid_argument("waveform: jitter requires an RNG");
+  }
+  const auto& spec = dac_.spec();
+  const double ts = 1.0 / params_.fs;
+  const double dt = ts / params_.oversample;
+  const double vlsb = v_lsb();
+  // Total level across both rails: every source is always steered to one
+  // of them.
+  const double total = dac_.level((1 << spec.nbits) - 1);
+
+  std::vector<double> out;
+  out.reserve(codes.size() * static_cast<std::size_t>(params_.oversample));
+
+  const double lvl0 = dac_.level(codes.front());
+  Relaxer p_state{v_of_level(lvl0), params_.tau};
+  Relaxer n_state{v_of_level(total - lvl0), params_.tau};
+  int prev_code = codes.front();
+  double target_p = p_state.v;
+  double target_n = n_state.v;
+
+  for (std::size_t k = 0; k < codes.size(); ++k) {
+    const int code = codes[k];
+    // Edge timing within this period (shared by both rails).
+    double t_edge = 0.0;
+    if (params_.jitter_sigma > 0.0) {
+      t_edge = std::clamp(mathx::normal(*rng, 0.0, params_.jitter_sigma),
+                          -0.4 * ts, 0.4 * ts);
+    }
+    const double t_therm = std::max(t_edge, 0.0);
+    const double t_bin = t_therm + params_.binary_skew;
+
+    // Intermediate level while only the thermometer part has switched.
+    const int inter_code = (code & ~((1 << spec.binary_bits) - 1)) |
+                           (prev_code & ((1 << spec.binary_bits) - 1));
+    const double lvl_inter = dac_.level(inter_code);
+    const double lvl_final = dac_.level(code);
+    const double vp_inter = v_of_level(lvl_inter);
+    const double vp_final = v_of_level(lvl_final);
+    const double vn_inter = v_of_level(total - lvl_inter);
+    const double vn_final = v_of_level(total - lvl_final);
+
+    // Feedthrough kick: common mode on both rails (clock coupling through
+    // the switch overlap caps hits out_p and out_n alike).
+    const int toggled =
+        std::abs(dac_.unary_count(code) - dac_.unary_count(prev_code));
+    auto apply_kick = [&] {
+      if (params_.feedthrough_lsb > 0.0) {
+        const double kick = params_.feedthrough_lsb * vlsb * toggled;
+        p_state.v += kick;
+        n_state.v += kick;
+      }
+    };
+
+    bool therm_done = (k == 0);
+    bool bin_done = (k == 0);
+    if (!therm_done && t_therm <= 0.0) {
+      target_p = vp_inter;
+      target_n = vn_inter;
+      apply_kick();
+      therm_done = true;
+      if (t_bin <= 0.0) {
+        target_p = vp_final;
+        target_n = vn_final;
+        bin_done = true;
+      }
+    }
+    for (int j = 0; j < params_.oversample; ++j) {
+      const double t0 = j * dt;
+      const double t1 = t0 + dt;
+      double t = t0;
+      if (!therm_done && t_therm <= t1) {
+        p_state.advance(target_p, t_therm - t);
+        n_state.advance(target_n, t_therm - t);
+        t = t_therm;
+        target_p = vp_inter;
+        target_n = vn_inter;
+        apply_kick();
+        therm_done = true;
+      }
+      if (therm_done && !bin_done && t_bin <= t1) {
+        const double step_dt = std::max(t_bin - t, 0.0);
+        p_state.advance(target_p, step_dt);
+        n_state.advance(target_n, step_dt);
+        t = std::max(t, t_bin);
+        target_p = vp_final;
+        target_n = vn_final;
+        bin_done = true;
+      }
+      p_state.advance(target_p, t1 - t);
+      n_state.advance(target_n, t1 - t);
+      out.push_back(differential ? p_state.v - n_state.v : p_state.v);
+    }
+    target_p = vp_final;
+    target_n = vn_final;
+    prev_code = code;
+  }
+  return out;
+}
+
+std::vector<double> DynamicSimulator::ideal_waveform(
+    const std::vector<int>& codes) const {
+  const auto& spec = dac_.spec();
+  std::vector<double> out;
+  out.reserve(codes.size() * static_cast<std::size_t>(params_.oversample));
+  for (int code : codes) {
+    const double v = code * spec.i_lsb() * spec.r_load;
+    for (int j = 0; j < params_.oversample; ++j) out.push_back(v);
+  }
+  return out;
+}
+
+double DynamicSimulator::glitch_energy(int code_from, int code_to) const {
+  const std::vector<int> codes = {code_from, code_from, code_to, code_to};
+  const auto v = waveform(codes);
+  // Reference: the same transition with pure single-pole settling (no skew,
+  // no feedthrough, no droop difference).
+  DynamicParams clean = params_;
+  clean.binary_skew = 0.0;
+  clean.feedthrough_lsb = 0.0;
+  DynamicSimulator ref(dac_, clean);
+  const auto vr = ref.waveform(codes);
+  const double dt = 1.0 / (params_.fs * params_.oversample);
+  double energy = 0.0;
+  // Integrate over the two periods containing and following the step.
+  const std::size_t start = 2 * static_cast<std::size_t>(params_.oversample);
+  for (std::size_t i = start; i < v.size(); ++i) {
+    energy += std::abs(v[i] - vr[i]) * dt;
+  }
+  return energy;
+}
+
+std::vector<int> sine_codes(const core::DacSpec& spec, int n_samples,
+                            int cycles, int margin) {
+  if (n_samples < 2 || cycles < 1 || cycles >= n_samples || margin < 0) {
+    throw std::invalid_argument("sine_codes: bad arguments");
+  }
+  const int full = (1 << spec.nbits) - 1;
+  const double mid = 0.5 * full;
+  const double amp = mid - margin;
+  std::vector<int> codes(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) {
+    const double ph = 2.0 * std::numbers::pi * cycles * i /
+                      static_cast<double>(n_samples);
+    const double v = mid + amp * std::sin(ph);
+    codes[static_cast<std::size_t>(i)] =
+        std::clamp(static_cast<int>(std::lround(v)), 0, full);
+  }
+  return codes;
+}
+
+std::vector<int> two_tone_codes(const core::DacSpec& spec, int n_samples,
+                                int cycles1, int cycles2, int margin) {
+  if (n_samples < 2 || cycles1 < 1 || cycles2 < 1 || cycles1 == cycles2 ||
+      cycles1 >= n_samples || cycles2 >= n_samples || margin < 0) {
+    throw std::invalid_argument("two_tone_codes: bad arguments");
+  }
+  const int full = (1 << spec.nbits) - 1;
+  const double mid = 0.5 * full;
+  const double amp = 0.5 * (mid - margin);  // each tone just under half scale
+  std::vector<int> codes(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) {
+    const double ph1 = 2.0 * std::numbers::pi * cycles1 * i /
+                       static_cast<double>(n_samples);
+    const double ph2 = 2.0 * std::numbers::pi * cycles2 * i /
+                       static_cast<double>(n_samples);
+    const double v = mid + amp * (std::sin(ph1) + std::sin(ph2));
+    codes[static_cast<std::size_t>(i)] =
+        std::clamp(static_cast<int>(std::lround(v)), 0, full);
+  }
+  return codes;
+}
+
+}  // namespace csdac::dac

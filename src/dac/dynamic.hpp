@@ -1,0 +1,89 @@
+// Dynamic behavioral model: turns a code sequence into an output-voltage
+// waveform including the non-idealities the paper's design flow manages —
+// finite settling (the eq. 13 time constant), code-dependent output
+// impedance (the SFDR limiter of [7,8]), binary/thermometer timing skew and
+// switch clock-feedthrough (glitch energy), and clock jitter (ref. [6]).
+#pragma once
+
+#include <vector>
+
+#include "dac/dac_model.hpp"
+#include "mathx/rng.hpp"
+
+namespace csdac::dac {
+
+struct DynamicParams {
+  double fs = 300e6;        ///< sample rate [S/s]
+  int oversample = 16;      ///< waveform points per sample period
+  double tau = 0.25e-9;     ///< dominant settling time constant [s]
+  /// Output resistance of one LSB unit [Ohm]; code-dependent droop comes
+  /// from `level` units being on. Infinity-like values disable the effect.
+  double rout_unit = 1e15;
+  double binary_skew = 0.0;    ///< binary path extra latch delay [s]
+  double jitter_sigma = 0.0;   ///< clock edge jitter sigma [s]
+  /// Clock-feedthrough kick per switching unary source, in LSB of voltage.
+  double feedthrough_lsb = 0.0;
+
+  void validate() const;
+};
+
+/// Synthesizes waveforms for a given chip realization.
+class DynamicSimulator {
+ public:
+  DynamicSimulator(SegmentedDac dac, DynamicParams params);
+
+  const SegmentedDac& dac() const { return dac_; }
+  const DynamicParams& params() const { return params_; }
+
+  /// Static output voltage for a level (in LSB units), including the
+  /// code-dependent output-conductance droop:
+  ///   v = I * R_L / (1 + level * R_L / rout_unit).
+  double v_of_level(double level_lsb) const;
+
+  /// Output voltage of one LSB at mid-scale (for glitch normalization).
+  double v_lsb() const;
+
+  /// Full oversampled waveform for the code sequence. `rng` enables jitter
+  /// (required if jitter_sigma > 0). The waveform starts settled at
+  /// codes.front() and has codes.size() * oversample points.
+  std::vector<double> waveform(const std::vector<int>& codes,
+                               mathx::Xoshiro256* rng = nullptr) const;
+
+  /// Differential waveform v(out_p) - v(out_n): the complementary switch
+  /// steers every OFF source into out_n, so the rails carry `level` and
+  /// `total - level` units. Both rails share the same clock edges (jitter)
+  /// and the same common-mode feedthrough kick, which therefore cancels in
+  /// the difference — the reason the paper evaluates SFDR differentially.
+  std::vector<double> waveform_differential(
+      const std::vector<int>& codes, mathx::Xoshiro256* rng = nullptr) const;
+
+  /// Ideal (instantaneous, droop-free) waveform for comparison.
+  std::vector<double> ideal_waveform(const std::vector<int>& codes) const;
+
+  /// Glitch energy of a single code transition [V*s]: integral of
+  /// |v(t) - v_ideal(t)| over one period after the step, where v_ideal is
+  /// the single-pole settling response without skew or feedthrough.
+  double glitch_energy(int code_from, int code_to) const;
+
+ private:
+  std::vector<double> waveform_impl(const std::vector<int>& codes,
+                                    mathx::Xoshiro256* rng,
+                                    bool differential) const;
+
+  SegmentedDac dac_;
+  DynamicParams params_;
+};
+
+/// Generates a coherently-sampled sine code sequence: `cycles` full periods
+/// in `n_samples` samples (choose them coprime for coherent capture).
+/// Amplitude spans [margin, 2^n - 1 - margin].
+std::vector<int> sine_codes(const core::DacSpec& spec, int n_samples,
+                            int cycles, int margin = 1);
+
+/// Two-tone test signal (for intermodulation measurements): equal-amplitude
+/// tones of `cycles1` and `cycles2` periods per record, each at just under
+/// half scale so the sum stays in range.
+std::vector<int> two_tone_codes(const core::DacSpec& spec, int n_samples,
+                                int cycles1, int cycles2, int margin = 1);
+
+}  // namespace csdac::dac

@@ -1,0 +1,59 @@
+#include "dac/layout_bridge.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dac/static_analysis.hpp"
+
+namespace csdac::dac {
+
+SourceErrors source_errors_from_layout(const core::DacSpec& spec,
+                                       const layout::ArrayGeometry& geo,
+                                       const std::vector<int>& sequence,
+                                       const layout::GradientSpec& gradient,
+                                       double sigma_unit,
+                                       mathx::Xoshiro256& rng,
+                                       bool double_centroid) {
+  if (sequence.size() != static_cast<std::size_t>(spec.num_unary())) {
+    throw std::invalid_argument(
+        "source_errors_from_layout: sequence length != num_unary");
+  }
+  const auto sys =
+      layout::sequence_errors(geo, sequence, gradient, double_centroid);
+  SourceErrors e;
+  const double uw = spec.unary_weight();
+  e.unary.reserve(sys.size());
+  for (double err_sys : sys) {
+    const double rand_part =
+        sigma_unit > 0.0
+            ? sigma_unit * std::sqrt(uw) * mathx::normal(rng) / uw
+            : 0.0;
+    e.unary.push_back(uw * (1.0 + err_sys + rand_part));
+  }
+  // Binary sources in the center columns: x ~ 0, y spread around center;
+  // their systematic error is the gradient value at the array center.
+  const double center_err = gradient.error_at(0.0, 0.0);
+  for (int k = 0; k < spec.binary_bits; ++k) {
+    const double w = std::ldexp(1.0, k);
+    const double rand_part =
+        sigma_unit > 0.0
+            ? sigma_unit * std::sqrt(w) * mathx::normal(rng) / w
+            : 0.0;
+    e.binary.push_back(w * (1.0 + center_err + rand_part));
+  }
+  return e;
+}
+
+double layout_chip_inl(const core::DacSpec& spec,
+                       const layout::ArrayGeometry& geo,
+                       const std::vector<int>& sequence,
+                       const layout::GradientSpec& gradient,
+                       double sigma_unit, mathx::Xoshiro256& rng,
+                       bool double_centroid) {
+  const SegmentedDac chip(
+      spec, source_errors_from_layout(spec, geo, sequence, gradient,
+                                      sigma_unit, rng, double_centroid));
+  return analyze_transfer(chip.transfer()).inl_max;
+}
+
+}  // namespace csdac::dac

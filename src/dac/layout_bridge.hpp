@@ -1,0 +1,39 @@
+// Bridge between the physical design (layout module) and the behavioral
+// converter model: builds a SegmentedDac whose unary sources carry BOTH the
+// systematic gradient error implied by their array position / switching
+// order AND a random Pelgrom draw — the complete static error budget of the
+// fabricated chip (Sections 1 + 4 combined).
+#pragma once
+
+#include "dac/dac_model.hpp"
+#include "layout/gradient.hpp"
+#include "layout/switching.hpp"
+#include "mathx/rng.hpp"
+
+namespace csdac::dac {
+
+/// Builds the per-source error set for a chip placed on `geo` with the
+/// switching order `sequence` under systematic gradient `gradient`, with
+/// random unit mismatch `sigma_unit` (0 disables the random part).
+/// `double_centroid` applies the 16-sub-unit common-centroid split to the
+/// systematic component. The binary sources sit in the dedicated center
+/// columns (Fig. 5), i.e. at x ~ 0; their systematic error uses the array
+/// center value.
+SourceErrors source_errors_from_layout(const core::DacSpec& spec,
+                                       const layout::ArrayGeometry& geo,
+                                       const std::vector<int>& sequence,
+                                       const layout::GradientSpec& gradient,
+                                       double sigma_unit,
+                                       mathx::Xoshiro256& rng,
+                                       bool double_centroid = true);
+
+/// Convenience: max |INL| (best-fit, LSB) of a chip with the given layout
+/// and error budget.
+double layout_chip_inl(const core::DacSpec& spec,
+                       const layout::ArrayGeometry& geo,
+                       const std::vector<int>& sequence,
+                       const layout::GradientSpec& gradient,
+                       double sigma_unit, mathx::Xoshiro256& rng,
+                       bool double_centroid = true);
+
+}  // namespace csdac::dac

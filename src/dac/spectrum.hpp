@@ -1,0 +1,61 @@
+// Spectral metrics of a DAC output record: single-sided spectrum, SFDR,
+// SNDR, THD and ENOB, computed with the library's own DFT (Fig. 8's
+// "spectrum obtained by applying the DFT to 50 periods of the output").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mathx/fft.hpp"
+
+namespace csdac::dac {
+
+struct SpectrumResult {
+  std::vector<double> freq_hz;   ///< bin center frequencies (single-sided)
+  std::vector<double> mag_db;    ///< dB relative to the fundamental (dBc)
+  std::size_t fund_bin = 0;
+  double fund_db_fs = 0.0;       ///< fundamental relative to record max [dB]
+  double sfdr_db = 0.0;          ///< fundamental to worst spur [dBc]
+  double sndr_db = 0.0;          ///< signal to total noise+distortion
+  double thd_db = 0.0;           ///< total harmonic distortion (first 10)
+  double enob = 0.0;             ///< (SNDR - 1.76) / 6.02
+};
+
+struct SpectrumOptions {
+  mathx::Window window = mathx::Window::kRect;
+  /// Bins on each side of the fundamental (and harmonics) treated as part
+  /// of that tone (leakage guard). 0 is right for coherent rect capture.
+  int guard_bins = 0;
+  /// Number of DC bins excluded from the spur/noise search.
+  int dc_bins = 1;
+  /// Harmonic count for THD.
+  int harmonics = 10;
+  /// Upper frequency limit [Hz] for the spur/noise search; 0 = Nyquist.
+  /// Useful on oversampled DAC waveforms, where the zero-order-hold images
+  /// above the converter's own Nyquist are not in-band spurs.
+  double max_freq = 0.0;
+};
+
+/// Analyzes a real record sampled at `fs`. The fundamental is located
+/// automatically (largest non-DC bin) unless `fund_bin_hint` is nonzero.
+SpectrumResult analyze_spectrum(const std::vector<double>& samples, double fs,
+                                const SpectrumOptions& opts = {},
+                                std::size_t fund_bin_hint = 0);
+
+/// Two-tone intermodulation measurement on a coherent record whose tones
+/// sit exactly at `bin1` and `bin2`. IMD3 is the worse of the third-order
+/// products at 2*f1 - f2 and 2*f2 - f1, in dB relative to the (average)
+/// per-tone power; negative numbers are better.
+struct ImdResult {
+  double tone1_power = 0.0;
+  double tone2_power = 0.0;
+  double imd3_db = 0.0;
+  double imd2_db = 0.0;         ///< worse of f2-f1 and f1+f2 (even order)
+  std::size_t imd3_lo_bin = 0;  ///< 2*bin1 - bin2 (folded)
+  std::size_t imd3_hi_bin = 0;  ///< 2*bin2 - bin1 (folded)
+};
+ImdResult analyze_imd(const std::vector<double>& samples, double fs,
+                      std::size_t bin1, std::size_t bin2,
+                      const SpectrumOptions& opts = {});
+
+}  // namespace csdac::dac

@@ -1,0 +1,53 @@
+// Static linearity metrics (INL, DNL) and parametric-yield Monte Carlo —
+// the machinery behind eq. (1)'s design rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "dac/dac_model.hpp"
+
+namespace csdac::dac {
+
+/// Reference line for INL.
+enum class InlReference {
+  kEndpoint,  ///< line through the first and last level
+  kBestFit    ///< least-squares line (what testers usually report)
+};
+
+struct StaticMetrics {
+  std::vector<double> inl;  ///< per-code INL [LSB]
+  std::vector<double> dnl;  ///< per-transition DNL [LSB], size 2^n - 1
+  double inl_max = 0.0;     ///< max |INL| [LSB]
+  double dnl_max = 0.0;     ///< max |DNL| [LSB]
+};
+
+/// Computes INL/DNL of a static transfer function (levels in LSB units).
+StaticMetrics analyze_transfer(const std::vector<double>& levels,
+                               InlReference ref = InlReference::kBestFit);
+
+/// Monte-Carlo INL yield: fraction of chips with max|INL| < inl_limit.
+struct YieldEstimate {
+  int chips = 0;
+  int pass = 0;
+  double yield = 0.0;
+  double ci95 = 0.0;  ///< 95 % binomial confidence half-width
+};
+
+/// Each chip draws from an independent RNG stream derived from
+/// (seed, chip index), so results are bit-identical for any thread count.
+/// threads = 0 uses the hardware concurrency.
+YieldEstimate inl_yield_mc(const core::DacSpec& spec, double sigma_unit,
+                           int chips, std::uint64_t seed,
+                           double inl_limit = 0.5,
+                           InlReference ref = InlReference::kBestFit,
+                           int threads = 1);
+
+/// Monte-Carlo DNL yield at the same limit (checks the paper's remark that
+/// DNL is automatically met when INL is, for reasonable segmentations).
+YieldEstimate dnl_yield_mc(const core::DacSpec& spec, double sigma_unit,
+                           int chips, std::uint64_t seed,
+                           double dnl_limit = 0.5, int threads = 1);
+
+}  // namespace csdac::dac

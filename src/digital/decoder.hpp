@@ -1,0 +1,70 @@
+// Gate-level thermometer decoder (Fig. 1): the m thermometer-decoded MSBs
+// drive 2^m - 1 unary sources through a row/column decoder (after [5]):
+// splitting m into row and column fields, source k = j*2^cb + i turns on iff
+//   (r > j) OR (r == j AND c > i)
+// which is exactly k < input. The build reports gate count (the area model
+// of the architecture explorer) and worst-case arrival time; the companion
+// dummy decoder is the matched buffer chain the paper places in the binary
+// path to equalize delays.
+#pragma once
+
+#include <vector>
+
+#include "digital/gates.hpp"
+
+namespace csdac::digital {
+
+class ThermometerDecoder {
+ public:
+  /// Builds the decoder for m = row_bits + col_bits input bits; every gate
+  /// carries `gate_delay` (arbitrary time units).
+  ThermometerDecoder(int row_bits, int col_bits, double gate_delay = 1.0);
+
+  int input_bits() const { return row_bits_ + col_bits_; }
+  int outputs() const { return (1 << input_bits()) - 1; }
+
+  /// Decodes an input value in [0, 2^m - 1]: out[k] == (k < value).
+  std::vector<bool> decode(int value) const;
+
+  /// Arrival time of output k for the given input value.
+  double output_arrival(int value, int k) const;
+
+  /// Worst-case arrival over all outputs (static bound).
+  double worst_arrival() const;
+  /// Gate count (area proxy; excludes primary inputs).
+  int gate_count() const;
+
+  const GateNetlist& netlist() const { return net_; }
+
+ private:
+  int row_bits_;
+  int col_bits_;
+  GateNetlist net_;
+  std::vector<int> out_nodes_;  ///< netlist node of each unary output
+};
+
+/// The delay-equalizing dummy decoder: a buffer chain in each binary-bit
+/// path whose depth matches the thermometer decoder's worst arrival.
+class DummyDecoder {
+ public:
+  /// Builds chains of `depth` buffers for `bits` binary bits.
+  DummyDecoder(int bits, int depth, double gate_delay = 1.0);
+
+  /// Depth chosen to match a decoder: round(worst_arrival / gate_delay).
+  static DummyDecoder matched(const ThermometerDecoder& dec, int bits,
+                              double gate_delay = 1.0);
+
+  int bits() const { return bits_; }
+  double delay() const;
+  int gate_count() const { return net_.gate_count(); }
+
+  /// Passes the binary field through (identity function, delayed).
+  std::vector<bool> pass(int value) const;
+
+ private:
+  int bits_;
+  GateNetlist net_;
+  std::vector<int> out_nodes_;
+};
+
+}  // namespace csdac::digital

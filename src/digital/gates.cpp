@@ -1,0 +1,116 @@
+#include "digital/gates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csdac::digital {
+
+int GateNetlist::add_input(std::string name) {
+  (void)name;  // names kept for future debug printing; id is the handle
+  gates_.push_back({GateKind::kInput, -1, -1, 0.0});
+  const int id = static_cast<int>(gates_.size()) - 1;
+  inputs_.push_back(id);
+  return id;
+}
+
+int GateNetlist::add_gate(GateKind kind, int a, int b, double delay) {
+  if (kind == GateKind::kInput) {
+    throw std::invalid_argument("add_gate: use add_input for inputs");
+  }
+  const int id = static_cast<int>(gates_.size());
+  const bool needs_a = kind != GateKind::kConst0 && kind != GateKind::kConst1;
+  const bool needs_b = kind == GateKind::kAnd2 || kind == GateKind::kOr2 ||
+                       kind == GateKind::kNand2 || kind == GateKind::kNor2 ||
+                       kind == GateKind::kXor2;
+  if (needs_a && (a < 0 || a >= id)) {
+    throw std::invalid_argument("add_gate: fan-in a out of order");
+  }
+  if (needs_b && (b < 0 || b >= id)) {
+    throw std::invalid_argument("add_gate: fan-in b out of order");
+  }
+  if (!(delay >= 0.0)) throw std::invalid_argument("add_gate: delay < 0");
+  gates_.push_back({kind, a, b, delay});
+  return id;
+}
+
+int GateNetlist::gate_count() const {
+  int n = 0;
+  for (const auto& g : gates_) {
+    if (g.kind != GateKind::kInput && g.kind != GateKind::kConst0 &&
+        g.kind != GateKind::kConst1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+GateNetlist::Evaluation GateNetlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("evaluate: input count mismatch");
+  }
+  Evaluation ev;
+  ev.value.assign(gates_.size(), false);
+  ev.arrival.assign(gates_.size(), 0.0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kInput:
+        ev.value[i] = input_values[next_input++];
+        ev.arrival[i] = 0.0;
+        break;
+      case GateKind::kConst0:
+        ev.value[i] = false;
+        break;
+      case GateKind::kConst1:
+        ev.value[i] = true;
+        break;
+      default: {
+        const bool va = ev.value[static_cast<std::size_t>(g.a)];
+        const double ta = ev.arrival[static_cast<std::size_t>(g.a)];
+        bool vb = false;
+        double tb = 0.0;
+        if (g.b >= 0) {
+          vb = ev.value[static_cast<std::size_t>(g.b)];
+          tb = ev.arrival[static_cast<std::size_t>(g.b)];
+        }
+        bool out = false;
+        switch (g.kind) {
+          case GateKind::kBuf: out = va; break;
+          case GateKind::kNot: out = !va; break;
+          case GateKind::kAnd2: out = va && vb; break;
+          case GateKind::kOr2: out = va || vb; break;
+          case GateKind::kNand2: out = !(va && vb); break;
+          case GateKind::kNor2: out = !(va || vb); break;
+          case GateKind::kXor2: out = va != vb; break;
+          default: break;
+        }
+        ev.value[i] = out;
+        ev.arrival[i] = std::max(ta, tb) + g.delay;
+        break;
+      }
+    }
+  }
+  return ev;
+}
+
+double GateNetlist::arrival_bound(int node) const {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::out_of_range("arrival_bound: bad node");
+  }
+  std::vector<double> t(gates_.size(), 0.0);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind == GateKind::kInput || g.kind == GateKind::kConst0 ||
+        g.kind == GateKind::kConst1) {
+      continue;
+    }
+    double ta = g.a >= 0 ? t[static_cast<std::size_t>(g.a)] : 0.0;
+    double tb = g.b >= 0 ? t[static_cast<std::size_t>(g.b)] : 0.0;
+    t[i] = std::max(ta, tb) + g.delay;
+  }
+  return t[static_cast<std::size_t>(node)];
+}
+
+}  // namespace csdac::digital

@@ -1,0 +1,65 @@
+// Minimal gate-level digital substrate for the converter's decoder logic
+// (Fig. 1): a combinational netlist with per-gate delays, evaluated
+// topologically, reporting both logic values and worst-case arrival times.
+// Used to build the thermometer decoder, the delay-equalizing dummy
+// decoder, and to derive the binary/thermometer path skew that feeds the
+// dynamic glitch model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csdac::digital {
+
+enum class GateKind {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2
+};
+
+/// A combinational netlist. Gates must be added after their fan-ins
+/// (indices are the topological order); evaluation is a single pass.
+class GateNetlist {
+ public:
+  /// Adds a primary input; returns its node id.
+  int add_input(std::string name);
+  /// Adds a gate over one or two fan-ins (b ignored for unary kinds).
+  int add_gate(GateKind kind, int a = -1, int b = -1, double delay = 1.0);
+
+  int num_nodes() const { return static_cast<int>(gates_.size()); }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  /// Number of non-input gates (the area proxy).
+  int gate_count() const;
+
+  struct Evaluation {
+    std::vector<bool> value;     ///< logic value per node
+    std::vector<double> arrival; ///< worst-case arrival time per node
+  };
+
+  /// Evaluates the netlist for the given input values (by input order).
+  /// Inputs arrive at t = 0.
+  Evaluation evaluate(const std::vector<bool>& input_values) const;
+
+  /// Longest combinational path to `node` in delay units (static timing,
+  /// value-independent).
+  double arrival_bound(int node) const;
+
+ private:
+  struct Gate {
+    GateKind kind;
+    int a;
+    int b;
+    double delay;
+  };
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;  ///< node ids of primary inputs
+};
+
+}  // namespace csdac::digital

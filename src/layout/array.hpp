@@ -1,0 +1,57 @@
+// Current-source array geometry (Section 4): a rows x cols grid of unit
+// cells. Positions are exposed both as integer grid coordinates and as
+// normalized coordinates in [-1, 1] (used by the gradient models).
+#pragma once
+
+#include <stdexcept>
+
+namespace csdac::layout {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct ArrayGeometry {
+  int rows = 16;
+  int cols = 16;
+  double pitch_x = 10e-6;  ///< cell pitch [m]
+  double pitch_y = 10e-6;
+
+  int cells() const { return rows * cols; }
+
+  void validate() const {
+    if (rows < 1 || cols < 1 || !(pitch_x > 0) || !(pitch_y > 0)) {
+      throw std::invalid_argument("ArrayGeometry: bad values");
+    }
+  }
+
+  int row_of(int idx) const { return idx / cols; }
+  int col_of(int idx) const { return idx % cols; }
+  int index_of(int row, int col) const { return row * cols + col; }
+
+  /// Cell center in normalized coordinates ([-1, 1] at the array edge).
+  Point normalized(int idx) const {
+    if (idx < 0 || idx >= cells()) {
+      throw std::out_of_range("ArrayGeometry::normalized: bad index");
+    }
+    Point p;
+    p.x = cols > 1
+              ? 2.0 * col_of(idx) / static_cast<double>(cols - 1) - 1.0
+              : 0.0;
+    p.y = rows > 1
+              ? 2.0 * row_of(idx) / static_cast<double>(rows - 1) - 1.0
+              : 0.0;
+    return p;
+  }
+
+  /// Cell origin in physical coordinates [m].
+  Point physical(int idx) const {
+    if (idx < 0 || idx >= cells()) {
+      throw std::out_of_range("ArrayGeometry::physical: bad index");
+    }
+    return {col_of(idx) * pitch_x, row_of(idx) * pitch_y};
+  }
+};
+
+}  // namespace csdac::layout

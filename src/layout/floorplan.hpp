@@ -1,0 +1,50 @@
+// Full-converter floorplan generation (Fig. 5): decoder block on top, the
+// latch & switch array below it (binary latches in the middle columns), and
+// the current-source array at the bottom with the binary sources in four
+// dedicated center columns. The unary placement follows a switching
+// sequence; everything is emitted as LEF macros + a DEF netlist, the same
+// artefacts the paper feeds to commercial P&R (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "layout/array.hpp"
+#include "layout/lefdef.hpp"
+#include "layout/switching.hpp"
+
+namespace csdac::layout {
+
+struct FloorplanOptions {
+  double cs_cell_w_um = 12.0;     ///< current-source cell width [um]
+  double cs_cell_h_um = 12.0;
+  double latch_cell_w_um = 12.0;  ///< latch & switch cell width [um]
+  double latch_cell_h_um = 8.0;
+  double decoder_h_um = 60.0;     ///< decoder block height [um]
+  double region_gap_um = 10.0;    ///< separation between the regions
+  int dbu_per_micron = 1000;
+  SwitchingScheme scheme = SwitchingScheme::kHierarchical;
+  std::uint64_t seed = 1;
+};
+
+struct Floorplan {
+  std::vector<LefMacro> macros;
+  DefDesign def;
+  ArrayGeometry cs_array;            ///< geometry of the CS array region
+  std::vector<int> unary_sequence;   ///< switching order used
+  std::vector<int> binary_columns;   ///< center columns holding binary cells
+};
+
+/// Builds the Fig. 5 floorplan for a converter spec. The CS array is the
+/// smallest near-square grid that holds the unary sources plus the four
+/// dedicated binary columns.
+Floorplan build_floorplan(const core::DacSpec& spec,
+                          const FloorplanOptions& opts = {});
+
+/// Serialized artefacts.
+std::string floorplan_lef(const Floorplan& fp);
+std::string floorplan_def(const Floorplan& fp);
+
+}  // namespace csdac::layout

@@ -1,0 +1,26 @@
+#include "layout/gradient.hpp"
+
+namespace csdac::layout {
+
+std::vector<GradientSpec> standard_gradients(double amplitude) {
+  return {
+      GradientSpec{amplitude, 0.0, 0.0},                   // pure x
+      GradientSpec{0.0, amplitude, 0.0},                   // pure y
+      GradientSpec{amplitude * 0.7071, amplitude * 0.7071, 0.0},  // diagonal
+      GradientSpec{0.0, 0.0, amplitude},                   // bowl
+      GradientSpec{amplitude * 0.5, amplitude * 0.3, amplitude * 0.5},
+  };
+}
+
+std::vector<double> gradient_map(const ArrayGeometry& geo,
+                                 const GradientSpec& g) {
+  geo.validate();
+  std::vector<double> out(static_cast<std::size_t>(geo.cells()));
+  for (int i = 0; i < geo.cells(); ++i) {
+    const Point p = geo.normalized(i);
+    out[static_cast<std::size_t>(i)] = g.error_at(p.x, p.y);
+  }
+  return out;
+}
+
+}  // namespace csdac::layout

@@ -1,0 +1,35 @@
+// Deterministic (systematic) process-gradient error models of Section 4:
+// slow first- and second-order variations of the unit current across the
+// die. Amplitudes are relative current errors at the normalized array edge.
+#pragma once
+
+#include <vector>
+
+#include "layout/array.hpp"
+
+namespace csdac::layout {
+
+struct GradientSpec {
+  double lin_x = 0.0;  ///< relative error at x = +1 from the x-gradient
+  double lin_y = 0.0;  ///< relative error at y = +1 from the y-gradient
+  double quad = 0.0;   ///< relative error at the corners from the bowl term
+
+  /// Relative unit-current error at normalized position (x, y):
+  ///   e = lin_x*x + lin_y*y + quad*((x^2 + y^2)/2 - 1/3)
+  /// The quadratic term is centred so its array average is ~0 (a pure
+  /// gain error does not affect linearity).
+  double error_at(double x, double y) const {
+    return lin_x * x + lin_y * y +
+           quad * (0.5 * (x * x + y * y) - 1.0 / 3.0);
+  }
+};
+
+/// A standard benchmark set: pure x, pure y, diagonal, bowl, and mixed,
+/// all with `amplitude` relative error at the edge.
+std::vector<GradientSpec> standard_gradients(double amplitude);
+
+/// Per-cell relative error map for the whole array.
+std::vector<double> gradient_map(const ArrayGeometry& geo,
+                                 const GradientSpec& g);
+
+}  // namespace csdac::layout

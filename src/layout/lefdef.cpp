@@ -1,0 +1,211 @@
+#include "layout/lefdef.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace csdac::layout {
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string write_lef(const std::vector<LefMacro>& macros) {
+  std::ostringstream os;
+  os << "VERSION 5.7 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n";
+  for (const auto& m : macros) {
+    if (m.name.empty() || !(m.width > 0) || !(m.height > 0)) {
+      throw std::invalid_argument("write_lef: bad macro " + m.name);
+    }
+    os << "MACRO " << m.name << "\n";
+    os << "  CLASS CORE ;\n";
+    os << "  ORIGIN 0 0 ;\n";
+    os << "  SIZE " << fmt(m.width) << " BY " << fmt(m.height) << " ;\n";
+    for (const auto& p : m.pins) {
+      os << "  PIN " << p.name << "\n";
+      os << "    DIRECTION " << p.direction << " ;\n";
+      os << "    PORT\n";
+      os << "      LAYER " << p.layer << " ;\n";
+      os << "      RECT " << fmt(p.x0) << " " << fmt(p.y0) << " "
+         << fmt(p.x1) << " " << fmt(p.y1) << " ;\n";
+      os << "    END\n";
+      os << "  END " << p.name << "\n";
+    }
+    os << "END " << m.name << "\n\n";
+  }
+  os << "END LIBRARY\n";
+  return os.str();
+}
+
+std::string write_def(const DefDesign& d) {
+  if (d.name.empty() || d.dbu_per_micron <= 0) {
+    throw std::invalid_argument("write_def: bad design header");
+  }
+  std::ostringstream os;
+  os << "VERSION 5.7 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n";
+  os << "DESIGN " << d.name << " ;\n";
+  os << "UNITS DISTANCE MICRONS " << d.dbu_per_micron << " ;\n";
+  os << "DIEAREA ( " << d.die_x0 << " " << d.die_y0 << " ) ( " << d.die_x1
+     << " " << d.die_y1 << " ) ;\n\n";
+
+  os << "COMPONENTS " << d.components.size() << " ;\n";
+  for (const auto& c : d.components) {
+    os << "  - " << c.name << " " << c.macro << " + PLACED ( " << c.x << " "
+       << c.y << " ) " << c.orient << " ;\n";
+  }
+  os << "END COMPONENTS\n\n";
+
+  os << "NETS " << d.nets.size() << " ;\n";
+  for (const auto& n : d.nets) {
+    os << "  - " << n.name;
+    for (const auto& conn : n.connections) {
+      os << " ( " << conn.component << " " << conn.pin << " )";
+    }
+    os << " ;\n";
+  }
+  os << "END NETS\n\nEND DESIGN\n";
+  return os.str();
+}
+
+namespace {
+
+/// Whitespace tokenizer.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream is(text);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const {
+    if (done()) throw std::invalid_argument("parse_def: unexpected EOF");
+    return tokens_[pos_];
+  }
+  std::string next() {
+    if (done()) throw std::invalid_argument("parse_def: unexpected EOF");
+    return tokens_[pos_++];
+  }
+  void expect(const std::string& tok) {
+    const std::string got = next();
+    if (got != tok) {
+      throw std::invalid_argument("parse_def: expected '" + tok +
+                                  "', got '" + got + "'");
+    }
+  }
+  long long next_int() {
+    const std::string t = next();
+    try {
+      return std::stoll(t);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_def: expected integer, got '" + t +
+                                  "'");
+    }
+  }
+  /// Skips tokens until (and including) the given one.
+  void skip_past(const std::string& tok) {
+    while (next() != tok) {
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DefDesign parse_def(const std::string& text) {
+  TokenStream ts(tokenize(text));
+  DefDesign d;
+  bool saw_design = false;
+  while (!ts.done()) {
+    const std::string tok = ts.next();
+    if (tok == "DESIGN") {
+      d.name = ts.next();
+      ts.expect(";");
+      saw_design = true;
+    } else if (tok == "UNITS") {
+      ts.expect("DISTANCE");
+      ts.expect("MICRONS");
+      d.dbu_per_micron = static_cast<int>(ts.next_int());
+      ts.expect(";");
+    } else if (tok == "DIEAREA") {
+      ts.expect("(");
+      d.die_x0 = ts.next_int();
+      d.die_y0 = ts.next_int();
+      ts.expect(")");
+      ts.expect("(");
+      d.die_x1 = ts.next_int();
+      d.die_y1 = ts.next_int();
+      ts.expect(")");
+      ts.expect(";");
+    } else if (tok == "COMPONENTS") {
+      ts.next_int();  // declared count; trust the actual list
+      ts.expect(";");
+      while (ts.peek() == "-") {
+        ts.next();
+        DefComponent c;
+        c.name = ts.next();
+        c.macro = ts.next();
+        ts.expect("+");
+        const std::string kind = ts.next();  // PLACED or FIXED
+        if (kind != "PLACED" && kind != "FIXED") {
+          throw std::invalid_argument("parse_def: bad placement kind " +
+                                      kind);
+        }
+        ts.expect("(");
+        c.x = ts.next_int();
+        c.y = ts.next_int();
+        ts.expect(")");
+        c.orient = ts.next();
+        ts.expect(";");
+        d.components.push_back(std::move(c));
+      }
+      ts.expect("END");
+      ts.expect("COMPONENTS");
+    } else if (tok == "NETS") {
+      ts.next_int();
+      ts.expect(";");
+      while (ts.peek() == "-") {
+        ts.next();
+        DefNet n;
+        n.name = ts.next();
+        while (ts.peek() == "(") {
+          ts.next();
+          DefConnection conn;
+          conn.component = ts.next();
+          conn.pin = ts.next();
+          ts.expect(")");
+          n.connections.push_back(std::move(conn));
+        }
+        ts.expect(";");
+        d.nets.push_back(std::move(n));
+      }
+      ts.expect("END");
+      ts.expect("NETS");
+    } else if (tok == "END" && !ts.done() && ts.peek() == "DESIGN") {
+      ts.next();
+      break;
+    }
+    // Other statements (VERSION, DIVIDERCHAR, ...) fall through: their
+    // tokens are consumed by the loop as unknown words.
+  }
+  if (!saw_design) {
+    throw std::invalid_argument("parse_def: missing DESIGN statement");
+  }
+  return d;
+}
+
+}  // namespace csdac::layout

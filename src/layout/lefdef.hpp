@@ -1,0 +1,66 @@
+// Minimal LEF/DEF generation (Section 4): the paper drives commercial P&R
+// tools with a generated LEF macro library and a DEF netlist whose
+// COMPONENTS section encodes the optimized switching-scheme placement.
+// This is a pragmatic subset of the Cadence LEF/DEF 5.x syntax [13]: MACRO
+// / SIZE / PIN / RECT on the LEF side; DESIGN / UNITS / DIEAREA /
+// COMPONENTS / NETS on the DEF side, plus a tolerant parser sufficient to
+// round-trip what the writer emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csdac::layout {
+
+struct LefPin {
+  std::string name;
+  std::string direction = "INPUT";  ///< INPUT, OUTPUT, INOUT
+  std::string layer = "METAL1";
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;  ///< pin rectangle [um]
+};
+
+struct LefMacro {
+  std::string name;
+  double width = 0.0;   ///< [um]
+  double height = 0.0;  ///< [um]
+  std::vector<LefPin> pins;
+};
+
+/// Serializes a LEF library (header + macros).
+std::string write_lef(const std::vector<LefMacro>& macros);
+
+struct DefComponent {
+  std::string name;
+  std::string macro;
+  long long x = 0;  ///< placement in DBU
+  long long y = 0;
+  std::string orient = "N";
+};
+
+struct DefConnection {
+  std::string component;  ///< "PIN" refers to a top-level pin
+  std::string pin;
+};
+
+struct DefNet {
+  std::string name;
+  std::vector<DefConnection> connections;
+};
+
+struct DefDesign {
+  std::string name;
+  int dbu_per_micron = 1000;
+  long long die_x0 = 0, die_y0 = 0, die_x1 = 0, die_y1 = 0;
+  std::vector<DefComponent> components;
+  std::vector<DefNet> nets;
+};
+
+/// Serializes a DEF file.
+std::string write_def(const DefDesign& design);
+
+/// Parses the subset emitted by write_def (DESIGN, UNITS, DIEAREA,
+/// COMPONENTS with FIXED/PLACED locations, NETS). Throws
+/// std::invalid_argument on malformed input.
+DefDesign parse_def(const std::string& text);
+
+}  // namespace csdac::layout

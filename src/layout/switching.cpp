@@ -1,0 +1,323 @@
+#include "layout/switching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "mathx/rng.hpp"
+
+namespace csdac::layout {
+namespace {
+
+void check_args(const ArrayGeometry& geo, int n_sources) {
+  geo.validate();
+  if (n_sources < 1 || n_sources > geo.cells()) {
+    throw std::invalid_argument("switching: bad n_sources");
+  }
+}
+
+int bits_for(int n) {
+  int b = 0;
+  while ((1 << b) < n) ++b;
+  return b;
+}
+
+std::vector<int> row_major(const ArrayGeometry&, int n) {
+  std::vector<int> seq(static_cast<std::size_t>(n));
+  std::iota(seq.begin(), seq.end(), 0);
+  return seq;
+}
+
+std::vector<int> boustrophedon(const ArrayGeometry& geo, int n) {
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < geo.rows && static_cast<int>(seq.size()) < n; ++r) {
+    for (int c = 0; c < geo.cols && static_cast<int>(seq.size()) < n; ++c) {
+      const int col = (r % 2 == 0) ? c : geo.cols - 1 - c;
+      seq.push_back(geo.index_of(r, col));
+    }
+  }
+  return seq;
+}
+
+std::vector<int> symmetric(const ArrayGeometry& geo, int n) {
+  // Sort cells by distance from the array center; then emit them in
+  // mirror pairs (cell, point-symmetric partner) so partial sums stay
+  // balanced against linear gradients.
+  std::vector<int> by_dist(static_cast<std::size_t>(geo.cells()));
+  std::iota(by_dist.begin(), by_dist.end(), 0);
+  std::stable_sort(by_dist.begin(), by_dist.end(), [&](int a, int b) {
+    const Point pa = geo.normalized(a);
+    const Point pb = geo.normalized(b);
+    return pa.x * pa.x + pa.y * pa.y < pb.x * pb.x + pb.y * pb.y;
+  });
+  std::vector<bool> used(static_cast<std::size_t>(geo.cells()), false);
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int idx : by_dist) {
+    if (static_cast<int>(seq.size()) >= n) break;
+    if (used[static_cast<std::size_t>(idx)]) continue;
+    used[static_cast<std::size_t>(idx)] = true;
+    seq.push_back(idx);
+    // Point-symmetric partner about the center.
+    const int mirror = geo.index_of(geo.rows - 1 - geo.row_of(idx),
+                                    geo.cols - 1 - geo.col_of(idx));
+    if (!used[static_cast<std::size_t>(mirror)] &&
+        static_cast<int>(seq.size()) < n) {
+      used[static_cast<std::size_t>(mirror)] = true;
+      seq.push_back(mirror);
+    }
+  }
+  return seq;
+}
+
+std::vector<int> hierarchical(const ArrayGeometry& geo, int n) {
+  // 2-D hierarchical spread: the bits of the step counter k are dealt
+  // alternately to the row and column coordinates MSB-first, so the first
+  // four steps land on the four half-grid corners, the next on the quarter
+  // grid, and so on — consecutive thermometer steps always sit far apart,
+  // averaging gradients from the very start (the 2-D analogue of the
+  // van der Corput sequence).
+  const int rb = bits_for(geo.rows);
+  const int cb = bits_for(geo.cols);
+  const int total = rb + cb;
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (unsigned k = 0;
+       static_cast<int>(seq.size()) < n && k < (1u << total); ++k) {
+    unsigned r = 0, c = 0;
+    int ri = 0, ci = 0;
+    for (int i = 0; i < total; ++i) {
+      const unsigned bit = (k >> i) & 1u;
+      if ((i % 2 == 0 && ri < rb) || ci >= cb) {
+        r |= bit << (rb - 1 - ri);
+        ++ri;
+      } else {
+        c |= bit << (cb - 1 - ci);
+        ++ci;
+      }
+    }
+    if (static_cast<int>(r) < geo.rows && static_cast<int>(c) < geo.cols) {
+      seq.push_back(geo.index_of(static_cast<int>(r), static_cast<int>(c)));
+    }
+  }
+  return seq;
+}
+
+std::vector<int> centroid_balanced(const ArrayGeometry& geo, int n,
+                                   std::uint64_t seed) {
+  // Greedy randomized walk: at every step, switch the cell that minimizes
+  // the magnitude of the accumulated position sum (the centroid of the ON
+  // set stays pinned to the array center, bounding the linear-gradient
+  // INL like [12]'s Q2 random walk). Ties within 1% are broken randomly so
+  // different seeds give different but equally-good walks.
+  mathx::Xoshiro256 rng(seed);
+  std::vector<bool> used(static_cast<std::size_t>(geo.cells()), false);
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  double sx = 0.0, sy = 0.0;
+  for (int k = 0; k < n; ++k) {
+    double best = 1e300;
+    std::vector<int> candidates;
+    for (int idx = 0; idx < geo.cells(); ++idx) {
+      if (used[static_cast<std::size_t>(idx)]) continue;
+      const Point p = geo.normalized(idx);
+      const double cost =
+          std::hypot(sx + p.x, sy + p.y);
+      if (cost < best - 1e-2) {
+        best = cost;
+        candidates.assign(1, idx);
+      } else if (cost <= best + 1e-2) {
+        best = std::min(best, cost);
+        candidates.push_back(idx);
+      }
+    }
+    const int pick = candidates[static_cast<std::size_t>(
+        mathx::uniform_index(rng, candidates.size()))];
+    used[static_cast<std::size_t>(pick)] = true;
+    const Point p = geo.normalized(pick);
+    sx += p.x;
+    sy += p.y;
+    seq.push_back(pick);
+  }
+  return seq;
+}
+
+std::vector<int> random_perm(const ArrayGeometry& geo, int n,
+                             std::uint64_t seed) {
+  std::vector<int> all(static_cast<std::size_t>(geo.cells()));
+  std::iota(all.begin(), all.end(), 0);
+  mathx::Xoshiro256 rng(seed);
+  for (std::size_t i = all.size(); i > 1; --i) {
+    const auto j = mathx::uniform_index(rng, i);
+    std::swap(all[i - 1], all[j]);
+  }
+  all.resize(static_cast<std::size_t>(n));
+  return all;
+}
+
+}  // namespace
+
+std::vector<int> make_sequence(SwitchingScheme scheme,
+                               const ArrayGeometry& geo, int n_sources,
+                               std::uint64_t seed) {
+  check_args(geo, n_sources);
+  switch (scheme) {
+    case SwitchingScheme::kRowMajor:
+      return row_major(geo, n_sources);
+    case SwitchingScheme::kBoustrophedon:
+      return boustrophedon(geo, n_sources);
+    case SwitchingScheme::kSymmetric:
+      return symmetric(geo, n_sources);
+    case SwitchingScheme::kHierarchical:
+      return hierarchical(geo, n_sources);
+    case SwitchingScheme::kRandom:
+      return random_perm(geo, n_sources, seed);
+    case SwitchingScheme::kCentroidBalanced:
+      return centroid_balanced(geo, n_sources, seed);
+    case SwitchingScheme::kOptimized: {
+      AnnealOptions opts;
+      opts.seed = seed;
+      return optimize_sequence(geo, n_sources, standard_gradients(0.01),
+                               /*weight_lsb=*/16.0, opts);
+    }
+  }
+  throw std::invalid_argument("make_sequence: unknown scheme");
+}
+
+std::vector<double> sequence_errors(const ArrayGeometry& geo,
+                                    const std::vector<int>& sequence,
+                                    const GradientSpec& gradient,
+                                    bool double_centroid) {
+  std::vector<double> out;
+  out.reserve(sequence.size());
+  for (int idx : sequence) {
+    if (idx < 0 || idx >= geo.cells()) {
+      throw std::out_of_range("sequence_errors: bad cell index");
+    }
+    if (!double_centroid) {
+      const Point p = geo.normalized(idx);
+      out.push_back(gradient.error_at(p.x, p.y));
+    } else {
+      // Four mirrored sub-groups (the 16-sub-unit common centroid): the
+      // source sees the average of the gradient at (x,y), (-x,y), (x,-y),
+      // (-x,-y) -- linear terms cancel exactly.
+      const Point p = geo.normalized(idx);
+      const double e = 0.25 * (gradient.error_at(p.x, p.y) +
+                               gradient.error_at(-p.x, p.y) +
+                               gradient.error_at(p.x, -p.y) +
+                               gradient.error_at(-p.x, -p.y));
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+SystematicLinearity systematic_linearity(
+    const std::vector<double>& rel_errors, double weight_lsb) {
+  if (rel_errors.empty() || !(weight_lsb > 0.0)) {
+    throw std::invalid_argument("systematic_linearity: bad input");
+  }
+  const auto n = rel_errors.size();
+  // Endpoint-corrected running sum: INL_k = sum_{i<=k} e_i - (k+1)/N * sum.
+  double total = 0.0;
+  for (double e : rel_errors) total += e;
+  SystematicLinearity r;
+  r.inl.resize(n);
+  double run = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    run += rel_errors[k];
+    const double inl =
+        weight_lsb *
+        (run - total * static_cast<double>(k + 1) / static_cast<double>(n));
+    r.inl[k] = inl;
+    r.inl_max = std::max(r.inl_max, std::abs(inl));
+    const double dnl = weight_lsb * (rel_errors[k] - total / n);
+    r.dnl_max = std::max(r.dnl_max, std::abs(dnl));
+  }
+  return r;
+}
+
+double sequence_cost(const ArrayGeometry& geo, const std::vector<int>& seq,
+                     const std::vector<GradientSpec>& gradients,
+                     double weight_lsb, bool double_centroid) {
+  double worst = 0.0;
+  for (const auto& g : gradients) {
+    const auto errs = sequence_errors(geo, seq, g, double_centroid);
+    worst = std::max(worst,
+                     systematic_linearity(errs, weight_lsb).inl_max);
+  }
+  return worst;
+}
+
+double worst_linear_inl(const ArrayGeometry& geo, const std::vector<int>& seq,
+                        double amplitude, double weight_lsb) {
+  if (seq.empty() || !(amplitude >= 0.0) || !(weight_lsb > 0.0)) {
+    throw std::invalid_argument("worst_linear_inl: bad input");
+  }
+  const auto n = static_cast<double>(seq.size());
+  // Endpoint-corrected prefix sums of the position vectors.
+  double tx = 0.0, ty = 0.0;
+  for (int idx : seq) {
+    const Point p = geo.normalized(idx);
+    tx += p.x;
+    ty += p.y;
+  }
+  double sx = 0.0, sy = 0.0, worst = 0.0;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    const Point p = geo.normalized(seq[k]);
+    sx += p.x;
+    sy += p.y;
+    const double frac = static_cast<double>(k + 1) / n;
+    const double dx = sx - frac * tx;
+    const double dy = sy - frac * ty;
+    worst = std::max(worst, std::hypot(dx, dy));
+  }
+  return amplitude * weight_lsb * worst;
+}
+
+std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
+                                   const std::vector<GradientSpec>& gradients,
+                                   double weight_lsb,
+                                   const AnnealOptions& opts) {
+  check_args(geo, n_sources);
+  if (gradients.empty() || opts.iterations < 1 ||
+      !(opts.t_start > opts.t_end) || !(opts.t_end > 0.0)) {
+    throw std::invalid_argument("optimize_sequence: bad options");
+  }
+  // Start from the hierarchical order: already decent, anneal refines it.
+  std::vector<int> seq = make_sequence(SwitchingScheme::kHierarchical, geo,
+                                       n_sources);
+  mathx::Xoshiro256 rng(opts.seed);
+  double cost = sequence_cost(geo, seq, gradients, weight_lsb);
+  std::vector<int> best = seq;
+  double best_cost = cost;
+
+  const double alpha =
+      std::pow(opts.t_end / opts.t_start, 1.0 / opts.iterations);
+  double temp = opts.t_start;
+  for (int it = 0; it < opts.iterations; ++it, temp *= alpha) {
+    const auto a = static_cast<std::size_t>(
+        mathx::uniform_index(rng, static_cast<std::uint64_t>(n_sources)));
+    const auto b = static_cast<std::size_t>(
+        mathx::uniform_index(rng, static_cast<std::uint64_t>(n_sources)));
+    if (a == b) continue;
+    std::swap(seq[a], seq[b]);
+    const double new_cost = sequence_cost(geo, seq, gradients, weight_lsb);
+    const double delta = new_cost - cost;
+    if (delta <= 0.0 ||
+        mathx::uniform01(rng) < std::exp(-delta / temp)) {
+      cost = new_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = seq;
+      }
+    } else {
+      std::swap(seq[a], seq[b]);  // reject
+    }
+  }
+  return best;
+}
+
+}  // namespace csdac::layout

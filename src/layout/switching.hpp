@@ -1,0 +1,89 @@
+// Switching-sequence generation and evaluation for the unary current-source
+// array (Section 4, after Cong & Geiger [3] and Van der Plas et al. [12]):
+// the order in which the thermometer code turns sources on determines how
+// systematic gradient errors accumulate into INL. Includes the annealed
+// "optimal 2-D switching scheme" the paper uses, plus the classic
+// heuristics as baselines, and the 4-quadrant double-centroid sub-unit
+// placement that cancels linear gradients within each source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/array.hpp"
+#include "layout/gradient.hpp"
+
+namespace csdac::layout {
+
+enum class SwitchingScheme {
+  kRowMajor,          ///< naive raster order (worst case for gradients)
+  kBoustrophedon,     ///< serpentine raster
+  kSymmetric,         ///< center-out, alternating mirrored pairs
+  kHierarchical,      ///< 2-D bit-reversal spread (van der Corput order)
+  kRandom,            ///< seeded random permutation (random-walk baseline)
+  kCentroidBalanced,  ///< greedy randomized walk keeping the switched-set
+                      ///< centroid at the array center (Q2-random-walk
+                      ///< style, after Van der Plas et al. [12])
+  kOptimized          ///< simulated-annealing optimized (Cong-Geiger style)
+};
+
+/// Produces the cell index switched at each thermometer step:
+/// sequence[k] = array cell of the (k+1)-th unary source. Only the first
+/// `n_sources` cells of the array are used (the rest are dummies/binary).
+/// `seed` feeds kRandom and kOptimized.
+std::vector<int> make_sequence(SwitchingScheme scheme,
+                               const ArrayGeometry& geo, int n_sources,
+                               std::uint64_t seed = 1);
+
+/// Relative current error of each source in SWITCHING order under a
+/// gradient. With `double_centroid` every source is modelled as four
+/// mirrored sub-groups (the paper's 16-sub-unit common-centroid split),
+/// which cancels the linear gradient terms exactly.
+std::vector<double> sequence_errors(const ArrayGeometry& geo,
+                                    const std::vector<int>& sequence,
+                                    const GradientSpec& gradient,
+                                    bool double_centroid = false);
+
+/// Systematic INL/DNL of the unary thermometer ramp built from per-source
+/// relative errors (in switching order). `weight_lsb` converts relative
+/// source error to LSB (16 for the paper's 12-bit, b = 4 design).
+/// INL uses the endpoint reference (gain error removed).
+struct SystematicLinearity {
+  std::vector<double> inl;  ///< INL after each thermometer step [LSB]
+  double inl_max = 0.0;
+  double dnl_max = 0.0;
+};
+SystematicLinearity systematic_linearity(const std::vector<double>& rel_errors,
+                                         double weight_lsb);
+
+/// Worst-case |INL| of a sequence over a set of gradients.
+double sequence_cost(const ArrayGeometry& geo, const std::vector<int>& seq,
+                     const std::vector<GradientSpec>& gradients,
+                     double weight_lsb, bool double_centroid = false);
+
+/// EXACT worst-case |INL| under a linear gradient of edge amplitude
+/// `amplitude` whose ORIENTATION is adversarial (swept over all angles).
+/// For a unit source at normalized position p, a gradient in direction
+/// theta contributes amplitude*(cos(theta)*x + sin(theta)*y); with
+/// endpoint-corrected prefix-sum vectors D_k the worst INL over k and theta
+/// is amplitude * weight_lsb * max_k |D_k|_2 — no angle sweep needed.
+/// This is the rotation-invariant figure of merit a robust switching
+/// scheme minimizes.
+double worst_linear_inl(const ArrayGeometry& geo, const std::vector<int>& seq,
+                        double amplitude, double weight_lsb);
+
+struct AnnealOptions {
+  int iterations = 20000;
+  double t_start = 0.5;   ///< initial temperature [LSB]
+  double t_end = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+/// Simulated-annealing sequence optimization: minimizes the worst-case
+/// |INL| over `gradients` by swapping switching positions.
+std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
+                                   const std::vector<GradientSpec>& gradients,
+                                   double weight_lsb,
+                                   const AnnealOptions& opts = {});
+
+}  // namespace csdac::layout

@@ -1,0 +1,100 @@
+#include "mathx/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/linalg.hpp"
+
+namespace csdac::mathx {
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 matching points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("fit_line: degenerate x");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.slope * x[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+QuadraticFit fit_quadratic(std::span<const double> x,
+                           std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 3) {
+    throw std::invalid_argument("fit_quadratic: need >= 3 matching points");
+  }
+  // Normal equations for [a b c] on basis [x^2 x 1].
+  double s4 = 0, s3 = 0, s2 = 0, s1 = 0, s0 = static_cast<double>(x.size());
+  double t2 = 0, t1 = 0, t0 = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i], xi2 = xi * xi;
+    s4 += xi2 * xi2;
+    s3 += xi2 * xi;
+    s2 += xi2;
+    s1 += xi;
+    t2 += xi2 * y[i];
+    t1 += xi * y[i];
+    t0 += y[i];
+  }
+  MatrixD m(3, 3);
+  m(0, 0) = s4; m(0, 1) = s3; m(0, 2) = s2;
+  m(1, 0) = s3; m(1, 1) = s2; m(1, 2) = s1;
+  m(2, 0) = s2; m(2, 1) = s1; m(2, 2) = s0;
+  const auto sol = LuSolver<double>::solve_once(m, {t2, t1, t0});
+  return QuadraticFit{sol[0], sol[1], sol[2]};
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("bisect: interval does not bracket a root");
+  }
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if (flo * fm < 0.0) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  (void)fhi;
+  return 0.5 * (lo + hi);
+}
+
+double fixed_point(const std::function<double(double)>& g, double x0,
+                   double tol, int max_iter, double relax) {
+  double x = x0;
+  for (int i = 0; i < max_iter; ++i) {
+    const double next = (1.0 - relax) * x + relax * g(x);
+    if (std::abs(next - x) < tol) return next;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace csdac::mathx

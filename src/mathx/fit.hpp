@@ -1,0 +1,47 @@
+// Least-squares fits and scalar root finding used across the library:
+// best-fit-line INL reference, gradient-model identification, and
+// self-consistent solution of the statistical saturation condition.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace csdac::mathx {
+
+/// y ~= slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination R^2 (1 for perfect fit).
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares line through (x[i], y[i]); requires >= 2 points.
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// y ~= a*x^2 + b*x + c.
+struct QuadraticFit {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+/// Least-squares parabola; requires >= 3 points.
+QuadraticFit fit_quadratic(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Bisection root of f on [lo, hi]; f(lo) and f(hi) must bracket a sign
+/// change. Returns the midpoint once |hi-lo| < tol or max_iter is reached.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol = 1e-12, int max_iter = 200);
+
+/// Fixed-point iteration x <- g(x) with relaxation; returns the last iterate.
+/// Converged when |x_{k+1}-x_k| < tol. Used for the self-consistent
+/// statistical margin of eq. (9) (the margin depends on the sizes, which
+/// depend on the margin).
+double fixed_point(const std::function<double(double)>& g, double x0,
+                   double tol = 1e-10, int max_iter = 200,
+                   double relax = 1.0);
+
+}  // namespace csdac::mathx

@@ -1,0 +1,78 @@
+#include "mathx/linalg.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace csdac::mathx {
+namespace {
+
+inline double magnitude(double v) { return std::abs(v); }
+inline double magnitude(const std::complex<double>& v) { return std::abs(v); }
+
+}  // namespace
+
+template <typename T>
+void LuSolver<T>::factorize(const Matrix<T>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuSolver: matrix must be square");
+  }
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = magnitude(lu_(r, k));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw SingularMatrixError(k);
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const T inv_pivot = T(1) / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const T f = lu_(r, k) * inv_pivot;
+      lu_(r, k) = f;
+      if (f == T{}) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= f * lu_(k, c);
+      }
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LuSolver<T>::solve(const std::vector<T>& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("LuSolver::solve: size mismatch");
+  }
+  std::vector<T> x(n_);
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    T sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Backward substitution with U.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    T sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+template class LuSolver<double>;
+template class LuSolver<std::complex<double>>;
+
+}  // namespace csdac::mathx

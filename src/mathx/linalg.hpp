@@ -1,0 +1,87 @@
+// Dense linear algebra used by the MNA circuit solver and the least-squares
+// fitting routines. Sized for circuit matrices (tens to a few hundred
+// unknowns): LU with partial pivoting, no blocking.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace csdac::mathx {
+
+/// Row-major dense matrix over T (double or std::complex<double>).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets every entry to zero; keeps dimensions.
+  void set_zero() { data_.assign(data_.size(), T{}); }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixC = Matrix<std::complex<double>>;
+
+/// Thrown when LU factorization meets a (numerically) singular matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t pivot_row)
+      : std::runtime_error("singular matrix at pivot row " +
+                           std::to_string(pivot_row)),
+        pivot_row_(pivot_row) {}
+  std::size_t pivot_row() const { return pivot_row_; }
+
+ private:
+  std::size_t pivot_row_;
+};
+
+/// In-place LU factorization with partial pivoting.
+/// After factorize(), solve() may be called repeatedly with new RHS vectors.
+template <typename T>
+class LuSolver {
+ public:
+  /// Factorizes a copy of `a` (square). Throws SingularMatrixError.
+  void factorize(const Matrix<T>& a);
+
+  /// Solves A x = b using the stored factors; b.size() == n.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Convenience: factorize + solve in one call.
+  static std::vector<T> solve_once(const Matrix<T>& a,
+                                   const std::vector<T>& b) {
+    LuSolver s;
+    s.factorize(a);
+    return s.solve(b);
+  }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+};
+
+extern template class LuSolver<double>;
+extern template class LuSolver<std::complex<double>>;
+
+}  // namespace csdac::mathx

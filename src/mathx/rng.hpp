@@ -1,0 +1,46 @@
+// Deterministic, platform-independent random number generation for
+// Monte-Carlo mismatch analysis: xoshiro256++ seeded through SplitMix64,
+// with polar-method Gaussian draws (std::normal_distribution is not
+// reproducible across standard library implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace csdac::mathx {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Jump ahead by 2^128 draws: gives independent parallel streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Uniform double in [0, 1) with 53-bit resolution.
+double uniform01(Xoshiro256& rng);
+
+/// Uniform double in [lo, hi).
+double uniform(Xoshiro256& rng, double lo, double hi);
+
+/// Standard normal draw (Marsaglia polar method; stateless wrt. caching so
+/// every call consumes a deterministic number of raw draws).
+double normal(Xoshiro256& rng);
+
+/// Normal draw with given mean and standard deviation.
+double normal(Xoshiro256& rng, double mean, double sigma);
+
+/// Uniform integer in [0, n).
+std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n);
+
+}  // namespace csdac::mathx

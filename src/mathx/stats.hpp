@@ -1,0 +1,63 @@
+// Statistics utilities: normal CDF / inverse CDF (the paper's `inv_norm`),
+// running moments, percentiles and histograms for Monte-Carlo yield analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csdac::mathx {
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (the paper's inv_norm). Acklam's rational
+/// approximation refined with one Halley step; |error| < 1e-13 on (0,1).
+double normal_inv_cdf(double p);
+
+/// Two-sided yield coefficient C of eq. (1): P(|X| < C) = yield for
+/// X ~ N(0,1), i.e. C = inv_norm((1+yield)/2).
+double yield_coefficient_two_sided(double yield);
+
+/// One-sided coefficient S of eq. (9): P(X < S) = yield_v, S = inv_norm(yield_v).
+double yield_coefficient_one_sided(double yield_v);
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; sorts a copy.
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace csdac::mathx

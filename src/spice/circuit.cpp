@@ -1,0 +1,111 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace csdac::spice {
+
+void RealStamper::conductance(int a, int b, double g) {
+  const int ra = node_row(a);
+  const int rb = node_row(b);
+  if (ra >= 0) g_(ra, ra) += g;
+  if (rb >= 0) g_(rb, rb) += g;
+  if (ra >= 0 && rb >= 0) {
+    g_(ra, rb) -= g;
+    g_(rb, ra) -= g;
+  }
+}
+
+void RealStamper::current_leaving(int a, double i) {
+  const int ra = node_row(a);
+  if (ra >= 0) rhs_[static_cast<std::size_t>(ra)] -= i;
+}
+
+void RealStamper::entry(int row_node, int col_node, double val) {
+  const int r = node_row(row_node);
+  const int c = node_row(col_node);
+  if (r >= 0 && c >= 0) g_(r, c) += val;
+}
+
+void RealStamper::entry_raw(int row, int col, double val) {
+  if (row >= 0 && col >= 0) g_(row, col) += val;
+}
+
+void RealStamper::branch_rhs(int branch_row, double val) {
+  rhs_[static_cast<std::size_t>(branch_row)] += val;
+}
+
+void ComplexStamper::admittance(int a, int b, std::complex<double> y) {
+  const int ra = a - 1;
+  const int rb = b - 1;
+  if (ra >= 0) g_(ra, ra) += y;
+  if (rb >= 0) g_(rb, rb) += y;
+  if (ra >= 0 && rb >= 0) {
+    g_(ra, rb) -= y;
+    g_(rb, ra) -= y;
+  }
+}
+
+void ComplexStamper::current_leaving(int a, std::complex<double> i) {
+  const int ra = a - 1;
+  if (ra >= 0) rhs_[static_cast<std::size_t>(ra)] -= i;
+}
+
+void ComplexStamper::entry(int row_node, int col_node,
+                           std::complex<double> val) {
+  const int r = row_node - 1;
+  const int c = col_node - 1;
+  if (r >= 0 && c >= 0) g_(r, c) += val;
+}
+
+void ComplexStamper::entry_raw(int row, int col, std::complex<double> val) {
+  if (row >= 0 && col >= 0) g_(row, col) += val;
+}
+
+void ComplexStamper::branch_rhs(int branch_row, std::complex<double> val) {
+  rhs_[static_cast<std::size_t>(branch_row)] += val;
+}
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_index_["0"] = 0;
+  node_index_["gnd"] = 0;
+}
+
+int Circuit::node(const std::string& name) {
+  auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  const int idx = static_cast<int>(node_names_.size());
+  node_names_.push_back(name);
+  node_index_[name] = idx;
+  return idx;
+}
+
+int Circuit::find_node(const std::string& name) const {
+  auto it = node_index_.find(name);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("Circuit: unknown node '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_index_.count(name) != 0;
+}
+
+void Circuit::register_device(std::unique_ptr<Device> dev) {
+  const int branches = dev->branch_count();
+  if (branches > 0) {
+    dev->set_branch_row(num_branches_);
+    num_branches_ += branches;
+  }
+  devices_.push_back(std::move(dev));
+}
+
+Device* Circuit::find_device(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+}  // namespace csdac::spice

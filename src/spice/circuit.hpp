@@ -1,0 +1,187 @@
+// Circuit representation for the mini-SPICE engine: a flat netlist of
+// devices over named nodes, solved by modified nodal analysis (MNA).
+//
+// Unknown ordering: node voltages for nodes 1..N-1 (node 0 is ground),
+// followed by one branch current per voltage source. Devices stamp a real
+// Jacobian/residual (DC and transient companion models) or a complex
+// small-signal matrix (AC), through the Stamper helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mathx/linalg.hpp"
+
+namespace csdac::spice {
+
+using mathx::MatrixC;
+using mathx::MatrixD;
+
+/// Integration scheme for the transient companion models.
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// What kind of system the device is asked to stamp.
+enum class AnalysisMode { kDc, kTran };
+
+/// Per-iteration context handed to Device::stamp().
+struct EvalContext {
+  AnalysisMode mode = AnalysisMode::kDc;
+  /// Current Newton iterate: node voltages then branch currents.
+  const std::vector<double>* x = nullptr;
+  double time = 0.0;          ///< absolute time at the END of the step [s]
+  double dt = 0.0;            ///< step size [s] (0 in DC)
+  Integrator integ = Integrator::kBackwardEuler;
+  double source_scale = 1.0;  ///< source-stepping homotopy factor in [0,1]
+  double gmin = 1e-12;        ///< shunt conductance for convergence [S]
+
+  /// Voltage of `node` in the current iterate (0 for ground).
+  double v(int node) const {
+    return node == 0 ? 0.0 : (*x)[static_cast<std::size_t>(node - 1)];
+  }
+};
+
+/// Real-valued stamping helper: assembles G*x = rhs.
+/// KCL convention: each node row states "sum of currents leaving = 0";
+/// independent currents leaving a node are moved to the RHS.
+class RealStamper {
+ public:
+  RealStamper(MatrixD& g, std::vector<double>& rhs, int num_nodes)
+      : g_(g), rhs_(rhs), num_nodes_(num_nodes) {}
+
+  /// Two-terminal conductance g between nodes a and b.
+  void conductance(int a, int b, double g);
+  /// Independent current `i` flowing OUT of node a (into b implied elsewhere).
+  void current_leaving(int a, double i);
+  /// Raw matrix entry between unknown rows/cols given as node ids
+  /// (branch unknowns use branch_row()).
+  void entry(int row_node, int col_node, double val);
+  /// RHS contribution for a branch (voltage source) row.
+  void branch_rhs(int branch_row, double val);
+  /// Matrix row/col index of branch k (pass through entry_raw).
+  void entry_raw(int row, int col, double val);
+
+  int node_row(int node) const { return node - 1; }  // -1 for ground
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  MatrixD& g_;
+  std::vector<double>& rhs_;
+  int num_nodes_;
+};
+
+/// Complex-valued stamping helper for AC small-signal analysis.
+class ComplexStamper {
+ public:
+  ComplexStamper(MatrixC& g, std::vector<std::complex<double>>& rhs,
+                 int num_nodes)
+      : g_(g), rhs_(rhs), num_nodes_(num_nodes) {}
+
+  void admittance(int a, int b, std::complex<double> y);
+  void current_leaving(int a, std::complex<double> i);
+  void entry(int row_node, int col_node, std::complex<double> val);
+  void entry_raw(int row, int col, std::complex<double> val);
+  void branch_rhs(int branch_row, std::complex<double> val);
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  MatrixC& g_;
+  std::vector<std::complex<double>>& rhs_;
+  int num_nodes_;
+};
+
+class Circuit;
+
+/// Base class for all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra branch-current unknowns this device needs.
+  virtual int branch_count() const { return 0; }
+  /// Called once by the circuit with the ORDINAL of the first branch this
+  /// device owns. The matrix row is `stamper.num_nodes() - 1 + ordinal`,
+  /// resolved at stamp time because nodes may be added after the device.
+  virtual void set_branch_row(int ordinal) { branch_ordinal_ = ordinal; }
+  int branch_ordinal() const { return branch_ordinal_; }
+  /// Matrix row of this device's k-th branch for a given node count.
+  int branch_matrix_row(int num_nodes, int k = 0) const {
+    return num_nodes - 1 + branch_ordinal_ + k;
+  }
+
+  /// Stamp the real system for the given Newton iterate.
+  virtual void stamp(RealStamper& s, const EvalContext& ctx) const = 0;
+
+  /// Stamp the complex small-signal system at angular frequency `omega`,
+  /// linearized around the most recently accepted DC/transient solution.
+  virtual void stamp_ac(ComplexStamper& s, double omega) const = 0;
+
+  /// Accept the converged solution (store operating point / state).
+  virtual void accept(const EvalContext& ctx) { (void)ctx; }
+
+  /// Begin a new transient: reset integrator state from the DC solution.
+  virtual void tran_reset(const EvalContext& ctx) { (void)ctx; }
+
+  /// Appends this device's equivalent thermal-noise current sources,
+  /// evaluated at the last accepted operating point. Default: noiseless.
+  /// (Declared here, defined with NoiseSource in noise.hpp/.cpp.)
+  virtual void append_noise_sources(std::vector<struct NoiseSource>& out,
+                                    double temperature_k) const {
+    (void)out;
+    (void)temperature_k;
+  }
+
+ private:
+  std::string name_;
+  int branch_ordinal_ = -1;
+};
+
+/// The netlist: node table + device list.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the index of a named node, creating it on first use.
+  /// "0" and "gnd" map to ground (index 0).
+  int node(const std::string& name);
+  /// Node index lookup without creation; throws if unknown.
+  int find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(int idx) const { return node_names_[idx]; }
+
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+  /// Number of MNA unknowns (nodes - 1 + branches).
+  int num_unknowns() const { return num_nodes() - 1 + num_branches_; }
+  int num_branches() const { return num_branches_; }
+
+  /// Adds a device; the circuit takes ownership and assigns branch rows.
+  /// Returns a typed non-owning pointer for later interrogation.
+  template <typename T>
+  T* add(std::unique_ptr<T> dev) {
+    T* raw = dev.get();
+    register_device(std::move(dev));
+    return raw;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Finds a device by name; nullptr if absent.
+  Device* find_device(const std::string& name) const;
+
+ private:
+  void register_device(std::unique_ptr<Device> dev);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, int> node_index_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  int num_branches_ = 0;
+};
+
+}  // namespace csdac::spice

@@ -1,0 +1,452 @@
+#include "spice/devices.hpp"
+
+#include "spice/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace csdac::spice {
+
+// ---------------------------------------------------------------------------
+// Waveforms
+// ---------------------------------------------------------------------------
+
+PulseWave::PulseWave(double v1, double v2, double td, double tr, double tf,
+                     double pw, double period)
+    : v1_(v1), v2_(v2), td_(td), tr_(tr), tf_(tf), pw_(pw), period_(period) {
+  if (tr_ <= 0.0) tr_ = 1e-15;
+  if (tf_ <= 0.0) tf_ = 1e-15;
+}
+
+double PulseWave::value(double t) const {
+  if (t < td_) return v1_;
+  double tau = t - td_;
+  if (period_ > 0.0) tau = std::fmod(tau, period_);
+  if (tau < tr_) return v1_ + (v2_ - v1_) * tau / tr_;
+  tau -= tr_;
+  if (tau < pw_) return v2_;
+  tau -= pw_;
+  if (tau < tf_) return v2_ + (v1_ - v2_) * tau / tf_;
+  return v1_;
+}
+
+double SinWave::value(double t) const {
+  if (t < delay_) return off_;
+  return off_ + amp_ * std::sin(2.0 * std::numbers::pi * freq_ * (t - delay_));
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : pts_(std::move(points)) {
+  if (pts_.empty()) throw std::invalid_argument("PwlWave: empty point list");
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].first < pts_[i - 1].first) {
+      throw std::invalid_argument("PwlWave: times must be non-decreasing");
+    }
+  }
+}
+
+double PwlWave::value(double t) const {
+  if (t <= pts_.front().first) return pts_.front().second;
+  if (t >= pts_.back().first) return pts_.back().second;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].first) {
+      const auto& [t0, v0] = pts_[i - 1];
+      const auto& [t1, v1] = pts_[i];
+      if (t1 == t0) return v1;
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return pts_.back().second;
+}
+
+// ---------------------------------------------------------------------------
+// Resistor
+// ---------------------------------------------------------------------------
+
+Resistor::Resistor(std::string name, int a, int b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), r_(ohms) {
+  if (!(r_ > 0.0)) throw std::invalid_argument("Resistor: R must be > 0");
+}
+
+void Resistor::stamp(RealStamper& s, const EvalContext&) const {
+  s.conductance(a_, b_, 1.0 / r_);
+}
+
+void Resistor::stamp_ac(ComplexStamper& s, double) const {
+  s.admittance(a_, b_, {1.0 / r_, 0.0});
+}
+
+void Resistor::append_noise_sources(std::vector<NoiseSource>& out,
+                                    double temperature_k) const {
+  // Thermal noise: S_i = 4kT/R between the terminals.
+  out.push_back({name(), a_, b_, 4.0 * 1.380649e-23 * temperature_k / r_});
+}
+
+// ---------------------------------------------------------------------------
+// Capacitor / companion model
+// ---------------------------------------------------------------------------
+
+void CapCompanion::stamp(RealStamper& s, const EvalContext& ctx) const {
+  if (ctx.mode != AnalysisMode::kTran || ctx.dt <= 0.0 || c <= 0.0) return;
+  const bool trap = ctx.integ == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * c / ctx.dt;
+  const double ieq = -geq * v_prev - (trap ? i_prev : 0.0);
+  s.conductance(a, b, geq);
+  // Equivalent current ieq flows a -> b through the companion source.
+  s.current_leaving(a, ieq);
+  s.current_leaving(b, -ieq);
+}
+
+void CapCompanion::stamp_ac(ComplexStamper& s, double omega) const {
+  if (c <= 0.0) return;
+  s.admittance(a, b, {0.0, omega * c});
+}
+
+void CapCompanion::accept(const EvalContext& ctx) {
+  const double v = ctx.v(a) - ctx.v(b);
+  if (ctx.mode != AnalysisMode::kTran || ctx.dt <= 0.0) {
+    v_prev = v;
+    i_prev = 0.0;
+    return;
+  }
+  const bool trap = ctx.integ == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * c / ctx.dt;
+  i_prev = geq * (v - v_prev) - (trap ? i_prev : 0.0);
+  v_prev = v;
+}
+
+void CapCompanion::reset(const EvalContext& ctx) {
+  v_prev = ctx.v(a) - ctx.v(b);
+  i_prev = 0.0;
+}
+
+Capacitor::Capacitor(std::string name, int a, int b, double farads)
+    : Device(std::move(name)) {
+  if (!(farads >= 0.0)) throw std::invalid_argument("Capacitor: C must be >= 0");
+  state_.c = farads;
+  state_.a = a;
+  state_.b = b;
+}
+
+void Capacitor::stamp(RealStamper& s, const EvalContext& ctx) const {
+  state_.stamp(s, ctx);
+}
+
+void Capacitor::stamp_ac(ComplexStamper& s, double omega) const {
+  state_.stamp_ac(s, omega);
+}
+
+void Capacitor::accept(const EvalContext& ctx) { state_.accept(ctx); }
+
+void Capacitor::tran_reset(const EvalContext& ctx) { state_.reset(ctx); }
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+CurrentSource::CurrentSource(std::string name, int p, int n, double dc,
+                             double ac_mag)
+    : Device(std::move(name)),
+      p_(p),
+      n_(n),
+      wave_(std::make_unique<DcWave>(dc)),
+      ac_mag_(ac_mag) {}
+
+CurrentSource::CurrentSource(std::string name, int p, int n,
+                             std::unique_ptr<Waveform> wave, double ac_mag)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)),
+      ac_mag_(ac_mag) {}
+
+void CurrentSource::stamp(RealStamper& s, const EvalContext& ctx) const {
+  const double i = ctx.source_scale * (ctx.mode == AnalysisMode::kTran
+                                           ? wave_->value(ctx.time)
+                                           : wave_->dc_value());
+  // Current flows from p through the source to n.
+  s.current_leaving(p_, i);
+  s.current_leaving(n_, -i);
+}
+
+void CurrentSource::stamp_ac(ComplexStamper& s, double) const {
+  s.current_leaving(p_, {ac_mag_, 0.0});
+  s.current_leaving(n_, {-ac_mag_, 0.0});
+}
+
+VoltageSource::VoltageSource(std::string name, int p, int n, double dc,
+                             double ac_mag)
+    : Device(std::move(name)),
+      p_(p),
+      n_(n),
+      wave_(std::make_unique<DcWave>(dc)),
+      ac_mag_(ac_mag) {}
+
+VoltageSource::VoltageSource(std::string name, int p, int n,
+                             std::unique_ptr<Waveform> wave, double ac_mag)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)),
+      ac_mag_(ac_mag) {}
+
+void VoltageSource::stamp(RealStamper& s, const EvalContext& ctx) const {
+  const int br = branch_matrix_row(s.num_nodes());
+  const int rp = p_ - 1;
+  const int rn = n_ - 1;
+  if (rp >= 0) {
+    s.entry_raw(rp, br, 1.0);
+    s.entry_raw(br, rp, 1.0);
+  }
+  if (rn >= 0) {
+    s.entry_raw(rn, br, -1.0);
+    s.entry_raw(br, rn, -1.0);
+  }
+  const double v = ctx.source_scale * (ctx.mode == AnalysisMode::kTran
+                                           ? wave_->value(ctx.time)
+                                           : wave_->dc_value());
+  s.branch_rhs(br, v);
+}
+
+void VoltageSource::stamp_ac(ComplexStamper& s, double) const {
+  const int br = branch_matrix_row(s.num_nodes());
+  const int rp = p_ - 1;
+  const int rn = n_ - 1;
+  if (rp >= 0) {
+    s.entry_raw(rp, br, {1.0, 0.0});
+    s.entry_raw(br, rp, {1.0, 0.0});
+  }
+  if (rn >= 0) {
+    s.entry_raw(rn, br, {-1.0, 0.0});
+    s.entry_raw(br, rn, {-1.0, 0.0});
+  }
+  s.branch_rhs(br, {ac_mag_, 0.0});
+}
+
+Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::stamp(RealStamper& s, const EvalContext&) const {
+  // Current gm*(v(cp)-v(cn)) leaves p and enters n.
+  s.entry(p_, cp_, gm_);
+  s.entry(p_, cn_, -gm_);
+  s.entry(n_, cp_, -gm_);
+  s.entry(n_, cn_, gm_);
+}
+
+void Vccs::stamp_ac(ComplexStamper& s, double) const {
+  s.entry(p_, cp_, {gm_, 0.0});
+  s.entry(p_, cn_, {-gm_, 0.0});
+  s.entry(n_, cp_, {-gm_, 0.0});
+  s.entry(n_, cn_, {gm_, 0.0});
+}
+
+Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::stamp(RealStamper& s, const EvalContext&) const {
+  const int br = branch_matrix_row(s.num_nodes());
+  const int rp = p_ - 1, rn = n_ - 1, rcp = cp_ - 1, rcn = cn_ - 1;
+  if (rp >= 0) {
+    s.entry_raw(rp, br, 1.0);
+    s.entry_raw(br, rp, 1.0);
+  }
+  if (rn >= 0) {
+    s.entry_raw(rn, br, -1.0);
+    s.entry_raw(br, rn, -1.0);
+  }
+  if (rcp >= 0) s.entry_raw(br, rcp, -gain_);
+  if (rcn >= 0) s.entry_raw(br, rcn, gain_);
+}
+
+void Vcvs::stamp_ac(ComplexStamper& s, double) const {
+  const int br = branch_matrix_row(s.num_nodes());
+  const int rp = p_ - 1, rn = n_ - 1, rcp = cp_ - 1, rcn = cn_ - 1;
+  if (rp >= 0) {
+    s.entry_raw(rp, br, {1.0, 0.0});
+    s.entry_raw(br, rp, {1.0, 0.0});
+  }
+  if (rn >= 0) {
+    s.entry_raw(rn, br, {-1.0, 0.0});
+    s.entry_raw(br, rn, {-1.0, 0.0});
+  }
+  if (rcp >= 0) s.entry_raw(br, rcp, {-gain_, 0.0});
+  if (rcn >= 0) s.entry_raw(br, rcn, {gain_, 0.0});
+}
+
+// ---------------------------------------------------------------------------
+// MOSFET
+// ---------------------------------------------------------------------------
+
+Mosfet::Mosfet(std::string name, const tech::MosTechParams& params, int d,
+               int g, int s, int b, Geometry geo, bool with_caps)
+    : Device(std::move(name)),
+      params_(params),
+      d_(d),
+      g_(g),
+      s_(s),
+      b_(b),
+      geo_(geo),
+      with_caps_(with_caps),
+      op_eff_d_(d),
+      op_eff_s_(s) {
+  if (!(geo_.w > 0.0) || !(geo_.l > 0.0) || !(geo_.m >= 1.0)) {
+    throw std::invalid_argument("Mosfet: bad geometry");
+  }
+  if (with_caps_) {
+    cgs_ = {tech::cgs_sat(params_, geo_.w, geo_.l) * geo_.m, g_, s_, 0.0, 0.0};
+    cgd_ = {tech::cgd_sat(params_, geo_.w) * geo_.m, g_, d_, 0.0, 0.0};
+    cdb_ = {tech::cj_diffusion(params_, geo_.w) * geo_.m, d_, b_, 0.0, 0.0};
+    csb_ = {tech::cj_diffusion(params_, geo_.w) * geo_.m, s_, b_, 0.0, 0.0};
+  }
+}
+
+void Mosfet::set_mismatch(double delta_vt, double beta_scale) {
+  if (!(beta_scale > 0.0)) {
+    throw std::invalid_argument("Mosfet::set_mismatch: beta_scale <= 0");
+  }
+  delta_vt_ = delta_vt;
+  beta_scale_ = beta_scale;
+}
+
+Mosfet::Eval Mosfet::evaluate(const EvalContext& ctx) const {
+  const double sign = params_.type == tech::MosType::kNmos ? 1.0 : -1.0;
+  double vd = sign * ctx.v(d_);
+  double vg = sign * ctx.v(g_);
+  double vs = sign * ctx.v(s_);
+  double vb = sign * ctx.v(b_);
+
+  Eval e{};
+  e.eff_d = d_;
+  e.eff_s = s_;
+  if (vd < vs) {  // symmetric conduction: treat the lower terminal as source
+    std::swap(vd, vs);
+    std::swap(e.eff_d, e.eff_s);
+  }
+  e.vgs = vg - vs;
+  e.vds = vd - vs;
+  e.vbs = vb - vs;
+
+  const double vsb = -e.vbs;
+  constexpr double kMinArg = 0.05;  // clamp to keep sqrt well-defined
+  const double arg = std::max(params_.phi_2f + vsb, kMinArg);
+  const bool clamped = (params_.phi_2f + vsb) < kMinArg;
+  e.vt = params_.vt0 + delta_vt_ +
+         params_.gamma * (std::sqrt(arg) - std::sqrt(params_.phi_2f));
+  e.vod = e.vgs - e.vt;
+
+  const double beta = params_.kp * beta_scale_ * geo_.m * geo_.w / geo_.l;
+  const double lam = params_.lambda(geo_.l);
+  const double dvt_dvbs = clamped ? 0.0 : -params_.gamma / (2.0 * std::sqrt(arg));
+
+  if (e.vod <= 0.0) {
+    e.region = MosRegion::kCutoff;
+    e.id = e.gm = e.gds = e.gmb = 0.0;
+    return e;
+  }
+  const double clm = 1.0 + lam * e.vds;
+  if (e.vds >= e.vod) {
+    e.region = MosRegion::kSaturation;
+    e.id = 0.5 * beta * e.vod * e.vod * clm;
+    e.gm = beta * e.vod * clm;
+    e.gds = 0.5 * beta * e.vod * e.vod * lam;
+  } else {
+    e.region = MosRegion::kTriode;
+    const double shape = e.vod * e.vds - 0.5 * e.vds * e.vds;
+    e.id = beta * shape * clm;
+    e.gm = beta * e.vds * clm;
+    e.gds = beta * (e.vod - e.vds) * clm + beta * shape * lam;
+  }
+  e.gmb = e.gm * (-dvt_dvbs);
+  return e;
+}
+
+void Mosfet::stamp(RealStamper& s, const EvalContext& ctx) const {
+  const Eval e = evaluate(ctx);
+  const double sign = params_.type == tech::MosType::kNmos ? 1.0 : -1.0;
+  const int d = e.eff_d, sn = e.eff_s;
+
+  // Jacobian entries (invariant under the PMOS sign flip).
+  s.entry(d, g_, e.gm);
+  s.entry(d, d, e.gds);
+  s.entry(d, b_, e.gmb);
+  s.entry(d, sn, -(e.gm + e.gds + e.gmb));
+  s.entry(sn, g_, -e.gm);
+  s.entry(sn, d, -e.gds);
+  s.entry(sn, b_, -e.gmb);
+  s.entry(sn, sn, e.gm + e.gds + e.gmb);
+
+  // Newton equivalent current (sign-flipped back to actual space for PMOS).
+  const double ieq_n =
+      e.id - e.gm * e.vgs - e.gds * e.vds - e.gmb * e.vbs;
+  const double ieq = sign * ieq_n;
+  s.current_leaving(d, ieq);
+  s.current_leaving(sn, -ieq);
+
+  if (with_caps_) {
+    cgs_.stamp(s, ctx);
+    cgd_.stamp(s, ctx);
+    cdb_.stamp(s, ctx);
+    csb_.stamp(s, ctx);
+  }
+}
+
+void Mosfet::stamp_ac(ComplexStamper& s, double omega) const {
+  // Small-signal conductances from the last accepted operating point.
+  // op_ keeps the effective (post-swap) terminals used at acceptance.
+  const int d = op_eff_d_, sn = op_eff_s_;
+  s.entry(d, g_, {op_.gm, 0.0});
+  s.entry(d, d, {op_.gds, 0.0});
+  s.entry(d, b_, {op_.gmb, 0.0});
+  s.entry(d, sn, {-(op_.gm + op_.gds + op_.gmb), 0.0});
+  s.entry(sn, g_, {-op_.gm, 0.0});
+  s.entry(sn, d, {-op_.gds, 0.0});
+  s.entry(sn, b_, {-op_.gmb, 0.0});
+  s.entry(sn, sn, {op_.gm + op_.gds + op_.gmb, 0.0});
+  if (with_caps_) {
+    cgs_.stamp_ac(s, omega);
+    cgd_.stamp_ac(s, omega);
+    cdb_.stamp_ac(s, omega);
+    csb_.stamp_ac(s, omega);
+  }
+}
+
+void Mosfet::accept(const EvalContext& ctx) {
+  const Eval e = evaluate(ctx);
+  op_.id = e.id;
+  op_.vgs = e.vgs;
+  op_.vds = e.vds;
+  op_.vbs = e.vbs;
+  op_.vt = e.vt;
+  op_.vod = e.vod;
+  op_.gm = e.gm;
+  op_.gds = e.gds;
+  op_.gmb = e.gmb;
+  op_.region = e.region;
+  op_eff_d_ = e.eff_d;
+  op_eff_s_ = e.eff_s;
+  if (with_caps_) {
+    cgs_.accept(ctx);
+    cgd_.accept(ctx);
+    cdb_.accept(ctx);
+    csb_.accept(ctx);
+  }
+}
+
+void Mosfet::append_noise_sources(std::vector<NoiseSource>& out,
+                                  double temperature_k) const {
+  // Long-channel saturation channel noise: S_i = 4kT * (2/3) * gm between
+  // the effective drain and source of the last accepted operating point.
+  // Cutoff devices (gm = 0) contribute nothing.
+  if (op_.gm <= 0.0) return;
+  out.push_back({name(), op_eff_d_, op_eff_s_,
+                 4.0 * 1.380649e-23 * temperature_k * (2.0 / 3.0) * op_.gm});
+}
+
+void Mosfet::tran_reset(const EvalContext& ctx) {
+  if (with_caps_) {
+    cgs_.reset(ctx);
+    cgd_.reset(ctx);
+    cdb_.reset(ctx);
+    csb_.reset(ctx);
+  }
+}
+
+}  // namespace csdac::spice

@@ -1,0 +1,253 @@
+// Concrete circuit elements: R, C, independent sources (DC/PULSE/SIN/PWL),
+// VCVS and the level-1 MOSFET (square law + channel-length modulation +
+// body effect) with optional intrinsic capacitances. The square-law model is
+// deliberate: the paper's methodology is built on it because foundry matching
+// data is characterized for that model (see paper §5).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::spice {
+
+// ---------------------------------------------------------------------------
+// Source waveforms
+// ---------------------------------------------------------------------------
+
+/// Time-domain waveform of an independent source.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  virtual double value(double t) const = 0;
+  /// Value used by the DC operating-point analysis.
+  virtual double dc_value() const { return value(0.0); }
+};
+
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double v) : v_(v) {}
+  double value(double) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+/// SPICE PULSE(v1 v2 td tr tf pw per); per <= 0 means single pulse.
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double v1, double v2, double td, double tr, double tf, double pw,
+            double period = 0.0);
+  double value(double t) const override;
+
+ private:
+  double v1_, v2_, td_, tr_, tf_, pw_, period_;
+};
+
+/// SPICE SIN(offset amplitude freq delay).
+class SinWave final : public Waveform {
+ public:
+  SinWave(double offset, double amplitude, double freq, double delay = 0.0)
+      : off_(offset), amp_(amplitude), freq_(freq), delay_(delay) {}
+  double value(double t) const override;
+  double dc_value() const override { return off_; }
+
+ private:
+  double off_, amp_, freq_, delay_;
+};
+
+/// Piecewise-linear waveform through (t, v) points; clamps outside range.
+class PwlWave final : public Waveform {
+ public:
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t) const override;
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+// ---------------------------------------------------------------------------
+// Linear elements
+// ---------------------------------------------------------------------------
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, int a, int b, double ohms);
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  void append_noise_sources(std::vector<struct NoiseSource>& out,
+                            double temperature_k) const override;
+  double resistance() const { return r_; }
+
+ private:
+  int a_, b_;
+  double r_;
+};
+
+/// Companion-model state shared by Capacitor and the MOSFET intrinsic caps.
+struct CapCompanion {
+  double c = 0.0;
+  int a = 0;
+  int b = 0;
+  double v_prev = 0.0;
+  double i_prev = 0.0;
+
+  void stamp(RealStamper& s, const EvalContext& ctx) const;
+  void stamp_ac(ComplexStamper& s, double omega) const;
+  /// Update stored state from the converged solution of this step.
+  void accept(const EvalContext& ctx);
+  /// Initialize state from a DC solution (i = 0).
+  void reset(const EvalContext& ctx);
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, int a, int b, double farads);
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  void accept(const EvalContext& ctx) override;
+  void tran_reset(const EvalContext& ctx) override;
+  double capacitance() const { return state_.c; }
+
+ private:
+  mutable CapCompanion state_;
+};
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Independent current source; current flows from node p, through the
+/// source, into node n (SPICE convention: positive value pushes current
+/// OUT of n into the circuit ... we document: current p -> n inside source,
+/// i.e. it extracts from p and injects into n).
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, int p, int n, double dc, double ac_mag = 0.0);
+  CurrentSource(std::string name, int p, int n, std::unique_ptr<Waveform> wave,
+                double ac_mag = 0.0);
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  int p_, n_;
+  std::unique_ptr<Waveform> wave_;
+  double ac_mag_;
+};
+
+/// Independent voltage source (adds one branch unknown).
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, int p, int n, double dc, double ac_mag = 0.0);
+  VoltageSource(std::string name, int p, int n, std::unique_ptr<Waveform> wave,
+                double ac_mag = 0.0);
+  int branch_count() const override { return 1; }
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  double value_at(double t) const { return wave_->value(t); }
+  /// Replaces the waveform with a DC level (used by DC sweeps).
+  void set_dc(double v) { wave_ = std::make_unique<DcWave>(v); }
+
+ private:
+  int p_, n_;
+  std::unique_ptr<Waveform> wave_;
+  double ac_mag_;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm*(v(cp)-v(cn)).
+class Vccs final : public Device {
+ public:
+  Vccs(std::string name, int p, int n, int cp, int cn, double gm);
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  int p_, n_, cp_, cn_;
+  double gm_;
+};
+
+/// Voltage-controlled voltage source: v(p)-v(n) = gain*(v(cp)-v(cn)).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, int p, int n, int cp, int cn, double gain);
+  int branch_count() const override { return 1; }
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  int p_, n_, cp_, cn_;
+  double gain_;
+};
+
+// ---------------------------------------------------------------------------
+// MOSFET
+// ---------------------------------------------------------------------------
+
+enum class MosRegion { kCutoff, kTriode, kSaturation };
+
+/// Level-1 MOSFET. Terminal order: drain, gate, source, bulk.
+class Mosfet final : public Device {
+ public:
+  struct Geometry {
+    double w = 0.0;  ///< channel width [m]
+    double l = 0.0;  ///< channel length [m]
+    double m = 1.0;  ///< parallel multiplier
+  };
+
+  /// Small-signal operating point captured at the last accepted solution.
+  struct OpPoint {
+    double id = 0.0;   ///< drain current, drain->source positive (NMOS) [A]
+    double vgs = 0.0;
+    double vds = 0.0;
+    double vbs = 0.0;
+    double vt = 0.0;   ///< effective threshold (magnitude space) [V]
+    double vod = 0.0;  ///< overdrive vgs - vt (magnitude space) [V]
+    double gm = 0.0;
+    double gds = 0.0;
+    double gmb = 0.0;
+    MosRegion region = MosRegion::kCutoff;
+  };
+
+  Mosfet(std::string name, const tech::MosTechParams& params, int d, int g,
+         int s, int b, Geometry geo, bool with_caps = false);
+
+  /// Injects a per-device random-mismatch realization (Pelgrom draw):
+  /// threshold shift [V] and relative gain factor. Used by the DAC netlist
+  /// generator to run transistor-level Monte-Carlo.
+  void set_mismatch(double delta_vt, double beta_scale);
+
+  void stamp(RealStamper& s, const EvalContext& ctx) const override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  void accept(const EvalContext& ctx) override;
+  void tran_reset(const EvalContext& ctx) override;
+  void append_noise_sources(std::vector<struct NoiseSource>& out,
+                            double temperature_k) const override;
+
+  const OpPoint& op() const { return op_; }
+  const Geometry& geometry() const { return geo_; }
+  const tech::MosTechParams& params() const { return params_; }
+
+ private:
+  struct Eval {
+    double id, gm, gds, gmb;  // in N-equivalent space, post swap
+    int eff_d, eff_s;         // node indices after source/drain swap
+    double vgs, vds, vbs, vt, vod;
+    MosRegion region;
+  };
+  Eval evaluate(const EvalContext& ctx) const;
+
+  tech::MosTechParams params_;
+  int d_, g_, s_, b_;
+  Geometry geo_;
+  bool with_caps_;
+  double delta_vt_ = 0.0;
+  double beta_scale_ = 1.0;
+  mutable CapCompanion cgs_, cgd_, cdb_, csb_;
+  OpPoint op_;
+  int op_eff_d_ = 0;  ///< effective drain node at the last accepted solution
+  int op_eff_s_ = 0;
+};
+
+}  // namespace csdac::spice

@@ -1,0 +1,78 @@
+#include "spice/measures.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "spice/devices.hpp"
+
+namespace csdac::spice {
+
+double settling_time(std::span<const double> times, std::span<const double> v,
+                     double v_final, double tol) {
+  if (times.size() != v.size() || times.empty()) {
+    throw std::invalid_argument("settling_time: size mismatch");
+  }
+  if (!(tol > 0.0)) throw std::invalid_argument("settling_time: tol <= 0");
+  // Walk backwards: find the last sample outside the band, then interpolate
+  // the band entry between it and the next sample.
+  for (std::size_t i = times.size(); i-- > 0;) {
+    const double err = std::abs(v[i] - v_final);
+    if (err > tol) {
+      if (i + 1 >= times.size()) return times.back();
+      const double e0 = std::abs(v[i] - v_final);
+      const double e1 = std::abs(v[i + 1] - v_final);
+      if (e1 >= e0) return times[i + 1];
+      const double frac = (e0 - tol) / (e0 - e1);
+      return times[i] + frac * (times[i + 1] - times[i]);
+    }
+  }
+  return 0.0;
+}
+
+double crossing_time(std::span<const double> times, std::span<const double> v,
+                     double level) {
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double a = v[i - 1] - level;
+    const double b = v[i] - level;
+    if (a == 0.0) return times[i - 1];
+    if (a * b < 0.0) {
+      const double frac = a / (a - b);
+      return times[i - 1] + frac * (times[i] - times[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double minus3db_frequency(std::span<const double> freqs,
+                          std::span<const std::complex<double>> h) {
+  if (freqs.size() != h.size() || freqs.size() < 2) {
+    throw std::invalid_argument("minus3db_frequency: bad input");
+  }
+  const double ref = std::abs(h[0]);
+  const double target = ref / std::sqrt(2.0);
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    const double m0 = std::abs(h[i - 1]);
+    const double m1 = std::abs(h[i]);
+    if (m0 >= target && m1 < target) {
+      // log-frequency linear interpolation on magnitude
+      const double frac = (m0 - target) / (m0 - m1);
+      const double lf = std::log10(freqs[i - 1]) +
+                        frac * (std::log10(freqs[i]) - std::log10(freqs[i - 1]));
+      return std::pow(10.0, lf);
+    }
+  }
+  return -1.0;
+}
+
+std::vector<std::complex<double>> impedance_probe(
+    Circuit& ckt, int node, const std::vector<double>& freqs) {
+  ckt.add(std::make_unique<CurrentSource>("iprobe_z", 0, node, /*dc=*/0.0,
+                                          /*ac_mag=*/1.0));
+  const AcResult res = ac_analysis(ckt, freqs);
+  std::vector<std::complex<double>> z(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) z[i] = res.v(i, node);
+  return z;
+}
+
+}  // namespace csdac::spice

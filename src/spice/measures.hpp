@@ -1,0 +1,37 @@
+// Post-processing measurements on analysis results: settling time, pole
+// (-3 dB) extraction, and an output-impedance probe built on AC analysis.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/solver.hpp"
+
+namespace csdac::spice {
+
+/// Settling time: the last instant the waveform leaves the +/- tol band
+/// around v_final (0 if it never leaves). `times` and `v` must match.
+double settling_time(std::span<const double> times, std::span<const double> v,
+                     double v_final, double tol);
+
+/// First time the waveform crosses `level` (linear interpolation);
+/// returns a negative value if it never does.
+double crossing_time(std::span<const double> times, std::span<const double> v,
+                     double level);
+
+/// -3 dB frequency of a magnitude response |H(f)| relative to its value at
+/// the lowest frequency; log-interpolated. Negative if never reached.
+double minus3db_frequency(std::span<const double> freqs,
+                          std::span<const std::complex<double>> h);
+
+/// Small-signal impedance looking into `node`, measured by adding a 1 A AC
+/// current probe (0 A DC, so the bias point is untouched) from ground into
+/// the node and reading the node voltage. NOTE: the probe stays in the
+/// circuit; use on purpose-built measurement circuits. A DC solve must have
+/// been run before calling (and is re-used).
+std::vector<std::complex<double>> impedance_probe(
+    Circuit& ckt, int node, const std::vector<double>& freqs);
+
+}  // namespace csdac::spice

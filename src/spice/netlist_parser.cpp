@@ -1,0 +1,362 @@
+#include "spice/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "spice/devices.hpp"
+
+namespace csdac::spice {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Splits a card into tokens, treating '(' ')' '=' ',' as separators that
+/// are dropped (SPICE is forgiving about PULSE(...) spacing).
+std::vector<std::string> split_card(const std::string& line) {
+  std::string cleaned;
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == '=' || c == ',') {
+      cleaned += ' ';
+    } else {
+      cleaned += c;
+    }
+  }
+  std::vector<std::string> tokens;
+  std::istringstream is(cleaned);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// A tokenized card with its source line for error reporting.
+struct Card {
+  int line = 0;
+  std::vector<std::string> tok;
+};
+
+/// A .subckt definition: port names + body cards.
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<Card> body;
+};
+
+using SubcktMap = std::map<std::string, SubcktDef>;
+
+/// Maps a node name appearing in a card to a circuit node index.
+using NodeResolver = std::function<int(const std::string&)>;
+
+class CardProcessor {
+ public:
+  CardProcessor(Circuit& ckt, const tech::TechParams& tech,
+                const SubcktMap& subckts)
+      : ckt_(ckt), tech_(tech), subckts_(subckts) {}
+
+  /// Instantiates one card. `prefix` namespaces device and internal node
+  /// names of subcircuit instances; `resolve` maps local node names.
+  void process(const Card& card, const std::string& prefix,
+               const NodeResolver& resolve, int depth);
+
+ private:
+  double value(const Card& c, const std::string& t) const {
+    try {
+      return parse_spice_value(t);
+    } catch (const std::invalid_argument& e) {
+      throw NetlistError(c.line, e.what());
+    }
+  }
+  static void need(const Card& c, std::size_t n) {
+    if (c.tok.size() < n) {
+      throw NetlistError(c.line, "too few fields for '" + c.tok[0] + "'");
+    }
+  }
+
+  Circuit& ckt_;
+  const tech::TechParams& tech_;
+  const SubcktMap& subckts_;
+};
+
+void CardProcessor::process(const Card& card, const std::string& prefix,
+                            const NodeResolver& resolve, int depth) {
+  if (depth > 16) {
+    throw NetlistError(card.line, "subcircuit nesting too deep");
+  }
+  const auto& tok = card.tok;
+  const std::string name = prefix + tok[0];
+  const char kind =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(tok[0][0])));
+
+  switch (kind) {
+    case 'r': {
+      need(card, 4);
+      ckt_.add(std::make_unique<Resistor>(name, resolve(tok[1]),
+                                          resolve(tok[2]),
+                                          value(card, tok[3])));
+      break;
+    }
+    case 'c': {
+      need(card, 4);
+      ckt_.add(std::make_unique<Capacitor>(name, resolve(tok[1]),
+                                           resolve(tok[2]),
+                                           value(card, tok[3])));
+      break;
+    }
+    case 'v':
+    case 'i': {
+      need(card, 4);
+      const int p = resolve(tok[1]);
+      const int n = resolve(tok[2]);
+      std::unique_ptr<Waveform> wave;
+      double ac_mag = 0.0;
+      std::size_t i = 3;
+      const std::string w = lower(tok[i]);
+      if (w == "dc") {
+        need(card, 5);
+        wave = std::make_unique<DcWave>(value(card, tok[i + 1]));
+        i += 2;
+      } else if (w == "pulse") {
+        need(card, i + 7);
+        const double per = tok.size() > i + 7 && lower(tok[i + 7]) != "ac"
+                               ? value(card, tok[i + 7])
+                               : 0.0;
+        wave = std::make_unique<PulseWave>(
+            value(card, tok[i + 1]), value(card, tok[i + 2]),
+            value(card, tok[i + 3]), value(card, tok[i + 4]),
+            value(card, tok[i + 5]), value(card, tok[i + 6]), per);
+        i += per > 0.0 ? 8 : 7;
+      } else if (w == "sin") {
+        need(card, i + 4);
+        const double delay = tok.size() > i + 4 && lower(tok[i + 4]) != "ac"
+                                 ? value(card, tok[i + 4])
+                                 : 0.0;
+        wave = std::make_unique<SinWave>(value(card, tok[i + 1]),
+                                         value(card, tok[i + 2]),
+                                         value(card, tok[i + 3]), delay);
+        i += delay > 0.0 ? 5 : 4;
+      } else if (w == "pwl") {
+        std::vector<std::pair<double, double>> pts;
+        std::size_t j = i + 1;
+        while (j + 1 < tok.size() && lower(tok[j]) != "ac") {
+          pts.emplace_back(value(card, tok[j]), value(card, tok[j + 1]));
+          j += 2;
+        }
+        wave = std::make_unique<PwlWave>(std::move(pts));
+        i = j;
+      } else {
+        wave = std::make_unique<DcWave>(value(card, tok[i]));
+        i += 1;
+      }
+      if (i < tok.size() && lower(tok[i]) == "ac") {
+        need(card, i + 2);
+        ac_mag = value(card, tok[i + 1]);
+      }
+      if (kind == 'v') {
+        ckt_.add(std::make_unique<VoltageSource>(name, p, n, std::move(wave),
+                                                 ac_mag));
+      } else {
+        ckt_.add(std::make_unique<CurrentSource>(name, p, n, std::move(wave),
+                                                 ac_mag));
+      }
+      break;
+    }
+    case 'e': {
+      need(card, 6);
+      ckt_.add(std::make_unique<Vcvs>(name, resolve(tok[1]), resolve(tok[2]),
+                                      resolve(tok[3]), resolve(tok[4]),
+                                      value(card, tok[5])));
+      break;
+    }
+    case 'g': {
+      need(card, 6);
+      ckt_.add(std::make_unique<Vccs>(name, resolve(tok[1]), resolve(tok[2]),
+                                      resolve(tok[3]), resolve(tok[4]),
+                                      value(card, tok[5])));
+      break;
+    }
+    case 'm': {
+      need(card, 6);
+      const int d = resolve(tok[1]);
+      const int g = resolve(tok[2]);
+      const int s = resolve(tok[3]);
+      const int b = resolve(tok[4]);
+      const std::string model = lower(tok[5]);
+      const tech::MosTechParams* params = nullptr;
+      if (model == "nmos") {
+        params = &tech_.nmos;
+      } else if (model == "pmos") {
+        params = &tech_.pmos;
+      } else {
+        throw NetlistError(card.line, "unknown model '" + tok[5] + "'");
+      }
+      Mosfet::Geometry geo;
+      bool with_caps = false;
+      for (std::size_t i = 6; i < tok.size(); ++i) {
+        const std::string key = lower(tok[i]);
+        if (key == "caps") {
+          with_caps = true;
+          continue;
+        }
+        if (i + 1 >= tok.size()) {
+          throw NetlistError(card.line, "dangling parameter '" + key + "'");
+        }
+        const double v = value(card, tok[i + 1]);
+        ++i;
+        if (key == "w") {
+          geo.w = v;
+        } else if (key == "l") {
+          geo.l = v;
+        } else if (key == "m") {
+          geo.m = v;
+        } else {
+          throw NetlistError(card.line, "unknown parameter '" + key + "'");
+        }
+      }
+      ckt_.add(std::make_unique<Mosfet>(name, *params, d, g, s, b, geo,
+                                        with_caps));
+      break;
+    }
+    case 'x': {
+      // Xname node1 ... nodeN subcktname
+      need(card, 3);
+      const std::string sub_name = lower(tok.back());
+      const auto it = subckts_.find(sub_name);
+      if (it == subckts_.end()) {
+        throw NetlistError(card.line,
+                           "unknown subcircuit '" + tok.back() + "'");
+      }
+      const SubcktDef& def = it->second;
+      if (tok.size() - 2 != def.ports.size()) {
+        throw NetlistError(
+            card.line, "subcircuit '" + tok.back() + "' expects " +
+                           std::to_string(def.ports.size()) + " nodes, got " +
+                           std::to_string(tok.size() - 2));
+      }
+      // Port name (lower-cased) -> outer node index.
+      std::map<std::string, int> port_map;
+      for (std::size_t i = 0; i < def.ports.size(); ++i) {
+        port_map[lower(def.ports[i])] = resolve(tok[i + 1]);
+      }
+      const std::string inner_prefix = name + ".";
+      NodeResolver inner_resolve = [this, port_map,
+                                    inner_prefix](const std::string& n) {
+        const std::string ln = lower(n);
+        if (ln == "0" || ln == "gnd") return 0;  // ground is global
+        const auto p = port_map.find(ln);
+        if (p != port_map.end()) return p->second;
+        return ckt_.node(inner_prefix + n);  // instance-local node
+      };
+      for (const Card& inner : def.body) {
+        process(inner, inner_prefix, inner_resolve, depth + 1);
+      }
+      break;
+    }
+    default:
+      throw NetlistError(card.line,
+                         std::string("unknown element kind '") + kind + "'");
+  }
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty value");
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value '" + token + "'");
+  }
+  std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    default:
+      // Pure unit suffixes are tolerated; anything else is a typo.
+      if (suffix == "v" || suffix == "a" || suffix == "s" ||
+          suffix == "hz" || suffix == "ohm") {
+        return v;
+      }
+      throw std::invalid_argument("bad value suffix '" + token + "'");
+  }
+}
+
+std::unique_ptr<Circuit> parse_netlist(const std::string& text,
+                                       const tech::TechParams& tech) {
+  // Pass 1: tokenize every card, collecting .subckt definitions.
+  SubcktMap subckts;
+  std::vector<Card> main_cards;
+  {
+    std::istringstream is(text);
+    std::string raw;
+    int line_no = 0;
+    SubcktDef* open_def = nullptr;
+    std::string open_name;
+    while (std::getline(is, raw)) {
+      ++line_no;
+      const auto semi = raw.find(';');
+      if (semi != std::string::npos) raw.resize(semi);
+      Card card{line_no, split_card(raw)};
+      if (card.tok.empty() || card.tok[0][0] == '*') continue;
+      const std::string head = lower(card.tok[0]);
+      if (head == ".subckt") {
+        if (open_def != nullptr) {
+          throw NetlistError(line_no, "nested .subckt definition");
+        }
+        if (card.tok.size() < 3) {
+          throw NetlistError(line_no, ".subckt needs a name and ports");
+        }
+        open_name = lower(card.tok[1]);
+        SubcktDef def;
+        def.ports.assign(card.tok.begin() + 2, card.tok.end());
+        open_def = &subckts.emplace(open_name, std::move(def)).first->second;
+        continue;
+      }
+      if (head == ".ends") {
+        if (open_def == nullptr) {
+          throw NetlistError(line_no, ".ends without .subckt");
+        }
+        open_def = nullptr;
+        continue;
+      }
+      if (card.tok[0][0] == '.') continue;  // other controls ignored
+      if (open_def != nullptr) {
+        open_def->body.push_back(std::move(card));
+      } else {
+        main_cards.push_back(std::move(card));
+      }
+    }
+    if (open_def != nullptr) {
+      throw NetlistError(line_no, "unterminated .subckt '" + open_name + "'");
+    }
+  }
+
+  // Pass 2: instantiate.
+  auto ckt = std::make_unique<Circuit>();
+  CardProcessor proc(*ckt, tech, subckts);
+  NodeResolver top_resolve = [&ckt](const std::string& n) {
+    return ckt->node(n);
+  };
+  for (const Card& card : main_cards) {
+    proc.process(card, "", top_resolve, 0);
+  }
+  return ckt;
+}
+
+}  // namespace csdac::spice

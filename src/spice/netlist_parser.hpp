@@ -1,0 +1,49 @@
+// SPICE-format netlist text parser: lets users drive the engine with
+// classic card decks instead of the C++ builder API. Supported subset:
+//
+//   * comment lines, '*' and ';' comments
+//   Rname n+ n- value
+//   Cname n+ n- value
+//   Vname n+ n- [DC] value
+//   Vname n+ n- PULSE(v1 v2 td tr tf pw [per])
+//   Vname n+ n- SIN(off amp freq [delay])
+//   Vname n+ n- PWL(t1 v1 t2 v2 ...)
+//   Iname n+ n- [DC] value          (current flows n+ -> n- through source)
+//   Ename out+ out- ctl+ ctl- gain  (VCVS)
+//   Gname out+ out- ctl+ ctl- gm    (VCCS)
+//   Mname d g s b NMOS|PMOS W=.. L=.. [M=..] [CAPS]
+//
+// Values accept the SPICE suffixes f p n u m k meg g t (case-insensitive)
+// and engineering notation (1e-12). Node "0" and "gnd" are ground.
+// Device models resolve against the TechParams passed in.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::spice {
+
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(int line, const std::string& what)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a numeric token with SPICE magnitude suffixes ("2.2k", "100f",
+/// "3meg", "1e-9"). Throws std::invalid_argument on garbage.
+double parse_spice_value(const std::string& token);
+
+/// Builds a Circuit from netlist text. Throws NetlistError.
+std::unique_ptr<Circuit> parse_netlist(const std::string& text,
+                                       const tech::TechParams& tech);
+
+}  // namespace csdac::spice

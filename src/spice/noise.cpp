@@ -1,0 +1,86 @@
+#include "spice/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mathx/linalg.hpp"
+
+namespace csdac::spice {
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;  // J/K
+}
+
+double NoiseResult::integrated_rms(double f1, double f2) const {
+  if (!(f2 > f1)) throw std::invalid_argument("integrated_rms: f2 <= f1");
+  double power = 0.0;
+  for (std::size_t i = 1; i < freq.size(); ++i) {
+    const double a = std::max(freq[i - 1], f1);
+    const double b = std::min(freq[i], f2);
+    if (b <= a) continue;
+    // Trapezoid over the clipped interval (PSD linearly interpolated).
+    auto psd_at = [&](double f) {
+      const double t = (f - freq[i - 1]) / (freq[i] - freq[i - 1]);
+      return total_psd[i - 1] + t * (total_psd[i] - total_psd[i - 1]);
+    };
+    power += 0.5 * (psd_at(a) + psd_at(b)) * (b - a);
+  }
+  return std::sqrt(power);
+}
+
+NoiseResult noise_analysis(Circuit& ckt, int out_node,
+                           const std::vector<double>& freqs,
+                           double temperature_k) {
+  if (out_node <= 0 || out_node >= ckt.num_nodes()) {
+    throw std::invalid_argument("noise_analysis: bad output node");
+  }
+  if (!(temperature_k > 0.0)) {
+    throw std::invalid_argument("noise_analysis: bad temperature");
+  }
+  // Collect every device's noise sources at the current operating point.
+  std::vector<NoiseSource> sources;
+  for (const auto& dev : ckt.devices()) {
+    dev->append_noise_sources(sources, temperature_k);
+  }
+
+  NoiseResult res;
+  res.freq = freqs;
+  res.total_psd.assign(freqs.size(), 0.0);
+  res.source_names.reserve(sources.size());
+  for (const auto& s : sources) res.source_names.push_back(s.device);
+  res.contributions.assign(freqs.size(),
+                           std::vector<double>(sources.size(), 0.0));
+
+  const int n = ckt.num_unknowns();
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    const double omega = 2.0 * std::numbers::pi * freqs[fi];
+    mathx::MatrixC g(static_cast<std::size_t>(n),
+                     static_cast<std::size_t>(n));
+    std::vector<std::complex<double>> rhs_zero(static_cast<std::size_t>(n));
+    ComplexStamper stamper(g, rhs_zero, ckt.num_nodes());
+    for (const auto& dev : ckt.devices()) dev->stamp_ac(stamper, omega);
+    for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+      g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += 1e-12;
+    }
+    mathx::LuSolver<std::complex<double>> lu;
+    lu.factorize(g);
+
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      const auto& s = sources[k];
+      // Unit AC current injected a -> b: leaves a, enters b.
+      std::vector<std::complex<double>> rhs(static_cast<std::size_t>(n));
+      if (s.node_a > 0) rhs[static_cast<std::size_t>(s.node_a - 1)] -= 1.0;
+      if (s.node_b > 0) rhs[static_cast<std::size_t>(s.node_b - 1)] += 1.0;
+      const auto x = lu.solve(rhs);
+      const std::complex<double> z =
+          x[static_cast<std::size_t>(out_node - 1)];
+      const double contrib = std::norm(z) * s.i_psd;
+      res.contributions[fi][k] = contrib;
+      res.total_psd[fi] += contrib;
+    }
+  }
+  return res;
+}
+
+}  // namespace csdac::spice

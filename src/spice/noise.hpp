@@ -1,0 +1,41 @@
+// Small-signal noise analysis: output-referred noise power spectral density
+// at a node, summing every device's thermal noise propagated through the
+// linearized network (each contribution is |Z(source -> out)|^2 * S_i).
+// Modeled sources: resistor thermal noise 4kT/R, MOSFET channel noise
+// 4kT*(2/3)*gm (long-channel saturation). Requires a prior solve_dc() so
+// the MOSFETs hold valid operating points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace csdac::spice {
+
+/// One equivalent noise current source of a device.
+struct NoiseSource {
+  std::string device;
+  int node_a = 0;       ///< current PSD injected between node_a ...
+  int node_b = 0;       ///< ... and node_b
+  double i_psd = 0.0;   ///< current PSD [A^2/Hz]
+};
+
+struct NoiseResult {
+  std::vector<double> freq;       ///< [Hz]
+  std::vector<double> total_psd;  ///< output voltage noise [V^2/Hz]
+  /// Per-device PSD at each frequency, parallel to `freq`:
+  /// contributions[f][k] belongs to source_names[k].
+  std::vector<std::string> source_names;
+  std::vector<std::vector<double>> contributions;
+
+  /// RMS noise integrated over [f1, f2] (trapezoidal in linear f) [Vrms].
+  double integrated_rms(double f1, double f2) const;
+};
+
+/// Computes the output-referred noise at `out_node` over `freqs`.
+NoiseResult noise_analysis(Circuit& ckt, int out_node,
+                           const std::vector<double>& freqs,
+                           double temperature_k = 300.0);
+
+}  // namespace csdac::spice

@@ -1,0 +1,252 @@
+#include "spice/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/linalg.hpp"
+#include "spice/devices.hpp"
+
+namespace csdac::spice {
+namespace {
+
+using mathx::LuSolver;
+using mathx::MatrixC;
+using mathx::MatrixD;
+
+/// Assembles and solves one Newton step; returns the proposed solution.
+std::vector<double> linearized_solve(Circuit& ckt, const EvalContext& ctx) {
+  const int n = ckt.num_unknowns();
+  MatrixD g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+  RealStamper stamper(g, rhs, ckt.num_nodes());
+  for (const auto& dev : ckt.devices()) dev->stamp(stamper, ctx);
+  // gmin shunts keep otherwise-floating nodes (e.g. all-cutoff MOSFETs)
+  // numerically anchored.
+  for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+    g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += ctx.gmin;
+  }
+  return LuSolver<double>::solve_once(g, rhs);
+}
+
+/// Newton-Raphson loop; updates x in place. Returns true on convergence.
+bool newton(Circuit& ckt, EvalContext ctx, std::vector<double>& x,
+            const NewtonOptions& opts) {
+  const int n = ckt.num_unknowns();
+  x.resize(static_cast<std::size_t>(n), 0.0);
+  const int node_unknowns = ckt.num_nodes() - 1;
+
+  for (int iter = 0; iter < opts.max_iter; ++iter) {
+    ctx.x = &x;
+    std::vector<double> xn;
+    try {
+      xn = linearized_solve(ckt, ctx);
+    } catch (const mathx::SingularMatrixError&) {
+      return false;
+    }
+    // Damping: scale the whole update so no node voltage moves more than
+    // max_step in one iteration.
+    double max_node_delta = 0.0;
+    for (int i = 0; i < node_unknowns; ++i) {
+      max_node_delta = std::max(
+          max_node_delta, std::abs(xn[static_cast<std::size_t>(i)] -
+                                   x[static_cast<std::size_t>(i)]));
+    }
+    double scale = 1.0;
+    if (max_node_delta > opts.max_step) scale = opts.max_step / max_node_delta;
+
+    bool converged = scale == 1.0;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double delta = xn[idx] - x[idx];
+      if (i < node_unknowns &&
+          std::abs(delta) > opts.vtol + opts.reltol * std::abs(xn[idx])) {
+        converged = false;
+      }
+      x[idx] += scale * delta;
+    }
+    if (converged) {
+      // One clean re-evaluation confirms the solution is self-consistent
+      // (x equals the solve of the system linearized at x).
+      return true;
+    }
+    if (!std::all_of(x.begin(), x.end(),
+                     [](double v) { return std::isfinite(v); })) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void accept_all(Circuit& ckt, const EvalContext& ctx) {
+  for (const auto& dev : ckt.devices()) dev->accept(ctx);
+}
+
+}  // namespace
+
+Solution solve_dc(Circuit& ckt, const NewtonOptions& opts) {
+  EvalContext ctx;
+  ctx.mode = AnalysisMode::kDc;
+  ctx.gmin = opts.gmin;
+
+  std::vector<double> x(static_cast<std::size_t>(ckt.num_unknowns()), 0.0);
+  bool ok = newton(ckt, ctx, x, opts);
+
+  if (!ok && opts.gmin_stepping) {
+    std::fill(x.begin(), x.end(), 0.0);
+    ok = true;
+    for (double gmin = 1e-2; gmin >= opts.gmin; gmin /= 10.0) {
+      ctx.gmin = gmin;
+      if (!newton(ckt, ctx, x, opts)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ctx.gmin = opts.gmin;
+      ok = newton(ckt, ctx, x, opts);
+    }
+  }
+  if (!ok && opts.source_stepping) {
+    std::fill(x.begin(), x.end(), 0.0);
+    ctx.gmin = opts.gmin;
+    ok = true;
+    for (int step = 1; step <= 20; ++step) {
+      ctx.source_scale = static_cast<double>(step) / 20.0;
+      if (!newton(ckt, ctx, x, opts)) {
+        ok = false;
+        break;
+      }
+    }
+    ctx.source_scale = 1.0;
+  }
+  if (!ok) throw ConvergenceError("solve_dc: no convergence");
+
+  ctx.x = &x;
+  ctx.gmin = opts.gmin;
+  ctx.source_scale = 1.0;
+  accept_all(ckt, ctx);
+
+  Solution sol;
+  sol.x = std::move(x);
+  sol.num_nodes = ckt.num_nodes();
+  return sol;
+}
+
+std::vector<Solution> dc_sweep(Circuit& ckt, VoltageSource& src, double v0,
+                               double v1, int points,
+                               const NewtonOptions& opts) {
+  if (points < 2) throw std::invalid_argument("dc_sweep: points < 2");
+  std::vector<Solution> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double v =
+        v0 + (v1 - v0) * static_cast<double>(i) / (points - 1);
+    src.set_dc(v);
+    out.push_back(solve_dc(ckt, opts));
+  }
+  return out;
+}
+
+std::vector<double> TranResult::node_waveform(int node) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = v(i, node);
+  return out;
+}
+
+TranResult transient(Circuit& ckt, double dt, double tstop,
+                     const TranOptions& opts) {
+  if (!(dt > 0.0) || !(tstop > dt)) {
+    throw std::invalid_argument("transient: need 0 < dt < tstop");
+  }
+  // Initial condition: DC at t = 0.
+  Solution ic = solve_dc(ckt, opts.newton);
+  std::vector<double> x = ic.x;
+
+  EvalContext ctx;
+  ctx.mode = AnalysisMode::kTran;
+  ctx.gmin = opts.newton.gmin;
+  ctx.x = &x;
+  ctx.time = 0.0;
+  ctx.dt = 0.0;
+  for (const auto& dev : ckt.devices()) dev->tran_reset(ctx);
+
+  TranResult res;
+  res.num_nodes = ckt.num_nodes();
+  res.time.push_back(0.0);
+  res.values.push_back(x);
+
+  double t = 0.0;
+  // First step after DC uses backward Euler (the trapezoidal companion
+  // needs a consistent capacitor-current history).
+  bool first = true;
+  while (t < tstop - 0.5 * dt) {
+    double step = std::min(dt, tstop - t);
+    int halvings = 0;
+    double advanced = 0.0;
+    while (advanced < step - 1e-18 * dt) {
+      const double sub = std::min(step / std::ldexp(1.0, halvings),
+                                  step - advanced);
+      std::vector<double> x_try = x;
+      EvalContext step_ctx = ctx;
+      step_ctx.time = t + advanced + sub;
+      step_ctx.dt = sub;
+      step_ctx.integ =
+          first ? Integrator::kBackwardEuler : opts.integ;
+      if (newton(ckt, step_ctx, x_try, opts.newton)) {
+        x = std::move(x_try);
+        step_ctx.x = &x;
+        accept_all(ckt, step_ctx);
+        advanced += sub;
+        first = false;
+      } else {
+        ++halvings;
+        if (halvings > opts.max_halvings) {
+          throw ConvergenceError("transient: step failed at t = " +
+                                 std::to_string(t + advanced));
+        }
+      }
+    }
+    t += step;
+    res.time.push_back(t);
+    res.values.push_back(x);
+  }
+  return res;
+}
+
+AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
+                     double gmin) {
+  const int n = ckt.num_unknowns();
+  AcResult res;
+  res.num_nodes = ckt.num_nodes();
+  res.freq = freqs;
+  res.values.reserve(freqs.size());
+  for (double f : freqs) {
+    const double omega = 2.0 * 3.14159265358979323846 * f;
+    MatrixC g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<std::complex<double>> rhs(static_cast<std::size_t>(n));
+    ComplexStamper stamper(g, rhs, ckt.num_nodes());
+    for (const auto& dev : ckt.devices()) dev->stamp_ac(stamper, omega);
+    for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+      g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += gmin;
+    }
+    res.values.push_back(LuSolver<std::complex<double>>::solve_once(g, rhs));
+  }
+  return res;
+}
+
+std::vector<double> log_space(double f0, double f1, int per_decade) {
+  if (!(f0 > 0.0) || !(f1 > f0) || per_decade < 1) {
+    throw std::invalid_argument("log_space: bad arguments");
+  }
+  std::vector<double> out;
+  const double decades = std::log10(f1 / f0);
+  const int total = static_cast<int>(std::ceil(decades * per_decade));
+  out.reserve(static_cast<std::size_t>(total) + 1);
+  for (int i = 0; i <= total; ++i) {
+    out.push_back(f0 * std::pow(10.0, decades * i / total));
+  }
+  out.back() = f1;
+  return out;
+}
+
+}  // namespace csdac::spice

@@ -1,0 +1,105 @@
+// Analyses over a Circuit: DC operating point (Newton-Raphson with gmin and
+// source stepping), transient (fixed-step trapezoidal/backward-Euler with
+// automatic step halving on non-convergence), and AC small-signal.
+#pragma once
+
+#include <complex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace csdac::spice {
+
+struct NewtonOptions {
+  int max_iter = 150;
+  double vtol = 1e-9;     ///< absolute voltage tolerance [V]
+  double reltol = 1e-6;   ///< relative tolerance
+  double gmin = 1e-12;    ///< node-to-ground shunt conductance [S]
+  double max_step = 0.5;  ///< Newton damping: max node-voltage change [V]
+  bool gmin_stepping = true;
+  bool source_stepping = true;
+};
+
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A converged solution vector with node-voltage accessors.
+struct Solution {
+  std::vector<double> x;  ///< node voltages then branch currents
+  int num_nodes = 0;
+
+  double v(int node) const {
+    return node == 0 ? 0.0 : x[static_cast<std::size_t>(node - 1)];
+  }
+  /// Branch current of a voltage-source-like device (its k-th branch).
+  double branch_current(const Device& d, int k = 0) const {
+    return x[static_cast<std::size_t>(d.branch_matrix_row(num_nodes, k))];
+  }
+};
+
+/// Solves the DC operating point; on success every device has accept()ed the
+/// solution (MOSFET OpPoints are valid). Throws ConvergenceError.
+Solution solve_dc(Circuit& ckt, const NewtonOptions& opts = {});
+
+class VoltageSource;
+
+/// DC transfer sweep: steps `src` from v0 to v1 in `points` steps and
+/// solves the operating point at each value (the source keeps the last
+/// value afterwards). Classic .DC analysis.
+std::vector<Solution> dc_sweep(Circuit& ckt, VoltageSource& src, double v0,
+                               double v1, int points,
+                               const NewtonOptions& opts = {});
+
+struct TranOptions {
+  Integrator integ = Integrator::kTrapezoidal;
+  NewtonOptions newton;
+  int max_halvings = 10;  ///< per-step dt halving budget on non-convergence
+};
+
+/// Transient waveform record: time points and the full unknown vector at
+/// each accepted step (step 0 is the DC initial condition at t = 0).
+struct TranResult {
+  std::vector<double> time;
+  std::vector<std::vector<double>> values;
+  int num_nodes = 0;
+
+  double v(std::size_t step, int node) const {
+    return node == 0 ? 0.0
+                     : values[step][static_cast<std::size_t>(node - 1)];
+  }
+  /// Extracts a single node's waveform.
+  std::vector<double> node_waveform(int node) const;
+};
+
+/// Fixed-step transient from t = 0 to tstop. The DC solution at t = 0 seeds
+/// the integrator state; a non-converging step is retried with halved dt.
+TranResult transient(Circuit& ckt, double dt, double tstop,
+                     const TranOptions& opts = {});
+
+/// AC small-signal sweep. Requires a prior solve_dc() (or transient) so that
+/// nonlinear devices hold a valid operating point; solve_dc is NOT called
+/// implicitly to let callers bias the circuit as they wish.
+struct AcResult {
+  std::vector<double> freq;                            ///< [Hz]
+  std::vector<std::vector<std::complex<double>>> values;
+  int num_nodes = 0;
+
+  std::complex<double> v(std::size_t idx, int node) const {
+    return node == 0 ? std::complex<double>{}
+                     : values[idx][static_cast<std::size_t>(node - 1)];
+  }
+};
+
+AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
+                     double gmin = 1e-12);
+
+/// Logarithmically spaced frequency grid [f0, f1] with `per_decade` points
+/// per decade (inclusive of both ends).
+std::vector<double> log_space(double f0, double f1, int per_decade);
+
+}  // namespace csdac::spice

@@ -1,0 +1,55 @@
+#include "tech/mismatch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csdac::tech {
+
+namespace {
+void check_geometry(double w, double l) {
+  if (!(w > 0.0) || !(l > 0.0)) {
+    throw std::invalid_argument("mismatch: W and L must be positive");
+  }
+}
+}  // namespace
+
+double sigma_vt(const MosTechParams& t, double w, double l) {
+  check_geometry(w, l);
+  return t.a_vt / std::sqrt(w * l);
+}
+
+double sigma_beta_rel(const MosTechParams& t, double w, double l) {
+  check_geometry(w, l);
+  return t.a_beta / std::sqrt(w * l);
+}
+
+double sigma_id_rel(const MosTechParams& t, double w, double l, double vod) {
+  check_geometry(w, l);
+  if (!(vod > 0.0)) throw std::invalid_argument("mismatch: vod must be > 0");
+  const double inv_wl = 1.0 / (w * l);
+  const double var = t.a_beta * t.a_beta * inv_wl +
+                     4.0 * t.a_vt * t.a_vt / (vod * vod) * inv_wl;
+  return std::sqrt(var);
+}
+
+double min_gate_area(const MosTechParams& t, double vod, double sigma_i_rel) {
+  if (!(vod > 0.0) || !(sigma_i_rel > 0.0)) {
+    throw std::invalid_argument("min_gate_area: vod and sigma must be > 0");
+  }
+  return (t.a_beta * t.a_beta + 4.0 * t.a_vt * t.a_vt / (vod * vod)) /
+         (sigma_i_rel * sigma_i_rel);
+}
+
+MismatchDraw draw_mismatch(const MosTechParams& t, double w, double l,
+                           csdac::mathx::Xoshiro256& rng) {
+  MismatchDraw d;
+  d.d_vt = csdac::mathx::normal(rng, 0.0, sigma_vt(t, w, l));
+  d.d_beta_rel = csdac::mathx::normal(rng, 0.0, sigma_beta_rel(t, w, l));
+  return d;
+}
+
+double current_error_rel(const MismatchDraw& d, double vod) {
+  return d.d_beta_rel - 2.0 * d.d_vt / vod;
+}
+
+}  // namespace csdac::tech

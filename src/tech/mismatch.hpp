@@ -1,0 +1,43 @@
+// Pelgrom random-mismatch model. Convention (as used throughout the DAC
+// sizing literature, e.g. Van den Bosch et al. [10,11]): the standard
+// deviation of a *single* device parameter around its nominal value is
+//   sigma(dVT)      = A_VT   / sqrt(W*L)
+//   sigma(dBeta/B)  = A_beta / sqrt(W*L)
+// and a saturated square-law current source obeys
+//   (sigma_I/I)^2 = A_beta^2/(W*L) + 4*A_VT^2/(V_OD^2 * W*L).   (basis of eq. 2)
+#pragma once
+
+#include "mathx/rng.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::tech {
+
+/// sigma of the threshold-voltage deviation of a W x L device [V].
+double sigma_vt(const MosTechParams& t, double w, double l);
+
+/// sigma of the relative gain-factor deviation (dimensionless).
+double sigma_beta_rel(const MosTechParams& t, double w, double l);
+
+/// sigma of the relative drain-current deviation of a saturated square-law
+/// current source biased at overdrive `vod` (dimensionless).
+double sigma_id_rel(const MosTechParams& t, double w, double l, double vod);
+
+/// Minimum gate area W*L [m^2] for a current source to achieve a relative
+/// current accuracy `sigma_i_rel` at overdrive `vod` (inverse of
+/// sigma_id_rel; the area half of eq. 2).
+double min_gate_area(const MosTechParams& t, double vod, double sigma_i_rel);
+
+/// One Monte-Carlo realization of the (dVT, dBeta/B) pair for a device.
+struct MismatchDraw {
+  double d_vt = 0.0;        ///< threshold shift [V]
+  double d_beta_rel = 0.0;  ///< relative gain deviation
+};
+
+MismatchDraw draw_mismatch(const MosTechParams& t, double w, double l,
+                           csdac::mathx::Xoshiro256& rng);
+
+/// Relative current error of a square-law source given a mismatch draw,
+/// linearized: dI/I = dBeta/B - 2*dVT/V_OD.
+double current_error_rel(const MismatchDraw& d, double vod);
+
+}  // namespace csdac::tech

@@ -1,0 +1,107 @@
+#include "tech/tech.hpp"
+
+#include "tech/units.hpp"
+
+namespace csdac::tech {
+
+using namespace csdac::units;
+
+TechParams generic_035um() {
+  TechParams t;
+  t.name = "generic-0.35um-3.3V";
+  t.vdd = 3.3;
+
+  t.nmos.type = MosType::kNmos;
+  t.nmos.kp = 170e-6;          // A/V^2
+  t.nmos.vt0 = 0.50;           // V
+  t.nmos.lambda_l = 0.02 * um; // lambda = 0.057 1/V at L = 0.35 um
+  t.nmos.gamma = 0.58;         // sqrt(V)
+  t.nmos.phi_2f = 0.84;        // V
+  t.nmos.cox = 4.54e-3;        // F/m^2 (tox ~ 7.6 nm)
+  t.nmos.cgso = 0.30e-9;       // F/m  (0.30 fF/um)
+  t.nmos.cgdo = 0.30e-9;       // F/m
+  t.nmos.cj = 0.90e-3;         // F/m^2 (0.90 fF/um^2)
+  t.nmos.cjsw = 0.28e-9;       // F/m  (0.28 fF/um)
+  t.nmos.l_diff = 0.85 * um;
+  t.nmos.a_vt = 9.5e-9;        // V*m  (9.5 mV*um)
+  t.nmos.a_beta = 0.019e-6;    // m    (1.9 %*um)
+  t.nmos.l_min = 0.35 * um;
+  t.nmos.w_min = 0.50 * um;
+
+  t.pmos = t.nmos;
+  t.pmos.type = MosType::kPmos;
+  t.pmos.kp = 58e-6;
+  t.pmos.vt0 = 0.65;           // magnitude
+  t.pmos.lambda_l = 0.03 * um;
+  t.pmos.gamma = 0.40;
+  t.pmos.phi_2f = 0.80;
+  t.pmos.a_vt = 14.0e-9;       // 14 mV*um
+  t.pmos.a_beta = 0.023e-6;    // 2.3 %*um
+  return t;
+}
+
+TechParams generic_025um() {
+  TechParams t = generic_035um();
+  t.name = "generic-0.25um-2.5V";
+  t.vdd = 2.5;
+
+  t.nmos.kp = 285e-6;          // thinner oxide: higher gain factor
+  t.nmos.vt0 = 0.43;
+  t.nmos.lambda_l = 0.025 * um;
+  t.nmos.cox = 6.0e-3;         // F/m^2 (tox ~ 5.8 nm)
+  t.nmos.cgso = 0.35e-9;
+  t.nmos.cgdo = 0.35e-9;
+  t.nmos.a_vt = 6.0e-9;        // matching improves with oxide scaling
+  t.nmos.a_beta = 0.016e-6;
+  t.nmos.l_min = 0.25 * um;
+  t.nmos.w_min = 0.36 * um;
+  t.nmos.l_diff = 0.65 * um;
+
+  t.pmos = t.nmos;
+  t.pmos.type = MosType::kPmos;
+  t.pmos.kp = 95e-6;
+  t.pmos.vt0 = 0.55;
+  t.pmos.lambda_l = 0.035 * um;
+  t.pmos.gamma = 0.45;
+  t.pmos.a_vt = 9.0e-9;
+  t.pmos.a_beta = 0.020e-6;
+  return t;
+}
+
+MosTechParams at_corner(const MosTechParams& t, Corner c) {
+  MosTechParams out = t;
+  switch (c) {
+    case Corner::kTypical:
+      break;
+    case Corner::kSlow:
+      out.kp *= 0.9;
+      out.vt0 += 0.06;
+      break;
+    case Corner::kFast:
+      out.kp *= 1.1;
+      out.vt0 -= 0.06;
+      break;
+  }
+  return out;
+}
+
+TechParams at_corner(const TechParams& t, Corner c) {
+  TechParams out = t;
+  out.nmos = at_corner(t.nmos, c);
+  out.pmos = at_corner(t.pmos, c);
+  return out;
+}
+
+double cgs_sat(const MosTechParams& t, double w, double l) {
+  return (2.0 / 3.0) * w * l * t.cox + w * t.cgso;
+}
+
+double cgd_sat(const MosTechParams& t, double w) { return w * t.cgdo; }
+
+double cj_diffusion(const MosTechParams& t, double w) {
+  const double area = w * t.l_diff;
+  const double perim = 2.0 * t.l_diff + w;
+  return area * t.cj + perim * t.cjsw;
+}
+
+}  // namespace csdac::tech

@@ -1,0 +1,78 @@
+// Technology description: a generic 0.35 um CMOS parameter set standing in
+// for the (proprietary) foundry PDK the paper used. All values are in SI
+// units and are representative of published 0.35 um processes; only the
+// numeric design point depends on them, not the methodology.
+#pragma once
+
+#include <string>
+
+namespace csdac::tech {
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 (square-law) MOS model card plus Pelgrom matching data.
+/// The paper explicitly works with the square-law model because foundry
+/// matching parameters (A_VT, A_beta) are characterized for it.
+struct MosTechParams {
+  MosType type = MosType::kNmos;
+  double kp = 0.0;        ///< process gain factor K' = mu*Cox [A/V^2]
+  double vt0 = 0.0;       ///< zero-bias threshold, magnitude [V]
+  double lambda_l = 0.0;  ///< channel-length modulation, lambda*L [m/V]
+  double gamma = 0.0;     ///< body-effect coefficient [sqrt(V)]
+  double phi_2f = 0.0;    ///< surface potential 2*phi_F [V]
+  double cox = 0.0;       ///< gate oxide capacitance per area [F/m^2]
+  double cgso = 0.0;      ///< gate-source overlap cap per width [F/m]
+  double cgdo = 0.0;      ///< gate-drain overlap cap per width [F/m]
+  double cj = 0.0;        ///< junction bottom cap per area [F/m^2]
+  double cjsw = 0.0;      ///< junction sidewall cap per perimeter [F/m]
+  double l_diff = 0.0;    ///< source/drain diffusion extent [m]
+  double a_vt = 0.0;      ///< Pelgrom threshold matching A_VT [V*m]
+  double a_beta = 0.0;    ///< Pelgrom gain matching A_beta [m] (relative)
+  double l_min = 0.0;     ///< minimum channel length [m]
+  double w_min = 0.0;     ///< minimum channel width [m]
+
+  /// lambda for a device of channel length l: lambda = lambda_l / l [1/V].
+  double lambda(double l) const { return l > 0.0 ? lambda_l / l : 0.0; }
+};
+
+/// Full process description.
+struct TechParams {
+  std::string name;
+  double vdd = 0.0;  ///< nominal supply [V]
+  MosTechParams nmos;
+  MosTechParams pmos;
+};
+
+/// Representative generic 0.35 um, 3.3 V CMOS process (the paper's node).
+TechParams generic_035um();
+
+/// Representative generic 0.25 um, 2.5 V CMOS process — used to show the
+/// methodology ports across nodes (Section 5: "the same methodology can be
+/// applied ... provided the process matching parameters are available").
+TechParams generic_025um();
+
+/// Global process corners: slow/fast shift the gain factor and threshold of
+/// every device together (deterministic, unlike the per-device Pelgrom
+/// mismatch). The statistical saturation condition covers the random part;
+/// corners are handled by bias generators that track VT/beta, which is why
+/// the sizing is re-evaluated AT the corner rather than margined for it.
+enum class Corner { kTypical, kSlow, kFast };
+
+/// Derives the corner variant of a device model: kSlow = -10 % K', +60 mV
+/// |VT|; kFast = +10 % K', -60 mV |VT|.
+MosTechParams at_corner(const MosTechParams& t, Corner c);
+
+/// Corner variant of a full process description.
+TechParams at_corner(const TechParams& t, Corner c);
+
+/// Gate-source capacitance in saturation: (2/3)*W*L*Cox + W*CGSO.
+double cgs_sat(const MosTechParams& t, double w, double l);
+
+/// Gate-drain capacitance in saturation (overlap only): W*CGDO.
+double cgd_sat(const MosTechParams& t, double w);
+
+/// Drain(BD)/source(SB) junction capacitance at zero bias for a rectangular
+/// diffusion of width W and extent l_diff.
+double cj_diffusion(const MosTechParams& t, double w);
+
+}  // namespace csdac::tech

@@ -1,0 +1,29 @@
+// SI unit multipliers. The whole library works in base SI units (V, A, m,
+// F, s, Hz, Ohm); these constants keep call sites readable:
+//   double w = 4.2 * units::um;
+#pragma once
+
+namespace csdac::units {
+
+inline constexpr double G = 1e9;
+inline constexpr double M = 1e6;
+inline constexpr double k = 1e3;
+inline constexpr double m = 1e-3;
+inline constexpr double u = 1e-6;
+inline constexpr double n = 1e-9;
+inline constexpr double p = 1e-12;
+inline constexpr double f = 1e-15;
+
+inline constexpr double um = 1e-6;   // micrometre
+inline constexpr double nm = 1e-9;   // nanometre
+inline constexpr double mV = 1e-3;   // millivolt
+inline constexpr double uA = 1e-6;   // microampere
+inline constexpr double mA = 1e-3;   // milliampere
+inline constexpr double fF = 1e-15;  // femtofarad
+inline constexpr double pF = 1e-12;  // picofarad
+inline constexpr double ns = 1e-9;   // nanosecond
+inline constexpr double ps = 1e-12;  // picosecond
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+}  // namespace csdac::units

@@ -1,0 +1,209 @@
+#include "cells/cells.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/measures.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::cells {
+namespace {
+
+using namespace csdac::units;
+using spice::Circuit;
+using spice::PulseWave;
+using spice::Resistor;
+using spice::VoltageSource;
+using tech::generic_035um;
+
+const tech::TechParams kTech = generic_035um();
+
+TEST(Inverter, VtcIsFullSwingAndMonotone) {
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  auto* vin = ckt.add(std::make_unique<VoltageSource>("vin", in, 0, 0.0));
+  CellSizes s;
+  s.with_caps = false;
+  add_inverter(ckt, "inv", kTech, in, out, vdd, 0, s);
+  const auto sweep = spice::dc_sweep(ckt, *vin, 0.0, 3.3, 34);
+  EXPECT_NEAR(sweep.front().v(out), 3.3, 1e-3);
+  EXPECT_NEAR(sweep.back().v(out), 0.0, 1e-3);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].v(out), sweep[i - 1].v(out) + 1e-6);
+  }
+  // Switching threshold somewhere in the middle third of the supply.
+  double vth = 0.0;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].v(out) < 1.65 && sweep[i - 1].v(out) >= 1.65) {
+      vth = 3.3 * static_cast<double>(i) / 33.0;
+      break;
+    }
+  }
+  EXPECT_GT(vth, 1.0);
+  EXPECT_LT(vth, 2.3);
+}
+
+TEST(Inverter, TransientPropagationDelay) {
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>(
+      "vin", in, 0,
+      std::make_unique<PulseWave>(0.0, 3.3, 1 * ns, 50 * ps, 50 * ps,
+                                  10 * ns)));
+  add_inverter(ckt, "inv", kTech, in, out, vdd, 0);
+  // A load inverter provides realistic fan-out.
+  const int out2 = ckt.node("out2");
+  add_inverter(ckt, "load", kTech, out, out2, vdd, 0);
+  const auto res = spice::transient(ckt, 5 * ps, 4 * ns);
+  const auto v_in = res.node_waveform(in);
+  const auto v_out = res.node_waveform(out);
+  const double t_in = spice::crossing_time(res.time, v_in, 1.65);
+  const double t_out = spice::crossing_time(res.time, v_out, 1.65);
+  ASSERT_GT(t_in, 0.0);
+  ASSERT_GT(t_out, t_in);
+  EXPECT_LT(t_out - t_in, 0.4 * ns);  // sub-ns gate in 0.35 um
+}
+
+TEST(TransmissionGate, PassesBothLevels) {
+  for (double v_src : {0.3, 3.0}) {
+    Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int a = ckt.node("a");
+    const int b = ckt.node("b");
+    ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+    ckt.add(std::make_unique<VoltageSource>("vs", a, 0, v_src));
+    ckt.add(std::make_unique<VoltageSource>("ven", ckt.node("en"), 0, 3.3));
+    ckt.add(std::make_unique<VoltageSource>("venb", ckt.node("enb"), 0, 0.0));
+    CellSizes s;
+    s.with_caps = false;
+    add_transmission_gate(ckt, "tg", kTech, a, b, ckt.find_node("en"),
+                          ckt.find_node("enb"), s);
+    ckt.add(std::make_unique<Resistor>("rl", b, 0, 1e6));
+    const auto sol = spice::solve_dc(ckt);
+    EXPECT_NEAR(sol.v(b), v_src, 0.05) << "level " << v_src;
+  }
+}
+
+TEST(TransmissionGate, BlocksWhenDisabled) {
+  Circuit ckt;
+  const int a = ckt.node("a");
+  const int b = ckt.node("b");
+  ckt.add(std::make_unique<VoltageSource>("vs", a, 0, 2.0));
+  ckt.add(std::make_unique<VoltageSource>("ven", ckt.node("en"), 0, 0.0));
+  ckt.add(std::make_unique<VoltageSource>("venb", ckt.node("enb"), 0, 3.3));
+  CellSizes s;
+  s.with_caps = false;
+  add_transmission_gate(ckt, "tg", kTech, a, b, ckt.find_node("en"),
+                        ckt.find_node("enb"), s);
+  ckt.add(std::make_unique<Resistor>("rl", b, 0, 1e6));
+  const auto sol = spice::solve_dc(ckt);
+  EXPECT_LT(sol.v(b), 0.1);
+}
+
+// Shared latch testbench: clk high 1..3 ns, d toggles while transparent and
+// again while opaque.
+struct LatchBench {
+  Circuit ckt;
+  LatchNodes latch;
+  int d = 0, clk = 0;
+
+  LatchBench() {
+    const int vdd = ckt.node("vdd");
+    d = ckt.node("d");
+    clk = ckt.node("clk");
+    const int clkb = ckt.node("clkb");
+    ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+    // d: low, goes high at 1.5 ns (while transparent), low again at 5 ns
+    // (while the latch is opaque).
+    ckt.add(std::make_unique<VoltageSource>(
+        "vd", d, 0,
+        std::make_unique<spice::PwlWave>(
+            std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                                   {1.5e-9, 0.0},
+                                                   {1.6e-9, 3.3},
+                                                   {5.0e-9, 3.3},
+                                                   {5.1e-9, 0.0}})));
+    // clk: high 1..3 ns.
+    ckt.add(std::make_unique<VoltageSource>(
+        "vclk", clk, 0,
+        std::make_unique<PulseWave>(0.0, 3.3, 1 * ns, 50 * ps, 50 * ps,
+                                    2 * ns)));
+    ckt.add(std::make_unique<VoltageSource>(
+        "vclkb", clkb, 0,
+        std::make_unique<PulseWave>(3.3, 0.0, 1 * ns, 50 * ps, 50 * ps,
+                                    2 * ns)));
+    latch = add_d_latch(ckt, "lat", kTech, d, clk, clkb, vdd);
+  }
+};
+
+TEST(DLatch, TransparentThenHolds) {
+  LatchBench b;
+  const auto res = spice::transient(b.ckt, 10 * ps, 8 * ns);
+  const auto q = res.node_waveform(b.latch.q);
+  const auto qb = res.node_waveform(b.latch.qb);
+  auto v_at = [&](const std::vector<double>& w, double t) {
+    for (std::size_t i = 0; i < res.time.size(); ++i) {
+      if (res.time[i] >= t) return w[i];
+    }
+    return w.back();
+  };
+  // While transparent (t = 2.5 ns): q follows d = high.
+  EXPECT_GT(v_at(q, 2.5e-9), 2.8);
+  EXPECT_LT(v_at(qb, 2.5e-9), 0.5);
+  // After the falling clock edge, d drops at 5 ns but q must HOLD high.
+  EXPECT_GT(v_at(q, 6.5e-9), 2.8);
+  EXPECT_GT(v_at(q, 7.9e-9), 2.8);
+}
+
+TEST(DLatch, ComplementaryOutputsCross) {
+  // The paper cares about the Q/QB crossing point (glitch minimization,
+  // ref. [9]): both outputs must actually cross during the transparent
+  // phase transition.
+  LatchBench b;
+  const auto res = spice::transient(b.ckt, 10 * ps, 4 * ns);
+  const auto q = res.node_waveform(b.latch.q);
+  const auto qb = res.node_waveform(b.latch.qb);
+  bool crossed = false;
+  for (std::size_t i = 1; i < res.time.size(); ++i) {
+    if ((q[i - 1] - qb[i - 1]) * (q[i] - qb[i]) < 0.0) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(SwitchDriver, ReducedSwingOutput) {
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int vlow = ckt.node("vlow");
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vlow", vlow, 0, 0.8));
+  auto* vin = ckt.add(std::make_unique<VoltageSource>("vin", in, 0, 0.0));
+  CellSizes s;
+  s.with_caps = false;
+  add_switch_driver(ckt, "drv", kTech, in, out, vdd, vlow, s);
+  vin->set_dc(0.0);
+  EXPECT_NEAR(spice::solve_dc(ckt).v(out), 3.3, 0.01);  // high = full rail
+  vin->set_dc(3.3);
+  EXPECT_NEAR(spice::solve_dc(ckt).v(out), 0.8, 0.01);  // low = raised rail
+}
+
+TEST(Cells, SizeValidation) {
+  Circuit ckt;
+  CellSizes bad;
+  bad.wn = 0.0;
+  EXPECT_THROW(add_inverter(ckt, "i", kTech, 1, 2, 3, 0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::cells

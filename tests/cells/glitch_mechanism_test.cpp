@@ -1,0 +1,90 @@
+// Regression test for the Section 2 glitch mechanism (bench E4): when the
+// complementary switch gates cross LOW (break-before-make), both switches
+// open simultaneously and the cell current pulls the internal node down;
+// a HIGH crossing point (make-before-break) holds it. The droop ordering is
+// the invariant; the bench reports the quantitative sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sizer.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac {
+namespace {
+
+using namespace csdac::units;
+
+double internal_droop(const tech::MosTechParams& t, const core::DacSpec& spec,
+                      const core::SizedCell& cell, double overlap) {
+  const double weight = spec.unary_weight();
+  const double tr = 100 * ps;
+  const double t0 = 1.0 * units::ns;
+  const double t_fall = t0 + overlap;
+  const double von = cell.cell.vg_sw;
+
+  spice::Circuit ckt;
+  const int outp = ckt.node("outp");
+  const int outn = ckt.node("outn");
+  const int top = ckt.node("top");
+  const int mid = ckt.node("mid");
+  const int vterm = ckt.node("vterm");
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vterm", vterm, 0, spec.v_out_min + spec.v_swing));
+  ckt.add(std::make_unique<spice::Resistor>("rlp", vterm, outp, spec.r_load));
+  ckt.add(std::make_unique<spice::Resistor>("rln", vterm, outn, spec.r_load));
+  ckt.add(std::make_unique<spice::VoltageSource>("vgcs", ckt.node("gcs"), 0,
+                                                 cell.cell.vg_cs));
+  ckt.add(std::make_unique<spice::VoltageSource>("vgcas", ckt.node("gcas"),
+                                                 0, cell.cell.vg_cas));
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vgsw", ckt.node("gsw"), 0,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, von}, {t_fall, von}, {t_fall + tr, 0.0}})));
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vgswb", ckt.node("gswb"), 0,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {t0, 0.0}, {t0 + tr, von}})));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mcs", t, mid, ckt.find_node("gcs"), 0, 0,
+      spice::Mosfet::Geometry{cell.cell.cs.w, cell.cell.cs.l, weight}, true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mcas", t, top, ckt.find_node("gcas"), mid, 0,
+      spice::Mosfet::Geometry{cell.cell.cas.w, cell.cell.cas.l, weight},
+      true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mswp", t, outp, ckt.find_node("gsw"), top, 0,
+      spice::Mosfet::Geometry{cell.cell.sw.w, cell.cell.sw.l, weight}, true));
+  ckt.add(std::make_unique<spice::Mosfet>(
+      "mswn", t, outn, ckt.find_node("gswb"), top, 0,
+      spice::Mosfet::Geometry{cell.cell.sw.w, cell.cell.sw.l, weight}, true));
+  ckt.add(std::make_unique<spice::Capacitor>("cint", top, 0, spec.c_int));
+
+  const auto res = spice::transient(ckt, 4 * ps, 3 * units::ns);
+  const auto v_top = res.node_waveform(top);
+  double v_min = v_top.front();
+  for (double v : v_top) v_min = std::min(v_min, v);
+  return v_top.front() - v_min;
+}
+
+TEST(GlitchMechanism, LowCrossingStarvesInternalNode) {
+  const auto t = tech::generic_035um().nmos;
+  const core::DacSpec spec;
+  const core::CellSizer sizer(t, spec);
+  const core::SizedCell cell =
+      sizer.size_cascode(0.25, 0.2, 0.2, core::MarginPolicy::kStatistical);
+
+  const double droop_low = internal_droop(t, spec, cell, -80 * ps);
+  const double droop_high = internal_droop(t, spec, cell, +50 * ps);
+  // Break-before-make (low crossing) must disturb the node far more.
+  EXPECT_GT(droop_low, 2.0 * droop_high);
+  EXPECT_GT(droop_low, 0.05);   // clearly visible starvation
+  EXPECT_LT(droop_high, 0.06);  // make-before-break holds the node
+}
+
+}  // namespace
+}  // namespace csdac

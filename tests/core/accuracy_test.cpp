@@ -1,0 +1,69 @@
+#include "core/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/stats.hpp"
+
+namespace csdac::core {
+namespace {
+
+TEST(Accuracy, Eq1TwelveBitDesignValue) {
+  // Paper design case: n = 12, yield = 99.7 %.
+  // C = inv_norm(0.9985) = 2.9677; sigma <= 1/(2*C*sqrt(4096)) = 0.263 %.
+  const double s = unit_sigma_spec(12, 0.997);
+  EXPECT_NEAR(s, 1.0 / (2.0 * 2.96774 * 64.0), 1e-6);
+  EXPECT_NEAR(s, 0.002633, 1e-5);
+}
+
+TEST(Accuracy, Eq1TenBitMatchesVanDenBosch) {
+  // [10]'s classic example: 10 bit, 99.7 % yield -> sigma ~ 0.53 %.
+  EXPECT_NEAR(unit_sigma_spec(10, 0.997), 0.00527, 5e-5);
+}
+
+TEST(Accuracy, SigmaTightensWithResolutionAndYield) {
+  EXPECT_LT(unit_sigma_spec(14, 0.997), unit_sigma_spec(12, 0.997));
+  EXPECT_LT(unit_sigma_spec(12, 0.9999), unit_sigma_spec(12, 0.99));
+}
+
+TEST(Accuracy, YieldRoundTrip) {
+  for (double y : {0.5, 0.9, 0.99, 0.997}) {
+    const double s = unit_sigma_spec(12, y);
+    EXPECT_NEAR(inl_yield_from_sigma(12, s), y, 1e-10) << "yield " << y;
+  }
+}
+
+TEST(Accuracy, BoundYieldFourthRoot) {
+  EXPECT_NEAR(bound_yield(0.997), std::pow(0.997, 0.25), 1e-14);
+  EXPECT_GT(bound_yield(0.997), 0.997);
+}
+
+TEST(Accuracy, SCoefficientForPaperYield) {
+  // yield_V = 0.997^(1/4) = 0.99925; S = inv_norm(0.99925) ~ 3.17.
+  EXPECT_NEAR(s_coefficient(0.997), 3.174, 5e-3);
+}
+
+TEST(Accuracy, ImpedanceInlRoundTrip) {
+  const double r_req = required_unit_rout(12, 50.0, 0.5);
+  EXPECT_NEAR(inl_from_unit_rout(12, 50.0, r_req), 0.5, 1e-12);
+  // 12-bit @ 50 Ohm needs unit Rout in the hundreds of MOhm.
+  EXPECT_GT(r_req, 100e6);
+  EXPECT_LT(r_req, 1e9);
+}
+
+TEST(Accuracy, SfdrImprovesWithRout) {
+  EXPECT_GT(sfdr_single_ended_db(12, 50.0, 1e9),
+            sfdr_single_ended_db(12, 50.0, 1e7));
+}
+
+TEST(Accuracy, ErrorHandling) {
+  EXPECT_THROW(unit_sigma_spec(1, 0.99), std::invalid_argument);
+  EXPECT_THROW(inl_yield_from_sigma(12, 0.0), std::invalid_argument);
+  EXPECT_THROW(bound_yield(1.0), std::invalid_argument);
+  EXPECT_THROW(inl_from_unit_rout(12, 50.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(required_unit_rout(12, 50.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::core

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "core/architecture.hpp"
+#include "digital/decoder.hpp"
+
+namespace csdac::core {
+namespace {
+
+TEST(ArchitectureCosts, CustomCostsShiftOptimum) {
+  const double sigma = unit_sigma_spec(12, 0.997);
+  // Expensive decoder gates push the optimum toward more binary bits
+  // (within the glitch budget).
+  SegmentationCosts cheap;
+  cheap.decoder_gate_area = 10e-12;
+  SegmentationCosts pricey;
+  pricey.decoder_gate_area = 5000e-12;
+  const auto pts_cheap = explore_segmentation(12, 60e-12, sigma, cheap);
+  const auto pts_pricey = explore_segmentation(12, 60e-12, sigma, pricey);
+  const int b_cheap = optimal_binary_bits(pts_cheap, 0.997);
+  const int b_pricey = optimal_binary_bits(pts_pricey, 0.997);
+  EXPECT_GE(b_pricey, b_cheap);
+  // Both capped by the glitch budget (b <= 4 at the default 2^4).
+  EXPECT_LE(b_pricey, 4);
+}
+
+TEST(ArchitectureCosts, GlitchBudgetBindsSelection) {
+  const double sigma = unit_sigma_spec(12, 0.997);
+  const auto pts = explore_segmentation(12, 60e-12, sigma);
+  // Relaxing the glitch budget lets the area optimum move to more binary.
+  const int tight = optimal_binary_bits(pts, 0.997, /*max_glitch=*/4.0);
+  const int loose = optimal_binary_bits(pts, 0.997, /*max_glitch=*/1024.0);
+  EXPECT_LE(tight, 2);
+  EXPECT_GT(loose, tight);
+}
+
+TEST(ArchitectureCosts, ModelTracksGateLevelDecoder) {
+  // The decoder-area model (gates ~ m * 2^m) should track the actual
+  // row/column construction within a small constant factor over the range
+  // the selector explores.
+  for (int m = 4; m <= 8; m += 2) {
+    const int rb = m / 2;
+    const int cb = m - rb;
+    const int gates = digital::ThermometerDecoder(rb, cb).gate_count();
+    const double model = static_cast<double>(m) * (1 << m);
+    const double ratio = gates / model;
+    EXPECT_GT(ratio, 0.1) << "m = " << m;
+    EXPECT_LT(ratio, 1.5) << "m = " << m;
+  }
+}
+
+}  // namespace
+}  // namespace csdac::core

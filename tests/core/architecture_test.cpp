@@ -1,0 +1,81 @@
+#include "core/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::core {
+namespace {
+
+using namespace csdac::units;
+
+TEST(Architecture, ExploresAllSegmentations) {
+  const auto pts = explore_segmentation(12, 100 * um * um,
+                                        unit_sigma_spec(12, 0.997));
+  EXPECT_EQ(pts.size(), 12u);
+  EXPECT_EQ(pts.front().binary_bits, 0);
+  EXPECT_EQ(pts.back().binary_bits, 11);
+}
+
+TEST(Architecture, DecoderAreaExplodesWithUnaryBits) {
+  const auto pts = explore_segmentation(12, 100 * um * um,
+                                        unit_sigma_spec(12, 0.997));
+  // b=0 means m=12: a 12-to-4095 decoder, far larger than b=6 (m=6).
+  EXPECT_GT(pts[0].decoder_area, 30.0 * pts[6].decoder_area);
+}
+
+TEST(Architecture, AnalogAreaIndependentOfSplit) {
+  const auto pts = explore_segmentation(12, 100 * um * um,
+                                        unit_sigma_spec(12, 0.997));
+  for (const auto& p : pts) {
+    EXPECT_DOUBLE_EQ(p.analog_area, pts[0].analog_area);
+  }
+}
+
+TEST(Architecture, DnlGrowsWithBinaryBits) {
+  const auto pts = explore_segmentation(12, 100 * um * um,
+                                        unit_sigma_spec(12, 0.997));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].dnl_sigma_lsb, pts[i - 1].dnl_sigma_lsb);
+    EXPECT_GT(pts[i].glitch_metric, pts[i - 1].glitch_metric);
+  }
+}
+
+TEST(Architecture, DnlAlwaysMetWhenInlMet) {
+  // Paper: "the DNL specification ... is always satisfied provided the INL
+  // is below 0.5 LSB for reasonable segmentation ratios". With the eq. (1)
+  // sigma, DNL stays under 0.5 LSB at the same yield up to b ~ 8.
+  const double sigma = unit_sigma_spec(12, 0.997);
+  const auto pts = explore_segmentation(12, 100 * um * um, sigma);
+  const int best = optimal_binary_bits(pts, 0.997);
+  ASSERT_GE(best, 0);
+  EXPECT_LE(pts[static_cast<std::size_t>(best)].dnl_sigma_lsb * 2.9677, 0.5);
+}
+
+TEST(Architecture, OptimumMatchesPaperChoice) {
+  // The paper picks b = 4, m = 8 for its 12-bit design. Our cost model
+  // should land within a couple of bits of that.
+  const auto pts = explore_segmentation(12, 60 * um * um,
+                                        unit_sigma_spec(12, 0.997));
+  const int best = optimal_binary_bits(pts, 0.997);
+  EXPECT_GE(best, 2);
+  EXPECT_LE(best, 6);
+}
+
+TEST(Architecture, RejectsBadInput) {
+  EXPECT_THROW(explore_segmentation(1, 1e-9, 0.002), std::invalid_argument);
+  EXPECT_THROW(explore_segmentation(12, 0.0, 0.002), std::invalid_argument);
+  EXPECT_THROW(explore_segmentation(12, 1e-9, 0.0), std::invalid_argument);
+}
+
+TEST(Architecture, NoFeasibleSegmentationReturnsMinusOne) {
+  // Absurdly loose unit sigma: every b violates the DNL constraint...
+  // except possibly b = 0 (DNL sigma = sigma_u there). Use a sigma so large
+  // even b = 0 fails.
+  const auto pts = explore_segmentation(12, 1e-9, 0.4);
+  EXPECT_EQ(optimal_binary_bits(pts, 0.997), -1);
+}
+
+}  // namespace
+}  // namespace csdac::core

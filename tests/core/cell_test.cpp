@@ -1,0 +1,123 @@
+#include "core/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy.hpp"
+#include "tech/mismatch.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::core {
+namespace {
+
+using namespace csdac::units;
+using tech::generic_035um;
+
+TEST(CellSizing, CurrentSourceMeetsBothConstraints) {
+  const auto t = generic_035um().nmos;
+  const double i = 4.884 * uA;  // 12-bit LSB of the paper's design
+  const double vod = 0.3;
+  const double sigma = unit_sigma_spec(12, 0.997);
+  const DeviceSize d = size_current_source(t, i, vod, sigma);
+  // Mismatch constraint met with equality (minimum area).
+  EXPECT_NEAR(tech::sigma_id_rel(t, d.w, d.l, vod), sigma, 1e-9);
+  // Square law: W/L carries i at the requested overdrive.
+  EXPECT_NEAR(0.5 * t.kp * d.aspect() * vod * vod, i, i * 1e-9);
+}
+
+TEST(CellSizing, CsAreaGrowsAtLowOverdrive) {
+  const auto t = generic_035um().nmos;
+  const double sigma = unit_sigma_spec(12, 0.997);
+  const DeviceSize lo = size_current_source(t, 5 * uA, 0.15, sigma);
+  const DeviceSize hi = size_current_source(t, 5 * uA, 0.6, sigma);
+  EXPECT_GT(lo.area(), hi.area());
+}
+
+TEST(CellSizing, CsIsLongDevice) {
+  // At micro-amp currents and tight accuracy, the CS transistor must be a
+  // long device (L >> L_min) — the well-known DAC array signature.
+  const auto t = generic_035um().nmos;
+  const DeviceSize d =
+      size_current_source(t, 4.884 * uA, 0.4, unit_sigma_spec(12, 0.997));
+  EXPECT_GT(d.l, 10 * t.l_min);
+}
+
+TEST(CellSizing, SwitchSizedForCurrentAtMinLength) {
+  const auto t = generic_035um().nmos;
+  const DeviceSize d = size_for_current(t, 100 * uA, 0.2, t.l_min);
+  EXPECT_DOUBLE_EQ(d.l, t.l_min);
+  EXPECT_NEAR(0.5 * t.kp * d.aspect() * 0.04, 100 * uA, 1e-9);
+}
+
+TEST(CellSizing, SwitchWidthClampsToWmin) {
+  const auto t = generic_035um().nmos;
+  // Tiny current at large overdrive would need W < Wmin.
+  const DeviceSize d = size_for_current(t, 0.1 * uA, 0.8, t.l_min);
+  EXPECT_DOUBLE_EQ(d.w, t.w_min);
+}
+
+TEST(CellSizing, VtAtVsbMatchesBodyEffect) {
+  const auto t = generic_035um().nmos;
+  EXPECT_DOUBLE_EQ(vt_at_vsb(t, 0.0), t.vt0);
+  const double vt1 = vt_at_vsb(t, 1.0);
+  EXPECT_NEAR(vt1,
+              t.vt0 + t.gamma * (std::sqrt(t.phi_2f + 1.0) -
+                                 std::sqrt(t.phi_2f)),
+              1e-14);
+  EXPECT_GT(vt1, t.vt0);
+}
+
+TEST(CellSizing, SourceNodeVoltageSelfConsistent) {
+  const auto t = generic_035um().nmos;
+  const double vg = 1.6, vod = 0.25;
+  const double vs = source_node_voltage(t, vg, vod);
+  EXPECT_NEAR(vs, vg - vt_at_vsb(t, vs) - vod, 1e-10);
+  EXPECT_GT(vs, 0.0);
+}
+
+TEST(CellSizing, OptimalVgSwSplitsSlackEqually) {
+  const auto t = generic_035um().nmos;
+  const double v_o = 1.0, vod_cs = 0.3, vod_sw = 0.2;
+  const double vg = optimal_vg_sw_basic(t, v_o, vod_cs, vod_sw);
+  // The implied internal node is vod_cs + slack/2.
+  const double v_int_target = vod_cs + 0.5 * (v_o - vod_cs - vod_sw);
+  EXPECT_NEAR(vg - vt_at_vsb(t, v_int_target) - vod_sw, v_int_target, 1e-12);
+  // CS gets extra VDS headroom beyond its overdrive.
+  EXPECT_GT(v_int_target, vod_cs);
+}
+
+TEST(CellSizing, CascodeBiasOrdersNodesCorrectly) {
+  const auto t = generic_035um().nmos;
+  const double v_o = 1.0, vod_cs = 0.25, vod_cas = 0.2, vod_sw = 0.15;
+  const CascodeBias b = optimal_vg_cascode(t, v_o, vod_cs, vod_cas, vod_sw);
+  EXPECT_GT(b.vg_sw, b.vg_cas);  // SW gate sits above the CAS gate
+  // Implied CAS source node is above the CS saturation voltage.
+  const double v1 = b.vg_cas - vt_at_vsb(t, vod_cs + (v_o - 0.6) / 3.0) -
+                    vod_cas;
+  EXPECT_GT(v1, vod_cs - 1e-9);
+}
+
+TEST(CellSizing, ActiveAreaComposition) {
+  CellSizing c;
+  c.topology = CellTopology::kCsSw;
+  c.cs = {10 * um, 10 * um};
+  c.sw = {2 * um, 0.35 * um};
+  const double basic = c.active_area();
+  EXPECT_NEAR(basic, 100 * um * um + 2 * 0.7 * um * um, 1e-18);
+  c.topology = CellTopology::kCsSwCas;
+  c.cas = {3 * um, 0.35 * um};
+  EXPECT_GT(c.active_area(), basic);
+}
+
+TEST(CellSizing, SizingErrorHandling) {
+  const auto t = generic_035um().nmos;
+  EXPECT_THROW(size_current_source(t, 0.0, 0.3, 0.002),
+               std::invalid_argument);
+  EXPECT_THROW(size_current_source(t, 1 * uA, -0.1, 0.002),
+               std::invalid_argument);
+  EXPECT_THROW(size_for_current(t, 1 * uA, 0.3, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::core

@@ -1,0 +1,97 @@
+#include "core/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+namespace {
+
+using tech::generic_035um;
+
+DesignSpaceExplorer make_explorer() {
+  return DesignSpaceExplorer(CellSizer(generic_035um().nmos, DacSpec{}));
+}
+
+TEST(Explorer, GridAxisEndpoints) {
+  GridAxis a{0.1, 0.9, 5};
+  EXPECT_DOUBLE_EQ(a.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(a.at(4), 0.9);
+  EXPECT_DOUBLE_EQ(a.at(2), 0.5);
+}
+
+TEST(Explorer, BasicSweepSizeAndFeasibilitySplit) {
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.9, 12};
+  const auto pts = ex.sweep_basic(g, g, MarginPolicy::kStatistical);
+  EXPECT_EQ(pts.size(), 144u);
+  int feasible = 0;
+  for (const auto& p : pts) feasible += p.feasible ? 1 : 0;
+  // The statistical boundary cuts the square roughly along vod_cs+vod_sw~1.
+  EXPECT_GT(feasible, 10);
+  EXPECT_LT(feasible, 140);
+}
+
+TEST(Explorer, SelectMinAreaAndMaxSpeedDiffer) {
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.9, 15};
+  const auto pts = ex.sweep_basic(g, g, MarginPolicy::kStatistical);
+  const auto area = DesignSpaceExplorer::select(pts, Objective::kMinArea);
+  const auto speed = DesignSpaceExplorer::select(pts, Objective::kMaxSpeed);
+  ASSERT_TRUE(area && speed);
+  EXPECT_TRUE(area->feasible);
+  EXPECT_TRUE(speed->feasible);
+  EXPECT_LE(area->area, speed->area);
+  EXPECT_GE(speed->f_min_hz, area->f_min_hz);
+}
+
+TEST(Explorer, MinAreaPrefersLargeCsOverdrive) {
+  // The CS area ~ 1/vod^2-ish; the min-area optimum pushes vod_cs high
+  // along the saturation boundary.
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.9, 18};
+  const auto best = ex.optimize_basic(g, g, MarginPolicy::kStatistical,
+                                      Objective::kMinArea);
+  ASSERT_TRUE(best);
+  EXPECT_GT(best->vod_cs, 0.4);
+}
+
+TEST(Explorer, StatisticalOptimumBeatsFixedMarginOptimum) {
+  // The enlarged design region can only improve the optimum (Fig. 3 claim).
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.9, 18};
+  const auto stat = ex.optimize_basic(g, g, MarginPolicy::kStatistical,
+                                      Objective::kMinArea);
+  const auto fixed = ex.optimize_basic(g, g, MarginPolicy::kFixedMargin,
+                                       Objective::kMinArea, 0.5);
+  ASSERT_TRUE(stat && fixed);
+  EXPECT_LT(stat->area, fixed->area);
+  const auto stat_speed = ex.optimize_basic(g, g, MarginPolicy::kStatistical,
+                                            Objective::kMaxSpeed);
+  const auto fixed_speed = ex.optimize_basic(
+      g, g, MarginPolicy::kFixedMargin, Objective::kMaxSpeed, 0.5);
+  ASSERT_TRUE(stat_speed && fixed_speed);
+  EXPECT_GE(stat_speed->f_min_hz, fixed_speed->f_min_hz);
+}
+
+TEST(Explorer, CascodeSweepProducesFeasibleVolume) {
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.6, 7};
+  const auto pts = ex.sweep_cascode(g, g, g, MarginPolicy::kStatistical);
+  EXPECT_EQ(pts.size(), 343u);
+  const auto best = DesignSpaceExplorer::select(pts, Objective::kMinArea);
+  ASSERT_TRUE(best);
+  EXPECT_GT(best->vod_cas, 0.0);
+  EXPECT_GT(best->rout_unit, 1e8);  // cascode-grade output impedance
+}
+
+TEST(Explorer, NoFeasiblePointReturnsNullopt) {
+  auto ex = make_explorer();
+  GridAxis big{0.6, 0.9, 4};  // vod sums always exceed V_o = 1
+  const auto best = ex.optimize_basic(big, big, MarginPolicy::kNone,
+                                      Objective::kMinArea);
+  EXPECT_FALSE(best.has_value());
+}
+
+}  // namespace
+}  // namespace csdac::core

@@ -1,0 +1,185 @@
+#include "core/gate_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy.hpp"
+#include "core/sizer.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/stats.hpp"
+#include "tech/mismatch.hpp"
+
+namespace csdac::core {
+namespace {
+
+using mathx::RunningStats;
+using mathx::Xoshiro256;
+using tech::generic_035um;
+
+struct Fixture {
+  tech::MosTechParams t = generic_035um().nmos;
+  DacSpec spec;
+  CellSizer sizer{t, spec};
+};
+
+TEST(GateBounds, BasicWindowWidthIsVoMinusOverdrives) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const BasicBounds b =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  EXPECT_NEAR(b.window(), f.spec.v_out_min - 0.3 - 0.2, 1e-12);
+  EXPECT_GT(b.sw_upper.sigma, 0.0);
+  EXPECT_GT(b.sw_lower.sigma, 0.0);
+}
+
+TEST(GateBounds, UpperBoundSigmaComposition) {
+  // sigma_U^2 = (IR-drop terms) + (SW threshold mismatch). For the LSB cell
+  // the near-minimum-size switch's VT term actually dominates the 10 mV
+  // load-tolerance term — exactly why the paper insists on modelling the
+  // switch mismatch.
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const BasicBounds b =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  const double var_ir =
+      f.spec.v_swing * f.spec.v_swing *
+      (f.sizer.sigma_unit() * f.sizer.sigma_unit() / f.spec.total_units() +
+       f.spec.r_load_tol * f.spec.r_load_tol);
+  const double var_vt_sw =
+      f.t.a_vt * f.t.a_vt / (s.cell.sw.w * s.cell.sw.l);
+  EXPECT_NEAR(b.sw_upper.sigma, std::sqrt(var_ir + var_vt_sw),
+              1e-12);
+  EXPECT_GT(var_vt_sw, var_ir);  // switch mismatch dominates for LSB cell
+}
+
+TEST(GateBounds, MonteCarloValidatesLowerBoundSigma) {
+  // Draw the independent mismatch components the eq. (7) model sums and
+  // check the sample sigma of the reconstructed bound matches the analytic
+  // value. This validates the implementation against its own stated model.
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25, MarginPolicy::kNone);
+  const BasicBounds b =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  Xoshiro256 rng(2024);
+  RunningStats stats;
+  const double su = f.sizer.sigma_unit();
+  for (int i = 0; i < 60000; ++i) {
+    const double dvt_cs = tech::sigma_vt(f.t, s.cell.cs.w, s.cell.cs.l) *
+                          mathx::normal(rng);
+    const double dvt_sw = tech::sigma_vt(f.t, s.cell.sw.w, s.cell.sw.l) *
+                          mathx::normal(rng);
+    const double dbeta_sw =
+        tech::sigma_beta_rel(f.t, s.cell.sw.w, s.cell.sw.l) *
+        mathx::normal(rng);
+    const double di_rel = su * mathx::normal(rng);
+    const double dvod_sw = 0.5 * s.cell.vod_sw * (di_rel - dbeta_sw);
+    const double sample =
+        (s.cell.vod_cs - dvt_cs) + (f.t.vt0 + dvt_sw) +
+        (s.cell.vod_sw + dvod_sw);
+    stats.add(sample);
+  }
+  EXPECT_NEAR(stats.mean(), b.sw_lower.nominal, 3e-4);
+  // The model treats dVOD_sw's dI component as independent of dVT_cs; the
+  // MC here draws them independently, so agreement should be tight.
+  EXPECT_NEAR(stats.stddev(), b.sw_lower.sigma, 0.03 * b.sw_lower.sigma);
+}
+
+TEST(GateBounds, MonteCarloValidatesUpperBoundSigma) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25, MarginPolicy::kNone);
+  const BasicBounds b =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  Xoshiro256 rng(99);
+  RunningStats stats;
+  const double su = f.sizer.sigma_unit();
+  const double n_tot = f.spec.total_units();
+  for (int i = 0; i < 60000; ++i) {
+    const double dfs_rel = su / std::sqrt(n_tot) * mathx::normal(rng);
+    const double dr_rel = f.spec.r_load_tol * mathx::normal(rng);
+    const double dvt_sw = tech::sigma_vt(f.t, s.cell.sw.w, s.cell.sw.l) *
+                          mathx::normal(rng);
+    const double v_drop = f.spec.v_swing * (1.0 + dfs_rel) * (1.0 + dr_rel);
+    const double sample =
+        f.spec.v_out_min + f.spec.v_swing - v_drop + f.t.vt0 + dvt_sw;
+    stats.add(sample);
+  }
+  EXPECT_NEAR(stats.mean(), b.sw_upper.nominal, 3e-4);
+  EXPECT_NEAR(stats.stddev(), b.sw_upper.sigma, 0.03 * b.sw_upper.sigma);
+}
+
+TEST(GateBounds, CascodeSigmasAllPositiveAndAggregationsOrdered) {
+  Fixture f;
+  const SizedCell s =
+      f.sizer.size_cascode(0.3, 0.2, 0.2, MarginPolicy::kNone);
+  const CascodeBounds b =
+      cascode_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  EXPECT_GT(b.sw_upper.sigma, 0.0);
+  EXPECT_GT(b.sw_lower.sigma, 0.0);
+  EXPECT_GT(b.cas_upper.sigma, 0.0);
+  EXPECT_GT(b.cas_lower.sigma, 0.0);
+  EXPECT_GE(b.sigma_rss(), b.sigma_max());
+  EXPECT_LE(b.sigma_max(), b.sigma_rss());
+  EXPECT_LE(b.sigma_rss(), 2.0 * b.sigma_max());
+}
+
+TEST(GateBounds, SmallerDevicesGiveLargerSigmas) {
+  // Shrinking the CS area (looser accuracy spec) must inflate the lower
+  // bound sigma — the mechanism behind the statistical margin.
+  Fixture f;
+  DacSpec loose = f.spec;
+  loose.inl_yield = 0.5;  // much smaller CS
+  CellSizer sizer_loose(f.t, loose);
+  const SizedCell tight = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const SizedCell small = sizer_loose.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const auto b_tight =
+      basic_cell_bounds(f.t, f.spec, tight.cell, f.sizer.sigma_unit());
+  const auto b_small =
+      basic_cell_bounds(f.t, loose, small.cell, sizer_loose.sigma_unit());
+  EXPECT_GT(b_small.sw_lower.sigma, b_tight.sw_lower.sigma);
+}
+
+TEST(GateBounds, MarginBreakdownSumsToBoundVariances) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25, MarginPolicy::kNone);
+  const BasicBounds b =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  const MarginBreakdown mb =
+      basic_margin_breakdown(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  const double var_sum = b.sw_upper.sigma * b.sw_upper.sigma +
+                         b.sw_lower.sigma * b.sw_lower.sigma;
+  EXPECT_NEAR(mb.total(), var_sum, 1e-12);
+  EXPECT_GT(mb.dominant_fraction(), 0.2);
+  EXPECT_LE(mb.dominant_fraction(), 1.0);
+}
+
+TEST(GateBounds, SwitchVtDominatesForMinimumSizeSwitch) {
+  // The paper's core observation: for the minimum-size LSB switch, ITS
+  // mismatch (not the CS's) dominates the saturation margin.
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25, MarginPolicy::kNone);
+  const MarginBreakdown mb =
+      basic_margin_breakdown(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  EXPECT_GT(mb.vt_switch, mb.vt_cs);
+  EXPECT_GT(mb.vt_switch, mb.load_tolerance);
+  EXPECT_GT(mb.vt_switch, mb.full_scale_current);
+}
+
+TEST(GateBounds, LsbCellIsWorstCase) {
+  // A unary source (16 parallel units -> 16x the area) has smaller bound
+  // sigma than the LSB cell, confirming the paper's worst-case argument.
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25, MarginPolicy::kNone);
+  CellSizing unary = s.cell;
+  unary.cs.w *= 16.0;  // 16 sub-units in parallel
+  unary.sw.w *= 16.0;
+  unary.i_unit *= 16.0;
+  const auto b_lsb =
+      basic_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  const auto b_unary = basic_cell_bounds(f.t, f.spec, unary,
+                                         f.sizer.sigma_unit() / 4.0);
+  EXPECT_GT(b_lsb.sw_lower.sigma, b_unary.sw_lower.sigma);
+}
+
+}  // namespace
+}  // namespace csdac::core

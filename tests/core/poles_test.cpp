@@ -1,0 +1,111 @@
+#include "core/poles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::core {
+namespace {
+
+using namespace csdac::units;
+using tech::generic_035um;
+
+struct Fixture {
+  tech::MosTechParams t = generic_035um().nmos;
+  DacSpec spec;
+  CellSizer sizer{t, spec};
+};
+
+TEST(Poles, OutputPoleSetByLoad) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  // p1 must be below the bare R_L*C_L pole (switch drains add capacitance).
+  const double f_rc = 1.0 / (2.0 * M_PI * f.spec.r_load * f.spec.c_load);
+  EXPECT_LT(s.poles.p1_hz, f_rc);
+  EXPECT_GT(s.poles.p1_hz, 0.1 * f_rc);
+}
+
+TEST(Poles, LargerLoadCapLowersP1) {
+  Fixture f;
+  DacSpec heavy = f.spec;
+  heavy.c_load = 10e-12;
+  CellSizer sizer_heavy(f.t, heavy);
+  const SizedCell s1 = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const SizedCell s2 = sizer_heavy.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  EXPECT_GT(s1.poles.p1_hz, s2.poles.p1_hz);
+  // p2 does not involve the load.
+  EXPECT_NEAR(s1.poles.p2_hz, s2.poles.p2_hz, 1e-6 * s1.poles.p2_hz);
+}
+
+TEST(Poles, InterconnectCapLowersP2) {
+  Fixture f;
+  DacSpec long_wire = f.spec;
+  long_wire.c_int = 500e-15;
+  CellSizer sizer_lw(f.t, long_wire);
+  const SizedCell s1 = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const SizedCell s2 = sizer_lw.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  EXPECT_GT(s1.poles.p2_hz, s2.poles.p2_hz);
+}
+
+TEST(Poles, CascodeAddsThirdPole) {
+  Fixture f;
+  const SizedCell basic = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  const SizedCell casc =
+      f.sizer.size_cascode(0.3, 0.2, 0.2, MarginPolicy::kNone);
+  EXPECT_DOUBLE_EQ(basic.poles.p3_hz, 0.0);
+  EXPECT_GT(casc.poles.p3_hz, 0.0);
+}
+
+TEST(Poles, MinSelectsSmallest) {
+  PoleEstimate p;
+  p.p1_hz = 3e8;
+  p.p2_hz = 1e8;
+  p.p3_hz = 2e8;
+  EXPECT_DOUBLE_EQ(p.min_hz(), 1e8);
+  p.p3_hz = 0.0;  // basic topology: ignore
+  p.p2_hz = 5e8;
+  EXPECT_DOUBLE_EQ(p.min_hz(), 3e8);
+}
+
+TEST(Poles, SettlingTimeFormula) {
+  PoleEstimate p;
+  p.p1_hz = 1e9;
+  p.p2_hz = 2e9;
+  const double tau = 1.0 / (2.0 * M_PI * 1e9);
+  EXPECT_NEAR(p.tau(), tau, 1e-15);
+  EXPECT_NEAR(p.settling_time(12), tau * std::log(8192.0), 1e-15);
+}
+
+TEST(Poles, PaperDesignReachesHundredsOfMegasamples) {
+  // The paper's design settles a full-scale step in ~2.5 ns (400 MS/s).
+  // Our substitute technology should land in the same decade.
+  Fixture f;
+  const SizedCell s =
+      f.sizer.size_cascode(0.35, 0.2, 0.2, MarginPolicy::kStatistical);
+  const double ts = s.poles.settling_time(12);
+  EXPECT_LT(ts, 10 * ns);
+  EXPECT_GT(ts, 0.2 * ns);
+}
+
+TEST(Poles, SwitchDrainCapScalesWithSegmentation) {
+  Fixture f;
+  const double w_unit = 1 * um;
+  const double cap = total_switch_drain_cap(f.t, f.spec, w_unit);
+  EXPECT_GT(cap, 0.0);
+  // All-unary segmentation (b = 0) has more, smaller switches; capacitance
+  // comparison still lands in the same ballpark but differs.
+  DacSpec unary = f.spec;
+  unary.binary_bits = 0;
+  const double cap_unary = total_switch_drain_cap(f.t, unary, w_unit);
+  EXPECT_NE(cap, cap_unary);
+  // Both scale linearly-ish with total weight: within 2x of each other.
+  EXPECT_LT(cap / cap_unary, 2.0);
+  EXPECT_GT(cap / cap_unary, 0.5);
+}
+
+}  // namespace
+}  // namespace csdac::core

@@ -1,0 +1,113 @@
+#include "core/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+namespace {
+
+using tech::generic_035um;
+
+struct Fixture {
+  tech::MosTechParams t = generic_035um().nmos;
+  DacSpec spec;
+  CellSizer sizer{t, spec};
+};
+
+TEST(Saturation, ClassicConditionBoundary) {
+  DacSpec spec;
+  // Exactly on the eq. (4) boundary.
+  auto c = check_basic_classic(spec, 0.6, 0.4, 0.0);
+  EXPECT_TRUE(c.feasible());
+  EXPECT_NEAR(c.slack(), 0.0, 1e-12);
+  // Just beyond.
+  c = check_basic_classic(spec, 0.6, 0.401, 0.0);
+  EXPECT_FALSE(c.feasible());
+}
+
+TEST(Saturation, FixedMarginShrinksRegion) {
+  DacSpec spec;
+  auto no_margin = check_basic_classic(spec, 0.3, 0.25, 0.0);
+  auto with_margin = check_basic_classic(spec, 0.3, 0.25, 0.5);
+  EXPECT_TRUE(no_margin.feasible());
+  EXPECT_LT(with_margin.slack(), no_margin.slack());
+  EXPECT_NEAR(no_margin.slack() - with_margin.slack(), 0.5, 1e-12);
+}
+
+TEST(Saturation, StatisticalMarginMuchSmallerThanHalfVolt) {
+  // The paper's headline: the statistical margin replaces the arbitrary
+  // 0.5 V and is far smaller for a well-sized 12-bit cell.
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.35, 0.25,
+                                         MarginPolicy::kStatistical);
+  EXPECT_GT(s.sat.margin, 0.0);
+  EXPECT_LT(s.sat.margin, 0.25);  // comfortably below the 0.5 V of [9,11]
+}
+
+TEST(Saturation, StatisticalRegionContainsFixedMarginRegion) {
+  // Any point feasible under the 0.5 V margin must also be feasible under
+  // the statistical condition (the new region is strictly larger).
+  Fixture f;
+  for (double vod_cs = 0.05; vod_cs <= 0.45; vod_cs += 0.1) {
+    for (double vod_sw = 0.05; vod_sw + vod_cs <= 0.5; vod_sw += 0.1) {
+      const SizedCell fixed =
+          f.sizer.size_basic(vod_cs, vod_sw, MarginPolicy::kFixedMargin, 0.5);
+      const SizedCell stat =
+          f.sizer.size_basic(vod_cs, vod_sw, MarginPolicy::kStatistical);
+      if (fixed.feasible()) {
+        EXPECT_TRUE(stat.feasible())
+            << "vod_cs=" << vod_cs << " vod_sw=" << vod_sw;
+      }
+    }
+  }
+}
+
+TEST(Saturation, CascodeStatisticalMarginUsesThreeSigma) {
+  Fixture f;
+  const SizedCell s =
+      f.sizer.size_cascode(0.3, 0.2, 0.2, MarginPolicy::kStatistical);
+  const CascodeBounds b =
+      cascode_cell_bounds(f.t, f.spec, s.cell, f.sizer.sigma_unit());
+  EXPECT_NEAR(s.sat.margin, 3.0 * f.sizer.s_coeff() * b.sigma_max(), 1e-12);
+}
+
+TEST(Saturation, RssAggregationDiffersFromMax) {
+  Fixture f;
+  const SizedCell smax = f.sizer.size_cascode(
+      0.3, 0.2, 0.2, MarginPolicy::kStatistical, 0.5, SigmaAggregation::kMax);
+  const SizedCell srss = f.sizer.size_cascode(
+      0.3, 0.2, 0.2, MarginPolicy::kStatistical, 0.5, SigmaAggregation::kRss);
+  EXPECT_NE(smax.sat.margin, srss.sat.margin);
+  // max aggregation with factor 3 is the more conservative of the two here.
+  EXPECT_GT(smax.sat.margin, 0.0);
+  EXPECT_GT(srss.sat.margin, 0.0);
+}
+
+TEST(Saturation, HigherYieldDemandsLargerMargin) {
+  Fixture f;
+  DacSpec tight = f.spec;
+  tight.inl_yield = 0.9999;
+  CellSizer sizer_tight(f.t, tight);
+  const SizedCell s99 = f.sizer.size_basic(0.3, 0.2,
+                                           MarginPolicy::kStatistical);
+  const SizedCell s9999 =
+      sizer_tight.size_basic(0.3, 0.2, MarginPolicy::kStatistical);
+  // Caveat: the tighter yield also enlarges the CS, shrinking sigma; the S
+  // coefficient effect wins for the margin at fixed overdrives? Not
+  // necessarily -- so only check both are positive and finite.
+  EXPECT_GT(s99.sat.margin, 0.0);
+  EXPECT_GT(s9999.sat.margin, 0.0);
+}
+
+TEST(Saturation, NegativeMarginRejected) {
+  DacSpec spec;
+  EXPECT_THROW(check_basic_classic(spec, 0.3, 0.2, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(check_cascode_classic(spec, 0.3, 0.2, 0.2, -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::core

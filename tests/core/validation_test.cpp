@@ -1,0 +1,81 @@
+// Input-validation and edge-case coverage for the core analysis helpers
+// (argument checks that the main behavioural tests do not exercise).
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "core/impedance.hpp"
+#include "core/poles.hpp"
+#include "core/sizer.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::core {
+namespace {
+
+using tech::generic_035um;
+
+struct Fixture {
+  tech::MosTechParams t = generic_035um().nmos;
+  DacSpec spec;
+  CellSizer sizer{t, spec};
+};
+
+TEST(Validation, ImpedanceArguments) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  EXPECT_THROW(unit_zout(f.t, f.spec, s.cell, 0.0), std::invalid_argument);
+  EXPECT_THROW(unit_zout(f.t, f.spec, s.cell, 1e6, 0),
+               std::invalid_argument);
+  EXPECT_THROW(impedance_bandwidth(f.t, f.spec, s.cell, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(impedance_bandwidth(f.t, f.spec, s.cell, 1e6, 1e6, 1e3),
+               std::invalid_argument);
+}
+
+TEST(Validation, ImpedanceBandwidthBoundaries) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_cascode(0.3, 0.2, 0.2, MarginPolicy::kNone);
+  // Impossible requirement: even f_min fails -> 0.
+  EXPECT_DOUBLE_EQ(
+      impedance_bandwidth(f.t, f.spec, s.cell, 1e18, 1e3, 1e9), 0.0);
+  // Trivial requirement: never violated -> f_max.
+  EXPECT_DOUBLE_EQ(impedance_bandwidth(f.t, f.spec, s.cell, 1.0, 1e3, 1e9),
+                   1e9);
+}
+
+TEST(Validation, PoleWeightChecked) {
+  Fixture f;
+  const SizedCell s = f.sizer.size_basic(0.3, 0.2, MarginPolicy::kNone);
+  EXPECT_THROW(estimate_poles(f.t, f.spec, s.cell, 0), std::invalid_argument);
+  // Larger weight raises the internal-node pole (gm grows faster than the
+  // fixed wiring cap).
+  const auto p1 = estimate_poles(f.t, f.spec, s.cell, 1);
+  const auto p16 = estimate_poles(f.t, f.spec, s.cell, 16);
+  EXPECT_GT(p16.p2_hz, p1.p2_hz);
+}
+
+TEST(Validation, AccuracyHelpersGuardInput) {
+  EXPECT_THROW(inl_yield_from_sigma(12, -1.0), std::invalid_argument);
+  EXPECT_THROW(inl_yield_from_sigma(12, 0.0), std::invalid_argument);
+}
+
+TEST(Validation, SpecSwingVsHeadroomIndependent) {
+  // v_out_min (the budget) and v_swing (the IR drop) are independent
+  // fields; a tighter budget shrinks the feasible region without touching
+  // the currents.
+  Fixture f;
+  DacSpec tight = f.spec;
+  tight.v_out_min = 0.6;
+  const CellSizer sizer_tight(f.t, tight);
+  EXPECT_DOUBLE_EQ(tight.i_lsb(), f.spec.i_lsb());
+  const auto wide =
+      f.sizer.max_vod_sw_basic(0.3, MarginPolicy::kStatistical);
+  const auto narrow =
+      sizer_tight.max_vod_sw_basic(0.3, MarginPolicy::kStatistical);
+  ASSERT_TRUE(wide.has_value());
+  if (narrow.has_value()) {
+    EXPECT_LT(*narrow, *wide);
+  }
+}
+
+}  // namespace
+}  // namespace csdac::core

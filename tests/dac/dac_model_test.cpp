@@ -1,0 +1,103 @@
+#include "dac/dac_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy.hpp"
+#include "mathx/stats.hpp"
+
+namespace csdac::dac {
+namespace {
+
+core::DacSpec small_spec() {
+  core::DacSpec s;
+  s.nbits = 8;
+  s.binary_bits = 3;
+  return s;
+}
+
+TEST(DacModel, IdealTransferIsStaircase) {
+  const auto spec = small_spec();
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  for (int c = 0; c < 256; ++c) {
+    EXPECT_DOUBLE_EQ(dac.level(c), static_cast<double>(c)) << "code " << c;
+  }
+}
+
+TEST(DacModel, ThermometerDecode) {
+  const auto spec = small_spec();  // b=3, m=5
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  EXPECT_EQ(dac.unary_count(0), 0);
+  EXPECT_EQ(dac.unary_count(7), 0);
+  EXPECT_EQ(dac.unary_count(8), 1);
+  EXPECT_EQ(dac.unary_count(255), 31);
+  EXPECT_EQ(dac.binary_field(0), 0);
+  EXPECT_EQ(dac.binary_field(7), 7);
+  EXPECT_EQ(dac.binary_field(8), 0);
+  EXPECT_EQ(dac.binary_field(13), 5);
+}
+
+TEST(DacModel, TwelveBitPaperSegmentation) {
+  core::DacSpec spec;  // defaults: 12 bit, b=4
+  EXPECT_EQ(spec.num_unary(), 255);
+  EXPECT_EQ(spec.unary_weight(), 16);
+  EXPECT_EQ(spec.total_units(), 4095);
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  EXPECT_DOUBLE_EQ(dac.level(4095), 4095.0);
+  EXPECT_DOUBLE_EQ(dac.level(16), 16.0);
+}
+
+TEST(DacModel, DrawnErrorsHaveRightStatistics) {
+  core::DacSpec spec;
+  const double sigma = 0.01;
+  mathx::Xoshiro256 rng(5);
+  mathx::RunningStats unary_stats;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto e = draw_source_errors(spec, sigma, rng);
+    for (double w : e.unary) unary_stats.add(w);
+  }
+  // Unary weight 16, sigma 0.01*sqrt(16) = 0.04 LSB.
+  EXPECT_NEAR(unary_stats.mean(), 16.0, 0.005);
+  EXPECT_NEAR(unary_stats.stddev(), 0.04, 0.003);
+}
+
+TEST(DacModel, MonotonicCodesForSmallMismatch) {
+  core::DacSpec spec;
+  mathx::Xoshiro256 rng(7);
+  const auto e = draw_source_errors(spec, 0.0026, rng);
+  const SegmentedDac dac(spec, e);
+  const auto t = dac.transfer();
+  int violations = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] <= t[i - 1]) ++violations;
+  }
+  // sigma(DNL) ~ sqrt(2^5)*0.0026 = 0.015 LSB: monotonicity is certain.
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(DacModel, PartialSumsMatchLevels) {
+  core::DacSpec spec;
+  mathx::Xoshiro256 rng(11);
+  const SegmentedDac dac(spec, draw_source_errors(spec, 0.01, rng));
+  // A code with empty binary field is exactly the unary prefix sum.
+  EXPECT_DOUBLE_EQ(dac.level(5 * 16), dac.unary_partial_sum(5));
+  EXPECT_DOUBLE_EQ(dac.unary_partial_sum(0), 0.0);
+}
+
+TEST(DacModel, ErrorsOnBadInput) {
+  core::DacSpec spec;
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  EXPECT_THROW(dac.level(-1), std::out_of_range);
+  EXPECT_THROW(dac.level(4096), std::out_of_range);
+  EXPECT_THROW(dac.unary_partial_sum(-1), std::out_of_range);
+  EXPECT_THROW(dac.unary_partial_sum(256), std::out_of_range);
+  SourceErrors bad = ideal_sources(spec);
+  bad.unary.pop_back();
+  EXPECT_THROW(SegmentedDac(spec, bad), std::invalid_argument);
+  mathx::Xoshiro256 rng(1);
+  EXPECT_THROW(draw_source_errors(spec, -0.1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::dac

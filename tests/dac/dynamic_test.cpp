@@ -1,0 +1,211 @@
+#include "dac/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csdac::dac {
+namespace {
+
+core::DacSpec paper_spec() { return core::DacSpec{}; }
+
+DynamicParams fast_params() {
+  DynamicParams p;
+  p.fs = 300e6;
+  p.oversample = 32;
+  p.tau = 0.2e-9;
+  return p;
+}
+
+TEST(Dynamic, StaticLevelMatchesOhmsLaw) {
+  const auto spec = paper_spec();
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)),
+                       fast_params());
+  // No droop configured: v = level * I_lsb * R_L.
+  EXPECT_NEAR(sim.v_of_level(4095.0), 4095.0 * spec.i_lsb() * spec.r_load,
+              1e-9);
+  EXPECT_NEAR(sim.v_of_level(4095.0), spec.v_swing, 1e-6);
+  EXPECT_DOUBLE_EQ(sim.v_of_level(0.0), 0.0);
+}
+
+TEST(Dynamic, FiniteRoutCompressesTopOfRange) {
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  p.rout_unit = 1e8;
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  const double v_mid2 = sim.v_of_level(2048.0) * 2.0;
+  const double v_full = sim.v_of_level(4096.0);
+  EXPECT_LT(v_full, v_mid2);  // compressive (bow) nonlinearity
+}
+
+TEST(Dynamic, WaveformSettlesExponentially) {
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  const std::vector<int> codes = {0, 4095, 4095, 4095};
+  const auto v = sim.waveform(codes);
+  ASSERT_EQ(v.size(), 4u * 32u);
+  // First period: settled at 0.
+  EXPECT_NEAR(v[31], 0.0, 1e-9);
+  // The step fires at the start of period 1; sample 32+j sits at
+  // t = (j+1)*dt after it and must match the single-pole response.
+  const double dt = 1.0 / (p.fs * p.oversample);
+  for (int j = 0; j < 8; ++j) {
+    const double t = (j + 1) * dt;
+    EXPECT_NEAR(v[32 + static_cast<std::size_t>(j)],
+                spec.v_swing * (1.0 - std::exp(-t / p.tau)),
+                1e-6)
+        << "j = " << j;
+  }
+  // End of record: fully settled.
+  EXPECT_NEAR(v.back(), spec.v_swing, 1e-4);
+}
+
+TEST(Dynamic, BinarySkewCreatesGlitch) {
+  const auto spec = paper_spec();
+  DynamicParams clean = fast_params();
+  DynamicParams skewed = fast_params();
+  skewed.binary_skew = 100e-12;
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  DynamicSimulator s_clean(dac, clean);
+  DynamicSimulator s_skew(dac, skewed);
+  // Major-carry transition: 2047 -> 2048 (binary 15->0, thermometer +1).
+  const double e_clean = s_clean.glitch_energy(2047, 2048);
+  const double e_skew = s_skew.glitch_energy(2047, 2048);
+  EXPECT_NEAR(e_clean, 0.0, 1e-15);
+  EXPECT_GT(e_skew, 1e-13);  // V*s
+}
+
+TEST(Dynamic, GlitchGrowsWithSwitchedWeight) {
+  // Paper Section 1: glitch energy is determined by the binary bits; the
+  // worst transition toggles the whole binary field against one unary.
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  p.binary_skew = 100e-12;
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  const double e_major = sim.glitch_energy(2047, 2048);  // 15 LSB vs 16
+  const double e_minor = sim.glitch_energy(2048, 2049);  // +1 LSB, no carry
+  EXPECT_GT(e_major, 5.0 * e_minor);
+}
+
+TEST(Dynamic, FeedthroughKickAppearsOnThermometerEdges) {
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  p.feedthrough_lsb = 0.5;
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  const double e = sim.glitch_energy(2047, 2048 + 15);  // toggles 1 unary
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(Dynamic, JitterRequiresRng) {
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  p.jitter_sigma = 2e-12;
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  EXPECT_THROW(sim.waveform({0, 1, 2}), std::invalid_argument);
+  mathx::Xoshiro256 rng(3);
+  EXPECT_NO_THROW(sim.waveform({0, 1, 2}, &rng));
+}
+
+TEST(Dynamic, IdealWaveformIsPiecewiseConstant) {
+  const auto spec = paper_spec();
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)),
+                       fast_params());
+  const auto v = sim.ideal_waveform({100, 200});
+  EXPECT_EQ(v.size(), 64u);
+  EXPECT_DOUBLE_EQ(v[0], v[31]);
+  EXPECT_DOUBLE_EQ(v[32], v[63]);
+  EXPECT_GT(v[32], v[0]);
+}
+
+TEST(Dynamic, SineCodesCoherentAndBounded) {
+  const auto spec = paper_spec();
+  const auto codes = sine_codes(spec, 1024, 53);
+  EXPECT_EQ(codes.size(), 1024u);
+  int cmin = 1 << 20, cmax = -1;
+  for (int c : codes) {
+    cmin = std::min(cmin, c);
+    cmax = std::max(cmax, c);
+  }
+  EXPECT_GE(cmin, 0);
+  EXPECT_LE(cmax, 4095);
+  EXPECT_GT(cmax, 4000);  // near full scale
+  EXPECT_LT(cmin, 100);
+  // Coherence: first and last samples wrap smoothly (same phase).
+  EXPECT_NEAR(codes.front(), 2047, 2.0);
+}
+
+TEST(Dynamic, ParameterValidation) {
+  DynamicParams p = fast_params();
+  p.oversample = 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = fast_params();
+  p.binary_skew = 1.0;  // longer than the period
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = fast_params();
+  p.tau = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_THROW(sine_codes(core::DacSpec{}, 10, 20), std::invalid_argument);
+}
+
+TEST(Differential, MidScaleIsNearZero) {
+  const auto spec = paper_spec();
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)),
+                       fast_params());
+  // level ~ total/2: both rails carry the same current.
+  const auto v = sim.waveform_differential(
+      std::vector<int>(4, 2048));  // 2048 of 4095
+  EXPECT_NEAR(v.back(), sim.v_of_level(2048) - sim.v_of_level(2047), 1e-9);
+}
+
+TEST(Differential, FullScaleSwingIsTwice) {
+  const auto spec = paper_spec();
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)),
+                       fast_params());
+  const auto lo = sim.waveform_differential(std::vector<int>(4, 0));
+  const auto hi = sim.waveform_differential(std::vector<int>(4, 4095));
+  EXPECT_NEAR(hi.back() - lo.back(), 2.0 * spec.v_swing, 1e-3);
+  EXPECT_NEAR(lo.back(), -spec.v_swing, 1e-3);
+}
+
+TEST(Differential, CommonModeFeedthroughCancels) {
+  // The feedthrough kick is common-mode by construction: the differential
+  // waveform must be identical with and without it.
+  const auto spec = paper_spec();
+  DynamicParams with_ft = fast_params();
+  with_ft.feedthrough_lsb = 1.0;
+  DynamicParams without_ft = fast_params();
+  const SegmentedDac dac(spec, ideal_sources(spec));
+  DynamicSimulator a(dac, with_ft);
+  DynamicSimulator b(dac, without_ft);
+  const std::vector<int> codes = {100, 2000, 3000, 500};
+  const auto va = a.waveform_differential(codes);
+  const auto vb = b.waveform_differential(codes);
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_NEAR(va[i], vb[i], 1e-12);
+  }
+  // ... while the single-ended waveform clearly differs.
+  const auto sa = a.waveform(codes);
+  const auto sb = b.waveform(codes);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(sa[i] - sb[i]));
+  }
+  EXPECT_GT(max_diff, 1e-4);
+}
+
+TEST(Differential, SharedJitterIsDeterministicPerRng) {
+  const auto spec = paper_spec();
+  DynamicParams p = fast_params();
+  p.jitter_sigma = 3e-12;
+  DynamicSimulator sim(SegmentedDac(spec, ideal_sources(spec)), p);
+  const std::vector<int> codes = {0, 1000, 2000, 3000};
+  mathx::Xoshiro256 r1(5), r2(5);
+  const auto a = sim.waveform_differential(codes, &r1);
+  const auto b = sim.waveform_differential(codes, &r2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace csdac::dac

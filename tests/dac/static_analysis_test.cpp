@@ -1,0 +1,133 @@
+#include "dac/static_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy.hpp"
+
+namespace csdac::dac {
+namespace {
+
+TEST(StaticAnalysis, PerfectTransferHasZeroInlDnl) {
+  std::vector<double> levels(256);
+  for (std::size_t i = 0; i < levels.size(); ++i) levels[i] = 2.0 * i + 5.0;
+  for (auto ref : {InlReference::kEndpoint, InlReference::kBestFit}) {
+    const auto m = analyze_transfer(levels, ref);
+    EXPECT_NEAR(m.inl_max, 0.0, 1e-10);
+    EXPECT_NEAR(m.dnl_max, 0.0, 1e-10);
+  }
+}
+
+TEST(StaticAnalysis, SingleBumpShowsInDnl) {
+  std::vector<double> levels(64);
+  for (std::size_t i = 0; i < levels.size(); ++i) levels[i] = i;
+  levels[30] += 0.4;  // code 30 is 0.4 LSB high
+  const auto m = analyze_transfer(levels, InlReference::kEndpoint);
+  // Transition 29->30 gains 0.4, transition 30->31 loses 0.4.
+  EXPECT_NEAR(m.dnl[29], 0.4, 1e-9);
+  EXPECT_NEAR(m.dnl[30], -0.4, 1e-9);
+  EXPECT_NEAR(m.inl_max, 0.4, 0.02);
+}
+
+TEST(StaticAnalysis, EndpointInlZeroAtEnds) {
+  std::vector<double> levels = {0.0, 1.3, 1.9, 3.1, 4.0};
+  const auto m = analyze_transfer(levels, InlReference::kEndpoint);
+  EXPECT_NEAR(m.inl.front(), 0.0, 1e-12);
+  EXPECT_NEAR(m.inl.back(), 0.0, 1e-12);
+}
+
+TEST(StaticAnalysis, BestFitInlSmallerOrEqual) {
+  // The LS line minimizes the RMS residual; its max |INL| is typically
+  // smaller than the endpoint version for a bowed transfer.
+  std::vector<double> levels(128);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double x = static_cast<double>(i);
+    levels[i] = x + 1e-4 * x * (127.0 - x);  // bow
+  }
+  const auto ep = analyze_transfer(levels, InlReference::kEndpoint);
+  const auto bf = analyze_transfer(levels, InlReference::kBestFit);
+  EXPECT_LT(bf.inl_max, ep.inl_max);
+}
+
+TEST(StaticAnalysis, RejectsDegenerateInput) {
+  EXPECT_THROW(analyze_transfer({1.0}), std::invalid_argument);
+  EXPECT_THROW(analyze_transfer({2.0, 2.0, 2.0}), std::invalid_argument);
+}
+
+TEST(StaticAnalysis, YieldMeetsEq1Target) {
+  // eq. (1) validation: sizing the unit sigma for a target INL yield must
+  // produce AT LEAST that yield in Monte Carlo -- the rule is known to be
+  // conservative (it bounds the mid-scale accumulation; the best-fit INL
+  // of a real transfer is smaller). Run at 8 bits for speed.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double target_yield = 0.95;
+  const double sigma = core::unit_sigma_spec(spec.nbits, target_yield);
+  const auto y = inl_yield_mc(spec, sigma, 1500, /*seed=*/42, 0.5,
+                              InlReference::kBestFit);
+  EXPECT_GE(y.yield, target_yield - 0.02);
+  // ... and the design rule is not wildly loose: tripling sigma must break
+  // the yield decisively.
+  const auto broken = inl_yield_mc(spec, 3.0 * sigma, 400, 42, 0.5,
+                                   InlReference::kBestFit);
+  EXPECT_LT(broken.yield, 0.80);
+}
+
+TEST(StaticAnalysis, YieldDropsWithLargerSigma) {
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = core::unit_sigma_spec(spec.nbits, 0.95);
+  const auto tight = inl_yield_mc(spec, sigma, 400, 1);
+  const auto loose = inl_yield_mc(spec, 4.0 * sigma, 400, 1);
+  EXPECT_GT(tight.yield, loose.yield);
+  EXPECT_LT(loose.yield, 0.6);
+}
+
+TEST(StaticAnalysis, DnlYieldHigherThanInlYield) {
+  // Paper Section 1: with the INL-driven sigma, DNL < 0.5 LSB is
+  // essentially always satisfied for the b = 3 segmentation.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = core::unit_sigma_spec(spec.nbits, 0.95);
+  const auto inl = inl_yield_mc(spec, sigma, 500, 3);
+  const auto dnl = dnl_yield_mc(spec, sigma, 500, 3);
+  EXPECT_GE(dnl.yield, inl.yield);
+  EXPECT_GT(dnl.yield, 0.99);
+}
+
+TEST(StaticAnalysis, ParallelMcBitIdenticalToSerial) {
+  // Per-chip RNG streams make the result independent of the thread count.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = core::unit_sigma_spec(spec.nbits, 0.9);
+  const auto serial = inl_yield_mc(spec, 2.0 * sigma, 200, 11, 0.5,
+                                   InlReference::kBestFit, /*threads=*/1);
+  const auto par4 = inl_yield_mc(spec, 2.0 * sigma, 200, 11, 0.5,
+                                 InlReference::kBestFit, /*threads=*/4);
+  const auto par_auto = inl_yield_mc(spec, 2.0 * sigma, 200, 11, 0.5,
+                                     InlReference::kBestFit, /*threads=*/0);
+  EXPECT_EQ(serial.pass, par4.pass);
+  EXPECT_EQ(serial.pass, par_auto.pass);
+  EXPECT_THROW(inl_yield_mc(spec, sigma, 10, 1, 0.5,
+                            InlReference::kBestFit, -1),
+               std::invalid_argument);
+}
+
+TEST(StaticAnalysis, YieldEstimateBookkeeping) {
+  core::DacSpec spec;
+  spec.nbits = 6;
+  spec.binary_bits = 2;
+  const auto y = inl_yield_mc(spec, 1e-6, 50, 7);
+  EXPECT_EQ(y.chips, 50);
+  EXPECT_EQ(y.pass, 50);  // essentially no mismatch: all pass
+  EXPECT_DOUBLE_EQ(y.yield, 1.0);
+  EXPECT_THROW(inl_yield_mc(spec, 0.001, 0, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::dac

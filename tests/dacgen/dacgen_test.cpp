@@ -1,0 +1,187 @@
+// Transistor-level converter tests, including the mixed-level
+// cross-validation: the SPICE netlist of a reduced-resolution DAC must
+// reproduce the behavioral model's static transfer (same mismatch draws).
+#include "dacgen/dacgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dac/dac_model.hpp"
+#include "dac/static_analysis.hpp"
+#include "layout/switching.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::dacgen {
+namespace {
+
+using tech::generic_035um;
+
+// A small converter with the paper's architecture: 6 bit, 2 binary +
+// 4 thermometer bits (15 unary sources) — cheap enough for full sweeps.
+core::DacSpec small_spec() {
+  core::DacSpec s;
+  s.nbits = 6;
+  s.binary_bits = 2;
+  return s;
+}
+
+struct Fixture {
+  tech::MosTechParams t = generic_035um().nmos;
+  core::DacSpec spec = small_spec();
+  core::CellSizer sizer{t, spec};
+  core::SizedCell cell =
+      sizer.size_cascode(0.25, 0.2, 0.2, core::MarginPolicy::kStatistical);
+};
+
+TEST(DacGen, ZeroCodeSinksNoCurrentIntoOutP) {
+  Fixture f;
+  TransistorLevelDac chip(f.spec, f.cell, f.t);
+  EXPECT_NEAR(chip.level(0), 0.0, 0.05);
+}
+
+TEST(DacGen, FullScaleCodeSinksAllUnits) {
+  Fixture f;
+  TransistorLevelDac chip(f.spec, f.cell, f.t);
+  const int full = (1 << f.spec.nbits) - 1;
+  // Channel-length modulation allows a few % deviation.
+  EXPECT_NEAR(chip.level(full), full, 0.05 * full);
+}
+
+TEST(DacGen, TransferIsMonotonicAndLinear) {
+  Fixture f;
+  TransistorLevelDac chip(f.spec, f.cell, f.t);
+  const auto levels = chip.transfer();
+  ASSERT_EQ(levels.size(), 64u);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GT(levels[i], levels[i - 1]) << "code " << i;
+  }
+  // Ideal chip: INL well below an LSB (residual is lambda-induced bow).
+  const auto m = dac::analyze_transfer(levels);
+  EXPECT_LT(m.inl_max, 0.3);
+}
+
+TEST(DacGen, DifferentialOutputsComplementary) {
+  Fixture f;
+  TransistorLevelDac chip(f.spec, f.cell, f.t);
+  // Low code: few sources sink from out_p, so v(out_p) sits high and
+  // v_diff > 0; codes 15 and 48 are mirror images about mid-scale (63/2).
+  const double lo = chip.v_diff(15);
+  const double hi = chip.v_diff(48);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi, 0.0);
+  EXPECT_NEAR(lo, -hi, 0.05 * std::abs(hi));
+}
+
+TEST(DacGen, MismatchDrawsAreDeterministicPerSeed) {
+  Fixture f;
+  DacGenOptions o1;
+  o1.sigma_unit = 0.01;
+  o1.seed = 7;
+  TransistorLevelDac a(f.spec, f.cell, f.t, o1);
+  TransistorLevelDac b(f.spec, f.cell, f.t, o1);
+  o1.seed = 8;
+  TransistorLevelDac c(f.spec, f.cell, f.t, o1);
+  EXPECT_EQ(a.unary_errors(), b.unary_errors());
+  EXPECT_NE(a.unary_errors(), c.unary_errors());
+}
+
+TEST(DacGen, MixedLevelCrossValidation) {
+  // THE cross-check: feed the SPICE chip's mismatch draws into the
+  // behavioral model; both transfer functions must agree code by code to
+  // within the lambda-induced systematic residual.
+  Fixture f;
+  DacGenOptions opts;
+  opts.sigma_unit = 0.02;  // exaggerated mismatch so it dominates
+  opts.seed = 42;
+  TransistorLevelDac chip(f.spec, f.cell, f.t, opts);
+
+  dac::SourceErrors errors;
+  const double uw = f.spec.unary_weight();
+  for (std::size_t i = 0; i < chip.unary_errors().size(); ++i) {
+    errors.unary.push_back(uw * (1.0 + chip.unary_errors()[i]));
+  }
+  for (int k = 0; k < f.spec.binary_bits; ++k) {
+    const double w = std::ldexp(1.0, k);
+    errors.binary.push_back(
+        w * (1.0 + chip.binary_errors()[static_cast<std::size_t>(k)]));
+  }
+  const dac::SegmentedDac behavioral(f.spec, errors);
+
+  const auto spice_levels = chip.transfer();
+  const auto model_levels = behavioral.transfer();
+  // Compare INL curves (gain/offset independent).
+  const auto inl_spice = dac::analyze_transfer(spice_levels);
+  const auto inl_model = dac::analyze_transfer(model_levels);
+  ASSERT_EQ(inl_spice.inl.size(), inl_model.inl.size());
+  for (std::size_t c = 0; c < inl_spice.inl.size(); ++c) {
+    EXPECT_NEAR(inl_spice.inl[c], inl_model.inl[c], 0.15)
+        << "code " << c;
+  }
+  EXPECT_NEAR(inl_spice.inl_max, inl_model.inl_max,
+              0.3 * inl_model.inl_max + 0.05);
+}
+
+TEST(DacGen, SingleEndedOptionShortsOutN) {
+  Fixture f;
+  DacGenOptions opts;
+  opts.differential = false;
+  TransistorLevelDac chip(f.spec, f.cell, f.t, opts);
+  const auto bc = chip.build(10);
+  const auto sol = spice::solve_dc(*bc.circuit);
+  EXPECT_NEAR(sol.v(bc.out_n), f.spec.v_out_min + f.spec.v_swing, 1e-6);
+}
+
+TEST(DacGen, WorksWithBasicTopologyToo) {
+  Fixture f;
+  const auto basic =
+      f.sizer.size_basic(0.3, 0.25, core::MarginPolicy::kStatistical);
+  TransistorLevelDac chip(f.spec, basic, f.t);
+  const int full = (1 << f.spec.nbits) - 1;
+  EXPECT_NEAR(chip.level(full), full, 0.06 * full);
+}
+
+TEST(DacGen, SystematicGradientMatchesLayoutPrediction) {
+  // Close the loop: inject a placed array's systematic errors into the
+  // transistor-level chip; its INL must match the layout module's
+  // analytic thermometer-ramp prediction.
+  Fixture f;
+  const layout::ArrayGeometry geo{4, 4};
+  const auto seq = layout::make_sequence(
+      layout::SwitchingScheme::kRowMajor, geo, f.spec.num_unary());
+  const layout::GradientSpec g{0.03, 0.0, 0.0};
+  const auto sys = layout::sequence_errors(geo, seq, g, false);
+
+  DacGenOptions opts;
+  opts.unary_systematic = sys;
+  const TransistorLevelDac chip(f.spec, f.cell, f.t, opts);
+  const auto inl_spice = dac::analyze_transfer(chip.transfer(),
+                                               dac::InlReference::kEndpoint);
+  const auto predicted =
+      layout::systematic_linearity(sys, f.spec.unary_weight());
+  EXPECT_NEAR(inl_spice.inl_max, predicted.inl_max,
+              0.25 * predicted.inl_max + 0.05);
+}
+
+TEST(DacGen, SystematicVectorSizeValidated) {
+  Fixture f;
+  DacGenOptions opts;
+  opts.unary_systematic = {0.01, 0.02};  // wrong length
+  EXPECT_THROW(TransistorLevelDac(f.spec, f.cell, f.t, opts),
+               std::invalid_argument);
+}
+
+TEST(DacGen, RejectsBadInput) {
+  Fixture f;
+  TransistorLevelDac chip(f.spec, f.cell, f.t);
+  EXPECT_THROW(chip.build(-1), std::out_of_range);
+  EXPECT_THROW(chip.build(64), std::out_of_range);
+  DacGenOptions bad;
+  bad.sigma_unit = -1.0;
+  EXPECT_THROW(TransistorLevelDac(f.spec, f.cell, f.t, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::dacgen

@@ -1,0 +1,144 @@
+#include "digital/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "digital/gates.hpp"
+
+namespace csdac::digital {
+namespace {
+
+TEST(GateNetlistTest, BasicGateTruthTables) {
+  GateNetlist net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  const int g_and = net.add_gate(GateKind::kAnd2, a, b);
+  const int g_or = net.add_gate(GateKind::kOr2, a, b);
+  const int g_nand = net.add_gate(GateKind::kNand2, a, b);
+  const int g_nor = net.add_gate(GateKind::kNor2, a, b);
+  const int g_xor = net.add_gate(GateKind::kXor2, a, b);
+  const int g_not = net.add_gate(GateKind::kNot, a);
+  const int g_buf = net.add_gate(GateKind::kBuf, b);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      const auto ev = net.evaluate({va != 0, vb != 0});
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_and)], va && vb);
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_or)], va || vb);
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_nand)], !(va && vb));
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_nor)], !(va || vb));
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_xor)], va != vb);
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_not)], !va);
+      EXPECT_EQ(ev.value[static_cast<std::size_t>(g_buf)], vb != 0);
+    }
+  }
+}
+
+TEST(GateNetlistTest, ArrivalAccumulatesAlongPath) {
+  GateNetlist net;
+  const int a = net.add_input("a");
+  int node = a;
+  for (int i = 0; i < 5; ++i) {
+    node = net.add_gate(GateKind::kNot, node, -1, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(net.arrival_bound(node), 10.0);
+  const auto ev = net.evaluate({true});
+  EXPECT_DOUBLE_EQ(ev.arrival[static_cast<std::size_t>(node)], 10.0);
+  EXPECT_EQ(ev.value[static_cast<std::size_t>(node)], false);  // odd inverts
+}
+
+TEST(GateNetlistTest, TopologicalOrderEnforced) {
+  GateNetlist net;
+  const int a = net.add_input("a");
+  EXPECT_THROW(net.add_gate(GateKind::kNot, 5), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateKind::kAnd2, a, 99), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateKind::kNot, a, -1, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateKind::kInput), std::invalid_argument);
+}
+
+TEST(Decoder, ExhaustiveCorrectness8Bit) {
+  // The paper's m = 8 decoder (4 row + 4 col bits): every input code must
+  // produce exactly the thermometer pattern out[k] = (k < code).
+  const ThermometerDecoder dec(4, 4);
+  ASSERT_EQ(dec.outputs(), 255);
+  for (int code = 0; code < 256; ++code) {
+    const auto out = dec.decode(code);
+    for (int k = 0; k < 255; ++k) {
+      ASSERT_EQ(out[static_cast<std::size_t>(k)], k < code)
+          << "code " << code << " output " << k;
+    }
+  }
+}
+
+TEST(Decoder, ExhaustiveCorrectnessAsymmetricSplit) {
+  const ThermometerDecoder dec(2, 3);  // m = 5
+  ASSERT_EQ(dec.outputs(), 31);
+  for (int code = 0; code < 32; ++code) {
+    const auto out = dec.decode(code);
+    for (int k = 0; k < 31; ++k) {
+      ASSERT_EQ(out[static_cast<std::size_t>(k)], k < code)
+          << "code " << code << " output " << k;
+    }
+  }
+}
+
+TEST(Decoder, OutputsAreThermometerMonotone) {
+  const ThermometerDecoder dec(3, 3);
+  for (int code = 0; code < 64; ++code) {
+    const auto out = dec.decode(code);
+    for (std::size_t k = 1; k < out.size(); ++k) {
+      EXPECT_LE(out[k], out[k - 1]) << "bubble at code " << code;
+    }
+  }
+}
+
+TEST(Decoder, GateCountScalesLikeAreaModel) {
+  // The architecture explorer models decoder gates ~ m * 2^m; the actual
+  // row/column construction should grow no faster.
+  const int g6 = ThermometerDecoder(3, 3).gate_count();
+  const int g8 = ThermometerDecoder(4, 4).gate_count();
+  const double model_ratio = (8.0 * 256.0) / (6.0 * 64.0);
+  EXPECT_GT(g8, 2 * g6);
+  EXPECT_LT(static_cast<double>(g8) / g6, 1.5 * model_ratio);
+}
+
+TEST(Decoder, WorstArrivalGrowsSlowly) {
+  // Depth is logarithmic-ish in the field widths plus the suffix-OR chain.
+  const double d6 = ThermometerDecoder(3, 3).worst_arrival();
+  const double d8 = ThermometerDecoder(4, 4).worst_arrival();
+  EXPECT_GT(d8, d6);
+  EXPECT_LT(d8, 3.0 * d6);
+  EXPECT_GT(d6, 3.0);  // several gate delays deep
+}
+
+TEST(Decoder, DummyDecoderMatchesDelay) {
+  const ThermometerDecoder dec(4, 4, /*gate_delay=*/0.1);
+  const DummyDecoder dummy = DummyDecoder::matched(dec, 4, 0.1);
+  // The binary path without the dummy would arrive `worst_arrival` early;
+  // with it the skew shrinks below one gate delay.
+  EXPECT_NEAR(dummy.delay(), dec.worst_arrival(), 0.1);
+  EXPECT_GT(dec.worst_arrival(), 5 * 0.1);  // the skew being equalized
+}
+
+TEST(Decoder, DummyDecoderIsIdentity) {
+  const DummyDecoder dummy(4, 7);
+  for (int v = 0; v < 16; ++v) {
+    const auto out = dummy.pass(v);
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(out[static_cast<std::size_t>(b)], ((v >> b) & 1) != 0);
+    }
+  }
+}
+
+TEST(Decoder, RejectsBadConfiguration) {
+  EXPECT_THROW(ThermometerDecoder(0, 4), std::invalid_argument);
+  EXPECT_THROW(ThermometerDecoder(8, 8), std::invalid_argument);
+  EXPECT_THROW(ThermometerDecoder(4, 4, 0.0), std::invalid_argument);
+  const ThermometerDecoder dec(2, 2);
+  EXPECT_THROW(dec.decode(-1), std::out_of_range);
+  EXPECT_THROW(dec.decode(16), std::out_of_range);
+  EXPECT_THROW(dec.output_arrival(0, 99), std::out_of_range);
+  EXPECT_THROW(DummyDecoder(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::digital

@@ -1,0 +1,94 @@
+#include "layout/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/floorplan.hpp"
+
+namespace csdac::layout {
+namespace {
+
+TEST(ArrayGeometryTest, NormalizedCoordinatesSpanUnitSquare) {
+  const ArrayGeometry geo{4, 8};
+  EXPECT_DOUBLE_EQ(geo.normalized(0).x, -1.0);
+  EXPECT_DOUBLE_EQ(geo.normalized(0).y, -1.0);
+  EXPECT_DOUBLE_EQ(geo.normalized(geo.cells() - 1).x, 1.0);
+  EXPECT_DOUBLE_EQ(geo.normalized(geo.cells() - 1).y, 1.0);
+  // Center-ish cell maps near the origin.
+  const Point p = geo.normalized(geo.index_of(2, 4));
+  EXPECT_NEAR(p.x, 2.0 * 4 / 7.0 - 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 2.0 * 2 / 3.0 - 1.0, 1e-12);
+}
+
+TEST(ArrayGeometryTest, SingleRowOrColumnDegenerate) {
+  const ArrayGeometry row{1, 5};
+  EXPECT_DOUBLE_EQ(row.normalized(2).y, 0.0);  // no y extent
+  const ArrayGeometry col{5, 1};
+  EXPECT_DOUBLE_EQ(col.normalized(2).x, 0.0);
+}
+
+TEST(ArrayGeometryTest, PhysicalCoordinatesUsePitch) {
+  const ArrayGeometry geo{4, 4, 12e-6, 10e-6};
+  const Point p = geo.physical(geo.index_of(2, 3));
+  EXPECT_DOUBLE_EQ(p.x, 3 * 12e-6);
+  EXPECT_DOUBLE_EQ(p.y, 2 * 10e-6);
+}
+
+TEST(ArrayGeometryTest, IndexMathRoundTrips) {
+  const ArrayGeometry geo{7, 9};
+  for (int idx = 0; idx < geo.cells(); ++idx) {
+    EXPECT_EQ(geo.index_of(geo.row_of(idx), geo.col_of(idx)), idx);
+  }
+}
+
+TEST(ArrayGeometryTest, Validation) {
+  const ArrayGeometry bad{0, 4};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  const ArrayGeometry geo{4, 4};
+  EXPECT_THROW(geo.normalized(-1), std::out_of_range);
+  EXPECT_THROW(geo.normalized(16), std::out_of_range);
+  EXPECT_THROW(geo.physical(16), std::out_of_range);
+}
+
+TEST(FloorplanVariants, CustomCellSizesScaleDie) {
+  core::DacSpec spec;
+  FloorplanOptions small;
+  small.cs_cell_w_um = 8.0;
+  small.cs_cell_h_um = 8.0;
+  FloorplanOptions big;
+  big.cs_cell_w_um = 20.0;
+  big.cs_cell_h_um = 20.0;
+  const Floorplan fs = build_floorplan(spec, small);
+  const Floorplan fb = build_floorplan(spec, big);
+  EXPECT_LT(fs.def.die_x1, fb.def.die_x1);
+  EXPECT_LT(fs.def.die_y1, fb.def.die_y1);
+  // Same component count regardless of geometry.
+  EXPECT_EQ(fs.def.components.size(), fb.def.components.size());
+}
+
+TEST(FloorplanVariants, SeedChangesRandomScheme) {
+  core::DacSpec spec;
+  FloorplanOptions a;
+  a.scheme = SwitchingScheme::kRandom;
+  a.seed = 1;
+  FloorplanOptions b = a;
+  b.seed = 2;
+  const Floorplan fa = build_floorplan(spec, a);
+  const Floorplan fb = build_floorplan(spec, b);
+  EXPECT_NE(fa.unary_sequence, fb.unary_sequence);
+}
+
+TEST(FloorplanVariants, NoBinaryBitsMeansNoBinaryColumns) {
+  core::DacSpec spec;
+  spec.nbits = 6;
+  spec.binary_bits = 0;  // fully thermometer
+  const Floorplan fp = build_floorplan(spec);
+  EXPECT_TRUE(fp.binary_columns.empty());
+  int bin_cells = 0;
+  for (const auto& c : fp.def.components) {
+    if (c.name.rfind("cs_b", 0) == 0) ++bin_cells;
+  }
+  EXPECT_EQ(bin_cells, 0);
+}
+
+}  // namespace
+}  // namespace csdac::layout

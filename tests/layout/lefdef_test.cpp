@@ -1,0 +1,102 @@
+#include "layout/lefdef.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csdac::layout {
+namespace {
+
+DefDesign sample_design() {
+  DefDesign d;
+  d.name = "testchip";
+  d.dbu_per_micron = 2000;
+  d.die_x1 = 100000;
+  d.die_y1 = 50000;
+  d.components = {
+      {"u1", "CS_CELL", 0, 0, "N"},
+      {"u2", "CS_CELL", 12000, 0, "N"},
+      {"lat1", "LATCH_SW_DRV", 0, 24000, "N"},
+  };
+  d.nets = {
+      {"sw1", {{"lat1", "Q"}, {"u1", "SW"}}},
+      {"outp", {{"u1", "OUTP"}, {"u2", "OUTP"}}},
+  };
+  return d;
+}
+
+TEST(LefDef, DefRoundTrip) {
+  const DefDesign d = sample_design();
+  const std::string text = write_def(d);
+  const DefDesign r = parse_def(text);
+  EXPECT_EQ(r.name, d.name);
+  EXPECT_EQ(r.dbu_per_micron, d.dbu_per_micron);
+  EXPECT_EQ(r.die_x1, d.die_x1);
+  EXPECT_EQ(r.die_y1, d.die_y1);
+  ASSERT_EQ(r.components.size(), d.components.size());
+  for (std::size_t i = 0; i < d.components.size(); ++i) {
+    EXPECT_EQ(r.components[i].name, d.components[i].name);
+    EXPECT_EQ(r.components[i].macro, d.components[i].macro);
+    EXPECT_EQ(r.components[i].x, d.components[i].x);
+    EXPECT_EQ(r.components[i].y, d.components[i].y);
+    EXPECT_EQ(r.components[i].orient, d.components[i].orient);
+  }
+  ASSERT_EQ(r.nets.size(), d.nets.size());
+  EXPECT_EQ(r.nets[0].name, "sw1");
+  ASSERT_EQ(r.nets[0].connections.size(), 2u);
+  EXPECT_EQ(r.nets[0].connections[1].component, "u1");
+  EXPECT_EQ(r.nets[0].connections[1].pin, "SW");
+}
+
+TEST(LefDef, DefContainsRequiredSections) {
+  const std::string text = write_def(sample_design());
+  EXPECT_NE(text.find("DESIGN testchip ;"), std::string::npos);
+  EXPECT_NE(text.find("UNITS DISTANCE MICRONS 2000 ;"), std::string::npos);
+  EXPECT_NE(text.find("COMPONENTS 3 ;"), std::string::npos);
+  EXPECT_NE(text.find("END COMPONENTS"), std::string::npos);
+  EXPECT_NE(text.find("NETS 2 ;"), std::string::npos);
+  EXPECT_NE(text.find("END DESIGN"), std::string::npos);
+}
+
+TEST(LefDef, LefContainsMacroAndPins) {
+  LefMacro m;
+  m.name = "CS_CELL";
+  m.width = 12.0;
+  m.height = 12.0;
+  m.pins = {{"SW", "INPUT", "METAL2", 1.0, 10.5, 1.6, 11.1}};
+  const std::string text = write_lef({m});
+  EXPECT_NE(text.find("MACRO CS_CELL"), std::string::npos);
+  EXPECT_NE(text.find("SIZE 12.0000 BY 12.0000 ;"), std::string::npos);
+  EXPECT_NE(text.find("PIN SW"), std::string::npos);
+  EXPECT_NE(text.find("RECT 1.0000 10.5000 1.6000 11.1000 ;"),
+            std::string::npos);
+  EXPECT_NE(text.find("END LIBRARY"), std::string::npos);
+}
+
+TEST(LefDef, ParserToleratesHeaderNoise) {
+  std::string text = write_def(sample_design());
+  // Already has VERSION / DIVIDERCHAR noise; add more.
+  text = "# leading comment-ish token stream\n" + text;
+  EXPECT_NO_THROW(parse_def(text));
+}
+
+TEST(LefDef, ParserRejectsMalformed) {
+  EXPECT_THROW(parse_def(""), std::invalid_argument);
+  EXPECT_THROW(parse_def("COMPONENTS 1 ; - u1 CS + PLACED ( 0 0 ) N ;"),
+               std::invalid_argument);  // no DESIGN
+  std::string bad = write_def(sample_design());
+  const auto pos = bad.find("PLACED");
+  bad.replace(pos, 6, "FLYING");
+  EXPECT_THROW(parse_def(bad), std::invalid_argument);
+}
+
+TEST(LefDef, WriterValidatesInput) {
+  DefDesign d;
+  EXPECT_THROW(write_def(d), std::invalid_argument);  // empty name
+  LefMacro m;
+  m.name = "X";
+  m.width = 0.0;
+  m.height = 1.0;
+  EXPECT_THROW(write_lef({m}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::layout

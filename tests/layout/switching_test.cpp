@@ -1,0 +1,203 @@
+#include "layout/switching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace csdac::layout {
+namespace {
+
+ArrayGeometry grid16() { return ArrayGeometry{16, 16}; }
+
+bool is_permutation_of_cells(const std::vector<int>& seq, int n_cells) {
+  std::set<int> seen(seq.begin(), seq.end());
+  if (seen.size() != seq.size()) return false;
+  return std::all_of(seq.begin(), seq.end(),
+                     [&](int i) { return i >= 0 && i < n_cells; });
+}
+
+TEST(Switching, AllSchemesProduceValidPermutations) {
+  const auto geo = grid16();
+  for (auto scheme :
+       {SwitchingScheme::kRowMajor, SwitchingScheme::kBoustrophedon,
+        SwitchingScheme::kSymmetric, SwitchingScheme::kHierarchical,
+        SwitchingScheme::kRandom}) {
+    const auto seq = make_sequence(scheme, geo, 255);
+    EXPECT_EQ(seq.size(), 255u);
+    EXPECT_TRUE(is_permutation_of_cells(seq, geo.cells()))
+        << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+TEST(Switching, RowMajorIsIdentity) {
+  const auto seq = make_sequence(SwitchingScheme::kRowMajor, grid16(), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Switching, SymmetricStartsNearCenter) {
+  const auto geo = grid16();
+  const auto seq = make_sequence(SwitchingScheme::kSymmetric, geo, 255);
+  const Point p = geo.normalized(seq[0]);
+  EXPECT_LT(p.x * p.x + p.y * p.y, 0.05);
+}
+
+TEST(Switching, SystematicLinearityOfUniformErrorsIsZero) {
+  // A constant error on every source is a pure gain error: INL = 0 after
+  // endpoint correction.
+  std::vector<double> errs(255, 0.01);
+  const auto r = systematic_linearity(errs, 16.0);
+  EXPECT_NEAR(r.inl_max, 0.0, 1e-9);
+  EXPECT_NEAR(r.dnl_max, 0.0, 1e-9);
+}
+
+TEST(Switching, RowMajorAccumulatesLinearGradient) {
+  // Under a pure-y gradient, raster order walks the array bottom-to-top,
+  // accumulating a large bow; the hierarchical order must beat it
+  // decisively.
+  const auto geo = grid16();
+  const GradientSpec g{0.0, 0.01, 0.0};
+  const double w = 16.0;
+  const auto inl_of = [&](SwitchingScheme s) {
+    const auto seq = make_sequence(s, geo, 255);
+    return systematic_linearity(sequence_errors(geo, seq, g), w).inl_max;
+  };
+  const double raster = inl_of(SwitchingScheme::kRowMajor);
+  const double hier = inl_of(SwitchingScheme::kHierarchical);
+  EXPECT_GT(raster, 3.0 * hier);
+}
+
+TEST(Switching, SymmetricCancelsLinearButNotQuadratic) {
+  const auto geo = grid16();
+  const double w = 16.0;
+  const auto seq = make_sequence(SwitchingScheme::kSymmetric, geo, 255);
+  const double lin = systematic_linearity(
+      sequence_errors(geo, seq, GradientSpec{0.01, 0.01, 0.0}), w).inl_max;
+  const double quad = systematic_linearity(
+      sequence_errors(geo, seq, GradientSpec{0.0, 0.0, 0.01}), w).inl_max;
+  EXPECT_LT(lin, quad);
+}
+
+TEST(Switching, DoubleCentroidKillsLinearGradientExactly) {
+  const auto geo = grid16();
+  const auto seq = make_sequence(SwitchingScheme::kRowMajor, geo, 255);
+  const GradientSpec g{0.02, 0.015, 0.0};
+  const auto errs = sequence_errors(geo, seq, g, /*double_centroid=*/true);
+  for (double e : errs) EXPECT_NEAR(e, 0.0, 1e-15);
+}
+
+TEST(Switching, DoubleCentroidLeavesQuadraticResidual) {
+  const auto geo = grid16();
+  const auto seq = make_sequence(SwitchingScheme::kRowMajor, geo, 255);
+  const GradientSpec g{0.0, 0.0, 0.02};
+  const auto plain = sequence_errors(geo, seq, g, false);
+  const auto dc = sequence_errors(geo, seq, g, true);
+  // The quadratic bowl is symmetric: the 4-quadrant average equals the
+  // plain value at mirrored positions.
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_NEAR(dc[i], plain[i], 1e-15);
+  }
+}
+
+TEST(Switching, OptimizedBeatsAllHeuristicsOnItsObjective) {
+  const auto geo = grid16();
+  const auto grads = standard_gradients(0.01);
+  const double w = 16.0;
+  AnnealOptions opts;
+  opts.iterations = 4000;
+  opts.seed = 3;
+  const auto opt = optimize_sequence(geo, 255, grads, w, opts);
+  EXPECT_TRUE(is_permutation_of_cells(opt, geo.cells()));
+  const double c_opt = sequence_cost(geo, opt, grads, w);
+  for (auto scheme :
+       {SwitchingScheme::kRowMajor, SwitchingScheme::kBoustrophedon,
+        SwitchingScheme::kSymmetric, SwitchingScheme::kRandom}) {
+    const auto seq = make_sequence(scheme, geo, 255);
+    EXPECT_LE(c_opt, sequence_cost(geo, seq, grads, w) + 1e-12)
+        << "scheme " << static_cast<int>(scheme);
+  }
+  // It starts from hierarchical, so it can only improve on it.
+  const auto hier = make_sequence(SwitchingScheme::kHierarchical, geo, 255);
+  EXPECT_LE(c_opt, sequence_cost(geo, hier, grads, w) + 1e-12);
+}
+
+TEST(Switching, WorstLinearInlMatchesAngleSweep) {
+  // Brute-force the gradient orientation and check the closed form.
+  const auto geo = grid16();
+  const auto seq = make_sequence(SwitchingScheme::kSymmetric, geo, 255);
+  const double amp = 0.01, w = 16.0;
+  double brute = 0.0;
+  for (int a = 0; a < 360; ++a) {
+    const double th = a * 3.14159265358979323846 / 180.0;
+    const GradientSpec g{amp * std::cos(th), amp * std::sin(th), 0.0};
+    brute = std::max(
+        brute, systematic_linearity(sequence_errors(geo, seq, g), w).inl_max);
+  }
+  const double exact = worst_linear_inl(geo, seq, amp, w);
+  EXPECT_NEAR(exact, brute, 0.02 * exact);
+  EXPECT_GE(exact, brute - 1e-12);  // closed form is the true supremum
+}
+
+TEST(Switching, CentroidWalkMinimizesWorstLinearInl) {
+  // The centroid-balanced walk greedily pins the prefix-sum vector to the
+  // origin: its rotation-invariant worst-case INL must beat raster and the
+  // plain random permutation by a wide factor.
+  const auto geo = grid16();
+  const double amp = 0.01, w = 16.0;
+  const double walk = worst_linear_inl(
+      geo, make_sequence(SwitchingScheme::kCentroidBalanced, geo, 255, 3),
+      amp, w);
+  const double raster = worst_linear_inl(
+      geo, make_sequence(SwitchingScheme::kRowMajor, geo, 255), amp, w);
+  const double rand = worst_linear_inl(
+      geo, make_sequence(SwitchingScheme::kRandom, geo, 255, 3), amp, w);
+  EXPECT_LT(walk, 0.1 * raster);
+  EXPECT_LT(walk, 0.5 * rand);
+}
+
+TEST(Switching, WorstLinearInlErrorHandling) {
+  const auto geo = grid16();
+  EXPECT_THROW(worst_linear_inl(geo, {}, 0.01, 16.0),
+               std::invalid_argument);
+  EXPECT_THROW(worst_linear_inl(geo, {0, 1}, -0.1, 16.0),
+               std::invalid_argument);
+  EXPECT_THROW(worst_linear_inl(geo, {0, 1}, 0.1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Switching, GradientMapMatchesSpec) {
+  const ArrayGeometry geo{3, 3};
+  const GradientSpec g{0.5, 0.0, 0.0};
+  const auto map = gradient_map(geo, g);
+  EXPECT_NEAR(map[0], -0.5, 1e-12);  // (row 0, col 0): x = -1
+  EXPECT_NEAR(map[1], 0.0, 1e-12);   // center column
+  EXPECT_NEAR(map[2], 0.5, 1e-12);
+}
+
+TEST(Switching, StandardGradientSetShape) {
+  const auto gs = standard_gradients(0.02);
+  EXPECT_EQ(gs.size(), 5u);
+  EXPECT_DOUBLE_EQ(gs[0].lin_x, 0.02);
+  EXPECT_DOUBLE_EQ(gs[3].quad, 0.02);
+}
+
+TEST(Switching, ErrorHandling) {
+  const auto geo = grid16();
+  EXPECT_THROW(make_sequence(SwitchingScheme::kRowMajor, geo, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_sequence(SwitchingScheme::kRowMajor, geo, 257),
+               std::invalid_argument);
+  EXPECT_THROW(systematic_linearity({}, 16.0), std::invalid_argument);
+  EXPECT_THROW(systematic_linearity({0.1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(sequence_errors(geo, {999}, GradientSpec{}),
+               std::out_of_range);
+  AnnealOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(optimize_sequence(geo, 10, standard_gradients(0.01), 16.0,
+                                 bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::layout

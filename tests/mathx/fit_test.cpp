@@ -1,0 +1,85 @@
+#include "mathx/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mathx/rng.hpp"
+
+namespace csdac::mathx {
+namespace {
+
+TEST(FitLine, ExactLine) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {1, 3, 5, 7, 9};
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Xoshiro256 rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(-3.0 * x.back() + 0.7 + normal(rng, 0.0, 0.05));
+  }
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, -3.0, 0.05);
+  EXPECT_NEAR(f.intercept, 0.7, 0.02);
+  EXPECT_GT(f.r2, 0.95);
+}
+
+TEST(FitLine, ThrowsOnBadInput) {
+  std::vector<double> one = {1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  std::vector<double> same_x = {2.0, 2.0, 2.0};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(same_x, y), std::invalid_argument);
+}
+
+TEST(FitQuadratic, ExactParabola) {
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i * i - 3.0 * i + 4.0);
+  }
+  const auto f = fit_quadratic(x, y);
+  EXPECT_NEAR(f.a, 2.0, 1e-9);
+  EXPECT_NEAR(f.b, -3.0, 1e-9);
+  EXPECT_NEAR(f.c, 4.0, 1e-9);
+}
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, EndpointRoot) {
+  const double r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Bisect, ThrowsWithoutBracket) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FixedPoint, ConvergesToCosFixedPoint) {
+  // The Dottie number: x = cos(x) ~ 0.739085.
+  const double x = fixed_point([](double v) { return std::cos(v); }, 1.0);
+  EXPECT_NEAR(x, 0.7390851332151607, 1e-8);
+}
+
+TEST(FixedPoint, RelaxationStabilizesDivergentMap) {
+  // g(x) = 3 - 2x diverges under plain iteration (|g'| = 2 > 1) but has
+  // fixed point x = 1; under-relaxation converges.
+  const double x = fixed_point([](double v) { return 3.0 - 2.0 * v; }, 0.0,
+                               1e-12, 500, /*relax=*/0.3);
+  EXPECT_NEAR(x, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace csdac::mathx

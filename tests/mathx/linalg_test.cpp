@@ -1,0 +1,124 @@
+#include "mathx/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/rng.hpp"
+
+namespace csdac::mathx {
+namespace {
+
+TEST(LuSolver, SolvesIdentity) {
+  MatrixD a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = LuSolver<double>::solve_once(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuSolver, Solves2x2) {
+  MatrixD a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const auto x = LuSolver<double>::solve_once(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero in the (0,0) position forces a row swap.
+  MatrixD a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto x = LuSolver<double>::solve_once(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, ThrowsOnSingular) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  LuSolver<double> s;
+  EXPECT_THROW(s.factorize(a), SingularMatrixError);
+}
+
+TEST(LuSolver, ThrowsOnNonSquare) {
+  MatrixD a(2, 3);
+  LuSolver<double> s;
+  EXPECT_THROW(s.factorize(a), std::invalid_argument);
+}
+
+TEST(LuSolver, ThrowsOnRhsSizeMismatch) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1.0; a(1, 1) = 1.0;
+  LuSolver<double> s;
+  s.factorize(a);
+  EXPECT_THROW(s.solve({1.0}), std::invalid_argument);
+}
+
+TEST(LuSolver, RandomRoundTrip) {
+  // Property: A * solve(A, b) == b for random well-conditioned systems.
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 15;
+    MatrixD a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = uniform(rng, -1.0, 1.0);
+      a(i, i) += 4.0;  // diagonal dominance keeps the condition number sane
+    }
+    std::vector<double> b(n);
+    for (auto& v : b) v = uniform(rng, -10.0, 10.0);
+    const auto x = LuSolver<double>::solve_once(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) sum += a(i, j) * x[j];
+      EXPECT_NEAR(sum, b[i], 1e-9) << "row " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(LuSolver, ComplexSystem) {
+  using C = std::complex<double>;
+  MatrixC a(2, 2);
+  a(0, 0) = C(1.0, 1.0);
+  a(0, 1) = C(0.0, 0.0);
+  a(1, 0) = C(0.0, 0.0);
+  a(1, 1) = C(0.0, 2.0);
+  const auto x = LuSolver<C>::solve_once(a, {C(2.0, 0.0), C(0.0, 4.0)});
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 2.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), 0.0, 1e-12);
+}
+
+TEST(LuSolver, ReuseFactorizationManyRhs) {
+  MatrixD a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 4; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 4;
+  LuSolver<double> s;
+  s.factorize(a);
+  for (int k = 0; k < 5; ++k) {
+    std::vector<double> b = {1.0 * k, 2.0 * k, 3.0 * k};
+    const auto x = s.solve(b);
+    for (std::size_t i = 0; i < 3; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < 3; ++j) sum += a(i, j) * x[j];
+      EXPECT_NEAR(sum, b[i], 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  MatrixD a(2, 5, 3.0);
+  a.set_zero();
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 5u);
+  EXPECT_DOUBLE_EQ(a(1, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace csdac::mathx

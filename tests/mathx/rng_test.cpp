@@ -1,0 +1,86 @@
+#include "mathx/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/stats.hpp"
+
+namespace csdac::mathx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01Range) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Xoshiro256 rng(10);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(uniform(rng, 2.0, 4.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.01);
+  EXPECT_NEAR(s.variance(), 4.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Xoshiro256 rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(normal(rng, 1.5, 2.0));
+  EXPECT_NEAR(s.mean(), 1.5, 0.02);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.02);
+}
+
+TEST(Rng, NormalTailProbabilityMatchesCdf) {
+  // P(X > 2 sigma) should be ~2.28%.
+  Xoshiro256 rng(12);
+  int above = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (normal(rng) > 2.0) ++above;
+  }
+  const double frac = static_cast<double>(above) / n;
+  EXPECT_NEAR(frac, 1.0 - normal_cdf(2.0), 0.002);
+}
+
+TEST(Rng, JumpProducesDecorrelatedStream) {
+  Xoshiro256 a(77);
+  Xoshiro256 b(77);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIndexInRangeAndCoversAll) {
+  Xoshiro256 rng(13);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto k = uniform_index(rng, 7);
+    ASSERT_LT(k, 7u);
+    ++seen[static_cast<std::size_t>(k)];
+  }
+  for (int c : seen) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+}  // namespace
+}  // namespace csdac::mathx

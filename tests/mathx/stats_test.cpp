@@ -1,0 +1,99 @@
+#include "mathx/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csdac::mathx {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalInvCdf, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9973,
+                   0.999, 0.999999}) {
+    const double x = normal_inv_cdf(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(NormalInvCdf, KnownQuantiles) {
+  EXPECT_NEAR(normal_inv_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_inv_cdf(0.8413447460685429), 1.0, 1e-10);
+  EXPECT_NEAR(normal_inv_cdf(0.9986501019683699), 3.0, 1e-9);
+}
+
+TEST(NormalInvCdf, ThrowsOutOfDomain) {
+  EXPECT_THROW(normal_inv_cdf(0.0), std::domain_error);
+  EXPECT_THROW(normal_inv_cdf(1.0), std::domain_error);
+  EXPECT_THROW(normal_inv_cdf(-0.3), std::domain_error);
+}
+
+TEST(YieldCoefficient, ThreeSigmaIs997) {
+  // The classic 99.73% <-> 3 sigma correspondence of eq. (1).
+  EXPECT_NEAR(yield_coefficient_two_sided(0.9973002039367398), 3.0, 1e-9);
+  // 99.7% used in the paper's design example.
+  EXPECT_NEAR(yield_coefficient_two_sided(0.997), 2.9677, 1e-3);
+}
+
+TEST(YieldCoefficient, OneSidedMatchesInvNorm) {
+  EXPECT_NEAR(yield_coefficient_one_sided(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_NEAR(percentile({3.0, 1.0, 2.0}, 50.0), 2.0, 1e-12);
+  EXPECT_NEAR(percentile({4.0, 1.0, 2.0, 3.0}, 50.0), 2.5, 1e-12);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v = {5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(9), 9.5, 1e-12);
+}
+
+TEST(HistogramTest, ThrowsOnBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::mathx

@@ -1,0 +1,284 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// each suite states one invariant and grinds it across a parameter grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/sizer.hpp"
+#include "dac/static_analysis.hpp"
+#include "digital/decoder.hpp"
+#include "layout/switching.hpp"
+#include "mathx/fft.hpp"
+#include "mathx/rng.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/mismatch.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac {
+namespace {
+
+using namespace csdac::units;
+
+// ---------------------------------------------------------------------------
+// 1. MOSFET square law vs analytic over (vgs, vds, type)
+// ---------------------------------------------------------------------------
+
+using MosParams = std::tuple<double, double, bool>;  // vgs, vds, pmos
+
+class MosfetSquareLawP : public ::testing::TestWithParam<MosParams> {};
+
+TEST_P(MosfetSquareLawP, OperatingPointMatchesAnalytic) {
+  const auto [vgs, vds, pmos] = GetParam();
+  const auto t =
+      pmos ? tech::generic_035um().pmos : tech::generic_035um().nmos;
+  const double w = 10 * um, l = 1 * um;
+
+  spice::Circuit ckt;
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  spice::Mosfet* m = nullptr;
+  if (!pmos) {
+    ckt.add(std::make_unique<spice::VoltageSource>("vg", g, 0, vgs));
+    ckt.add(std::make_unique<spice::VoltageSource>("vd", d, 0, vds));
+    m = ckt.add(std::make_unique<spice::Mosfet>(
+        "m1", t, d, g, 0, 0, spice::Mosfet::Geometry{w, l}));
+  } else {
+    // Source at VDD; vgs/vds interpreted as source-referred magnitudes.
+    const int vdd = ckt.node("vdd");
+    ckt.add(std::make_unique<spice::VoltageSource>("vdd", vdd, 0, 3.3));
+    ckt.add(std::make_unique<spice::VoltageSource>("vg", g, 0, 3.3 - vgs));
+    ckt.add(std::make_unique<spice::VoltageSource>("vd", d, 0, 3.3 - vds));
+    m = ckt.add(std::make_unique<spice::Mosfet>(
+        "m1", t, d, g, vdd, vdd, spice::Mosfet::Geometry{w, l}));
+  }
+  spice::solve_dc(ckt);
+  const auto& op = m->op();
+
+  const double vod = vgs - t.vt0;
+  const double beta = t.kp * w / l;
+  const double lam = t.lambda(l);
+  double expected = 0.0;
+  if (vod <= 0.0) {
+    expected = 0.0;
+  } else if (vds >= vod) {
+    expected = 0.5 * beta * vod * vod * (1.0 + lam * vds);
+  } else {
+    expected = beta * (vod * vds - 0.5 * vds * vds) * (1.0 + lam * vds);
+  }
+  EXPECT_NEAR(op.id, expected, std::max(1e-12, 1e-9 * expected))
+      << "vgs=" << vgs << " vds=" << vds << " pmos=" << pmos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetSquareLawP,
+    ::testing::Combine(::testing::Values(0.3, 0.6, 0.9, 1.4, 2.0),
+                       ::testing::Values(0.05, 0.2, 0.6, 1.5, 3.0),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// 2. Sizing invariants over (nbits, yield)
+// ---------------------------------------------------------------------------
+
+using SizerParams = std::tuple<int, double>;
+
+class SizerInvariantsP : public ::testing::TestWithParam<SizerParams> {};
+
+TEST_P(SizerInvariantsP, SpecAndBoundaryInvariants) {
+  const auto [nbits, yield] = GetParam();
+  core::DacSpec spec;
+  spec.nbits = nbits;
+  spec.binary_bits = std::min(4, nbits - 2);
+  spec.inl_yield = yield;
+  const auto t = tech::generic_035um().nmos;
+  const core::CellSizer sizer(t, spec);
+
+  // (a) the sized CS meets the eq. (1) accuracy with equality.
+  const auto s = sizer.size_basic(0.3, 0.2, core::MarginPolicy::kNone);
+  EXPECT_NEAR(
+      tech::sigma_id_rel(t, s.cell.cs.w, s.cell.cs.l, s.cell.vod_cs),
+      sizer.sigma_unit(), 1e-9);
+
+  // (b) the statistical boundary sits strictly between the deterministic
+  // limit and the 0.5 V-margin curve.
+  const auto stat =
+      sizer.max_vod_sw_basic(0.3, core::MarginPolicy::kStatistical);
+  const auto none = sizer.max_vod_sw_basic(0.3, core::MarginPolicy::kNone);
+  const auto fixed =
+      sizer.max_vod_sw_basic(0.3, core::MarginPolicy::kFixedMargin, 0.5);
+  ASSERT_TRUE(stat && none && fixed);
+  EXPECT_LT(*stat, *none);
+  EXPECT_GT(*stat, *fixed);
+
+  // (c) boundary self-consistency: slack ~ 0 at the returned point.
+  const auto at_boundary =
+      sizer.size_basic(0.3, *stat, core::MarginPolicy::kStatistical);
+  EXPECT_NEAR(at_boundary.sat.slack(), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ResolutionYieldGrid, SizerInvariantsP,
+    ::testing::Combine(::testing::Values(8, 10, 12, 14),
+                       ::testing::Values(0.9, 0.99, 0.997)));
+
+// ---------------------------------------------------------------------------
+// 3. FFT round trip over record lengths (pow2 and Bluestein)
+// ---------------------------------------------------------------------------
+
+class FftRoundTripP : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftRoundTripP, ForwardInverseIsIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  mathx::Xoshiro256 rng(n);
+  std::vector<mathx::Cplx> x(n);
+  for (auto& v : x) {
+    v = mathx::Cplx(mathx::uniform(rng, -1, 1), mathx::uniform(rng, -1, 1));
+  }
+  const auto y = mathx::dft(mathx::dft(x), /*inverse=*/true);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(y[i] - x[i]));
+  }
+  EXPECT_LT(worst, 1e-9) << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTripP,
+                         ::testing::Values(2, 8, 64, 1024, 4096,  // pow2
+                                           3, 12, 50, 283, 1000, 4095));
+
+// ---------------------------------------------------------------------------
+// 4. Switching schemes: validity + gradient suppression on several grids
+// ---------------------------------------------------------------------------
+
+using SchemeParams = std::tuple<layout::SwitchingScheme, int>;
+
+class SwitchingSchemeP : public ::testing::TestWithParam<SchemeParams> {};
+
+TEST_P(SwitchingSchemeP, PermutationAndGradientSuppression) {
+  const auto [scheme, size] = GetParam();
+  const layout::ArrayGeometry geo{size, size};
+  const int n = size * size - 1;
+  const auto seq = layout::make_sequence(scheme, geo, n, /*seed=*/5);
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(geo.cells()), false);
+  for (int idx : seq) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, geo.cells());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(idx)]) << "duplicate " << idx;
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  // Every gradient-aware scheme must beat raster under a linear-y gradient.
+  // (Boustrophedon only fixes the x accumulation: it still walks the rows
+  // bottom-to-top, so it is excluded along with the random baselines.)
+  if (scheme != layout::SwitchingScheme::kRowMajor &&
+      scheme != layout::SwitchingScheme::kRandom &&
+      scheme != layout::SwitchingScheme::kBoustrophedon) {
+    const layout::GradientSpec g{0.0, 0.01, 0.0};
+    const auto raster =
+        layout::make_sequence(layout::SwitchingScheme::kRowMajor, geo, n);
+    const double inl_raster = layout::systematic_linearity(
+        layout::sequence_errors(geo, raster, g), 16.0).inl_max;
+    const double inl_scheme = layout::systematic_linearity(
+        layout::sequence_errors(geo, seq, g), 16.0).inl_max;
+    EXPECT_LT(inl_scheme, inl_raster)
+        << "scheme " << static_cast<int>(scheme) << " size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeGrid, SwitchingSchemeP,
+    ::testing::Combine(
+        ::testing::Values(layout::SwitchingScheme::kRowMajor,
+                          layout::SwitchingScheme::kBoustrophedon,
+                          layout::SwitchingScheme::kSymmetric,
+                          layout::SwitchingScheme::kHierarchical,
+                          layout::SwitchingScheme::kRandom,
+                          layout::SwitchingScheme::kCentroidBalanced),
+        ::testing::Values(8, 16)));
+
+// ---------------------------------------------------------------------------
+// 4b. Thermometer decoder correctness over field splits
+// ---------------------------------------------------------------------------
+
+using DecoderParams = std::tuple<int, int>;  // row_bits, col_bits
+
+class DecoderP : public ::testing::TestWithParam<DecoderParams> {};
+
+TEST_P(DecoderP, ExhaustiveDecodeAndMonotone) {
+  const auto [rb, cb] = GetParam();
+  const digital::ThermometerDecoder dec(rb, cb);
+  const int m = rb + cb;
+  for (int code = 0; code < (1 << m); ++code) {
+    const auto out = dec.decode(code);
+    for (int k = 0; k < dec.outputs(); ++k) {
+      ASSERT_EQ(out[static_cast<std::size_t>(k)], k < code)
+          << "rb=" << rb << " cb=" << cb << " code=" << code << " k=" << k;
+    }
+  }
+  EXPECT_GT(dec.gate_count(), dec.outputs());  // at least ~2 gates/output
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldSplits, DecoderP,
+    ::testing::Values(DecoderParams{1, 1}, DecoderParams{1, 3},
+                      DecoderParams{2, 2}, DecoderParams{3, 2},
+                      DecoderParams{3, 4}, DecoderParams{4, 4}));
+
+// ---------------------------------------------------------------------------
+// 5. RC transient accuracy across time-constant decades
+// ---------------------------------------------------------------------------
+
+using RcParams = std::tuple<double, double>;  // R [Ohm], C [F]
+
+class RcTransientP : public ::testing::TestWithParam<RcParams> {};
+
+TEST_P(RcTransientP, StepResponseMatchesAnalytic) {
+  const auto [r, c] = GetParam();
+  const double tau = r * c;
+  spice::Circuit ckt;
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      "vin", in, 0,
+      std::make_unique<spice::PulseWave>(0.0, 1.0, 0.0, tau * 1e-6,
+                                         tau * 1e-6, 1e9 * tau)));
+  ckt.add(std::make_unique<spice::Resistor>("r1", in, out, r));
+  ckt.add(std::make_unique<spice::Capacitor>("c1", out, 0, c));
+  const auto res = spice::transient(ckt, tau / 50.0, 4.0 * tau);
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    const double expected = 1.0 - std::exp(-res.time[i] / tau);
+    EXPECT_NEAR(res.v(i, out), expected, 5e-3)
+        << "R=" << r << " C=" << c << " t=" << res.time[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decades, RcTransientP,
+    ::testing::Combine(::testing::Values(50.0, 1e3, 1e6),
+                       ::testing::Values(1e-15, 1e-12, 1e-9)));
+
+// ---------------------------------------------------------------------------
+// 6. eq. (1) yield safety across resolutions
+// ---------------------------------------------------------------------------
+
+class YieldSafetyP : public ::testing::TestWithParam<int> {};
+
+TEST_P(YieldSafetyP, MeasuredYieldAtLeastTarget) {
+  const int nbits = GetParam();
+  core::DacSpec spec;
+  spec.nbits = nbits;
+  spec.binary_bits = std::min(3, nbits - 2);
+  const double target = 0.9;
+  const double sigma = core::unit_sigma_spec(nbits, target);
+  const auto y = dac::inl_yield_mc(spec, sigma, 300, /*seed=*/7);
+  EXPECT_GE(y.yield, target - 0.05) << "nbits = " << nbits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, YieldSafetyP,
+                         ::testing::Values(6, 8, 10));
+
+}  // namespace
+}  // namespace csdac

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/measures.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::spice {
+namespace {
+
+using namespace csdac::units;
+
+TEST(Ac, RcLowPassMagnitudeAndPhase) {
+  Circuit ckt;
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  const double r = 1000.0, c = 159.154943e-12;  // f_3db ~ 1 MHz
+  ckt.add(std::make_unique<VoltageSource>("vin", in, 0, 0.0, /*ac=*/1.0));
+  ckt.add(std::make_unique<Resistor>("r1", in, out, r));
+  ckt.add(std::make_unique<Capacitor>("c1", out, 0, c));
+  solve_dc(ckt);
+  const double f3db = 1.0 / (2.0 * std::numbers::pi * r * c);
+  const AcResult res = ac_analysis(ckt, {f3db / 100.0, f3db, f3db * 100.0});
+  // Low frequency: |H| ~ 1.
+  EXPECT_NEAR(std::abs(res.v(0, out)), 1.0, 1e-3);
+  // At the pole: |H| = 1/sqrt(2), phase -45 deg.
+  EXPECT_NEAR(std::abs(res.v(1, out)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::arg(res.v(1, out)) * 180.0 / std::numbers::pi, -45.0, 0.5);
+  // Two decades above: -40 dB.
+  EXPECT_NEAR(20.0 * std::log10(std::abs(res.v(2, out))), -40.0, 0.1);
+}
+
+TEST(Ac, LogSpaceGrid) {
+  const auto f = log_space(1.0, 1000.0, 10);
+  EXPECT_DOUBLE_EQ(f.front(), 1.0);
+  EXPECT_DOUBLE_EQ(f.back(), 1000.0);
+  EXPECT_EQ(f.size(), 31u);
+  EXPECT_THROW(log_space(0.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_space(10.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Ac, CommonSourceGainMatchesGmTimesRout) {
+  // NMOS common-source amplifier: |Av| = gm * (rd || ro).
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 0.8, /*ac=*/1.0));
+  ckt.add(std::make_unique<Resistor>("rd", vdd, d, 10000.0));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", tech::generic_035um().nmos, d, g, 0, 0,
+      Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  const AcResult res = ac_analysis(ckt, {1e3});
+  const double gm = m->op().gm;
+  const double gds = m->op().gds;
+  const double gain_expected = gm / (1.0 / 10000.0 + gds);
+  EXPECT_NEAR(std::abs(res.v(0, d)), gain_expected, gain_expected * 1e-6);
+  // Inverting stage: phase ~ 180 deg.
+  EXPECT_NEAR(std::abs(std::arg(res.v(0, d))) * 180.0 / std::numbers::pi,
+              180.0, 1e-6);
+}
+
+TEST(Ac, ImpedanceProbeReadsParallelRc) {
+  // Well-defined impedance: R || C. |Z| = R/sqrt(1+(wRC)^2).
+  Circuit ckt;
+  const int n = ckt.node("n");
+  const double r = 1e4, c = 1e-9;
+  ckt.add(std::make_unique<Resistor>("r1", n, 0, r));
+  ckt.add(std::make_unique<Capacitor>("c1", n, 0, c));
+  solve_dc(ckt);
+  const double fp = 1.0 / (2.0 * std::numbers::pi * r * c);
+  const auto z = impedance_probe(ckt, n, {fp / 100.0, fp});
+  EXPECT_NEAR(std::abs(z[0]), r, 0.01 * r);
+  EXPECT_NEAR(std::abs(z[1]), r / std::sqrt(2.0), 0.01 * r);
+}
+
+// DC output impedance by finite difference of the forced output voltage:
+// Rout = dV/dI from the branch current of a voltage source on the output.
+double rout_finite_difference(bool cascode, Mosfet::OpPoint* cs_op,
+                              Mosfet::OpPoint* cas_op) {
+  auto solve_at = [&](double vout, Mosfet::OpPoint* cs, Mosfet::OpPoint* cas) {
+    Circuit ckt;
+    const int gcs = ckt.node("gcs");
+    const int out = ckt.node("out");
+    ckt.add(std::make_unique<VoltageSource>("vgcs", gcs, 0, 0.9));
+    auto* vout_src =
+        ckt.add(std::make_unique<VoltageSource>("vout", out, 0, vout));
+    Mosfet* mcs = nullptr;
+    Mosfet* mcas = nullptr;
+    if (!cascode) {
+      mcs = ckt.add(std::make_unique<Mosfet>(
+          "mcs", tech::generic_035um().nmos, out, gcs, 0, 0,
+          Mosfet::Geometry{40 * um, 2 * um}));
+    } else {
+      const int mid = ckt.node("mid");
+      const int gcas = ckt.node("gcas");
+      ckt.add(std::make_unique<VoltageSource>("vgcas", gcas, 0, 1.6));
+      mcs = ckt.add(std::make_unique<Mosfet>(
+          "mcs", tech::generic_035um().nmos, mid, gcs, 0, 0,
+          Mosfet::Geometry{40 * um, 2 * um}));
+      mcas = ckt.add(std::make_unique<Mosfet>(
+          "mcas", tech::generic_035um().nmos, out, gcas, mid, 0,
+          Mosfet::Geometry{40 * um, 0.7 * um}));
+    }
+    const Solution sol = solve_dc(ckt);
+    if (cs) *cs = mcs->op();
+    if (cas && mcas) *cas = mcas->op();
+    return sol.branch_current(*vout_src);
+  };
+  const double i1 = solve_at(2.0, cs_op, cas_op);
+  const double i2 = solve_at(2.2, nullptr, nullptr);
+  // The MNA branch current flows +terminal -> -terminal through the source,
+  // i.e. it is MINUS the current injected into the drain node.
+  return 0.2 / (i1 - i2);
+}
+
+TEST(Ac, CascodeMultipliesOutputImpedance) {
+  Mosfet::OpPoint cs_simple{}, cs_cas{}, cas{};
+  const double r_simple = rout_finite_difference(false, &cs_simple, nullptr);
+  const double r_cascode = rout_finite_difference(true, &cs_cas, &cas);
+  // The simple source's Rout is its ro = 1/gds.
+  EXPECT_NEAR(r_simple, 1.0 / cs_simple.gds, 0.05 / cs_simple.gds);
+  // The cascode multiplies it by ~ (gm+gmb)*ro_cas.
+  const double ro_cas = 1.0 / cas.gds;
+  const double expected =
+      ro_cas + (1.0 + (cas.gm + cas.gmb) * ro_cas) / cs_cas.gds;
+  EXPECT_NEAR(r_cascode, expected, 0.10 * expected);
+  EXPECT_GT(r_cascode, 10.0 * r_simple);
+}
+
+}  // namespace
+}  // namespace csdac::spice

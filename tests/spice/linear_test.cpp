@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+
+namespace csdac::spice {
+namespace {
+
+TEST(DcLinear, VoltageDivider) {
+  Circuit ckt;
+  const int in = ckt.node("in");
+  const int mid = ckt.node("mid");
+  ckt.add(std::make_unique<VoltageSource>("v1", in, 0, 10.0));
+  ckt.add(std::make_unique<Resistor>("r1", in, mid, 1000.0));
+  ckt.add(std::make_unique<Resistor>("r2", mid, 0, 3000.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(in), 10.0, 1e-6);
+  EXPECT_NEAR(sol.v(mid), 7.5, 1e-6);  // gmin shunt loads the node by O(1e-9)
+}
+
+TEST(DcLinear, VoltageSourceBranchCurrent) {
+  Circuit ckt;
+  const int in = ckt.node("in");
+  auto* vs = ckt.add(std::make_unique<VoltageSource>("v1", in, 0, 5.0));
+  ckt.add(std::make_unique<Resistor>("r1", in, 0, 100.0));
+  const Solution sol = solve_dc(ckt);
+  // 50 mA flows out of the source's + terminal into the resistor; the MNA
+  // branch current is the current through the source from + to - node,
+  // i.e. -50 mA.
+  EXPECT_NEAR(sol.branch_current(*vs), -0.05, 1e-9);
+}
+
+TEST(DcLinear, CurrentSourceIntoResistor) {
+  Circuit ckt;
+  const int out = ckt.node("out");
+  // 1 mA extracted from ground, injected into `out`.
+  ckt.add(std::make_unique<CurrentSource>("i1", 0, out, 1e-3));
+  ckt.add(std::make_unique<Resistor>("r1", out, 0, 2000.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(out), 2.0, 1e-6);
+}
+
+TEST(DcLinear, CurrentSourcePolarity) {
+  Circuit ckt;
+  const int out = ckt.node("out");
+  // Reversed: extracts from `out`, so the node goes negative.
+  ckt.add(std::make_unique<CurrentSource>("i1", out, 0, 1e-3));
+  ckt.add(std::make_unique<Resistor>("r1", out, 0, 1000.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(out), -1.0, 1e-9);
+}
+
+TEST(DcLinear, TwoSourcesSuperpose) {
+  Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<CurrentSource>("i1", 0, a, 1e-3));
+  ckt.add(std::make_unique<CurrentSource>("i2", 0, a, 2e-3));
+  ckt.add(std::make_unique<Resistor>("r1", a, 0, 1000.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(a), 3.0, 1e-6);
+}
+
+TEST(DcLinear, SeriesVoltageSources) {
+  Circuit ckt;
+  const int a = ckt.node("a");
+  const int b = ckt.node("b");
+  ckt.add(std::make_unique<VoltageSource>("v1", a, 0, 2.0));
+  ckt.add(std::make_unique<VoltageSource>("v2", b, a, 3.0));
+  ckt.add(std::make_unique<Resistor>("r1", b, 0, 1000.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(b), 5.0, 1e-9);
+}
+
+TEST(DcLinear, VcvsGain) {
+  Circuit ckt;
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("v1", in, 0, 0.25));
+  ckt.add(std::make_unique<Vcvs>("e1", out, 0, in, 0, 8.0));
+  ckt.add(std::make_unique<Resistor>("rl", out, 0, 50.0));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(sol.v(out), 2.0, 1e-6);
+}
+
+TEST(DcLinear, FloatingNodeAnchoredByGmin) {
+  // A node connected only through a capacitor is floating in DC; the gmin
+  // shunt must keep the matrix solvable.
+  Circuit ckt;
+  const int a = ckt.node("a");
+  const int b = ckt.node("b");
+  ckt.add(std::make_unique<VoltageSource>("v1", a, 0, 1.0));
+  ckt.add(std::make_unique<Capacitor>("c1", a, b, 1e-12));
+  EXPECT_NO_THROW({
+    const Solution sol = solve_dc(ckt);
+    EXPECT_NEAR(sol.v(b), 0.0, 1e-6);
+  });
+}
+
+TEST(DcLinear, NodeNamesAndLookup) {
+  Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), 0);
+  EXPECT_EQ(ckt.node("gnd"), 0);
+  const int a = ckt.node("a");
+  EXPECT_EQ(ckt.node("a"), a);
+  EXPECT_TRUE(ckt.has_node("a"));
+  EXPECT_FALSE(ckt.has_node("zz"));
+  EXPECT_THROW(ckt.find_node("zz"), std::out_of_range);
+  EXPECT_EQ(ckt.node_name(a), "a");
+}
+
+TEST(DcLinear, FindDevice) {
+  Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<Resistor>("r1", a, 0, 1.0));
+  EXPECT_NE(ckt.find_device("r1"), nullptr);
+  EXPECT_EQ(ckt.find_device("nope"), nullptr);
+}
+
+TEST(Waveforms, PulseShape) {
+  PulseWave p(0.0, 1.0, /*td=*/1.0, /*tr=*/1.0, /*tf=*/1.0, /*pw=*/2.0,
+              /*period=*/10.0);
+  EXPECT_DOUBLE_EQ(p.value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(1.5), 0.5);   // mid-rise
+  EXPECT_DOUBLE_EQ(p.value(3.0), 1.0);   // on
+  EXPECT_DOUBLE_EQ(p.value(4.5), 0.5);   // mid-fall
+  EXPECT_DOUBLE_EQ(p.value(6.0), 0.0);   // off
+  EXPECT_DOUBLE_EQ(p.value(11.5), 0.5);  // periodic repeat
+}
+
+TEST(Waveforms, SinShape) {
+  SinWave s(1.0, 0.5, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(s.value(0.1), 1.0);           // before delay
+  EXPECT_NEAR(s.value(0.5), 1.5, 1e-12);         // quarter period after delay
+  EXPECT_DOUBLE_EQ(s.dc_value(), 1.0);
+}
+
+TEST(Waveforms, PwlInterpolatesAndClamps) {
+  PwlWave w({{0.0, 0.0}, {1.0, 2.0}, {3.0, -2.0}});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(9.0), -2.0);
+}
+
+TEST(Waveforms, PwlRejectsUnsortedTimes) {
+  EXPECT_THROW(PwlWave({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(DcLinear, ConflictingSourcesFailToConverge) {
+  // Two parallel voltage sources at different values make the MNA matrix
+  // singular; the solver must report ConvergenceError, not hang or crash.
+  Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<VoltageSource>("v1", a, 0, 1.0));
+  ckt.add(std::make_unique<VoltageSource>("v2", a, 0, 2.0));
+  EXPECT_THROW(solve_dc(ckt), ConvergenceError);
+}
+
+TEST(DcLinear, SweepArgumentValidation) {
+  Circuit ckt;
+  const int a = ckt.node("a");
+  auto* vs = ckt.add(std::make_unique<VoltageSource>("v1", a, 0, 1.0));
+  ckt.add(std::make_unique<Resistor>("r1", a, 0, 1e3));
+  EXPECT_THROW(dc_sweep(ckt, *vs, 0.0, 1.0, 1), std::invalid_argument);
+  const auto sweep = dc_sweep(ckt, *vs, 0.0, 1.0, 3);
+  EXPECT_EQ(sweep.size(), 3u);
+  EXPECT_NEAR(sweep[1].v(a), 0.5, 1e-9);
+  // The source keeps the final sweep value.
+  EXPECT_NEAR(solve_dc(ckt).v(a), 1.0, 1e-9);
+}
+
+TEST(DeviceErrors, InvalidValuesThrow) {
+  EXPECT_THROW(Resistor("r", 1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Resistor("r", 1, 0, -5.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor("c", 1, 0, -1e-12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::spice

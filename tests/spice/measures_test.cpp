@@ -1,0 +1,78 @@
+#include "spice/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace csdac::spice {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> exp_settle(double tau,
+                                                               double vf) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 1000; ++i) {
+    t.push_back(i * tau / 50.0);
+    v.push_back(vf * (1.0 - std::exp(-t.back() / tau)));
+  }
+  return {t, v};
+}
+
+TEST(Measures, SettlingTimeOfExponential) {
+  // v = 1 - exp(-t/tau) enters the 1% band at t = tau * ln(100).
+  const auto [t, v] = exp_settle(1e-9, 1.0);
+  const double ts = settling_time(t, v, 1.0, 0.01);
+  EXPECT_NEAR(ts, 1e-9 * std::log(100.0), 0.05e-9);
+}
+
+TEST(Measures, SettlingTimeZeroIfAlwaysInBand) {
+  std::vector<double> t = {0.0, 1.0, 2.0};
+  std::vector<double> v = {0.999, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(settling_time(t, v, 1.0, 0.01), 0.0);
+}
+
+TEST(Measures, SettlingTimeNeverSettles) {
+  std::vector<double> t = {0.0, 1.0, 2.0};
+  std::vector<double> v = {0.0, 0.5, 0.6};
+  EXPECT_DOUBLE_EQ(settling_time(t, v, 1.0, 0.01), 2.0);
+}
+
+TEST(Measures, SettlingTimeErrors) {
+  std::vector<double> t = {0.0, 1.0};
+  std::vector<double> v = {0.0};
+  EXPECT_THROW(settling_time(t, v, 1.0, 0.1), std::invalid_argument);
+  std::vector<double> v2 = {0.0, 1.0};
+  EXPECT_THROW(settling_time(t, v2, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Measures, CrossingTimeInterpolates) {
+  std::vector<double> t = {0.0, 1.0, 2.0};
+  std::vector<double> v = {0.0, 1.0, 2.0};
+  EXPECT_NEAR(crossing_time(t, v, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(crossing_time(t, v, 1.5), 1.5, 1e-12);
+  EXPECT_LT(crossing_time(t, v, 5.0), 0.0);  // never crossed
+}
+
+TEST(Measures, Minus3DbOfSinglePole) {
+  // H = 1/(1 + j f/fp) sampled on a log grid around fp = 1 MHz.
+  const double fp = 1e6;
+  std::vector<double> freqs;
+  std::vector<std::complex<double>> h;
+  for (int i = 0; i <= 60; ++i) {
+    const double f = 1e4 * std::pow(10.0, i / 15.0);
+    freqs.push_back(f);
+    h.push_back(1.0 / std::complex<double>(1.0, f / fp));
+  }
+  const double f3 = minus3db_frequency(freqs, h);
+  EXPECT_NEAR(f3, fp, 0.03 * fp);
+}
+
+TEST(Measures, Minus3DbNotReached) {
+  std::vector<double> freqs = {1.0, 10.0, 100.0};
+  std::vector<std::complex<double>> h = {{1.0, 0.0}, {0.99, 0.0}, {0.98, 0.0}};
+  EXPECT_LT(minus3db_frequency(freqs, h), 0.0);
+}
+
+}  // namespace
+}  // namespace csdac::spice

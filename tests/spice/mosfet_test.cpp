@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::spice {
+namespace {
+
+using namespace csdac::units;
+using tech::generic_035um;
+
+// Builds: voltage sources on gate and drain, source and bulk grounded.
+struct NmosFixture {
+  Circuit ckt;
+  Mosfet* m = nullptr;
+
+  NmosFixture(double vg, double vd, double w = 10 * um, double l = 1 * um) {
+    const int g = ckt.node("g");
+    const int d = ckt.node("d");
+    ckt.add(std::make_unique<VoltageSource>("vg", g, 0, vg));
+    ckt.add(std::make_unique<VoltageSource>("vd", d, 0, vd));
+    m = ckt.add(std::make_unique<Mosfet>("m1", generic_035um().nmos, d, g, 0,
+                                         0, Mosfet::Geometry{w, l}));
+  }
+};
+
+TEST(Mosfet, SaturationSquareLaw) {
+  NmosFixture f(1.0, 2.0);
+  solve_dc(f.ckt);
+  const auto& op = f.m->op();
+  const auto& p = generic_035um().nmos;
+  const double beta = p.kp * 10.0;  // W/L = 10
+  const double lam = p.lambda(1 * um);
+  const double expected = 0.5 * beta * 0.5 * 0.5 * (1.0 + lam * 2.0);
+  EXPECT_EQ(op.region, MosRegion::kSaturation);
+  EXPECT_NEAR(op.id, expected, 1e-9);
+  EXPECT_NEAR(op.vod, 0.5, 1e-9);
+  EXPECT_NEAR(op.gm, beta * 0.5 * (1.0 + lam * 2.0), 1e-9);
+  EXPECT_NEAR(op.gds, 0.5 * beta * 0.25 * lam, 1e-12);
+}
+
+TEST(Mosfet, TriodeRegion) {
+  NmosFixture f(1.5, 0.1);
+  solve_dc(f.ckt);
+  const auto& op = f.m->op();
+  const auto& p = generic_035um().nmos;
+  const double beta = p.kp * 10.0;
+  const double lam = p.lambda(1 * um);
+  const double vod = 1.0;
+  const double vds = 0.1;
+  const double expected =
+      beta * (vod * vds - 0.5 * vds * vds) * (1.0 + lam * vds);
+  EXPECT_EQ(op.region, MosRegion::kTriode);
+  EXPECT_NEAR(op.id, expected, 1e-9);
+}
+
+TEST(Mosfet, CutoffRegion) {
+  NmosFixture f(0.3, 2.0);  // vgs < vt0
+  solve_dc(f.ckt);
+  EXPECT_EQ(f.m->op().region, MosRegion::kCutoff);
+  EXPECT_DOUBLE_EQ(f.m->op().id, 0.0);
+}
+
+TEST(Mosfet, BodyEffectRaisesThreshold) {
+  // Source lifted to 1 V with bulk at ground: VSB = 1 V.
+  Circuit ckt;
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  const int s = ckt.node("s");
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 2.0));
+  ckt.add(std::make_unique<VoltageSource>("vd", d, 0, 3.0));
+  ckt.add(std::make_unique<VoltageSource>("vs", s, 0, 1.0));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", generic_035um().nmos, d, g, s, 0, Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  const auto& p = generic_035um().nmos;
+  const double vt_expected =
+      p.vt0 + p.gamma * (std::sqrt(p.phi_2f + 1.0) - std::sqrt(p.phi_2f));
+  EXPECT_NEAR(m->op().vt, vt_expected, 1e-12);
+  EXPECT_GT(m->op().vt, p.vt0);
+  EXPECT_GT(m->op().gmb, 0.0);
+}
+
+TEST(Mosfet, PmosSaturation) {
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 2.3));  // VSG = 1.0
+  ckt.add(std::make_unique<VoltageSource>("vd", d, 0, 0.0));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", generic_035um().pmos, d, g, vdd, vdd,
+      Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  const auto& p = generic_035um().pmos;
+  const double vod = 1.0 - p.vt0;  // VSG - |VT|
+  const double lam = p.lambda(1 * um);
+  const double expected = 0.5 * p.kp * 10.0 * vod * vod * (1.0 + lam * 3.3);
+  EXPECT_EQ(m->op().region, MosRegion::kSaturation);
+  EXPECT_NEAR(m->op().id, expected, expected * 1e-6);
+}
+
+TEST(Mosfet, PmosPullsNodeHigh) {
+  // PMOS current source charging a resistor to a positive voltage proves
+  // the stamp's sign convention end-to-end.
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 2.3));
+  ckt.add(std::make_unique<Mosfet>("m1", generic_035um().pmos, out, g, vdd,
+                                   vdd, Mosfet::Geometry{10 * um, 1 * um}));
+  ckt.add(std::make_unique<Resistor>("rl", out, 0, 1000.0));
+  const Solution sol = solve_dc(ckt);
+  // VSG = 1 V, VOD = 0.35 V, W/L = 10: Id ~ 35 uA into 1 kOhm ~ +35 mV.
+  EXPECT_GT(sol.v(out), 0.02);  // current flows INTO the resistor
+  EXPECT_LT(sol.v(out), 3.3);
+}
+
+TEST(Mosfet, DiodeConnectedBiasPoint) {
+  // Current-forced diode-connected device: VGS must satisfy the square law.
+  Circuit ckt;
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<CurrentSource>("ib", 0, d, 100 * uA));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", generic_035um().nmos, d, d, 0, 0, Mosfet::Geometry{10 * um, 1 * um}));
+  const Solution sol = solve_dc(ckt);
+  EXPECT_NEAR(m->op().id, 100 * uA, 1e-9);
+  // Ignore lambda for the hand estimate; it is a ~2% effect here.
+  const auto& p = generic_035um().nmos;
+  const double vod_est = std::sqrt(2.0 * 100 * uA / (p.kp * 10.0));
+  EXPECT_NEAR(sol.v(d), p.vt0 + vod_est, 0.02);
+}
+
+TEST(Mosfet, SourceDrainSwapSymmetricConduction) {
+  // Drive current backwards (into the "source"): the model must conduct
+  // with terminals swapped instead of cutting off.
+  Circuit ckt;
+  const int g = ckt.node("g");
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("va", a, 0, -0.2));
+  // NMOS with nominal drain grounded and nominal source at -0.2 V:
+  // conduction happens with the roles swapped.
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", generic_035um().nmos, 0, g, a, a, Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  EXPECT_GT(m->op().id, 0.0);
+  EXPECT_NE(m->op().region, MosRegion::kCutoff);
+}
+
+TEST(Mosfet, NmosCommonSourceAmplifierBias) {
+  // Resistor-loaded common-source stage: checks Newton convergence on a
+  // genuinely nonlinear node and the self-consistency of the bias point.
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 0.8));
+  ckt.add(std::make_unique<Resistor>("rd", vdd, d, 10000.0));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", generic_035um().nmos, d, g, 0, 0, Mosfet::Geometry{10 * um, 1 * um}));
+  const Solution sol = solve_dc(ckt);
+  // KCL at the drain: (vdd - vd)/rd == id.
+  EXPECT_NEAR((3.3 - sol.v(d)) / 10000.0, m->op().id, 1e-9);
+  EXPECT_GT(sol.v(d), 0.0);
+  EXPECT_LT(sol.v(d), 3.3);
+}
+
+TEST(Mosfet, MultiplierScalesCurrent) {
+  NmosFixture f1(1.0, 2.0);
+  solve_dc(f1.ckt);
+  Circuit ckt;
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 1.0));
+  ckt.add(std::make_unique<VoltageSource>("vd", d, 0, 2.0));
+  auto* m4 = ckt.add(std::make_unique<Mosfet>(
+      "m4", generic_035um().nmos, d, g, 0, 0,
+      Mosfet::Geometry{10 * um, 1 * um, 4.0}));
+  solve_dc(ckt);
+  EXPECT_NEAR(m4->op().id, 4.0 * f1.m->op().id, 1e-12);
+}
+
+TEST(Mosfet, RejectsBadGeometry) {
+  const auto p = generic_035um().nmos;
+  EXPECT_THROW(Mosfet("m", p, 1, 2, 0, 0, Mosfet::Geometry{0.0, 1 * um}),
+               std::invalid_argument);
+  EXPECT_THROW(Mosfet("m", p, 1, 2, 0, 0, Mosfet::Geometry{1 * um, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Mosfet, CascodeStackOperatingPoint) {
+  // The paper's current cell core: CS + cascode biased from gate voltages.
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int gcs = ckt.node("gcs");
+  const int gcas = ckt.node("gcas");
+  const int mid = ckt.node("mid");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vgcs", gcs, 0, 0.9));
+  ckt.add(std::make_unique<VoltageSource>("vgcas", gcas, 0, 1.5));
+  ckt.add(std::make_unique<Resistor>("rl", vdd, out, 50.0));
+  auto* mcs = ckt.add(std::make_unique<Mosfet>(
+      "mcs", generic_035um().nmos, mid, gcs, 0, 0,
+      Mosfet::Geometry{40 * um, 2 * um}));
+  auto* mcas = ckt.add(std::make_unique<Mosfet>(
+      "mcas", generic_035um().nmos, out, gcas, mid, 0,
+      Mosfet::Geometry{40 * um, 0.35 * um}));
+  const Solution sol = solve_dc(ckt);
+  // Same current flows through both devices and through the load.
+  EXPECT_NEAR(mcs->op().id, mcas->op().id, 1e-9);
+  EXPECT_NEAR((3.3 - sol.v(out)) / 50.0, mcs->op().id, 1e-8);
+  EXPECT_EQ(mcs->op().region, MosRegion::kSaturation);
+}
+
+}  // namespace
+}  // namespace csdac::spice

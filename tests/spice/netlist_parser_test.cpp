@@ -1,0 +1,294 @@
+#include "spice/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::spice {
+namespace {
+
+const tech::TechParams kTech = tech::generic_035um();
+
+TEST(SpiceValue, Suffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1"), 1.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.2k"), 2200.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100f"), 100e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7m"), 7e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1t"), 1e12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-3.3"), -3.3);
+  // Unit letters after the magnitude are tolerated.
+  EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("50ohm"), 50.0);
+}
+
+TEST(SpiceValue, Garbage) {
+  EXPECT_THROW(parse_spice_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+}
+
+TEST(NetlistParser, VoltageDividerDeck) {
+  const auto ckt = parse_netlist(R"(
+* simple divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  EXPECT_NEAR(sol.v(ckt->find_node("mid")), 7.5, 1e-6);
+}
+
+TEST(NetlistParser, ImplicitDcValue) {
+  const auto ckt = parse_netlist("V1 a 0 2.5\nR1 a 0 50", kTech);
+  const Solution sol = solve_dc(*ckt);
+  EXPECT_NEAR(sol.v(ckt->find_node("a")), 2.5, 1e-9);
+}
+
+TEST(NetlistParser, PulseAndSinSources) {
+  const auto ckt = parse_netlist(R"(
+Vclk clk 0 PULSE(0 3.3 1n 0.1n 0.1n 5n 10n)
+Vsig sig 0 SIN(1 0.5 1meg)
+R1 clk 0 1k
+R2 sig 0 1k
+)",
+                                 kTech);
+  auto* vclk = dynamic_cast<VoltageSource*>(ckt->find_device("Vclk"));
+  auto* vsig = dynamic_cast<VoltageSource*>(ckt->find_device("Vsig"));
+  ASSERT_NE(vclk, nullptr);
+  ASSERT_NE(vsig, nullptr);
+  EXPECT_DOUBLE_EQ(vclk->value_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(vclk->value_at(3e-9), 3.3);
+  EXPECT_DOUBLE_EQ(vclk->value_at(13e-9), 3.3);  // periodic
+  EXPECT_NEAR(vsig->value_at(0.25e-6), 1.5, 1e-9);
+}
+
+TEST(NetlistParser, PwlSource) {
+  const auto ckt = parse_netlist(
+      "Vr ramp 0 PWL(0 0 1u 1 2u 0)\nR1 ramp 0 1k", kTech);
+  auto* v = dynamic_cast<VoltageSource*>(ckt->find_device("Vr"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_NEAR(v->value_at(0.5e-6), 0.5, 1e-9);
+  EXPECT_NEAR(v->value_at(1.5e-6), 0.5, 1e-9);
+}
+
+TEST(NetlistParser, MosfetCardMatchesBuilderApi) {
+  const auto ckt = parse_netlist(R"(
+Vg g 0 1.0
+Vd d 0 2.0
+M1 d g 0 0 NMOS W=10u L=1u
+)",
+                                 kTech);
+  solve_dc(*ckt);
+  auto* m = dynamic_cast<Mosfet*>(ckt->find_device("M1"));
+  ASSERT_NE(m, nullptr);
+  const auto& p = kTech.nmos;
+  const double lam = p.lambda(1e-6);
+  const double expected = 0.5 * p.kp * 10.0 * 0.25 * (1.0 + lam * 2.0);
+  EXPECT_NEAR(m->op().id, expected, 1e-9);
+}
+
+TEST(NetlistParser, PmosAndMultiplier) {
+  const auto ckt = parse_netlist(R"(
+Vdd vdd 0 3.3
+Vg g 0 2.3
+M1 out g vdd vdd PMOS W=10u L=1u M=2
+Rl out 0 1k
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  EXPECT_GT(sol.v(ckt->find_node("out")), 0.01);
+}
+
+TEST(NetlistParser, VccsStampsCorrectly) {
+  // G1 converts 1 V control into 1 mA into a 1 kOhm load: out = -1 V
+  // (current leaves out when control positive).
+  const auto ckt = parse_netlist(R"(
+Vc c 0 1.0
+G1 out 0 c 0 1m
+R1 out 0 1k
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  EXPECT_NEAR(sol.v(ckt->find_node("out")), -1.0, 1e-6);
+}
+
+TEST(NetlistParser, AcMagnitudeParsed) {
+  const auto ckt = parse_netlist(R"(
+Vin in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 159.2p
+)",
+                                 kTech);
+  solve_dc(*ckt);
+  const AcResult res = ac_analysis(*ckt, {1e6});
+  EXPECT_NEAR(std::abs(res.v(0, ckt->find_node("out"))),
+              1.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(NetlistParser, CommentsAndControlsIgnored) {
+  const auto ckt = parse_netlist(R"(
+* title card
+.option whatever
+V1 a 0 1 ; trailing comment
+R1 a 0 1k
+)",
+                                 kTech);
+  EXPECT_EQ(ckt->num_nodes(), 2);  // gnd + a
+}
+
+TEST(NetlistParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("V1 a 0 1\nR1 a 0\n", kTech);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse_netlist("M1 d g s b BJT W=1u L=1u", kTech),
+               NetlistError);
+  EXPECT_THROW(parse_netlist("X1 a b c", kTech), NetlistError);
+  EXPECT_THROW(parse_netlist("R1 a 0 10zz", kTech), NetlistError);
+  EXPECT_THROW(parse_netlist("M1 d g 0 0 NMOS W=1u L", kTech), NetlistError);
+}
+
+TEST(NetlistParser, SubcircuitExpansion) {
+  // A divider subcircuit instantiated twice: internal nodes are private,
+  // ports connect to the caller's nodes.
+  const auto ckt = parse_netlist(R"(
+.subckt DIV in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 4.0
+X1 a m DIV
+X2 m b DIV
+Rload b 0 1meg
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  // First divider: m ~ a * (R2||(R1+R2...)): solve exactly instead —
+  // network: a -4V-> 1k -> m -> 1k to gnd, and from m: 1k -> b -> 1k||1M.
+  // Verify with nodal arithmetic done by the solver itself: just check
+  // sensible ordering and that internal names are namespaced.
+  EXPECT_GT(sol.v(ckt->find_node("m")), sol.v(ckt->find_node("b")));
+  EXPECT_GT(sol.v(ckt->find_node("a")), sol.v(ckt->find_node("m")));
+  EXPECT_NE(ckt->find_device("X1.R1"), nullptr);
+  EXPECT_NE(ckt->find_device("X2.R2"), nullptr);
+  EXPECT_EQ(ckt->find_device("R1"), nullptr);  // no un-prefixed copy
+}
+
+TEST(NetlistParser, SubcircuitInternalNodesArePrivate) {
+  const auto ckt = parse_netlist(R"(
+.subckt CELL a
+R1 a internal 1k
+R2 internal 0 1k
+.ends
+V1 n1 0 1
+V2 n2 0 2
+X1 n1 CELL
+X2 n2 CELL
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  // Each instance has its own "internal" at half its port voltage.
+  EXPECT_NEAR(sol.v(ckt->find_node("X1.internal")), 0.5, 1e-6);
+  EXPECT_NEAR(sol.v(ckt->find_node("X2.internal")), 1.0, 1e-6);
+}
+
+TEST(NetlistParser, NestedSubcircuitInstances) {
+  // A subckt may instantiate another subckt.
+  const auto ckt = parse_netlist(R"(
+.subckt HALF in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+.subckt QUARTER in out
+X1 in mid HALF
+X2 mid out HALF
+.ends
+V1 a 0 4
+Xq a q QUARTER
+Rl q 0 1t
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  // Two cascaded loaded dividers: v(q) = 4 * (1/3) * ... compute via the
+  // solver-independent check: q < mid < a and q > 0.
+  const double vq = sol.v(ckt->find_node("q"));
+  EXPECT_GT(vq, 0.1);
+  EXPECT_LT(vq, 2.0);
+  EXPECT_NE(ckt->find_device("Xq.X1.R1"), nullptr);
+}
+
+TEST(NetlistParser, SubcircuitWithMosfet) {
+  // The paper's current cell as a reusable subcircuit.
+  const auto ckt = parse_netlist(R"(
+.subckt CURRENT_CELL out gcs gsw
+M1 top gcs 0 0 NMOS W=20u L=2u
+M2 out gsw top 0 NMOS W=2u L=0.35u
+.ends
+Vterm vterm 0 2.0
+Rl vterm out 50
+Vgcs gcs 0 0.85
+Vgsw gsw 0 1.6
+X1 out gcs gsw CURRENT_CELL
+)",
+                                 kTech);
+  const Solution sol = solve_dc(*ckt);
+  EXPECT_LT(sol.v(ckt->find_node("out")), 2.0);  // cell sinks current
+  auto* m = dynamic_cast<Mosfet*>(ckt->find_device("X1.M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->op().id, 1e-5);
+}
+
+TEST(NetlistParser, SubcircuitErrors) {
+  EXPECT_THROW(parse_netlist("X1 a b NOPE", kTech), NetlistError);
+  EXPECT_THROW(parse_netlist(".subckt A p\nR1 p 0 1k\n", kTech),
+               NetlistError);  // unterminated
+  EXPECT_THROW(parse_netlist(".ends\n", kTech), NetlistError);
+  EXPECT_THROW(
+      parse_netlist(".subckt A p\n.subckt B q\n.ends\n.ends", kTech),
+      NetlistError);  // nested definitions
+  // Wrong port count.
+  EXPECT_THROW(parse_netlist(R"(
+.subckt DIV in out
+R1 in out 1k
+.ends
+X1 a DIV
+)",
+                             kTech),
+               NetlistError);
+}
+
+TEST(NetlistParser, DcSweepOfInverter) {
+  const auto ckt = parse_netlist(R"(
+Vdd vdd 0 3.3
+Vin in 0 0
+Rd vdd out 10k
+M1 out in 0 0 NMOS W=10u L=0.35u
+)",
+                                 kTech);
+  auto* vin = dynamic_cast<VoltageSource*>(ckt->find_device("Vin"));
+  ASSERT_NE(vin, nullptr);
+  const auto sweep = dc_sweep(*ckt, *vin, 0.0, 3.3, 12);
+  ASSERT_EQ(sweep.size(), 12u);
+  const int out = ckt->find_node("out");
+  // Monotonically non-increasing transfer, full swing.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].v(out), sweep[i - 1].v(out) + 1e-9);
+  }
+  EXPECT_NEAR(sweep.front().v(out), 3.3, 1e-3);
+  EXPECT_LT(sweep.back().v(out), 0.2);
+}
+
+}  // namespace
+}  // namespace csdac::spice

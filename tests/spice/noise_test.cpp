@@ -1,0 +1,126 @@
+#include "spice/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::spice {
+namespace {
+
+using namespace csdac::units;
+
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kT300 = kBoltzmann * 300.0;
+
+TEST(Noise, SingleResistorReads4kTR) {
+  // A grounded resistor's output noise PSD is 4kTR (flat).
+  Circuit ckt;
+  const int n = ckt.node("n");
+  ckt.add(std::make_unique<Resistor>("r1", n, 0, 10e3));
+  solve_dc(ckt);
+  const auto res = noise_analysis(ckt, n, {1e3, 1e6, 1e9});
+  for (double psd : res.total_psd) {
+    EXPECT_NEAR(psd, 4.0 * kT300 * 10e3, 1e-20);
+  }
+}
+
+TEST(Noise, ParallelResistorsCombine) {
+  // Two parallel resistors: PSD = 4kT * (R1 || R2).
+  Circuit ckt;
+  const int n = ckt.node("n");
+  ckt.add(std::make_unique<Resistor>("r1", n, 0, 10e3));
+  ckt.add(std::make_unique<Resistor>("r2", n, 0, 40e3));
+  solve_dc(ckt);
+  const auto res = noise_analysis(ckt, n, {1e6});
+  EXPECT_NEAR(res.total_psd[0], 4.0 * kT300 * 8e3, 1e-20);
+  ASSERT_EQ(res.source_names.size(), 2u);
+  // Contribution split: r1 delivers (R_par/R1) fraction etc.
+  EXPECT_GT(res.contributions[0][0], res.contributions[0][1]);
+}
+
+TEST(Noise, RcIntegratesToKTOverC) {
+  // The classic kT/C: total integrated noise of an RC is sqrt(kT/C)
+  // regardless of R.
+  for (double r : {1e3, 100e3}) {
+    Circuit ckt;
+    const int n = ckt.node("n");
+    const double c = 1e-12;
+    ckt.add(std::make_unique<Resistor>("r1", n, 0, r));
+    ckt.add(std::make_unique<Capacitor>("c1", n, 0, c));
+    solve_dc(ckt);
+    // Dense log grid far past the pole.
+    const auto freqs = log_space(1.0, 1e13, 40);
+    const auto res = noise_analysis(ckt, n, freqs);
+    const double vrms = res.integrated_rms(1.0, 1e13);
+    EXPECT_NEAR(vrms, std::sqrt(kT300 / c), 0.03 * std::sqrt(kT300 / c))
+        << "R = " << r;
+  }
+}
+
+TEST(Noise, MosfetChannelNoiseAtAmplifierOutput) {
+  // Common-source amplifier: output PSD at low frequency =
+  // 4kT*(2/3)*gm*Rout^2 + 4kT*Rd*(Rout/Rd)^2, Rout = Rd || ro.
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>("vg", g, 0, 0.8));
+  ckt.add(std::make_unique<Resistor>("rd", vdd, d, 10e3));
+  auto* m = ckt.add(std::make_unique<Mosfet>(
+      "m1", tech::generic_035um().nmos, d, g, 0, 0,
+      Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  const auto res = noise_analysis(ckt, d, {1e3});
+  const double rout = 1.0 / (1.0 / 10e3 + m->op().gds);
+  const double expected = 4.0 * kT300 * (2.0 / 3.0) * m->op().gm * rout * rout +
+                          4.0 * kT300 / 10e3 * rout * rout;
+  EXPECT_NEAR(res.total_psd[0], expected, 0.01 * expected);
+}
+
+TEST(Noise, CutoffMosfetIsNoiseless) {
+  Circuit ckt;
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vd", d, 0, 1.0));
+  ckt.add(std::make_unique<Resistor>("r1", d, 0, 1e3));
+  ckt.add(std::make_unique<Mosfet>("m1", tech::generic_035um().nmos, d,
+                                   /*g=*/0, 0, 0,
+                                   Mosfet::Geometry{10 * um, 1 * um}));
+  solve_dc(ckt);
+  const auto res = noise_analysis(ckt, d, {1e6});
+  // Only the resistor contributes.
+  ASSERT_EQ(res.source_names.size(), 1u);
+  EXPECT_EQ(res.source_names[0], "r1");
+}
+
+TEST(Noise, TemperatureScalesLinearly) {
+  Circuit ckt;
+  const int n = ckt.node("n");
+  ckt.add(std::make_unique<Resistor>("r1", n, 0, 1e3));
+  solve_dc(ckt);
+  const auto cold = noise_analysis(ckt, n, {1e6}, 77.0);
+  const auto hot = noise_analysis(ckt, n, {1e6}, 385.0);
+  EXPECT_NEAR(hot.total_psd[0] / cold.total_psd[0], 5.0, 1e-9);
+}
+
+TEST(Noise, ErrorHandling) {
+  Circuit ckt;
+  const int n = ckt.node("n");
+  ckt.add(std::make_unique<Resistor>("r1", n, 0, 1e3));
+  EXPECT_THROW(noise_analysis(ckt, 0, {1e6}), std::invalid_argument);
+  EXPECT_THROW(noise_analysis(ckt, 5, {1e6}), std::invalid_argument);
+  EXPECT_THROW(noise_analysis(ckt, n, {1e6}, -1.0), std::invalid_argument);
+  NoiseResult r;
+  r.freq = {1.0, 2.0};
+  r.total_psd = {1.0, 1.0};
+  EXPECT_THROW(r.integrated_rms(2.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::spice

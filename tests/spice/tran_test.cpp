@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::spice {
+namespace {
+
+using namespace csdac::units;
+
+// RC low-pass driven by a step: v(t) = V*(1 - exp(-t/RC)).
+struct RcStep {
+  Circuit ckt;
+  int out = 0;
+  double r = 1000.0;
+  double c = 1e-9;  // tau = 1 us
+
+  RcStep() {
+    const int in = ckt.node("in");
+    out = ckt.node("out");
+    ckt.add(std::make_unique<VoltageSource>(
+        "vin", in, 0,
+        std::make_unique<PulseWave>(0.0, 1.0, /*td=*/0.0, /*tr=*/1e-12,
+                                    /*tf=*/1e-12, /*pw=*/1.0)));
+    ckt.add(std::make_unique<Resistor>("r1", in, out, r));
+    ckt.add(std::make_unique<Capacitor>("c1", out, 0, c));
+  }
+};
+
+TEST(Tran, RcStepMatchesAnalytic) {
+  RcStep f;
+  const double tau = f.r * f.c;
+  const TranResult res = transient(f.ckt, tau / 100.0, 5.0 * tau);
+  ASSERT_GT(res.time.size(), 100u);
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    const double expected = 1.0 - std::exp(-res.time[i] / tau);
+    EXPECT_NEAR(res.v(i, f.out), expected, 2e-3)
+        << "t = " << res.time[i];
+  }
+}
+
+TEST(Tran, RcBackwardEulerAlsoConverges) {
+  RcStep f;
+  const double tau = f.r * f.c;
+  TranOptions opts;
+  opts.integ = Integrator::kBackwardEuler;
+  const TranResult res = transient(f.ckt, tau / 200.0, 5.0 * tau, opts);
+  const double v_end = res.v(res.time.size() - 1, f.out);
+  EXPECT_NEAR(v_end, 1.0 - std::exp(-5.0), 5e-3);
+}
+
+TEST(Tran, TrapezoidalBeatsBackwardEulerAccuracy) {
+  // Same coarse step; trapezoidal (2nd order) must end closer to the
+  // analytic value than BE (1st order).
+  const double tau = 1e-6;
+  auto run = [&](Integrator integ) {
+    RcStep f;
+    TranOptions opts;
+    opts.integ = integ;
+    const TranResult res = transient(f.ckt, tau / 10.0, 3.0 * tau, opts);
+    const double expected = 1.0 - std::exp(-res.time.back() / tau);
+    return std::abs(res.v(res.time.size() - 1, f.out) - expected);
+  };
+  EXPECT_LT(run(Integrator::kTrapezoidal), run(Integrator::kBackwardEuler));
+}
+
+TEST(Tran, InitialConditionFromDc) {
+  // DC-biased divider with a cap: transient must start at the DC solution
+  // and stay there (no sources move).
+  Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<VoltageSource>("v1", ckt.node("in"), 0, 2.0));
+  ckt.add(std::make_unique<Resistor>("r1", ckt.find_node("in"), a, 1000.0));
+  ckt.add(std::make_unique<Resistor>("r2", a, 0, 1000.0));
+  ckt.add(std::make_unique<Capacitor>("c1", a, 0, 1e-9));
+  const TranResult res = transient(ckt, 1e-7, 1e-5);
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    EXPECT_NEAR(res.v(i, a), 1.0, 1e-9);
+  }
+}
+
+TEST(Tran, SinSourceAmplitudePreserved) {
+  // Pure sine through a resistor: no dynamics, waveform reproduced exactly.
+  Circuit ckt;
+  const int in = ckt.node("in");
+  ckt.add(std::make_unique<VoltageSource>(
+      "vin", in, 0, std::make_unique<SinWave>(0.0, 1.0, 1e6)));
+  ckt.add(std::make_unique<Resistor>("r1", in, 0, 50.0));
+  const TranResult res = transient(ckt, 1e-9, 2e-6);
+  double vmax = -1e9, vmin = 1e9;
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    vmax = std::max(vmax, res.v(i, in));
+    vmin = std::min(vmin, res.v(i, in));
+  }
+  EXPECT_NEAR(vmax, 1.0, 1e-4);
+  EXPECT_NEAR(vmin, -1.0, 1e-4);
+}
+
+TEST(Tran, MosfetInverterSwitches) {
+  // Resistor-loaded NMOS inverter driven by a pulse: output must swing
+  // from high to low when the gate goes high.
+  Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  const int g = ckt.node("g");
+  const int d = ckt.node("d");
+  ckt.add(std::make_unique<VoltageSource>("vdd", vdd, 0, 3.3));
+  ckt.add(std::make_unique<VoltageSource>(
+      "vg", g, 0,
+      std::make_unique<PulseWave>(0.0, 3.3, 10e-9, 1e-9, 1e-9, 100e-9)));
+  ckt.add(std::make_unique<Resistor>("rd", vdd, d, 10000.0));
+  ckt.add(std::make_unique<Mosfet>("m1", tech::generic_035um().nmos, d, g, 0,
+                                   0, Mosfet::Geometry{10 * um, 0.35 * um},
+                                   /*with_caps=*/true));
+  const TranResult res = transient(ckt, 0.25e-9, 60e-9);
+  // Before the pulse: output high.
+  EXPECT_NEAR(res.v(0, d), 3.3, 1e-3);
+  // Well after the edge: output pulled low (triode).
+  const double v_end = res.v(res.time.size() - 1, d);
+  EXPECT_LT(v_end, 0.3);
+}
+
+TEST(Tran, RejectsBadArguments) {
+  RcStep f;
+  EXPECT_THROW(transient(f.ckt, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(transient(f.ckt, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Tran, NodeWaveformExtraction) {
+  RcStep f;
+  const TranResult res = transient(f.ckt, 1e-7, 2e-6);
+  const auto w = res.node_waveform(f.out);
+  ASSERT_EQ(w.size(), res.time.size());
+  EXPECT_DOUBLE_EQ(w[5], res.v(5, f.out));
+}
+
+}  // namespace
+}  // namespace csdac::spice

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sizer.hpp"
+#include "spice/devices.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::tech {
+namespace {
+
+using namespace csdac::units;
+
+TEST(Corners, SlowFastShiftParameters) {
+  const auto t = generic_035um().nmos;
+  const auto slow = at_corner(t, Corner::kSlow);
+  const auto fast = at_corner(t, Corner::kFast);
+  EXPECT_LT(slow.kp, t.kp);
+  EXPECT_GT(slow.vt0, t.vt0);
+  EXPECT_GT(fast.kp, t.kp);
+  EXPECT_LT(fast.vt0, t.vt0);
+  const auto typical = at_corner(t, Corner::kTypical);
+  EXPECT_DOUBLE_EQ(typical.kp, t.kp);
+}
+
+TEST(Corners, FullTechCornerAppliesToBothTypes) {
+  const auto t = generic_035um();
+  const auto slow = at_corner(t, Corner::kSlow);
+  EXPECT_LT(slow.nmos.kp, t.nmos.kp);
+  EXPECT_LT(slow.pmos.kp, t.pmos.kp);
+  EXPECT_EQ(slow.name, t.name);  // same process, different corner
+}
+
+TEST(Corners, MethodologyPortsAcrossCorners) {
+  // Section 5: the methodology is re-run at each corner (bias generators
+  // track the corner); the statistical design must stay feasible and the
+  // sized cell must deliver its current in SPICE at every corner.
+  const core::DacSpec spec;
+  for (const Corner c :
+       {Corner::kTypical, Corner::kSlow, Corner::kFast}) {
+    const auto t = at_corner(generic_035um().nmos, c);
+    const core::CellSizer sizer(t, spec);
+    const core::SizedCell cell =
+        sizer.size_basic(0.35, 0.25, core::MarginPolicy::kStatistical);
+    EXPECT_TRUE(cell.feasible()) << "corner " << static_cast<int>(c);
+
+    spice::Circuit ckt;
+    const int out = ckt.node("out");
+    const int mid = ckt.node("mid");
+    ckt.add(std::make_unique<spice::VoltageSource>(
+        "vterm", ckt.node("vterm"), 0, spec.v_out_min + spec.v_swing));
+    ckt.add(std::make_unique<spice::Resistor>("rl", ckt.find_node("vterm"),
+                                              out, spec.r_load));
+    ckt.add(std::make_unique<spice::VoltageSource>("vgcs", ckt.node("gcs"),
+                                                   0, cell.cell.vg_cs));
+    ckt.add(std::make_unique<spice::VoltageSource>("vgsw", ckt.node("gsw"),
+                                                   0, cell.cell.vg_sw));
+    auto* mcs = ckt.add(std::make_unique<spice::Mosfet>(
+        "mcs", t, mid, ckt.find_node("gcs"), 0, 0,
+        spice::Mosfet::Geometry{cell.cell.cs.w, cell.cell.cs.l,
+                                static_cast<double>(spec.total_units())}));
+    auto* msw = ckt.add(std::make_unique<spice::Mosfet>(
+        "msw", t, out, ckt.find_node("gsw"), mid, 0,
+        spice::Mosfet::Geometry{cell.cell.sw.w, cell.cell.sw.l,
+                                static_cast<double>(spec.total_units())}));
+    spice::solve_dc(ckt);
+    EXPECT_NEAR(mcs->op().id, spec.i_fs(), 0.06 * spec.i_fs())
+        << "corner " << static_cast<int>(c);
+    EXPECT_EQ(mcs->op().region, spice::MosRegion::kSaturation);
+    EXPECT_EQ(msw->op().region, spice::MosRegion::kSaturation);
+  }
+}
+
+TEST(Tech025, SaneAndDistinctFrom035) {
+  const auto t25 = generic_025um();
+  const auto t35 = generic_035um();
+  EXPECT_LT(t25.vdd, t35.vdd);
+  EXPECT_GT(t25.nmos.kp, t35.nmos.kp);    // thinner oxide
+  EXPECT_LT(t25.nmos.a_vt, t35.nmos.a_vt);  // matching improves
+  EXPECT_DOUBLE_EQ(t25.nmos.l_min, 0.25 * um);
+}
+
+TEST(Tech025, MethodologyPortsAcrossNodes) {
+  // The 0.25 um node at 2.5 V has less headroom (V_o scaled accordingly)
+  // but better matching: the CS area for the same accuracy shrinks.
+  core::DacSpec spec25;
+  spec25.vdd = 2.5;
+  spec25.v_out_min = 0.8;
+  spec25.v_swing = 0.8;
+  spec25.r_load = 40.0;
+  const core::CellSizer s25(generic_025um().nmos, spec25);
+  const core::CellSizer s35(generic_035um().nmos, core::DacSpec{});
+  const auto c25 = s25.size_basic(0.3, 0.2, core::MarginPolicy::kStatistical);
+  const auto c35 = s35.size_basic(0.3, 0.2, core::MarginPolicy::kStatistical);
+  EXPECT_TRUE(c25.feasible());
+  EXPECT_LT(c25.cell.cs.area(), c35.cell.cs.area());
+}
+
+}  // namespace
+}  // namespace csdac::tech

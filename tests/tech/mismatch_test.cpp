@@ -1,0 +1,97 @@
+#include "tech/mismatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/stats.hpp"
+#include "tech/units.hpp"
+
+namespace csdac::tech {
+namespace {
+
+using namespace csdac::units;
+using csdac::mathx::RunningStats;
+using csdac::mathx::Xoshiro256;
+
+TEST(Mismatch, PelgromScaling) {
+  const auto t = generic_035um().nmos;
+  // Quadrupling the area halves sigma.
+  const double s1 = sigma_vt(t, 10 * um, 1 * um);
+  const double s2 = sigma_vt(t, 20 * um, 2 * um);
+  EXPECT_NEAR(s1 / s2, 2.0, 1e-12);
+}
+
+TEST(Mismatch, SigmaVtKnownValue) {
+  const auto t = generic_035um().nmos;
+  // A_VT = 9.5 mV*um; a 1 um^2 device has sigma = 9.5 mV.
+  EXPECT_NEAR(sigma_vt(t, 1 * um, 1 * um), 9.5 * mV, 1e-9);
+}
+
+TEST(Mismatch, CurrentMismatchCombinesBothTerms) {
+  const auto t = generic_035um().nmos;
+  const double w = 10 * um, l = 2 * um;
+  const double vod = 0.4;
+  const double sb = sigma_beta_rel(t, w, l);
+  const double svt = sigma_vt(t, w, l);
+  const double expected =
+      std::sqrt(sb * sb + 4.0 * svt * svt / (vod * vod));
+  EXPECT_NEAR(sigma_id_rel(t, w, l, vod), expected, 1e-15);
+}
+
+TEST(Mismatch, CurrentMismatchDominatedByVtAtLowOverdrive) {
+  const auto t = generic_035um().nmos;
+  const double w = 10 * um, l = 2 * um;
+  // At very small overdrive the 2*sigma_VT/VOD term dominates.
+  const double s_low = sigma_id_rel(t, w, l, 0.1);
+  const double approx = 2.0 * sigma_vt(t, w, l) / 0.1;
+  EXPECT_NEAR(s_low, approx, 0.02 * s_low);
+}
+
+TEST(Mismatch, MinGateAreaInvertsSigma) {
+  const auto t = generic_035um().nmos;
+  const double vod = 0.35;
+  const double target = 0.002;  // 0.2 %
+  const double wl = min_gate_area(t, vod, target);
+  // A device with that area (any aspect ratio) hits the target exactly.
+  const double w = std::sqrt(wl * 4.0);
+  const double l = std::sqrt(wl / 4.0);
+  EXPECT_NEAR(sigma_id_rel(t, w, l, vod), target, 1e-12);
+}
+
+TEST(Mismatch, MinGateAreaGrowsWhenSpecTightens) {
+  const auto t = generic_035um().nmos;
+  EXPECT_GT(min_gate_area(t, 0.35, 0.001), min_gate_area(t, 0.35, 0.002));
+  // Lower overdrive needs more area (VT term amplified).
+  EXPECT_GT(min_gate_area(t, 0.15, 0.002), min_gate_area(t, 0.5, 0.002));
+}
+
+TEST(Mismatch, DrawsMatchAnalyticSigma) {
+  const auto t = generic_035um().nmos;
+  const double w = 5 * um, l = 1 * um;
+  Xoshiro256 rng(1234);
+  RunningStats vt_stats, beta_stats, id_stats;
+  const double vod = 0.3;
+  for (int i = 0; i < 50000; ++i) {
+    const auto d = draw_mismatch(t, w, l, rng);
+    vt_stats.add(d.d_vt);
+    beta_stats.add(d.d_beta_rel);
+    id_stats.add(current_error_rel(d, vod));
+  }
+  EXPECT_NEAR(vt_stats.mean(), 0.0, 5e-5);
+  EXPECT_NEAR(vt_stats.stddev(), sigma_vt(t, w, l), 0.02 * sigma_vt(t, w, l));
+  EXPECT_NEAR(beta_stats.stddev(), sigma_beta_rel(t, w, l),
+              0.02 * sigma_beta_rel(t, w, l));
+  EXPECT_NEAR(id_stats.stddev(), sigma_id_rel(t, w, l, vod),
+              0.02 * sigma_id_rel(t, w, l, vod));
+}
+
+TEST(Mismatch, ThrowsOnBadGeometry) {
+  const auto t = generic_035um().nmos;
+  EXPECT_THROW(sigma_vt(t, 0.0, 1 * um), std::invalid_argument);
+  EXPECT_THROW(sigma_id_rel(t, 1 * um, 1 * um, 0.0), std::invalid_argument);
+  EXPECT_THROW(min_gate_area(t, 0.3, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::tech

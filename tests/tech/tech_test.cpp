@@ -1,0 +1,64 @@
+#include "tech/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/units.hpp"
+
+namespace csdac::tech {
+namespace {
+
+using namespace csdac::units;
+
+TEST(Tech, Generic035HasSaneValues) {
+  const TechParams t = generic_035um();
+  EXPECT_DOUBLE_EQ(t.vdd, 3.3);
+  EXPECT_GT(t.nmos.kp, t.pmos.kp);  // electron mobility > hole mobility
+  EXPECT_GT(t.nmos.kp, 50e-6);
+  EXPECT_LT(t.nmos.kp, 500e-6);
+  EXPECT_NEAR(t.nmos.vt0, 0.5, 0.2);
+  EXPECT_EQ(t.nmos.type, MosType::kNmos);
+  EXPECT_EQ(t.pmos.type, MosType::kPmos);
+  EXPECT_DOUBLE_EQ(t.nmos.l_min, 0.35 * um);
+}
+
+TEST(Tech, LambdaScalesInverselyWithLength) {
+  const TechParams t = generic_035um();
+  const double lam1 = t.nmos.lambda(0.35 * um);
+  const double lam2 = t.nmos.lambda(0.70 * um);
+  EXPECT_NEAR(lam1 / lam2, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.nmos.lambda(0.0), 0.0);
+}
+
+TEST(Tech, CgsSatScalesWithArea) {
+  const TechParams t = generic_035um();
+  const double c1 = cgs_sat(t.nmos, 10 * um, 1 * um);
+  const double c2 = cgs_sat(t.nmos, 20 * um, 1 * um);
+  EXPECT_GT(c2, c1);
+  // Dominated by the channel term: ~ 2/3 * W * L * Cox.
+  EXPECT_NEAR(c1, (2.0 / 3.0) * 10 * um * 1 * um * t.nmos.cox + 10 * um * t.nmos.cgso,
+              1e-18);
+}
+
+TEST(Tech, CgdIsOverlapOnly) {
+  const TechParams t = generic_035um();
+  EXPECT_DOUBLE_EQ(cgd_sat(t.nmos, 10 * um), 10 * um * t.nmos.cgso);
+}
+
+TEST(Tech, JunctionCapPositiveAndMonotonic) {
+  const TechParams t = generic_035um();
+  const double c1 = cj_diffusion(t.nmos, 1 * um);
+  const double c2 = cj_diffusion(t.nmos, 2 * um);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_GT(c2, c1);
+}
+
+TEST(Tech, TypicalDeviceCapsInFemtofaradRange) {
+  // Sanity: a 10/0.35 device should have caps in the fF range, not pF or aF.
+  const TechParams t = generic_035um();
+  const double cgs = cgs_sat(t.nmos, 10 * um, 0.35 * um);
+  EXPECT_GT(cgs, 1 * fF);
+  EXPECT_LT(cgs, 100 * fF);
+}
+
+}  // namespace
+}  // namespace csdac::tech
