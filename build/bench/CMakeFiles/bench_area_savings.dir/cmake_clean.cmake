@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_savings.dir/area_savings.cpp.o"
+  "CMakeFiles/bench_area_savings.dir/area_savings.cpp.o.d"
+  "bench_area_savings"
+  "bench_area_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration.dir/calibration.cpp.o"
+  "CMakeFiles/bench_calibration.dir/calibration.cpp.o.d"
+  "bench_calibration"
+  "bench_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

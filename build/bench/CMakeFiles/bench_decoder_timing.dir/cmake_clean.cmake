@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_timing.dir/decoder_timing.cpp.o"
+  "CMakeFiles/bench_decoder_timing.dir/decoder_timing.cpp.o.d"
+  "bench_decoder_timing"
+  "bench_decoder_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

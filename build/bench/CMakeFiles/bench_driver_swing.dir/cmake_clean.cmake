@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver_swing.dir/driver_swing.cpp.o"
+  "CMakeFiles/bench_driver_swing.dir/driver_swing.cpp.o.d"
+  "bench_driver_swing"
+  "bench_driver_swing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver_swing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

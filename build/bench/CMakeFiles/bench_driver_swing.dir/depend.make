@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_driver_swing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_poles.dir/fig3_poles.cpp.o"
+  "CMakeFiles/bench_fig3_poles.dir/fig3_poles.cpp.o.d"
+  "bench_fig3_poles"
+  "bench_fig3_poles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_poles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_saturation.dir/fig3_saturation.cpp.o"
+  "CMakeFiles/bench_fig3_saturation.dir/fig3_saturation.cpp.o.d"
+  "bench_fig3_saturation"
+  "bench_fig3_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_design_space.dir/fig4_design_space.cpp.o"
+  "CMakeFiles/bench_fig4_design_space.dir/fig4_design_space.cpp.o.d"
+  "bench_fig4_design_space"
+  "bench_fig4_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

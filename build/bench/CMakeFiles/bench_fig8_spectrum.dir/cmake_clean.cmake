@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_spectrum.dir/fig8_spectrum.cpp.o"
+  "CMakeFiles/bench_fig8_spectrum.dir/fig8_spectrum.cpp.o.d"
+  "bench_fig8_spectrum"
+  "bench_fig8_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

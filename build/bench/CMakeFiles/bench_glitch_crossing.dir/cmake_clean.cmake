@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glitch_crossing.dir/glitch_crossing.cpp.o"
+  "CMakeFiles/bench_glitch_crossing.dir/glitch_crossing.cpp.o.d"
+  "bench_glitch_crossing"
+  "bench_glitch_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glitch_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

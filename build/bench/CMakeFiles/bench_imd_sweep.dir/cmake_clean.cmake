@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imd_sweep.dir/imd_sweep.cpp.o"
+  "CMakeFiles/bench_imd_sweep.dir/imd_sweep.cpp.o.d"
+  "bench_imd_sweep"
+  "bench_imd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_level.dir/mixed_level.cpp.o"
+  "CMakeFiles/bench_mixed_level.dir/mixed_level.cpp.o.d"
+  "bench_mixed_level"
+  "bench_mixed_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

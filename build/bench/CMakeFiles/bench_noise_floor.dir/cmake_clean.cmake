@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_floor.dir/noise_floor.cpp.o"
+  "CMakeFiles/bench_noise_floor.dir/noise_floor.cpp.o.d"
+  "bench_noise_floor"
+  "bench_noise_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_noise_floor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rout_sfdr.dir/rout_sfdr.cpp.o"
+  "CMakeFiles/bench_rout_sfdr.dir/rout_sfdr.cpp.o.d"
+  "bench_rout_sfdr"
+  "bench_rout_sfdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rout_sfdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

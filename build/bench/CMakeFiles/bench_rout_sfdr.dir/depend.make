@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rout_sfdr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_settling.dir/settling.cpp.o"
+  "CMakeFiles/bench_settling.dir/settling.cpp.o.d"
+  "bench_settling"
+  "bench_settling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_settling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switching_schemes.dir/switching_schemes.cpp.o"
+  "CMakeFiles/bench_switching_schemes.dir/switching_schemes.cpp.o.d"
+  "bench_switching_schemes"
+  "bench_switching_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yield_inl.dir/yield_inl.cpp.o"
+  "CMakeFiles/bench_yield_inl.dir/yield_inl.cpp.o.d"
+  "bench_yield_inl"
+  "bench_yield_inl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yield_inl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_yield_inl.
+# This may be replaced when dependencies are built.

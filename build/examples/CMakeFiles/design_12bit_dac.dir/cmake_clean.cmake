@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_12bit_dac.dir/design_12bit_dac.cpp.o"
+  "CMakeFiles/design_12bit_dac.dir/design_12bit_dac.cpp.o.d"
+  "design_12bit_dac"
+  "design_12bit_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_12bit_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

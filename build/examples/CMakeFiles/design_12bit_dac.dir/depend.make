@@ -1,0 +1,2 @@
+# Empty dependencies file for design_12bit_dac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_generation.dir/layout_generation.cpp.o"
+  "CMakeFiles/layout_generation.dir/layout_generation.cpp.o.d"
+  "layout_generation"
+  "layout_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_sim.dir/netlist_sim.cpp.o"
+  "CMakeFiles/netlist_sim.dir/netlist_sim.cpp.o.d"
+  "netlist_sim"
+  "netlist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_report.dir/yield_report.cpp.o"
+  "CMakeFiles/yield_report.dir/yield_report.cpp.o.d"
+  "yield_report"
+  "yield_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

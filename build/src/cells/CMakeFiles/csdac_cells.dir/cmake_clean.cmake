@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_cells.dir/cells.cpp.o"
+  "CMakeFiles/csdac_cells.dir/cells.cpp.o.d"
+  "libcsdac_cells.a"
+  "libcsdac_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/csdac_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/architecture.cpp" "src/core/CMakeFiles/csdac_core.dir/architecture.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/architecture.cpp.o.d"
+  "/root/repo/src/core/cell.cpp" "src/core/CMakeFiles/csdac_core.dir/cell.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/cell.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/csdac_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/gate_bounds.cpp" "src/core/CMakeFiles/csdac_core.dir/gate_bounds.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/gate_bounds.cpp.o.d"
+  "/root/repo/src/core/impedance.cpp" "src/core/CMakeFiles/csdac_core.dir/impedance.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/impedance.cpp.o.d"
+  "/root/repo/src/core/poles.cpp" "src/core/CMakeFiles/csdac_core.dir/poles.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/poles.cpp.o.d"
+  "/root/repo/src/core/saturation.cpp" "src/core/CMakeFiles/csdac_core.dir/saturation.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/saturation.cpp.o.d"
+  "/root/repo/src/core/sizer.cpp" "src/core/CMakeFiles/csdac_core.dir/sizer.cpp.o" "gcc" "src/core/CMakeFiles/csdac_core.dir/sizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

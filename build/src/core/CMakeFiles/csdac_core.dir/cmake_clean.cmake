@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_core.dir/accuracy.cpp.o"
+  "CMakeFiles/csdac_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/architecture.cpp.o"
+  "CMakeFiles/csdac_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/cell.cpp.o"
+  "CMakeFiles/csdac_core.dir/cell.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/explorer.cpp.o"
+  "CMakeFiles/csdac_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/gate_bounds.cpp.o"
+  "CMakeFiles/csdac_core.dir/gate_bounds.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/impedance.cpp.o"
+  "CMakeFiles/csdac_core.dir/impedance.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/poles.cpp.o"
+  "CMakeFiles/csdac_core.dir/poles.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/saturation.cpp.o"
+  "CMakeFiles/csdac_core.dir/saturation.cpp.o.d"
+  "CMakeFiles/csdac_core.dir/sizer.cpp.o"
+  "CMakeFiles/csdac_core.dir/sizer.cpp.o.d"
+  "libcsdac_core.a"
+  "libcsdac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

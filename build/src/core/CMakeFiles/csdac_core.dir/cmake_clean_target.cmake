@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsdac_core.a"
+)

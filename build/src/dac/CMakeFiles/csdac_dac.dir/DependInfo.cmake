@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dac/calibration.cpp" "src/dac/CMakeFiles/csdac_dac.dir/calibration.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/calibration.cpp.o.d"
+  "/root/repo/src/dac/dac_model.cpp" "src/dac/CMakeFiles/csdac_dac.dir/dac_model.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/dac_model.cpp.o.d"
+  "/root/repo/src/dac/dynamic.cpp" "src/dac/CMakeFiles/csdac_dac.dir/dynamic.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/dynamic.cpp.o.d"
+  "/root/repo/src/dac/layout_bridge.cpp" "src/dac/CMakeFiles/csdac_dac.dir/layout_bridge.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/layout_bridge.cpp.o.d"
+  "/root/repo/src/dac/spectrum.cpp" "src/dac/CMakeFiles/csdac_dac.dir/spectrum.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dac/static_analysis.cpp" "src/dac/CMakeFiles/csdac_dac.dir/static_analysis.cpp.o" "gcc" "src/dac/CMakeFiles/csdac_dac.dir/static_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/csdac_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

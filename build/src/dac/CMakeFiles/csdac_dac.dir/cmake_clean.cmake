@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_dac.dir/calibration.cpp.o"
+  "CMakeFiles/csdac_dac.dir/calibration.cpp.o.d"
+  "CMakeFiles/csdac_dac.dir/dac_model.cpp.o"
+  "CMakeFiles/csdac_dac.dir/dac_model.cpp.o.d"
+  "CMakeFiles/csdac_dac.dir/dynamic.cpp.o"
+  "CMakeFiles/csdac_dac.dir/dynamic.cpp.o.d"
+  "CMakeFiles/csdac_dac.dir/layout_bridge.cpp.o"
+  "CMakeFiles/csdac_dac.dir/layout_bridge.cpp.o.d"
+  "CMakeFiles/csdac_dac.dir/spectrum.cpp.o"
+  "CMakeFiles/csdac_dac.dir/spectrum.cpp.o.d"
+  "CMakeFiles/csdac_dac.dir/static_analysis.cpp.o"
+  "CMakeFiles/csdac_dac.dir/static_analysis.cpp.o.d"
+  "libcsdac_dac.a"
+  "libcsdac_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for csdac_dac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_dacgen.dir/dacgen.cpp.o"
+  "CMakeFiles/csdac_dacgen.dir/dacgen.cpp.o.d"
+  "libcsdac_dacgen.a"
+  "libcsdac_dacgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_dacgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_digital.dir/decoder.cpp.o"
+  "CMakeFiles/csdac_digital.dir/decoder.cpp.o.d"
+  "CMakeFiles/csdac_digital.dir/gates.cpp.o"
+  "CMakeFiles/csdac_digital.dir/gates.cpp.o.d"
+  "libcsdac_digital.a"
+  "libcsdac_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/floorplan.cpp" "src/layout/CMakeFiles/csdac_layout.dir/floorplan.cpp.o" "gcc" "src/layout/CMakeFiles/csdac_layout.dir/floorplan.cpp.o.d"
+  "/root/repo/src/layout/gradient.cpp" "src/layout/CMakeFiles/csdac_layout.dir/gradient.cpp.o" "gcc" "src/layout/CMakeFiles/csdac_layout.dir/gradient.cpp.o.d"
+  "/root/repo/src/layout/lefdef.cpp" "src/layout/CMakeFiles/csdac_layout.dir/lefdef.cpp.o" "gcc" "src/layout/CMakeFiles/csdac_layout.dir/lefdef.cpp.o.d"
+  "/root/repo/src/layout/switching.cpp" "src/layout/CMakeFiles/csdac_layout.dir/switching.cpp.o" "gcc" "src/layout/CMakeFiles/csdac_layout.dir/switching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/csdac_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/csdac_layout.dir/gradient.cpp.o"
+  "CMakeFiles/csdac_layout.dir/gradient.cpp.o.d"
+  "CMakeFiles/csdac_layout.dir/lefdef.cpp.o"
+  "CMakeFiles/csdac_layout.dir/lefdef.cpp.o.d"
+  "CMakeFiles/csdac_layout.dir/switching.cpp.o"
+  "CMakeFiles/csdac_layout.dir/switching.cpp.o.d"
+  "libcsdac_layout.a"
+  "libcsdac_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathx/fft.cpp" "src/mathx/CMakeFiles/csdac_mathx.dir/fft.cpp.o" "gcc" "src/mathx/CMakeFiles/csdac_mathx.dir/fft.cpp.o.d"
+  "/root/repo/src/mathx/fit.cpp" "src/mathx/CMakeFiles/csdac_mathx.dir/fit.cpp.o" "gcc" "src/mathx/CMakeFiles/csdac_mathx.dir/fit.cpp.o.d"
+  "/root/repo/src/mathx/linalg.cpp" "src/mathx/CMakeFiles/csdac_mathx.dir/linalg.cpp.o" "gcc" "src/mathx/CMakeFiles/csdac_mathx.dir/linalg.cpp.o.d"
+  "/root/repo/src/mathx/rng.cpp" "src/mathx/CMakeFiles/csdac_mathx.dir/rng.cpp.o" "gcc" "src/mathx/CMakeFiles/csdac_mathx.dir/rng.cpp.o.d"
+  "/root/repo/src/mathx/stats.cpp" "src/mathx/CMakeFiles/csdac_mathx.dir/stats.cpp.o" "gcc" "src/mathx/CMakeFiles/csdac_mathx.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_mathx.dir/fft.cpp.o"
+  "CMakeFiles/csdac_mathx.dir/fft.cpp.o.d"
+  "CMakeFiles/csdac_mathx.dir/fit.cpp.o"
+  "CMakeFiles/csdac_mathx.dir/fit.cpp.o.d"
+  "CMakeFiles/csdac_mathx.dir/linalg.cpp.o"
+  "CMakeFiles/csdac_mathx.dir/linalg.cpp.o.d"
+  "CMakeFiles/csdac_mathx.dir/rng.cpp.o"
+  "CMakeFiles/csdac_mathx.dir/rng.cpp.o.d"
+  "CMakeFiles/csdac_mathx.dir/stats.cpp.o"
+  "CMakeFiles/csdac_mathx.dir/stats.cpp.o.d"
+  "libcsdac_mathx.a"
+  "libcsdac_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

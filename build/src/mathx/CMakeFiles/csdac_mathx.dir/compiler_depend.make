@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csdac_mathx.
+# This may be replaced when dependencies are built.

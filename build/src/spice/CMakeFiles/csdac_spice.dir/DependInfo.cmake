@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/csdac_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/spice/CMakeFiles/csdac_spice.dir/devices.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/devices.cpp.o.d"
+  "/root/repo/src/spice/measures.cpp" "src/spice/CMakeFiles/csdac_spice.dir/measures.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/measures.cpp.o.d"
+  "/root/repo/src/spice/netlist_parser.cpp" "src/spice/CMakeFiles/csdac_spice.dir/netlist_parser.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/spice/CMakeFiles/csdac_spice.dir/noise.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/noise.cpp.o.d"
+  "/root/repo/src/spice/solver.cpp" "src/spice/CMakeFiles/csdac_spice.dir/solver.cpp.o" "gcc" "src/spice/CMakeFiles/csdac_spice.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

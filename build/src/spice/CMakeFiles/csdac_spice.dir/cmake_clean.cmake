@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_spice.dir/circuit.cpp.o"
+  "CMakeFiles/csdac_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/csdac_spice.dir/devices.cpp.o"
+  "CMakeFiles/csdac_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/csdac_spice.dir/measures.cpp.o"
+  "CMakeFiles/csdac_spice.dir/measures.cpp.o.d"
+  "CMakeFiles/csdac_spice.dir/netlist_parser.cpp.o"
+  "CMakeFiles/csdac_spice.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/csdac_spice.dir/noise.cpp.o"
+  "CMakeFiles/csdac_spice.dir/noise.cpp.o.d"
+  "CMakeFiles/csdac_spice.dir/solver.cpp.o"
+  "CMakeFiles/csdac_spice.dir/solver.cpp.o.d"
+  "libcsdac_spice.a"
+  "libcsdac_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

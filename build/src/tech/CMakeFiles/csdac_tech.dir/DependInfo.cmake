@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/mismatch.cpp" "src/tech/CMakeFiles/csdac_tech.dir/mismatch.cpp.o" "gcc" "src/tech/CMakeFiles/csdac_tech.dir/mismatch.cpp.o.d"
+  "/root/repo/src/tech/tech.cpp" "src/tech/CMakeFiles/csdac_tech.dir/tech.cpp.o" "gcc" "src/tech/CMakeFiles/csdac_tech.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

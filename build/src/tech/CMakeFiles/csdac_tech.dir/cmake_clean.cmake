@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdac_tech.dir/mismatch.cpp.o"
+  "CMakeFiles/csdac_tech.dir/mismatch.cpp.o.d"
+  "CMakeFiles/csdac_tech.dir/tech.cpp.o"
+  "CMakeFiles/csdac_tech.dir/tech.cpp.o.d"
+  "libcsdac_tech.a"
+  "libcsdac_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdac_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

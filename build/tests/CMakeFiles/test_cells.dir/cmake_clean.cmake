@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/cells/cells_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/cells_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/glitch_mechanism_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/glitch_mechanism_test.cpp.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accuracy_test.cpp" "tests/CMakeFiles/test_core.dir/core/accuracy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/accuracy_test.cpp.o.d"
+  "/root/repo/tests/core/architecture_costs_test.cpp" "tests/CMakeFiles/test_core.dir/core/architecture_costs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/architecture_costs_test.cpp.o.d"
+  "/root/repo/tests/core/architecture_test.cpp" "tests/CMakeFiles/test_core.dir/core/architecture_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/architecture_test.cpp.o.d"
+  "/root/repo/tests/core/cell_test.cpp" "tests/CMakeFiles/test_core.dir/core/cell_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cell_test.cpp.o.d"
+  "/root/repo/tests/core/explorer_test.cpp" "tests/CMakeFiles/test_core.dir/core/explorer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/explorer_test.cpp.o.d"
+  "/root/repo/tests/core/gate_bounds_test.cpp" "tests/CMakeFiles/test_core.dir/core/gate_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/gate_bounds_test.cpp.o.d"
+  "/root/repo/tests/core/poles_test.cpp" "tests/CMakeFiles/test_core.dir/core/poles_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/poles_test.cpp.o.d"
+  "/root/repo/tests/core/saturation_test.cpp" "tests/CMakeFiles/test_core.dir/core/saturation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/saturation_test.cpp.o.d"
+  "/root/repo/tests/core/sizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/sizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sizer_test.cpp.o.d"
+  "/root/repo/tests/core/spice_validation_test.cpp" "tests/CMakeFiles/test_core.dir/core/spice_validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spice_validation_test.cpp.o.d"
+  "/root/repo/tests/core/validation_test.cpp" "tests/CMakeFiles/test_core.dir/core/validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/csdac_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/csdac_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/csdac_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/dacgen/CMakeFiles/csdac_dacgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/csdac_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/csdac_cells.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/accuracy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/accuracy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/architecture_costs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/architecture_costs_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/architecture_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/architecture_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cell_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cell_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/explorer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/explorer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/gate_bounds_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/gate_bounds_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/poles_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/poles_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/saturation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/saturation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spice_validation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spice_validation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/validation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/validation_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

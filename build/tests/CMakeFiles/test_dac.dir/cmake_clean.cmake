@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dac.dir/dac/calibration_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/calibration_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/dac_model_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/dac_model_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/dynamic_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/dynamic_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/imd_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/imd_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/layout_bridge_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/layout_bridge_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/spectrum_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/spectrum_test.cpp.o.d"
+  "CMakeFiles/test_dac.dir/dac/static_analysis_test.cpp.o"
+  "CMakeFiles/test_dac.dir/dac/static_analysis_test.cpp.o.d"
+  "test_dac"
+  "test_dac.pdb"
+  "test_dac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

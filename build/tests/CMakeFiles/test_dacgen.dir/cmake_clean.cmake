@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dacgen.dir/dacgen/dacgen_test.cpp.o"
+  "CMakeFiles/test_dacgen.dir/dacgen/dacgen_test.cpp.o.d"
+  "test_dacgen"
+  "test_dacgen.pdb"
+  "test_dacgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dacgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digital.dir/digital/decoder_test.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/decoder_test.cpp.o.d"
+  "test_digital"
+  "test_digital.pdb"
+  "test_digital[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_digital.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/layout/array_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/array_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/floorplan_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/floorplan_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/lefdef_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/lefdef_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/switching_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/switching_test.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+  "test_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

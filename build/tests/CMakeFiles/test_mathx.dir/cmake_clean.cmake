@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mathx.dir/mathx/fft_test.cpp.o"
+  "CMakeFiles/test_mathx.dir/mathx/fft_test.cpp.o.d"
+  "CMakeFiles/test_mathx.dir/mathx/fit_test.cpp.o"
+  "CMakeFiles/test_mathx.dir/mathx/fit_test.cpp.o.d"
+  "CMakeFiles/test_mathx.dir/mathx/linalg_test.cpp.o"
+  "CMakeFiles/test_mathx.dir/mathx/linalg_test.cpp.o.d"
+  "CMakeFiles/test_mathx.dir/mathx/rng_test.cpp.o"
+  "CMakeFiles/test_mathx.dir/mathx/rng_test.cpp.o.d"
+  "CMakeFiles/test_mathx.dir/mathx/stats_test.cpp.o"
+  "CMakeFiles/test_mathx.dir/mathx/stats_test.cpp.o.d"
+  "test_mathx"
+  "test_mathx.pdb"
+  "test_mathx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/param/param_suites_test.cpp" "tests/CMakeFiles/test_param.dir/param/param_suites_test.cpp.o" "gcc" "tests/CMakeFiles/test_param.dir/param/param_suites_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/csdac_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/csdac_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/csdac_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/csdac_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/csdac_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/dacgen/CMakeFiles/csdac_dacgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/csdac_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/csdac_cells.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param.dir/param/param_suites_test.cpp.o"
+  "CMakeFiles/test_param.dir/param/param_suites_test.cpp.o.d"
+  "test_param"
+  "test_param.pdb"
+  "test_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/ac_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/ac_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/linear_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/linear_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/measures_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/measures_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/mosfet_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/mosfet_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/netlist_parser_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/netlist_parser_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/noise_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/noise_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/tran_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/tran_test.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
