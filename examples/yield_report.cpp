@@ -67,17 +67,37 @@ int main(int argc, char** argv) {
   std::printf("parametric yield (INL < 0.5 LSB): %.1f%% +/- %.1f%% "
               "(target %.1f%%)\n",
               y.yield * 100, y.ci95 * 100, spec.inl_yield * 100);
+  std::printf("  engine: %lld chips on %d threads in %.3f s "
+              "(%.0f chips/s)\n",
+              static_cast<long long>(y.stats.evaluated), y.stats.threads,
+              y.stats.wall_seconds, y.stats.items_per_second);
+
+  // Adaptive run: stop as soon as the 95 % CI half-width reaches 1 %.
+  dac::AdaptiveMcOptions aopts;
+  aopts.max_chips = 20000;
+  aopts.ci_half_width = 0.01;
+  aopts.threads = 0;
+  const auto ya = dac::inl_yield_mc_adaptive(spec, sigma, aopts, 5000);
+  std::printf("  adaptive: %.1f%% +/- %.1f%% after %lld chips "
+              "(early stop %s, %lld of the %d-chip budget skipped)\n",
+              ya.yield * 100, ya.ci95 * 100,
+              static_cast<long long>(ya.stats.evaluated),
+              ya.stats.early_stopped ? "hit" : "not hit",
+              static_cast<long long>(ya.stats.skipped), aopts.max_chips);
 
   // What calibration buys on a 4x-undersized array.
   dac::CalibrationOptions cal;
   cal.range_lsb = 2.0;
   cal.bits = 6;
-  const auto recovered =
-      dac::calibrated_inl_yield(spec, 4.0 * sigma, cal, chips / 3, 6000);
+  const auto recovered = dac::calibration_yield_mc(spec, 4.0 * sigma, cal,
+                                                   chips / 3, 6000, 0.5,
+                                                   /*threads=*/0);
   std::printf("\nwith a 16x smaller CS array (4x sigma) + 6-bit trim DAC:\n");
   std::printf("  yield before calibration: %.1f%%\n",
               recovered.yield_before * 100);
   std::printf("  yield after calibration : %.1f%%\n",
               recovered.yield_after * 100);
+  std::printf("  engine: %.0f chips/s on %d threads\n",
+              recovered.stats.items_per_second, recovered.stats.threads);
   return 0;
 }

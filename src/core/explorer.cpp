@@ -19,41 +19,42 @@ DesignPoint DesignSpaceExplorer::flatten(const SizedCell& s) {
 
 std::vector<DesignPoint> DesignSpaceExplorer::sweep_basic(
     const GridAxis& cs, const GridAxis& sw, MarginPolicy policy,
-    double fixed_margin) const {
-  std::vector<DesignPoint> out;
-  out.reserve(static_cast<std::size_t>(cs.steps) *
-              static_cast<std::size_t>(sw.steps));
-  for (int i = 0; i < cs.steps; ++i) {
-    for (int j = 0; j < sw.steps; ++j) {
-      const SizedCell s =
-          sizer_.size_basic(cs.at(i), sw.at(j), policy, fixed_margin);
-      DesignPoint p = flatten(s);
-      p.t_settle_s = s.poles.settling_time(sizer_.spec().nbits);
-      out.push_back(p);
-    }
-  }
-  return out;
+    double fixed_margin, int threads, mathx::RunStats* stats) const {
+  const auto n = static_cast<std::int64_t>(cs.steps) * sw.steps;
+  // Grid points are pure in their index: safe to evaluate in any order.
+  return mathx::parallel_map(
+      n, threads,
+      [&](std::int64_t idx) {
+        const int i = static_cast<int>(idx / sw.steps);
+        const int j = static_cast<int>(idx % sw.steps);
+        const SizedCell s =
+            sizer_.size_basic(cs.at(i), sw.at(j), policy, fixed_margin);
+        DesignPoint p = flatten(s);
+        p.t_settle_s = s.poles.settling_time(sizer_.spec().nbits);
+        return p;
+      },
+      stats, /*chunk=*/4);
 }
 
 std::vector<DesignPoint> DesignSpaceExplorer::sweep_cascode(
     const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
-    MarginPolicy policy, double fixed_margin, SigmaAggregation agg) const {
-  std::vector<DesignPoint> out;
-  out.reserve(static_cast<std::size_t>(cs.steps) *
-              static_cast<std::size_t>(sw.steps) *
-              static_cast<std::size_t>(cas.steps));
-  for (int i = 0; i < cs.steps; ++i) {
-    for (int j = 0; j < sw.steps; ++j) {
-      for (int k = 0; k < cas.steps; ++k) {
+    MarginPolicy policy, double fixed_margin, SigmaAggregation agg,
+    int threads, mathx::RunStats* stats) const {
+  const auto n =
+      static_cast<std::int64_t>(cs.steps) * sw.steps * cas.steps;
+  return mathx::parallel_map(
+      n, threads,
+      [&](std::int64_t idx) {
+        const int k = static_cast<int>(idx % cas.steps);
+        const int j = static_cast<int>((idx / cas.steps) % sw.steps);
+        const int i = static_cast<int>(idx / (cas.steps * sw.steps));
         const SizedCell s = sizer_.size_cascode(cs.at(i), sw.at(j), cas.at(k),
                                                 policy, fixed_margin, agg);
         DesignPoint p = flatten(s);
         p.t_settle_s = s.poles.settling_time(sizer_.spec().nbits);
-        out.push_back(p);
-      }
-    }
-  }
-  return out;
+        return p;
+      },
+      stats, /*chunk=*/4);
 }
 
 std::optional<DesignPoint> DesignSpaceExplorer::select(
@@ -74,15 +75,16 @@ std::optional<DesignPoint> DesignSpaceExplorer::select(
 
 std::optional<DesignPoint> DesignSpaceExplorer::optimize_basic(
     const GridAxis& cs, const GridAxis& sw, MarginPolicy policy, Objective obj,
-    double fixed_margin) const {
-  return select(sweep_basic(cs, sw, policy, fixed_margin), obj);
+    double fixed_margin, int threads) const {
+  return select(sweep_basic(cs, sw, policy, fixed_margin, threads), obj);
 }
 
 std::optional<DesignPoint> DesignSpaceExplorer::optimize_cascode(
     const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
     MarginPolicy policy, Objective obj, double fixed_margin,
-    SigmaAggregation agg) const {
-  return select(sweep_cascode(cs, sw, cas, policy, fixed_margin, agg), obj);
+    SigmaAggregation agg, int threads) const {
+  return select(sweep_cascode(cs, sw, cas, policy, fixed_margin, agg, threads),
+                obj);
 }
 
 }  // namespace csdac::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/sizer.hpp"
+#include "mathx/parallel.hpp"
 
 namespace csdac::core {
 
@@ -42,16 +43,23 @@ class DesignSpaceExplorer {
 
   const CellSizer& sizer() const { return sizer_; }
 
-  /// Full grid over (VOD_cs, VOD_sw) for the basic cell.
+  /// Full grid over (VOD_cs, VOD_sw) for the basic cell. Grid points are
+  /// independent and evaluated on the shared parallel engine (threads = 0
+  /// uses the hardware concurrency); the output order is row-major in
+  /// (i, j) regardless of the thread count. `stats` (optional) receives
+  /// the engine run record.
   std::vector<DesignPoint> sweep_basic(const GridAxis& cs, const GridAxis& sw,
                                        MarginPolicy policy,
-                                       double fixed_margin = 0.5) const;
+                                       double fixed_margin = 0.5,
+                                       int threads = 1,
+                                       mathx::RunStats* stats = nullptr) const;
 
   /// Full grid over (VOD_cs, VOD_sw, VOD_cas) for the cascode cell.
   std::vector<DesignPoint> sweep_cascode(
       const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
       MarginPolicy policy, double fixed_margin = 0.5,
-      SigmaAggregation agg = SigmaAggregation::kMax) const;
+      SigmaAggregation agg = SigmaAggregation::kMax, int threads = 1,
+      mathx::RunStats* stats = nullptr) const;
 
   /// Best feasible point of a sweep under the objective (nullopt if no
   /// feasible point exists).
@@ -63,13 +71,14 @@ class DesignSpaceExplorer {
                                             const GridAxis& sw,
                                             MarginPolicy policy,
                                             Objective obj,
-                                            double fixed_margin = 0.5) const;
+                                            double fixed_margin = 0.5,
+                                            int threads = 1) const;
 
   /// Convenience: sweep + select for the cascode cell.
   std::optional<DesignPoint> optimize_cascode(
       const GridAxis& cs, const GridAxis& sw, const GridAxis& cas,
       MarginPolicy policy, Objective obj, double fixed_margin = 0.5,
-      SigmaAggregation agg = SigmaAggregation::kMax) const;
+      SigmaAggregation agg = SigmaAggregation::kMax, int threads = 1) const;
 
  private:
   static DesignPoint flatten(const SizedCell& s);

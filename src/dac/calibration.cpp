@@ -1,6 +1,7 @@
 #include "dac/calibration.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,29 +36,47 @@ SourceErrors calibrate(const core::DacSpec& spec, const SourceErrors& chip,
   return out;
 }
 
+CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
+                                     double sigma_unit,
+                                     const CalibrationOptions& opts,
+                                     int chips, std::uint64_t seed,
+                                     double inl_limit, int threads) {
+  if (chips <= 0) throw std::invalid_argument("calibration_yield_mc: chips");
+  if (threads < 0) {
+    throw std::invalid_argument("calibration_yield_mc: threads < 0");
+  }
+  CalibratedYield y;
+  y.chips = chips;
+  std::atomic<int> pass_before{0}, pass_after{0};
+  y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
+    const auto idx = static_cast<std::uint64_t>(c);
+    mathx::Xoshiro256 draw_rng = mathx::stream_rng(seed, 2 * idx);
+    mathx::Xoshiro256 cal_rng = mathx::stream_rng(seed, 2 * idx + 1);
+    const SourceErrors raw = draw_source_errors(spec, sigma_unit, draw_rng);
+    const StaticMetrics before =
+        analyze_transfer(SegmentedDac(spec, raw).transfer());
+    if (before.inl_max < inl_limit) {
+      pass_before.fetch_add(1, std::memory_order_relaxed);
+    }
+    const SourceErrors fixed = calibrate(spec, raw, opts, cal_rng);
+    const StaticMetrics after =
+        analyze_transfer(SegmentedDac(spec, fixed).transfer());
+    if (after.inl_max < inl_limit) {
+      pass_after.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  y.yield_before = static_cast<double>(pass_before.load()) / chips;
+  y.yield_after = static_cast<double>(pass_after.load()) / chips;
+  return y;
+}
+
 CalibratedYield calibrated_inl_yield(const core::DacSpec& spec,
                                      double sigma_unit,
                                      const CalibrationOptions& opts,
                                      int chips, std::uint64_t seed,
-                                     double inl_limit) {
-  if (chips <= 0) throw std::invalid_argument("calibrated_inl_yield: chips");
-  mathx::Xoshiro256 rng(seed);
-  CalibratedYield y;
-  y.chips = chips;
-  int pass_before = 0, pass_after = 0;
-  for (int c = 0; c < chips; ++c) {
-    const SourceErrors raw = draw_source_errors(spec, sigma_unit, rng);
-    const StaticMetrics before =
-        analyze_transfer(SegmentedDac(spec, raw).transfer());
-    if (before.inl_max < inl_limit) ++pass_before;
-    const SourceErrors fixed = calibrate(spec, raw, opts, rng);
-    const StaticMetrics after =
-        analyze_transfer(SegmentedDac(spec, fixed).transfer());
-    if (after.inl_max < inl_limit) ++pass_after;
-  }
-  y.yield_before = static_cast<double>(pass_before) / chips;
-  y.yield_after = static_cast<double>(pass_after) / chips;
-  return y;
+                                     double inl_limit, int threads) {
+  return calibration_yield_mc(spec, sigma_unit, opts, chips, seed, inl_limit,
+                              threads);
 }
 
 }  // namespace csdac::dac

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "dac/dac_model.hpp"
+#include "mathx/parallel.hpp"
 #include "mathx/rng.hpp"
 
 namespace csdac::dac {
@@ -40,11 +41,25 @@ struct CalibratedYield {
   double yield_before = 0.0;
   double yield_after = 0.0;
   int chips = 0;
+  mathx::RunStats stats;  ///< engine observability (wall time, chips/s, ...)
 };
+
+/// Runs on the shared mathx::parallel engine. Chip c derives two
+/// independent streams from the seed — stream_rng(seed, 2c) for the
+/// mismatch draw and stream_rng(seed, 2c+1) for the calibration
+/// measurement noise — so the result is bit-identical for any thread
+/// count. threads = 0 uses the hardware concurrency.
+CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
+                                     double sigma_unit,
+                                     const CalibrationOptions& opts,
+                                     int chips, std::uint64_t seed,
+                                     double inl_limit = 0.5, int threads = 1);
+
+/// Historical name; forwards to calibration_yield_mc.
 CalibratedYield calibrated_inl_yield(const core::DacSpec& spec,
                                      double sigma_unit,
                                      const CalibrationOptions& opts,
                                      int chips, std::uint64_t seed,
-                                     double inl_limit = 0.5);
+                                     double inl_limit = 0.5, int threads = 1);
 
 }  // namespace csdac::dac

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cmath>
-#include <thread>
 #include <stdexcept>
 
 #include "mathx/fit.hpp"
+#include "mathx/rng.hpp"
 
 namespace csdac::dac {
 
@@ -46,18 +46,11 @@ StaticMetrics analyze_transfer(const std::vector<double>& levels,
 
 namespace {
 
-/// Independent, reproducible per-chip stream: the chip index is folded into
-/// the seed through the golden-ratio multiplier the RNG's own seeding uses.
-mathx::Xoshiro256 chip_rng(std::uint64_t seed, int chip) {
-  return mathx::Xoshiro256(seed ^
-                           (0x9e3779b97f4a7c15ull *
-                            (static_cast<std::uint64_t>(chip) + 1)));
-}
-
 bool chip_passes(const core::DacSpec& spec, double sigma_unit,
-                 std::uint64_t seed, int chip, double limit, bool use_inl,
-                 InlReference ref) {
-  mathx::Xoshiro256 rng = chip_rng(seed, chip);
+                 std::uint64_t seed, std::int64_t chip, double limit,
+                 bool use_inl, InlReference ref) {
+  mathx::Xoshiro256 rng =
+      mathx::stream_rng(seed, static_cast<std::uint64_t>(chip));
   const SegmentedDac dac(spec, draw_source_errors(spec, sigma_unit, rng));
   const StaticMetrics m = analyze_transfer(dac.transfer(), ref);
   return (use_inl ? m.inl_max : m.dnl_max) < limit;
@@ -68,41 +61,41 @@ YieldEstimate run_mc(const core::DacSpec& spec, double sigma_unit, int chips,
                      InlReference ref, int threads) {
   if (chips <= 0) throw std::invalid_argument("yield_mc: chips <= 0");
   if (threads < 0) throw std::invalid_argument("yield_mc: threads < 0");
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
-  threads = std::min(threads, chips);
 
   YieldEstimate y;
   y.chips = chips;
-  if (threads == 1) {
-    for (int c = 0; c < chips; ++c) {
-      if (chip_passes(spec, sigma_unit, seed, c, limit, use_inl, ref)) {
-        ++y.pass;
-      }
+  std::atomic<int> passed{0};
+  y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
+    if (chip_passes(spec, sigma_unit, seed, c, limit, use_inl, ref)) {
+      passed.fetch_add(1, std::memory_order_relaxed);
     }
-  } else {
-    std::atomic<int> next{0};
-    std::atomic<int> passed{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        int local = 0;
-        for (int c = next.fetch_add(1); c < chips; c = next.fetch_add(1)) {
-          if (chip_passes(spec, sigma_unit, seed, c, limit, use_inl, ref)) {
-            ++local;
-          }
-        }
-        passed.fetch_add(local);
-      });
-    }
-    for (auto& th : pool) th.join();
-    y.pass = passed.load();
-  }
+  });
+  y.pass = passed.load();
   y.yield = static_cast<double>(y.pass) / chips;
   y.ci95 = 1.96 * std::sqrt(y.yield * (1.0 - y.yield) / chips);
+  return y;
+}
+
+YieldEstimate run_mc_adaptive(const core::DacSpec& spec, double sigma_unit,
+                              const AdaptiveMcOptions& opts,
+                              std::uint64_t seed, double limit, bool use_inl,
+                              InlReference ref) {
+  if (opts.threads < 0) throw std::invalid_argument("yield_mc: threads < 0");
+  mathx::EarlyStopOptions es;
+  es.max_items = opts.max_chips;
+  es.min_items = opts.min_chips;
+  es.batch = opts.batch;
+  es.ci_half_width = opts.ci_half_width;
+  const mathx::YieldRun r =
+      mathx::adaptive_yield_run(es, opts.threads, [&](std::int64_t c) {
+        return chip_passes(spec, sigma_unit, seed, c, limit, use_inl, ref);
+      });
+  YieldEstimate y;
+  y.chips = static_cast<int>(r.evaluated);
+  y.pass = static_cast<int>(r.passed);
+  y.yield = r.yield;
+  y.ci95 = r.ci95;
+  y.stats = r.stats;
   return y;
 }
 
@@ -120,6 +113,22 @@ YieldEstimate dnl_yield_mc(const core::DacSpec& spec, double sigma_unit,
                            int threads) {
   return run_mc(spec, sigma_unit, chips, seed, dnl_limit, false,
                 InlReference::kBestFit, threads);
+}
+
+YieldEstimate inl_yield_mc_adaptive(const core::DacSpec& spec,
+                                    double sigma_unit,
+                                    const AdaptiveMcOptions& opts,
+                                    std::uint64_t seed, double inl_limit,
+                                    InlReference ref) {
+  return run_mc_adaptive(spec, sigma_unit, opts, seed, inl_limit, true, ref);
+}
+
+YieldEstimate dnl_yield_mc_adaptive(const core::DacSpec& spec,
+                                    double sigma_unit,
+                                    const AdaptiveMcOptions& opts,
+                                    std::uint64_t seed, double dnl_limit) {
+  return run_mc_adaptive(spec, sigma_unit, opts, seed, dnl_limit, false,
+                         InlReference::kBestFit);
 }
 
 }  // namespace csdac::dac

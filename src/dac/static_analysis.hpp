@@ -1,5 +1,8 @@
 // Static linearity metrics (INL, DNL) and parametric-yield Monte Carlo —
-// the machinery behind eq. (1)'s design rule.
+// the machinery behind eq. (1)'s design rule. The MC loops run on the
+// shared mathx::parallel engine: per-chip RNG streams derived from
+// (seed, chip) make results bit-identical for any thread count, and the
+// adaptive variants stop drawing chips once the 95 % CI has resolved.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +10,7 @@
 
 #include "core/spec.hpp"
 #include "dac/dac_model.hpp"
+#include "mathx/parallel.hpp"
 
 namespace csdac::dac {
 
@@ -29,10 +33,11 @@ StaticMetrics analyze_transfer(const std::vector<double>& levels,
 
 /// Monte-Carlo INL yield: fraction of chips with max|INL| < inl_limit.
 struct YieldEstimate {
-  int chips = 0;
+  int chips = 0;  ///< chips actually evaluated
   int pass = 0;
   double yield = 0.0;
   double ci95 = 0.0;  ///< 95 % binomial confidence half-width
+  mathx::RunStats stats;  ///< engine observability (wall time, chips/s, ...)
 };
 
 /// Each chip draws from an independent RNG stream derived from
@@ -49,5 +54,33 @@ YieldEstimate inl_yield_mc(const core::DacSpec& spec, double sigma_unit,
 YieldEstimate dnl_yield_mc(const core::DacSpec& spec, double sigma_unit,
                            int chips, std::uint64_t seed,
                            double dnl_limit = 0.5, int threads = 1);
+
+/// Knobs for the adaptive yield estimators: evaluate chips in
+/// thread-count-independent batches and stop once the Wilson 95 % CI
+/// half-width falls below `ci_half_width` (never past `max_chips`).
+struct AdaptiveMcOptions {
+  int max_chips = 10000;       ///< hard cap
+  int min_chips = 128;         ///< always evaluate at least this many
+  int batch = 128;             ///< CI checked every `batch` chips
+  double ci_half_width = 0.01; ///< stop tolerance; 0 disables early stop
+  int threads = 1;             ///< 0 = hardware concurrency
+};
+
+/// Adaptive-early-stopping versions of the yield estimators. The stopping
+/// point is decided at deterministic batch boundaries, so the returned
+/// estimate is bit-identical for any thread count, and chips beyond the
+/// stopping point are never evaluated (see YieldEstimate::stats).
+YieldEstimate inl_yield_mc_adaptive(const core::DacSpec& spec,
+                                    double sigma_unit,
+                                    const AdaptiveMcOptions& opts,
+                                    std::uint64_t seed,
+                                    double inl_limit = 0.5,
+                                    InlReference ref = InlReference::kBestFit);
+
+YieldEstimate dnl_yield_mc_adaptive(const core::DacSpec& spec,
+                                    double sigma_unit,
+                                    const AdaptiveMcOptions& opts,
+                                    std::uint64_t seed,
+                                    double dnl_limit = 0.5);
 
 }  // namespace csdac::dac

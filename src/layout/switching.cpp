@@ -277,19 +277,19 @@ double worst_linear_inl(const ArrayGeometry& geo, const std::vector<int>& seq,
   return amplitude * weight_lsb * worst;
 }
 
-std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
-                                   const std::vector<GradientSpec>& gradients,
-                                   double weight_lsb,
-                                   const AnnealOptions& opts) {
-  check_args(geo, n_sources);
-  if (gradients.empty() || opts.iterations < 1 ||
-      !(opts.t_start > opts.t_end) || !(opts.t_end > 0.0)) {
-    throw std::invalid_argument("optimize_sequence: bad options");
-  }
-  // Start from the hierarchical order: already decent, anneal refines it.
-  std::vector<int> seq = make_sequence(SwitchingScheme::kHierarchical, geo,
-                                       n_sources);
-  mathx::Xoshiro256 rng(opts.seed);
+namespace {
+
+struct AnnealResult {
+  std::vector<int> seq;
+  double cost = 0.0;
+};
+
+/// One independent annealing run starting from `seq` with its own stream.
+AnnealResult anneal_once(const ArrayGeometry& geo, std::vector<int> seq,
+                         const std::vector<GradientSpec>& gradients,
+                         double weight_lsb, const AnnealOptions& opts,
+                         mathx::Xoshiro256 rng) {
+  const auto n_sources = static_cast<std::uint64_t>(seq.size());
   double cost = sequence_cost(geo, seq, gradients, weight_lsb);
   std::vector<int> best = seq;
   double best_cost = cost;
@@ -298,10 +298,10 @@ std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
       std::pow(opts.t_end / opts.t_start, 1.0 / opts.iterations);
   double temp = opts.t_start;
   for (int it = 0; it < opts.iterations; ++it, temp *= alpha) {
-    const auto a = static_cast<std::size_t>(
-        mathx::uniform_index(rng, static_cast<std::uint64_t>(n_sources)));
-    const auto b = static_cast<std::size_t>(
-        mathx::uniform_index(rng, static_cast<std::uint64_t>(n_sources)));
+    const auto a =
+        static_cast<std::size_t>(mathx::uniform_index(rng, n_sources));
+    const auto b =
+        static_cast<std::size_t>(mathx::uniform_index(rng, n_sources));
     if (a == b) continue;
     std::swap(seq[a], seq[b]);
     const double new_cost = sequence_cost(geo, seq, gradients, weight_lsb);
@@ -317,7 +317,43 @@ std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
       std::swap(seq[a], seq[b]);  // reject
     }
   }
-  return best;
+  return {std::move(best), best_cost};
+}
+
+}  // namespace
+
+std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
+                                   const std::vector<GradientSpec>& gradients,
+                                   double weight_lsb,
+                                   const AnnealOptions& opts,
+                                   mathx::RunStats* stats) {
+  check_args(geo, n_sources);
+  if (gradients.empty() || opts.iterations < 1 ||
+      !(opts.t_start > opts.t_end) || !(opts.t_end > 0.0) ||
+      opts.restarts < 1 || opts.threads < 0) {
+    throw std::invalid_argument("optimize_sequence: bad options");
+  }
+  // Start from the hierarchical order: already decent, anneal refines it.
+  const std::vector<int> seq0 =
+      make_sequence(SwitchingScheme::kHierarchical, geo, n_sources);
+
+  const auto results = mathx::parallel_map(
+      opts.restarts, opts.threads,
+      [&](std::int64_t r) {
+        mathx::Xoshiro256 rng =
+            r == 0 ? mathx::Xoshiro256(opts.seed)
+                   : mathx::stream_rng(opts.seed,
+                                       static_cast<std::uint64_t>(r));
+        return anneal_once(geo, seq0, gradients, weight_lsb, opts,
+                           std::move(rng));
+      },
+      stats);
+
+  std::size_t winner = 0;
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    if (results[r].cost < results[winner].cost) winner = r;
+  }
+  return results[winner].seq;
 }
 
 }  // namespace csdac::layout

@@ -12,6 +12,7 @@
 
 #include "layout/array.hpp"
 #include "layout/gradient.hpp"
+#include "mathx/parallel.hpp"
 
 namespace csdac::layout {
 
@@ -77,13 +78,25 @@ struct AnnealOptions {
   double t_start = 0.5;   ///< initial temperature [LSB]
   double t_end = 1e-3;
   std::uint64_t seed = 1;
+  /// Independent annealing runs; the best final cost wins (ties go to the
+  /// lowest restart index, so the result is deterministic). Restart 0 uses
+  /// the legacy RNG stream Xoshiro256(seed); restart r > 0 draws from
+  /// mathx::stream_rng(seed, r).
+  int restarts = 1;
+  /// Restarts run in parallel on the shared engine; 0 = hardware
+  /// concurrency. The winner is thread-count independent.
+  int threads = 1;
 };
 
 /// Simulated-annealing sequence optimization: minimizes the worst-case
-/// |INL| over `gradients` by swapping switching positions.
+/// |INL| over `gradients` by swapping switching positions. With
+/// opts.restarts > 1 the independent restarts run in parallel and the
+/// best-cost sequence is returned; `stats` (optional) receives the engine
+/// run record.
 std::vector<int> optimize_sequence(const ArrayGeometry& geo, int n_sources,
                                    const std::vector<GradientSpec>& gradients,
                                    double weight_lsb,
-                                   const AnnealOptions& opts = {});
+                                   const AnnealOptions& opts = {},
+                                   mathx::RunStats* stats = nullptr);
 
 }  // namespace csdac::layout

@@ -1,0 +1,154 @@
+#include "mathx/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace csdac::mathx {
+
+int resolve_threads(int threads) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(threads, 1);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int t = 0; t + 1 < n; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::work() {
+  for (;;) {
+    const std::int64_t lo = next_.fetch_add(chunk_);
+    if (lo >= end_) return;
+    const std::int64_t hi = std::min(lo + chunk_, end_);
+    for (std::int64_t i = lo; i < hi; ++i) (*fn_)(i);
+  }
+}
+
+void ThreadPool::for_each(std::int64_t begin, std::int64_t end,
+                          const std::function<void(std::int64_t)>& fn,
+                          std::int64_t chunk) {
+  if (begin >= end) return;
+  if (chunk < 1) throw std::invalid_argument("ThreadPool: chunk < 1");
+  if (workers_.empty()) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_.store(begin);
+    end_ = end;
+    chunk_ = chunk;
+    fn_ = &fn;
+    busy_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  work();  // the calling thread is a worker too
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return busy_ == 0; });
+  fn_ = nullptr;
+}
+
+RunStats parallel_for(std::int64_t n, int threads,
+                      const std::function<void(std::int64_t)>& fn,
+                      std::int64_t chunk) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ThreadPool pool(std::min<std::int64_t>(resolve_threads(threads),
+                                         std::max<std::int64_t>(n, 1)));
+  pool.for_each(0, n, fn, chunk);
+  RunStats s;
+  s.evaluated = n;
+  s.threads = pool.threads();
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  s.items_per_second =
+      s.wall_seconds > 0.0 ? static_cast<double>(n) / s.wall_seconds : 0.0;
+  return s;
+}
+
+double wilson_half_width(std::int64_t pass, std::int64_t n, double z) {
+  if (n <= 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(pass) / nn;
+  const double z2 = z * z;
+  return z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) /
+         (1.0 + z2 / nn);
+}
+
+YieldRun adaptive_yield_run(
+    const EarlyStopOptions& opts, int threads,
+    const std::function<bool(std::int64_t)>& item_passes) {
+  if (opts.max_items < 1 || opts.batch < 1 || opts.min_items < 1 ||
+      opts.ci_half_width < 0.0) {
+    throw std::invalid_argument("adaptive_yield_run: bad options");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  ThreadPool pool(std::min<std::int64_t>(resolve_threads(threads),
+                                         opts.max_items));
+  YieldRun r;
+  std::atomic<std::int64_t> passed{0};
+  while (r.evaluated < opts.max_items) {
+    const std::int64_t batch =
+        std::min(opts.batch, opts.max_items - r.evaluated);
+    pool.for_each(r.evaluated, r.evaluated + batch, [&](std::int64_t i) {
+      if (item_passes(i)) passed.fetch_add(1, std::memory_order_relaxed);
+    });
+    r.evaluated += batch;
+    r.passed = passed.load();
+    if (opts.ci_half_width > 0.0 && r.evaluated >= opts.min_items &&
+        wilson_half_width(r.passed, r.evaluated) <= opts.ci_half_width) {
+      r.stats.early_stopped = true;
+      break;
+    }
+  }
+  r.yield = static_cast<double>(r.passed) / static_cast<double>(r.evaluated);
+  r.ci95 = wilson_half_width(r.passed, r.evaluated);
+  r.stats.evaluated = r.evaluated;
+  r.stats.skipped = opts.max_items - r.evaluated;
+  r.stats.threads = pool.threads();
+  r.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.stats.items_per_second =
+      r.stats.wall_seconds > 0.0
+          ? static_cast<double>(r.evaluated) / r.stats.wall_seconds
+          : 0.0;
+  return r;
+}
+
+}  // namespace csdac::mathx

@@ -1,0 +1,133 @@
+// Shared parallel Monte-Carlo engine: a reusable thread pool with
+// deterministic work partitioning plus an adaptive early-stopping yield
+// estimator. Every MC consumer in the library (INL/DNL yield, calibrated
+// yield, annealing restarts, design-space sweeps) routes through this so
+// that (a) results are bit-identical for any thread count — each item is a
+// pure function of its index, typically via a `stream_rng(seed, index)`
+// substream — and (b) yield loops stop burning chips once the binomial
+// confidence interval has resolved the answer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csdac::mathx {
+
+/// Resolves a user-facing thread-count knob: 0 means "use the hardware
+/// concurrency", anything else is clamped to >= 1. Negative counts are the
+/// caller's error to reject (the historical yield_mc API throws).
+int resolve_threads(int threads);
+
+/// Observability record returned by every engine run.
+struct RunStats {
+  std::int64_t evaluated = 0;  ///< items actually run
+  std::int64_t skipped = 0;    ///< budgeted items not run (early stop)
+  int threads = 1;             ///< worker count actually used (incl. caller)
+  bool early_stopped = false;  ///< estimator stopped before the cap
+  double wall_seconds = 0.0;
+  double items_per_second = 0.0;  ///< evaluated / wall_seconds
+};
+
+/// Persistent pool of `threads - 1` workers; the calling thread is the
+/// last worker, so `ThreadPool(1)` spawns nothing and runs inline.
+/// `for_each` dispatches fn(i) over [begin, end) with chunked index
+/// claiming. The ASSIGNMENT of indices to threads is racy by design; a
+/// deterministic overall result only requires fn(i) to depend on nothing
+/// but i (write to slot i, derive randomness from (seed, i)).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [begin, end); blocks until done. Threads
+  /// claim `chunk` consecutive indices at a time (chunk >= 1).
+  void for_each(std::int64_t begin, std::int64_t end,
+                const std::function<void(std::int64_t)>& fn,
+                std::int64_t chunk = 1);
+
+ private:
+  void worker_loop();
+  void work();  ///< claim and run chunks of the current job
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  ///< bumped per job; wakes the workers
+  int busy_ = 0;                  ///< workers still on the current job
+  bool stop_ = false;
+
+  // Current job (valid while busy_ > 0).
+  std::atomic<std::int64_t> next_{0};
+  std::int64_t end_ = 0;
+  std::int64_t chunk_ = 1;
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+};
+
+/// One-shot parallel loop: fn(i) for i in [0, n). Returns the run record.
+RunStats parallel_for(std::int64_t n, int threads,
+                      const std::function<void(std::int64_t)>& fn,
+                      std::int64_t chunk = 1);
+
+/// Parallel map into a pre-sized vector: out[i] = fn(i). The output order
+/// is by index, so the result is thread-count independent for pure fn.
+template <typename F>
+auto parallel_map(std::int64_t n, int threads, F&& fn,
+                  RunStats* stats = nullptr, std::int64_t chunk = 1)
+    -> std::vector<decltype(fn(std::int64_t{}))> {
+  using T = decltype(fn(std::int64_t{}));
+  std::vector<T> out(static_cast<std::size_t>(n));
+  const RunStats rs = parallel_for(
+      n, threads,
+      [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); },
+      chunk);
+  if (stats) *stats = rs;
+  return out;
+}
+
+/// Wilson score interval half-width for `pass` successes in `n` trials at
+/// confidence z (default two-sided 95 %). Well-behaved at yield 0/1 where
+/// the naive binomial half-width collapses to zero.
+double wilson_half_width(std::int64_t pass, std::int64_t n,
+                         double z = 1.959963984540054);
+
+/// Adaptive early-stopping controls. The CI is checked only at batch
+/// boundaries, and the batch size is independent of the thread count, so
+/// the stopping point — and therefore the estimate — is bit-identical for
+/// any number of threads.
+struct EarlyStopOptions {
+  std::int64_t max_items = 10000;  ///< hard cap on items evaluated
+  std::int64_t min_items = 128;    ///< never stop before this many
+  std::int64_t batch = 128;        ///< CI checked every `batch` items
+  /// Stop once the Wilson 95 % half-width <= this; 0 disables early
+  /// stopping (the run then always evaluates max_items).
+  double ci_half_width = 0.0;
+};
+
+/// Result of an adaptive pass/fail (yield) estimation run.
+struct YieldRun {
+  std::int64_t evaluated = 0;  ///< items actually evaluated (<= max_items)
+  std::int64_t passed = 0;
+  double yield = 0.0;  ///< passed / evaluated
+  double ci95 = 0.0;   ///< Wilson 95 % half-width at the stopping point
+  RunStats stats;
+};
+
+/// Evaluates item_passes(i) for i = 0, 1, ... until the CI criterion is met
+/// or max_items is reached. Items are drawn in deterministic batches; each
+/// batch runs on the pool. item_passes must be pure in i.
+YieldRun adaptive_yield_run(const EarlyStopOptions& opts, int threads,
+                            const std::function<bool(std::int64_t)>& item_passes);
+
+}  // namespace csdac::mathx

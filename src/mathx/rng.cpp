@@ -91,4 +91,8 @@ std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
   }
 }
 
+Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index) {
+  return Xoshiro256(seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+}
+
 }  // namespace csdac::mathx

@@ -43,4 +43,12 @@ double normal(Xoshiro256& rng, double mean, double sigma);
 /// Uniform integer in [0, n).
 std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n);
 
+/// Independent, reproducible substream for item `index` of a run seeded
+/// with `seed`: the index is folded into the seed through the golden-ratio
+/// multiplier the SplitMix64 seeding itself uses. This is THE per-item
+/// stream derivation of the parallel Monte-Carlo engine — every consumer
+/// (per-chip mismatch draws, annealing restarts, ...) uses it so results
+/// are bit-identical for any thread count.
+Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index);
+
 }  // namespace csdac::mathx

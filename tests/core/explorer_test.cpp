@@ -85,6 +85,40 @@ TEST(Explorer, CascodeSweepProducesFeasibleVolume) {
   EXPECT_GT(best->rout_unit, 1e8);  // cascode-grade output impedance
 }
 
+TEST(Explorer, ParallelSweepIdenticalToSerial) {
+  // Grid points are pure functions of their index, so the engine-parallel
+  // sweep must reproduce the serial sweep exactly, in the same order.
+  auto ex = make_explorer();
+  GridAxis g{0.05, 0.9, 10};
+  const auto serial = ex.sweep_basic(g, g, MarginPolicy::kStatistical, 0.5,
+                                     /*threads=*/1);
+  for (int threads : {2, 7}) {
+    mathx::RunStats stats;
+    const auto par = ex.sweep_basic(g, g, MarginPolicy::kStatistical, 0.5,
+                                    threads, &stats);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < par.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par[i].vod_cs, serial[i].vod_cs) << i;
+      EXPECT_DOUBLE_EQ(par[i].vod_sw, serial[i].vod_sw) << i;
+      EXPECT_DOUBLE_EQ(par[i].area, serial[i].area) << i;
+      EXPECT_DOUBLE_EQ(par[i].f_min_hz, serial[i].f_min_hz) << i;
+      EXPECT_EQ(par[i].feasible, serial[i].feasible) << i;
+    }
+    EXPECT_EQ(stats.evaluated, 100);
+  }
+  GridAxis c{0.05, 0.5, 5};
+  const auto cas_serial =
+      ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical);
+  const auto cas_par = ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical,
+                                        0.5, SigmaAggregation::kMax,
+                                        /*threads=*/7);
+  ASSERT_EQ(cas_par.size(), cas_serial.size());
+  for (std::size_t i = 0; i < cas_par.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cas_par[i].vod_cas, cas_serial[i].vod_cas) << i;
+    EXPECT_DOUBLE_EQ(cas_par[i].area, cas_serial[i].area) << i;
+  }
+}
+
 TEST(Explorer, NoFeasiblePointReturnsNullopt) {
   auto ex = make_explorer();
   GridAxis big{0.6, 0.9, 4};  // vod sums always exceed V_o = 1

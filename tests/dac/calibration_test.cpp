@@ -82,6 +82,43 @@ TEST(Calibration, MoreBitsNeverHurt) {
   }
 }
 
+TEST(Calibration, YieldMcBitIdenticalForThreads127AndReruns) {
+  // calibration_yield_mc runs on the shared engine with two per-chip
+  // streams (mismatch draw + measurement noise): the result must be a pure
+  // function of (seed, chips) for any thread count.
+  const auto spec = spec12();
+  const double sigma = 4.0 * core::unit_sigma_spec(spec.nbits, 0.997);
+  CalibrationOptions opts;
+  opts.range_lsb = 2.0;
+  opts.bits = 6;
+  opts.measure_noise_lsb = 0.05;
+  const auto ref = calibration_yield_mc(spec, sigma, opts, 120, 77, 0.5, 1);
+  for (int threads : {1, 2, 7}) {
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      const auto y =
+          calibration_yield_mc(spec, sigma, opts, 120, 77, 0.5, threads);
+      EXPECT_DOUBLE_EQ(y.yield_before, ref.yield_before)
+          << "threads " << threads << " rerun " << rerun;
+      EXPECT_DOUBLE_EQ(y.yield_after, ref.yield_after)
+          << "threads " << threads << " rerun " << rerun;
+    }
+  }
+  EXPECT_EQ(ref.stats.evaluated, 120);
+  EXPECT_THROW(calibration_yield_mc(spec, sigma, opts, 120, 77, 0.5, -1),
+               std::invalid_argument);
+}
+
+TEST(Calibration, LegacyNameForwardsToEngine) {
+  const auto spec = spec12();
+  const double sigma = 3.0 * core::unit_sigma_spec(spec.nbits, 0.997);
+  const auto a = calibrated_inl_yield(spec, sigma, CalibrationOptions{}, 80,
+                                      5);
+  const auto b = calibration_yield_mc(spec, sigma, CalibrationOptions{}, 80,
+                                      5);
+  EXPECT_DOUBLE_EQ(a.yield_before, b.yield_before);
+  EXPECT_DOUBLE_EQ(a.yield_after, b.yield_after);
+}
+
 TEST(Calibration, BinarySourcesUntouched) {
   const auto spec = spec12();
   mathx::Xoshiro256 rng(9);

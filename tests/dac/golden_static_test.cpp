@@ -1,0 +1,61 @@
+// Golden regression for static linearity: a fixed-seed 8-bit transfer
+// function with checked-in expected INL/DNL vectors. Guards
+// analyze_transfer, the DAC model, and the (seed, chip) RNG stream
+// derivation against silent refactor drift. If a change to any of these is
+// INTENTIONAL, regenerate the golden file (see tools/gen_golden_static.cpp)
+// and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dac/static_analysis.hpp"
+#include "mathx/rng.hpp"
+
+namespace csdac::dac {
+namespace {
+
+#include "golden_static_8bit.inc"
+
+constexpr double kTol = 1e-12;
+
+std::vector<double> golden_transfer() {
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  mathx::Xoshiro256 rng = mathx::stream_rng(8811, 0);
+  return SegmentedDac(spec, draw_source_errors(spec, 0.01, rng)).transfer();
+}
+
+TEST(GoldenStatic, TransferMatchesCheckedInLevels) {
+  const auto levels = golden_transfer();
+  ASSERT_EQ(levels.size(), std::size(kGoldenLevels));
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_NEAR(levels[i], kGoldenLevels[i], kTol) << "code " << i;
+  }
+}
+
+TEST(GoldenStatic, BestFitInlDnlMatchGolden) {
+  const auto m = analyze_transfer(golden_transfer(), InlReference::kBestFit);
+  ASSERT_EQ(m.inl.size(), std::size(kGoldenInlBestFit));
+  ASSERT_EQ(m.dnl.size(), std::size(kGoldenDnlBestFit));
+  for (std::size_t i = 0; i < m.inl.size(); ++i) {
+    EXPECT_NEAR(m.inl[i], kGoldenInlBestFit[i], kTol) << "code " << i;
+  }
+  for (std::size_t i = 0; i < m.dnl.size(); ++i) {
+    EXPECT_NEAR(m.dnl[i], kGoldenDnlBestFit[i], kTol) << "transition " << i;
+  }
+  EXPECT_NEAR(m.inl_max, kGoldenInlMaxBestFit, kTol);
+  EXPECT_NEAR(m.dnl_max, kGoldenDnlMaxBestFit, kTol);
+}
+
+TEST(GoldenStatic, EndpointInlMatchesGolden) {
+  const auto m = analyze_transfer(golden_transfer(), InlReference::kEndpoint);
+  ASSERT_EQ(m.inl.size(), std::size(kGoldenInlEndpoint));
+  for (std::size_t i = 0; i < m.inl.size(); ++i) {
+    EXPECT_NEAR(m.inl[i], kGoldenInlEndpoint[i], kTol) << "code " << i;
+  }
+  EXPECT_NEAR(m.inl_max, kGoldenInlMaxEndpoint, kTol);
+}
+
+}  // namespace
+}  // namespace csdac::dac

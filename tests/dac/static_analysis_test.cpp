@@ -118,6 +118,88 @@ TEST(StaticAnalysis, ParallelMcBitIdenticalToSerial) {
                std::invalid_argument);
 }
 
+TEST(StaticAnalysis, YieldMcBitIdenticalForThreads127AndReruns) {
+  // The determinism contract of the shared engine: per-chip RNG streams
+  // make the estimate a pure function of (seed, chips), independent of the
+  // thread count and stable across repeated runs.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = 2.0 * core::unit_sigma_spec(spec.nbits, 0.9);
+  const auto ref_inl = inl_yield_mc(spec, sigma, 300, 17, 0.5,
+                                    InlReference::kBestFit, 1);
+  const auto ref_dnl = dnl_yield_mc(spec, sigma, 300, 17, 0.5, 1);
+  for (int threads : {1, 2, 7}) {
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      const auto inl = inl_yield_mc(spec, sigma, 300, 17, 0.5,
+                                    InlReference::kBestFit, threads);
+      const auto dnl = dnl_yield_mc(spec, sigma, 300, 17, 0.5, threads);
+      EXPECT_EQ(inl.pass, ref_inl.pass)
+          << "threads " << threads << " rerun " << rerun;
+      EXPECT_DOUBLE_EQ(inl.yield, ref_inl.yield);
+      EXPECT_EQ(dnl.pass, ref_dnl.pass)
+          << "threads " << threads << " rerun " << rerun;
+      EXPECT_DOUBLE_EQ(dnl.yield, ref_dnl.yield);
+    }
+  }
+}
+
+TEST(StaticAnalysis, AdaptiveYieldAgreesWithFixedCountWithinCi) {
+  // Early-stop correctness: on a seeded spec the adaptive estimate must
+  // agree with the fixed-chip-count estimate within the combined CI, while
+  // evaluating fewer chips than the cap on this high-yield spec.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = core::unit_sigma_spec(spec.nbits, 0.95);
+  AdaptiveMcOptions opts;
+  opts.max_chips = 4000;
+  opts.ci_half_width = 0.02;
+  opts.threads = 2;
+  const auto adaptive = inl_yield_mc_adaptive(spec, sigma, opts, 42);
+  const auto fixed = inl_yield_mc(spec, sigma, 4000, 42);
+  EXPECT_TRUE(adaptive.stats.early_stopped);
+  EXPECT_LT(adaptive.chips, opts.max_chips);
+  EXPECT_EQ(adaptive.stats.skipped, opts.max_chips - adaptive.chips);
+  EXPECT_NEAR(adaptive.yield, fixed.yield, adaptive.ci95 + fixed.ci95);
+}
+
+TEST(StaticAnalysis, AdaptiveYieldNeverExceedsCapAndIsDeterministic) {
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = 2.0 * core::unit_sigma_spec(spec.nbits, 0.9);
+  AdaptiveMcOptions opts;
+  opts.max_chips = 300;
+  opts.min_chips = 64;
+  opts.batch = 64;
+  opts.ci_half_width = 1e-9;  // unreachable: must stop exactly at the cap
+  opts.threads = 7;
+  const auto y = inl_yield_mc_adaptive(spec, sigma, opts, 17);
+  EXPECT_EQ(y.chips, 300);
+  EXPECT_FALSE(y.stats.early_stopped);
+  // ... and the capped adaptive run sees exactly the same chips as the
+  // fixed-count estimator (same streams, same batches).
+  const auto fixed = inl_yield_mc(spec, sigma, 300, 17);
+  EXPECT_EQ(y.pass, fixed.pass);
+  opts.threads = 1;
+  const auto serial = inl_yield_mc_adaptive(spec, sigma, opts, 17);
+  EXPECT_EQ(serial.pass, y.pass);
+  EXPECT_EQ(serial.chips, y.chips);
+}
+
+TEST(StaticAnalysis, RunStatsAreFilled) {
+  core::DacSpec spec;
+  spec.nbits = 6;
+  spec.binary_bits = 2;
+  const auto y = inl_yield_mc(spec, 0.001, 64, 9, 0.5,
+                              InlReference::kBestFit, 2);
+  EXPECT_EQ(y.stats.evaluated, 64);
+  EXPECT_EQ(y.stats.skipped, 0);
+  EXPECT_GE(y.stats.threads, 1);
+  EXPECT_GT(y.stats.items_per_second, 0.0);
+}
+
 TEST(StaticAnalysis, YieldEstimateBookkeeping) {
   core::DacSpec spec;
   spec.nbits = 6;

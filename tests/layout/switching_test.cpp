@@ -122,6 +122,60 @@ TEST(Switching, OptimizedBeatsAllHeuristicsOnItsObjective) {
   EXPECT_LE(c_opt, sequence_cost(geo, hier, grads, w) + 1e-12);
 }
 
+TEST(Switching, MultiRestartAnnealIsThreadCountIndependent) {
+  // Restarts draw from (seed, restart)-derived streams and the best-cost
+  // winner ties to the lowest restart index, so the result is bit-identical
+  // for any thread count.
+  const auto geo = grid16();
+  const auto grads = standard_gradients(0.01);
+  AnnealOptions opts;
+  opts.iterations = 500;
+  opts.seed = 11;
+  opts.restarts = 5;
+  opts.threads = 1;
+  const auto ref = optimize_sequence(geo, 255, grads, 16.0, opts);
+  for (int threads : {2, 7}) {
+    opts.threads = threads;
+    mathx::RunStats stats;
+    const auto got = optimize_sequence(geo, 255, grads, 16.0, opts, &stats);
+    EXPECT_EQ(got, ref) << "threads " << threads;
+    EXPECT_EQ(stats.evaluated, 5);
+  }
+}
+
+TEST(Switching, MultiRestartNeverWorseThanSingleRun) {
+  const auto geo = grid16();
+  const auto grads = standard_gradients(0.01);
+  const double w = 16.0;
+  AnnealOptions opts;
+  opts.iterations = 500;
+  opts.seed = 21;
+  const auto single = optimize_sequence(geo, 255, grads, w, opts);
+  opts.restarts = 4;
+  opts.threads = 0;  // hardware concurrency
+  const auto multi = optimize_sequence(geo, 255, grads, w, opts);
+  EXPECT_TRUE(is_permutation_of_cells(multi, geo.cells()));
+  // Restart 0 replays the single-run stream, so the best-of can only match
+  // or beat it.
+  EXPECT_LE(sequence_cost(geo, multi, grads, w),
+            sequence_cost(geo, single, grads, w) + 1e-12);
+}
+
+TEST(Switching, SingleRestartMatchesLegacySeedStream) {
+  // Backwards compatibility: restarts = 1 must reproduce the historical
+  // single-stream annealing result exactly.
+  const auto geo = grid16();
+  const auto grads = standard_gradients(0.01);
+  AnnealOptions opts;
+  opts.iterations = 300;
+  opts.seed = 3;
+  const auto a = optimize_sequence(geo, 255, grads, 16.0, opts);
+  opts.restarts = 1;
+  opts.threads = 4;  // thread knob must not change a single-restart result
+  const auto b = optimize_sequence(geo, 255, grads, 16.0, opts);
+  EXPECT_EQ(a, b);
+}
+
 TEST(Switching, WorstLinearInlMatchesAngleSweep) {
   // Brute-force the gradient orientation and check the closed form.
   const auto geo = grid16();
@@ -194,6 +248,16 @@ TEST(Switching, ErrorHandling) {
                std::out_of_range);
   AnnealOptions bad;
   bad.iterations = 0;
+  EXPECT_THROW(optimize_sequence(geo, 10, standard_gradients(0.01), 16.0,
+                                 bad),
+               std::invalid_argument);
+  bad = AnnealOptions{};
+  bad.restarts = 0;
+  EXPECT_THROW(optimize_sequence(geo, 10, standard_gradients(0.01), 16.0,
+                                 bad),
+               std::invalid_argument);
+  bad = AnnealOptions{};
+  bad.threads = -2;
   EXPECT_THROW(optimize_sequence(geo, 10, standard_gradients(0.01), 16.0,
                                  bad),
                std::invalid_argument);

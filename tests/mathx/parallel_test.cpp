@@ -1,0 +1,181 @@
+#include "mathx/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mathx/rng.hpp"
+
+namespace csdac::mathx {
+namespace {
+
+TEST(Parallel, ResolveThreads) {
+  EXPECT_GE(resolve_threads(0), 1);  // hardware concurrency, at least 1
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+}
+
+TEST(Parallel, ForEachVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v.store(0);
+    const RunStats s = parallel_for(257, threads, [&](std::int64_t i) {
+      visits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+    EXPECT_EQ(s.evaluated, 257);
+    EXPECT_EQ(s.skipped, 0);
+    EXPECT_GE(s.threads, 1);
+    EXPECT_GE(s.wall_seconds, 0.0);
+  }
+}
+
+TEST(Parallel, ChunkedClaimingStillCoversAll) {
+  std::vector<std::atomic<int>> visits(100);
+  for (auto& v : visits) v.store(0);
+  parallel_for(100, 4, [&](std::int64_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  }, /*chunk=*/7);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.for_each(0, 100, [&](std::int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 20 * (99 * 100 / 2));
+  pool.for_each(5, 5, [](std::int64_t) { FAIL(); });  // empty range is a no-op
+}
+
+TEST(Parallel, MapOutputIsIndexOrderedForAnyThreadCount) {
+  const auto ref = parallel_map(
+      64, 1, [](std::int64_t i) { return 3 * i + 1; });
+  for (int threads : {2, 7}) {
+    const auto got = parallel_map(
+        64, threads, [](std::int64_t i) { return 3 * i + 1; });
+    EXPECT_EQ(got, ref) << "threads " << threads;
+  }
+}
+
+TEST(Parallel, WilsonHalfWidthProperties) {
+  // Shrinks with n, symmetric in pass <-> fail, and non-degenerate at the
+  // extremes (where the naive binomial CI collapses to zero).
+  EXPECT_GT(wilson_half_width(50, 100), wilson_half_width(500, 1000));
+  EXPECT_NEAR(wilson_half_width(30, 100), wilson_half_width(70, 100), 1e-12);
+  EXPECT_GT(wilson_half_width(100, 100), 0.0);
+  EXPECT_GT(wilson_half_width(0, 100), 0.0);
+  EXPECT_EQ(wilson_half_width(0, 0), 1.0);
+  // Large-n agreement with the naive binomial half-width at p = 0.5:
+  // 1.96 * sqrt(0.25 / 10000) = 0.0098.
+  EXPECT_NEAR(wilson_half_width(5000, 10000), 0.0098, 2e-4);
+}
+
+// A deterministic pass/fail item: pure function of the index.
+bool item(std::int64_t i, std::uint64_t seed, double threshold) {
+  Xoshiro256 rng = stream_rng(seed, static_cast<std::uint64_t>(i));
+  return uniform01(rng) < threshold;
+}
+
+TEST(Parallel, AdaptiveRunBitIdenticalAcrossThreadCountsAndReruns) {
+  EarlyStopOptions opts;
+  opts.max_items = 4000;
+  opts.min_items = 128;
+  opts.batch = 128;
+  opts.ci_half_width = 0.02;
+  const auto ref = adaptive_yield_run(
+      opts, 1, [](std::int64_t i) { return item(i, 99, 0.9); });
+  for (int threads : {1, 2, 7}) {
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      const auto got = adaptive_yield_run(
+          opts, threads, [](std::int64_t i) { return item(i, 99, 0.9); });
+      EXPECT_EQ(got.evaluated, ref.evaluated)
+          << "threads " << threads << " rerun " << rerun;
+      EXPECT_EQ(got.passed, ref.passed);
+      EXPECT_DOUBLE_EQ(got.yield, ref.yield);
+      EXPECT_DOUBLE_EQ(got.ci95, ref.ci95);
+    }
+  }
+}
+
+TEST(Parallel, AdaptiveRunStopsEarlyOnResolvedYield) {
+  // 90 % yield resolves to a 2 % half-width long before 10000 items.
+  EarlyStopOptions opts;
+  opts.max_items = 10000;
+  opts.ci_half_width = 0.02;
+  const auto r = adaptive_yield_run(
+      opts, 2, [](std::int64_t i) { return item(i, 7, 0.9); });
+  EXPECT_TRUE(r.stats.early_stopped);
+  EXPECT_LT(r.evaluated, opts.max_items);
+  EXPECT_EQ(r.stats.skipped, opts.max_items - r.evaluated);
+  EXPECT_LE(r.ci95, 0.02);
+  EXPECT_NEAR(r.yield, 0.9, 3.0 * 0.02);
+}
+
+TEST(Parallel, AdaptiveRunNeverEvaluatesPastTheCap) {
+  std::atomic<std::int64_t> max_index{-1};
+  std::atomic<std::int64_t> calls{0};
+  EarlyStopOptions opts;
+  opts.max_items = 500;
+  opts.min_items = 64;
+  opts.batch = 64;
+  opts.ci_half_width = 1e-9;  // unreachable: always runs to the cap
+  const auto r = adaptive_yield_run(opts, 7, [&](std::int64_t i) {
+    calls.fetch_add(1);
+    std::int64_t seen = max_index.load();
+    while (i > seen && !max_index.compare_exchange_weak(seen, i)) {
+    }
+    return item(i, 3, 0.5);
+  });
+  EXPECT_FALSE(r.stats.early_stopped);
+  EXPECT_EQ(r.evaluated, 500);
+  EXPECT_EQ(calls.load(), 500);
+  EXPECT_LT(max_index.load(), 500);
+}
+
+TEST(Parallel, AdaptiveRunRespectsMinItems) {
+  EarlyStopOptions opts;
+  opts.max_items = 4000;
+  opts.min_items = 512;
+  opts.batch = 128;
+  opts.ci_half_width = 0.5;  // trivially satisfied from the first batch
+  const auto r = adaptive_yield_run(
+      opts, 2, [](std::int64_t i) { return item(i, 5, 0.99); });
+  EXPECT_GE(r.evaluated, 512);
+}
+
+TEST(Parallel, AdaptiveRunDisabledToleranceRunsToCap) {
+  EarlyStopOptions opts;
+  opts.max_items = 300;
+  opts.ci_half_width = 0.0;
+  const auto r = adaptive_yield_run(
+      opts, 2, [](std::int64_t i) { return item(i, 11, 0.99); });
+  EXPECT_EQ(r.evaluated, 300);
+  EXPECT_FALSE(r.stats.early_stopped);
+}
+
+TEST(Parallel, RejectsBadArguments) {
+  EarlyStopOptions bad;
+  bad.max_items = 0;
+  EXPECT_THROW(adaptive_yield_run(bad, 1, [](std::int64_t) { return true; }),
+               std::invalid_argument);
+  bad = EarlyStopOptions{};
+  bad.batch = 0;
+  EXPECT_THROW(adaptive_yield_run(bad, 1, [](std::int64_t) { return true; }),
+               std::invalid_argument);
+  bad = EarlyStopOptions{};
+  bad.ci_half_width = -0.1;
+  EXPECT_THROW(adaptive_yield_run(bad, 1, [](std::int64_t) { return true; }),
+               std::invalid_argument);
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each(0, 10, [](std::int64_t) {}, /*chunk=*/0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csdac::mathx

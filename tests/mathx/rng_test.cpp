@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "mathx/stats.hpp"
 
@@ -69,6 +72,92 @@ TEST(Rng, JumpProducesDecorrelatedStream) {
     if (a() == b()) ++same;
   }
   EXPECT_LT(same, 2);
+}
+
+TEST(Rng, JumpSeparatedStreamsHaveDistinctPrefixes) {
+  // Consecutive jump()-derived streams from one seed must not share their
+  // output prefix with each other or with the parent stream.
+  constexpr int kPrefix = 256;
+  std::vector<std::vector<std::uint64_t>> prefixes;
+  Xoshiro256 parent(2024);
+  for (int s = 0; s < 8; ++s) {
+    Xoshiro256 snapshot = parent;  // stream s starts at the current state
+    std::vector<std::uint64_t> p(kPrefix);
+    for (auto& v : p) v = snapshot();
+    prefixes.push_back(std::move(p));
+    parent.jump();
+  }
+  for (std::size_t a = 0; a < prefixes.size(); ++a) {
+    for (std::size_t b = a + 1; b < prefixes.size(); ++b) {
+      int same = 0;
+      for (int i = 0; i < kPrefix; ++i) {
+        if (prefixes[a][i] == prefixes[b][i]) ++same;
+      }
+      EXPECT_LT(same, 2) << "streams " << a << " and " << b;
+    }
+  }
+}
+
+TEST(Rng, StreamRngDerivedStreamsHaveDistinctPrefixes) {
+  // (seed, index)-derived substreams — the parallel MC engine's per-item
+  // streams — must be pairwise distinct and distinct from the base stream.
+  constexpr int kPrefix = 256;
+  constexpr std::uint64_t kSeed = 77;
+  std::vector<std::vector<std::uint64_t>> prefixes;
+  {
+    Xoshiro256 base(kSeed);
+    std::vector<std::uint64_t> p(kPrefix);
+    for (auto& v : p) v = base();
+    prefixes.push_back(std::move(p));
+  }
+  for (std::uint64_t idx = 0; idx < 16; ++idx) {
+    Xoshiro256 s = stream_rng(kSeed, idx);
+    std::vector<std::uint64_t> p(kPrefix);
+    for (auto& v : p) v = s();
+    prefixes.push_back(std::move(p));
+  }
+  for (std::size_t a = 0; a < prefixes.size(); ++a) {
+    for (std::size_t b = a + 1; b < prefixes.size(); ++b) {
+      int same = 0;
+      for (int i = 0; i < kPrefix; ++i) {
+        if (prefixes[a][i] == prefixes[b][i]) ++same;
+      }
+      EXPECT_LT(same, 2) << "streams " << a << " and " << b;
+    }
+  }
+}
+
+TEST(Rng, StreamRngIsDeterministicPerIndex) {
+  Xoshiro256 a = stream_rng(123, 5), b = stream_rng(123, 5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, PooledStreamDrawsPassChiSquareUniformity) {
+  // Draws pooled across many (seed, index) substreams must still be
+  // uniform: 64-bin chi-square on uniform01 at fixed seeds. df = 63, so
+  // the statistic should sit near 63; 103.4 is the 99.9th percentile.
+  for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    constexpr int kBins = 64;
+    constexpr int kStreams = 64;
+    constexpr int kPerStream = 1000;
+    std::vector<int> counts(kBins, 0);
+    for (std::uint64_t s = 0; s < kStreams; ++s) {
+      Xoshiro256 rng = stream_rng(seed, s);
+      for (int i = 0; i < kPerStream; ++i) {
+        const auto bin = static_cast<std::size_t>(uniform01(rng) * kBins);
+        ++counts[std::min<std::size_t>(bin, kBins - 1)];
+      }
+    }
+    const double expected =
+        static_cast<double>(kStreams) * kPerStream / kBins;
+    double chi2 = 0.0;
+    for (int c : counts) {
+      const double d = c - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 103.4) << "seed " << seed;
+    EXPECT_GT(chi2, 20.0) << "seed " << seed;  // suspiciously uniform = broken
+  }
 }
 
 TEST(Rng, UniformIndexInRangeAndCoversAll) {
