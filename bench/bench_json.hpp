@@ -1,0 +1,129 @@
+// Minimal dependency-free JSON writer for the machine-readable bench
+// harness (tools/run_benches → BENCH_mc.json). Explicit begin/end calls,
+// insertion-ordered keys, no DOM: just enough to emit the csdac-bench/1
+// schema documented in EXPERIMENTS.md. Numbers are written with %.17g so a
+// round-trip through a double is lossless; non-finite doubles become null.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csdac::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[40];
+    if (v != v || v > 1.7e308 || v < -1.7e308) {
+      out_ += "null";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (first_.back()) {
+        first_.back() = false;
+      } else {
+        out_ += ',';
+      }
+    }
+  }
+
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace csdac::bench

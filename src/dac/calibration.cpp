@@ -12,11 +12,20 @@ namespace csdac::dac {
 SourceErrors calibrate(const core::DacSpec& spec, const SourceErrors& chip,
                        const CalibrationOptions& opts,
                        mathx::Xoshiro256& rng) {
+  SourceErrors out;
+  calibrate_into(spec, chip, opts, rng, out);
+  return out;
+}
+
+void calibrate_into(const core::DacSpec& spec, const SourceErrors& chip,
+                    const CalibrationOptions& opts, mathx::Xoshiro256& rng,
+                    SourceErrors& out) {
   if (!(opts.range_lsb > 0.0) || opts.bits < 1 || opts.bits > 20 ||
       !(opts.measure_noise_lsb >= 0.0)) {
     throw std::invalid_argument("calibrate: bad options");
   }
-  SourceErrors out = chip;
+  out.unary = chip.unary;
+  out.binary = chip.binary;
   const double nominal = spec.unary_weight();
   const double half_range = 0.5 * opts.range_lsb;
   const double step = opts.step_lsb();
@@ -33,14 +42,15 @@ SourceErrors calibrate(const core::DacSpec& spec, const SourceErrors& chip,
                     half_range);
     w += trim;
   }
-  return out;
 }
 
-CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
-                                     double sigma_unit,
-                                     const CalibrationOptions& opts,
-                                     int chips, std::uint64_t seed,
-                                     double inl_limit, int threads) {
+namespace {
+
+CalibratedYield run_calibration_mc(const core::DacSpec& spec,
+                                   double sigma_unit,
+                                   const CalibrationOptions& opts, int chips,
+                                   std::uint64_t seed, double inl_limit,
+                                   int threads, bool use_workspace) {
   if (chips <= 0) throw std::invalid_argument("calibration_yield_mc: chips");
   if (threads < 0) {
     throw std::invalid_argument("calibration_yield_mc: threads < 0");
@@ -48,26 +58,66 @@ CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
   CalibratedYield y;
   y.chips = chips;
   std::atomic<int> pass_before{0}, pass_after{0};
-  y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
-    const auto idx = static_cast<std::uint64_t>(c);
-    mathx::Xoshiro256 draw_rng = mathx::stream_rng(seed, 2 * idx);
-    mathx::Xoshiro256 cal_rng = mathx::stream_rng(seed, 2 * idx + 1);
-    const SourceErrors raw = draw_source_errors(spec, sigma_unit, draw_rng);
-    const StaticMetrics before =
-        analyze_transfer(SegmentedDac(spec, raw).transfer());
-    if (before.inl_max < inl_limit) {
-      pass_before.fetch_add(1, std::memory_order_relaxed);
-    }
-    const SourceErrors fixed = calibrate(spec, raw, opts, cal_rng);
-    const StaticMetrics after =
-        analyze_transfer(SegmentedDac(spec, fixed).transfer());
-    if (after.inl_max < inl_limit) {
-      pass_after.fetch_add(1, std::memory_order_relaxed);
-    }
-  });
+  if (use_workspace) {
+    y.stats = mathx::parallel_for_workspace(
+        chips, threads, [&spec] { return ChipWorkspace(spec); },
+        [&](ChipWorkspace& ws, std::int64_t c) {
+          const auto idx = static_cast<std::uint64_t>(c);
+          mathx::stream_rng_into(ws.rng, seed, 2 * idx);
+          draw_source_errors_into(spec, sigma_unit, ws.rng, ws.errors);
+          transfer_into(spec, ws.errors, ws);
+          if (analyze_levels_summary(ws.levels).inl_max < inl_limit) {
+            pass_before.fetch_add(1, std::memory_order_relaxed);
+          }
+          mathx::stream_rng_into(ws.rng, seed, 2 * idx + 1);
+          calibrate_into(spec, ws.errors, opts, ws.rng, ws.trimmed);
+          transfer_into(spec, ws.trimmed, ws);
+          if (analyze_levels_summary(ws.levels).inl_max < inl_limit) {
+            pass_after.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  } else {
+    y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
+      const auto idx = static_cast<std::uint64_t>(c);
+      mathx::Xoshiro256 draw_rng = mathx::stream_rng(seed, 2 * idx);
+      mathx::Xoshiro256 cal_rng = mathx::stream_rng(seed, 2 * idx + 1);
+      const SourceErrors raw = draw_source_errors(spec, sigma_unit, draw_rng);
+      const StaticMetrics before =
+          analyze_transfer(SegmentedDac(spec, raw).transfer());
+      if (before.inl_max < inl_limit) {
+        pass_before.fetch_add(1, std::memory_order_relaxed);
+      }
+      const SourceErrors fixed = calibrate(spec, raw, opts, cal_rng);
+      const StaticMetrics after =
+          analyze_transfer(SegmentedDac(spec, fixed).transfer());
+      if (after.inl_max < inl_limit) {
+        pass_after.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
   y.yield_before = static_cast<double>(pass_before.load()) / chips;
   y.yield_after = static_cast<double>(pass_after.load()) / chips;
   return y;
+}
+
+}  // namespace
+
+CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
+                                     double sigma_unit,
+                                     const CalibrationOptions& opts,
+                                     int chips, std::uint64_t seed,
+                                     double inl_limit, int threads) {
+  return run_calibration_mc(spec, sigma_unit, opts, chips, seed, inl_limit,
+                            threads, /*use_workspace=*/true);
+}
+
+CalibratedYield calibration_yield_mc_legacy(const core::DacSpec& spec,
+                                            double sigma_unit,
+                                            const CalibrationOptions& opts,
+                                            int chips, std::uint64_t seed,
+                                            double inl_limit, int threads) {
+  return run_calibration_mc(spec, sigma_unit, opts, chips, seed, inl_limit,
+                            threads, /*use_workspace=*/false);
 }
 
 CalibratedYield calibrated_inl_yield(const core::DacSpec& spec,

@@ -36,6 +36,12 @@ SourceErrors calibrate(const core::DacSpec& spec, const SourceErrors& chip,
                        const CalibrationOptions& opts,
                        mathx::Xoshiro256& rng);
 
+/// Allocation-free calibrate into a preallocated SourceErrors (capacity is
+/// kept across calls; `out` must not alias `chip`). Bit-identical trims.
+void calibrate_into(const core::DacSpec& spec, const SourceErrors& chip,
+                    const CalibrationOptions& opts, mathx::Xoshiro256& rng,
+                    SourceErrors& out);
+
 /// Monte-Carlo INL yield with calibration in the loop.
 struct CalibratedYield {
   double yield_before = 0.0;
@@ -54,6 +60,16 @@ CalibratedYield calibration_yield_mc(const core::DacSpec& spec,
                                      const CalibrationOptions& opts,
                                      int chips, std::uint64_t seed,
                                      double inl_limit = 0.5, int threads = 1);
+
+/// Reference implementation with the historical per-chip allocations;
+/// identical results to calibration_yield_mc. Kept for the equivalence
+/// tests and as the bench-harness baseline.
+CalibratedYield calibration_yield_mc_legacy(const core::DacSpec& spec,
+                                            double sigma_unit,
+                                            const CalibrationOptions& opts,
+                                            int chips, std::uint64_t seed,
+                                            double inl_limit = 0.5,
+                                            int threads = 1);
 
 /// Historical name; forwards to calibration_yield_mc.
 CalibratedYield calibrated_inl_yield(const core::DacSpec& spec,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/spec.hpp"
@@ -31,18 +32,53 @@ struct StaticMetrics {
 StaticMetrics analyze_transfer(const std::vector<double>& levels,
                                InlReference ref = InlReference::kBestFit);
 
+/// Maxima of an allocation-free analysis; the per-code vectors live in the
+/// workspace (ws.inl / ws.dnl).
+struct StaticSummary {
+  double inl_max = 0.0;  ///< max |INL| [LSB]
+  double dnl_max = 0.0;  ///< max |DNL| [LSB]
+};
+
+/// Allocation-free analyze_transfer: reads ws.levels, writes per-code INL
+/// into ws.inl and per-transition DNL into ws.dnl. Shares its arithmetic
+/// with analyze_transfer, so the results are bit-identical.
+StaticSummary analyze_transfer_into(ChipWorkspace& ws,
+                                    InlReference ref = InlReference::kBestFit);
+
+/// Maxima-only analysis of a raw levels span — the MC hot-path kernel. No
+/// per-code vectors are written and no per-code division is paid, yet the
+/// returned maxima are bit-identical to analyze_transfer's: IEEE division
+/// is correctly rounded and therefore monotone, so max|x_i / g| equals
+/// max|x_i| / |g|, and the extreme DNL is attained at the extreme level
+/// step. The equivalence tests pin this against the vector-writing paths.
+StaticSummary analyze_levels_summary(std::span<const double> levels,
+                                     InlReference ref = InlReference::kBestFit);
+
+/// One Monte-Carlo chip, allocation-free: re-seeds ws.rng to the
+/// (seed, chip) stream, draws the mismatch into ws.errors, computes the
+/// transfer into ws.levels and the INL/DNL maxima via
+/// analyze_levels_summary (ws.inl / ws.dnl are NOT written; call
+/// analyze_transfer_into for the per-code vectors). Bit-identical maxima
+/// to the allocating draw_source_errors → SegmentedDac → transfer →
+/// analyze_transfer chain for the same (seed, chip).
+StaticSummary mc_chip_metrics(ChipWorkspace& ws, double sigma_unit,
+                              std::uint64_t seed, std::int64_t chip,
+                              InlReference ref = InlReference::kBestFit);
+
 /// Monte-Carlo INL yield: fraction of chips with max|INL| < inl_limit.
 struct YieldEstimate {
   int chips = 0;  ///< chips actually evaluated
   int pass = 0;
   double yield = 0.0;
-  double ci95 = 0.0;  ///< 95 % binomial confidence half-width
+  double ci95 = 0.0;  ///< Wilson 95 % confidence half-width
   mathx::RunStats stats;  ///< engine observability (wall time, chips/s, ...)
 };
 
 /// Each chip draws from an independent RNG stream derived from
 /// (seed, chip index), so results are bit-identical for any thread count.
-/// threads = 0 uses the hardware concurrency.
+/// threads = 0 uses the hardware concurrency. Runs the allocation-free
+/// per-thread-workspace kernel (see ChipWorkspace); results are
+/// bit-identical to the *_legacy allocating reference implementations.
 YieldEstimate inl_yield_mc(const core::DacSpec& spec, double sigma_unit,
                            int chips, std::uint64_t seed,
                            double inl_limit = 0.5,
@@ -55,6 +91,21 @@ YieldEstimate dnl_yield_mc(const core::DacSpec& spec, double sigma_unit,
                            int chips, std::uint64_t seed,
                            double dnl_limit = 0.5, int threads = 1);
 
+/// Reference implementations that pay the historical per-chip heap
+/// allocations (draw, DAC construction, transfer, INL/DNL vectors). Kept
+/// for the equivalence test suite and as the baseline the bench harness
+/// measures the workspace speedup against. Identical results.
+YieldEstimate inl_yield_mc_legacy(const core::DacSpec& spec,
+                                  double sigma_unit, int chips,
+                                  std::uint64_t seed, double inl_limit = 0.5,
+                                  InlReference ref = InlReference::kBestFit,
+                                  int threads = 1);
+
+YieldEstimate dnl_yield_mc_legacy(const core::DacSpec& spec,
+                                  double sigma_unit, int chips,
+                                  std::uint64_t seed, double dnl_limit = 0.5,
+                                  int threads = 1);
+
 /// Knobs for the adaptive yield estimators: evaluate chips in
 /// thread-count-independent batches and stop once the Wilson 95 % CI
 /// half-width falls below `ci_half_width` (never past `max_chips`).
@@ -64,6 +115,9 @@ struct AdaptiveMcOptions {
   int batch = 128;             ///< CI checked every `batch` chips
   double ci_half_width = 0.01; ///< stop tolerance; 0 disables early stop
   int threads = 1;             ///< 0 = hardware concurrency
+  /// Fill YieldEstimate::stats.alloc_bytes/alloc_count via the opt-in
+  /// allocation-counting hook (mathx/alloc_counter.hpp).
+  bool count_allocs = false;
 };
 
 /// Adaptive-early-stopping versions of the yield estimators. The stopping

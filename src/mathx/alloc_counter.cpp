@@ -1,0 +1,125 @@
+#include "mathx/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace csdac::mathx {
+namespace {
+
+// Namespace-scope atomics are zero-initialized before any dynamic
+// initialization, so the replaced operator new is safe to call from static
+// initializers of other translation units.
+std::atomic<int> g_active{0};
+std::atomic<std::int64_t> g_bytes{0};
+std::atomic<std::int64_t> g_count{0};
+
+inline void record(std::size_t size) {
+  if (g_active.load(std::memory_order_relaxed) > 0) {
+    g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                      std::memory_order_relaxed);
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (!p) throw std::bad_alloc();
+  record(size);
+  return p;
+}
+
+void* checked_aligned(std::size_t size, std::size_t align) {
+  // posix_memalign requires align to be a power-of-two multiple of
+  // sizeof(void*); extended-alignment requests always satisfy this.
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : 1) != 0) throw std::bad_alloc();
+  record(size);
+  return p;
+}
+
+}  // namespace
+
+ScopedAllocCounting::ScopedAllocCounting() {
+  g_active.fetch_add(1);
+  start_ = alloc_counted_total();
+}
+
+ScopedAllocCounting::~ScopedAllocCounting() { g_active.fetch_sub(1); }
+
+AllocCounts ScopedAllocCounting::so_far() const {
+  const AllocCounts now = alloc_counted_total();
+  return {now.bytes - start_.bytes, now.count - start_.count};
+}
+
+AllocCounts alloc_counted_total() {
+  return {g_bytes.load(std::memory_order_relaxed),
+          g_count.load(std::memory_order_relaxed)};
+}
+
+bool alloc_counting_active() {
+  return g_active.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace csdac::mathx
+
+// ---- Global operator new/delete replacements (the counting hook) ----
+
+void* operator new(std::size_t size) { return csdac::mathx::checked_malloc(size); }
+void* operator new[](std::size_t size) { return csdac::mathx::checked_malloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return csdac::mathx::checked_malloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return csdac::mathx::checked_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return csdac::mathx::checked_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return csdac::mathx::checked_aligned(size,
+                                         static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t& nt) noexcept {
+  return operator new(size, align, nt);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,43 @@
+// Opt-in process-wide allocation counting — the hook behind the engine's
+// "bytes allocated in steady state" perf counter. Linking csdac_mathx
+// replaces global operator new/delete with a pass-through that, only while
+// at least one ScopedAllocCounting is alive, adds every allocation to a
+// global counter. When idle the hook costs one relaxed atomic load per
+// allocation. Frees are not tracked: the intended use is measuring the
+// allocation RATE of a region (e.g. bytes per Monte-Carlo chip), where the
+// workspace path must read ~0 and the legacy allocating path does not.
+#pragma once
+
+#include <cstdint>
+
+namespace csdac::mathx {
+
+/// Totals recorded by the counting hook.
+struct AllocCounts {
+  std::int64_t bytes = 0;  ///< bytes requested from operator new
+  std::int64_t count = 0;  ///< number of allocations
+};
+
+/// RAII opt-in: counting is active while at least one instance is alive
+/// (scopes nest). Counts allocations from ALL threads of the process.
+class ScopedAllocCounting {
+ public:
+  ScopedAllocCounting();
+  ~ScopedAllocCounting();
+  ScopedAllocCounting(const ScopedAllocCounting&) = delete;
+  ScopedAllocCounting& operator=(const ScopedAllocCounting&) = delete;
+
+  /// Allocations counted since this scope was opened.
+  AllocCounts so_far() const;
+
+ private:
+  AllocCounts start_;
+};
+
+/// Grand totals counted so far (monotone; grows only while a scope is open).
+AllocCounts alloc_counted_total();
+
+/// True while at least one ScopedAllocCounting is alive.
+bool alloc_counting_active();
+
+}  // namespace csdac::mathx

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mathx/alloc_counter.hpp"
+
 namespace csdac::mathx {
 
 int resolve_threads(int threads) {
@@ -18,7 +20,7 @@ ThreadPool::ThreadPool(int threads) {
   const int n = resolve_threads(threads);
   workers_.reserve(static_cast<std::size_t>(n - 1));
   for (int t = 0; t + 1 < n; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t + 1); });
   }
 }
 
@@ -31,7 +33,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -40,7 +42,7 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen = generation_;
     }
-    work();
+    work(worker);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --busy_;
@@ -49,22 +51,30 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::work() {
+void ThreadPool::work(int worker) {
   for (;;) {
     const std::int64_t lo = next_.fetch_add(chunk_);
     if (lo >= end_) return;
     const std::int64_t hi = std::min(lo + chunk_, end_);
-    for (std::int64_t i = lo; i < hi; ++i) (*fn_)(i);
+    for (std::int64_t i = lo; i < hi; ++i) (*fn_)(worker, i);
   }
 }
 
 void ThreadPool::for_each(std::int64_t begin, std::int64_t end,
                           const std::function<void(std::int64_t)>& fn,
                           std::int64_t chunk) {
+  const std::function<void(int, std::int64_t)> wrapped =
+      [&fn](int, std::int64_t i) { fn(i); };
+  for_each_indexed(begin, end, wrapped, chunk);
+}
+
+void ThreadPool::for_each_indexed(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(int, std::int64_t)>& fn, std::int64_t chunk) {
   if (begin >= end) return;
   if (chunk < 1) throw std::invalid_argument("ThreadPool: chunk < 1");
   if (workers_.empty()) {
-    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    for (std::int64_t i = begin; i < end; ++i) fn(0, i);
     return;
   }
   {
@@ -77,27 +87,74 @@ void ThreadPool::for_each(std::int64_t begin, std::int64_t end,
     ++generation_;
   }
   cv_start_.notify_all();
-  work();  // the calling thread is a worker too
+  work(0);  // the calling thread is worker 0
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return busy_ == 0; });
   fn_ = nullptr;
 }
 
+namespace {
+
+void finish_stats(RunStats& s, std::chrono::steady_clock::time_point t0) {
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  s.items_per_second = s.wall_seconds > 0.0
+                           ? static_cast<double>(s.evaluated) / s.wall_seconds
+                           : 0.0;
+}
+
+void fill_utilization(RunStats& s) {
+  std::int64_t max_items = 0;
+  for (const std::int64_t c : s.per_thread_items) {
+    max_items = std::max(max_items, c);
+  }
+  if (max_items > 0 && !s.per_thread_items.empty()) {
+    const double mean = static_cast<double>(s.evaluated) /
+                        static_cast<double>(s.per_thread_items.size());
+    s.utilization = mean / static_cast<double>(max_items);
+  }
+}
+
+}  // namespace
+
 RunStats parallel_for(std::int64_t n, int threads,
                       const std::function<void(std::int64_t)>& fn,
                       std::int64_t chunk) {
   const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool pool(std::min<std::int64_t>(resolve_threads(threads),
-                                         std::max<std::int64_t>(n, 1)));
+  ThreadPool pool(clamp_threads_to_items(threads, n));
   pool.for_each(0, n, fn, chunk);
   RunStats s;
   s.evaluated = n;
   s.threads = pool.threads();
-  s.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  s.items_per_second =
-      s.wall_seconds > 0.0 ? static_cast<double>(n) / s.wall_seconds : 0.0;
+  finish_stats(s, t0);
+  return s;
+}
+
+RunStats parallel_for_indexed(std::int64_t n, int threads,
+                              const std::function<void(int, std::int64_t)>& fn,
+                              std::int64_t chunk, bool count_allocs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ThreadPool pool(clamp_threads_to_items(threads, n));
+  RunStats s;
+  s.threads = pool.threads();
+  s.per_thread_items.assign(static_cast<std::size_t>(pool.threads()), 0);
+  const std::function<void(int, std::int64_t)> counted =
+      [&](int worker, std::int64_t i) {
+        ++s.per_thread_items[static_cast<std::size_t>(worker)];
+        fn(worker, i);
+      };
+  std::optional<ScopedAllocCounting> counting;
+  if (count_allocs) counting.emplace();
+  pool.for_each_indexed(0, n, counted, chunk);
+  if (counting) {
+    const AllocCounts c = counting->so_far();
+    s.alloc_bytes = c.bytes;
+    s.alloc_count = c.count;
+  }
+  s.evaluated = n;
+  fill_utilization(s);
+  finish_stats(s, t0);
   return s;
 }
 
@@ -113,21 +170,39 @@ double wilson_half_width(std::int64_t pass, std::int64_t n, double z) {
 YieldRun adaptive_yield_run(
     const EarlyStopOptions& opts, int threads,
     const std::function<bool(std::int64_t)>& item_passes) {
+  const std::function<bool(int, std::int64_t)> wrapped =
+      [&item_passes](int, std::int64_t i) { return item_passes(i); };
+  return adaptive_yield_run_indexed(opts, threads, wrapped);
+}
+
+YieldRun adaptive_yield_run_indexed(
+    const EarlyStopOptions& opts, int threads,
+    const std::function<bool(int, std::int64_t)>& item_passes,
+    bool count_allocs) {
   if (opts.max_items < 1 || opts.batch < 1 || opts.min_items < 1 ||
       opts.ci_half_width < 0.0) {
     throw std::invalid_argument("adaptive_yield_run: bad options");
   }
   const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool pool(std::min<std::int64_t>(resolve_threads(threads),
-                                         opts.max_items));
+  ThreadPool pool(clamp_threads_to_items(threads, opts.max_items));
   YieldRun r;
+  r.stats.threads = pool.threads();
+  r.stats.per_thread_items.assign(static_cast<std::size_t>(pool.threads()),
+                                  0);
   std::atomic<std::int64_t> passed{0};
+  const std::function<void(int, std::int64_t)> counted =
+      [&](int worker, std::int64_t i) {
+        ++r.stats.per_thread_items[static_cast<std::size_t>(worker)];
+        if (item_passes(worker, i)) {
+          passed.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+  std::optional<ScopedAllocCounting> counting;
+  if (count_allocs) counting.emplace();
   while (r.evaluated < opts.max_items) {
     const std::int64_t batch =
         std::min(opts.batch, opts.max_items - r.evaluated);
-    pool.for_each(r.evaluated, r.evaluated + batch, [&](std::int64_t i) {
-      if (item_passes(i)) passed.fetch_add(1, std::memory_order_relaxed);
-    });
+    pool.for_each_indexed(r.evaluated, r.evaluated + batch, counted);
     r.evaluated += batch;
     r.passed = passed.load();
     if (opts.ci_half_width > 0.0 && r.evaluated >= opts.min_items &&
@@ -136,18 +211,17 @@ YieldRun adaptive_yield_run(
       break;
     }
   }
+  if (counting) {
+    const AllocCounts c = counting->so_far();
+    r.stats.alloc_bytes = c.bytes;
+    r.stats.alloc_count = c.count;
+  }
   r.yield = static_cast<double>(r.passed) / static_cast<double>(r.evaluated);
   r.ci95 = wilson_half_width(r.passed, r.evaluated);
   r.stats.evaluated = r.evaluated;
   r.stats.skipped = opts.max_items - r.evaluated;
-  r.stats.threads = pool.threads();
-  r.stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  r.stats.items_per_second =
-      r.stats.wall_seconds > 0.0
-          ? static_cast<double>(r.evaluated) / r.stats.wall_seconds
-          : 0.0;
+  fill_utilization(r.stats);
+  finish_stats(r.stats, t0);
   return r;
 }
 

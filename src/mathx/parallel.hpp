@@ -6,6 +6,14 @@
 // pure function of its index, typically via a `stream_rng(seed, index)`
 // substream — and (b) yield loops stop burning chips once the binomial
 // confidence interval has resolved the answer.
+//
+// The *_workspace variants add an allocation-free hot path: a per-worker
+// workspace (preallocated buffers) is built once by a caller-supplied
+// factory and reused across every item that worker claims. Because items
+// remain pure functions of their index, the workspace path is bit-identical
+// to the plain one. RunStats carries the perf counters: items/s, per-worker
+// item counts (utilization), and — opt-in, via the alloc_counter hook —
+// bytes allocated during the run.
 #pragma once
 
 #include <atomic>
@@ -13,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -23,6 +32,14 @@ namespace csdac::mathx {
 /// caller's error to reject (the historical yield_mc API throws).
 int resolve_threads(int threads);
 
+/// Worker count the engine will actually use for an n-item job: never more
+/// workers than items.
+inline int clamp_threads_to_items(int threads, std::int64_t n) {
+  const std::int64_t t = resolve_threads(threads);
+  const std::int64_t cap = n > 1 ? n : 1;
+  return static_cast<int>(t < cap ? t : cap);
+}
+
 /// Observability record returned by every engine run.
 struct RunStats {
   std::int64_t evaluated = 0;  ///< items actually run
@@ -31,14 +48,26 @@ struct RunStats {
   bool early_stopped = false;  ///< estimator stopped before the cap
   double wall_seconds = 0.0;
   double items_per_second = 0.0;  ///< evaluated / wall_seconds
+  /// Items run by each worker (index 0 = the calling thread). Filled by the
+  /// indexed/workspace engine entry points; empty otherwise.
+  std::vector<std::int64_t> per_thread_items;
+  /// Load balance: mean(per_thread_items) / max(per_thread_items), 1 =
+  /// perfectly balanced. 1.0 when per-thread counts were not tracked.
+  double utilization = 1.0;
+  /// Allocation counters for the run (see mathx/alloc_counter.hpp),
+  /// -1 when counting was not requested. Includes one-time setup such as
+  /// per-worker workspace construction; measure two run lengths and diff
+  /// to isolate the steady-state rate.
+  std::int64_t alloc_bytes = -1;
+  std::int64_t alloc_count = -1;
 };
 
-/// Persistent pool of `threads - 1` workers; the calling thread is the
-/// last worker, so `ThreadPool(1)` spawns nothing and runs inline.
-/// `for_each` dispatches fn(i) over [begin, end) with chunked index
-/// claiming. The ASSIGNMENT of indices to threads is racy by design; a
-/// deterministic overall result only requires fn(i) to depend on nothing
-/// but i (write to slot i, derive randomness from (seed, i)).
+/// Persistent pool of `threads - 1` workers; the calling thread is worker 0,
+/// so `ThreadPool(1)` spawns nothing and runs inline. `for_each` dispatches
+/// fn(i) over [begin, end) with chunked index claiming. The ASSIGNMENT of
+/// indices to threads is racy by design; a deterministic overall result only
+/// requires fn(i) to depend on nothing but i (write to slot i, derive
+/// randomness from (seed, i)).
 class ThreadPool {
  public:
   explicit ThreadPool(int threads = 0);
@@ -56,9 +85,17 @@ class ThreadPool {
                 const std::function<void(std::int64_t)>& fn,
                 std::int64_t chunk = 1);
 
+  /// Same, but fn also receives the claiming worker's id in [0, threads()):
+  /// 0 is the calling thread, 1.. are the pool workers. The id is what lets
+  /// a caller attach per-worker state (a Monte-Carlo workspace) that is
+  /// reused across every index the worker claims.
+  void for_each_indexed(std::int64_t begin, std::int64_t end,
+                        const std::function<void(int, std::int64_t)>& fn,
+                        std::int64_t chunk = 1);
+
  private:
-  void worker_loop();
-  void work();  ///< claim and run chunks of the current job
+  void worker_loop(int worker);
+  void work(int worker);  ///< claim and run chunks of the current job
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -72,13 +109,44 @@ class ThreadPool {
   std::atomic<std::int64_t> next_{0};
   std::int64_t end_ = 0;
   std::int64_t chunk_ = 1;
-  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  const std::function<void(int, std::int64_t)>* fn_ = nullptr;
 };
 
 /// One-shot parallel loop: fn(i) for i in [0, n). Returns the run record.
 RunStats parallel_for(std::int64_t n, int threads,
                       const std::function<void(std::int64_t)>& fn,
                       std::int64_t chunk = 1);
+
+/// Worker-indexed one-shot loop: fn(worker, i). Tracks per-worker item
+/// counts (RunStats::per_thread_items / utilization); when `count_allocs`,
+/// also reports the bytes allocated during the loop via the opt-in
+/// alloc_counter hook.
+RunStats parallel_for_indexed(std::int64_t n, int threads,
+                              const std::function<void(int, std::int64_t)>& fn,
+                              std::int64_t chunk = 1,
+                              bool count_allocs = false);
+
+/// Workspace-factory loop: each worker lazily builds one workspace with
+/// make_ws() (called at most once per worker, concurrently — the factory
+/// must be thread-safe) and reuses it for every item it claims:
+/// fn(workspace&, i). With a factory that preallocates all scratch, the
+/// steady state allocates nothing. Bit-identical to the plain loop as long
+/// as fn's RESULT depends only on i (scratch contents may differ).
+template <typename MakeWs, typename Fn>
+RunStats parallel_for_workspace(std::int64_t n, int threads, MakeWs&& make_ws,
+                                Fn&& fn, std::int64_t chunk = 1,
+                                bool count_allocs = false) {
+  using Ws = decltype(make_ws());
+  const int nthreads = clamp_threads_to_items(threads, n);
+  std::vector<std::optional<Ws>> ws(static_cast<std::size_t>(nthreads));
+  const std::function<void(int, std::int64_t)> wrapped =
+      [&](int worker, std::int64_t i) {
+        auto& slot = ws[static_cast<std::size_t>(worker)];
+        if (!slot) slot.emplace(make_ws());
+        fn(*slot, i);
+      };
+  return parallel_for_indexed(n, nthreads, wrapped, chunk, count_allocs);
+}
 
 /// Parallel map into a pre-sized vector: out[i] = fn(i). The output order
 /// is by index, so the result is thread-count independent for pure fn.
@@ -129,5 +197,32 @@ struct YieldRun {
 /// batch runs on the pool. item_passes must be pure in i.
 YieldRun adaptive_yield_run(const EarlyStopOptions& opts, int threads,
                             const std::function<bool(std::int64_t)>& item_passes);
+
+/// Worker-indexed adaptive run: item_passes(worker, i). Same stopping
+/// behavior; additionally tracks per-worker counts and optional allocation
+/// counters in the returned stats.
+YieldRun adaptive_yield_run_indexed(
+    const EarlyStopOptions& opts, int threads,
+    const std::function<bool(int, std::int64_t)>& item_passes,
+    bool count_allocs = false);
+
+/// Workspace-factory adaptive run: per-worker workspaces as in
+/// parallel_for_workspace, with the adaptive stopping rule. The workspace
+/// persists across batches, so the steady state stays allocation-free.
+template <typename MakeWs, typename Fn>
+YieldRun adaptive_yield_run_workspace(const EarlyStopOptions& opts,
+                                      int threads, MakeWs&& make_ws, Fn&& fn,
+                                      bool count_allocs = false) {
+  using Ws = decltype(make_ws());
+  const int nthreads = clamp_threads_to_items(threads, opts.max_items);
+  std::vector<std::optional<Ws>> ws(static_cast<std::size_t>(nthreads));
+  const std::function<bool(int, std::int64_t)> wrapped =
+      [&](int worker, std::int64_t i) {
+        auto& slot = ws[static_cast<std::size_t>(worker)];
+        if (!slot) slot.emplace(make_ws());
+        return fn(*slot, i);
+      };
+  return adaptive_yield_run_indexed(opts, nthreads, wrapped, count_allocs);
+}
 
 }  // namespace csdac::mathx

@@ -18,7 +18,9 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Xoshiro256::Xoshiro256(std::uint64_t seed) {
+Xoshiro256::Xoshiro256(std::uint64_t seed) { this->seed(seed); }
+
+void Xoshiro256::seed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
@@ -93,6 +95,11 @@ std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
 
 Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index) {
   return Xoshiro256(seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+}
+
+void stream_rng_into(Xoshiro256& rng, std::uint64_t seed,
+                     std::uint64_t index) {
+  rng.seed(seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
 }
 
 }  // namespace csdac::mathx

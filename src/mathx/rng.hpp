@@ -15,6 +15,11 @@ class Xoshiro256 {
 
   explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+  /// Re-seeds in place (same state as constructing with `seed`). Lets a
+  /// long-lived generator — e.g. one living in a per-thread Monte-Carlo
+  /// workspace — be re-pointed at a new stream without a new object.
+  void seed(std::uint64_t seed);
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }
 
@@ -50,5 +55,11 @@ std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n);
 /// (per-chip mismatch draws, annealing restarts, ...) uses it so results
 /// are bit-identical for any thread count.
 Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index);
+
+/// In-place stream_rng: re-seeds `rng` to the (seed, index) substream.
+/// Bit-identical to `rng = stream_rng(seed, index)`; the form the
+/// allocation-free workspace kernels use to reuse one generator per thread.
+void stream_rng_into(Xoshiro256& rng, std::uint64_t seed,
+                     std::uint64_t index);
 
 }  // namespace csdac::mathx

@@ -108,6 +108,40 @@ TEST(Calibration, YieldMcBitIdenticalForThreads127AndReruns) {
                std::invalid_argument);
 }
 
+TEST(Calibration, WorkspaceKernelBitIdenticalToLegacyAcrossThreads) {
+  // The workspace MC kernel reuses ONE generator for both per-chip streams
+  // (mismatch draw, then calibration noise); re-seeding via stream_rng_into
+  // must make that indistinguishable from the legacy two-generator chain.
+  const auto spec = spec12();
+  const double sigma = 4.0 * core::unit_sigma_spec(spec.nbits, 0.997);
+  CalibrationOptions opts;
+  opts.measure_noise_lsb = 0.05;  // exercise the second RNG stream too
+  for (int threads : {1, 2, 7}) {
+    const auto ws =
+        calibration_yield_mc(spec, sigma, opts, 120, 77, 0.5, threads);
+    const auto legacy =
+        calibration_yield_mc_legacy(spec, sigma, opts, 120, 77, 0.5, threads);
+    EXPECT_DOUBLE_EQ(ws.yield_before, legacy.yield_before)
+        << "threads " << threads;
+    EXPECT_DOUBLE_EQ(ws.yield_after, legacy.yield_after)
+        << "threads " << threads;
+  }
+}
+
+TEST(Calibration, CalibrateIntoMatchesCalibrate) {
+  const auto spec = spec12();
+  mathx::Xoshiro256 draw_rng(44);
+  const auto raw = draw_source_errors(spec, 0.01, draw_rng);
+  CalibrationOptions opts;
+  opts.measure_noise_lsb = 0.1;
+  mathx::Xoshiro256 a(7), b(7);
+  const auto expected = calibrate(spec, raw, opts, a);
+  SourceErrors out;
+  calibrate_into(spec, raw, opts, b, out);
+  EXPECT_EQ(out.unary, expected.unary);
+  EXPECT_EQ(out.binary, expected.binary);
+}
+
 TEST(Calibration, LegacyNameForwardsToEngine) {
   const auto spec = spec12();
   const double sigma = 3.0 * core::unit_sigma_spec(spec.nbits, 0.997);

@@ -14,6 +14,7 @@
 namespace csdac::dac {
 namespace {
 
+#include "golden_static_12bit.inc"
 #include "golden_static_8bit.inc"
 
 constexpr double kTol = 1e-12;
@@ -55,6 +56,111 @@ TEST(GoldenStatic, EndpointInlMatchesGolden) {
     EXPECT_NEAR(m.inl[i], kGoldenInlEndpoint[i], kTol) << "code " << i;
   }
   EXPECT_NEAR(m.inl_max, kGoldenInlMaxEndpoint, kTol);
+}
+
+// ---- 12-bit golden: the paper's design point, strided vectors ----------
+
+std::vector<double> golden12_transfer() {
+  const core::DacSpec spec;  // 12 bit, b = 4
+  mathx::Xoshiro256 rng = mathx::stream_rng(1212, 0);
+  return SegmentedDac(spec, draw_source_errors(spec, 0.0026, rng)).transfer();
+}
+
+TEST(GoldenStatic12Bit, TransferMatchesCheckedInLevels) {
+  const auto levels = golden12_transfer();
+  ASSERT_EQ(levels.size(), kGolden12Stride * std::size(kGolden12Levels));
+  for (std::size_t i = 0; i < std::size(kGolden12Levels); ++i) {
+    EXPECT_NEAR(levels[i * kGolden12Stride], kGolden12Levels[i], kTol)
+        << "code " << i * kGolden12Stride;
+  }
+}
+
+TEST(GoldenStatic12Bit, BestFitInlDnlMatchGolden) {
+  const auto m = analyze_transfer(golden12_transfer(),
+                                  InlReference::kBestFit);
+  for (std::size_t i = 0; i < std::size(kGolden12InlBestFit); ++i) {
+    EXPECT_NEAR(m.inl[i * kGolden12Stride], kGolden12InlBestFit[i], kTol)
+        << "code " << i * kGolden12Stride;
+  }
+  for (std::size_t i = 0; i < std::size(kGolden12DnlBestFit); ++i) {
+    EXPECT_NEAR(m.dnl[i * kGolden12Stride], kGolden12DnlBestFit[i], kTol)
+        << "transition " << i * kGolden12Stride;
+  }
+  EXPECT_NEAR(m.inl_max, kGolden12InlMaxBestFit, kTol);
+  EXPECT_NEAR(m.dnl_max, kGolden12DnlMaxBestFit, kTol);
+}
+
+TEST(GoldenStatic12Bit, EndpointInlMatchesGolden) {
+  const auto m = analyze_transfer(golden12_transfer(),
+                                  InlReference::kEndpoint);
+  for (std::size_t i = 0; i < std::size(kGolden12InlEndpoint); ++i) {
+    EXPECT_NEAR(m.inl[i * kGolden12Stride], kGolden12InlEndpoint[i], kTol)
+        << "code " << i * kGolden12Stride;
+  }
+  EXPECT_NEAR(m.inl_max, kGolden12InlMaxEndpoint, kTol);
+  EXPECT_NEAR(m.dnl_max, kGolden12DnlMaxEndpoint, kTol);
+}
+
+// ---- Workspace path: EXACT equality with the allocating chain ----------
+// The golden files absorb ulp drift with a tolerance; the workspace path
+// has no such allowance — it must be bit-identical to the legacy chain by
+// construction (shared code_level / analyze_core, monotone-division
+// summary). These tests pin that with EXPECT_EQ on doubles.
+
+TEST(GoldenStatic12Bit, WorkspaceTransferBitIdentical) {
+  const core::DacSpec spec;
+  ChipWorkspace ws(spec);
+  mathx::stream_rng_into(ws.rng, 1212, 0);
+  draw_source_errors_into(spec, 0.0026, ws.rng, ws.errors);
+  transfer_into(spec, ws.errors, ws);
+
+  const auto legacy = golden12_transfer();
+  ASSERT_EQ(ws.levels.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(ws.levels[i], legacy[i]) << "code " << i;
+  }
+}
+
+TEST(GoldenStatic12Bit, WorkspaceAnalysisBitIdentical) {
+  const core::DacSpec spec;
+  ChipWorkspace ws(spec);
+  for (std::int64_t chip = 0; chip < 4; ++chip) {
+    mathx::stream_rng_into(ws.rng, 1212, static_cast<std::uint64_t>(chip));
+    draw_source_errors_into(spec, 0.0026, ws.rng, ws.errors);
+    transfer_into(spec, ws.errors, ws);
+
+    for (const auto ref : {InlReference::kBestFit, InlReference::kEndpoint}) {
+      const StaticSummary into = analyze_transfer_into(ws, ref);
+      const StaticSummary summary = analyze_levels_summary(ws.levels, ref);
+      const StaticMetrics legacy = analyze_transfer(ws.levels, ref);
+      EXPECT_EQ(into.inl_max, legacy.inl_max) << "chip " << chip;
+      EXPECT_EQ(into.dnl_max, legacy.dnl_max) << "chip " << chip;
+      EXPECT_EQ(summary.inl_max, legacy.inl_max) << "chip " << chip;
+      EXPECT_EQ(summary.dnl_max, legacy.dnl_max) << "chip " << chip;
+      for (std::size_t i = 0; i < legacy.inl.size(); ++i) {
+        ASSERT_EQ(ws.inl[i], legacy.inl[i]) << "chip " << chip << " code "
+                                            << i;
+      }
+      for (std::size_t i = 0; i < legacy.dnl.size(); ++i) {
+        ASSERT_EQ(ws.dnl[i], legacy.dnl[i]) << "chip " << chip
+                                            << " transition " << i;
+      }
+    }
+  }
+}
+
+TEST(GoldenStatic12Bit, McChipMetricsMatchesLegacyChain) {
+  const core::DacSpec spec;
+  ChipWorkspace ws(spec);
+  for (std::int64_t chip = 0; chip < 8; ++chip) {
+    const StaticSummary s = mc_chip_metrics(ws, 0.0026, 1212, chip);
+    mathx::Xoshiro256 rng =
+        mathx::stream_rng(1212, static_cast<std::uint64_t>(chip));
+    const SegmentedDac legacy(spec, draw_source_errors(spec, 0.0026, rng));
+    const StaticMetrics m = analyze_transfer(legacy.transfer());
+    EXPECT_EQ(s.inl_max, m.inl_max) << "chip " << chip;
+    EXPECT_EQ(s.dnl_max, m.dnl_max) << "chip " << chip;
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/accuracy.hpp"
+#include "mathx/rng.hpp"
 
 namespace csdac::dac {
 namespace {
@@ -209,6 +210,147 @@ TEST(StaticAnalysis, YieldEstimateBookkeeping) {
   EXPECT_EQ(y.pass, 50);  // essentially no mismatch: all pass
   EXPECT_DOUBLE_EQ(y.yield, 1.0);
   EXPECT_THROW(inl_yield_mc(spec, 0.001, 0, 7), std::invalid_argument);
+}
+
+// ---- Property-based analyzer tests -------------------------------------
+
+TEST(StaticAnalysisProperty, RandomLinearRampsHaveZeroInlDnl) {
+  // Any exactly linear transfer level = a*code + b must analyze to ~0
+  // INL and DNL for BOTH reference lines, for random gains, offsets, and
+  // lengths. This is the defining property of the metrics.
+  mathx::Xoshiro256 rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng() % 1000);
+    const double a = 0.25 + 4.0 * mathx::uniform01(rng);   // gain in [0.25, 4.25)
+    const double b = 20.0 * (mathx::uniform01(rng) - 0.5); // offset in [-10, 10)
+    std::vector<double> levels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      levels[i] = a * static_cast<double>(i) + b;
+    }
+    for (auto ref : {InlReference::kEndpoint, InlReference::kBestFit}) {
+      const auto m = analyze_transfer(levels, ref);
+      EXPECT_LT(m.inl_max, 1e-9) << "trial " << trial << " n " << n;
+      EXPECT_LT(m.dnl_max, 1e-9) << "trial " << trial << " n " << n;
+      const auto s = analyze_levels_summary(levels, ref);
+      EXPECT_EQ(s.inl_max, m.inl_max) << "trial " << trial;
+      EXPECT_EQ(s.dnl_max, m.dnl_max) << "trial " << trial;
+    }
+  }
+}
+
+TEST(StaticAnalysisProperty, BestFitInlInvariantToOffsetAndGain) {
+  // INL is measured in LSB of the fitted line, so rescaling the transfer
+  // (gain) or shifting it (offset) must leave the best-fit INL unchanged.
+  mathx::Xoshiro256 rng(654);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 64;
+    std::vector<double> levels(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Random monotone transfer: positive random steps around 1 LSB.
+      acc += 0.5 + mathx::uniform01(rng);
+      levels[i] = acc;
+    }
+    const auto base = analyze_transfer(levels, InlReference::kBestFit);
+    const double gain = 0.1 + 5.0 * mathx::uniform01(rng);
+    const double offset = 100.0 * (mathx::uniform01(rng) - 0.5);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = gain * levels[i] + offset;
+    }
+    const auto m = analyze_transfer(scaled, InlReference::kBestFit);
+    EXPECT_NEAR(m.inl_max, base.inl_max, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(m.dnl_max, base.dnl_max, 1e-9) << "trial " << trial;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(m.inl[i], base.inl[i], 1e-9)
+          << "trial " << trial << " code " << i;
+    }
+  }
+}
+
+TEST(StaticAnalysisProperty, SummaryMatchesFullAnalysisOnRandomTransfers) {
+  // The maxima-only kernel must agree bitwise with the vector-writing
+  // analysis on arbitrary (even non-monotone) transfers.
+  mathx::Xoshiro256 rng(987);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng() % 500);
+    std::vector<double> levels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      levels[i] = static_cast<double>(i) + 2.0 * (mathx::uniform01(rng) - 0.5);
+    }
+    for (auto ref : {InlReference::kEndpoint, InlReference::kBestFit}) {
+      const auto m = analyze_transfer(levels, ref);
+      const auto s = analyze_levels_summary(levels, ref);
+      EXPECT_EQ(s.inl_max, m.inl_max) << "trial " << trial << " n " << n;
+      EXPECT_EQ(s.dnl_max, m.dnl_max) << "trial " << trial << " n " << n;
+    }
+  }
+}
+
+// ---- Wilson confidence interval edge cases -----------------------------
+
+TEST(StaticAnalysis, Ci95IsWilsonAtYieldOne) {
+  // The old naive binomial half-width collapsed to exactly 0 at yield 1,
+  // claiming infinite confidence from finite chips. Wilson stays positive.
+  core::DacSpec spec;
+  spec.nbits = 6;
+  spec.binary_bits = 2;
+  const auto y = inl_yield_mc(spec, 1e-9, 80, 5);
+  ASSERT_DOUBLE_EQ(y.yield, 1.0);
+  EXPECT_GT(y.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(y.ci95, mathx::wilson_half_width(80, 80));
+}
+
+TEST(StaticAnalysis, Ci95IsWilsonAtYieldZero) {
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  // Enormous mismatch: every chip fails.
+  const auto y = inl_yield_mc(spec, 0.5, 60, 5);
+  ASSERT_DOUBLE_EQ(y.yield, 0.0);
+  EXPECT_GT(y.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(y.ci95, mathx::wilson_half_width(0, 60));
+  // Symmetry of the Wilson interval around p <-> 1-p.
+  EXPECT_DOUBLE_EQ(mathx::wilson_half_width(0, 60),
+                   mathx::wilson_half_width(60, 60));
+}
+
+// ---- Workspace vs legacy engine equivalence ----------------------------
+
+TEST(StaticAnalysis, WorkspaceYieldBitIdenticalToLegacyAcrossThreads) {
+  // The tentpole contract: the allocation-free workspace kernel and the
+  // historical allocating chain must produce the same pass count, yield,
+  // and CI for every thread count.
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = 2.0 * core::unit_sigma_spec(spec.nbits, 0.9);
+  for (int threads : {1, 2, 7}) {
+    const auto ws = inl_yield_mc(spec, sigma, 250, 23, 0.5,
+                                 InlReference::kBestFit, threads);
+    const auto legacy = inl_yield_mc_legacy(spec, sigma, 250, 23, 0.5,
+                                            InlReference::kBestFit, threads);
+    EXPECT_EQ(ws.pass, legacy.pass) << "threads " << threads;
+    EXPECT_DOUBLE_EQ(ws.yield, legacy.yield) << "threads " << threads;
+    EXPECT_DOUBLE_EQ(ws.ci95, legacy.ci95) << "threads " << threads;
+
+    const auto ws_dnl = dnl_yield_mc(spec, sigma, 250, 23, 0.5, threads);
+    const auto legacy_dnl =
+        dnl_yield_mc_legacy(spec, sigma, 250, 23, 0.5, threads);
+    EXPECT_EQ(ws_dnl.pass, legacy_dnl.pass) << "threads " << threads;
+  }
+}
+
+TEST(StaticAnalysis, WorkspaceYieldMatchesEndpointReferenceToo) {
+  core::DacSpec spec;
+  spec.nbits = 8;
+  spec.binary_bits = 3;
+  const double sigma = 2.0 * core::unit_sigma_spec(spec.nbits, 0.9);
+  const auto ws = inl_yield_mc(spec, sigma, 200, 29, 0.5,
+                               InlReference::kEndpoint, 2);
+  const auto legacy = inl_yield_mc_legacy(spec, sigma, 200, 29, 0.5,
+                                          InlReference::kEndpoint, 2);
+  EXPECT_EQ(ws.pass, legacy.pass);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#include "mathx/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace csdac::mathx {
+namespace {
+
+// The counting operator new hook is process-global, so these tests use
+// >= bounds where other machinery (gtest, the runtime) may allocate on the
+// side; the targeted allocations below are big enough to dominate.
+
+TEST(AllocCounter, InactiveByDefault) {
+  EXPECT_FALSE(alloc_counting_active());
+  const AllocCounts before = alloc_counted_total();
+  auto p = std::make_unique<std::vector<double>>(4096);
+  (void)p;
+  const AllocCounts after = alloc_counted_total();
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.count, before.count);
+}
+
+TEST(AllocCounter, CountsWhileActive) {
+  ScopedAllocCounting counting;
+  EXPECT_TRUE(alloc_counting_active());
+  const AllocCounts before = counting.so_far();
+  {
+    std::vector<double> v(8192);  // >= 64 KiB in one shot
+    v[0] = 1.0;
+  }
+  const AllocCounts after = counting.so_far();
+  EXPECT_GE(after.bytes - before.bytes,
+            static_cast<std::int64_t>(8192 * sizeof(double)));
+  EXPECT_GE(after.count - before.count, 1);
+}
+
+TEST(AllocCounter, StopsCountingAfterScopeEnds) {
+  AllocCounts during{};
+  {
+    ScopedAllocCounting counting;
+    std::vector<char> v(1 << 16);
+    v[0] = 1;
+    during = counting.so_far();
+  }
+  EXPECT_FALSE(alloc_counting_active());
+  const AllocCounts total = alloc_counted_total();
+  auto p = std::make_unique<std::vector<double>>(4096);
+  (void)p;
+  EXPECT_EQ(alloc_counted_total().bytes, total.bytes);
+  EXPECT_GE(during.bytes, static_cast<std::int64_t>(1 << 16));
+}
+
+TEST(AllocCounter, NestedScopesKeepCountingUntilLastExit) {
+  ScopedAllocCounting outer;
+  const AllocCounts start = outer.so_far();
+  {
+    ScopedAllocCounting inner;
+    std::vector<char> v(1 << 14);
+    v[0] = 1;
+  }
+  // Inner scope ended but the outer one is still active.
+  EXPECT_TRUE(alloc_counting_active());
+  {
+    std::vector<char> v(1 << 14);
+    v[0] = 1;
+  }
+  EXPECT_GE(outer.so_far().bytes - start.bytes,
+            static_cast<std::int64_t>(2 * (1 << 14)));
+}
+
+TEST(AllocCounter, AlignedAllocationsAreCounted) {
+  ScopedAllocCounting counting;
+  const AllocCounts before = counting.so_far();
+  struct alignas(64) Wide {
+    double d[16];
+  };
+  auto p = std::make_unique<Wide>();
+  p->d[0] = 1.0;
+  const AllocCounts after = counting.so_far();
+  EXPECT_GE(after.bytes - before.bytes,
+            static_cast<std::int64_t>(sizeof(Wide)));
+  EXPECT_GE(after.count - before.count, 1);
+}
+
+}  // namespace
+}  // namespace csdac::mathx

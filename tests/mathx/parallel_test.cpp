@@ -159,6 +159,137 @@ TEST(Parallel, AdaptiveRunDisabledToleranceRunsToCap) {
   EXPECT_FALSE(r.stats.early_stopped);
 }
 
+// ---- Worker-indexed / workspace engine variants ------------------------
+
+TEST(Parallel, IndexedLoopTracksPerThreadItemsAndUtilization) {
+  for (int threads : {1, 2, 7}) {
+    std::vector<std::atomic<int>> visits(300);
+    for (auto& v : visits) v.store(0);
+    const RunStats s = parallel_for_indexed(
+        300, threads, [&](int worker, std::int64_t i) {
+          EXPECT_GE(worker, 0);
+          EXPECT_LT(worker, threads);
+          visits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+    ASSERT_EQ(s.per_thread_items.size(), static_cast<std::size_t>(s.threads));
+    EXPECT_EQ(std::accumulate(s.per_thread_items.begin(),
+                              s.per_thread_items.end(), std::int64_t{0}),
+              300);
+    EXPECT_GT(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0);
+  }
+}
+
+TEST(Parallel, WorkspaceLoopMatchesPlainLoopBitIdentically) {
+  // The workspace path must be a pure optimization: same per-index results
+  // as the plain loop, for any thread count.
+  struct Scratch {
+    std::vector<double> buf = std::vector<double>(64);
+  };
+  auto value = [](std::int64_t i) {
+    Xoshiro256 rng = stream_rng(5, static_cast<std::uint64_t>(i));
+    return normal(rng);
+  };
+  const auto ref = parallel_map(128, 1, value);
+  for (int threads : {1, 2, 7}) {
+    std::vector<double> out(128);
+    const RunStats s = parallel_for_workspace(
+        128, threads, [] { return Scratch{}; },
+        [&](Scratch& ws, std::int64_t i) {
+          ws.buf[0] = value(i);  // scratch use must not leak across items
+          out[static_cast<std::size_t>(i)] = ws.buf[0];
+        });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], ref[i]) << "threads " << threads << " item " << i;
+    }
+    EXPECT_EQ(s.evaluated, 128);
+  }
+}
+
+TEST(Parallel, WorkspaceFactoryCalledAtMostOncePerWorker) {
+  std::atomic<int> made{0};
+  const int threads = 4;
+  const RunStats s = parallel_for_workspace(
+      1000, threads,
+      [&] {
+        made.fetch_add(1);
+        return int{0};
+      },
+      [](int& ws, std::int64_t) { ++ws; });
+  EXPECT_GE(made.load(), 1);
+  EXPECT_LE(made.load(), threads);
+  EXPECT_EQ(s.evaluated, 1000);
+}
+
+TEST(Parallel, WorkspaceLoopClampsWorkersToItems) {
+  // 3 items on 8 threads: at most 3 workspaces, no idle-worker factories.
+  std::atomic<int> made{0};
+  parallel_for_workspace(
+      3, 8,
+      [&] {
+        made.fetch_add(1);
+        return int{0};
+      },
+      [](int&, std::int64_t) {});
+  EXPECT_LE(made.load(), 3);
+}
+
+TEST(Parallel, AdaptiveWorkspaceRunBitIdenticalToPlain) {
+  EarlyStopOptions opts;
+  opts.max_items = 4000;
+  opts.min_items = 128;
+  opts.batch = 128;
+  opts.ci_half_width = 0.02;
+  const auto ref = adaptive_yield_run(
+      opts, 1, [](std::int64_t i) { return item(i, 99, 0.9); });
+  struct Scratch {
+    Xoshiro256 rng{0};
+  };
+  for (int threads : {1, 2, 7}) {
+    const auto got = adaptive_yield_run_workspace(
+        opts, threads, [] { return Scratch{}; },
+        [](Scratch& ws, std::int64_t i) {
+          stream_rng_into(ws.rng, 99, static_cast<std::uint64_t>(i));
+          return uniform01(ws.rng) < 0.9;
+        });
+    EXPECT_EQ(got.evaluated, ref.evaluated) << "threads " << threads;
+    EXPECT_EQ(got.passed, ref.passed) << "threads " << threads;
+    EXPECT_DOUBLE_EQ(got.ci95, ref.ci95) << "threads " << threads;
+  }
+}
+
+TEST(Parallel, WorkspaceSteadyStateIsAllocationFree) {
+  // With a preallocating factory, a longer run must allocate no more bytes
+  // than a short one: every per-item allocation would show up as a
+  // difference. Single-threaded so the counts are exact.
+  struct Scratch {
+    std::vector<double> buf = std::vector<double>(256);
+  };
+  auto run = [](std::int64_t n) {
+    return parallel_for_workspace(
+        n, 1, [] { return Scratch{}; },
+        [](Scratch& ws, std::int64_t i) {
+          ws.buf[static_cast<std::size_t>(i) % ws.buf.size()] =
+              static_cast<double>(i);
+        },
+        /*chunk=*/1, /*count_allocs=*/true);
+  };
+  const RunStats small = run(64);
+  const RunStats big = run(4096);
+  ASSERT_GE(small.alloc_bytes, 0);
+  ASSERT_GE(big.alloc_bytes, 0);
+  EXPECT_EQ(big.alloc_bytes, small.alloc_bytes);
+  EXPECT_EQ(big.alloc_count, small.alloc_count);
+}
+
+TEST(Parallel, AllocCountersAreMinusOneWhenNotRequested) {
+  const RunStats s =
+      parallel_for_indexed(16, 2, [](int, std::int64_t) {});
+  EXPECT_EQ(s.alloc_bytes, -1);
+  EXPECT_EQ(s.alloc_count, -1);
+}
+
 TEST(Parallel, RejectsBadArguments) {
   EarlyStopOptions bad;
   bad.max_items = 0;

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_mc.json produced by tools/run_benches.
+
+Checks the csdac-bench/1 schema: required top-level keys, per-bench
+structure, and sanity of the measured numbers (positive throughput,
+yields in [0, 1]). Used by the CI bench-smoke job; exits nonzero with a
+message on the first violation. Stdlib only.
+"""
+import json
+import sys
+
+SCHEMA = "csdac-bench/1"
+TOP_KEYS = {
+    "schema": str,
+    "git_sha": str,
+    "generated_unix": int,
+    "smoke": bool,
+    "threads": int,
+    "hardware_threads": int,
+    "benches": list,
+}
+PATH_KEYS = {"chips": int, "chips_per_s": (int, float), "wall_s": (int, float)}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(obj, key, types, where):
+    if key not in obj:
+        fail(f"{where}: missing key '{key}'")
+    if not isinstance(obj[key], types):
+        fail(f"{where}: key '{key}' has type {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_path(bench, name, which):
+    where = f"bench '{name}' / {which}"
+    path = check_type(bench, which, dict, f"bench '{name}'")
+    for key, types in PATH_KEYS.items():
+        check_type(path, key, types, where)
+    if path["chips"] <= 0:
+        fail(f"{where}: chips must be positive")
+    if path["chips_per_s"] <= 0:
+        fail(f"{where}: chips_per_s must be positive")
+    if path["wall_s"] < 0:
+        fail(f"{where}: wall_s must be >= 0")
+    for key in ("yield", "yield_before", "yield_after"):
+        if key in path and not 0.0 <= path[key] <= 1.0:
+            fail(f"{where}: {key} out of [0, 1]")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_bench_json.py BENCH_mc.json", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    for key, types in TOP_KEYS.items():
+        check_type(doc, key, types, "top level")
+    if doc["schema"] != SCHEMA:
+        fail(f"schema is '{doc['schema']}', expected '{SCHEMA}'")
+    if not doc["benches"]:
+        fail("benches array is empty")
+
+    names = set()
+    for bench in doc["benches"]:
+        if not isinstance(bench, dict):
+            fail("bench entry is not an object")
+        name = check_type(bench, "name", str, "bench entry")
+        if name in names:
+            fail(f"duplicate bench name '{name}'")
+        names.add(name)
+        check_type(bench, "config", dict, f"bench '{name}'")
+        check_path(bench, name, "workspace")
+        if "legacy" in bench:
+            check_path(bench, name, "legacy")
+            speedup = check_type(bench, "speedup", (int, float),
+                                 f"bench '{name}'")
+            if speedup <= 0:
+                fail(f"bench '{name}': speedup must be positive")
+
+    print(f"check_bench_json: OK ({len(names)} benches: "
+          f"{', '.join(sorted(names))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

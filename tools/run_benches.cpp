@@ -1,0 +1,281 @@
+// Machine-readable perf harness: runs the Monte-Carlo/yield benches on the
+// paper's 12-bit spec and writes BENCH_mc.json (schema "csdac-bench/1",
+// documented in EXPERIMENTS.md) so the perf trajectory can be tracked
+// across commits. Each MC bench is measured twice — the allocation-free
+// per-thread-workspace path and the legacy allocating reference — plus the
+// steady-state bytes allocated per chip via the opt-in counting hook.
+//
+//   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
+//
+// --smoke shrinks the chip budgets for CI; --require-speedup X exits
+// nonzero unless the workspace INL bench shows >= X times the legacy
+// chips/s (used for local acceptance runs, not in CI where shared runners
+// make timing unreliable).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "core/accuracy.hpp"
+#include "dac/calibration.hpp"
+#include "dac/static_analysis.hpp"
+#include "mathx/alloc_counter.hpp"
+
+using namespace csdac;
+
+namespace {
+
+std::string detect_git_sha() {
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    const std::size_t got = fread(buf, 1, sizeof(buf) - 1, p);
+    pclose(p);
+    std::string sha(buf, got);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (sha.size() >= 7) return sha;
+  }
+  if (const char* env = std::getenv("GITHUB_SHA")) return env;
+  return "unknown";
+}
+
+/// Steady-state allocation rate of the workspace chip kernel: the workspace
+/// is built first, then `chips` evaluations are counted. Expected ~0.
+double workspace_alloc_bytes_per_chip(const core::DacSpec& spec,
+                                      double sigma, std::uint64_t seed,
+                                      int chips) {
+  dac::ChipWorkspace ws(spec);
+  dac::mc_chip_metrics(ws, sigma, seed, 0);  // warm every buffer once
+  mathx::ScopedAllocCounting counting;
+  for (int c = 0; c < chips; ++c) {
+    dac::mc_chip_metrics(ws, sigma, seed, c);
+  }
+  return static_cast<double>(counting.so_far().bytes) / chips;
+}
+
+/// Same measurement for the legacy allocating chain.
+double legacy_alloc_bytes_per_chip(const core::DacSpec& spec, double sigma,
+                                   std::uint64_t seed, int chips) {
+  mathx::ScopedAllocCounting counting;
+  for (int c = 0; c < chips; ++c) {
+    mathx::Xoshiro256 rng =
+        mathx::stream_rng(seed, static_cast<std::uint64_t>(c));
+    const dac::SegmentedDac chip(spec,
+                                 dac::draw_source_errors(spec, sigma, rng));
+    const auto m = dac::analyze_transfer(chip.transfer());
+    (void)m;
+  }
+  return static_cast<double>(counting.so_far().bytes) / chips;
+}
+
+void emit_path(bench::JsonWriter& w, const char* name,
+               const dac::YieldEstimate& y, double alloc_bytes_per_chip) {
+  w.key(name).begin_object();
+  w.field("chips", y.chips);
+  w.field("yield", y.yield);
+  w.field("ci95", y.ci95);
+  w.field("chips_per_s", y.stats.items_per_second);
+  w.field("wall_s", y.stats.wall_seconds);
+  w.field("threads", y.stats.threads);
+  w.field("alloc_bytes_per_chip", alloc_bytes_per_chip);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int threads = 0;  // hardware concurrency
+  double require_speedup = 0.0;
+  std::string out_path = "BENCH_mc.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      threads = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--require-speedup") == 0 &&
+               a + 1 < argc) {
+      require_speedup = std::atof(argv[++a]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: run_benches [--smoke] [--out PATH] [--threads N] "
+                   "[--require-speedup X]\n");
+      return 2;
+    }
+  }
+
+  core::DacSpec spec;  // paper's 12-bit, b = 4 design point
+  const double sigma = core::unit_sigma_spec(spec.nbits, spec.inl_yield);
+  const std::uint64_t seed = 1000;
+  const int chips = smoke ? 300 : 2000;
+  const int alloc_probe_chips = smoke ? 16 : 64;
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "csdac-bench/1");
+  w.field("git_sha", detect_git_sha().c_str());
+  w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
+  w.field("smoke", smoke);
+  w.field("threads", threads);
+  w.field("hardware_threads",
+          static_cast<int>(std::thread::hardware_concurrency()));
+  w.key("benches").begin_array();
+
+  // --- Fixed-count INL yield: workspace vs legacy -----------------------
+  std::printf("inl_yield_12bit: %d chips, sigma = %.4f%% ...\n", chips,
+              sigma * 100);
+  // Warm up once so first-touch page faults don't bias the first path.
+  (void)dac::inl_yield_mc(spec, sigma, chips / 4 + 1, seed, 0.5,
+                          dac::InlReference::kBestFit, threads);
+  const auto ws_inl = dac::inl_yield_mc(spec, sigma, chips, seed, 0.5,
+                                        dac::InlReference::kBestFit, threads);
+  const auto legacy_inl = dac::inl_yield_mc_legacy(
+      spec, sigma, chips, seed, 0.5, dac::InlReference::kBestFit, threads);
+  const double ws_alloc =
+      workspace_alloc_bytes_per_chip(spec, sigma, seed, alloc_probe_chips);
+  const double legacy_alloc =
+      legacy_alloc_bytes_per_chip(spec, sigma, seed, alloc_probe_chips);
+  const double speedup =
+      legacy_inl.stats.items_per_second > 0.0
+          ? ws_inl.stats.items_per_second / legacy_inl.stats.items_per_second
+          : 0.0;
+  if (ws_inl.pass != legacy_inl.pass) {
+    std::fprintf(stderr,
+                 "FATAL: workspace/legacy pass mismatch (%d vs %d)\n",
+                 ws_inl.pass, legacy_inl.pass);
+    return 1;
+  }
+  std::printf("  workspace %.0f chips/s (%.1f B/chip), legacy %.0f chips/s "
+              "(%.0f B/chip): speedup %.2fx\n",
+              ws_inl.stats.items_per_second, ws_alloc,
+              legacy_inl.stats.items_per_second, legacy_alloc, speedup);
+  w.begin_object();
+  w.field("name", "inl_yield_12bit");
+  w.key("config").begin_object();
+  w.field("nbits", spec.nbits);
+  w.field("binary_bits", spec.binary_bits);
+  w.field("sigma_unit", sigma);
+  w.field("chips", chips);
+  w.field("seed", static_cast<std::int64_t>(seed));
+  w.field("inl_limit", 0.5);
+  w.end_object();
+  emit_path(w, "workspace", ws_inl, ws_alloc);
+  emit_path(w, "legacy", legacy_inl, legacy_alloc);
+  w.field("speedup", speedup);
+  w.end_object();
+
+  // --- Calibration-in-the-loop yield: workspace vs legacy ---------------
+  const int cal_chips = smoke ? 150 : 800;
+  const double cal_sigma = 4.0 * sigma;  // undersized array: trims matter
+  dac::CalibrationOptions cal_opts;
+  std::printf("calibration_yield_12bit: %d chips ...\n", cal_chips);
+  const auto ws_cal = dac::calibration_yield_mc(spec, cal_sigma, cal_opts,
+                                                cal_chips, seed, 0.5, threads);
+  const auto legacy_cal = dac::calibration_yield_mc_legacy(
+      spec, cal_sigma, cal_opts, cal_chips, seed, 0.5, threads);
+  const double cal_speedup =
+      legacy_cal.stats.items_per_second > 0.0
+          ? ws_cal.stats.items_per_second / legacy_cal.stats.items_per_second
+          : 0.0;
+  if (ws_cal.yield_after != legacy_cal.yield_after) {
+    std::fprintf(stderr, "FATAL: calibration workspace/legacy mismatch\n");
+    return 1;
+  }
+  std::printf("  workspace %.0f chips/s, legacy %.0f chips/s: %.2fx\n",
+              ws_cal.stats.items_per_second,
+              legacy_cal.stats.items_per_second, cal_speedup);
+  w.begin_object();
+  w.field("name", "calibration_yield_12bit");
+  w.key("config").begin_object();
+  w.field("nbits", spec.nbits);
+  w.field("binary_bits", spec.binary_bits);
+  w.field("sigma_unit", cal_sigma);
+  w.field("chips", cal_chips);
+  w.field("seed", static_cast<std::int64_t>(seed));
+  w.field("cal_range_lsb", cal_opts.range_lsb);
+  w.field("cal_bits", cal_opts.bits);
+  w.end_object();
+  w.key("workspace").begin_object();
+  w.field("chips", ws_cal.chips);
+  w.field("yield_before", ws_cal.yield_before);
+  w.field("yield_after", ws_cal.yield_after);
+  w.field("chips_per_s", ws_cal.stats.items_per_second);
+  w.field("wall_s", ws_cal.stats.wall_seconds);
+  w.end_object();
+  w.key("legacy").begin_object();
+  w.field("chips", legacy_cal.chips);
+  w.field("yield_before", legacy_cal.yield_before);
+  w.field("yield_after", legacy_cal.yield_after);
+  w.field("chips_per_s", legacy_cal.stats.items_per_second);
+  w.field("wall_s", legacy_cal.stats.wall_seconds);
+  w.end_object();
+  w.field("speedup", cal_speedup);
+  w.end_object();
+
+  // --- Adaptive early stopping: engine counters -------------------------
+  dac::AdaptiveMcOptions aopts;
+  aopts.max_chips = smoke ? 1500 : 6000;
+  aopts.ci_half_width = 0.02;
+  aopts.threads = threads;
+  aopts.count_allocs = true;
+  std::printf("adaptive_inl_yield_12bit: cap %d chips, ci <= %.3f ...\n",
+              aopts.max_chips, aopts.ci_half_width);
+  const auto adaptive = dac::inl_yield_mc_adaptive(spec, sigma, aopts, seed);
+  std::printf("  evaluated %lld, skipped %lld, %.0f chips/s, "
+              "utilization %.2f, %lld B allocated\n",
+              static_cast<long long>(adaptive.stats.evaluated),
+              static_cast<long long>(adaptive.stats.skipped),
+              adaptive.stats.items_per_second, adaptive.stats.utilization,
+              static_cast<long long>(adaptive.stats.alloc_bytes));
+  w.begin_object();
+  w.field("name", "adaptive_inl_yield_12bit");
+  w.key("config").begin_object();
+  w.field("nbits", spec.nbits);
+  w.field("binary_bits", spec.binary_bits);
+  w.field("sigma_unit", sigma);
+  w.field("max_chips", aopts.max_chips);
+  w.field("ci_half_width", aopts.ci_half_width);
+  w.field("seed", static_cast<std::int64_t>(seed));
+  w.end_object();
+  w.key("workspace").begin_object();
+  w.field("chips", adaptive.chips);
+  w.field("yield", adaptive.yield);
+  w.field("ci95", adaptive.ci95);
+  w.field("chips_per_s", adaptive.stats.items_per_second);
+  w.field("wall_s", adaptive.stats.wall_seconds);
+  w.field("evaluated", adaptive.stats.evaluated);
+  w.field("skipped", adaptive.stats.skipped);
+  w.field("early_stopped", adaptive.stats.early_stopped);
+  w.field("utilization", adaptive.stats.utilization);
+  w.field("alloc_bytes", adaptive.stats.alloc_bytes);
+  w.field("alloc_count", adaptive.stats.alloc_count);
+  w.end_object();
+  w.end_object();
+
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (require_speedup > 0.0 && speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: workspace speedup %.2fx below required %.2fx\n",
+                 speedup, require_speedup);
+    return 1;
+  }
+  return 0;
+}
