@@ -2,6 +2,13 @@
 // eq. (1) design accuracy, histogram the INL/DNL population, report the
 // parametric yield with its confidence interval, and show what the
 // self-calibration option would buy on an undersized array.
+//
+// The yield estimates run through the job-graph runtime with the
+// persistent content-addressed cache (.csdac-cache), so a re-run with the
+// same lot parameters reports instantly from the store. The histogram
+// walks the same (seed, chip) streams with the allocation-free
+// ChipWorkspace kernel, so its population is exactly the lot the yield
+// estimate judged.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,6 +17,7 @@
 #include "dac/calibration.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/stats.hpp"
+#include "runtime/graph.hpp"
 
 using namespace csdac;
 
@@ -33,71 +41,105 @@ void print_histogram(const char* title, const std::vector<double>& samples,
   }
 }
 
+const char* source_tag(const runtime::JobRecord& r) {
+  return r.cache_hit ? "cache" : "computed";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int chips = argc > 1 ? std::atoi(argv[1]) : 600;
   core::DacSpec spec;
   const double sigma = core::unit_sigma_spec(spec.nbits, spec.inl_yield);
+  const std::uint64_t seed = 5000;
 
   std::printf("=== 12-bit chip lot: %d chips at the eq.(1) accuracy "
               "(sigma_u = %.4f%%) ===\n",
               chips, sigma * 100);
 
+  // Histogram pass: the allocation-free workspace kernel over the same
+  // (seed, chip) streams the yield estimate below evaluates.
   std::vector<double> inls, dnls;
   mathx::RunningStats inl_stats;
-  for (int c = 0; c < chips; ++c) {
-    mathx::Xoshiro256 rng(5000 + static_cast<std::uint64_t>(c));
-    const dac::SegmentedDac chip(spec,
-                                 dac::draw_source_errors(spec, sigma, rng));
-    const auto m = dac::analyze_transfer(chip.transfer());
-    inls.push_back(m.inl_max);
-    dnls.push_back(m.dnl_max);
-    inl_stats.add(m.inl_max);
+  {
+    dac::ChipWorkspace ws(spec);
+    for (int c = 0; c < chips; ++c) {
+      const auto m = dac::mc_chip_metrics(ws, sigma, seed, c);
+      inls.push_back(m.inl_max);
+      dnls.push_back(m.dnl_max);
+      inl_stats.add(m.inl_max);
+    }
   }
   print_histogram("max |INL| [LSB]", inls, 0.0, 0.5);
   print_histogram("max |DNL| [LSB]", dnls, 0.0, 0.25);
   std::printf("\nINL population: mean %.3f LSB, sigma %.3f, worst %.3f\n",
               inl_stats.mean(), inl_stats.stddev(), inl_stats.max());
 
-  // Parallel yield estimate through the library API.
-  const auto y = dac::inl_yield_mc(spec, sigma, chips, 5000, 0.5,
-                                   dac::InlReference::kBestFit,
-                                   /*threads=*/0);
-  std::printf("parametric yield (INL < 0.5 LSB): %.1f%% +/- %.1f%% "
-              "(target %.1f%%)\n",
-              y.yield * 100, y.ci95 * 100, spec.inl_yield * 100);
-  std::printf("  engine: %lld chips on %d threads in %.3f s "
-              "(%.0f chips/s)\n",
-              static_cast<long long>(y.stats.evaluated), y.stats.threads,
-              y.stats.wall_seconds, y.stats.items_per_second);
+  // Yield studies through the job-graph runtime: queued together, fanned
+  // out on the pool, answered from the persistent cache when warm.
+  runtime::RuntimeOptions ropts;
+  ropts.cache_dir = ".csdac-cache";
+  runtime::JobGraph graph(ropts);
 
-  // Adaptive run: stop as soon as the 95 % CI half-width reaches 1 %.
-  dac::AdaptiveMcOptions aopts;
-  aopts.max_chips = 20000;
-  aopts.ci_half_width = 0.01;
-  aopts.threads = 0;
-  const auto ya = dac::inl_yield_mc_adaptive(spec, sigma, aopts, 5000);
-  std::printf("  adaptive: %.1f%% +/- %.1f%% after %lld chips "
-              "(early stop %s, %lld of the %d-chip budget skipped)\n",
-              ya.yield * 100, ya.ci95 * 100,
-              static_cast<long long>(ya.stats.evaluated),
-              ya.stats.early_stopped ? "hit" : "not hit",
-              static_cast<long long>(ya.stats.skipped), aopts.max_chips);
+  runtime::InlYieldJob fixed;
+  fixed.spec = spec;
+  fixed.sigma_unit = sigma;
+  fixed.chips = chips;
+  fixed.seed = seed;
+  const runtime::JobId fixed_id = graph.add(fixed, "lot-yield");
 
-  // What calibration buys on a 4x-undersized array.
+  runtime::InlYieldJob adaptive;
+  adaptive.spec = spec;
+  adaptive.sigma_unit = sigma;
+  adaptive.seed = seed;
+  adaptive.adaptive = true;
+  adaptive.chips = 20000;  // cap
+  adaptive.ci_half_width = 0.01;
+  const runtime::JobId adaptive_id = graph.add(adaptive, "adaptive-yield");
+
   dac::CalibrationOptions cal;
   cal.range_lsb = 2.0;
   cal.bits = 6;
-  const auto recovered = dac::calibration_yield_mc(spec, 4.0 * sigma, cal,
-                                                   chips / 3, 6000, 0.5,
-                                                   /*threads=*/0);
+  runtime::CalYieldJob recover;
+  recover.spec = spec;
+  recover.sigma_unit = 4.0 * sigma;
+  recover.cal = cal;
+  recover.chips = chips / 3;
+  recover.seed = 6000;
+  const runtime::JobId recover_id = graph.add(recover, "calibration-study");
+
+  graph.run_all();
+
+  const auto& yr = graph.record(fixed_id);
+  const auto& y = std::get<runtime::YieldResult>(yr.value);
+  std::printf("parametric yield (INL < 0.5 LSB): %.1f%% +/- %.1f%% "
+              "(target %.1f%%)\n",
+              y.yield * 100, y.ci95 * 100, spec.inl_yield * 100);
+  std::printf("  %lld chips in %.3f s [%s]\n",
+              static_cast<long long>(y.chips), yr.wall_seconds,
+              source_tag(yr));
+
+  const auto& yar = graph.record(adaptive_id);
+  const auto& ya = std::get<runtime::YieldResult>(yar.value);
+  std::printf("  adaptive: %.1f%% +/- %.1f%% after %lld chips of the "
+              "20000-chip budget [%s]\n",
+              ya.yield * 100, ya.ci95 * 100,
+              static_cast<long long>(ya.chips), source_tag(yar));
+
+  const auto& rr = graph.record(recover_id);
+  const auto& recovered = std::get<runtime::CalYieldResult>(rr.value);
   std::printf("\nwith a 16x smaller CS array (4x sigma) + 6-bit trim DAC:\n");
   std::printf("  yield before calibration: %.1f%%\n",
               recovered.yield_before * 100);
   std::printf("  yield after calibration : %.1f%%\n",
               recovered.yield_after * 100);
-  std::printf("  engine: %.0f chips/s on %d threads\n",
-              recovered.stats.items_per_second, recovered.stats.threads);
+  std::printf("  %lld chips in %.3f s [%s]\n",
+              static_cast<long long>(recovered.chips), rr.wall_seconds,
+              source_tag(rr));
+
+  const runtime::CacheCounters cc = graph.cache_counters();
+  std::printf("\nruntime cache: %lld hits, %lld misses (.csdac-cache)\n",
+              static_cast<long long>(cc.hits),
+              static_cast<long long>(cc.misses));
   return 0;
 }

@@ -30,6 +30,7 @@ struct GridAxis {
   int steps = 40;
 
   double at(int i) const {
+    if (steps <= 1) return lo;  // a 1-point axis is just its lower bound
     return lo + (hi - lo) * static_cast<double>(i) /
                     static_cast<double>(steps - 1);
   }

@@ -62,6 +62,7 @@ CalibratedYield run_calibration_mc(const core::DacSpec& spec,
     y.stats = mathx::parallel_for_workspace(
         chips, threads, [&spec] { return ChipWorkspace(spec); },
         [&](ChipWorkspace& ws, std::int64_t c) {
+          detail::count_chip_eval();
           const auto idx = static_cast<std::uint64_t>(c);
           mathx::stream_rng_into(ws.rng, seed, 2 * idx);
           draw_source_errors_into(spec, sigma_unit, ws.rng, ws.errors);
@@ -78,6 +79,7 @@ CalibratedYield run_calibration_mc(const core::DacSpec& spec,
         });
   } else {
     y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
+      detail::count_chip_eval();
       const auto idx = static_cast<std::uint64_t>(c);
       mathx::Xoshiro256 draw_rng = mathx::stream_rng(seed, 2 * idx);
       mathx::Xoshiro256 cal_rng = mathx::stream_rng(seed, 2 * idx + 1);

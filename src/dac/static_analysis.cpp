@@ -12,6 +12,24 @@ namespace csdac::dac {
 
 namespace {
 
+std::atomic<std::int64_t> g_chips_evaluated{0};
+
+}  // namespace
+
+std::int64_t mc_chips_evaluated() {
+  return g_chips_evaluated.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_chip_eval() {
+  g_chips_evaluated.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+namespace {
+
 // The one INL/DNL computation. Both the allocating analyze_transfer and the
 // workspace analyze_transfer_into funnel through this, so the two paths are
 // bit-identical by construction. `codes` must be the ramp 0..n-1 (only read
@@ -161,6 +179,7 @@ StaticSummary analyze_transfer_into(ChipWorkspace& ws, InlReference ref) {
 StaticSummary mc_chip_metrics(ChipWorkspace& ws, double sigma_unit,
                               std::uint64_t seed, std::int64_t chip,
                               InlReference ref) {
+  detail::count_chip_eval();
   mathx::stream_rng_into(ws.rng, seed, static_cast<std::uint64_t>(chip));
   draw_source_errors_into(ws.spec, sigma_unit, ws.rng, ws.errors);
   transfer_into(ws.spec, ws.errors, ws);
@@ -206,6 +225,7 @@ StaticMetrics analyze_transfer_seed(const std::vector<double>& levels,
 bool chip_passes_legacy(const core::DacSpec& spec, double sigma_unit,
                         std::uint64_t seed, std::int64_t chip, double limit,
                         bool use_inl, InlReference ref) {
+  detail::count_chip_eval();
   mathx::Xoshiro256 rng =
       mathx::stream_rng(seed, static_cast<std::uint64_t>(chip));
   const SegmentedDac dac(spec, draw_source_errors(spec, sigma_unit, rng));

@@ -54,6 +54,21 @@ StaticSummary analyze_transfer_into(ChipWorkspace& ws,
 StaticSummary analyze_levels_summary(std::span<const double> levels,
                                      InlReference ref = InlReference::kBestFit);
 
+/// Process-wide count of Monte-Carlo chip evaluations (every mismatch-drawn
+/// chip analyzed by any yield/calibration path, workspace or legacy). A
+/// relaxed atomic increment per chip — negligible against the ~10 us chip
+/// cost — that gives the runtime cache a hard "no work was redone" signal:
+/// a warm-cache service run must leave this counter unchanged.
+std::int64_t mc_chips_evaluated();
+
+/// Difference-friendly reset is deliberately absent (other threads may be
+/// counting); snapshot before/after and subtract instead.
+
+namespace detail {
+/// Bumps the chip counter; called once per chip by every MC kernel.
+void count_chip_eval();
+}  // namespace detail
+
 /// One Monte-Carlo chip, allocation-free: re-seeds ws.rng to the
 /// (seed, chip) stream, draws the mismatch into ws.errors, computes the
 /// transfer into ws.levels and the INL/DNL maxima via

@@ -1,0 +1,37 @@
+#include "mathx/hash.hpp"
+
+#include <cstdio>
+
+namespace csdac::mathx {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
+
+std::string HashKey128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+HashKey128 hash128(const void* data, std::size_t size) {
+  HashKey128 k;
+  k.hi = mix64(fnv1a64(data, size, kFnvOffsetBasis));
+  // Second lane: same stream, decorrelated basis (offset basis mixed).
+  k.lo = mix64(fnv1a64(data, size, mix64(kFnvOffsetBasis) | 1ull));
+  return k;
+}
+
+}  // namespace csdac::mathx

@@ -60,6 +60,12 @@ struct RunStats {
   /// to isolate the steady-state rate.
   std::int64_t alloc_bytes = -1;
   std::int64_t alloc_count = -1;
+  /// Result-cache counters, filled by the runtime layer when a run is
+  /// served through the persistent job cache (0 otherwise). A cache hit
+  /// leaves evaluated == 0: the result was decoded, not recomputed.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
 };
 
 /// Persistent pool of `threads - 1` workers; the calling thread is worker 0,

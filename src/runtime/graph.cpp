@@ -1,0 +1,203 @@
+#include "runtime/graph.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace csdac::runtime {
+
+JobGraph::JobGraph(RuntimeOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.cache_dir.empty()) {
+    CacheOptions co;
+    co.dir = opts_.cache_dir;
+    co.max_bytes = opts_.cache_max_bytes;
+    cache_ = std::make_unique<ResultCache>(std::move(co));
+  }
+  if (!opts_.trace_path.empty()) {
+    trace_.open(opts_.trace_path);
+  }
+  if (cache_ && trace_.enabled()) {
+    cache_->on_evict = [this](const std::string& key_hex,
+                              std::uint64_t bytes) {
+      trace_.emit(JsonLine()
+                      .field("ev", "cache_evict")
+                      .field("key", key_hex)
+                      .field("bytes", static_cast<std::int64_t>(bytes)));
+    };
+  }
+}
+
+JobId JobGraph::add(Job job, std::string label) {
+  const mathx::HashKey128 key = job_key(job);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return it->second;
+  }
+  const JobId id = static_cast<JobId>(jobs_.size());
+  JobRecord r;
+  if (label.empty()) label = std::string(kind_name(job_kind(job)));
+  r.label = std::move(label);
+  r.key = key;
+  r.job = std::move(job);
+  jobs_.push_back(std::move(r));
+  prereqs_.emplace_back();
+  by_key_.emplace(key, id);
+  return id;
+}
+
+void JobGraph::depend(JobId job, JobId prerequisite) {
+  if (job < 0 || prerequisite < 0 ||
+      static_cast<std::size_t>(job) >= jobs_.size() ||
+      static_cast<std::size_t>(prerequisite) >= jobs_.size()) {
+    throw std::out_of_range("JobGraph::depend: bad id");
+  }
+  if (job == prerequisite) {
+    throw std::invalid_argument("JobGraph::depend: self-dependency");
+  }
+  prereqs_[static_cast<std::size_t>(job)].push_back(prerequisite);
+}
+
+void JobGraph::run_one(JobId id, int threads) {
+  JobRecord& r = jobs_[static_cast<std::size_t>(id)];
+  const std::string key_hex = r.key.hex();
+  const std::string_view kind = kind_name(job_kind(r.job));
+  if (trace_.enabled()) {
+    trace_.emit(JsonLine()
+                    .field("ev", "job_start")
+                    .field("job", id)
+                    .field("kind", kind)
+                    .field("key", key_hex)
+                    .field("label", r.label));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  bool hit = false;
+  if (cache_) {
+    std::vector<unsigned char> payload;
+    if (cache_->get(r.key, payload)) {
+      mathx::ByteReader reader(payload);
+      hit = decode_value(job_kind(r.job), reader, r.value);
+      // A framing-valid entry that fails the schema decode is stale (old
+      // result version for this key shape); fall through and overwrite.
+    }
+  }
+  if (hit) {
+    r.cache_hit = true;
+    r.stats = mathx::RunStats{};
+    r.stats.cache_hits = 1;
+  } else {
+    r.value = execute_job(r.job, threads, &r.stats);
+    r.stats.cache_hits = 0;
+    r.stats.cache_misses = cache_ ? 1 : 0;
+    if (cache_) {
+      mathx::ByteWriter w;
+      encode_value(r.value, w);
+      cache_->put(r.key, w.data());
+    }
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.done = true;
+
+  if (trace_.enabled()) {
+    trace_.emit(JsonLine()
+                    .field("ev", "job_finish")
+                    .field("job", id)
+                    .field("kind", kind)
+                    .field("key", key_hex)
+                    .field("label", r.label)
+                    .field("cache", cache_ ? (hit ? "hit" : "miss") : "off")
+                    .field("wall_s", r.wall_seconds)
+                    .field("evaluated", r.stats.evaluated)
+                    .field("items_per_s", r.stats.items_per_second));
+  }
+}
+
+void JobGraph::run_all() {
+  const std::size_t n = jobs_.size();
+  std::vector<int> waiting(n, 0);
+  std::vector<std::vector<JobId>> dependents(n);
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jobs_[i].done) continue;
+    ++pending;
+    for (const JobId p : prereqs_[i]) {
+      if (jobs_[static_cast<std::size_t>(p)].done) continue;
+      ++waiting[i];
+      dependents[static_cast<std::size_t>(p)].push_back(
+          static_cast<JobId>(i));
+    }
+  }
+  if (pending == 0) return;
+
+  if (trace_.enabled()) {
+    trace_.emit(JsonLine()
+                    .field("ev", "run_start")
+                    .field("jobs", static_cast<std::int64_t>(pending))
+                    .field("threads", opts_.threads)
+                    .field("cache_dir",
+                           cache_ ? cache_->options().dir : std::string()));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t chips0 = dac::mc_chips_evaluated();
+
+  std::vector<JobId> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!jobs_[i].done && waiting[i] == 0) {
+      ready.push_back(static_cast<JobId>(i));
+    }
+  }
+  while (!ready.empty()) {
+    const std::vector<JobId> wave = std::move(ready);
+    ready.clear();
+    if (wave.size() == 1) {
+      // A lone job gets the whole pool for its internal parallelism.
+      run_one(wave[0], opts_.threads);
+    } else {
+      // Fan the wave out across the pool; each job runs its kernels
+      // single-threaded. Results are schedule-invariant either way.
+      mathx::parallel_for(
+          static_cast<std::int64_t>(wave.size()), opts_.threads,
+          [&](std::int64_t i) {
+            run_one(wave[static_cast<std::size_t>(i)], 1);
+          });
+    }
+    for (const JobId finished : wave) {
+      --pending;
+      for (const JobId d : dependents[static_cast<std::size_t>(finished)]) {
+        if (--waiting[static_cast<std::size_t>(d)] == 0) {
+          ready.push_back(d);
+        }
+      }
+    }
+  }
+  if (pending != 0) {
+    throw std::runtime_error("JobGraph::run_all: dependency cycle");
+  }
+
+  if (trace_.enabled()) {
+    const CacheCounters c = cache_counters();
+    trace_.emit(
+        JsonLine()
+            .field("ev", "run_finish")
+            .field("wall_s", std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count())
+            .field("cache_hits", c.hits)
+            .field("cache_misses", c.misses)
+            .field("cache_evictions", c.evictions)
+            .field("chip_evals", dac::mc_chips_evaluated() - chips0));
+  }
+}
+
+CacheCounters JobGraph::cache_counters() const {
+  return cache_ ? cache_->counters() : CacheCounters{};
+}
+
+JobRecord run_job(const Job& job, const RuntimeOptions& opts) {
+  JobGraph g(opts);
+  const JobId id = g.add(job);
+  g.run_all();
+  return g.record(id);
+}
+
+}  // namespace csdac::runtime

@@ -1,0 +1,87 @@
+// Job-graph runtime: deduplicating DAG executor over the typed jobs of
+// job.hpp, with the persistent content-addressed cache and the JSONL trace
+// wired in. Independent ready jobs are fanned out on the shared mathx
+// thread pool (each then runs its own kernels single-threaded); a lone
+// ready job gets the full pool for its internal Monte-Carlo parallelism.
+// Either way every job is a pure function of its key, so the execution
+// schedule can never change a result — only its wall time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cache.hpp"
+#include "runtime/job.hpp"
+#include "runtime/trace.hpp"
+
+namespace csdac::runtime {
+
+struct RuntimeOptions {
+  int threads = 0;  ///< engine workers (0 = hardware concurrency)
+  /// Directory of the persistent result cache; empty disables caching.
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = 256ull << 20;
+  /// JSONL trace file; empty disables tracing.
+  std::string trace_path;
+};
+
+using JobId = int;
+
+/// Everything known about one scheduled job after run_all().
+struct JobRecord {
+  Job job;
+  mathx::HashKey128 key;
+  std::string label;  ///< caller-supplied display name (or the kind name)
+  JobValue value;     ///< valid once done
+  /// Engine run record; on a cache hit it carries cache_hits = 1 and
+  /// evaluated = 0 (nothing was recomputed).
+  mathx::RunStats stats;
+  double wall_seconds = 0.0;  ///< end-to-end, including cache I/O
+  bool cache_hit = false;
+  bool done = false;
+};
+
+class JobGraph {
+ public:
+  explicit JobGraph(RuntimeOptions opts = {});
+
+  /// Adds a job, deduplicating by content key: adding an identical job
+  /// returns the existing id (and the work runs once).
+  JobId add(Job job, std::string label = {});
+
+  /// Declares that `job` must run after `prerequisite`.
+  void depend(JobId job, JobId prerequisite);
+
+  /// Executes every pending job in dependency order. Safe to call again
+  /// after adding more jobs; completed jobs are not re-run. Throws on
+  /// dependency cycles.
+  void run_all();
+
+  const JobRecord& record(JobId id) const { return jobs_.at(id); }
+  std::size_t size() const { return jobs_.size(); }
+
+  /// Counters of the persistent cache (zeroes when caching is disabled).
+  CacheCounters cache_counters() const;
+
+  const RuntimeOptions& options() const { return opts_; }
+  TraceLog& trace() { return trace_; }
+
+ private:
+  void run_one(JobId id, int threads);
+
+  RuntimeOptions opts_;
+  std::unique_ptr<ResultCache> cache_;
+  TraceLog trace_;
+  std::vector<JobRecord> jobs_;
+  std::map<mathx::HashKey128, JobId> by_key_;
+  std::vector<std::vector<JobId>> prereqs_;  ///< prereqs_[id] = dependencies
+};
+
+/// One-shot convenience: run a single job through a private graph with the
+/// given options (cache and trace fully honored).
+JobRecord run_job(const Job& job, const RuntimeOptions& opts = {});
+
+}  // namespace csdac::runtime

@@ -1,0 +1,397 @@
+#include "runtime/job.hpp"
+
+#include <stdexcept>
+
+#include "dac/dac_model.hpp"
+#include "dac/spectrum.hpp"
+
+namespace csdac::runtime {
+
+std::string_view kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kInlYield: return "inl_yield";
+    case JobKind::kCalYield: return "cal_yield";
+    case JobKind::kSweepBasic: return "sweep_basic";
+    case JobKind::kSweepCascode: return "sweep_cascode";
+    case JobKind::kSpectrum: return "spectrum";
+  }
+  return "unknown";
+}
+
+JobKind job_kind(const Job& job) {
+  return std::visit(
+      [](const auto& j) -> JobKind {
+        using T = std::decay_t<decltype(j)>;
+        if constexpr (std::is_same_v<T, InlYieldJob>) return JobKind::kInlYield;
+        if constexpr (std::is_same_v<T, CalYieldJob>) return JobKind::kCalYield;
+        if constexpr (std::is_same_v<T, SweepBasicJob>) {
+          return JobKind::kSweepBasic;
+        }
+        if constexpr (std::is_same_v<T, SweepCascodeJob>) {
+          return JobKind::kSweepCascode;
+        }
+        if constexpr (std::is_same_v<T, SpectrumJob>) return JobKind::kSpectrum;
+      },
+      job);
+}
+
+namespace {
+
+// Canonical serialization of the shared parameter structs. Every
+// result-determining field, in declaration order, fixed width — adding a
+// field here (because it gained influence on results) is a key change for
+// every job that embeds the struct, which is exactly right.
+
+void put(const core::DacSpec& s, mathx::ByteWriter& w) {
+  w.i32(s.nbits);
+  w.i32(s.binary_bits);
+  w.f64(s.vdd);
+  w.f64(s.v_swing);
+  w.f64(s.v_out_min);
+  w.f64(s.r_load);
+  w.f64(s.c_load);
+  w.f64(s.c_int);
+  w.f64(s.inl_yield);
+  w.f64(s.r_load_tol);
+}
+
+void put(const tech::MosTechParams& t, mathx::ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(t.type));
+  w.f64(t.kp);
+  w.f64(t.vt0);
+  w.f64(t.lambda_l);
+  w.f64(t.gamma);
+  w.f64(t.phi_2f);
+  w.f64(t.cox);
+  w.f64(t.cgso);
+  w.f64(t.cgdo);
+  w.f64(t.cj);
+  w.f64(t.cjsw);
+  w.f64(t.l_diff);
+  w.f64(t.a_vt);
+  w.f64(t.a_beta);
+  w.f64(t.l_min);
+  w.f64(t.w_min);
+}
+
+void put(const core::GridAxis& a, mathx::ByteWriter& w) {
+  w.f64(a.lo);
+  w.f64(a.hi);
+  w.i32(a.steps);
+}
+
+void put(const dac::CalibrationOptions& c, mathx::ByteWriter& w) {
+  w.f64(c.range_lsb);
+  w.i32(c.bits);
+  w.f64(c.measure_noise_lsb);
+}
+
+void put(const dac::DynamicParams& d, mathx::ByteWriter& w) {
+  w.f64(d.fs);
+  w.i32(d.oversample);
+  w.f64(d.tau);
+  w.f64(d.rout_unit);
+  w.f64(d.binary_skew);
+  w.f64(d.jitter_sigma);
+  w.f64(d.feedthrough_lsb);
+}
+
+void put_params(const InlYieldJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+  w.u8(static_cast<std::uint8_t>(j.ref));
+  w.boolean(j.dnl);
+  w.boolean(j.adaptive);
+  w.i32(j.min_chips);
+  w.i32(j.batch);
+  w.f64(j.ci_half_width);
+}
+
+void put_params(const CalYieldJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  put(j.cal, w);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+}
+
+void put_params(const SweepBasicJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  put(j.tech, w);
+  put(j.cs, w);
+  put(j.sw, w);
+  w.u8(static_cast<std::uint8_t>(j.policy));
+  w.f64(j.fixed_margin);
+}
+
+void put_params(const SweepCascodeJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  put(j.tech, w);
+  put(j.cs, w);
+  put(j.sw, w);
+  put(j.cas, w);
+  w.u8(static_cast<std::uint8_t>(j.policy));
+  w.f64(j.fixed_margin);
+  w.u8(static_cast<std::uint8_t>(j.agg));
+}
+
+void put_params(const SpectrumJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  w.u64(j.seed);
+  put(j.dyn, w);
+  w.i32(j.n_samples);
+  w.i32(j.cycles);
+  w.boolean(j.differential);
+}
+
+// Result payload codec. Each kind carries its own schema version so a
+// result-format change invalidates only that kind's entries (the reader
+// rejects, the caller recomputes and overwrites).
+constexpr std::uint8_t kYieldResultV = 1;
+constexpr std::uint8_t kCalResultV = 1;
+constexpr std::uint8_t kSweepResultV = 1;
+constexpr std::uint8_t kSpectrumResultV = 1;
+
+}  // namespace
+
+void canonical_inputs(const Job& job, mathx::ByteWriter& w) {
+  w.str(kEngineVersion);
+  w.u8(static_cast<std::uint8_t>(job_kind(job)));
+  std::visit([&w](const auto& j) { put_params(j, w); }, job);
+}
+
+mathx::HashKey128 job_key(const Job& job) {
+  mathx::ByteWriter w;
+  canonical_inputs(job, w);
+  return w.hash();
+}
+
+void encode_value(const JobValue& value, mathx::ByteWriter& w) {
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, YieldResult>) {
+          w.u8(kYieldResultV);
+          w.i64(v.chips);
+          w.i64(v.pass);
+          w.f64(v.yield);
+          w.f64(v.ci95);
+        } else if constexpr (std::is_same_v<T, CalYieldResult>) {
+          w.u8(kCalResultV);
+          w.i64(v.chips);
+          w.f64(v.yield_before);
+          w.f64(v.yield_after);
+        } else if constexpr (std::is_same_v<T, SweepResult>) {
+          w.u8(kSweepResultV);
+          w.u32(static_cast<std::uint32_t>(v.points.size()));
+          for (const auto& p : v.points) {
+            w.f64(p.vod_cs);
+            w.f64(p.vod_sw);
+            w.f64(p.vod_cas);
+            w.boolean(p.feasible);
+            w.f64(p.margin);
+            w.f64(p.area);
+            w.f64(p.f_min_hz);
+            w.f64(p.t_settle_s);
+            w.f64(p.rout_unit);
+          }
+        } else if constexpr (std::is_same_v<T, SpectrumSummary>) {
+          w.u8(kSpectrumResultV);
+          w.f64(v.sfdr_db);
+          w.f64(v.sndr_db);
+          w.f64(v.thd_db);
+          w.f64(v.enob);
+        }
+      },
+      value);
+}
+
+bool decode_value(JobKind kind, mathx::ByteReader& r, JobValue& out) {
+  switch (kind) {
+    case JobKind::kInlYield: {
+      if (r.u8() != kYieldResultV) return false;
+      YieldResult v;
+      v.chips = r.i64();
+      v.pass = r.i64();
+      v.yield = r.f64();
+      v.ci95 = r.f64();
+      out = v;
+      break;
+    }
+    case JobKind::kCalYield: {
+      if (r.u8() != kCalResultV) return false;
+      CalYieldResult v;
+      v.chips = r.i64();
+      v.yield_before = r.f64();
+      v.yield_after = r.f64();
+      out = v;
+      break;
+    }
+    case JobKind::kSweepBasic:
+    case JobKind::kSweepCascode: {
+      if (r.u8() != kSweepResultV) return false;
+      SweepResult v;
+      const std::uint32_t n = r.u32();
+      if (n > r.remaining() / (8 * 8 + 1)) return false;
+      v.points.resize(n);
+      for (auto& p : v.points) {
+        p.vod_cs = r.f64();
+        p.vod_sw = r.f64();
+        p.vod_cas = r.f64();
+        p.feasible = r.boolean();
+        p.margin = r.f64();
+        p.area = r.f64();
+        p.f_min_hz = r.f64();
+        p.t_settle_s = r.f64();
+        p.rout_unit = r.f64();
+      }
+      out = std::move(v);
+      break;
+    }
+    case JobKind::kSpectrum: {
+      if (r.u8() != kSpectrumResultV) return false;
+      SpectrumSummary v;
+      v.sfdr_db = r.f64();
+      v.sndr_db = r.f64();
+      v.thd_db = r.f64();
+      v.enob = r.f64();
+      out = v;
+      break;
+    }
+    default: return false;
+  }
+  return r.done();
+}
+
+namespace {
+
+JobValue run_inl_yield(const InlYieldJob& j, int threads,
+                       mathx::RunStats* stats) {
+  dac::YieldEstimate y;
+  if (j.adaptive) {
+    dac::AdaptiveMcOptions o;
+    o.max_chips = j.chips;
+    o.min_chips = j.min_chips;
+    o.batch = j.batch;
+    o.ci_half_width = j.ci_half_width;
+    o.threads = threads;
+    y = j.dnl ? dac::dnl_yield_mc_adaptive(j.spec, j.sigma_unit, o, j.seed,
+                                           j.limit)
+              : dac::inl_yield_mc_adaptive(j.spec, j.sigma_unit, o, j.seed,
+                                           j.limit, j.ref);
+  } else {
+    y = j.dnl ? dac::dnl_yield_mc(j.spec, j.sigma_unit, j.chips, j.seed,
+                                  j.limit, threads)
+              : dac::inl_yield_mc(j.spec, j.sigma_unit, j.chips, j.seed,
+                                  j.limit, j.ref, threads);
+  }
+  if (stats) *stats = y.stats;
+  YieldResult r;
+  r.chips = y.chips;
+  r.pass = y.pass;
+  r.yield = y.yield;
+  r.ci95 = y.ci95;
+  return r;
+}
+
+JobValue run_cal_yield(const CalYieldJob& j, int threads,
+                       mathx::RunStats* stats) {
+  const dac::CalibratedYield y = dac::calibration_yield_mc(
+      j.spec, j.sigma_unit, j.cal, j.chips, j.seed, j.limit, threads);
+  if (stats) *stats = y.stats;
+  CalYieldResult r;
+  r.chips = y.chips;
+  r.yield_before = y.yield_before;
+  r.yield_after = y.yield_after;
+  return r;
+}
+
+JobValue run_sweep_basic(const SweepBasicJob& j, int threads,
+                         mathx::RunStats* stats) {
+  const core::DesignSpaceExplorer ex(core::CellSizer(j.tech, j.spec));
+  SweepResult r;
+  r.points =
+      ex.sweep_basic(j.cs, j.sw, j.policy, j.fixed_margin, threads, stats);
+  return r;
+}
+
+JobValue run_sweep_cascode(const SweepCascodeJob& j, int threads,
+                           mathx::RunStats* stats) {
+  const core::DesignSpaceExplorer ex(core::CellSizer(j.tech, j.spec));
+  SweepResult r;
+  r.points = ex.sweep_cascode(j.cs, j.sw, j.cas, j.policy, j.fixed_margin,
+                              j.agg, threads, stats);
+  return r;
+}
+
+JobValue run_spectrum(const SpectrumJob& j, int threads,
+                      mathx::RunStats* stats) {
+  (void)threads;  // waveform synthesis is inherently sequential
+  j.spec.validate();
+  j.dyn.validate();
+  if (j.n_samples < 8 || j.cycles < 1) {
+    throw std::invalid_argument("spectrum job: bad record shape");
+  }
+  dac::SourceErrors errors;
+  if (j.sigma_unit > 0.0) {
+    mathx::Xoshiro256 rng = mathx::stream_rng(j.seed, 0);
+    errors = dac::draw_source_errors(j.spec, j.sigma_unit, rng);
+  } else {
+    errors = dac::ideal_sources(j.spec);
+  }
+  const dac::SegmentedDac model(j.spec, std::move(errors));
+  const dac::DynamicSimulator sim(model, j.dyn);
+  const auto codes = dac::sine_codes(j.spec, j.n_samples, j.cycles);
+  mathx::Xoshiro256 jitter_rng = mathx::stream_rng(j.seed, 1);
+  mathx::Xoshiro256* rng_ptr =
+      j.dyn.jitter_sigma > 0.0 ? &jitter_rng : nullptr;
+  const auto wave = j.differential ? sim.waveform_differential(codes, rng_ptr)
+                                   : sim.waveform(codes, rng_ptr);
+  // Resample at the end of each sample period (settled value), as the
+  // Fig. 8 bench does.
+  std::vector<double> sampled;
+  sampled.reserve(static_cast<std::size_t>(j.n_samples));
+  const auto step = static_cast<std::size_t>(j.dyn.oversample);
+  for (std::size_t i = step - 1; i < wave.size(); i += step) {
+    sampled.push_back(wave[i]);
+  }
+  const dac::SpectrumResult s = dac::analyze_spectrum(sampled, j.dyn.fs);
+  if (stats) {
+    stats->evaluated = static_cast<std::int64_t>(sampled.size());
+    stats->threads = 1;
+  }
+  SpectrumSummary r;
+  r.sfdr_db = s.sfdr_db;
+  r.sndr_db = s.sndr_db;
+  r.thd_db = s.thd_db;
+  r.enob = s.enob;
+  return r;
+}
+
+}  // namespace
+
+JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
+  return std::visit(
+      [&](const auto& j) -> JobValue {
+        using T = std::decay_t<decltype(j)>;
+        if constexpr (std::is_same_v<T, InlYieldJob>) {
+          return run_inl_yield(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, CalYieldJob>) {
+          return run_cal_yield(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, SweepBasicJob>) {
+          return run_sweep_basic(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, SweepCascodeJob>) {
+          return run_sweep_cascode(j, threads, stats);
+        } else {
+          return run_spectrum(j, threads, stats);
+        }
+      },
+      job);
+}
+
+}  // namespace csdac::runtime

@@ -1,0 +1,157 @@
+// Typed jobs of the runtime layer. A job is a pure, fully-specified unit
+// of work: its result is determined by nothing but the fields serialized
+// into its cache key (plus the engine version tag), and is bit-identical
+// for any thread count — the property the whole caching design rests on,
+// inherited from the mathx parallel engine's (seed, index) stream
+// discipline. Thread count, cache location and trace settings are
+// execution options and deliberately NOT part of the key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "core/spec.hpp"
+#include "dac/calibration.hpp"
+#include "dac/dynamic.hpp"
+#include "dac/static_analysis.hpp"
+#include "mathx/hash.hpp"
+#include "mathx/parallel.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::runtime {
+
+/// Version tag hashed into every cache key. Bump whenever ANY numeric
+/// behavior of a job changes (kernel arithmetic, RNG streams, defaults
+/// that leak into results): stale entries then miss naturally instead of
+/// serving results the current code would not reproduce.
+inline constexpr std::string_view kEngineVersion = "csdac-engine/1";
+
+enum class JobKind : std::uint8_t {
+  kInlYield = 1,
+  kCalYield = 2,
+  kSweepBasic = 3,
+  kSweepCascode = 4,
+  kSpectrum = 5,
+};
+
+std::string_view kind_name(JobKind kind);
+
+/// Monte-Carlo INL (or DNL) parametric yield. With `adaptive`, `chips` is
+/// the hard cap and the Wilson-CI early-stopping rule decides the actual
+/// count — still thread-count invariant, so still cacheable.
+struct InlYieldJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;
+  int chips = 1000;
+  std::uint64_t seed = 0;
+  double limit = 0.5;  ///< pass limit [LSB]
+  dac::InlReference ref = dac::InlReference::kBestFit;
+  bool dnl = false;  ///< judge max|DNL| instead of max|INL| (best-fit ref)
+  bool adaptive = false;
+  int min_chips = 128;
+  int batch = 128;
+  double ci_half_width = 0.0;
+};
+
+/// Calibration-in-the-loop yield (pre/post trim).
+struct CalYieldJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;
+  dac::CalibrationOptions cal;
+  int chips = 1000;
+  std::uint64_t seed = 0;
+  double limit = 0.5;
+};
+
+/// Basic-cell design-space grid (row-major DesignPoint output).
+struct SweepBasicJob {
+  core::DacSpec spec;
+  tech::MosTechParams tech;
+  core::GridAxis cs;
+  core::GridAxis sw;
+  core::MarginPolicy policy = core::MarginPolicy::kStatistical;
+  double fixed_margin = 0.5;
+};
+
+/// Cascode-cell design-space volume.
+struct SweepCascodeJob {
+  core::DacSpec spec;
+  tech::MosTechParams tech;
+  core::GridAxis cs;
+  core::GridAxis sw;
+  core::GridAxis cas;
+  core::MarginPolicy policy = core::MarginPolicy::kStatistical;
+  double fixed_margin = 0.5;
+  core::SigmaAggregation agg = core::SigmaAggregation::kMax;
+};
+
+/// Behavioral-model spectrum of a coherent sine capture (Fig. 8 style):
+/// one mismatch draw, dynamic waveform synthesis, DFT metrics.
+struct SpectrumJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;  ///< 0 = ideal (mismatch-free) sources
+  std::uint64_t seed = 0;   ///< mismatch stream (and jitter stream if any)
+  dac::DynamicParams dyn;
+  int n_samples = 1024;
+  int cycles = 181;  ///< coprime with n_samples for coherent capture
+  bool differential = true;
+};
+
+using Job = std::variant<InlYieldJob, CalYieldJob, SweepBasicJob,
+                         SweepCascodeJob, SpectrumJob>;
+
+JobKind job_kind(const Job& job);
+
+// --- Results ---------------------------------------------------------------
+
+struct YieldResult {
+  std::int64_t chips = 0;  ///< chips actually evaluated
+  std::int64_t pass = 0;
+  double yield = 0.0;
+  double ci95 = 0.0;
+};
+
+struct CalYieldResult {
+  std::int64_t chips = 0;
+  double yield_before = 0.0;
+  double yield_after = 0.0;
+};
+
+struct SweepResult {
+  std::vector<core::DesignPoint> points;  ///< row-major over the axes
+};
+
+struct SpectrumSummary {
+  double sfdr_db = 0.0;
+  double sndr_db = 0.0;
+  double thd_db = 0.0;
+  double enob = 0.0;
+};
+
+using JobValue =
+    std::variant<YieldResult, CalYieldResult, SweepResult, SpectrumSummary>;
+
+// --- Key and result codec --------------------------------------------------
+
+/// Appends the canonical input bytes (engine version, kind tag, every
+/// result-determining parameter in fixed order) to `w`.
+void canonical_inputs(const Job& job, mathx::ByteWriter& w);
+
+/// The job's cache key: hash128 of canonical_inputs.
+mathx::HashKey128 job_key(const Job& job);
+
+/// Result payload codec (the cache adds its own corruption framing).
+void encode_value(const JobValue& value, mathx::ByteWriter& w);
+
+/// Strict decode for `kind`; false on any mismatch (schema drift, trailing
+/// bytes) — the caller then recomputes.
+bool decode_value(JobKind kind, mathx::ByteReader& r, JobValue& out);
+
+/// Executes the job fresh on `threads` engine workers (0 = hardware
+/// concurrency). Fills `stats` with the engine run record when non-null.
+JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats);
+
+}  // namespace csdac::runtime

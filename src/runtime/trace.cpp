@@ -1,0 +1,77 @@
+#include "runtime/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "runtime/json.hpp"
+
+namespace csdac::runtime {
+
+void JsonLine::key(std::string_view k) {
+  if (!first_) s_ += ',';
+  first_ = false;
+  s_ += '"';
+  append_json_escaped(s_, k);
+  s_ += "\":";
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::string_view v) {
+  key(k);
+  s_ += '"';
+  append_json_escaped(s_, v);
+  s_ += '"';
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, double v) {
+  key(k);
+  char buf[40];
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    s_ += "null";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    s_ += buf;
+  }
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::int64_t v) {
+  key(k);
+  s_ += std::to_string(v);
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, bool v) {
+  key(k);
+  s_ += v ? "true" : "false";
+  return *this;
+}
+
+void TraceLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("TraceLog: cannot open " + path);
+  }
+  t0_ = std::chrono::steady_clock::now();
+}
+
+double TraceLog::elapsed_ms() const {
+  if (!out_.is_open()) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void TraceLog::emit(const JsonLine& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  JsonLine stamped = line;
+  stamped.field("t_ms", std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0_)
+                            .count());
+  out_ << stamped.str() << '\n';
+  out_.flush();  // the log is a liveness signal; don't buffer it
+}
+
+}  // namespace csdac::runtime

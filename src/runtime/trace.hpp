@@ -1,0 +1,72 @@
+// Structured JSONL trace of a runtime session: one JSON object per line,
+// written append-only through a mutex so concurrently-finishing jobs never
+// interleave. Every event carries `t_ms` (milliseconds since the log was
+// opened). The CI runtime-smoke job and the EXPERIMENTS.md recipes parse
+// this log to prove warm-cache runs redo no Monte-Carlo work.
+//
+// Event vocabulary (see graph.cpp for the emitting sites):
+//   run_start   {jobs, unique, threads, cache_dir}
+//   job_start   {job, kind, key, label}
+//   job_finish  {job, kind, key, label, cache: "hit"|"miss"|"off",
+//                wall_s, evaluated, items_per_s}
+//   cache_evict {key, bytes}
+//   run_finish  {wall_s, cache_hits, cache_misses, cache_evictions,
+//                chip_evals}
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace csdac::runtime {
+
+/// Builder for one trace line. The first field should be the event name
+/// ("ev"); `str()` closes the object.
+class JsonLine {
+ public:
+  JsonLine& field(std::string_view k, std::string_view v);
+  JsonLine& field(std::string_view k, const char* v) {
+    return field(k, std::string_view(v));
+  }
+  JsonLine& field(std::string_view k, double v);
+  JsonLine& field(std::string_view k, std::int64_t v);
+  JsonLine& field(std::string_view k, int v) {
+    return field(k, static_cast<std::int64_t>(v));
+  }
+  JsonLine& field(std::string_view k, bool v);
+
+  /// The finished object (idempotent).
+  std::string str() const { return s_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+
+  std::string s_ = "{";
+  bool first_ = true;
+};
+
+class TraceLog {
+ public:
+  TraceLog() = default;  ///< disabled: every emit() is a no-op
+
+  /// Opens (truncates) the log file; throws on failure.
+  void open(const std::string& path);
+
+  bool enabled() const { return out_.is_open(); }
+
+  /// Appends one event line, adding the `t_ms` timestamp. Thread-safe.
+  void emit(const JsonLine& line);
+
+  /// Milliseconds since open() (0 when disabled).
+  double elapsed_ms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace csdac::runtime

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "tech/tech.hpp"
 
 namespace csdac::core {
@@ -18,6 +20,22 @@ TEST(Explorer, GridAxisEndpoints) {
   EXPECT_DOUBLE_EQ(a.at(0), 0.1);
   EXPECT_DOUBLE_EQ(a.at(4), 0.9);
   EXPECT_DOUBLE_EQ(a.at(2), 0.5);
+}
+
+TEST(Explorer, GridAxisSinglePointIsItsLowerBound) {
+  // Regression: steps == 1 used to divide by (steps - 1) = 0, producing
+  // NaN/inf coordinates. A 1-point axis pins the sweep at `lo`.
+  GridAxis a{0.3, 0.9, 1};
+  EXPECT_DOUBLE_EQ(a.at(0), 0.3);
+
+  auto ex = make_explorer();
+  GridAxis g{0.1, 0.9, 4};
+  const auto pts = ex.sweep_basic(a, g, MarginPolicy::kStatistical);
+  ASSERT_EQ(pts.size(), 4u);
+  for (const auto& p : pts) {
+    EXPECT_DOUBLE_EQ(p.vod_cs, 0.3);
+    EXPECT_TRUE(std::isfinite(p.area));
+  }
 }
 
 TEST(Explorer, BasicSweepSizeAndFeasibilitySplit) {
@@ -85,9 +103,29 @@ TEST(Explorer, CascodeSweepProducesFeasibleVolume) {
   EXPECT_GT(best->rout_unit, 1e8);  // cascode-grade output impedance
 }
 
+// Bit-exact (not just ULP-close) comparison of every DesignPoint field —
+// the runtime cache serves byte-identical results back, so the sweeps must
+// be deterministic down to the last bit for any thread count.
+void expect_points_bit_identical(const std::vector<DesignPoint>& a,
+                                 const std::vector<DesignPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vod_cs, b[i].vod_cs) << i;
+    EXPECT_EQ(a[i].vod_sw, b[i].vod_sw) << i;
+    EXPECT_EQ(a[i].vod_cas, b[i].vod_cas) << i;
+    EXPECT_EQ(a[i].feasible, b[i].feasible) << i;
+    EXPECT_EQ(a[i].margin, b[i].margin) << i;
+    EXPECT_EQ(a[i].area, b[i].area) << i;
+    EXPECT_EQ(a[i].f_min_hz, b[i].f_min_hz) << i;
+    EXPECT_EQ(a[i].t_settle_s, b[i].t_settle_s) << i;
+    EXPECT_EQ(a[i].rout_unit, b[i].rout_unit) << i;
+  }
+}
+
 TEST(Explorer, ParallelSweepIdenticalToSerial) {
   // Grid points are pure functions of their index, so the engine-parallel
-  // sweep must reproduce the serial sweep exactly, in the same order.
+  // sweep must reproduce the serial sweep exactly, in the same row-major
+  // order, for any thread count.
   auto ex = make_explorer();
   GridAxis g{0.05, 0.9, 10};
   const auto serial = ex.sweep_basic(g, g, MarginPolicy::kStatistical, 0.5,
@@ -96,26 +134,18 @@ TEST(Explorer, ParallelSweepIdenticalToSerial) {
     mathx::RunStats stats;
     const auto par = ex.sweep_basic(g, g, MarginPolicy::kStatistical, 0.5,
                                     threads, &stats);
-    ASSERT_EQ(par.size(), serial.size());
-    for (std::size_t i = 0; i < par.size(); ++i) {
-      EXPECT_DOUBLE_EQ(par[i].vod_cs, serial[i].vod_cs) << i;
-      EXPECT_DOUBLE_EQ(par[i].vod_sw, serial[i].vod_sw) << i;
-      EXPECT_DOUBLE_EQ(par[i].area, serial[i].area) << i;
-      EXPECT_DOUBLE_EQ(par[i].f_min_hz, serial[i].f_min_hz) << i;
-      EXPECT_EQ(par[i].feasible, serial[i].feasible) << i;
-    }
+    expect_points_bit_identical(par, serial);
     EXPECT_EQ(stats.evaluated, 100);
   }
   GridAxis c{0.05, 0.5, 5};
-  const auto cas_serial =
-      ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical);
-  const auto cas_par = ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical,
-                                        0.5, SigmaAggregation::kMax,
-                                        /*threads=*/7);
-  ASSERT_EQ(cas_par.size(), cas_serial.size());
-  for (std::size_t i = 0; i < cas_par.size(); ++i) {
-    EXPECT_DOUBLE_EQ(cas_par[i].vod_cas, cas_serial[i].vod_cas) << i;
-    EXPECT_DOUBLE_EQ(cas_par[i].area, cas_serial[i].area) << i;
+  const auto cas_serial = ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical,
+                                           0.5, SigmaAggregation::kMax,
+                                           /*threads=*/1);
+  for (int threads : {2, 7}) {
+    const auto cas_par = ex.sweep_cascode(c, c, c, MarginPolicy::kStatistical,
+                                          0.5, SigmaAggregation::kMax,
+                                          threads);
+    expect_points_bit_identical(cas_par, cas_serial);
   }
 }
 

@@ -1,0 +1,153 @@
+// Tests for the mathx hashing and canonical byte-serialization layer the
+// runtime cache keys are built on.
+#include "mathx/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace csdac::mathx {
+namespace {
+
+// Published FNV-1a 64-bit test vectors.
+TEST(Fnv1a64, KnownVectors) {
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  const char x[] = {0x00, 0x01, 0x02, 0x03};
+  const std::uint64_t base = fnv1a64(x, sizeof(x));
+  for (std::size_t i = 0; i < sizeof(x); ++i) {
+    char y[sizeof(x)];
+    std::memcpy(y, x, sizeof(x));
+    y[i] ^= 0x40;
+    EXPECT_NE(fnv1a64(y, sizeof(y)), base) << "byte " << i;
+  }
+}
+
+TEST(HashKey128, HexIsStableAndOrdered) {
+  HashKey128 k{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(k.hex(), "0123456789abcdeffedcba9876543210");
+  HashKey128 k2 = k;
+  EXPECT_EQ(k, k2);
+  k2.lo ^= 1;
+  EXPECT_NE(k, k2);
+  EXPECT_TRUE(k < k2 || k2 < k);
+}
+
+TEST(Hash128, DistinctInputsDistinctKeys) {
+  const std::string s1 = "runtime-job-a";
+  const std::string s2 = "runtime-job-b";
+  const HashKey128 k1 = hash128(s1.data(), s1.size());
+  const HashKey128 k2 = hash128(s2.data(), s2.size());
+  EXPECT_NE(k1, k2);
+  // The second lane is seeded and finalized differently, so the two
+  // halves of one key must not coincide either.
+  EXPECT_NE(k1.hi, k1.lo);
+}
+
+TEST(ByteWriter, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.str("hello");
+  w.f64_vec({1.0, -2.5, 1e-300});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  const std::vector<double> v = r.f64_vec();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.5);
+  EXPECT_EQ(v[2], 1e-300);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, DoublesRoundTripBitExactly) {
+  // The cache guarantees bit-identical results, so the codec must be a
+  // bit-pattern copy: negative zero and subnormals survive.
+  ByteWriter w;
+  w.f64(-0.0);
+  w.f64(5e-324);  // smallest subnormal
+  ByteReader r(w.data());
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_EQ(r.f64(), 5e-324);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, TruncationLatchesNotOk) {
+  ByteWriter w;
+  w.u64(1);
+  w.str("payload");
+  std::vector<unsigned char> bytes = w.data();
+  bytes.resize(bytes.size() - 3);  // cut into the string
+  ByteReader r(bytes);
+  (void)r.u64();
+  EXPECT_TRUE(r.ok());
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+  // Once latched, every further read stays failed and returns zeroes.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(ByteReader, BogusVectorLengthRejectedBeforeAllocating) {
+  ByteWriter w;
+  w.u32(0xffffffffu);  // claims an absurd element count, no payload
+  ByteReader r(w.data());
+  const std::vector<double> v = r.f64_vec();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, DoneRequiresFullConsumption) {
+  ByteWriter w;
+  w.u32(5);
+  w.u32(6);
+  ByteReader r(w.data());
+  (void)r.u32();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());  // trailing bytes = schema drift, reject
+  (void)r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, HashMatchesHash128OfBytes) {
+  ByteWriter w;
+  w.str("csdac-engine/1");
+  w.u8(1);
+  w.f64(0.0026);
+  const HashKey128 direct = hash128(w.data().data(), w.data().size());
+  EXPECT_EQ(w.hash(), direct);
+}
+
+TEST(ByteWriter, DistinctFieldOrderDistinctHash) {
+  ByteWriter a, b;
+  a.u32(1);
+  a.u32(2);
+  b.u32(2);
+  b.u32(1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace csdac::mathx

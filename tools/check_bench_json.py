@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Validates a BENCH_mc.json produced by tools/run_benches.
 
-Checks the csdac-bench/1 schema: required top-level keys, per-bench
-structure, and sanity of the measured numbers (positive throughput,
-yields in [0, 1]). Used by the CI bench-smoke job; exits nonzero with a
-message on the first violation. Stdlib only.
+Accepts the csdac-bench/1 and csdac-bench/2 schemas: required top-level
+keys, per-bench structure, and sanity of the measured numbers (positive
+throughput, yields in [0, 1]). Schema /2 additionally carries runtime
+cache benches ("cold"/"warm" sections): the warm pass must be a pure
+cache hit (cache_hits >= 1, zero chip evaluations) and the cold pass a
+miss. Used by the CI bench-smoke job; exits nonzero with a message on
+the first violation. Stdlib only.
 """
 import json
 import sys
 
-SCHEMA = "csdac-bench/1"
+SCHEMAS = ("csdac-bench/1", "csdac-bench/2")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -49,6 +52,24 @@ def check_path(bench, name, which):
     for key in ("yield", "yield_before", "yield_after"):
         if key in path and not 0.0 <= path[key] <= 1.0:
             fail(f"{where}: {key} out of [0, 1]")
+    return path
+
+
+def check_cache_bench(bench, name):
+    """Schema /2 runtime cache bench: cold miss vs warm hit."""
+    cold = check_path(bench, name, "cold")
+    warm = check_path(bench, name, "warm")
+    if cold.get("cache_misses", 0) < 1:
+        fail(f"bench '{name}' / cold: expected >= 1 cache miss")
+    if warm.get("cache_hits", 0) < 1:
+        fail(f"bench '{name}' / warm: expected >= 1 cache hit")
+    if warm.get("chip_evals", -1) != 0:
+        fail(f"bench '{name}' / warm: chip_evals must be 0 "
+             f"(got {warm.get('chip_evals')!r}) — the warm run recomputed")
+    speedup = check_type(bench, "warm_speedup", (int, float),
+                         f"bench '{name}'")
+    if speedup <= 0:
+        fail(f"bench '{name}': warm_speedup must be positive")
 
 
 def main():
@@ -65,12 +86,14 @@ def main():
         fail("top level is not an object")
     for key, types in TOP_KEYS.items():
         check_type(doc, key, types, "top level")
-    if doc["schema"] != SCHEMA:
-        fail(f"schema is '{doc['schema']}', expected '{SCHEMA}'")
+    if doc["schema"] not in SCHEMAS:
+        fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
+    v2 = doc["schema"] == "csdac-bench/2"
     if not doc["benches"]:
         fail("benches array is empty")
 
     names = set()
+    cache_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -79,6 +102,12 @@ def main():
             fail(f"duplicate bench name '{name}'")
         names.add(name)
         check_type(bench, "config", dict, f"bench '{name}'")
+        if "cold" in bench or "warm" in bench:
+            if not v2:
+                fail(f"bench '{name}': cache benches require csdac-bench/2")
+            check_cache_bench(bench, name)
+            cache_benches += 1
+            continue
         check_path(bench, name, "workspace")
         if "legacy" in bench:
             check_path(bench, name, "legacy")
@@ -86,6 +115,8 @@ def main():
                                  f"bench '{name}'")
             if speedup <= 0:
                 fail(f"bench '{name}': speedup must be positive")
+    if v2 and cache_benches == 0:
+        fail("csdac-bench/2 document has no runtime cache benches")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")

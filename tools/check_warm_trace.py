@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a warm-cache csdac runtime JSONL trace.
+
+Used by the CI runtime-smoke job: after csdac_serve has answered the same
+request twice against the same cache directory, the second run's trace must
+show every job finishing as a cache hit and the run performing ZERO
+Monte-Carlo chip evaluations — i.e. the cache really answered everything.
+
+Usage: check_warm_trace.py TRACE.jsonl
+Exits 0 when the trace proves a fully warm run, 1 when it does not,
+2 on usage/IO errors.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_warm_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        print(f"check_warm_trace: cannot read {path}: {exc}")
+        sys.exit(2)
+    if not lines:
+        fail("trace is empty")
+
+    finishes = []
+    run_finish = None
+    for i, line in enumerate(lines, 1):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"line {i} is not valid JSON: {exc}")
+        if not isinstance(ev, dict) or "ev" not in ev:
+            fail(f"line {i} has no 'ev' field")
+        if ev["ev"] == "job_finish":
+            finishes.append((i, ev))
+        elif ev["ev"] == "run_finish":
+            run_finish = (i, ev)
+
+    if not finishes:
+        fail("no job_finish events in trace")
+    for i, ev in finishes:
+        cache = ev.get("cache")
+        if cache != "hit":
+            fail(
+                f"line {i}: job {ev.get('job')} ({ev.get('kind')}) finished "
+                f"with cache={cache!r}, expected 'hit'"
+            )
+    if run_finish is None:
+        fail("no run_finish event in trace")
+    i, ev = run_finish
+    chip_evals = ev.get("chip_evals")
+    if chip_evals != 0:
+        fail(f"line {i}: run_finish chip_evals={chip_evals}, expected 0")
+    hits = ev.get("cache_hits", 0)
+    if hits < len(finishes):
+        fail(
+            f"line {i}: run_finish cache_hits={hits} < "
+            f"{len(finishes)} finished jobs"
+        )
+
+    print(
+        f"check_warm_trace: OK — {len(finishes)} jobs, all cache hits, "
+        f"0 chip evaluations"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,367 @@
+// Batch design-service front end: reads a JSON request file describing many
+// design questions (yield estimates, calibration studies, design-space
+// sweeps, spectrum evaluations), dedupes identical jobs, executes the job
+// graph with the persistent content-addressed cache, and writes a JSON
+// response (schema "csdac-serve/1"). A warm-cache run answers every
+// question without a single Monte-Carlo chip evaluation — the CI
+// runtime-smoke job asserts exactly that from the JSONL trace.
+//
+//   csdac_serve REQUEST.json [--out PATH] [--cache DIR] [--no-cache]
+//               [--cache-max-mb N] [--trace PATH] [--threads N]
+//
+// Request schema ("csdac-request/1"):
+//   { "schema": "csdac-request/1", "jobs": [ <job>, ... ] }
+// Every job object has "kind": one of inl_yield | dnl_yield | cal_yield |
+// sweep_basic | sweep_cascode | spectrum, an optional "id" echoed in the
+// response, an optional "spec" object overriding DacSpec fields, and
+// kind-specific fields (see parse_* below and EXPERIMENTS.md). The unit
+// sigma may be given absolutely ("sigma_unit") or relative to the eq. (1)
+// design value ("sigma_mult").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/accuracy.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/json.hpp"
+
+using namespace csdac;
+
+namespace {
+
+struct RequestEntry {
+  std::string id;         ///< echoed in the response
+  runtime::JobId job_id;  ///< graph node (shared between duplicates)
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "csdac_serve: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+core::DacSpec parse_spec(const runtime::JsonValue& job) {
+  core::DacSpec spec;  // paper's 12-bit defaults
+  if (const auto* s = job.find("spec")) {
+    if (!s->is_object()) die("'spec' must be an object");
+    spec.nbits = static_cast<int>(s->int_or("nbits", spec.nbits));
+    spec.binary_bits =
+        static_cast<int>(s->int_or("binary_bits", spec.binary_bits));
+    spec.vdd = s->number_or("vdd", spec.vdd);
+    spec.v_swing = s->number_or("v_swing", spec.v_swing);
+    spec.v_out_min = s->number_or("v_out_min", spec.v_out_min);
+    spec.r_load = s->number_or("r_load", spec.r_load);
+    spec.c_load = s->number_or("c_load", spec.c_load);
+    spec.c_int = s->number_or("c_int", spec.c_int);
+    spec.inl_yield = s->number_or("inl_yield", spec.inl_yield);
+    spec.r_load_tol = s->number_or("r_load_tol", spec.r_load_tol);
+  }
+  spec.validate();
+  return spec;
+}
+
+double parse_sigma(const runtime::JsonValue& job, const core::DacSpec& spec,
+                   double def_mult) {
+  if (const auto* abs = job.find("sigma_unit")) {
+    if (!abs->is_number() || abs->num < 0) die("bad sigma_unit");
+    return abs->num;
+  }
+  const double mult = job.number_or("sigma_mult", def_mult);
+  if (mult < 0) die("bad sigma_mult");
+  return mult * core::unit_sigma_spec(spec.nbits, spec.inl_yield);
+}
+
+core::GridAxis parse_axis(const runtime::JsonValue& job, const char* key) {
+  core::GridAxis a;
+  if (const auto* ax = job.find(key)) {
+    if (!ax->is_object()) die(std::string("'") + key + "' must be an object");
+    a.lo = ax->number_or("lo", a.lo);
+    a.hi = ax->number_or("hi", a.hi);
+    a.steps = static_cast<int>(ax->int_or("steps", a.steps));
+  }
+  if (a.steps < 1 || !(a.lo <= a.hi)) die(std::string("bad axis ") + key);
+  return a;
+}
+
+core::MarginPolicy parse_policy(const runtime::JsonValue& job) {
+  const std::string p = job.string_or("policy", "statistical");
+  if (p == "none") return core::MarginPolicy::kNone;
+  if (p == "fixed") return core::MarginPolicy::kFixedMargin;
+  if (p == "statistical") return core::MarginPolicy::kStatistical;
+  die("bad policy '" + p + "'");
+}
+
+tech::MosTechParams parse_tech(const runtime::JsonValue& job) {
+  const std::string t = job.string_or("tech", "generic_035um");
+  if (t == "generic_035um") return tech::generic_035um().nmos;
+  if (t == "generic_025um") return tech::generic_025um().nmos;
+  die("bad tech '" + t + "'");
+}
+
+runtime::Job parse_job(const runtime::JsonValue& job) {
+  const std::string kind = job.string_or("kind", "");
+  const core::DacSpec spec = parse_spec(job);
+
+  if (kind == "inl_yield" || kind == "dnl_yield") {
+    runtime::InlYieldJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.chips = static_cast<int>(job.int_or("chips", 1000));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    j.dnl = kind == "dnl_yield";
+    const std::string ref = job.string_or("ref", "bestfit");
+    if (ref == "endpoint") j.ref = dac::InlReference::kEndpoint;
+    else if (ref == "bestfit") j.ref = dac::InlReference::kBestFit;
+    else die("bad ref '" + ref + "'");
+    j.adaptive = job.bool_or("adaptive", false);
+    j.min_chips = static_cast<int>(job.int_or("min_chips", j.min_chips));
+    j.batch = static_cast<int>(job.int_or("batch", j.batch));
+    j.ci_half_width = job.number_or("ci_half_width", j.ci_half_width);
+    if (j.chips < 1) die("bad chips");
+    return j;
+  }
+  if (kind == "cal_yield") {
+    runtime::CalYieldJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.cal.range_lsb = job.number_or("cal_range_lsb", j.cal.range_lsb);
+    j.cal.bits = static_cast<int>(job.int_or("cal_bits", j.cal.bits));
+    j.cal.measure_noise_lsb =
+        job.number_or("cal_noise_lsb", j.cal.measure_noise_lsb);
+    j.chips = static_cast<int>(job.int_or("chips", 1000));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    if (j.chips < 1) die("bad chips");
+    return j;
+  }
+  if (kind == "sweep_basic") {
+    runtime::SweepBasicJob j;
+    j.spec = spec;
+    j.tech = parse_tech(job);
+    j.cs = parse_axis(job, "cs");
+    j.sw = parse_axis(job, "sw");
+    j.policy = parse_policy(job);
+    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
+    return j;
+  }
+  if (kind == "sweep_cascode") {
+    runtime::SweepCascodeJob j;
+    j.spec = spec;
+    j.tech = parse_tech(job);
+    j.cs = parse_axis(job, "cs");
+    j.sw = parse_axis(job, "sw");
+    j.cas = parse_axis(job, "cas");
+    j.policy = parse_policy(job);
+    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
+    const std::string agg = job.string_or("agg", "max");
+    if (agg == "rss") j.agg = core::SigmaAggregation::kRss;
+    else if (agg != "max") die("bad agg '" + agg + "'");
+    return j;
+  }
+  if (kind == "spectrum") {
+    runtime::SpectrumJob j;
+    j.spec = spec;
+    // Spectrum questions default to the mismatch-free converter; ask for
+    // matching effects with sigma_mult/sigma_unit.
+    j.sigma_unit = parse_sigma(job, spec, 0.0);
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 2003));
+    j.dyn.fs = job.number_or("fs", j.dyn.fs);
+    j.dyn.oversample =
+        static_cast<int>(job.int_or("oversample", j.dyn.oversample));
+    j.dyn.tau = job.number_or("tau", j.dyn.tau);
+    j.dyn.rout_unit = job.number_or("rout_unit", j.dyn.rout_unit);
+    j.dyn.binary_skew = job.number_or("binary_skew", j.dyn.binary_skew);
+    j.dyn.jitter_sigma = job.number_or("jitter_sigma", j.dyn.jitter_sigma);
+    j.dyn.feedthrough_lsb =
+        job.number_or("feedthrough_lsb", j.dyn.feedthrough_lsb);
+    j.n_samples = static_cast<int>(job.int_or("n_samples", j.n_samples));
+    j.cycles = static_cast<int>(job.int_or("cycles", j.cycles));
+    j.differential = job.bool_or("differential", true);
+    return j;
+  }
+  die("unknown job kind '" + kind + "'");
+}
+
+void emit_result(bench::JsonWriter& w, const runtime::JobRecord& r) {
+  w.key("result").begin_object();
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, runtime::YieldResult>) {
+          w.field("chips", v.chips);
+          w.field("pass", v.pass);
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+        } else if constexpr (std::is_same_v<T, runtime::CalYieldResult>) {
+          w.field("chips", v.chips);
+          w.field("yield_before", v.yield_before);
+          w.field("yield_after", v.yield_after);
+        } else if constexpr (std::is_same_v<T, runtime::SweepResult>) {
+          w.field("points", static_cast<std::int64_t>(v.points.size()));
+          std::int64_t feasible = 0;
+          for (const auto& p : v.points) feasible += p.feasible ? 1 : 0;
+          w.field("feasible", feasible);
+          const auto emit_best = [&w](const char* name,
+                                      const std::optional<core::DesignPoint>&
+                                          best) {
+            if (!best) return;
+            w.key(name).begin_object();
+            w.field("vod_cs", best->vod_cs);
+            w.field("vod_sw", best->vod_sw);
+            w.field("vod_cas", best->vod_cas);
+            w.field("area_m2", best->area);
+            w.field("f_min_hz", best->f_min_hz);
+            w.field("t_settle_s", best->t_settle_s);
+            w.end_object();
+          };
+          emit_best("best_min_area",
+                    core::DesignSpaceExplorer::select(
+                        v.points, core::Objective::kMinArea));
+          emit_best("best_max_speed",
+                    core::DesignSpaceExplorer::select(
+                        v.points, core::Objective::kMaxSpeed));
+        } else if constexpr (std::is_same_v<T, runtime::SpectrumSummary>) {
+          w.field("sfdr_db", v.sfdr_db);
+          w.field("sndr_db", v.sndr_db);
+          w.field("thd_db", v.thd_db);
+          w.field("enob", v.enob);
+        }
+      },
+      r.value);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string request_path, out_path = "serve_response.json";
+  std::string cache_dir = ".csdac-cache";
+  std::string trace_path;
+  bool use_cache = true;
+  int threads = 0;
+  double cache_max_mb = 256.0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--cache") == 0 && a + 1 < argc) {
+      cache_dir = argv[++a];
+    } else if (std::strcmp(argv[a], "--no-cache") == 0) {
+      use_cache = false;
+    } else if (std::strcmp(argv[a], "--cache-max-mb") == 0 && a + 1 < argc) {
+      cache_max_mb = std::atof(argv[++a]);
+    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      threads = std::atoi(argv[++a]);
+    } else if (argv[a][0] != '-' && request_path.empty()) {
+      request_path = argv[a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: csdac_serve REQUEST.json [--out PATH] "
+                   "[--cache DIR] [--no-cache] [--cache-max-mb N] "
+                   "[--trace PATH] [--threads N]\n");
+      return 2;
+    }
+  }
+  if (request_path.empty()) {
+    std::fprintf(stderr, "csdac_serve: no request file given\n");
+    return 2;
+  }
+
+  std::ifstream in(request_path, std::ios::binary);
+  if (!in) die("cannot read " + request_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  runtime::JsonValue request;
+  std::string err;
+  if (!runtime::parse_json(buf.str(), request, &err)) {
+    die(request_path + ": " + err);
+  }
+  if (request.string_or("schema", "") != "csdac-request/1") {
+    die("request schema must be 'csdac-request/1'");
+  }
+  const auto* jobs = request.find("jobs");
+  if (!jobs || !jobs->is_array() || jobs->arr.empty()) {
+    die("request has no jobs");
+  }
+
+  runtime::RuntimeOptions opts;
+  opts.threads = threads;
+  if (use_cache) opts.cache_dir = cache_dir;
+  opts.cache_max_bytes =
+      static_cast<std::uint64_t>(cache_max_mb * 1024.0 * 1024.0);
+  opts.trace_path = trace_path;
+
+  runtime::JobGraph graph(opts);
+  std::vector<RequestEntry> entries;
+  for (std::size_t i = 0; i < jobs->arr.size(); ++i) {
+    const auto& jv = jobs->arr[i];
+    if (!jv.is_object()) die("job entries must be objects");
+    RequestEntry e;
+    e.id = jv.string_or("id", "job" + std::to_string(i));
+    e.job_id = graph.add(parse_job(jv), e.id);
+    entries.push_back(std::move(e));
+  }
+
+  const std::int64_t chips0 = dac::mc_chips_evaluated();
+  const auto t0 = std::chrono::steady_clock::now();
+  graph.run_all();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::int64_t chip_evals = dac::mc_chips_evaluated() - chips0;
+  const runtime::CacheCounters cc = graph.cache_counters();
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "csdac-serve/1");
+  w.field("request", request_path.c_str());
+  w.field("engine_version", std::string(runtime::kEngineVersion).c_str());
+  w.key("jobs").begin_array();
+  for (const auto& e : entries) {
+    const runtime::JobRecord& r = graph.record(e.job_id);
+    w.begin_object();
+    w.field("id", e.id.c_str());
+    w.field("kind",
+            std::string(runtime::kind_name(runtime::job_kind(r.job))).c_str());
+    w.field("key", r.key.hex().c_str());
+    w.field("cache", use_cache ? (r.cache_hit ? "hit" : "miss") : "off");
+    w.field("wall_s", r.wall_seconds);
+    w.field("evaluated", r.stats.evaluated);
+    emit_result(w, r);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.field("requested", static_cast<std::int64_t>(entries.size()));
+  w.field("unique_jobs", static_cast<std::int64_t>(graph.size()));
+  w.field("cache_hits", cc.hits);
+  w.field("cache_misses", cc.misses);
+  w.field("cache_evictions", cc.evictions);
+  w.field("chip_evals", chip_evals);
+  w.field("wall_s", wall);
+  w.field("threads", threads);
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) die("cannot write " + out_path);
+  out << w.str() << "\n";
+  out.close();
+
+  std::printf(
+      "csdac_serve: %zu requests -> %zu unique jobs, %lld cache hits, "
+      "%lld misses, %lld chips evaluated, %.3f s\n",
+      entries.size(), graph.size(), static_cast<long long>(cc.hits),
+      static_cast<long long>(cc.misses), static_cast<long long>(chip_evals),
+      wall);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,9 +1,12 @@
 // Machine-readable perf harness: runs the Monte-Carlo/yield benches on the
-// paper's 12-bit spec and writes BENCH_mc.json (schema "csdac-bench/1",
+// paper's 12-bit spec and writes BENCH_mc.json (schema "csdac-bench/2",
 // documented in EXPERIMENTS.md) so the perf trajectory can be tracked
 // across commits. Each MC bench is measured twice — the allocation-free
 // per-thread-workspace path and the legacy allocating reference — plus the
 // steady-state bytes allocated per chip via the opt-in counting hook.
+// Schema /2 adds runtime-cache benches: the same job executed cold (miss,
+// full compute) and warm (hit, served from the persistent store), with the
+// warm run required to be a hit with zero Monte-Carlo chip evaluations.
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
 //
@@ -15,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -24,6 +28,7 @@
 #include "dac/calibration.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/alloc_counter.hpp"
+#include "runtime/graph.hpp"
 
 using namespace csdac;
 
@@ -73,6 +78,68 @@ double legacy_alloc_bytes_per_chip(const core::DacSpec& spec, double sigma,
   return static_cast<double>(counting.so_far().bytes) / chips;
 }
 
+/// Cold/warm timing of one job through the runtime cache. Returns false
+/// (after printing) when the warm run is not a pure cache hit or redoes
+/// Monte-Carlo work — that is a correctness bug, not a slow run.
+bool bench_cache_job(bench::JsonWriter& w, const char* name,
+                     const runtime::Job& job, std::int64_t chips,
+                     int threads) {
+  const std::string dir = ".csdac-cache-bench";
+  std::filesystem::remove_all(dir);
+  runtime::RuntimeOptions opts;
+  opts.threads = threads;
+  opts.cache_dir = dir;
+
+  const runtime::JobRecord cold = runtime::run_job(job, opts);
+  const std::int64_t chips0 = dac::mc_chips_evaluated();
+  const runtime::JobRecord warm = runtime::run_job(job, opts);
+  const std::int64_t warm_evals = dac::mc_chips_evaluated() - chips0;
+  std::filesystem::remove_all(dir);
+
+  if (cold.cache_hit || !warm.cache_hit || warm_evals != 0) {
+    std::fprintf(stderr,
+                 "FATAL: %s cache behavior wrong (cold hit=%d, warm hit=%d, "
+                 "warm chip evals=%lld)\n",
+                 name, cold.cache_hit, warm.cache_hit,
+                 static_cast<long long>(warm_evals));
+    return false;
+  }
+  const double warm_speedup =
+      warm.wall_seconds > 0.0 ? cold.wall_seconds / warm.wall_seconds : 0.0;
+  std::printf("  cold %.4f s (miss), warm %.6f s (hit, 0 chip evals): "
+              "%.0fx\n",
+              cold.wall_seconds, warm.wall_seconds, warm_speedup);
+
+  w.begin_object();
+  w.field("name", name);
+  w.key("config").begin_object();
+  w.field("key", cold.key.hex().c_str());
+  w.field("chips", chips);
+  w.end_object();
+  w.key("cold").begin_object();
+  w.field("chips", chips);
+  w.field("wall_s", cold.wall_seconds);
+  w.field("chips_per_s", cold.wall_seconds > 0.0
+                             ? static_cast<double>(chips) / cold.wall_seconds
+                             : 0.0);
+  w.field("cache_hits", cold.stats.cache_hits);
+  w.field("cache_misses", cold.stats.cache_misses);
+  w.end_object();
+  w.key("warm").begin_object();
+  w.field("chips", chips);
+  w.field("wall_s", warm.wall_seconds);
+  w.field("chips_per_s", warm.wall_seconds > 0.0
+                             ? static_cast<double>(chips) / warm.wall_seconds
+                             : 0.0);
+  w.field("cache_hits", warm.stats.cache_hits);
+  w.field("cache_misses", warm.stats.cache_misses);
+  w.field("chip_evals", warm_evals);
+  w.end_object();
+  w.field("warm_speedup", warm_speedup);
+  w.end_object();
+  return true;
+}
+
 void emit_path(bench::JsonWriter& w, const char* name,
                const dac::YieldEstimate& y, double alloc_bytes_per_chip) {
   w.key(name).begin_object();
@@ -119,7 +186,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter w;
   w.begin_object();
-  w.field("schema", "csdac-bench/1");
+  w.field("schema", "csdac-bench/2");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
@@ -258,6 +325,36 @@ int main(int argc, char** argv) {
   w.field("alloc_count", adaptive.stats.alloc_count);
   w.end_object();
   w.end_object();
+
+  // --- Runtime cache: cold (compute + store) vs warm (pure hit) ---------
+  {
+    const int cache_chips = smoke ? 300 : 2000;
+    std::printf("runtime_cache_inl_yield: %d chips cold vs warm ...\n",
+                cache_chips);
+    runtime::InlYieldJob inl_job;
+    inl_job.spec = spec;
+    inl_job.sigma_unit = sigma;
+    inl_job.chips = cache_chips;
+    inl_job.seed = seed;
+    if (!bench_cache_job(w, "runtime_cache_inl_yield", inl_job, cache_chips,
+                         threads)) {
+      return 1;
+    }
+
+    const int cache_cal_chips = smoke ? 150 : 800;
+    std::printf("runtime_cache_cal_yield: %d chips cold vs warm ...\n",
+                cache_cal_chips);
+    runtime::CalYieldJob cal_job;
+    cal_job.spec = spec;
+    cal_job.sigma_unit = cal_sigma;
+    cal_job.cal = cal_opts;
+    cal_job.chips = cache_cal_chips;
+    cal_job.seed = seed;
+    if (!bench_cache_job(w, "runtime_cache_cal_yield", cal_job,
+                         cache_cal_chips, threads)) {
+      return 1;
+    }
+  }
 
   w.end_array();
   w.end_object();
