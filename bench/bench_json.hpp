@@ -1,8 +1,10 @@
-// Minimal dependency-free JSON writer for the machine-readable bench
-// harness (tools/run_benches → BENCH_mc.json). Explicit begin/end calls,
-// insertion-ordered keys, no DOM: just enough to emit the csdac-bench/1
-// schema documented in EXPERIMENTS.md. Numbers are written with %.17g so a
-// round-trip through a double is lossless; non-finite doubles become null.
+// Minimal JSON writer for the machine-readable bench harness and the
+// design service (tools/run_benches → BENCH_mc.json, tools/csdac_serve).
+// Explicit begin/end calls, insertion-ordered keys, no DOM: just enough to
+// emit the csdac-bench/csdac-serve schemas documented in EXPERIMENTS.md.
+// String escaping is the shared obs escaper; numbers are written with
+// %.17g so a round-trip through a double is lossless; non-finite doubles
+// become null.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +12,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/json_escape.hpp"
 
 namespace csdac::bench {
 
@@ -75,6 +79,15 @@ class JsonWriter {
   }
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
 
+  /// Splices pre-serialized JSON (e.g. a MetricsSnapshot::to_json() blob)
+  /// as the next value, comma-aware like any other value. The caller is
+  /// responsible for `json` being well-formed.
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
   template <typename T>
   JsonWriter& field(std::string_view k, T v) {
     key(k);
@@ -100,24 +113,7 @@ class JsonWriter {
 
   void quote(std::string_view s) {
     out_ += '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\r': out_ += "\\r"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned char>(c));
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
+    obs::append_json_escaped(out_, s);
     out_ += '"';
   }
 

@@ -1,30 +1,36 @@
 #include "dac/static_analysis.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <span>
 #include <stdexcept>
 
 #include "mathx/fit.hpp"
 #include "mathx/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdac::dac {
 
 namespace {
 
-std::atomic<std::int64_t> g_chips_evaluated{0};
+// The chip counter now lives in the process-wide metrics registry (it is
+// the same counter a Prometheus dump exports as
+// csdac_mc_chips_evaluated_total); mc_chips_evaluated() stays as the
+// historical facade. The sharded add costs a few nanoseconds against the
+// ~10 us chip evaluation.
+obs::Counter& chip_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mc.chips_evaluated",
+      "Monte-Carlo chips drawn and analyzed (workspace or legacy path)");
+  return c;
+}
 
 }  // namespace
 
-std::int64_t mc_chips_evaluated() {
-  return g_chips_evaluated.load(std::memory_order_relaxed);
-}
+std::int64_t mc_chips_evaluated() { return chip_counter().value(); }
 
 namespace detail {
 
-void count_chip_eval() {
-  g_chips_evaluated.fetch_add(1, std::memory_order_relaxed);
-}
+void count_chip_eval() { chip_counter().add(1); }
 
 }  // namespace detail
 

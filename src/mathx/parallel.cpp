@@ -6,8 +6,44 @@
 #include <stdexcept>
 
 #include "mathx/alloc_counter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace csdac::mathx {
+
+namespace {
+
+/// Engine instruments in the process-wide registry, resolved once. The
+/// per-item cost stays on RunStats' plain per-thread vector; the registry
+/// sees whole-run aggregates (a few adds per run/wave, never per item).
+struct EngineMetrics {
+  obs::Counter& runs;
+  obs::Counter& items;
+  obs::Counter& waves;
+  obs::Counter& early_stops;
+  obs::Histogram& run_us;
+  obs::Histogram& wave_us;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        obs::Registry::global().counter(
+            "engine.runs", "parallel engine runs (for_each dispatches)"),
+        obs::Registry::global().counter(
+            "engine.items", "items evaluated by the parallel engine"),
+        obs::Registry::global().counter(
+            "engine.waves", "adaptive-MC waves (CI-checked batches)"),
+        obs::Registry::global().counter(
+            "engine.early_stops", "adaptive runs stopped before the cap"),
+        obs::Registry::global().histogram(
+            "engine.run_us", "parallel engine run wall time [us]"),
+        obs::Registry::global().histogram(
+            "engine.wave_us", "adaptive-MC wave wall time [us]"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 int resolve_threads(int threads) {
   if (threads == 0) {
@@ -42,7 +78,13 @@ void ThreadPool::worker_loop(int worker) {
       if (stop_) return;
       seen = generation_;
     }
-    work(worker);
+    {
+      // Per-worker span, nested under whatever span the dispatching
+      // thread had open (no-op when no sink is registered).
+      obs::ScopedSpan span("engine.worker", span_parent_);
+      span.attr("worker", worker);
+      work(worker);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --busy_;
@@ -74,6 +116,8 @@ void ThreadPool::for_each_indexed(
   if (begin >= end) return;
   if (chunk < 1) throw std::invalid_argument("ThreadPool: chunk < 1");
   if (workers_.empty()) {
+    obs::ScopedSpan span("engine.worker");
+    span.attr("worker", 0);
     for (std::int64_t i = begin; i < end; ++i) fn(0, i);
     return;
   }
@@ -84,10 +128,15 @@ void ThreadPool::for_each_indexed(
     chunk_ = chunk;
     fn_ = &fn;
     busy_ = static_cast<int>(workers_.size());
+    span_parent_ = obs::Tracer::current_span_id();
     ++generation_;
   }
   cv_start_.notify_all();
-  work(0);  // the calling thread is worker 0
+  {
+    obs::ScopedSpan span("engine.worker");  // calling thread is worker 0
+    span.attr("worker", 0);
+    work(0);
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return busy_ == 0; });
   fn_ = nullptr;
@@ -121,14 +170,12 @@ void fill_utilization(RunStats& s) {
 RunStats parallel_for(std::int64_t n, int threads,
                       const std::function<void(std::int64_t)>& fn,
                       std::int64_t chunk) {
-  const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool pool(clamp_threads_to_items(threads, n));
-  pool.for_each(0, n, fn, chunk);
-  RunStats s;
-  s.evaluated = n;
-  s.threads = pool.threads();
-  finish_stats(s, t0);
-  return s;
+  // Delegate so per-thread item counts and utilization are reported
+  // consistently on every path, including the single-thread one (threads=1
+  // yields a one-entry per_thread_items vector, never an empty one).
+  const std::function<void(int, std::int64_t)> wrapped =
+      [&fn](int, std::int64_t i) { fn(i); };
+  return parallel_for_indexed(n, threads, wrapped, chunk);
 }
 
 RunStats parallel_for_indexed(std::int64_t n, int threads,
@@ -136,6 +183,8 @@ RunStats parallel_for_indexed(std::int64_t n, int threads,
                               std::int64_t chunk, bool count_allocs) {
   const auto t0 = std::chrono::steady_clock::now();
   ThreadPool pool(clamp_threads_to_items(threads, n));
+  obs::ScopedSpan span("engine.run");
+  span.attr("items", n).attr("threads", pool.threads());
   RunStats s;
   s.threads = pool.threads();
   s.per_thread_items.assign(static_cast<std::size_t>(pool.threads()), 0);
@@ -155,6 +204,10 @@ RunStats parallel_for_indexed(std::int64_t n, int threads,
   s.evaluated = n;
   fill_utilization(s);
   finish_stats(s, t0);
+  EngineMetrics& m = EngineMetrics::get();
+  m.runs.add(1);
+  m.items.add(n);
+  m.run_us.observe(static_cast<std::int64_t>(s.wall_seconds * 1e6));
   return s;
 }
 
@@ -199,15 +252,33 @@ YieldRun adaptive_yield_run_indexed(
       };
   std::optional<ScopedAllocCounting> counting;
   if (count_allocs) counting.emplace();
+  obs::ScopedSpan run_span("mc.adaptive");
+  run_span.attr("max_items", opts.max_items).attr("threads", pool.threads());
+  EngineMetrics& m = EngineMetrics::get();
+  std::int64_t wave = 0;
   while (r.evaluated < opts.max_items) {
     const std::int64_t batch =
         std::min(opts.batch, opts.max_items - r.evaluated);
-    pool.for_each_indexed(r.evaluated, r.evaluated + batch, counted);
+    {
+      const auto w0 = std::chrono::steady_clock::now();
+      obs::ScopedSpan wave_span("mc.wave");
+      wave_span.attr("wave", wave).attr("from", r.evaluated)
+          .attr("items", batch);
+      pool.for_each_indexed(r.evaluated, r.evaluated + batch, counted);
+      m.waves.add(1);
+      m.items.add(batch);
+      m.wave_us.observe(static_cast<std::int64_t>(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - w0)
+              .count()));
+    }
+    ++wave;
     r.evaluated += batch;
     r.passed = passed.load();
     if (opts.ci_half_width > 0.0 && r.evaluated >= opts.min_items &&
         wilson_half_width(r.passed, r.evaluated) <= opts.ci_half_width) {
       r.stats.early_stopped = true;
+      m.early_stops.add(1);
       break;
     }
   }
@@ -222,6 +293,8 @@ YieldRun adaptive_yield_run_indexed(
   r.stats.skipped = opts.max_items - r.evaluated;
   fill_utilization(r.stats);
   finish_stats(r.stats, t0);
+  run_span.attr("evaluated", r.evaluated).attr("passed", r.passed)
+      .attr("early_stopped", r.stats.early_stopped ? "true" : "false");
   return r;
 }
 

@@ -40,7 +40,14 @@ inline int clamp_threads_to_items(int threads, std::int64_t n) {
   return static_cast<int>(t < cap ? t : cap);
 }
 
-/// Observability record returned by every engine run.
+/// Observability record returned by every engine run. This is the per-run
+/// view; the same quantities also flow into the process-wide obs::Registry
+/// (engine.runs / engine.items / engine.waves / engine.early_stops counters
+/// and the engine.run_us / engine.wave_us latency histograms), so RunStats
+/// is now a thin per-call facade over the shared observability layer.
+/// Every entry point fills threads and a threads-sized per_thread_items
+/// vector — including the single-thread path, which reports threads = 1
+/// with a one-entry vector.
 struct RunStats {
   std::int64_t evaluated = 0;  ///< items actually run
   std::int64_t skipped = 0;    ///< budgeted items not run (early stop)
@@ -116,6 +123,9 @@ class ThreadPool {
   std::int64_t end_ = 0;
   std::int64_t chunk_ = 1;
   const std::function<void(int, std::int64_t)>* fn_ = nullptr;
+  /// Span id the dispatching thread had open when it launched the current
+  /// job; worker spans nest under it (0 = tracing off or no open span).
+  std::uint64_t span_parent_ = 0;
 };
 
 /// One-shot parallel loop: fn(i) for i in [0, n). Returns the run record.

@@ -1,0 +1,75 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "obs/json_escape.hpp"
+
+namespace csdac::obs {
+
+namespace {
+
+void append_us(std::string& out, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0.0 ? 0.0 : us);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const std::string& process_name) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":"
+         "{\"name\":" + json_quoted(process_name) + "}}";
+
+  std::set<std::uint32_t> tids;
+  for (const auto& s : spans) tids.insert(s.tid);
+  for (const std::uint32_t tid : tids) {
+    out += ",{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-" +
+           std::to_string(tid) + "\"}}";
+  }
+
+  // Sort by start time so viewers that honor file order nest correctly.
+  std::vector<const SpanRecord*> sorted;
+  sorted.reserve(spans.size());
+  for (const auto& s : spans) sorted.push_back(&s);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_us < b->start_us;
+                   });
+
+  for (const SpanRecord* s : sorted) {
+    out += ",{\"name\":" + json_quoted(s->name) +
+           ",\"cat\":\"csdac\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s->tid) + ",\"ts\":";
+    append_us(out, s->start_us);
+    out += ",\"dur\":";
+    append_us(out, s->dur_us);
+    out += ",\"args\":{\"span\":" + std::to_string(s->id) +
+           ",\"parent\":" + std::to_string(s->parent);
+    for (const auto& [k, v] : s->attrs) {
+      out += ',';
+      out += json_quoted(k);
+      out += ':';
+      out += json_quoted(v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::string& process_name) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json(spans, process_name) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace csdac::obs

@@ -1,0 +1,26 @@
+// Chrome trace_event exporter: renders finished spans as "complete" (ph
+// "X") events so a run opens as a flamegraph in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Each observability thread
+// id becomes a track; spans carry their attributes (plus span/parent ids
+// for cross-track nesting) in `args`. Timestamps are microseconds on the
+// shared trace epoch, so spans from every thread line up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace csdac::obs {
+
+/// The full trace document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+/// Includes process/thread-name metadata events for readable track labels.
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const std::string& process_name = "csdac");
+
+/// Writes chrome_trace_json to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::string& process_name = "csdac");
+
+}  // namespace csdac::obs

@@ -1,0 +1,259 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json_escape.hpp"
+
+namespace csdac::obs {
+
+int histogram_bucket(std::int64_t v) noexcept {
+  if (v <= 0) return 0;
+  const int bits = std::bit_width(static_cast<std::uint64_t>(v));
+  return bits < kHistogramBuckets ? bits : kHistogramBuckets - 1;
+}
+
+std::int64_t histogram_bucket_le(int bucket) noexcept {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) return -1;  // +Inf
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(kHistogramBuckets, 0);
+  for (const auto& s : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      out[static_cast<std::size_t>(b)] +=
+          s.count[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::int64_t Histogram::count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      total += s.count[b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t Histogram::sum() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instruments (and references into them) must outlive
+  // every static destructor that might still be counting.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          std::string_view help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::logic_error("obs::Registry: '" + std::string(name) +
+                               "' already registered as a different type");
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e->histogram = std::make_unique<Histogram>(); break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : entries_) {
+      switch (e->kind) {
+        case Kind::kCounter:
+          snap.counters.push_back({e->name, e->help, e->counter->value()});
+          break;
+        case Kind::kGauge:
+          snap.gauges.push_back({e->name, e->help, e->gauge->value()});
+          break;
+        case Kind::kHistogram: {
+          HistogramSample h;
+          h.name = e->name;
+          h.help = e->help;
+          h.buckets = e->histogram->bucket_counts();
+          for (const std::int64_t c : h.buckets) h.count += c;
+          h.sum = e->histogram->sum();
+          while (!h.buckets.empty() && h.buckets.back() == 0) {
+            h.buckets.pop_back();
+          }
+          snap.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    out += "null";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quoted(c.name);
+    out += ':';
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quoted(g.name);
+    out += ':';
+    append_double(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quoted(h.name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '[';
+      out += std::to_string(histogram_bucket_le(static_cast<int>(b)));
+      out += ',';
+      out += std::to_string(h.buckets[b]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string prometheus_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size() + 1);
+  const auto sanitize = [&out](std::string_view s) {
+    for (const char c : s) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+      out += ok ? c : '_';
+    }
+  };
+  sanitize(prefix);
+  if (!out.empty()) out += '_';
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  sanitize(name);
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus(std::string_view prefix) const {
+  std::string out;
+  const auto header = [&out](const std::string& name,
+                             const std::string& help, const char* type) {
+    if (!help.empty()) {
+      out += "# HELP " + name + " ";
+      // Exposition-format escaping for HELP text: backslash and newline.
+      for (const char c : help) {
+        if (c == '\\') out += "\\\\";
+        else if (c == '\n') out += "\\n";
+        else out += c;
+      }
+      out += '\n';
+    }
+    out += "# TYPE " + name + " ";
+    out += type;
+    out += '\n';
+  };
+  for (const auto& c : counters) {
+    const std::string name = prometheus_name(prefix, c.name) + "_total";
+    header(name, c.help, "counter");
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string name = prometheus_name(prefix, g.name);
+    header(name, g.help, "gauge");
+    out += name + " ";
+    append_double(out, g.value);
+    out += '\n';
+  }
+  for (const auto& h : histograms) {
+    const std::string name = prometheus_name(prefix, h.name);
+    header(name, h.help, "histogram");
+    std::int64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      const std::int64_t le = histogram_bucket_le(static_cast<int>(b));
+      if (le < 0) break;  // overflow bucket is covered by +Inf below
+      out += name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace csdac::obs

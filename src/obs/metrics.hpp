@@ -1,0 +1,192 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// histograms, built for hot paths. Updates go through thread-local shards
+// (cache-line-sized slots indexed by a per-thread id) with relaxed atomics,
+// so an increment costs a thread-local read plus one uncontended fetch_add
+// — a few nanoseconds — regardless of how many threads are counting.
+// Reads (snapshot/export) sum the shards; they are rare and may race with
+// writers, observing each shard atomically but the set of shards at
+// slightly different instants. For a monotonic counter that still yields a
+// value between the true count at the start and at the end of the
+// snapshot, which is all a dashboard or regression gate needs.
+//
+// Instruments are registered by name, created on first use, and never
+// destroyed (references handed out stay valid for the process lifetime —
+// cache them in a static at the call site). Snapshots export as JSON and
+// as Prometheus text exposition (see MetricsSnapshot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csdac::obs {
+
+/// Number of counter shards. A power of two >= typical core counts; more
+/// shards buy nothing but memory once threads stop colliding.
+inline constexpr int kShards = 16;
+
+/// Stable shard index of the calling thread in [0, kShards). Threads get
+/// sequential ids on first use, so up to kShards concurrent threads never
+/// share a slot.
+inline int this_thread_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(id % static_cast<unsigned>(kShards));
+}
+
+/// Monotonic counter. add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    shards_[this_thread_shard()].v.fetch_add(delta,
+                                             std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (racy-but-atomic per shard; see file comment).
+  std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-written value (thread count in flight, bytes resident, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram bucket count: power-of-two (log2) buckets over non-negative
+/// integer observations. Bucket 0 holds v <= 0; bucket i >= 1 holds
+/// v in [2^(i-1), 2^i - 1], i.e. the upper bound (Prometheus `le`) of
+/// bucket i is 2^i - 1. The last bucket absorbs everything larger.
+inline constexpr int kHistogramBuckets = 64;
+
+/// Bucket index for an observation (exposed for the boundary tests).
+int histogram_bucket(std::int64_t v) noexcept;
+
+/// Upper bound (`le`) of bucket i; the last bucket reports +Inf.
+std::int64_t histogram_bucket_le(int bucket) noexcept;
+
+/// Log-bucketed histogram for latencies (microseconds) and sizes (bytes).
+/// observe() is wait-free: one shard bucket fetch_add plus a sum add.
+class Histogram {
+ public:
+  void observe(std::int64_t v) noexcept {
+    auto& s = shards_[this_thread_shard()];
+    s.count[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  }
+
+  /// Per-bucket (non-cumulative) counts summed over the shards.
+  std::vector<std::int64_t> bucket_counts() const;
+  std::int64_t count() const noexcept;  ///< total observations
+  std::int64_t sum() const noexcept;    ///< sum of (non-negative) values
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> count[kHistogramBuckets] = {};
+    std::atomic<std::int64_t> sum{0};
+  };
+  Shard shards_[kShards];
+};
+
+// --- Snapshot and export ---------------------------------------------------
+
+struct CounterSample {
+  std::string name, help;
+  std::int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name, help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name, help;
+  std::vector<std::int64_t> buckets;  ///< non-cumulative, trailing zeros cut
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+/// Point-in-time copy of every instrument, sorted by name (stable output
+/// for golden tests and diffable dumps).
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// {"counters":{name:value,...},"gauges":{...},
+  ///  "histograms":{name:{"count":n,"sum":s,"buckets":[[le,count],...]}}}
+  /// Histogram buckets are emitted sparsely (only non-empty ones), with
+  /// le = -1 standing in for +Inf.
+  std::string to_json() const;
+
+  /// Prometheus text exposition format. Metric names are sanitized to
+  /// [a-zA-Z0-9_], prefixed with `prefix` + "_"; counters get the
+  /// conventional "_total" suffix, histograms the _bucket/_sum/_count
+  /// series with cumulative le buckets.
+  std::string to_prometheus(std::string_view prefix = "csdac") const;
+};
+
+/// Sanitized Prometheus metric name (exposed for tests): every character
+/// outside [a-zA-Z0-9_] becomes '_', and a leading digit gets a '_' prefix.
+std::string prometheus_name(std::string_view prefix, std::string_view name);
+
+/// Named-instrument registry. `global()` is the process-wide instance the
+/// engine, cache, and tools all write to; separate instances exist for
+/// tests. Re-registering a name returns the same instrument; registering a
+/// name as two different types throws std::logic_error.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name, help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace csdac::obs

@@ -1,0 +1,152 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace csdac::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// One frame per open span on the calling thread.
+struct StackFrame {
+  std::uint64_t id;
+  int depth;
+};
+
+thread_local std::vector<StackFrame> t_span_stack;
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+double trace_now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+std::uint32_t this_thread_trace_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+Tracer& Tracer::global() {
+  // Leaked like the registry: spans may finish during static destruction.
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+void Tracer::add_sink(SpanSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+  active_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+void Tracer::remove_sink(SpanSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+  active_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::current_span_id() noexcept {
+  return t_span_stack.empty() ? 0 : t_span_stack.back().id;
+}
+
+void Tracer::emit(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SpanSink* sink : sinks_) sink->on_span(span);
+}
+
+void ScopedSpan::open(std::string_view name, std::uint64_t parent,
+                      bool use_stack) {
+  if (!Tracer::global().active()) return;
+  live_ = true;
+  rec_.name = std::string(name);
+  rec_.id = next_span_id();
+  if (use_stack && !t_span_stack.empty()) {
+    rec_.parent = t_span_stack.back().id;
+    rec_.depth = t_span_stack.back().depth + 1;
+  } else {
+    rec_.parent = parent;
+    // A cross-thread child starts a fresh stack on this thread; its local
+    // depth is 0 even though it has a parent elsewhere.
+    rec_.depth = 0;
+  }
+  rec_.tid = this_thread_trace_tid();
+  rec_.start_us = trace_now_us();
+  t_span_stack.push_back({rec_.id, rec_.depth});
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  open(name, 0, /*use_stack=*/true);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::uint64_t parent) {
+  open(name, parent, /*use_stack=*/false);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!live_) return;
+  // Pop this span (robust even if an inner span leaked past its scope).
+  while (!t_span_stack.empty()) {
+    const bool found = t_span_stack.back().id == rec_.id;
+    t_span_stack.pop_back();
+    if (found) break;
+  }
+  rec_.dur_us = trace_now_us() - rec_.start_us;
+  Tracer::global().emit(rec_);
+}
+
+ScopedSpan& ScopedSpan::attr(std::string_view key, std::string_view value) {
+  if (live_) rec_.attrs.emplace_back(std::string(key), std::string(value));
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::attr(std::string_view key, std::int64_t value) {
+  if (live_) {
+    rec_.attrs.emplace_back(std::string(key), std::to_string(value));
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::attr(std::string_view key, double value) {
+  if (live_) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    rec_.attrs.emplace_back(std::string(key), buf);
+  }
+  return *this;
+}
+
+void SpanCollector::on_span(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(span);
+}
+
+std::vector<SpanRecord> SpanCollector::take() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+}  // namespace csdac::obs

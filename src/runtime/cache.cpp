@@ -5,6 +5,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+
 namespace csdac::runtime {
 
 namespace {
@@ -12,6 +14,33 @@ namespace {
 constexpr char kMagic[4] = {'C', 'S', 'D', 'C'};
 constexpr std::uint32_t kFormatVersion = 1;
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+/// Process-wide cache instruments: every ResultCache instance feeds the
+/// same registry metrics (per-instance CacheCounters stay exact for the
+/// trace's run_finish line; these power /metrics and the CI smoke checks).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& corrupt;
+  obs::Counter& stores;
+  obs::Counter& bytes_stored;
+  obs::Histogram& payload_bytes;
+
+  static CacheMetrics& get() {
+    auto& r = obs::Registry::global();
+    static CacheMetrics m{
+        r.counter("cache.hits", "result-cache lookups served from disk"),
+        r.counter("cache.misses", "result-cache lookups that recomputed"),
+        r.counter("cache.evictions", "entries evicted to honor the budget"),
+        r.counter("cache.corrupt", "entries dropped by validation"),
+        r.counter("cache.stores", "entries written to the store"),
+        r.counter("cache.bytes_stored", "bytes written incl. headers"),
+        r.histogram("cache.payload_bytes", "stored payload size [bytes]"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -31,6 +60,7 @@ bool ResultCache::get(const mathx::HashKey128& key,
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     ++counters_.misses;
+    CacheMetrics::get().misses.add(1);
     return false;
   }
   std::vector<unsigned char> file((std::istreambuf_iterator<char>(in)),
@@ -61,11 +91,14 @@ bool ResultCache::get(const mathx::HashKey128& key,
     std::filesystem::remove(path, ec);
     ++counters_.corrupt;
     ++counters_.misses;
+    CacheMetrics::get().corrupt.add(1);
+    CacheMetrics::get().misses.add(1);
     return false;
   }
 
   payload.assign(file.begin() + kHeaderBytes, file.end());
   ++counters_.hits;
+  CacheMetrics::get().hits.add(1);
   // Refresh the LRU stamp; failure (e.g. read-only store) only weakens
   // eviction ordering.
   std::error_code ec;
@@ -118,6 +151,10 @@ void ResultCache::put(const mathx::HashKey128& key,
   ++counters_.stores;
   counters_.bytes_stored +=
       static_cast<std::int64_t>(kHeaderBytes + payload.size());
+  CacheMetrics& cm = CacheMetrics::get();
+  cm.stores.add(1);
+  cm.bytes_stored.add(static_cast<std::int64_t>(kHeaderBytes + payload.size()));
+  cm.payload_bytes.observe(static_cast<std::int64_t>(payload.size()));
   evict_to_fit(path);
 }
 
@@ -149,6 +186,7 @@ void ResultCache::evict_to_fit(const std::filesystem::path& keep) {
     if (ec) continue;
     total -= e.bytes;
     ++counters_.evictions;
+    CacheMetrics::get().evictions.add(1);
     if (on_evict) on_evict(e.path.stem().string(), e.bytes);
   }
 }

@@ -3,7 +3,33 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace csdac::runtime {
+
+namespace {
+
+/// Graph-level instruments in the process-wide registry.
+struct GraphMetrics {
+  obs::Counter& jobs;
+  obs::Counter& waves;
+  obs::Histogram& job_us;
+
+  static GraphMetrics& get() {
+    static GraphMetrics m{
+        obs::Registry::global().counter("graph.jobs",
+                                        "jobs executed by the job graph"),
+        obs::Registry::global().counter(
+            "graph.waves", "dependency waves dispatched by run_all"),
+        obs::Registry::global().histogram(
+            "graph.job_us", "per-job wall time incl. cache I/O [us]"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 JobGraph::JobGraph(RuntimeOptions opts) : opts_(std::move(opts)) {
   if (!opts_.cache_dir.empty()) {
@@ -14,6 +40,8 @@ JobGraph::JobGraph(RuntimeOptions opts) : opts_(std::move(opts)) {
   }
   if (!opts_.trace_path.empty()) {
     trace_.open(opts_.trace_path);
+    span_sink_ = std::make_unique<TraceSpanSink>(trace_);
+    obs::Tracer::global().add_sink(span_sink_.get());
   }
   if (cache_ && trace_.enabled()) {
     cache_->on_evict = [this](const std::string& key_hex,
@@ -24,6 +52,10 @@ JobGraph::JobGraph(RuntimeOptions opts) : opts_(std::move(opts)) {
                       .field("bytes", static_cast<std::int64_t>(bytes)));
     };
   }
+}
+
+JobGraph::~JobGraph() {
+  if (span_sink_) obs::Tracer::global().remove_sink(span_sink_.get());
 }
 
 JobId JobGraph::add(Job job, std::string label) {
@@ -67,6 +99,8 @@ void JobGraph::run_one(JobId id, int threads) {
                     .field("key", key_hex)
                     .field("label", r.label));
   }
+  obs::ScopedSpan span("graph.job");
+  span.attr("kind", kind).attr("label", r.label).attr("key", key_hex);
   const auto t0 = std::chrono::steady_clock::now();
 
   bool hit = false;
@@ -97,6 +131,12 @@ void JobGraph::run_one(JobId id, int threads) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   r.done = true;
+
+  GraphMetrics& gm = GraphMetrics::get();
+  gm.jobs.add(1);
+  gm.job_us.observe(static_cast<std::int64_t>(r.wall_seconds * 1e6));
+  span.attr("cache", cache_ ? (hit ? "hit" : "miss") : "off")
+      .attr("evaluated", r.stats.evaluated);
 
   if (trace_.enabled()) {
     trace_.emit(JsonLine()
@@ -132,11 +172,15 @@ void JobGraph::run_all() {
   if (trace_.enabled()) {
     trace_.emit(JsonLine()
                     .field("ev", "run_start")
+                    .field("schema", kTraceSchema)
                     .field("jobs", static_cast<std::int64_t>(pending))
                     .field("threads", opts_.threads)
                     .field("cache_dir",
                            cache_ ? cache_->options().dir : std::string()));
   }
+  obs::ScopedSpan run_span("graph.run");
+  run_span.attr("jobs", static_cast<std::int64_t>(pending))
+      .attr("threads", opts_.threads);
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t chips0 = dac::mc_chips_evaluated();
 
@@ -149,6 +193,7 @@ void JobGraph::run_all() {
   while (!ready.empty()) {
     const std::vector<JobId> wave = std::move(ready);
     ready.clear();
+    GraphMetrics::get().waves.add(1);
     if (wave.size() == 1) {
       // A lone job gets the whole pool for its internal parallelism.
       run_one(wave[0], opts_.threads);

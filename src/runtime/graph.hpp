@@ -47,6 +47,8 @@ struct JobRecord {
 class JobGraph {
  public:
   explicit JobGraph(RuntimeOptions opts = {});
+  /// Unregisters the trace span sink (when tracing was enabled).
+  ~JobGraph();
 
   /// Adds a job, deduplicating by content key: adding an identical job
   /// returns the existing id (and the work runs once).
@@ -75,6 +77,9 @@ class JobGraph {
   RuntimeOptions opts_;
   std::unique_ptr<ResultCache> cache_;
   TraceLog trace_;
+  /// Registered with obs::Tracer::global() while tracing, so engine and
+  /// job spans land in the JSONL alongside the classic events.
+  std::unique_ptr<TraceSpanSink> span_sink_;
   std::vector<JobRecord> jobs_;
   std::map<mathx::HashKey128, JobId> by_key_;
   std::vector<std::vector<JobId>> prereqs_;  ///< prereqs_[id] = dependencies

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json_escape.hpp"
+
 namespace csdac::runtime {
 
 const JsonValue* JsonValue::find(std::string_view key) const {
@@ -260,24 +262,7 @@ bool parse_json(std::string_view text, JsonValue& out, std::string* err) {
 }
 
 void append_json_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  obs::append_json_escaped(out, s);
 }
 
 }  // namespace csdac::runtime

@@ -46,6 +46,9 @@ struct JsonValue {
 bool parse_json(std::string_view text, JsonValue& out, std::string* err);
 
 /// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+/// Thin forwarder to obs::append_json_escaped — the single escaper shared
+/// by the JSONL trace, the bench JsonWriter, and the obs exporters — kept
+/// here so existing runtime call sites need no include changes.
 void append_json_escaped(std::string& out, std::string_view s);
 
 }  // namespace csdac::runtime

@@ -63,6 +63,23 @@ double TraceLog::elapsed_ms() const {
       .count();
 }
 
+void TraceSpanSink::on_span(const obs::SpanRecord& span) {
+  if (!log_.enabled()) return;
+  JsonLine line;
+  line.field("ev", "span")
+      .field("name", span.name)
+      .field("id", static_cast<std::int64_t>(span.id))
+      .field("parent", static_cast<std::int64_t>(span.parent))
+      .field("depth", span.depth)
+      .field("tid", static_cast<std::int64_t>(span.tid))
+      .field("start_us", span.start_us)
+      .field("dur_us", span.dur_us);
+  for (const auto& [k, v] : span.attrs) {
+    line.field("attr." + k, v);
+  }
+  log_.emit(line);
+}
+
 void TraceLog::emit(const JsonLine& line) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!out_.is_open()) return;

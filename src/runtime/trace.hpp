@@ -4,12 +4,15 @@
 // opened). The CI runtime-smoke job and the EXPERIMENTS.md recipes parse
 // this log to prove warm-cache runs redo no Monte-Carlo work.
 //
-// Event vocabulary (see graph.cpp for the emitting sites):
-//   run_start   {jobs, unique, threads, cache_dir}
+// Event vocabulary, schema "csdac-trace/2" (see graph.cpp for the
+// emitting sites; /2 added the schema tag on run_start and the span
+// events from the obs layer — tools/check_warm_trace.py validates both):
+//   run_start   {schema, jobs, threads, cache_dir}
 //   job_start   {job, kind, key, label}
 //   job_finish  {job, kind, key, label, cache: "hit"|"miss"|"off",
 //                wall_s, evaluated, items_per_s}
 //   cache_evict {key, bytes}
+//   span        {name, id, parent, depth, tid, start_us, dur_us, attrs...}
 //   run_finish  {wall_s, cache_hits, cache_misses, cache_evictions,
 //                chip_evals}
 #pragma once
@@ -21,7 +24,12 @@
 #include <string>
 #include <string_view>
 
+#include "obs/span.hpp"
+
 namespace csdac::runtime {
+
+/// Schema tag stamped on the run_start event.
+inline constexpr std::string_view kTraceSchema = "csdac-trace/2";
 
 /// Builder for one trace line. The first field should be the event name
 /// ("ev"); `str()` closes the object.
@@ -67,6 +75,19 @@ class TraceLog {
   mutable std::mutex mutex_;
   std::ofstream out_;
   std::chrono::steady_clock::time_point t0_{};
+};
+
+/// obs::SpanSink that appends every finished span to a TraceLog as an
+/// `ev:"span"` line (attributes become `attr.<key>` string fields). The
+/// JobGraph registers one with the global tracer for the lifetime of a
+/// traced run, which is what lands engine/graph/job spans in the JSONL.
+class TraceSpanSink : public obs::SpanSink {
+ public:
+  explicit TraceSpanSink(TraceLog& log) : log_(log) {}
+  void on_span(const obs::SpanRecord& span) override;
+
+ private:
+  TraceLog& log_;
 };
 
 }  // namespace csdac::runtime

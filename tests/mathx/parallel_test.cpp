@@ -159,6 +159,26 @@ TEST(Parallel, AdaptiveRunDisabledToleranceRunsToCap) {
   EXPECT_FALSE(r.stats.early_stopped);
 }
 
+TEST(Parallel, SingleThreadStatsMatchMultiThreadShape) {
+  // threads=1 must report the same RunStats shape as any other count: a
+  // one-entry per_thread_items vector holding all the work, utilization 1.
+  const RunStats s = parallel_for(123, 1, [](std::int64_t) {});
+  EXPECT_EQ(s.threads, 1);
+  ASSERT_EQ(s.per_thread_items.size(), 1u);
+  EXPECT_EQ(s.per_thread_items[0], 123);
+  EXPECT_DOUBLE_EQ(s.utilization, 1.0);
+  EXPECT_EQ(s.evaluated, 123);
+
+  // Same guarantee on the adaptive path.
+  const YieldRun r = adaptive_yield_run(
+      {.max_items = 80, .batch = 40, .ci_half_width = 0.0}, 1,
+      [](std::int64_t) { return true; });
+  EXPECT_EQ(r.stats.threads, 1);
+  ASSERT_EQ(r.stats.per_thread_items.size(), 1u);
+  EXPECT_EQ(r.stats.per_thread_items[0], 80);
+  EXPECT_DOUBLE_EQ(r.stats.utilization, 1.0);
+}
+
 // ---- Worker-indexed / workspace engine variants ------------------------
 
 TEST(Parallel, IndexedLoopTracksPerThreadItemsAndUtilization) {

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json_escape.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "runtime/json.hpp"
+
+namespace obs = csdac::obs;
+namespace runtime = csdac::runtime;
+
+namespace {
+
+/// The hostile strings every exporter must survive.
+constexpr const char* kHostile = "a\"b\\c\nd\te\rf\x01g";
+
+runtime::JsonValue parse_or_die(const std::string& text) {
+  runtime::JsonValue v;
+  std::string err;
+  EXPECT_TRUE(runtime::parse_json(text, v, &err)) << err << "\n" << text;
+  return v;
+}
+
+}  // namespace
+
+TEST(JsonEscape, HostileCharacters) {
+  std::string out;
+  obs::append_json_escaped(out, kHostile);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\rf\\u0001g");
+  EXPECT_EQ(obs::json_quoted("plain"), "\"plain\"");
+  // Escaped text embedded in a document must parse back to the original.
+  const runtime::JsonValue v =
+      parse_or_die("{\"k\":" + obs::json_quoted(kHostile) + "}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("k")->str, kHostile);
+}
+
+TEST(JsonEscape, RuntimeForwarderMatches) {
+  std::string a, b;
+  obs::append_json_escaped(a, kHostile);
+  runtime::append_json_escaped(b, kHostile);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SnapshotJson, ParsesAndCarriesValues) {
+  obs::Registry r;
+  r.counter("jobs").add(3);
+  r.gauge("load").set(0.5);
+  obs::Histogram& h = r.histogram("lat_us");
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+
+  const runtime::JsonValue doc = parse_or_die(r.snapshot().to_json());
+  const runtime::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->int_or("jobs", -1), 3);
+  const runtime::JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->number_or("load", -1.0), 0.5);
+  const runtime::JsonValue* hist = doc.find("histograms")->find("lat_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->int_or("count", -1), 3);
+  EXPECT_EQ(hist->int_or("sum", -1), 7);
+  const runtime::JsonValue* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  // Sparse buckets: [le=1, count=1] and [le=3, count=2].
+  ASSERT_EQ(buckets->arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->arr[0].arr[0].num, 1.0);
+  EXPECT_DOUBLE_EQ(buckets->arr[0].arr[1].num, 1.0);
+  EXPECT_DOUBLE_EQ(buckets->arr[1].arr[0].num, 3.0);
+  EXPECT_DOUBLE_EQ(buckets->arr[1].arr[1].num, 2.0);
+}
+
+TEST(SnapshotJson, HostileNamesStayValidJson) {
+  obs::Registry r;
+  r.counter(kHostile).add(1);
+  const runtime::JsonValue doc = parse_or_die(r.snapshot().to_json());
+  EXPECT_EQ(doc.find("counters")->int_or(kHostile, -1), 1);
+}
+
+TEST(PrometheusName, Sanitization) {
+  EXPECT_EQ(obs::prometheus_name("csdac", "mc.chips_evaluated"),
+            "csdac_mc_chips_evaluated");
+  EXPECT_EQ(obs::prometheus_name("csdac", "engine.run_us"),
+            "csdac_engine_run_us");
+  EXPECT_EQ(obs::prometheus_name("", "7weird name!"), "_7weird_name_");
+  EXPECT_EQ(obs::prometheus_name("csdac", "a\"b\nc"), "csdac_a_b_c");
+}
+
+TEST(Prometheus, GoldenExposition) {
+  obs::Registry r;
+  r.counter("cache.hits", "lookups served from disk").add(5);
+  r.gauge("pool.load").set(1.5);
+  obs::Histogram& h = r.histogram("job_us", "per-job wall time");
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+
+  const std::string expected =
+      "# HELP csdac_cache_hits_total lookups served from disk\n"
+      "# TYPE csdac_cache_hits_total counter\n"
+      "csdac_cache_hits_total 5\n"
+      "# TYPE csdac_pool_load gauge\n"
+      "csdac_pool_load 1.5\n"
+      "# HELP csdac_job_us per-job wall time\n"
+      "# TYPE csdac_job_us histogram\n"
+      "csdac_job_us_bucket{le=\"0\"} 0\n"
+      "csdac_job_us_bucket{le=\"1\"} 1\n"
+      "csdac_job_us_bucket{le=\"3\"} 3\n"
+      "csdac_job_us_bucket{le=\"+Inf\"} 3\n"
+      "csdac_job_us_sum 7\n"
+      "csdac_job_us_count 3\n";
+  EXPECT_EQ(r.snapshot().to_prometheus(), expected);
+}
+
+TEST(ChromeTrace, ValidJsonWithNestedSpans) {
+  obs::SpanCollector collector;
+  obs::Tracer::global().add_sink(&collector);
+  {
+    obs::ScopedSpan outer("graph.run");
+    outer.attr("jobs", 2);
+    obs::ScopedSpan inner(kHostile);  // hostile span name must not corrupt
+    inner.attr(kHostile, kHostile);
+  }
+  obs::Tracer::global().remove_sink(&collector);
+  const auto spans = collector.take();
+  ASSERT_EQ(spans.size(), 2u);
+
+  const runtime::JsonValue doc =
+      parse_or_die(obs::chrome_trace_json(spans, "unit\"test"));
+  EXPECT_EQ(doc.string_or("displayTimeUnit", ""), "ms");
+  const runtime::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete = 0, metadata = 0;
+  const runtime::JsonValue* outer_ev = nullptr;
+  const runtime::JsonValue* inner_ev = nullptr;
+  for (const auto& ev : events->arr) {
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    if (ev.string_or("name", "") == "graph.run") outer_ev = &ev;
+    if (ev.string_or("name", "") == kHostile) inner_ev = &ev;
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_GE(metadata, 1);
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  // Complete events are sorted by start time: parent first.
+  EXPECT_LE(outer_ev->number_or("ts", 1e300),
+            inner_ev->number_or("ts", -1e300));
+  const runtime::JsonValue* args = inner_ev->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->string_or(kHostile, ""), kHostile);
+  // Cross-reference: the child's parent arg matches the parent's span arg.
+  EXPECT_EQ(args->int_or("parent", -1),
+            outer_ev->find("args")->int_or("span", -2));
+}

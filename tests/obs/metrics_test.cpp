@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace obs = csdac::obs;
+
+TEST(Counter, SingleThreadSum) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 40);
+}
+
+TEST(Counter, ShardsMergeAcrossThreads) {
+  // More threads than shards, so slots are provably shared and the merge
+  // must still be exact.
+  constexpr int kThreads = 2 * obs::kShards;
+  constexpr std::int64_t kPerThread = 10000;
+  obs::Counter c;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(HistogramBuckets, BoundaryMapping) {
+  // Bucket 0 holds v <= 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::histogram_bucket(std::numeric_limits<std::int64_t>::min()),
+            0);
+  EXPECT_EQ(obs::histogram_bucket(-1), 0);
+  EXPECT_EQ(obs::histogram_bucket(0), 0);
+  EXPECT_EQ(obs::histogram_bucket(1), 1);
+  EXPECT_EQ(obs::histogram_bucket(2), 2);
+  EXPECT_EQ(obs::histogram_bucket(3), 2);
+  EXPECT_EQ(obs::histogram_bucket(4), 3);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11);
+  // The top bucket absorbs everything up to INT64_MAX.
+  EXPECT_EQ(obs::histogram_bucket(std::numeric_limits<std::int64_t>::max()),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, UpperBounds) {
+  EXPECT_EQ(obs::histogram_bucket_le(0), 0);
+  EXPECT_EQ(obs::histogram_bucket_le(1), 1);
+  EXPECT_EQ(obs::histogram_bucket_le(2), 3);
+  EXPECT_EQ(obs::histogram_bucket_le(10), 1023);
+  // The last bucket reports +Inf as -1.
+  EXPECT_EQ(obs::histogram_bucket_le(obs::kHistogramBuckets - 1), -1);
+  // Every observation's bucket covers it: le(bucket(v)) >= v.
+  for (const std::int64_t v : {0LL, 1LL, 2LL, 3LL, 7LL, 8LL, 100000LL}) {
+    const std::int64_t le = obs::histogram_bucket_le(obs::histogram_bucket(v));
+    ASSERT_GE(le, v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, ObserveAndMerge) {
+  obs::Histogram h;
+  h.observe(-5);
+  h.observe(0);
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 6);
+  const auto buckets = h.bucket_counts();
+  EXPECT_EQ(buckets[0], 2);  // the -5 and the 0
+  EXPECT_EQ(buckets[1], 1);  // the 1
+  EXPECT_EQ(buckets[2], 2);  // the two 3s
+  EXPECT_EQ(buckets[obs::kHistogramBuckets - 1], 1);  // the overflow
+}
+
+TEST(Histogram, SumClampsNegatives) {
+  obs::Histogram h;
+  h.observe(-100);
+  h.observe(0);
+  h.observe(7);
+  h.observe(9);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 16);
+}
+
+TEST(Histogram, ConcurrentObservers) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  obs::Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(i % 17);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::int64_t total = 0;
+  for (const std::int64_t c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  obs::Registry r;
+  obs::Counter& a = r.counter("x", "help");
+  obs::Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7);
+}
+
+TEST(Registry, TypeConflictThrows) {
+  obs::Registry r;
+  r.counter("metric");
+  EXPECT_THROW(r.gauge("metric"), std::logic_error);
+  EXPECT_THROW(r.histogram("metric"), std::logic_error);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  obs::Registry r;
+  r.counter("zeta").add(1);
+  r.counter("alpha").add(2);
+  r.gauge("mid").set(3.0);
+  r.histogram("lat").observe(5);
+  const obs::MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[0].value, 2);
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_EQ(snap.histograms[0].sum, 5);
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  obs::Registry& a = obs::Registry::global();
+  obs::Registry& b = obs::Registry::global();
+  EXPECT_EQ(&a, &b);
+}

@@ -1,0 +1,157 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace obs = csdac::obs;
+
+namespace {
+
+/// Registers a collector with the global tracer for the test's scope.
+class ScopedCollector {
+ public:
+  ScopedCollector() { obs::Tracer::global().add_sink(&collector_); }
+  ~ScopedCollector() { obs::Tracer::global().remove_sink(&collector_); }
+  obs::SpanCollector& operator*() { return collector_; }
+  obs::SpanCollector* operator->() { return &collector_; }
+
+ private:
+  obs::SpanCollector collector_;
+};
+
+const obs::SpanRecord* find_span(const std::vector<obs::SpanRecord>& spans,
+                                 std::string_view name) {
+  const auto it = std::find_if(
+      spans.begin(), spans.end(),
+      [name](const obs::SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+TEST(Span, InactiveTracerEmitsNothingAndIdIsZero) {
+  // No sinks registered: spans must be free and invisible.
+  obs::ScopedSpan span("orphan");
+  span.attr("k", "v");
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_FALSE(obs::Tracer::global().active());
+}
+
+TEST(Span, NestingViaThreadLocalStack) {
+  ScopedCollector sink;
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    obs::ScopedSpan outer("outer");
+    outer_id = outer.id();
+    ASSERT_NE(outer_id, 0u);
+    EXPECT_EQ(obs::Tracer::current_span_id(), outer_id);
+    {
+      obs::ScopedSpan inner("inner");
+      inner_id = inner.id();
+      EXPECT_EQ(obs::Tracer::current_span_id(), inner_id);
+    }
+    EXPECT_EQ(obs::Tracer::current_span_id(), outer_id);
+  }
+  EXPECT_EQ(obs::Tracer::current_span_id(), 0u);
+
+  const auto spans = sink->take();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children finish (and are emitted) before their parents.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].id, inner_id);
+  EXPECT_EQ(spans[0].parent, outer_id);
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 0);
+  // The parent's interval covers the child's.
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+  EXPECT_GE(spans[1].start_us + spans[1].dur_us,
+            spans[0].start_us + spans[0].dur_us);
+}
+
+TEST(Span, AttributesAreRecordedInOrder) {
+  ScopedCollector sink;
+  {
+    obs::ScopedSpan span("attrs");
+    span.attr("s", "text").attr("i", std::int64_t{42}).attr("d", 1.5);
+  }
+  const auto spans = sink->take();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(spans[0].attrs[0].first, "s");
+  EXPECT_EQ(spans[0].attrs[0].second, "text");
+  EXPECT_EQ(spans[0].attrs[1].second, "42");
+  EXPECT_EQ(spans[0].attrs[2].second, "1.5");
+}
+
+TEST(Span, CrossThreadParentByExplicitId) {
+  ScopedCollector sink;
+  std::uint64_t parent_id = 0, child_id = 0;
+  {
+    obs::ScopedSpan parent("dispatcher");
+    parent_id = parent.id();
+    std::thread worker([&child_id, parent_id] {
+      obs::ScopedSpan child("worker", parent_id);
+      child_id = child.id();
+    });
+    worker.join();
+  }
+  const auto spans = sink->take();
+  const obs::SpanRecord* child = find_span(spans, "worker");
+  const obs::SpanRecord* parent = find_span(spans, "dispatcher");
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(child->id, child_id);
+  EXPECT_EQ(child->parent, parent_id);
+  EXPECT_NE(child->tid, parent->tid);
+}
+
+TEST(Span, ConcurrentEmittersProduceUniqueIdsAndConsistentNesting) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  ScopedCollector sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedSpan outer("outer");
+        outer.attr("thread", t);
+        obs::ScopedSpan inner("inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto spans = sink->take();
+  ASSERT_EQ(spans.size(), 2u * kThreads * kSpansPerThread);
+  std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+  for (const auto& s : spans) {
+    ASSERT_NE(s.id, 0u);
+    ASSERT_TRUE(by_id.emplace(s.id, &s).second) << "duplicate span id";
+  }
+  for (const auto& s : spans) {
+    if (s.name != "inner") continue;
+    const auto parent = by_id.find(s.parent);
+    ASSERT_NE(parent, by_id.end()) << "inner span with unknown parent";
+    EXPECT_EQ(parent->second->name, "outer");
+    // Nesting never crosses threads here: parent on the same track.
+    EXPECT_EQ(parent->second->tid, s.tid);
+  }
+}
+
+TEST(Span, SinkRemovalStopsDelivery) {
+  obs::SpanCollector collector;
+  obs::Tracer::global().add_sink(&collector);
+  { obs::ScopedSpan span("seen"); }
+  obs::Tracer::global().remove_sink(&collector);
+  { obs::ScopedSpan span("unseen"); }
+  const auto spans = collector.take();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "seen");
+}

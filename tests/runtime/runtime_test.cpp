@@ -470,5 +470,77 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(JsonLine, HostileStringsStayValidJson) {
+  // Keys and values with quotes, backslashes, and control bytes must come
+  // back intact through the parser — one escaper serves every writer.
+  const std::string hostile = "a\"b\\c\nd\te\x01f";
+  const JsonLine line = JsonLine()
+                            .field("ev", hostile)
+                            .field(hostile, "v")
+                            .field("n", std::int64_t{-3});
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(parse_json(line.str(), v, &err)) << err << "\n" << line.str();
+  EXPECT_EQ(v.string_or("ev", ""), hostile);
+  EXPECT_EQ(v.string_or(hostile, ""), "v");
+  EXPECT_EQ(v.int_or("n", 0), -3);
+}
+
+// --- Trace schema ----------------------------------------------------------
+
+TEST(Trace, RunEmitsSchemaTagAndSpans) {
+  ScratchDir dir("trace2");
+  RuntimeOptions opts;
+  opts.threads = 2;
+  opts.trace_path = (dir.path / "trace.jsonl").string();
+  fs::create_directories(dir.path);
+  {
+    JobGraph graph(opts);
+    graph.add(small_inl_job(), "traced");
+    graph.run_all();
+  }
+
+  std::ifstream in(opts.trace_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_schema = false;
+  std::vector<JsonValue> spans;
+  while (std::getline(in, line)) {
+    JsonValue ev;
+    std::string err;
+    ASSERT_TRUE(parse_json(line, ev, &err)) << err << "\n" << line;
+    const std::string kind = ev.string_or("ev", "");
+    if (kind == "run_start") {
+      EXPECT_EQ(ev.string_or("schema", ""), kTraceSchema);
+      saw_schema = true;
+    } else if (kind == "span") {
+      spans.push_back(ev);
+    }
+  }
+  EXPECT_TRUE(saw_schema);
+  ASSERT_FALSE(spans.empty());
+
+  bool saw_run = false, saw_job = false;
+  std::int64_t run_id = 0, job_parent = -1;
+  for (const auto& s : spans) {
+    EXPECT_GT(s.int_or("id", 0), 0);
+    EXPECT_GE(s.int_or("dur_us", -1), 0);
+    const std::string name = s.string_or("name", "");
+    if (name == "graph.run") {
+      saw_run = true;
+      run_id = s.int_or("id", 0);
+    } else if (name == "graph.job") {
+      saw_job = true;
+      job_parent = s.int_or("parent", -1);
+      EXPECT_EQ(s.string_or("attr.label", ""), "traced");
+      EXPECT_EQ(s.string_or("attr.cache", ""), "off");
+    }
+  }
+  EXPECT_TRUE(saw_run);
+  ASSERT_TRUE(saw_job);
+  // The job span nests under the run span.
+  EXPECT_EQ(job_parent, run_id);
+}
+
 }  // namespace
 }  // namespace csdac::runtime

@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
 """Validates a BENCH_mc.json produced by tools/run_benches.
 
-Accepts the csdac-bench/1 and csdac-bench/2 schemas: required top-level
-keys, per-bench structure, and sanity of the measured numbers (positive
+Accepts the csdac-bench/1, /2, and /3 schemas: required top-level keys,
+per-bench structure, and sanity of the measured numbers (positive
 throughput, yields in [0, 1]). Schema /2 additionally carries runtime
 cache benches ("cold"/"warm" sections): the warm pass must be a pure
 cache hit (cache_hits >= 1, zero chip evaluations) and the cold pass a
-miss. Used by the CI bench-smoke job; exits nonzero with a message on
-the first violation. Stdlib only.
+miss. Schema /3 additionally embeds the metrics-registry snapshot under
+"metrics"; the snapshot must carry the engine counters and a positive
+mc.chips_evaluated. Used by the CI bench-smoke job; exits nonzero with a
+message on the first violation. Stdlib only.
 """
 import json
 import sys
 
-SCHEMAS = ("csdac-bench/1", "csdac-bench/2")
+SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -55,6 +57,34 @@ def check_path(bench, name, which):
     return path
 
 
+def check_metrics(doc):
+    """Schema /3 embedded registry snapshot."""
+    metrics = check_type(doc, "metrics", dict, "top level")
+    counters = check_type(metrics, "counters", dict, "metrics")
+    check_type(metrics, "gauges", dict, "metrics")
+    histograms = check_type(metrics, "histograms", dict, "metrics")
+    for key in ("mc.chips_evaluated", "engine.runs", "engine.items"):
+        if not isinstance(counters.get(key), int):
+            fail(f"metrics: missing/non-integer counter '{key}'")
+        if counters[key] < 0:
+            fail(f"metrics: counter '{key}' is negative")
+    if counters["mc.chips_evaluated"] <= 0:
+        fail("metrics: mc.chips_evaluated must be positive after a bench run")
+    for name, h in histograms.items():
+        where = f"metrics histogram '{name}'"
+        count = check_type(h, "count", int, where)
+        check_type(h, "sum", int, where)
+        buckets = check_type(h, "buckets", list, where)
+        total = 0
+        for pair in buckets:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not all(isinstance(x, int) for x in pair)):
+                fail(f"{where}: buckets must be [le, count] integer pairs")
+            total += pair[1]
+        if total != count:
+            fail(f"{where}: bucket counts sum to {total}, count is {count}")
+
+
 def check_cache_bench(bench, name):
     """Schema /2 runtime cache bench: cold miss vs warm hit."""
     cold = check_path(bench, name, "cold")
@@ -88,9 +118,11 @@ def main():
         check_type(doc, key, types, "top level")
     if doc["schema"] not in SCHEMAS:
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
-    v2 = doc["schema"] == "csdac-bench/2"
+    v2 = doc["schema"] in ("csdac-bench/2", "csdac-bench/3")
     if not doc["benches"]:
         fail("benches array is empty")
+    if doc["schema"] == "csdac-bench/3":
+        check_metrics(doc)
 
     names = set()
     cache_benches = 0

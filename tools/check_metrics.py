@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition dumps written by csdac tools.
+
+Parses the dump (stdlib only — no prometheus_client in the toolchain),
+checks the exposition structure, then applies csdac-specific invariants:
+
+  * every sample line is `name value` with a finite non-negative value,
+    names match [a-zA-Z_][a-zA-Z0-9_]* (label form `name{le="..."}` is
+    accepted on histogram buckets only);
+  * every metric has a # TYPE line (HELP is optional — instruments may
+    register without help text) declaring counter/gauge/histogram;
+  * counters end in _total; histogram series are complete (_bucket with
+    a trailing le="+Inf", _sum, _count), bucket counts are cumulative
+    (monotone in le) and the +Inf bucket equals _count.
+
+Modes:
+  check_metrics.py METRICS.prom
+      Structural validation plus cold-run sanity: chips evaluated > 0 and
+      cache misses >= 1 when the cache counters are present.
+  check_metrics.py --cold COLD.prom --warm WARM.prom
+      Additionally asserts the warm run recomputed nothing: the warm dump
+      must show csdac_cache_misses_total == 0,
+      csdac_mc_chips_evaluated_total == 0, csdac_cache_hits_total >= 1,
+      and warm hits >= cold misses (every cold result reached the store).
+
+Exits nonzero with a message on the first violation.
+"""
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+BUCKET_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\{le="(?P<le>[^"]+)"\}$')
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    try:
+        v = float(text)
+    except ValueError:
+        fail(f"{where}: bad sample value {text!r}")
+    if math.isnan(v) or math.isinf(v):
+        fail(f"{where}: non-finite sample value {text!r}")
+    return v
+
+
+def parse_exposition(path):
+    """Returns (samples, types): samples maps a sample name (or
+    (name, le) for buckets) to its value; types maps metric name to the
+    declared TYPE."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not lines:
+        fail(f"{path} is empty")
+
+    samples = {}
+    types = {}
+    for i, line in enumerate(lines, 1):
+        where = f"{path}:{i}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                fail(f"{where}: HELP line without text")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"{where}: malformed TYPE line")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"{where}: unknown metric type {kind!r}")
+            if name in types:
+                fail(f"{where}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 2:
+            fail(f"{where}: sample line is not `name value`")
+        raw_name, value = fields
+        m = BUCKET_RE.match(raw_name)
+        if m:
+            key = (m.group("name"), m.group("le"))
+        else:
+            if not NAME_RE.match(raw_name):
+                fail(f"{where}: bad metric name {raw_name!r}")
+            key = raw_name
+        if key in samples:
+            fail(f"{where}: duplicate sample {raw_name!r}")
+        samples[key] = parse_value(value, where)
+    if not types:
+        fail(f"{path}: no TYPE lines — not an exposition dump?")
+    return samples, types
+
+
+def le_key(le):
+    return math.inf if le == "+Inf" else float(le)
+
+
+def check_structure(path, samples, types):
+    for name, kind in types.items():
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(f"{path}: counter {name} lacks _total suffix")
+            if name not in samples:
+                fail(f"{path}: counter {name} has no sample")
+            if samples[name] < 0:
+                fail(f"{path}: counter {name} is negative")
+        elif kind == "gauge":
+            if name not in samples:
+                fail(f"{path}: gauge {name} has no sample")
+        elif kind == "histogram":
+            buckets = sorted(
+                ((le_key(k[1]), v) for k, v in samples.items()
+                 if isinstance(k, tuple) and k[0] == name + "_bucket"),
+                key=lambda p: p[0])
+            if not buckets:
+                fail(f"{path}: histogram {name} has no buckets")
+            if buckets[-1][0] != math.inf:
+                fail(f"{path}: histogram {name} lacks a +Inf bucket")
+            prev = -1
+            for le, count in buckets:
+                if count < prev:
+                    fail(f"{path}: histogram {name} bucket le={le} count "
+                         f"{count} below previous {prev} (not cumulative)")
+                prev = count
+            for suffix in ("_sum", "_count"):
+                if name + suffix not in samples:
+                    fail(f"{path}: histogram {name} lacks {suffix}")
+            if buckets[-1][1] != samples[name + "_count"]:
+                fail(f"{path}: histogram {name} +Inf bucket "
+                     f"{buckets[-1][1]} != _count "
+                     f"{samples[name + '_count']}")
+    # Every sample must belong to a declared metric.
+    for key in samples:
+        if isinstance(key, tuple):
+            base = key[0].removesuffix("_bucket")
+        else:
+            base = key
+            for suffix in ("_sum", "_count"):
+                if base.endswith(suffix) and base.removesuffix(
+                        suffix) in types:
+                    base = base.removesuffix(suffix)
+        if base not in types:
+            fail(f"{path}: sample {key!r} has no TYPE declaration")
+
+
+def counter(samples, name, default=None):
+    v = samples.get(name, default)
+    if v is None:
+        fail(f"expected counter {name} in dump")
+    return v
+
+
+def check_cold(path, samples):
+    if counter(samples, "csdac_mc_chips_evaluated_total") <= 0:
+        fail(f"{path}: cold run evaluated no Monte-Carlo chips")
+    if "csdac_cache_misses_total" in samples:
+        if counter(samples, "csdac_cache_misses_total") < 1:
+            fail(f"{path}: cold run shows no cache misses")
+
+
+def check_warm(path, samples):
+    if counter(samples, "csdac_cache_misses_total", 0) != 0:
+        fail(f"{path}: warm run has cache misses — the cache did not "
+             f"answer everything")
+    if counter(samples, "csdac_mc_chips_evaluated_total", 0) != 0:
+        fail(f"{path}: warm run evaluated Monte-Carlo chips")
+    if counter(samples, "csdac_cache_hits_total", 0) < 1:
+        fail(f"{path}: warm run shows no cache hits")
+
+
+def main(argv):
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        samples, types = parse_exposition(argv[1])
+        check_structure(argv[1], samples, types)
+        check_cold(argv[1], samples)
+        print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
+              f"{len(samples)} samples")
+        return 0
+    if len(argv) == 5 and argv[1] == "--cold" and argv[3] == "--warm":
+        cold_path, warm_path = argv[2], argv[4]
+        cold, cold_types = parse_exposition(cold_path)
+        warm, warm_types = parse_exposition(warm_path)
+        check_structure(cold_path, cold, cold_types)
+        check_structure(warm_path, warm, warm_types)
+        check_cold(cold_path, cold)
+        check_warm(warm_path, warm)
+        if counter(warm, "csdac_cache_hits_total") < counter(
+                cold, "csdac_cache_misses_total"):
+            fail("warm hits < cold misses: some cold results never "
+                 "reached the cache")
+        print(f"check_metrics: OK — cold evaluated "
+              f"{int(cold['csdac_mc_chips_evaluated_total'])} chips with "
+              f"{int(cold['csdac_cache_misses_total'])} misses; warm "
+              f"served {int(warm['csdac_cache_hits_total'])} hits with "
+              f"0 chips")
+        return 0
+    print("usage: check_metrics.py METRICS.prom\n"
+          "       check_metrics.py --cold COLD.prom --warm WARM.prom",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

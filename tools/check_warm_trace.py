@@ -6,6 +6,10 @@ request twice against the same cache directory, the second run's trace must
 show every job finishing as a cache hit and the run performing ZERO
 Monte-Carlo chip evaluations — i.e. the cache really answered everything.
 
+Also validates the csdac-trace/2 structure: the run_start event must carry
+the schema tag, and every `ev:"span"` line must have the span fields
+(name, id, parent, depth, tid, start_us, dur_us) with sane values.
+
 Usage: check_warm_trace.py TRACE.jsonl
 Exits 0 when the trace proves a fully warm run, 1 when it does not,
 2 on usage/IO errors.
@@ -13,10 +17,36 @@ Exits 0 when the trace proves a fully warm run, 1 when it does not,
 import json
 import sys
 
+TRACE_SCHEMA = "csdac-trace/2"
+SPAN_FIELDS = {
+    "name": str,
+    "id": int,
+    "parent": int,
+    "depth": int,
+    "tid": int,
+    "start_us": (int, float),
+    "dur_us": (int, float),
+}
+
 
 def fail(msg: str) -> None:
     print(f"check_warm_trace: FAIL: {msg}")
     sys.exit(1)
+
+
+def check_span(i: int, ev: dict) -> None:
+    for key, types in SPAN_FIELDS.items():
+        if key not in ev:
+            fail(f"line {i}: span missing field '{key}'")
+        if not isinstance(ev[key], types):
+            fail(f"line {i}: span field '{key}' has type "
+                 f"{type(ev[key]).__name__}")
+    if ev["id"] <= 0:
+        fail(f"line {i}: span id must be positive")
+    if ev["parent"] < 0 or ev["parent"] == ev["id"]:
+        fail(f"line {i}: bad span parent {ev['parent']}")
+    if ev["dur_us"] < 0:
+        fail(f"line {i}: negative span duration")
 
 
 def main() -> None:
@@ -35,6 +65,8 @@ def main() -> None:
 
     finishes = []
     run_finish = None
+    run_start = None
+    spans = 0
     for i, line in enumerate(lines, 1):
         try:
             ev = json.loads(line)
@@ -46,7 +78,18 @@ def main() -> None:
             finishes.append((i, ev))
         elif ev["ev"] == "run_finish":
             run_finish = (i, ev)
+        elif ev["ev"] == "run_start":
+            run_start = (i, ev)
+        elif ev["ev"] == "span":
+            spans += 1
+            check_span(i, ev)
 
+    if run_start is None:
+        fail("no run_start event in trace")
+    i, ev = run_start
+    if ev.get("schema") != TRACE_SCHEMA:
+        fail(f"line {i}: run_start schema={ev.get('schema')!r}, "
+             f"expected {TRACE_SCHEMA!r}")
     if not finishes:
         fail("no job_finish events in trace")
     for i, ev in finishes:
@@ -69,9 +112,13 @@ def main() -> None:
             f"{len(finishes)} finished jobs"
         )
 
+    if spans == 0:
+        fail("no span events in trace (csdac-trace/2 runs always emit "
+             "graph.run/graph.job spans)")
+
     print(
         f"check_warm_trace: OK — {len(finishes)} jobs, all cache hits, "
-        f"0 chip evaluations"
+        f"0 chip evaluations, {spans} spans"
     )
 
 

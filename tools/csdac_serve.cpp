@@ -2,12 +2,20 @@
 // design questions (yield estimates, calibration studies, design-space
 // sweeps, spectrum evaluations), dedupes identical jobs, executes the job
 // graph with the persistent content-addressed cache, and writes a JSON
-// response (schema "csdac-serve/1"). A warm-cache run answers every
-// question without a single Monte-Carlo chip evaluation — the CI
-// runtime-smoke job asserts exactly that from the JSONL trace.
+// response (schema "csdac-serve/2", which embeds a metrics-registry
+// snapshot under "metrics"). A warm-cache run answers every question
+// without a single Monte-Carlo chip evaluation — the CI runtime-smoke and
+// metrics-smoke jobs assert exactly that from the JSONL trace and the
+// Prometheus dump.
 //
 //   csdac_serve REQUEST.json [--out PATH] [--cache DIR] [--no-cache]
 //               [--cache-max-mb N] [--trace PATH] [--threads N]
+//               [--metrics-out PATH] [--chrome-trace PATH]
+//
+// --metrics-out writes the full registry in Prometheus text exposition
+// format after the batch. --chrome-trace collects every span of the run
+// and writes Chrome trace_event JSON — open it in Perfetto or
+// chrome://tracing for a flamegraph of graph.run > graph.job > mc.*.
 //
 // Request schema ("csdac-request/1"):
 //   { "schema": "csdac-request/1", "jobs": [ <job>, ... ] }
@@ -28,6 +36,9 @@
 
 #include "bench_json.hpp"
 #include "core/accuracy.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/json.hpp"
 
@@ -242,7 +253,7 @@ void emit_result(bench::JsonWriter& w, const runtime::JobRecord& r) {
 int main(int argc, char** argv) {
   std::string request_path, out_path = "serve_response.json";
   std::string cache_dir = ".csdac-cache";
-  std::string trace_path;
+  std::string trace_path, metrics_path, chrome_path;
   bool use_cache = true;
   int threads = 0;
   double cache_max_mb = 256.0;
@@ -257,6 +268,10 @@ int main(int argc, char** argv) {
       cache_max_mb = std::atof(argv[++a]);
     } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
       trace_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics-out") == 0 && a + 1 < argc) {
+      metrics_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--chrome-trace") == 0 && a + 1 < argc) {
+      chrome_path = argv[++a];
     } else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
       threads = std::atoi(argv[++a]);
     } else if (argv[a][0] != '-' && request_path.empty()) {
@@ -265,7 +280,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: csdac_serve REQUEST.json [--out PATH] "
                    "[--cache DIR] [--no-cache] [--cache-max-mb N] "
-                   "[--trace PATH] [--threads N]\n");
+                   "[--trace PATH] [--threads N] [--metrics-out PATH] "
+                   "[--chrome-trace PATH]\n");
       return 2;
     }
   }
@@ -299,6 +315,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cache_max_mb * 1024.0 * 1024.0);
   opts.trace_path = trace_path;
 
+  // Collect spans for the Chrome trace export (independent of --trace,
+  // which routes spans into the JSONL via the graph's own sink).
+  obs::SpanCollector collector;
+  if (!chrome_path.empty()) obs::Tracer::global().add_sink(&collector);
+
   runtime::JobGraph graph(opts);
   std::vector<RequestEntry> entries;
   for (std::size_t i = 0; i < jobs->arr.size(); ++i) {
@@ -312,16 +333,22 @@ int main(int argc, char** argv) {
 
   const std::int64_t chips0 = dac::mc_chips_evaluated();
   const auto t0 = std::chrono::steady_clock::now();
-  graph.run_all();
+  {
+    obs::ScopedSpan batch("serve.batch");
+    batch.attr("request", request_path)
+        .attr("jobs", static_cast<std::int64_t>(entries.size()));
+    graph.run_all();
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const std::int64_t chip_evals = dac::mc_chips_evaluated() - chips0;
   const runtime::CacheCounters cc = graph.cache_counters();
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
 
   bench::JsonWriter w;
   w.begin_object();
-  w.field("schema", "csdac-serve/1");
+  w.field("schema", "csdac-serve/2");
   w.field("request", request_path.c_str());
   w.field("engine_version", std::string(runtime::kEngineVersion).c_str());
   w.key("jobs").begin_array();
@@ -349,12 +376,28 @@ int main(int argc, char** argv) {
   w.field("wall_s", wall);
   w.field("threads", threads);
   w.end_object();
+  w.key("metrics").raw(snap.to_json());
   w.end_object();
 
   std::ofstream out(out_path, std::ios::binary);
   if (!out) die("cannot write " + out_path);
   out << w.str() << "\n";
   out.close();
+
+  if (!metrics_path.empty()) {
+    std::ofstream mout(metrics_path, std::ios::binary);
+    if (!mout) die("cannot write " + metrics_path);
+    mout << snap.to_prometheus();
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!chrome_path.empty()) {
+    obs::Tracer::global().remove_sink(&collector);
+    if (!obs::write_chrome_trace(chrome_path, collector.take(),
+                                 "csdac_serve")) {
+      die("cannot write " + chrome_path);
+    }
+    std::printf("wrote %s\n", chrome_path.c_str());
+  }
 
   std::printf(
       "csdac_serve: %zu requests -> %zu unique jobs, %lld cache hits, "

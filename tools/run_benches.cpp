@@ -1,5 +1,5 @@
 // Machine-readable perf harness: runs the Monte-Carlo/yield benches on the
-// paper's 12-bit spec and writes BENCH_mc.json (schema "csdac-bench/2",
+// paper's 12-bit spec and writes BENCH_mc.json (schema "csdac-bench/3",
 // documented in EXPERIMENTS.md) so the perf trajectory can be tracked
 // across commits. Each MC bench is measured twice — the allocation-free
 // per-thread-workspace path and the legacy allocating reference — plus the
@@ -7,6 +7,9 @@
 // Schema /2 adds runtime-cache benches: the same job executed cold (miss,
 // full compute) and warm (hit, served from the persistent store), with the
 // warm run required to be a hit with zero Monte-Carlo chip evaluations.
+// Schema /3 embeds the end-of-run metrics-registry snapshot under
+// "metrics", so a bench record also carries the engine/cache counters
+// (chips evaluated, waves, early stops, cache traffic) behind the numbers.
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
 //
@@ -28,6 +31,7 @@
 #include "dac/calibration.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/alloc_counter.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/graph.hpp"
 
 using namespace csdac;
@@ -186,7 +190,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter w;
   w.begin_object();
-  w.field("schema", "csdac-bench/2");
+  w.field("schema", "csdac-bench/3");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
@@ -357,6 +361,7 @@ int main(int argc, char** argv) {
   }
 
   w.end_array();
+  w.key("metrics").raw(obs::Registry::global().snapshot().to_json());
   w.end_object();
 
   std::ofstream out(out_path, std::ios::binary);
