@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dac/lane_kernel.hpp"
 #include "dac/static_analysis.hpp"
 
 namespace csdac::dac {
@@ -44,6 +45,24 @@ void calibrate_into(const core::DacSpec& spec, const SourceErrors& chip,
   }
 }
 
+CalChipResult cal_chip_passes(ChipWorkspace& ws, double sigma_unit,
+                              const CalibrationOptions& opts,
+                              std::uint64_t seed, std::int64_t chip,
+                              double inl_limit) {
+  detail::count_chip_eval();
+  const auto idx = static_cast<std::uint64_t>(chip);
+  mathx::stream_rng_into(ws.rng, seed, 2 * idx);
+  draw_source_errors_into(ws.spec, sigma_unit, ws.rng, ws.errors);
+  transfer_into(ws.spec, ws.errors, ws);
+  CalChipResult r;
+  r.pass_before = analyze_levels_summary(ws.levels).inl_max < inl_limit;
+  mathx::stream_rng_into(ws.rng, seed, 2 * idx + 1);
+  calibrate_into(ws.spec, ws.errors, opts, ws.rng, ws.trimmed);
+  transfer_into(ws.spec, ws.trimmed, ws);
+  r.pass_after = analyze_levels_summary(ws.levels).inl_max < inl_limit;
+  return r;
+}
+
 namespace {
 
 CalibratedYield run_calibration_mc(const core::DacSpec& spec,
@@ -59,24 +78,55 @@ CalibratedYield run_calibration_mc(const core::DacSpec& spec,
   y.chips = chips;
   std::atomic<int> pass_before{0}, pass_after{0};
   if (use_workspace) {
-    y.stats = mathx::parallel_for_workspace(
-        chips, threads, [&spec] { return ChipWorkspace(spec); },
-        [&](ChipWorkspace& ws, std::int64_t c) {
-          detail::count_chip_eval();
-          const auto idx = static_cast<std::uint64_t>(c);
-          mathx::stream_rng_into(ws.rng, seed, 2 * idx);
-          draw_source_errors_into(spec, sigma_unit, ws.rng, ws.errors);
-          transfer_into(spec, ws.errors, ws);
-          if (analyze_levels_summary(ws.levels).inl_max < inl_limit) {
-            pass_before.fetch_add(1, std::memory_order_relaxed);
-          }
-          mathx::stream_rng_into(ws.rng, seed, 2 * idx + 1);
-          calibrate_into(spec, ws.errors, opts, ws.rng, ws.trimmed);
-          transfer_into(spec, ws.trimmed, ws);
-          if (analyze_levels_summary(ws.levels).inl_max < inl_limit) {
-            pass_after.fetch_add(1, std::memory_order_relaxed);
-          }
-        });
+    const LaneKernel& k = active_lane_kernel();
+    if (k.lanes > 1) {
+      // Chip-per-lane SIMD path: full blocks of k.lanes chips go through
+      // the vector kernel, the remainder through the scalar chip body.
+      // Per-chip results are bit-identical either way.
+      std::atomic<std::int64_t> vec_chips{0}, tail_chips{0};
+      y.stats = mathx::parallel_for_workspace_blocks(
+          chips, threads, k.lanes,
+          [&spec, &k] { return ChipWorkspaceXN(spec, k.lanes); },
+          [&](ChipWorkspaceXN& ws, std::int64_t lo, std::int64_t hi) {
+            int before = 0, after = 0;
+            if (hi - lo == k.lanes) {
+              bool b[kMaxSimdLanes], a[kMaxSimdLanes];
+              k.cal_block(ws, sigma_unit, opts, seed, lo, inl_limit, b, a);
+              for (int l = 0; l < k.lanes; ++l) {
+                before += b[l] ? 1 : 0;
+                after += a[l] ? 1 : 0;
+              }
+              vec_chips.fetch_add(k.lanes, std::memory_order_relaxed);
+            } else {
+              for (std::int64_t c = lo; c < hi; ++c) {
+                const CalChipResult r = cal_chip_passes(
+                    ws.scalar, sigma_unit, opts, seed, c, inl_limit);
+                before += r.pass_before ? 1 : 0;
+                after += r.pass_after ? 1 : 0;
+              }
+              tail_chips.fetch_add(hi - lo, std::memory_order_relaxed);
+            }
+            if (before) {
+              pass_before.fetch_add(before, std::memory_order_relaxed);
+            }
+            if (after) pass_after.fetch_add(after, std::memory_order_relaxed);
+          });
+      detail::record_lane_run(k, vec_chips.load(), tail_chips.load());
+    } else {
+      y.stats = mathx::parallel_for_workspace(
+          chips, threads, [&spec] { return ChipWorkspace(spec); },
+          [&](ChipWorkspace& ws, std::int64_t c) {
+            const CalChipResult r =
+                cal_chip_passes(ws, sigma_unit, opts, seed, c, inl_limit);
+            if (r.pass_before) {
+              pass_before.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (r.pass_after) {
+              pass_after.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+      detail::record_lane_run(k, 0, chips);
+    }
   } else {
     y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
       detail::count_chip_eval();

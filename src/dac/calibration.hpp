@@ -50,6 +50,22 @@ struct CalibratedYield {
   mathx::RunStats stats;  ///< engine observability (wall time, chips/s, ...)
 };
 
+/// Pass/fail of one calibration Monte-Carlo chip before and after trim.
+struct CalChipResult {
+  bool pass_before = false;
+  bool pass_after = false;
+};
+
+/// One calibration chip, allocation-free: mismatch draw from stream 2*chip,
+/// pre-cal INL pass/fail, trim with measurement noise from stream
+/// 2*chip + 1, post-cal pass/fail. This is the chip body of
+/// calibration_yield_mc, exposed so the chip-per-lane SIMD path (and its
+/// equivalence tests) can run the exact scalar reference per chip.
+CalChipResult cal_chip_passes(ChipWorkspace& ws, double sigma_unit,
+                              const CalibrationOptions& opts,
+                              std::uint64_t seed, std::int64_t chip,
+                              double inl_limit);
+
 /// Runs on the shared mathx::parallel engine. Chip c derives two
 /// independent streams from the seed — stream_rng(seed, 2c) for the
 /// mismatch draw and stream_rng(seed, 2c+1) for the calibration

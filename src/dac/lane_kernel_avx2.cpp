@@ -1,0 +1,35 @@
+// AVX2 instantiation of the chip-per-lane kernel (4 chips per block).
+// This translation unit is compiled with -mavx2 (see CMakeLists.txt); it
+// must stay lean — only the LaneKernelImpl<Avx2Ops> template members are
+// emitted here (unique symbols), never shared inline functions, so the
+// linker cannot pick AVX2 code for the rest of the program. Execution is
+// guarded by the runtime dispatch: lane_kernel_avx2() is only called after
+// mathx::simd_detect() confirmed the CPU has AVX2. When the compiler does
+// not support -mavx2, __AVX2__ is undefined here and the kernel compiles
+// to a nullptr stub; the dispatch then downgrades to SSE2.
+#include "dac/lane_kernel.hpp"
+
+#if defined(__AVX2__)
+
+#include "dac/lane_kernel_impl.hpp"
+#include "mathx/simd_avx2.hpp"
+
+namespace csdac::dac::detail {
+
+const LaneKernel* lane_kernel_avx2() {
+  static const LaneKernel k =
+      LaneKernelImpl<mathx::Avx2Ops>::kernel(mathx::SimdBackend::kAvx2);
+  return &k;
+}
+
+}  // namespace csdac::dac::detail
+
+#else
+
+namespace csdac::dac::detail {
+
+const LaneKernel* lane_kernel_avx2() { return nullptr; }
+
+}  // namespace csdac::dac::detail
+
+#endif

@@ -1,0 +1,30 @@
+// SSE2 instantiation of the chip-per-lane kernel (2 chips per block).
+// Compiled with the baseline flags: SSE2 is part of the x86-64 ABI, so no
+// special options and no linker hazard. On non-x86 targets the kernel is
+// compiled out and the dispatch falls through to scalar.
+#include "dac/lane_kernel.hpp"
+
+#if defined(__SSE2__)
+
+#include "dac/lane_kernel_impl.hpp"
+#include "mathx/simd_sse2.hpp"
+
+namespace csdac::dac::detail {
+
+const LaneKernel* lane_kernel_sse2() {
+  static const LaneKernel k =
+      LaneKernelImpl<mathx::Sse2Ops>::kernel(mathx::SimdBackend::kSse2);
+  return &k;
+}
+
+}  // namespace csdac::dac::detail
+
+#else
+
+namespace csdac::dac::detail {
+
+const LaneKernel* lane_kernel_sse2() { return nullptr; }
+
+}  // namespace csdac::dac::detail
+
+#endif

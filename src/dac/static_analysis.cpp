@@ -4,6 +4,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "dac/lane_kernel.hpp"
 #include "mathx/fit.hpp"
 #include "mathx/rng.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +32,8 @@ std::int64_t mc_chips_evaluated() { return chip_counter().value(); }
 namespace detail {
 
 void count_chip_eval() { chip_counter().add(1); }
+
+void count_chip_evals(std::int64_t n) { chip_counter().add(n); }
 
 }  // namespace detail
 
@@ -249,15 +252,48 @@ YieldEstimate run_mc(const core::DacSpec& spec, double sigma_unit, int chips,
   y.chips = chips;
   std::atomic<int> passed{0};
   if (use_workspace) {
-    y.stats = mathx::parallel_for_workspace(
-        chips, threads, [&spec] { return ChipWorkspace(spec); },
-        [&](ChipWorkspace& ws, std::int64_t c) {
-          const StaticSummary s =
-              mc_chip_metrics(ws, sigma_unit, seed, c, ref);
-          if ((use_inl ? s.inl_max : s.dnl_max) < limit) {
-            passed.fetch_add(1, std::memory_order_relaxed);
-          }
-        });
+    const LaneKernel& k = active_lane_kernel();
+    if (k.lanes > 1) {
+      // Chip-per-lane SIMD path: blocks of k.lanes chips through the
+      // vector kernel, the remainder (chips % lanes) through the scalar
+      // kernel. Per-chip metrics are bit-identical either way, so this is
+      // a pure throughput change.
+      std::atomic<std::int64_t> vec_chips{0}, tail_chips{0};
+      y.stats = mathx::parallel_for_workspace_blocks(
+          chips, threads, k.lanes,
+          [&spec, &k] { return ChipWorkspaceXN(spec, k.lanes); },
+          [&](ChipWorkspaceXN& ws, std::int64_t lo, std::int64_t hi) {
+            int local = 0;
+            if (hi - lo == k.lanes) {
+              StaticSummary s[kMaxSimdLanes];
+              k.mc_block(ws, sigma_unit, seed, lo, ref, s);
+              for (int l = 0; l < k.lanes; ++l) {
+                if ((use_inl ? s[l].inl_max : s[l].dnl_max) < limit) ++local;
+              }
+              vec_chips.fetch_add(k.lanes, std::memory_order_relaxed);
+            } else {
+              for (std::int64_t c = lo; c < hi; ++c) {
+                const StaticSummary s =
+                    mc_chip_metrics(ws.scalar, sigma_unit, seed, c, ref);
+                if ((use_inl ? s.inl_max : s.dnl_max) < limit) ++local;
+              }
+              tail_chips.fetch_add(hi - lo, std::memory_order_relaxed);
+            }
+            if (local) passed.fetch_add(local, std::memory_order_relaxed);
+          });
+      detail::record_lane_run(k, vec_chips.load(), tail_chips.load());
+    } else {
+      y.stats = mathx::parallel_for_workspace(
+          chips, threads, [&spec] { return ChipWorkspace(spec); },
+          [&](ChipWorkspace& ws, std::int64_t c) {
+            const StaticSummary s =
+                mc_chip_metrics(ws, sigma_unit, seed, c, ref);
+            if ((use_inl ? s.inl_max : s.dnl_max) < limit) {
+              passed.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+      detail::record_lane_run(k, 0, chips);
+    }
   } else {
     y.stats = mathx::parallel_for(chips, threads, [&](std::int64_t c) {
       if (chip_passes_legacy(spec, sigma_unit, seed, c, limit, use_inl,
@@ -282,13 +318,49 @@ YieldEstimate run_mc_adaptive(const core::DacSpec& spec, double sigma_unit,
   es.min_items = opts.min_chips;
   es.batch = opts.batch;
   es.ci_half_width = opts.ci_half_width;
-  const mathx::YieldRun r = mathx::adaptive_yield_run_workspace(
-      es, opts.threads, [&spec] { return ChipWorkspace(spec); },
-      [&](ChipWorkspace& ws, std::int64_t c) {
-        const StaticSummary s = mc_chip_metrics(ws, sigma_unit, seed, c, ref);
-        return (use_inl ? s.inl_max : s.dnl_max) < limit;
-      },
-      opts.count_allocs);
+  const LaneKernel& k = active_lane_kernel();
+  mathx::YieldRun r;
+  if (k.lanes > 1) {
+    // Chip-per-lane blocks inside each CI wave; the wave boundaries (and
+    // therefore the stopping point) are the same as the per-chip path, so
+    // the estimate stays bit-identical across backends and thread counts.
+    std::atomic<std::int64_t> vec_chips{0}, tail_chips{0};
+    r = mathx::adaptive_yield_run_workspace_blocks(
+        es, opts.threads, k.lanes,
+        [&spec, &k] { return ChipWorkspaceXN(spec, k.lanes); },
+        [&](ChipWorkspaceXN& ws, std::int64_t lo,
+            std::int64_t hi) -> std::int64_t {
+          std::int64_t local = 0;
+          if (hi - lo == k.lanes) {
+            StaticSummary s[kMaxSimdLanes];
+            k.mc_block(ws, sigma_unit, seed, lo, ref, s);
+            for (int l = 0; l < k.lanes; ++l) {
+              if ((use_inl ? s[l].inl_max : s[l].dnl_max) < limit) ++local;
+            }
+            vec_chips.fetch_add(k.lanes, std::memory_order_relaxed);
+          } else {
+            for (std::int64_t c = lo; c < hi; ++c) {
+              const StaticSummary s =
+                  mc_chip_metrics(ws.scalar, sigma_unit, seed, c, ref);
+              if ((use_inl ? s.inl_max : s.dnl_max) < limit) ++local;
+            }
+            tail_chips.fetch_add(hi - lo, std::memory_order_relaxed);
+          }
+          return local;
+        },
+        opts.count_allocs);
+    detail::record_lane_run(k, vec_chips.load(), tail_chips.load());
+  } else {
+    r = mathx::adaptive_yield_run_workspace(
+        es, opts.threads, [&spec] { return ChipWorkspace(spec); },
+        [&](ChipWorkspace& ws, std::int64_t c) {
+          const StaticSummary s =
+              mc_chip_metrics(ws, sigma_unit, seed, c, ref);
+          return (use_inl ? s.inl_max : s.dnl_max) < limit;
+        },
+        opts.count_allocs);
+    detail::record_lane_run(k, 0, r.evaluated);
+  }
   YieldEstimate y;
   y.chips = static_cast<int>(r.evaluated);
   y.pass = static_cast<int>(r.passed);

@@ -67,6 +67,8 @@ std::int64_t mc_chips_evaluated();
 namespace detail {
 /// Bumps the chip counter; called once per chip by every MC kernel.
 void count_chip_eval();
+/// Batched bump for the chip-per-lane kernels (one call per block).
+void count_chip_evals(std::int64_t n);
 }  // namespace detail
 
 /// One Monte-Carlo chip, allocation-free: re-seeds ws.rng to the

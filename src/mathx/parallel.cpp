@@ -211,6 +211,46 @@ RunStats parallel_for_indexed(std::int64_t n, int threads,
   return s;
 }
 
+RunStats parallel_for_blocks_indexed(
+    std::int64_t n, int threads, std::int64_t block,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+    bool count_allocs) {
+  if (block < 1) {
+    throw std::invalid_argument("parallel_for_blocks: block < 1");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t nblocks = (n + block - 1) / block;
+  ThreadPool pool(clamp_threads_to_items(threads, nblocks));
+  obs::ScopedSpan span("engine.run");
+  span.attr("items", n).attr("threads", pool.threads()).attr("block", block);
+  RunStats s;
+  s.threads = pool.threads();
+  s.per_thread_items.assign(static_cast<std::size_t>(pool.threads()), 0);
+  const std::function<void(int, std::int64_t)> counted =
+      [&](int worker, std::int64_t b) {
+        const std::int64_t lo = b * block;
+        const std::int64_t hi = std::min(lo + block, n);
+        s.per_thread_items[static_cast<std::size_t>(worker)] += hi - lo;
+        fn(worker, lo, hi);
+      };
+  std::optional<ScopedAllocCounting> counting;
+  if (count_allocs) counting.emplace();
+  pool.for_each_indexed(0, nblocks, counted);
+  if (counting) {
+    const AllocCounts c = counting->so_far();
+    s.alloc_bytes = c.bytes;
+    s.alloc_count = c.count;
+  }
+  s.evaluated = n;
+  fill_utilization(s);
+  finish_stats(s, t0);
+  EngineMetrics& m = EngineMetrics::get();
+  m.runs.add(1);
+  m.items.add(n);
+  m.run_us.observe(static_cast<std::int64_t>(s.wall_seconds * 1e6));
+  return s;
+}
+
 double wilson_half_width(std::int64_t pass, std::int64_t n, double z) {
   if (n <= 0) return 1.0;
   const double nn = static_cast<double>(n);
@@ -265,6 +305,88 @@ YieldRun adaptive_yield_run_indexed(
       wave_span.attr("wave", wave).attr("from", r.evaluated)
           .attr("items", batch);
       pool.for_each_indexed(r.evaluated, r.evaluated + batch, counted);
+      m.waves.add(1);
+      m.items.add(batch);
+      m.wave_us.observe(static_cast<std::int64_t>(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - w0)
+              .count()));
+    }
+    ++wave;
+    r.evaluated += batch;
+    r.passed = passed.load();
+    if (opts.ci_half_width > 0.0 && r.evaluated >= opts.min_items &&
+        wilson_half_width(r.passed, r.evaluated) <= opts.ci_half_width) {
+      r.stats.early_stopped = true;
+      m.early_stops.add(1);
+      break;
+    }
+  }
+  if (counting) {
+    const AllocCounts c = counting->so_far();
+    r.stats.alloc_bytes = c.bytes;
+    r.stats.alloc_count = c.count;
+  }
+  r.yield = static_cast<double>(r.passed) / static_cast<double>(r.evaluated);
+  r.ci95 = wilson_half_width(r.passed, r.evaluated);
+  r.stats.evaluated = r.evaluated;
+  r.stats.skipped = opts.max_items - r.evaluated;
+  fill_utilization(r.stats);
+  finish_stats(r.stats, t0);
+  run_span.attr("evaluated", r.evaluated).attr("passed", r.passed)
+      .attr("early_stopped", r.stats.early_stopped ? "true" : "false");
+  return r;
+}
+
+YieldRun adaptive_yield_run_blocks_indexed(
+    const EarlyStopOptions& opts, int threads, std::int64_t block,
+    const std::function<std::int64_t(int, std::int64_t, std::int64_t)>&
+        block_passes,
+    bool count_allocs) {
+  if (opts.max_items < 1 || opts.batch < 1 || opts.min_items < 1 ||
+      opts.ci_half_width < 0.0) {
+    throw std::invalid_argument("adaptive_yield_run: bad options");
+  }
+  if (block < 1) {
+    throw std::invalid_argument("adaptive_yield_run: block < 1");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t max_blocks = (opts.max_items + block - 1) / block;
+  ThreadPool pool(clamp_threads_to_items(threads, max_blocks));
+  YieldRun r;
+  r.stats.threads = pool.threads();
+  r.stats.per_thread_items.assign(static_cast<std::size_t>(pool.threads()),
+                                  0);
+  std::atomic<std::int64_t> passed{0};
+  // Set per wave: the blocks of the current wave, relative to its start.
+  std::int64_t wave_lo = 0;
+  std::int64_t wave_hi = 0;
+  const std::function<void(int, std::int64_t)> counted =
+      [&](int worker, std::int64_t b) {
+        const std::int64_t lo = wave_lo + b * block;
+        const std::int64_t hi = std::min(lo + block, wave_hi);
+        r.stats.per_thread_items[static_cast<std::size_t>(worker)] += hi - lo;
+        passed.fetch_add(block_passes(worker, lo, hi),
+                         std::memory_order_relaxed);
+      };
+  std::optional<ScopedAllocCounting> counting;
+  if (count_allocs) counting.emplace();
+  obs::ScopedSpan run_span("mc.adaptive");
+  run_span.attr("max_items", opts.max_items).attr("threads", pool.threads());
+  EngineMetrics& m = EngineMetrics::get();
+  std::int64_t wave = 0;
+  while (r.evaluated < opts.max_items) {
+    const std::int64_t batch =
+        std::min(opts.batch, opts.max_items - r.evaluated);
+    wave_lo = r.evaluated;
+    wave_hi = r.evaluated + batch;
+    const std::int64_t nblocks = (batch + block - 1) / block;
+    {
+      const auto w0 = std::chrono::steady_clock::now();
+      obs::ScopedSpan wave_span("mc.wave");
+      wave_span.attr("wave", wave).attr("from", r.evaluated)
+          .attr("items", batch);
+      pool.for_each_indexed(0, nblocks, counted);
       m.waves.add(1);
       m.items.add(batch);
       m.wave_us.observe(static_cast<std::int64_t>(

@@ -164,6 +164,39 @@ RunStats parallel_for_workspace(std::int64_t n, int threads, MakeWs&& make_ws,
   return parallel_for_indexed(n, nthreads, wrapped, chunk, count_allocs);
 }
 
+/// Block-batched one-shot loop: splits [0, n) into ceil(n/block)
+/// consecutive blocks and runs fn(worker, lo, hi) once per block (all
+/// blocks span `block` items except possibly the last). This is the entry
+/// point of the chip-per-lane SIMD path: a full block is one vector
+/// kernel call, the short tail block falls back to the scalar kernel.
+/// RunStats counts items (per_thread_items accumulates hi - lo), not
+/// blocks. Bit-identical to the per-item loop as long as fn's effect on
+/// item i depends only on i.
+RunStats parallel_for_blocks_indexed(
+    std::int64_t n, int threads, std::int64_t block,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+    bool count_allocs = false);
+
+/// Workspace-factory variant of the block loop (per-worker workspaces as
+/// in parallel_for_workspace): fn(workspace&, lo, hi).
+template <typename MakeWs, typename Fn>
+RunStats parallel_for_workspace_blocks(std::int64_t n, int threads,
+                                       std::int64_t block, MakeWs&& make_ws,
+                                       Fn&& fn, bool count_allocs = false) {
+  using Ws = decltype(make_ws());
+  const std::int64_t nblocks = block > 0 ? (n + block - 1) / block : n;
+  const int nthreads = clamp_threads_to_items(threads, nblocks);
+  std::vector<std::optional<Ws>> ws(static_cast<std::size_t>(nthreads));
+  const std::function<void(int, std::int64_t, std::int64_t)> wrapped =
+      [&](int worker, std::int64_t lo, std::int64_t hi) {
+        auto& slot = ws[static_cast<std::size_t>(worker)];
+        if (!slot) slot.emplace(make_ws());
+        fn(*slot, lo, hi);
+      };
+  return parallel_for_blocks_indexed(n, nthreads, block, wrapped,
+                                     count_allocs);
+}
+
 /// Parallel map into a pre-sized vector: out[i] = fn(i). The output order
 /// is by index, so the result is thread-count independent for pure fn.
 template <typename F>
@@ -221,6 +254,42 @@ YieldRun adaptive_yield_run_indexed(
     const EarlyStopOptions& opts, int threads,
     const std::function<bool(int, std::int64_t)>& item_passes,
     bool count_allocs = false);
+
+/// Block-batched adaptive run: each CI wave is split into consecutive
+/// blocks of up to `block` items and block_passes(worker, lo, hi) returns
+/// how many of the items in [lo, hi) passed. Wave boundaries are the same
+/// deterministic multiples of opts.batch as the per-item adaptive run, so
+/// for a pure per-item pass predicate the stopping point — and the
+/// estimate — is bit-identical to adaptive_yield_run_indexed for any
+/// thread count. Blocks never straddle a wave boundary (a wave's last
+/// block may be short), so the SIMD path sees at most one short block per
+/// wave.
+YieldRun adaptive_yield_run_blocks_indexed(
+    const EarlyStopOptions& opts, int threads, std::int64_t block,
+    const std::function<std::int64_t(int, std::int64_t, std::int64_t)>&
+        block_passes,
+    bool count_allocs = false);
+
+/// Workspace-factory variant of the block-batched adaptive run.
+template <typename MakeWs, typename Fn>
+YieldRun adaptive_yield_run_workspace_blocks(const EarlyStopOptions& opts,
+                                             int threads, std::int64_t block,
+                                             MakeWs&& make_ws, Fn&& fn,
+                                             bool count_allocs = false) {
+  using Ws = decltype(make_ws());
+  const std::int64_t nblocks =
+      block > 0 ? (opts.max_items + block - 1) / block : opts.max_items;
+  const int nthreads = clamp_threads_to_items(threads, nblocks);
+  std::vector<std::optional<Ws>> ws(static_cast<std::size_t>(nthreads));
+  const std::function<std::int64_t(int, std::int64_t, std::int64_t)> wrapped =
+      [&](int worker, std::int64_t lo, std::int64_t hi) {
+        auto& slot = ws[static_cast<std::size_t>(worker)];
+        if (!slot) slot.emplace(make_ws());
+        return fn(*slot, lo, hi);
+      };
+  return adaptive_yield_run_blocks_indexed(opts, nthreads, block, wrapped,
+                                           count_allocs);
+}
 
 /// Workspace-factory adaptive run: per-worker workspaces as in
 /// parallel_for_workspace, with the adaptive stopping rule. The workspace

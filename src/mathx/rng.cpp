@@ -3,7 +3,12 @@
 #include <cmath>
 
 namespace csdac::mathx {
-namespace {
+
+namespace detail {
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+}
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
@@ -11,6 +16,12 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::splitmix64;
 
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -94,12 +105,12 @@ std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
 }
 
 Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index) {
-  return Xoshiro256(seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  return Xoshiro256(detail::stream_seed(seed, index));
 }
 
 void stream_rng_into(Xoshiro256& rng, std::uint64_t seed,
                      std::uint64_t index) {
-  rng.seed(seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  rng.seed(detail::stream_seed(seed, index));
 }
 
 }  // namespace csdac::mathx

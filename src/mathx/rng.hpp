@@ -62,4 +62,18 @@ Xoshiro256 stream_rng(std::uint64_t seed, std::uint64_t index);
 void stream_rng_into(Xoshiro256& rng, std::uint64_t seed,
                      std::uint64_t index);
 
+namespace detail {
+
+/// The SplitMix64 step Xoshiro256::seed uses to expand a 64-bit seed into
+/// the four state words. Exposed so the lane-parallel Xoshiro256xN (see
+/// simd.hpp) can seed each lane with the exact same expansion.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// The (seed, index) -> substream-seed fold of stream_rng, shared with the
+/// per-lane seeding of Xoshiro256xN. Out-of-line (like splitmix64) so the
+/// per-ISA kernel translation units never emit their own copy.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace detail
+
 }  // namespace csdac::mathx

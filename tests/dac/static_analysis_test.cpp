@@ -287,6 +287,46 @@ TEST(StaticAnalysisProperty, SummaryMatchesFullAnalysisOnRandomTransfers) {
   }
 }
 
+TEST(StaticAnalysisProperty, SummaryDegenerateEdges) {
+  // Two levels is the minimum legal transfer: both reference lines pass
+  // through both points, so INL and DNL are exactly zero.
+  const std::vector<double> two = {1.5, 3.0};
+  for (auto ref : {InlReference::kEndpoint, InlReference::kBestFit}) {
+    const auto s = analyze_levels_summary(two, ref);
+    EXPECT_EQ(s.inl_max, 0.0);
+    EXPECT_EQ(s.dnl_max, 0.0);
+  }
+  // Fewer than two levels cannot define a line.
+  EXPECT_THROW(analyze_levels_summary(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(analyze_levels_summary(std::vector<double>{}),
+               std::invalid_argument);
+  // All-equal levels give a zero-gain line; INL in LSB would divide by
+  // zero, so both the summary and the full analysis must refuse.
+  const std::vector<double> flat = {2.0, 2.0, 2.0, 2.0};
+  for (auto ref : {InlReference::kEndpoint, InlReference::kBestFit}) {
+    EXPECT_THROW(analyze_levels_summary(flat, ref), std::invalid_argument);
+    EXPECT_THROW(analyze_transfer(flat, ref), std::invalid_argument);
+  }
+}
+
+TEST(StaticAnalysisProperty, SummaryMatchesAcrossClosedFormBoundary) {
+  // The best-fit sx/sxx sums switch from closed form to iterative
+  // accumulation above n = 2^17 (where the closed form could round). The
+  // bitwise agreement with analyze_transfer must hold on both sides.
+  mathx::Xoshiro256 rng(555);
+  for (std::size_t n : {(std::size_t{1} << 17), (std::size_t{1} << 17) + 3}) {
+    std::vector<double> levels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      levels[i] = static_cast<double>(i) + (mathx::uniform01(rng) - 0.5);
+    }
+    const auto m = analyze_transfer(levels, InlReference::kBestFit);
+    const auto s = analyze_levels_summary(levels, InlReference::kBestFit);
+    EXPECT_EQ(s.inl_max, m.inl_max) << "n " << n;
+    EXPECT_EQ(s.dnl_max, m.dnl_max) << "n " << n;
+  }
+}
+
 // ---- Wilson confidence interval edge cases -----------------------------
 
 TEST(StaticAnalysis, Ci95IsWilsonAtYieldOne) {

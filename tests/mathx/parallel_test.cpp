@@ -328,5 +328,104 @@ TEST(Parallel, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+TEST(Parallel, BlockLoopCoversEveryIndexOnceWithShortTail) {
+  // 23 items in blocks of 4: five full blocks + a 3-item tail. Every
+  // index must be visited exactly once and per_thread_items must count
+  // items, not blocks.
+  for (int threads : {1, 2, 7}) {
+    constexpr std::int64_t kN = 23;
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<std::int64_t> tail_blocks{0};
+    const RunStats s = parallel_for_blocks_indexed(
+        kN, threads, /*block=*/4,
+        [&](int /*worker*/, std::int64_t lo, std::int64_t hi) {
+          if (hi - lo < 4) tail_blocks.fetch_add(1);
+          for (std::int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "threads " << threads << " index " << i;
+    }
+    EXPECT_EQ(tail_blocks.load(), 1);
+    EXPECT_EQ(s.evaluated, kN);
+    std::int64_t total = 0;
+    for (auto c : s.per_thread_items) total += c;
+    EXPECT_EQ(total, kN) << "threads " << threads;
+  }
+}
+
+TEST(Parallel, BlockLoopClampsThreadsToBlocks) {
+  // 5 items in blocks of 4 = 2 blocks; 7 requested threads must clamp so
+  // no worker idles in the stats.
+  const RunStats s = parallel_for_blocks_indexed(
+      5, 7, /*block=*/4, [](int, std::int64_t, std::int64_t) {});
+  EXPECT_LE(s.threads, 2);
+  EXPECT_EQ(s.evaluated, 5);
+}
+
+TEST(Parallel, AdaptiveBlockRunMatchesPerItemRun) {
+  // The block-batched adaptive engine must stop at the same wave and
+  // produce the same estimate as the per-item engine, for any thread
+  // count and any block size (waves are cut at the same batch
+  // boundaries; a block never straddles one).
+  EarlyStopOptions opts;
+  opts.max_items = 4000;
+  opts.min_items = 128;
+  opts.batch = 100;  // not a multiple of the block sizes below
+  opts.ci_half_width = 0.02;
+  const auto ref = adaptive_yield_run_indexed(
+      opts, 1, [](int, std::int64_t i) { return item(i, 99, 0.9); });
+  for (int threads : {1, 2, 7}) {
+    for (std::int64_t block : {1, 2, 4}) {
+      const auto got = adaptive_yield_run_blocks_indexed(
+          opts, threads, block,
+          [](int, std::int64_t lo, std::int64_t hi) {
+            std::int64_t passed = 0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+              passed += item(i, 99, 0.9) ? 1 : 0;
+            }
+            return passed;
+          });
+      EXPECT_EQ(got.evaluated, ref.evaluated)
+          << "threads " << threads << " block " << block;
+      EXPECT_EQ(got.passed, ref.passed);
+      EXPECT_DOUBLE_EQ(got.yield, ref.yield);
+      EXPECT_DOUBLE_EQ(got.ci95, ref.ci95);
+      EXPECT_EQ(got.stats.early_stopped, ref.stats.early_stopped);
+      EXPECT_EQ(got.stats.skipped, ref.stats.skipped);
+    }
+  }
+}
+
+TEST(Parallel, AdaptiveBlockRunNeverStraddlesWaveBoundaries) {
+  EarlyStopOptions opts;
+  opts.max_items = 512;
+  opts.min_items = 128;
+  opts.batch = 128;
+  opts.ci_half_width = 0.0;  // run to the cap
+  std::atomic<bool> straddled{false};
+  adaptive_yield_run_blocks_indexed(
+      opts, 2, /*block=*/3, [&](int, std::int64_t lo, std::int64_t hi) {
+        // With batch = 128 every block must live inside one 128-wave.
+        if (lo / 128 != (hi - 1) / 128) straddled = true;
+        return hi - lo;
+      });
+  EXPECT_FALSE(straddled.load());
+}
+
+TEST(Parallel, BlockVariantsRejectBadArguments) {
+  EXPECT_THROW(parallel_for_blocks_indexed(
+                   10, 1, /*block=*/0, [](int, std::int64_t, std::int64_t) {}),
+               std::invalid_argument);
+  EarlyStopOptions opts;
+  EXPECT_THROW(
+      adaptive_yield_run_blocks_indexed(
+          opts, 1, /*block=*/0,
+          [](int, std::int64_t, std::int64_t) { return std::int64_t{0}; }),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace csdac::mathx

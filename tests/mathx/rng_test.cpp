@@ -160,6 +160,99 @@ TEST(Rng, PooledStreamDrawsPassChiSquareUniformity) {
   }
 }
 
+TEST(Rng, NormalMatchesStandardNormalBuckets) {
+  // Chi-square of normal() against exact N(0,1) bucket masses. Buckets at
+  // half-sigma boundaries out to +/-2 plus two open tails: 10 bins, df =
+  // 9, and 27.9 is the 99.9th percentile of chi2(9).
+  const double edges[] = {-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0};
+  constexpr int kBins = 10;
+  constexpr int kDraws = 200000;
+  const auto cdf = [](double x) {
+    return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+  };
+  for (std::uint64_t seed : {2ull, 777ull}) {
+    Xoshiro256 rng = stream_rng(seed, 0);
+    int counts[kBins] = {};
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = normal(rng);
+      int b = 0;
+      while (b < kBins - 1 && x >= edges[b]) ++b;
+      ++counts[b];
+    }
+    double chi2 = 0.0;
+    double lo_cdf = 0.0;
+    for (int b = 0; b < kBins; ++b) {
+      const double hi_cdf = (b == kBins - 1) ? 1.0 : cdf(edges[b]);
+      const double expected = kDraws * (hi_cdf - lo_cdf);
+      const double d = counts[b] - expected;
+      chi2 += d * d / expected;
+      lo_cdf = hi_cdf;
+    }
+    EXPECT_LT(chi2, 27.9) << "seed " << seed;
+  }
+}
+
+TEST(Rng, NormalTailMassBeyondThreeSigma) {
+  // P(|x| > 3) = 2 * (1 - Phi(3)) = 0.26998 %. With 400k draws the
+  // expected count is ~1080, sd ~33; +/-6 sd bounds make a false alarm
+  // astronomically unlikely while catching a truncated or thin tail.
+  constexpr int kDraws = 400000;
+  Xoshiro256 rng = stream_rng(11, 0);
+  int tails = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::abs(normal(rng)) > 3.0) ++tails;
+  }
+  EXPECT_GT(tails, 880);
+  EXPECT_LT(tails, 1280);
+}
+
+TEST(Rng, NormalScaleAndShiftMoments) {
+  constexpr int kDraws = 100000;
+  Xoshiro256 rng = stream_rng(4, 2);
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = normal(rng, 10.0, 0.25);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.25, 0.01);
+}
+
+TEST(Rng, UniformIndexHasNoModuloBias) {
+  // Classic failure mode: `rng() % n` over-weights the residues below
+  // 2^64 mod n. At n just above 2^63 the naive scheme lands in the lower
+  // half ~2/3 of the time; rejection sampling must stay at 1/2. Also run
+  // a chi-square at a small non-power-of-two n.
+  constexpr std::uint64_t kHuge = (1ull << 63) + 1;
+  Xoshiro256 rng(2718);
+  int low = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (uniform_index(rng, kHuge) < (kHuge / 2)) ++low;
+  }
+  // Binomial(40000, 1/2): sd = 100. A modulo-biased generator would sit
+  // near 26667, > 65 sd away.
+  EXPECT_GT(low, 19200);
+  EXPECT_LT(low, 20800);
+
+  constexpr std::uint64_t kSmall = 12;  // non-power-of-two
+  int counts[kSmall] = {};
+  constexpr int kSmallDraws = 120000;
+  for (int i = 0; i < kSmallDraws; ++i) {
+    ++counts[uniform_index(rng, kSmall)];
+  }
+  const double expected = static_cast<double>(kSmallDraws) / kSmall;
+  double chi2 = 0.0;
+  for (auto c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 31.3);  // 99.9th percentile of chi2(11)
+}
+
 TEST(Rng, UniformIndexInRangeAndCoversAll) {
   Xoshiro256 rng(13);
   std::vector<int> seen(7, 0);

@@ -228,8 +228,10 @@ TEST(JobEquivalence, FixedAndAdaptiveMatchDirectCalls) {
   const InlYieldJob fixed = small_inl_job();
   RuntimeOptions opts;
   opts.threads = 2;
-  const auto& rt_fixed =
-      std::get<YieldResult>(run_job(fixed, opts).value);
+  // Keep the JobRecord alive: std::get on the rvalue member would leave
+  // the reference dangling once the temporary record is destroyed.
+  const JobRecord rec_fixed = run_job(fixed, opts);
+  const auto& rt_fixed = std::get<YieldResult>(rec_fixed.value);
   const auto direct_fixed =
       dac::inl_yield_mc(fixed.spec, fixed.sigma_unit, fixed.chips, fixed.seed,
                         fixed.limit, fixed.ref, 2);
@@ -242,8 +244,8 @@ TEST(JobEquivalence, FixedAndAdaptiveMatchDirectCalls) {
   adaptive.min_chips = 64;
   adaptive.batch = 64;
   adaptive.ci_half_width = 0.05;
-  const auto& rt_adaptive =
-      std::get<YieldResult>(run_job(adaptive, opts).value);
+  const JobRecord rec_adaptive = run_job(adaptive, opts);
+  const auto& rt_adaptive = std::get<YieldResult>(rec_adaptive.value);
   dac::AdaptiveMcOptions aopts;
   aopts.max_chips = adaptive.chips;
   aopts.min_chips = adaptive.min_chips;

@@ -1,20 +1,34 @@
 #!/usr/bin/env python3
 """Validates a BENCH_mc.json produced by tools/run_benches.
 
-Accepts the csdac-bench/1, /2, and /3 schemas: required top-level keys,
-per-bench structure, and sanity of the measured numbers (positive
+Accepts the csdac-bench/1, /2, /3, and /4 schemas: required top-level
+keys, per-bench structure, and sanity of the measured numbers (positive
 throughput, yields in [0, 1]). Schema /2 additionally carries runtime
 cache benches ("cold"/"warm" sections): the warm pass must be a pure
 cache hit (cache_hits >= 1, zero chip evaluations) and the cold pass a
 miss. Schema /3 additionally embeds the metrics-registry snapshot under
 "metrics"; the snapshot must carry the engine counters and a positive
-mc.chips_evaluated. Used by the CI bench-smoke job; exits nonzero with a
-message on the first violation. Stdlib only.
+mc.chips_evaluated. Schema /4 additionally records the active SIMD
+dispatch ("simd_backend"/"simd_lanes" top-level) and carries at least one
+simd-vs-scalar bench ("simd"/"scalar" sections + "simd_speedup"); the two
+sections must report identical yields — the lane kernels are bit-identical
+by contract.
+
+With --compare BASELINE.json, every bench path present in both documents
+is also checked for throughput regressions: chips_per_s must be at least
+(1 - tolerance) times the baseline (default tolerance 0.2). Wall-time
+baselines only transfer between same-shaped runs, so compare smoke runs
+against smoke baselines and full runs against full baselines.
+
+Used by the CI bench-smoke job; exits nonzero with a message on the first
+violation. Stdlib only.
 """
+import argparse
 import json
 import sys
 
-SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3")
+SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3",
+           "csdac-bench/4")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -102,15 +116,82 @@ def check_cache_bench(bench, name):
         fail(f"bench '{name}': warm_speedup must be positive")
 
 
-def main():
-    if len(sys.argv) != 2:
-        print("usage: check_bench_json.py BENCH_mc.json", file=sys.stderr)
-        return 2
+def check_simd_bench(bench, name):
+    """Schema /4 simd-vs-scalar bench: identical yields, speedup field."""
+    simd = check_path(bench, name, "simd")
+    scalar = check_path(bench, name, "scalar")
+    for key in ("yield", "yield_before", "yield_after"):
+        if (key in simd) != (key in scalar):
+            fail(f"bench '{name}': '{key}' present in only one section")
+        if key in simd and simd[key] != scalar[key]:
+            fail(f"bench '{name}': simd/scalar {key} differ "
+                 f"({simd[key]!r} vs {scalar[key]!r}) — the lane kernels "
+                 f"must be bit-identical")
+    speedup = check_type(bench, "simd_speedup", (int, float),
+                         f"bench '{name}'")
+    if speedup <= 0:
+        fail(f"bench '{name}': simd_speedup must be positive")
+
+
+def bench_paths(doc):
+    """Yields (bench_name, path_name, path_dict) for every measured path."""
+    for bench in doc.get("benches", []):
+        if not isinstance(bench, dict) or "name" not in bench:
+            continue
+        for which in ("workspace", "legacy", "simd", "scalar", "cold",
+                      "warm"):
+            path = bench.get(which)
+            if isinstance(path, dict) and "chips_per_s" in path:
+                yield bench["name"], which, path
+
+
+def check_compare(doc, baseline_path, tolerance):
+    """Fails on a >tolerance relative throughput drop vs the baseline."""
     try:
-        with open(sys.argv[1], encoding="utf-8") as f:
+        with open(baseline_path, encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot parse baseline {baseline_path}: {e}")
+    base_paths = {(b, w): p for b, w, p in bench_paths(base)}
+    compared = 0
+    for bench, which, path in bench_paths(doc):
+        ref = base_paths.get((bench, which))
+        if ref is None or ref["chips_per_s"] <= 0:
+            continue
+        ratio = path["chips_per_s"] / ref["chips_per_s"]
+        status = "OK" if ratio >= 1.0 - tolerance else "FAIL"
+        print(f"  {status}: {bench}/{which}: {path['chips_per_s']:.0f} "
+              f"chips/s vs baseline {ref['chips_per_s']:.0f} "
+              f"({ratio:.2f}x)")
+        if ratio < 1.0 - tolerance:
+            fail(f"bench '{bench}' / {which}: throughput regressed to "
+                 f"{ratio:.2f}x of the baseline (tolerance {tolerance})")
+        compared += 1
+    if compared == 0:
+        fail(f"no comparable bench paths between this run and "
+             f"{baseline_path}")
+    print(f"check_bench_json: compare OK ({compared} paths within "
+          f"{tolerance:.0%} of baseline)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a run_benches JSON document.")
+    parser.add_argument("bench_json")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline BENCH json to diff throughput "
+                             "against")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed relative throughput drop vs the "
+                             "baseline (default 0.2)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        fail("--tolerance must be in [0, 1)")
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+        fail(f"cannot parse {args.bench_json}: {e}")
 
     if not isinstance(doc, dict):
         fail("top level is not an object")
@@ -118,14 +199,23 @@ def main():
         check_type(doc, key, types, "top level")
     if doc["schema"] not in SCHEMAS:
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
-    v2 = doc["schema"] in ("csdac-bench/2", "csdac-bench/3")
+    v2 = doc["schema"] != "csdac-bench/1"
+    v4 = doc["schema"] == "csdac-bench/4"
     if not doc["benches"]:
         fail("benches array is empty")
-    if doc["schema"] == "csdac-bench/3":
+    if doc["schema"] in ("csdac-bench/3", "csdac-bench/4"):
         check_metrics(doc)
+    if v4:
+        check_type(doc, "simd_backend", str, "top level")
+        lanes = check_type(doc, "simd_lanes", int, "top level")
+        if doc["simd_backend"] not in ("scalar", "sse2", "avx2"):
+            fail(f"unknown simd_backend '{doc['simd_backend']}'")
+        if lanes not in (1, 2, 4):
+            fail(f"simd_lanes is {lanes}, expected 1, 2, or 4")
 
     names = set()
     cache_benches = 0
+    simd_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -140,6 +230,12 @@ def main():
             check_cache_bench(bench, name)
             cache_benches += 1
             continue
+        if "simd" in bench or "scalar" in bench:
+            if not v4:
+                fail(f"bench '{name}': simd benches require csdac-bench/4")
+            check_simd_bench(bench, name)
+            simd_benches += 1
+            continue
         check_path(bench, name, "workspace")
         if "legacy" in bench:
             check_path(bench, name, "legacy")
@@ -149,9 +245,13 @@ def main():
                 fail(f"bench '{name}': speedup must be positive")
     if v2 and cache_benches == 0:
         fail("csdac-bench/2 document has no runtime cache benches")
+    if v4 and simd_benches == 0:
+        fail("csdac-bench/4 document has no simd-vs-scalar benches")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")
+    if args.compare:
+        check_compare(doc, args.compare, args.tolerance)
     return 0
 
 

@@ -14,9 +14,14 @@ checks the exposition structure, then applies csdac-specific invariants:
     (monotone in le) and the +Inf bucket equals _count.
 
 Modes:
-  check_metrics.py METRICS.prom
+  check_metrics.py METRICS.prom [--expect-simd BACKEND]
       Structural validation plus cold-run sanity: chips evaluated > 0 and
-      cache misses >= 1 when the cache counters are present.
+      cache misses >= 1 when the cache counters are present. The SIMD
+      dispatch counters (csdac_simd_dispatch_{scalar,sse2,avx2}_total)
+      must all be present with at least one Monte-Carlo run recorded.
+      --expect-simd additionally pins WHICH backend ran: that backend's
+      counter must be positive and the other two zero (used by CI to
+      prove the CSDAC_SIMD override reached the kernels).
   check_metrics.py --cold COLD.prom --warm WARM.prom
       Additionally asserts the warm run recomputed nothing: the warm dump
       must show csdac_cache_misses_total == 0,
@@ -28,6 +33,8 @@ Exits nonzero with a message on the first violation.
 import math
 import re
 import sys
+
+SIMD_BACKENDS = ("scalar", "sse2", "avx2")
 
 NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 BUCKET_RE = re.compile(
@@ -169,6 +176,30 @@ def check_cold(path, samples):
     if "csdac_cache_misses_total" in samples:
         if counter(samples, "csdac_cache_misses_total") < 1:
             fail(f"{path}: cold run shows no cache misses")
+    check_simd(path, samples)
+
+
+def check_simd(path, samples, expect=None):
+    """The SIMD dispatch counters are registered eagerly, so every dump
+    must carry all three; a run that evaluated chips must have recorded at
+    least one dispatch. With `expect`, only that backend may be positive —
+    this is how CI proves a CSDAC_SIMD override actually took effect."""
+    dispatch = {
+        b: counter(samples, f"csdac_simd_dispatch_{b}_total")
+        for b in SIMD_BACKENDS
+    }
+    if sum(dispatch.values()) < 1:
+        fail(f"{path}: no SIMD dispatch recorded despite chip evaluations")
+    if expect is not None:
+        if expect not in dispatch:
+            fail(f"--expect-simd {expect!r}: unknown backend "
+                 f"(one of {SIMD_BACKENDS})")
+        if dispatch[expect] < 1:
+            fail(f"{path}: expected {expect} dispatches, counter is 0")
+        for b, v in dispatch.items():
+            if b != expect and v != 0:
+                fail(f"{path}: expected only {expect} dispatches, but "
+                     f"{b} recorded {int(v)}")
 
 
 def check_warm(path, samples):
@@ -182,10 +213,16 @@ def check_warm(path, samples):
 
 
 def main(argv):
+    expect_simd = None
+    if len(argv) == 4 and argv[2] == "--expect-simd":
+        expect_simd = argv[3]
+        argv = argv[:2]
     if len(argv) == 2 and not argv[1].startswith("-"):
         samples, types = parse_exposition(argv[1])
         check_structure(argv[1], samples, types)
         check_cold(argv[1], samples)
+        if expect_simd is not None:
+            check_simd(argv[1], samples, expect_simd)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
               f"{len(samples)} samples")
         return 0
@@ -207,7 +244,7 @@ def main(argv):
               f"served {int(warm['csdac_cache_hits_total'])} hits with "
               f"0 chips")
         return 0
-    print("usage: check_metrics.py METRICS.prom\n"
+    print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND]\n"
           "       check_metrics.py --cold COLD.prom --warm WARM.prom",
           file=sys.stderr)
     return 2

@@ -10,13 +10,22 @@
 // Schema /3 embeds the end-of-run metrics-registry snapshot under
 // "metrics", so a bench record also carries the engine/cache counters
 // (chips evaluated, waves, early stops, cache traffic) behind the numbers.
+// Schema /4 adds the chip-per-lane SIMD benches: the same fixed-count
+// yield jobs run single-threaded under the forced scalar dispatch and
+// under the widest backend the CPU offers ("scalar" vs "simd" sections,
+// "simd_speedup" ratio), with a FATAL exit if the two disagree on any
+// pass count — the SIMD path is required to be bit-identical, so a
+// mismatch is a correctness bug, not noise. The active backend is
+// recorded top-level under "simd_backend" / "simd_lanes".
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
+//               [--require-simd-speedup X]
 //
 // --smoke shrinks the chip budgets for CI; --require-speedup X exits
 // nonzero unless the workspace INL bench shows >= X times the legacy
-// chips/s (used for local acceptance runs, not in CI where shared runners
-// make timing unreliable).
+// chips/s; --require-simd-speedup X does the same for the simd-vs-scalar
+// INL bench (used for local acceptance runs, not in CI where shared
+// runners make timing unreliable).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +40,7 @@
 #include "dac/calibration.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/alloc_counter.hpp"
+#include "mathx/simd.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/graph.hpp"
 
@@ -163,6 +173,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int threads = 0;  // hardware concurrency
   double require_speedup = 0.0;
+  double require_simd_speedup = 0.0;
   std::string out_path = "BENCH_mc.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0) {
@@ -174,10 +185,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--require-speedup") == 0 &&
                a + 1 < argc) {
       require_speedup = std::atof(argv[++a]);
+    } else if (std::strcmp(argv[a], "--require-simd-speedup") == 0 &&
+               a + 1 < argc) {
+      require_simd_speedup = std::atof(argv[++a]);
     } else {
       std::fprintf(stderr,
                    "usage: run_benches [--smoke] [--out PATH] [--threads N] "
-                   "[--require-speedup X]\n");
+                   "[--require-speedup X] [--require-simd-speedup X]\n");
       return 2;
     }
   }
@@ -190,13 +204,16 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter w;
   w.begin_object();
-  w.field("schema", "csdac-bench/3");
+  const mathx::SimdBackend simd_backend = mathx::simd_backend();
+  w.field("schema", "csdac-bench/4");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
   w.field("threads", threads);
   w.field("hardware_threads",
           static_cast<int>(std::thread::hardware_concurrency()));
+  w.field("simd_backend", mathx::simd_backend_name(simd_backend));
+  w.field("simd_lanes", mathx::simd_lane_width(simd_backend));
   w.key("benches").begin_array();
 
   // --- Fixed-count INL yield: workspace vs legacy -----------------------
@@ -330,6 +347,108 @@ int main(int argc, char** argv) {
   w.end_object();
   w.end_object();
 
+  // --- SIMD chip-per-lane kernel vs forced scalar dispatch --------------
+  // Single-threaded on purpose: the lane speedup is a per-core property,
+  // and one thread keeps the measurement off the scheduler. Pass counts
+  // must agree exactly — the SIMD path is bit-identical by construction
+  // and by the equivalence test suite.
+  double simd_speedup = 0.0;
+  {
+    const int simd_chips = smoke ? 300 : 2000;
+    std::printf("simd_inl_yield_12bit: %d chips, %s vs scalar ...\n",
+                simd_chips, mathx::simd_backend_name(simd_backend));
+    mathx::simd_force_backend(mathx::SimdBackend::kScalar);
+    (void)dac::inl_yield_mc(spec, sigma, simd_chips / 4 + 1, seed, 0.5,
+                            dac::InlReference::kBestFit, 1);
+    const auto scalar_inl = dac::inl_yield_mc(
+        spec, sigma, simd_chips, seed, 0.5, dac::InlReference::kBestFit, 1);
+    mathx::simd_force_backend(simd_backend);
+    const auto simd_inl = dac::inl_yield_mc(
+        spec, sigma, simd_chips, seed, 0.5, dac::InlReference::kBestFit, 1);
+    if (simd_inl.pass != scalar_inl.pass) {
+      std::fprintf(stderr, "FATAL: simd/scalar pass mismatch (%d vs %d)\n",
+                   simd_inl.pass, scalar_inl.pass);
+      return 1;
+    }
+    simd_speedup = scalar_inl.stats.items_per_second > 0.0
+                       ? simd_inl.stats.items_per_second /
+                             scalar_inl.stats.items_per_second
+                       : 0.0;
+    std::printf("  %s %.0f chips/s, scalar %.0f chips/s: %.2fx\n",
+                mathx::simd_backend_name(simd_backend),
+                simd_inl.stats.items_per_second,
+                scalar_inl.stats.items_per_second, simd_speedup);
+    w.begin_object();
+    w.field("name", "simd_inl_yield_12bit");
+    w.key("config").begin_object();
+    w.field("nbits", spec.nbits);
+    w.field("binary_bits", spec.binary_bits);
+    w.field("sigma_unit", sigma);
+    w.field("chips", simd_chips);
+    w.field("seed", static_cast<std::int64_t>(seed));
+    w.field("inl_limit", 0.5);
+    w.field("backend", mathx::simd_backend_name(simd_backend));
+    w.field("lanes", mathx::simd_lane_width(simd_backend));
+    w.end_object();
+    emit_path(w, "simd", simd_inl, 0.0);
+    emit_path(w, "scalar", scalar_inl, 0.0);
+    w.field("simd_speedup", simd_speedup);
+    w.end_object();
+
+    const int simd_cal_chips = smoke ? 150 : 800;
+    std::printf("simd_calibration_yield_12bit: %d chips, %s vs scalar ...\n",
+                simd_cal_chips, mathx::simd_backend_name(simd_backend));
+    mathx::simd_force_backend(mathx::SimdBackend::kScalar);
+    const auto scalar_cal = dac::calibration_yield_mc(
+        spec, cal_sigma, cal_opts, simd_cal_chips, seed, 0.5, 1);
+    mathx::simd_force_backend(simd_backend);
+    const auto simd_cal = dac::calibration_yield_mc(
+        spec, cal_sigma, cal_opts, simd_cal_chips, seed, 0.5, 1);
+    if (simd_cal.yield_before != scalar_cal.yield_before ||
+        simd_cal.yield_after != scalar_cal.yield_after) {
+      std::fprintf(stderr, "FATAL: simd/scalar calibration mismatch\n");
+      return 1;
+    }
+    const double simd_cal_speedup =
+        scalar_cal.stats.items_per_second > 0.0
+            ? simd_cal.stats.items_per_second /
+                  scalar_cal.stats.items_per_second
+            : 0.0;
+    std::printf("  %s %.0f chips/s, scalar %.0f chips/s: %.2fx\n",
+                mathx::simd_backend_name(simd_backend),
+                simd_cal.stats.items_per_second,
+                scalar_cal.stats.items_per_second, simd_cal_speedup);
+    w.begin_object();
+    w.field("name", "simd_calibration_yield_12bit");
+    w.key("config").begin_object();
+    w.field("nbits", spec.nbits);
+    w.field("binary_bits", spec.binary_bits);
+    w.field("sigma_unit", cal_sigma);
+    w.field("chips", simd_cal_chips);
+    w.field("seed", static_cast<std::int64_t>(seed));
+    w.field("cal_range_lsb", cal_opts.range_lsb);
+    w.field("cal_bits", cal_opts.bits);
+    w.field("backend", mathx::simd_backend_name(simd_backend));
+    w.field("lanes", mathx::simd_lane_width(simd_backend));
+    w.end_object();
+    w.key("simd").begin_object();
+    w.field("chips", simd_cal.chips);
+    w.field("yield_before", simd_cal.yield_before);
+    w.field("yield_after", simd_cal.yield_after);
+    w.field("chips_per_s", simd_cal.stats.items_per_second);
+    w.field("wall_s", simd_cal.stats.wall_seconds);
+    w.end_object();
+    w.key("scalar").begin_object();
+    w.field("chips", scalar_cal.chips);
+    w.field("yield_before", scalar_cal.yield_before);
+    w.field("yield_after", scalar_cal.yield_after);
+    w.field("chips_per_s", scalar_cal.stats.items_per_second);
+    w.field("wall_s", scalar_cal.stats.wall_seconds);
+    w.end_object();
+    w.field("simd_speedup", simd_cal_speedup);
+    w.end_object();
+  }
+
   // --- Runtime cache: cold (compute + store) vs warm (pure hit) ---------
   {
     const int cache_chips = smoke ? 300 : 2000;
@@ -377,6 +496,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: workspace speedup %.2fx below required %.2fx\n",
                  speedup, require_speedup);
+    return 1;
+  }
+  if (require_simd_speedup > 0.0 && simd_speedup < require_simd_speedup) {
+    std::fprintf(stderr, "FAIL: simd speedup %.2fx below required %.2fx\n",
+                 simd_speedup, require_simd_speedup);
     return 1;
   }
   return 0;
