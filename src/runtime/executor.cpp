@@ -1,0 +1,90 @@
+#include "runtime/executor.hpp"
+
+#include <chrono>
+
+namespace csdac::runtime {
+
+std::string_view tier_name(ResultTier tier) {
+  switch (tier) {
+    case ResultTier::kHot:
+      return "hot";
+    case ResultTier::kDisk:
+      return "disk";
+    case ResultTier::kComputed:
+      break;
+  }
+  return "miss";
+}
+
+JobExecutor::JobExecutor(ExecutorOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.cache_dir.empty()) {
+    CacheOptions co;
+    co.dir = opts_.cache_dir;
+    co.max_bytes = opts_.cache_max_bytes;
+    disk_ = std::make_unique<ResultCache>(std::move(co));
+  }
+  if (opts_.hot_bytes > 0) {
+    HotCacheOptions ho;
+    ho.max_bytes = opts_.hot_bytes;
+    ho.shards = opts_.hot_shards;
+    hot_ = std::make_unique<HotCache>(ho);
+  }
+}
+
+ExecResult JobExecutor::run(const Job& job, const mathx::HashKey128& key,
+                            int threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExecResult r;
+  const JobKind kind = job_kind(job);
+
+  std::vector<unsigned char> payload;
+  if (hot_ && hot_->get(key, payload)) {
+    mathx::ByteReader reader(payload);
+    if (decode_value(kind, reader, r.value)) {
+      r.tier = ResultTier::kHot;
+    }
+    // A hot entry that fails the decode is impossible unless the process
+    // mixes engine versions; fall through and recompute.
+  }
+  if (r.tier == ResultTier::kComputed && disk_) {
+    payload.clear();
+    if (disk_->get(key, payload)) {
+      mathx::ByteReader reader(payload);
+      if (decode_value(kind, reader, r.value)) {
+        r.tier = ResultTier::kDisk;
+        // Promote so the next identical question never touches the disk.
+        if (hot_) hot_->put(key, payload);
+      }
+      // Framing-valid but schema-stale entries miss and get overwritten.
+    }
+  }
+
+  if (r.tier != ResultTier::kComputed) {
+    r.stats = mathx::RunStats{};
+    r.stats.cache_hits = 1;
+  } else {
+    r.value = execute_job(job, threads, &r.stats);
+    r.stats.cache_hits = 0;
+    r.stats.cache_misses = (disk_ || hot_) ? 1 : 0;
+    if (disk_ || hot_) {
+      mathx::ByteWriter w;
+      encode_value(r.value, w);
+      if (disk_) disk_->put(key, w.data());
+      if (hot_) hot_->put(key, w.data());
+    }
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+CacheCounters JobExecutor::disk_counters() const {
+  return disk_ ? disk_->counters() : CacheCounters{};
+}
+
+HotCacheCounters JobExecutor::hot_counters() const {
+  return hot_ ? hot_->counters() : HotCacheCounters{};
+}
+
+}  // namespace csdac::runtime

@@ -1,0 +1,80 @@
+// Shared job executor: the tiered result store (in-memory hot tier above
+// the persistent disk cache) plus fresh execution, factored out of the
+// batch-scoped JobGraph so that any number of concurrently-running graphs,
+// scheduler workers, and server requests can share ONE set of cache tiers.
+// run() is safe to call from many threads at once: the hot tier is sharded,
+// the disk tier serializes internally, and execute_job is a pure function
+// of (job, threads).
+//
+// Lookup order: hot tier -> disk tier -> compute. Disk hits are promoted
+// into the hot tier; computed results are written to both, so a warm
+// process answers from RAM and a warm cache directory answers a fresh
+// process from disk exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/cache.hpp"
+#include "runtime/hot_cache.hpp"
+#include "runtime/job.hpp"
+
+namespace csdac::runtime {
+
+struct ExecutorOptions {
+  /// Directory of the persistent disk cache; empty disables the disk tier.
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = 256ull << 20;
+  /// Byte budget of the in-memory hot tier; 0 disables it.
+  std::uint64_t hot_bytes = 0;
+  int hot_shards = 8;
+};
+
+/// Where a result came from.
+enum class ResultTier : std::uint8_t {
+  kComputed = 0,  ///< executed fresh (and stored, when tiers exist)
+  kHot = 1,       ///< served from the in-memory tier, zero disk I/O
+  kDisk = 2,      ///< served from the persistent store
+};
+
+std::string_view tier_name(ResultTier tier);
+
+struct ExecResult {
+  JobValue value;
+  mathx::RunStats stats;  ///< cache_hits=1/evaluated=0 on any cache hit
+  ResultTier tier = ResultTier::kComputed;
+  double wall_seconds = 0.0;  ///< end-to-end, including cache I/O
+
+  bool cache_hit() const { return tier != ResultTier::kComputed; }
+};
+
+class JobExecutor {
+ public:
+  explicit JobExecutor(ExecutorOptions opts);
+
+  JobExecutor(const JobExecutor&) = delete;
+  JobExecutor& operator=(const JobExecutor&) = delete;
+
+  /// Resolves one job: tiered lookup, then fresh execution on `threads`
+  /// engine workers. Thread-safe; concurrent callers with the same key
+  /// may both compute (identical results race benignly into the store) —
+  /// single-flight dedup is the Scheduler's job, not the executor's.
+  ExecResult run(const Job& job, const mathx::HashKey128& key, int threads);
+
+  /// Counters of the disk tier (zeroes when disabled).
+  CacheCounters disk_counters() const;
+  /// Counters of the hot tier (zeroes when disabled).
+  HotCacheCounters hot_counters() const;
+
+  ResultCache* disk() { return disk_.get(); }
+  HotCache* hot() { return hot_.get(); }
+  const ExecutorOptions& options() const { return opts_; }
+
+ private:
+  ExecutorOptions opts_;
+  std::unique_ptr<ResultCache> disk_;
+  std::unique_ptr<HotCache> hot_;
+};
+
+}  // namespace csdac::runtime

@@ -32,25 +32,38 @@ struct GraphMetrics {
 }  // namespace
 
 JobGraph::JobGraph(RuntimeOptions opts) : opts_(std::move(opts)) {
-  if (!opts_.cache_dir.empty()) {
-    CacheOptions co;
-    co.dir = opts_.cache_dir;
-    co.max_bytes = opts_.cache_max_bytes;
-    cache_ = std::make_unique<ResultCache>(std::move(co));
-  }
+  ExecutorOptions eo;
+  eo.cache_dir = opts_.cache_dir;
+  eo.cache_max_bytes = opts_.cache_max_bytes;
+  eo.hot_bytes = opts_.hot_bytes;
+  executor_ = std::make_shared<JobExecutor>(std::move(eo));
   if (!opts_.trace_path.empty()) {
     trace_.open(opts_.trace_path);
     span_sink_ = std::make_unique<TraceSpanSink>(trace_);
     obs::Tracer::global().add_sink(span_sink_.get());
   }
-  if (cache_ && trace_.enabled()) {
-    cache_->on_evict = [this](const std::string& key_hex,
-                              std::uint64_t bytes) {
+  // The graph owns this executor, so wiring the eviction trace callback
+  // cannot race with another graph's trace (shared executors skip it).
+  if (executor_->disk() && trace_.enabled()) {
+    executor_->disk()->on_evict = [this](const std::string& key_hex,
+                                         std::uint64_t bytes) {
       trace_.emit(JsonLine()
                       .field("ev", "cache_evict")
                       .field("key", key_hex)
                       .field("bytes", static_cast<std::int64_t>(bytes)));
     };
+  }
+}
+
+JobGraph::JobGraph(RuntimeOptions opts, std::shared_ptr<JobExecutor> executor)
+    : opts_(std::move(opts)), executor_(std::move(executor)) {
+  if (!executor_) {
+    throw std::invalid_argument("JobGraph: null shared executor");
+  }
+  if (!opts_.trace_path.empty()) {
+    trace_.open(opts_.trace_path);
+    span_sink_ = std::make_unique<TraceSpanSink>(trace_);
+    obs::Tracer::global().add_sink(span_sink_.get());
   }
 }
 
@@ -101,41 +114,23 @@ void JobGraph::run_one(JobId id, int threads) {
   }
   obs::ScopedSpan span("graph.job");
   span.attr("kind", kind).attr("label", r.label).attr("key", key_hex);
-  const auto t0 = std::chrono::steady_clock::now();
 
-  bool hit = false;
-  if (cache_) {
-    std::vector<unsigned char> payload;
-    if (cache_->get(r.key, payload)) {
-      mathx::ByteReader reader(payload);
-      hit = decode_value(job_kind(r.job), reader, r.value);
-      // A framing-valid entry that fails the schema decode is stale (old
-      // result version for this key shape); fall through and overwrite.
-    }
-  }
-  if (hit) {
-    r.cache_hit = true;
-    r.stats = mathx::RunStats{};
-    r.stats.cache_hits = 1;
-  } else {
-    r.value = execute_job(r.job, threads, &r.stats);
-    r.stats.cache_hits = 0;
-    r.stats.cache_misses = cache_ ? 1 : 0;
-    if (cache_) {
-      mathx::ByteWriter w;
-      encode_value(r.value, w);
-      cache_->put(r.key, w.data());
-    }
-  }
-  r.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  ExecResult res = executor_->run(r.job, r.key, threads);
+  const bool caching =
+      executor_->disk() != nullptr || executor_->hot() != nullptr;
+  r.value = std::move(res.value);
+  r.stats = res.stats;
+  r.tier = res.tier;
+  r.cache_hit = res.cache_hit();
+  r.wall_seconds = res.wall_seconds;
   r.done = true;
+  const char* cache_str =
+      caching ? (r.cache_hit ? "hit" : "miss") : "off";
 
   GraphMetrics& gm = GraphMetrics::get();
   gm.jobs.add(1);
   gm.job_us.observe(static_cast<std::int64_t>(r.wall_seconds * 1e6));
-  span.attr("cache", cache_ ? (hit ? "hit" : "miss") : "off")
+  span.attr("cache", cache_str).attr("tier", tier_name(r.tier))
       .attr("evaluated", r.stats.evaluated);
 
   if (trace_.enabled()) {
@@ -145,7 +140,8 @@ void JobGraph::run_one(JobId id, int threads) {
                     .field("kind", kind)
                     .field("key", key_hex)
                     .field("label", r.label)
-                    .field("cache", cache_ ? (hit ? "hit" : "miss") : "off")
+                    .field("cache", cache_str)
+                    .field("tier", tier_name(r.tier))
                     .field("wall_s", r.wall_seconds)
                     .field("evaluated", r.stats.evaluated)
                     .field("items_per_s", r.stats.items_per_second));
@@ -175,8 +171,9 @@ void JobGraph::run_all() {
                     .field("schema", kTraceSchema)
                     .field("jobs", static_cast<std::int64_t>(pending))
                     .field("threads", opts_.threads)
-                    .field("cache_dir",
-                           cache_ ? cache_->options().dir : std::string()));
+                    .field("cache_dir", executor_->disk()
+                                            ? executor_->disk()->options().dir
+                                            : std::string()));
   }
   obs::ScopedSpan run_span("graph.run");
   run_span.attr("jobs", static_cast<std::int64_t>(pending))
@@ -235,7 +232,11 @@ void JobGraph::run_all() {
 }
 
 CacheCounters JobGraph::cache_counters() const {
-  return cache_ ? cache_->counters() : CacheCounters{};
+  return executor_->disk_counters();
+}
+
+HotCacheCounters JobGraph::hot_counters() const {
+  return executor_->hot_counters();
 }
 
 JobRecord run_job(const Job& job, const RuntimeOptions& opts) {

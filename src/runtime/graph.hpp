@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/cache.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/job.hpp"
 #include "runtime/trace.hpp"
 
@@ -24,6 +25,10 @@ struct RuntimeOptions {
   /// Directory of the persistent result cache; empty disables caching.
   std::string cache_dir;
   std::uint64_t cache_max_bytes = 256ull << 20;
+  /// In-memory hot tier above the disk cache; 0 keeps it disabled (the
+  /// batch tools answer each unique question once per process, so RAM
+  /// residency only pays off for long-lived servers).
+  std::uint64_t hot_bytes = 0;
   /// JSONL trace file; empty disables tracing.
   std::string trace_path;
 };
@@ -40,6 +45,7 @@ struct JobRecord {
   /// evaluated = 0 (nothing was recomputed).
   mathx::RunStats stats;
   double wall_seconds = 0.0;  ///< end-to-end, including cache I/O
+  ResultTier tier = ResultTier::kComputed;  ///< where the value came from
   bool cache_hit = false;
   bool done = false;
 };
@@ -47,6 +53,11 @@ struct JobRecord {
 class JobGraph {
  public:
   explicit JobGraph(RuntimeOptions opts = {});
+  /// Runs against a SHARED executor (cache tiers owned elsewhere, e.g. by
+  /// a Scheduler): graph execution is then fully decoupled from this
+  /// graph's lifetime — any number of graphs may run against the executor
+  /// concurrently. opts.cache_dir/hot_bytes are ignored in this form.
+  JobGraph(RuntimeOptions opts, std::shared_ptr<JobExecutor> executor);
   /// Unregisters the trace span sink (when tracing was enabled).
   ~JobGraph();
 
@@ -67,15 +78,18 @@ class JobGraph {
 
   /// Counters of the persistent cache (zeroes when caching is disabled).
   CacheCounters cache_counters() const;
+  /// Counters of the in-memory hot tier (zeroes when disabled).
+  HotCacheCounters hot_counters() const;
 
   const RuntimeOptions& options() const { return opts_; }
   TraceLog& trace() { return trace_; }
+  const std::shared_ptr<JobExecutor>& executor() const { return executor_; }
 
  private:
   void run_one(JobId id, int threads);
 
   RuntimeOptions opts_;
-  std::unique_ptr<ResultCache> cache_;
+  std::shared_ptr<JobExecutor> executor_;
   TraceLog trace_;
   /// Registered with obs::Tracer::global() while tracing, so engine and
   /// job spans land in the JSONL alongside the classic events.

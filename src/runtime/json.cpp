@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "obs/json_escape.hpp"
 
@@ -24,7 +25,20 @@ double JsonValue::number_or(std::string_view key, double def) const {
 
 std::int64_t JsonValue::int_or(std::string_view key, std::int64_t def) const {
   const JsonValue* v = find(key);
-  return v && v->is_number() ? static_cast<std::int64_t>(v->num) : def;
+  if (!v || !v->is_number()) return def;
+  // Saturate before casting: converting a double beyond int64 range (a
+  // hostile "chips": 1e999, or NaN) is undefined behavior. Saturated
+  // values then fail the caller's bounds checks like any other
+  // out-of-range input. The NaN comparison is deliberately inverted so
+  // NaN lands in the first branch.
+  const double n = v->num;
+  if (!(n >= -9223372036854775808.0)) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  if (n >= 9223372036854775808.0) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>(n);
 }
 
 bool JsonValue::bool_or(std::string_view key, bool def) const {

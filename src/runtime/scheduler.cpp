@@ -1,0 +1,247 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "mathx/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace csdac::runtime {
+
+namespace {
+
+struct SchedMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& dedup;
+  obs::Counter& admission_waits;
+  obs::Gauge& queue_depth;
+  obs::Gauge& inflight;
+  obs::Histogram& queue_us;
+  obs::Histogram& job_us;
+
+  static SchedMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static SchedMetrics m{
+        r.counter("sched.submitted", "jobs submitted to the scheduler"),
+        r.counter("sched.completed", "jobs completed by the scheduler"),
+        r.counter("sched.dedup_inflight",
+                  "submissions deduplicated onto an in-flight task"),
+        r.counter("sched.admission_waits",
+                  "submits that blocked on the per-client cap"),
+        r.gauge("sched.queue_depth", "tasks queued (not yet running)"),
+        r.gauge("sched.inflight", "tasks queued or running"),
+        r.histogram("sched.queue_us", "task time from submit to start [us]"),
+        r.histogram("sched.job_us", "task execution wall time [us]"),
+    };
+    return m;
+  }
+};
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions opts,
+                     std::shared_ptr<JobExecutor> executor)
+    : opts_(std::move(opts)), executor_(std::move(executor)) {
+  if (opts_.threads_per_job < 0 || opts_.max_inflight_per_client < 1) {
+    throw std::invalid_argument("Scheduler: bad options");
+  }
+  if (!executor_) {
+    executor_ = std::make_shared<JobExecutor>(opts_.exec);
+  }
+  const int n = mathx::resolve_threads(opts_.workers);
+  opts_.workers = n;
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_slot_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Anything still queued resolves to a broken promise for any holder of
+  // its future; the server always waits on its tickets, so this only
+  // triggers on teardown-with-abandoned-work.
+}
+
+Scheduler::Ticket Scheduler::submit(Job job, std::uint64_t client,
+                                    std::string label) {
+  const mathx::HashKey128 key = job_key(job);
+  SchedMetrics& m = SchedMetrics::get();
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    ++counters_.dedup_inflight;
+    m.dedup.add(1);
+    return Ticket{key, it->second->future, true};
+  }
+
+  // Admission control: block while this client is at its cap. Re-check the
+  // in-flight table after every wake — someone may have submitted the same
+  // key meanwhile, which we can join for free.
+  while (!stop_ &&
+         client_load_[client] >= opts_.max_inflight_per_client) {
+    ++counters_.admission_waits;
+    m.admission_waits.add(1);
+    cv_slot_.wait(lock, [&] {
+      return stop_ ||
+             client_load_[client] < opts_.max_inflight_per_client ||
+             inflight_.count(key) != 0;
+    });
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      ++counters_.dedup_inflight;
+      m.dedup.add(1);
+      return Ticket{key, it->second->future, true};
+    }
+  }
+  if (stop_) {
+    throw std::runtime_error("Scheduler::submit: scheduler stopped");
+  }
+
+  auto task = std::make_shared<Task>();
+  task->job = std::move(job);
+  task->key = key;
+  task->label = label.empty()
+                    ? std::string(kind_name(job_kind(task->job)))
+                    : std::move(label);
+  task->client = client;
+  task->seq = next_seq_++;
+  task->submit_us = now_us();
+  task->future = task->promise.get_future().share();
+  inflight_.emplace(key, task);
+  queues_[client].push_back(task);
+  ++client_load_[client];
+  ++queued_;
+  ++counters_.submitted;
+  m.submitted.add(1);
+  m.queue_depth.set(static_cast<double>(queued_));
+  m.inflight.set(static_cast<double>(inflight_.size()));
+
+  if (trace_ && trace_->enabled()) {
+    trace_->emit(JsonLine()
+                     .field("ev", "job_start")
+                     .field("job", static_cast<std::int64_t>(task->seq))
+                     .field("kind", kind_name(job_kind(task->job)))
+                     .field("key", key.hex())
+                     .field("label", task->label)
+                     .field("client", static_cast<std::int64_t>(client)));
+  }
+  lock.unlock();
+  cv_work_.notify_one();
+  return Ticket{key, task->future, false};
+}
+
+/// Round-robin pick: the first non-empty client queue strictly after the
+/// cursor, wrapping. Requires at least one queued task. Lock held.
+Scheduler::TaskPtr Scheduler::next_task_locked() {
+  auto it = queues_.upper_bound(rr_cursor_);
+  for (std::size_t hops = 0; hops <= queues_.size(); ++hops) {
+    if (it == queues_.end()) it = queues_.begin();
+    if (!it->second.empty()) {
+      TaskPtr task = std::move(it->second.front());
+      it->second.pop_front();
+      rr_cursor_ = it->first;
+      --queued_;
+      return task;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_loop(int /*worker*/) {
+  SchedMetrics& m = SchedMetrics::get();
+  for (;;) {
+    TaskPtr task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || queued_ > 0; });
+      if (stop_) return;
+      task = next_task_locked();
+      if (!task) continue;
+      m.queue_depth.set(static_cast<double>(queued_));
+    }
+
+    m.queue_us.observe(
+        static_cast<std::int64_t>(now_us() - task->submit_us));
+    ResultPtr result;
+    std::exception_ptr error;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      obs::ScopedSpan span("sched.job");
+      span.attr("kind", kind_name(job_kind(task->job)))
+          .attr("label", task->label)
+          .attr("client", static_cast<std::int64_t>(task->client));
+      result = std::make_shared<const ExecResult>(
+          executor_->run(task->job, task->key, opts_.threads_per_job));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    m.job_us.observe(static_cast<std::int64_t>(wall_s * 1e6));
+
+    // Resolve the future BEFORE leaving the in-flight table, so a
+    // duplicate submit racing with completion either joins a resolved
+    // task or misses the table and hits the cache tiers — never recomputes
+    // a result that is milliseconds from materializing.
+    if (error) {
+      task->promise.set_exception(error);
+    } else {
+      task->promise.set_value(std::move(result));
+    }
+
+    if (trace_ && trace_->enabled()) {
+      trace_->emit(JsonLine()
+                       .field("ev", "job_finish")
+                       .field("job", static_cast<std::int64_t>(task->seq))
+                       .field("kind", kind_name(job_kind(task->job)))
+                       .field("key", task->key.hex())
+                       .field("label", task->label)
+                       .field("client",
+                              static_cast<std::int64_t>(task->client))
+                       .field("error", error ? true : false)
+                       .field("wall_s", wall_s));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(task->key);
+      if (--client_load_[task->client] == 0) {
+        client_load_.erase(task->client);
+        // Queues for idle clients stay around (empty deques are cheap and
+        // keep the round-robin order stable for returning clients).
+      }
+      ++counters_.completed;
+      m.inflight.set(static_cast<double>(inflight_.size()));
+    }
+    m.completed.add(1);
+    cv_slot_.notify_all();
+  }
+}
+
+SchedulerCounters Scheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::int64_t Scheduler::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(inflight_.size());
+}
+
+}  // namespace csdac::runtime

@@ -1,0 +1,90 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace csdac::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::connect(const std::string& host, int port, std::string* err) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = "socket() failed";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    if (err) *err = "bad address " + host;
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    if (err) {
+      *err = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(e);
+    }
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameStatus Client::call(const std::string& payload, std::string& reply,
+                         std::uint32_t max_reply_bytes) {
+  if (!send(payload)) return FrameStatus::kIoError;
+  return recv(reply, max_reply_bytes);
+}
+
+bool Client::send(const std::string& payload) {
+  return fd_ >= 0 && write_frame(fd_, payload);
+}
+
+FrameStatus Client::recv(std::string& reply, std::uint32_t max_reply_bytes) {
+  if (fd_ < 0) return FrameStatus::kIoError;
+  return read_frame(fd_, reply, max_reply_bytes);
+}
+
+bool Client::send_raw(const void* data, std::size_t n) {
+  if (fd_ < 0) return false;
+  std::size_t put = 0;
+  const char* p = static_cast<const char*>(data);
+  while (put < n) {
+    const ssize_t r = ::send(fd_, p + put, n - put, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace csdac::serve

@@ -1,0 +1,52 @@
+// Minimal blocking client for the design server: connect, send one
+// JSON payload per call(), read one reply frame. Used by the loadgen
+// tool and the serve test-suite; hostile-protocol tests reach the raw
+// socket through fd() / send_raw() to write deliberately broken bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/framing.hpp"
+
+namespace csdac::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. On failure returns false and stores a
+  /// message in *err when non-null.
+  bool connect(const std::string& host, int port, std::string* err = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round trip: frame `payload` out, read one reply frame into
+  /// `reply`. Any non-kOk status leaves the connection unusable for
+  /// framed traffic (the server drops it on framing errors too).
+  FrameStatus call(const std::string& payload, std::string& reply,
+                   std::uint32_t max_reply_bytes = kDefaultMaxFrameBytes);
+
+  /// Sends a frame without waiting for the reply (pipelining / tests).
+  bool send(const std::string& payload);
+  /// Reads one reply frame (pairs with send()).
+  FrameStatus recv(std::string& reply,
+                   std::uint32_t max_reply_bytes = kDefaultMaxFrameBytes);
+
+  /// Writes raw bytes, bypassing framing — for protocol-robustness tests
+  /// (bad magic, truncated frames, garbage). False on error.
+  bool send_raw(const void* data, std::size_t n);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace csdac::serve

@@ -1,0 +1,107 @@
+#include "serve/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace csdac::serve {
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns n on success, 0 on immediate EOF,
+/// -1 on EOF mid-read or errno failure (errno left for inspection).
+ssize_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  char* p = static_cast<char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) return got == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  std::size_t put = 0;
+  const char* p = static_cast<const char*>(buf);
+  while (put < n) {
+    ssize_t r = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (r < 0 && errno == ENOTSOCK) {
+      r = ::write(fd, p + put, n - put);
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view frame_status_name(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kBadMagic: return "bad_magic";
+    case FrameStatus::kTooLarge: return "frame_too_large";
+    case FrameStatus::kTruncated: return "truncated_frame";
+    case FrameStatus::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::uint32_t max_bytes) {
+  unsigned char header[8];
+  errno = 0;
+  const ssize_t h = read_exact(fd, header, sizeof(header));
+  if (h == 0) return FrameStatus::kClosed;
+  if (h < 0) return errno == 0 ? FrameStatus::kTruncated
+                               : FrameStatus::kIoError;
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return FrameStatus::kBadMagic;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[4]) |
+                            static_cast<std::uint32_t>(header[5]) << 8 |
+                            static_cast<std::uint32_t>(header[6]) << 16 |
+                            static_cast<std::uint32_t>(header[7]) << 24;
+  if (len > max_bytes) return FrameStatus::kTooLarge;
+  payload.resize(len);
+  if (len > 0) {
+    errno = 0;
+    const ssize_t b = read_exact(fd, payload.data(), len);
+    if (b != static_cast<ssize_t>(len)) {
+      payload.clear();
+      return errno == 0 || errno == ECONNRESET ? FrameStatus::kTruncated
+                                               : FrameStatus::kIoError;
+    }
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > 0xffffffffu) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  // One buffered write per frame: header + payload in a single segment,
+  // so Nagle/delayed-ACK never strands the payload behind an unacked
+  // 8-byte header (a two-write frame costs ~40 ms per round trip).
+  std::string frame;
+  frame.reserve(sizeof(kFrameMagic) + 4 + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.append(payload.data(), payload.size());
+  return write_exact(fd, frame.data(), frame.size());
+}
+
+}  // namespace csdac::serve

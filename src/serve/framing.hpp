@@ -1,0 +1,47 @@
+// Length-framed message transport of the design server. Every message —
+// request, response, control — travels as one frame:
+//
+//   bytes 0..3   magic "CSF1" (protocol + framing version)
+//   bytes 4..7   payload length, u32 little-endian
+//   bytes 8..    payload (UTF-8 JSON)
+//
+// The reader enforces a hard payload ceiling BEFORE allocating, so a
+// hostile length prefix cannot size an allocation. Framing errors are not
+// recoverable on a stream (the byte position is lost), so the server
+// answers a best-effort error frame and drops the connection; payload
+// errors (bad JSON etc.) are handled a layer up and keep the stream open.
+//
+// Functions take plain fds and work on sockets and pipes alike — writes
+// prefer send(MSG_NOSIGNAL) and fall back to write() for non-sockets, so
+// a peer hanging up mid-write surfaces as an error, never SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace csdac::serve {
+
+inline constexpr char kFrameMagic[4] = {'C', 'S', 'F', '1'};
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kClosed,     ///< clean EOF at a frame boundary
+  kBadMagic,   ///< stream desync or a non-CSF1 client
+  kTooLarge,   ///< length prefix exceeds the ceiling (nothing allocated)
+  kTruncated,  ///< EOF mid-frame
+  kIoError,    ///< read/write errno failure
+};
+
+std::string_view frame_status_name(FrameStatus s);
+
+/// Reads one complete frame into `payload`. Blocks until a full frame,
+/// EOF, or error. Only kOk leaves `payload` valid.
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one complete frame (header + payload). False on any error.
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace csdac::serve

@@ -1,0 +1,220 @@
+#include "serve/request.hpp"
+
+#include "core/accuracy.hpp"
+#include "tech/tech.hpp"
+
+namespace csdac::serve {
+
+namespace {
+
+[[noreturn]] void bad_job(const std::string& msg) {
+  throw RequestError("bad_job", msg);
+}
+
+std::int64_t bounded_int(const runtime::JsonValue& job, std::string_view key,
+                         std::int64_t def, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t v = job.int_or(key, def);
+  if (v < lo || v > hi) {
+    bad_job("'" + std::string(key) + "' out of range [" + std::to_string(lo) +
+            ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+core::DacSpec parse_spec(const runtime::JsonValue& job) {
+  core::DacSpec spec;  // paper's 12-bit defaults
+  if (const auto* s = job.find("spec")) {
+    if (!s->is_object()) bad_job("'spec' must be an object");
+    spec.nbits = static_cast<int>(s->int_or("nbits", spec.nbits));
+    spec.binary_bits =
+        static_cast<int>(s->int_or("binary_bits", spec.binary_bits));
+    spec.vdd = s->number_or("vdd", spec.vdd);
+    spec.v_swing = s->number_or("v_swing", spec.v_swing);
+    spec.v_out_min = s->number_or("v_out_min", spec.v_out_min);
+    spec.r_load = s->number_or("r_load", spec.r_load);
+    spec.c_load = s->number_or("c_load", spec.c_load);
+    spec.c_int = s->number_or("c_int", spec.c_int);
+    spec.inl_yield = s->number_or("inl_yield", spec.inl_yield);
+    spec.r_load_tol = s->number_or("r_load_tol", spec.r_load_tol);
+  }
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    bad_job(std::string("bad spec: ") + e.what());
+  }
+  return spec;
+}
+
+double parse_sigma(const runtime::JsonValue& job, const core::DacSpec& spec,
+                   double def_mult) {
+  if (const auto* abs = job.find("sigma_unit")) {
+    if (!abs->is_number() || abs->num < 0) bad_job("bad sigma_unit");
+    return abs->num;
+  }
+  const double mult = job.number_or("sigma_mult", def_mult);
+  if (mult < 0) bad_job("bad sigma_mult");
+  return mult * core::unit_sigma_spec(spec.nbits, spec.inl_yield);
+}
+
+core::GridAxis parse_axis(const runtime::JsonValue& job, const char* key) {
+  core::GridAxis a;
+  if (const auto* ax = job.find(key)) {
+    if (!ax->is_object()) {
+      bad_job(std::string("'") + key + "' must be an object");
+    }
+    a.lo = ax->number_or("lo", a.lo);
+    a.hi = ax->number_or("hi", a.hi);
+    a.steps = static_cast<int>(ax->int_or("steps", a.steps));
+  }
+  if (a.steps < 1 || a.steps > kMaxAxisSteps || !(a.lo <= a.hi)) {
+    bad_job(std::string("bad axis ") + key);
+  }
+  return a;
+}
+
+core::MarginPolicy parse_policy(const runtime::JsonValue& job) {
+  const std::string p = job.string_or("policy", "statistical");
+  if (p == "none") return core::MarginPolicy::kNone;
+  if (p == "fixed") return core::MarginPolicy::kFixedMargin;
+  if (p == "statistical") return core::MarginPolicy::kStatistical;
+  bad_job("bad policy '" + p + "'");
+}
+
+tech::MosTechParams parse_tech(const runtime::JsonValue& job) {
+  const std::string t = job.string_or("tech", "generic_035um");
+  if (t == "generic_035um") return tech::generic_035um().nmos;
+  if (t == "generic_025um") return tech::generic_025um().nmos;
+  bad_job("bad tech '" + t + "'");
+}
+
+}  // namespace
+
+runtime::Job parse_job(const runtime::JsonValue& job) {
+  if (!job.is_object()) bad_job("job entries must be objects");
+  const std::string kind = job.string_or("kind", "");
+  const core::DacSpec spec = parse_spec(job);
+
+  if (kind == "inl_yield" || kind == "dnl_yield") {
+    runtime::InlYieldJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.chips = static_cast<int>(bounded_int(job, "chips", 1000, 1, kMaxChips));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    j.dnl = kind == "dnl_yield";
+    const std::string ref = job.string_or("ref", "bestfit");
+    if (ref == "endpoint") j.ref = dac::InlReference::kEndpoint;
+    else if (ref == "bestfit") j.ref = dac::InlReference::kBestFit;
+    else bad_job("bad ref '" + ref + "'");
+    j.adaptive = job.bool_or("adaptive", false);
+    j.min_chips = static_cast<int>(
+        bounded_int(job, "min_chips", j.min_chips, 1, kMaxChips));
+    j.batch =
+        static_cast<int>(bounded_int(job, "batch", j.batch, 1, kMaxChips));
+    j.ci_half_width = job.number_or("ci_half_width", j.ci_half_width);
+    return j;
+  }
+  if (kind == "cal_yield") {
+    runtime::CalYieldJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.cal.range_lsb = job.number_or("cal_range_lsb", j.cal.range_lsb);
+    j.cal.bits = static_cast<int>(
+        bounded_int(job, "cal_bits", j.cal.bits, 1, 24));
+    j.cal.measure_noise_lsb =
+        job.number_or("cal_noise_lsb", j.cal.measure_noise_lsb);
+    j.chips = static_cast<int>(bounded_int(job, "chips", 1000, 1, kMaxChips));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    return j;
+  }
+  if (kind == "sweep_basic") {
+    runtime::SweepBasicJob j;
+    j.spec = spec;
+    j.tech = parse_tech(job);
+    j.cs = parse_axis(job, "cs");
+    j.sw = parse_axis(job, "sw");
+    j.policy = parse_policy(job);
+    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
+    return j;
+  }
+  if (kind == "sweep_cascode") {
+    runtime::SweepCascodeJob j;
+    j.spec = spec;
+    j.tech = parse_tech(job);
+    j.cs = parse_axis(job, "cs");
+    j.sw = parse_axis(job, "sw");
+    j.cas = parse_axis(job, "cas");
+    j.policy = parse_policy(job);
+    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
+    const std::string agg = job.string_or("agg", "max");
+    if (agg == "rss") j.agg = core::SigmaAggregation::kRss;
+    else if (agg != "max") bad_job("bad agg '" + agg + "'");
+    return j;
+  }
+  if (kind == "spectrum") {
+    runtime::SpectrumJob j;
+    j.spec = spec;
+    // Spectrum questions default to the mismatch-free converter; ask for
+    // matching effects with sigma_mult/sigma_unit.
+    j.sigma_unit = parse_sigma(job, spec, 0.0);
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 2003));
+    j.dyn.fs = job.number_or("fs", j.dyn.fs);
+    j.dyn.oversample = static_cast<int>(
+        bounded_int(job, "oversample", j.dyn.oversample, 1, 256));
+    j.dyn.tau = job.number_or("tau", j.dyn.tau);
+    j.dyn.rout_unit = job.number_or("rout_unit", j.dyn.rout_unit);
+    j.dyn.binary_skew = job.number_or("binary_skew", j.dyn.binary_skew);
+    j.dyn.jitter_sigma = job.number_or("jitter_sigma", j.dyn.jitter_sigma);
+    j.dyn.feedthrough_lsb =
+        job.number_or("feedthrough_lsb", j.dyn.feedthrough_lsb);
+    j.n_samples = static_cast<int>(
+        bounded_int(job, "n_samples", j.n_samples, 8, kMaxSamples));
+    j.cycles = static_cast<int>(
+        bounded_int(job, "cycles", j.cycles, 1, kMaxSamples));
+    j.differential = job.bool_or("differential", true);
+    return j;
+  }
+  bad_job("unknown job kind '" + kind + "'");
+}
+
+std::vector<RequestJob> parse_request(const runtime::JsonValue& request) {
+  if (!request.is_object()) {
+    throw RequestError("bad_request", "request must be a JSON object");
+  }
+  if (request.string_or("schema", "") != kRequestSchema) {
+    throw RequestError("bad_schema", "request schema must be '" +
+                                         std::string(kRequestSchema) + "'");
+  }
+  const auto* jobs = request.find("jobs");
+  if (!jobs || !jobs->is_array() || jobs->arr.empty()) {
+    throw RequestError("bad_request", "request has no jobs");
+  }
+  if (static_cast<std::int64_t>(jobs->arr.size()) > kMaxJobsPerRequest) {
+    throw RequestError("bad_request",
+                       "request exceeds " +
+                           std::to_string(kMaxJobsPerRequest) + " jobs");
+  }
+  std::vector<RequestJob> out;
+  out.reserve(jobs->arr.size());
+  for (std::size_t i = 0; i < jobs->arr.size(); ++i) {
+    RequestJob e;
+    e.id = jobs->arr[i].is_object()
+               ? jobs->arr[i].string_or("id", "job" + std::to_string(i))
+               : "job" + std::to_string(i);
+    e.job = parse_job(jobs->arr[i]);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<RequestJob> parse_request_text(const std::string& text) {
+  runtime::JsonValue request;
+  std::string err;
+  if (!runtime::parse_json(text, request, &err)) {
+    throw RequestError("bad_json", err);
+  }
+  return parse_request(request);
+}
+
+}  // namespace csdac::serve

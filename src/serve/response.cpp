@@ -1,0 +1,71 @@
+#include "serve/response.hpp"
+
+#include <optional>
+#include <type_traits>
+
+#include "core/explorer.hpp"
+
+namespace csdac::serve {
+
+void emit_result(bench::JsonWriter& w, const runtime::JobValue& value) {
+  w.key("result").begin_object();
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, runtime::YieldResult>) {
+          w.field("chips", v.chips);
+          w.field("pass", v.pass);
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+        } else if constexpr (std::is_same_v<T, runtime::CalYieldResult>) {
+          w.field("chips", v.chips);
+          w.field("yield_before", v.yield_before);
+          w.field("yield_after", v.yield_after);
+        } else if constexpr (std::is_same_v<T, runtime::SweepResult>) {
+          w.field("points", static_cast<std::int64_t>(v.points.size()));
+          std::int64_t feasible = 0;
+          for (const auto& p : v.points) feasible += p.feasible ? 1 : 0;
+          w.field("feasible", feasible);
+          const auto emit_best =
+              [&w](const char* name,
+                   const std::optional<core::DesignPoint>& best) {
+                if (!best) return;
+                w.key(name).begin_object();
+                w.field("vod_cs", best->vod_cs);
+                w.field("vod_sw", best->vod_sw);
+                w.field("vod_cas", best->vod_cas);
+                w.field("area_m2", best->area);
+                w.field("f_min_hz", best->f_min_hz);
+                w.field("t_settle_s", best->t_settle_s);
+                w.end_object();
+              };
+          emit_best("best_min_area",
+                    core::DesignSpaceExplorer::select(
+                        v.points, core::Objective::kMinArea));
+          emit_best("best_max_speed",
+                    core::DesignSpaceExplorer::select(
+                        v.points, core::Objective::kMaxSpeed));
+        } else if constexpr (std::is_same_v<T, runtime::SpectrumSummary>) {
+          w.field("sfdr_db", v.sfdr_db);
+          w.field("sndr_db", v.sndr_db);
+          w.field("thd_db", v.thd_db);
+          w.field("enob", v.enob);
+        }
+      },
+      value);
+  w.end_object();
+}
+
+std::string error_frame(std::string_view code, std::string_view message) {
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kResponseSchema);
+  w.key("error").begin_object();
+  w.field("code", code);
+  w.field("message", message);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace csdac::serve

@@ -1,0 +1,24 @@
+// Shared result emission for the design service: the per-kind JSON body
+// under each job's "result" key, identical between the batch response
+// ("csdac-serve/2") and the network server's reply frames
+// ("csdac-serve/3") so clients parse one shape regardless of transport.
+#pragma once
+
+#include "bench_json.hpp"
+#include "runtime/job.hpp"
+
+namespace csdac::serve {
+
+/// Network reply schema of server.* (one frame per request).
+inline constexpr std::string_view kResponseSchema = "csdac-serve/3";
+/// Control-channel schema (ping / metrics / shutdown).
+inline constexpr std::string_view kControlSchema = "csdac-ctl/1";
+
+/// Writes `"result": { ...kind-specific fields... }` for the value.
+void emit_result(bench::JsonWriter& w, const runtime::JobValue& value);
+
+/// Writes a complete "csdac-serve/3" error frame body:
+/// {"schema":...,"error":{"code":...,"message":...}}.
+std::string error_frame(std::string_view code, std::string_view message);
+
+}  // namespace csdac::serve

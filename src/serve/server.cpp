@@ -1,0 +1,340 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+
+namespace csdac::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& connections;
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Counter& rejected;
+  obs::Gauge& active;
+  obs::Gauge& inflight;
+  obs::Histogram& request_us;
+
+  static ServeMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static ServeMetrics m{
+        r.counter("serve.connections", "connections accepted"),
+        r.counter("serve.requests", "design requests answered"),
+        r.counter("serve.errors", "error frames sent"),
+        r.counter("serve.rejected", "connections refused at the cap"),
+        r.gauge("serve.connections_active", "connections open right now"),
+        r.gauge("serve.requests_inflight", "requests being handled"),
+        r.histogram("serve.request_us", "request handling latency [us]"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  sched_ = std::make_unique<runtime::Scheduler>(opts_.sched);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: bad listen address " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: cannot bind " + opts_.host + ":" +
+                             std::to_string(opts_.port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (running_.exchange(false)) {
+    // Unblock poll() promptly; the accept loop also checks running_.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  cv_stop_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_stop_.wait(lock,
+                [this] { return stop_requested_.load(std::memory_order_acquire); });
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void Server::accept_loop() {
+  ServeMetrics& m = ServeMetrics::get();
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 200);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (active_ >= opts_.max_connections) {
+      write_frame(fd, error_frame("busy", "connection limit reached"));
+      ::close(fd);
+      ++counters_.rejected;
+      m.rejected.add(1);
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    ++active_;
+    ++counters_.connections;
+    m.connections.add(1);
+    m.active.set(static_cast<double>(active_));
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(
+        [this, fd, id] { handle_connection(fd, id); });
+  }
+}
+
+void Server::handle_connection(int fd, std::uint64_t conn_id) {
+  ServeMetrics& m = ServeMetrics::get();
+  std::string payload;
+  for (;;) {
+    const FrameStatus st = read_frame(fd, payload, opts_.max_frame_bytes);
+    if (st == FrameStatus::kClosed) break;
+    if (st != FrameStatus::kOk) {
+      // The stream position is unknowable after a framing error: answer
+      // best-effort and drop the connection (payload errors, by
+      // contrast, are clean frames and keep the session below).
+      write_frame(fd, error_frame(frame_status_name(st),
+                                  "framing error, closing connection"));
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.errors;
+      m.errors.add(1);
+      break;
+    }
+
+    bool shutdown_after = false;
+    const std::string reply =
+        handle_payload(payload, conn_id, &shutdown_after);
+    const bool sent = write_frame(fd, reply);
+    if (shutdown_after) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_requested_.store(true, std::memory_order_release);
+      }
+      cv_stop_.notify_all();
+      break;
+    }
+    if (!sent) break;
+  }
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+  --active_;
+  m.active.set(static_cast<double>(active_));
+}
+
+std::string Server::handle_payload(const std::string& payload,
+                                   std::uint64_t conn_id,
+                                   bool* shutdown_after) {
+  ServeMetrics& m = ServeMetrics::get();
+  runtime::JsonValue request;
+  std::string err;
+  if (!runtime::parse_json(payload, request, &err)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.errors;
+    m.errors.add(1);
+    return error_frame("bad_json", err);
+  }
+  const std::string schema = request.string_or("schema", "");
+  if (schema == kControlSchema) {
+    return handle_control(request, shutdown_after);
+  }
+
+  try {
+    return handle_request(request, conn_id);
+  } catch (const RequestError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.errors;
+    m.errors.add(1);
+    return error_frame(e.code(), e.what());
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.errors;
+    m.errors.add(1);
+    return error_frame("internal", e.what());
+  }
+}
+
+std::string Server::handle_control(const runtime::JsonValue& request,
+                                   bool* shutdown_after) {
+  const std::string cmd = request.string_or("cmd", "");
+  if (cmd != "ping" && cmd != "metrics" && cmd != "shutdown") {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.errors;
+    ServeMetrics::get().errors.add(1);
+    return error_frame("bad_ctl", "unknown ctl cmd '" + cmd + "'");
+  }
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kControlSchema);
+  w.field("cmd", cmd);
+  w.field("ok", true);
+  if (cmd == "ping") {
+    w.field("workers", sched_->workers());
+    w.field("inflight", sched_->inflight());
+  } else if (cmd == "metrics") {
+    w.field("prometheus", obs::Registry::global().snapshot().to_prometheus());
+  } else {
+    *shutdown_after = true;
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string Server::handle_request(const runtime::JsonValue& request,
+                                   std::uint64_t conn_id) {
+  ServeMetrics& m = ServeMetrics::get();
+  const std::vector<RequestJob> jobs = parse_request(request);
+  const bool want_metrics = request.bool_or("metrics", false);
+
+  obs::ScopedSpan span("serve.request");
+  span.attr("client", static_cast<std::int64_t>(conn_id))
+      .attr("jobs", static_cast<std::int64_t>(jobs.size()));
+  m.inflight.add(1);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Submit everything before waiting on anything: within one request the
+  // scheduler's in-flight dedup folds duplicates, and across requests two
+  // clients asking the same question share one execution.
+  std::vector<runtime::Scheduler::Ticket> tickets;
+  tickets.reserve(jobs.size());
+  for (const RequestJob& e : jobs) {
+    tickets.push_back(sched_->submit(e.job, conn_id, e.id));
+  }
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kResponseSchema);
+  w.key("jobs").begin_array();
+  std::int64_t deduped = 0, failed = 0, chip_evals = 0;
+  std::map<mathx::HashKey128, bool> counted;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const runtime::Scheduler::Ticket& t = tickets[i];
+    w.begin_object();
+    w.field("id", jobs[i].id);
+    w.field("kind",
+            runtime::kind_name(runtime::job_kind(jobs[i].job)));
+    w.field("key", t.key.hex());
+    deduped += t.deduped ? 1 : 0;
+    try {
+      const runtime::Scheduler::ResultPtr res = t.future.get();
+      w.field("cache", runtime::tier_name(res->tier));
+      w.field("deduped", t.deduped);
+      w.field("wall_s", res->wall_seconds);
+      w.field("evaluated", res->stats.evaluated);
+      emit_result(w, res->value);
+      if (counted.emplace(t.key, true).second) {
+        chip_evals += res->stats.evaluated;
+      }
+    } catch (const std::exception& e) {
+      ++failed;
+      w.key("error").begin_object();
+      w.field("code", "job_failed");
+      w.field("message", e.what());
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  w.key("summary").begin_object();
+  w.field("requested", static_cast<std::int64_t>(jobs.size()));
+  w.field("deduped", deduped);
+  w.field("failed", failed);
+  w.field("chip_evals", chip_evals);
+  w.field("wall_s", wall);
+  w.end_object();
+  if (want_metrics) {
+    w.key("metrics").raw(obs::Registry::global().snapshot().to_json());
+  }
+  w.end_object();
+
+  m.inflight.add(-1);
+  m.requests.add(1);
+  m.request_us.observe(static_cast<std::int64_t>(wall * 1e6));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests;
+    if (failed > 0) ++counters_.errors;
+  }
+  span.attr("wall_s", wall).attr("deduped", deduped);
+  return w.str();
+}
+
+}  // namespace csdac::serve

@@ -1,0 +1,124 @@
+// Persistent concurrent design server: a length-framed TCP listener
+// (framing.hpp) that parses "csdac-request/1" payloads (request.hpp) into
+// jobs on ONE long-lived shared Scheduler, so any number of concurrent
+// clients multiplex over one worker pool, one in-memory hot tier and one
+// disk cache — with cross-request single-flight dedup and per-client
+// admission control inherited from the scheduler.
+//
+// Connection model: one thread per connection (bounded by
+// max_connections; excess connections get a "busy" error frame and are
+// closed). Framing errors answer a best-effort error frame and drop the
+// connection; payload errors (bad JSON, bad schema, bad job fields)
+// answer a structured "csdac-serve/3" error frame and KEEP the
+// connection open — one malformed request never takes down a client's
+// session, let alone the server.
+//
+// Control channel ("csdac-ctl/1" payloads on the same port):
+//   {"schema":"csdac-ctl/1","cmd":"ping"}      liveness probe
+//   {"schema":"csdac-ctl/1","cmd":"metrics"}   Prometheus text dump
+//   {"schema":"csdac-ctl/1","cmd":"shutdown"}  ack, then wake wait()
+//
+// Observability: serve.connections / serve.connections_active /
+// serve.requests / serve.requests_inflight / serve.errors plus the
+// serve.request_us latency histogram, and a serve.request span per
+// request — all in the process-wide obs registry, exported by the
+// csdac_serve tool's --metrics-out or the ctl metrics command.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/json.hpp"
+#include "runtime/scheduler.hpp"
+#include "serve/framing.hpp"
+
+namespace csdac::serve {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default: the service speaks a private
+  /// protocol and sits behind clients on the same host.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port().
+  int port = 0;
+  /// Hard cap on simultaneous connections; excess are answered with a
+  /// "busy" error frame and closed.
+  int max_connections = 64;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  runtime::SchedulerOptions sched;
+};
+
+struct ServerCounters {
+  std::int64_t connections = 0;  ///< accepted, lifetime
+  std::int64_t requests = 0;     ///< design requests answered (ok or error)
+  std::int64_t errors = 0;       ///< error frames sent (payload or framing)
+  std::int64_t rejected = 0;     ///< connections refused at the cap
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws std::runtime_error on failure) but does
+  /// not accept yet — call start().
+  explicit Server(ServerOptions opts);
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the accept loop (idempotent).
+  void start();
+  /// Stops accepting, shuts down open connections, joins every thread.
+  /// Safe to call repeatedly; never called from a connection thread.
+  void stop();
+  /// Blocks until a ctl shutdown arrives or stop() is called elsewhere.
+  void wait();
+  /// True once a ctl shutdown was acknowledged (or stop() ran). Lets a
+  /// driver poll alongside its own signal flags instead of blocking.
+  bool shutdown_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// The port actually bound (resolves opts.port == 0).
+  int port() const { return port_; }
+  runtime::Scheduler& scheduler() { return *sched_; }
+  ServerCounters counters() const;
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd, std::uint64_t conn_id);
+  /// One payload in, one reply payload out. Never throws. Sets
+  /// *shutdown_after when the reply acknowledges a ctl shutdown (the
+  /// connection thread wakes wait() only AFTER writing the ack).
+  std::string handle_payload(const std::string& payload,
+                             std::uint64_t conn_id, bool* shutdown_after);
+  std::string handle_control(const runtime::JsonValue& request,
+                             bool* shutdown_after);
+  std::string handle_request(const runtime::JsonValue& request,
+                             std::uint64_t conn_id);
+
+  ServerOptions opts_;
+  std::unique_ptr<runtime::Scheduler> sched_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_stop_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< open connection fds (for shutdown())
+  std::int64_t active_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  ServerCounters counters_;
+};
+
+}  // namespace csdac::serve

@@ -1,0 +1,140 @@
+// Tests for the length-framed transport: round trips, empty and large
+// payloads, and every decode failure mode (bad magic, oversized length
+// prefix, truncation, clean close) over a socketpair.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/framing.hpp"
+
+namespace csdac::serve {
+namespace {
+
+/// Connected AF_UNIX stream pair; fds[0] is "client", fds[1] "server".
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      fds[0] = fds[1] = -1;
+    }
+  }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  bool ok() const { return fds[0] >= 0; }
+};
+
+TEST(Framing, RoundTripsPayload) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  const std::string sent = "{\"hello\":\"world\"}";
+  ASSERT_TRUE(write_frame(sp.fds[0], sent));
+  std::string got;
+  ASSERT_EQ(read_frame(sp.fds[1], got), FrameStatus::kOk);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Framing, RoundTripsEmptyPayload) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(write_frame(sp.fds[0], ""));
+  std::string got = "stale";
+  ASSERT_EQ(read_frame(sp.fds[1], got), FrameStatus::kOk);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Framing, RoundTripsLargePayloadAcrossPartialReads) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  // Larger than any socket buffer, so both sides must loop.
+  std::string sent(3u << 20, 'x');
+  for (std::size_t i = 0; i < sent.size(); i += 4096) sent[i] = 'y';
+  std::thread writer(
+      [&] { EXPECT_TRUE(write_frame(sp.fds[0], sent)); });
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got), FrameStatus::kOk);
+  writer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Framing, SequentialFramesKeepBoundaries) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(write_frame(sp.fds[0], "first"));
+  ASSERT_TRUE(write_frame(sp.fds[0], "second"));
+  std::string got;
+  ASSERT_EQ(read_frame(sp.fds[1], got), FrameStatus::kOk);
+  EXPECT_EQ(got, "first");
+  ASSERT_EQ(read_frame(sp.fds[1], got), FrameStatus::kOk);
+  EXPECT_EQ(got, "second");
+}
+
+TEST(Framing, CleanCloseAtBoundaryIsClosed) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got), FrameStatus::kClosed);
+}
+
+TEST(Framing, BadMagicIsRejected) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  const unsigned char junk[8] = {'X', 'S', 'F', '1', 4, 0, 0, 0};
+  ASSERT_EQ(::send(sp.fds[0], junk, sizeof(junk), 0),
+            static_cast<ssize_t>(sizeof(junk)));
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got), FrameStatus::kBadMagic);
+}
+
+TEST(Framing, OversizedLengthIsRejectedWithoutAllocating) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  // Length prefix claims 4 GiB - 1; the ceiling must reject it before
+  // any payload bytes exist.
+  const unsigned char hdr[8] = {'C', 'S', 'F', '1', 0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(sp.fds[0], hdr, sizeof(hdr), 0),
+            static_cast<ssize_t>(sizeof(hdr)));
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got, /*max_bytes=*/1 << 20),
+            FrameStatus::kTooLarge);
+}
+
+TEST(Framing, TruncatedHeaderIsTruncated) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  ASSERT_EQ(::send(sp.fds[0], "CSF", 3, 0), 3);
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got), FrameStatus::kTruncated);
+}
+
+TEST(Framing, TruncatedPayloadIsTruncated) {
+  SocketPair sp;
+  ASSERT_TRUE(sp.ok());
+  const unsigned char hdr[8] = {'C', 'S', 'F', '1', 100, 0, 0, 0};
+  ASSERT_EQ(::send(sp.fds[0], hdr, sizeof(hdr), 0),
+            static_cast<ssize_t>(sizeof(hdr)));
+  ASSERT_EQ(::send(sp.fds[0], "only ten b", 10, 0), 10);
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(sp.fds[1], got), FrameStatus::kTruncated);
+}
+
+TEST(Framing, StatusNamesAreStable) {
+  EXPECT_EQ(frame_status_name(FrameStatus::kOk), "ok");
+  EXPECT_EQ(frame_status_name(FrameStatus::kTooLarge), "frame_too_large");
+  EXPECT_EQ(frame_status_name(FrameStatus::kBadMagic), "bad_magic");
+}
+
+}  // namespace
+}  // namespace csdac::serve

@@ -1,0 +1,247 @@
+// Tests for the in-memory hot cache tier: LRU eviction order under the
+// byte budget, recency refresh, oversized-payload rejection, sharded-map
+// integrity under concurrent get/put, and the executor-level tiering
+// contract — hot hits do zero disk reads, and eviction falls back to the
+// disk tier with an identical answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/hot_cache.hpp"
+
+namespace csdac::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const char* tag) {
+    path = fs::path(testing::TempDir()) /
+           (std::string("csdac-") + tag + "-" +
+            std::to_string(static_cast<unsigned long long>(
+                reinterpret_cast<std::uintptr_t>(this))));
+    fs::remove_all(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+mathx::HashKey128 key_of(std::uint64_t n) {
+  mathx::ByteWriter w;
+  w.u64(n);
+  return w.hash();
+}
+
+std::vector<unsigned char> payload_of(std::uint64_t n, std::size_t size) {
+  std::vector<unsigned char> p(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    p[i] = static_cast<unsigned char>((n * 131 + i) & 0xff);
+  }
+  return p;
+}
+
+HotCacheOptions one_shard(std::uint64_t max_bytes) {
+  HotCacheOptions o;
+  o.max_bytes = max_bytes;
+  o.shards = 1;  // deterministic LRU order for the eviction tests
+  return o;
+}
+
+TEST(HotCache, HitReturnsStoredPayload) {
+  HotCache hot(one_shard(1024));
+  const auto k = key_of(1);
+  const auto p = payload_of(1, 64);
+  hot.put(k, p);
+  std::vector<unsigned char> got;
+  ASSERT_TRUE(hot.get(k, got));
+  EXPECT_EQ(got, p);
+  const HotCacheCounters c = hot.counters();
+  EXPECT_EQ(c.hits, 1);
+  EXPECT_EQ(c.inserts, 1);
+  EXPECT_EQ(c.bytes, 64);
+}
+
+TEST(HotCache, MissLeavesPayloadAloneAndCounts) {
+  HotCache hot(one_shard(1024));
+  std::vector<unsigned char> got = {1, 2, 3};
+  EXPECT_FALSE(hot.get(key_of(99), got));
+  EXPECT_EQ(hot.counters().misses, 1);
+}
+
+TEST(HotCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits exactly three 100-byte entries.
+  HotCache hot(one_shard(300));
+  hot.put(key_of(1), payload_of(1, 100));
+  hot.put(key_of(2), payload_of(2, 100));
+  hot.put(key_of(3), payload_of(3, 100));
+  EXPECT_EQ(hot.counters().evictions, 0);
+
+  // A fourth entry must evict exactly the oldest (key 1).
+  hot.put(key_of(4), payload_of(4, 100));
+  EXPECT_EQ(hot.counters().evictions, 1);
+  EXPECT_EQ(hot.counters().bytes, 300);
+  std::vector<unsigned char> got;
+  EXPECT_FALSE(hot.get(key_of(1), got));
+  EXPECT_TRUE(hot.get(key_of(2), got));
+  EXPECT_TRUE(hot.get(key_of(3), got));
+  EXPECT_TRUE(hot.get(key_of(4), got));
+}
+
+TEST(HotCache, GetRefreshesRecencyAndChangesTheVictim) {
+  HotCache hot(one_shard(300));
+  hot.put(key_of(1), payload_of(1, 100));
+  hot.put(key_of(2), payload_of(2, 100));
+  hot.put(key_of(3), payload_of(3, 100));
+
+  // Touch 1 so 2 becomes the LRU victim.
+  std::vector<unsigned char> got;
+  ASSERT_TRUE(hot.get(key_of(1), got));
+  hot.put(key_of(4), payload_of(4, 100));
+  EXPECT_TRUE(hot.get(key_of(1), got));
+  EXPECT_FALSE(hot.get(key_of(2), got));
+  EXPECT_TRUE(hot.get(key_of(3), got));
+  EXPECT_TRUE(hot.get(key_of(4), got));
+}
+
+TEST(HotCache, OneOversizedPayloadIsRejectedNotAdmitted) {
+  HotCache hot(one_shard(300));
+  hot.put(key_of(1), payload_of(1, 100));
+  // Larger than the whole budget: admitting it would evict everything
+  // for an entry that cannot even fit.
+  hot.put(key_of(2), payload_of(2, 400));
+  const HotCacheCounters c = hot.counters();
+  EXPECT_EQ(c.rejected, 1);
+  EXPECT_EQ(c.evictions, 0);
+  std::vector<unsigned char> got;
+  EXPECT_TRUE(hot.get(key_of(1), got));
+  EXPECT_FALSE(hot.get(key_of(2), got));
+}
+
+TEST(HotCache, RepeatedPutOfSameKeyDoesNotGrowBytes) {
+  HotCache hot(one_shard(1024));
+  hot.put(key_of(1), payload_of(1, 64));
+  hot.put(key_of(1), payload_of(1, 64));
+  hot.put(key_of(1), payload_of(1, 64));
+  const HotCacheCounters c = hot.counters();
+  EXPECT_EQ(c.inserts, 1);
+  EXPECT_EQ(c.bytes, 64);
+}
+
+TEST(HotCache, ShardedConcurrentGetPutKeepsPayloadsIntact) {
+  HotCacheOptions o;
+  o.max_bytes = 64 << 10;
+  o.shards = 8;
+  HotCache hot(o);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kIters = 400;
+  std::atomic<std::int64_t> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hot, &corrupt, t] {
+      std::vector<unsigned char> got;
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t n =
+            static_cast<std::uint64_t>((i * 13 + t * 7) % kKeys);
+        const auto want = payload_of(n, 64 + (n % 5) * 16);
+        if ((i + t) % 3 == 0) {
+          hot.put(key_of(n), want);
+        } else if (hot.get(key_of(n), got) && got != want) {
+          corrupt.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corrupt.load(), 0) << "hot tier returned a torn payload";
+  const HotCacheCounters c = hot.counters();
+  EXPECT_GT(c.hits, 0);
+  EXPECT_GT(c.inserts, 0);
+}
+
+// --- Executor tiering ------------------------------------------------------
+
+InlYieldJob tiny_job(std::uint64_t seed) {
+  InlYieldJob j;
+  j.sigma_unit = core::unit_sigma_spec(j.spec.nbits, j.spec.inl_yield);
+  j.chips = 40;
+  j.seed = seed;
+  return j;
+}
+
+TEST(ExecutorTiering, HotHitDoesZeroDiskReads) {
+  ScratchDir dir("exec-hot");
+  ExecutorOptions eo;
+  eo.cache_dir = dir.str();
+  eo.hot_bytes = 1 << 20;
+  JobExecutor exec(eo);
+  const Job job = tiny_job(77);
+  const auto key = job_key(job);
+
+  const ExecResult first = exec.run(job, key, 1);
+  EXPECT_EQ(first.tier, ResultTier::kComputed);
+  const CacheCounters disk_after_first = exec.disk_counters();
+
+  const ExecResult again = exec.run(job, key, 1);
+  EXPECT_EQ(again.tier, ResultTier::kHot);
+  EXPECT_TRUE(again.cache_hit());
+  // The disk tier must not have been consulted at all for the hot hit.
+  const CacheCounters disk_after = exec.disk_counters();
+  EXPECT_EQ(disk_after.hits, disk_after_first.hits);
+  EXPECT_EQ(disk_after.misses, disk_after_first.misses);
+  EXPECT_EQ(exec.hot_counters().hits, 1);
+
+  ASSERT_TRUE(std::holds_alternative<YieldResult>(first.value));
+  const auto& a = std::get<YieldResult>(first.value);
+  const auto& b = std::get<YieldResult>(again.value);
+  EXPECT_EQ(a.pass, b.pass);
+  EXPECT_EQ(a.yield, b.yield);
+}
+
+TEST(ExecutorTiering, EvictedHotEntryFallsBackToDiskWithIdenticalBytes) {
+  ScratchDir dir("exec-evict");
+  ExecutorOptions eo;
+  eo.cache_dir = dir.str();
+  // One shard, budget so small that the second distinct job evicts the
+  // first from RAM while the disk tier keeps both.
+  eo.hot_bytes = 48;
+  eo.hot_shards = 1;
+  JobExecutor exec(eo);
+
+  const Job j1 = tiny_job(101), j2 = tiny_job(202);
+  const ExecResult first = exec.run(j1, job_key(j1), 1);
+  EXPECT_EQ(first.tier, ResultTier::kComputed);
+  exec.run(j2, job_key(j2), 1);
+  ASSERT_GT(exec.hot_counters().evictions, 0)
+      << "budget was meant to force an eviction";
+
+  const ExecResult back = exec.run(j1, job_key(j1), 1);
+  EXPECT_EQ(back.tier, ResultTier::kDisk);
+  const auto& a = std::get<YieldResult>(first.value);
+  const auto& b = std::get<YieldResult>(back.value);
+  EXPECT_EQ(a.chips, b.chips);
+  EXPECT_EQ(a.pass, b.pass);
+  EXPECT_EQ(a.yield, b.yield);
+  EXPECT_EQ(a.ci95, b.ci95);
+}
+
+TEST(ExecutorTiering, HotOnlyExecutorCachesWithoutDisk) {
+  ExecutorOptions eo;  // no cache_dir: RAM-only service configuration
+  eo.hot_bytes = 1 << 20;
+  JobExecutor exec(eo);
+  EXPECT_EQ(exec.disk(), nullptr);
+  const Job job = tiny_job(55);
+  EXPECT_EQ(exec.run(job, job_key(job), 1).tier, ResultTier::kComputed);
+  EXPECT_EQ(exec.run(job, job_key(job), 1).tier, ResultTier::kHot);
+}
+
+}  // namespace
+}  // namespace csdac::runtime

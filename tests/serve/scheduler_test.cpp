@@ -1,0 +1,318 @@
+// Tests for the shared long-lived scheduler: future-based submission,
+// cross-request single-flight dedup, per-client admission control,
+// round-robin fairness, batch-lifetime independence (the regression for
+// the old batch-scoped runtime), and JobGraph running against a shared
+// executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace csdac::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const char* tag) {
+    path = fs::path(testing::TempDir()) /
+           (std::string("csdac-") + tag + "-" +
+            std::to_string(static_cast<unsigned long long>(
+                reinterpret_cast<std::uintptr_t>(this))));
+    fs::remove_all(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+InlYieldJob job_with(std::uint64_t seed, int chips) {
+  InlYieldJob j;
+  j.sigma_unit = core::unit_sigma_spec(j.spec.nbits, j.spec.inl_yield);
+  j.chips = chips;
+  j.seed = seed;
+  return j;
+}
+
+SchedulerOptions ram_only(int workers) {
+  SchedulerOptions o;
+  o.workers = workers;
+  o.exec.hot_bytes = 1 << 20;  // RAM-only tiers: no scratch dir needed
+  return o;
+}
+
+/// The worker finishes its bookkeeping (in-flight erase, completed
+/// counter) AFTER resolving the future, so a test that observed the
+/// future must give that tail a bounded moment before asserting on it.
+void wait_for_completed(const Scheduler& sched, std::int64_t n) {
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (sched.counters().completed >= n) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Scheduler, ResolvesFutureWithTheDirectResult) {
+  Scheduler sched(ram_only(2));
+  const Job job = job_with(11, 50);
+  const auto ticket = sched.submit(job, /*client=*/1, "direct");
+  const Scheduler::ResultPtr res = ticket.future.get();
+  ASSERT_TRUE(res);
+  const JobValue direct = execute_job(job, 1, nullptr);
+  EXPECT_EQ(std::get<YieldResult>(res->value).yield,
+            std::get<YieldResult>(direct).yield);
+  EXPECT_EQ(std::get<YieldResult>(res->value).pass,
+            std::get<YieldResult>(direct).pass);
+  wait_for_completed(sched, 1);
+  const SchedulerCounters c = sched.counters();
+  EXPECT_EQ(c.submitted, 1);
+  EXPECT_EQ(c.completed, 1);
+}
+
+TEST(Scheduler, RejectsBadOptions) {
+  SchedulerOptions o;
+  o.max_inflight_per_client = 0;
+  EXPECT_THROW(Scheduler{o}, std::invalid_argument);
+}
+
+TEST(Scheduler, DedupsIdenticalInFlightJobsAcrossClients) {
+  // One worker: the blocker pins it, so both target submissions are
+  // queued when the second arrives — deterministic dedup.
+  Scheduler sched(ram_only(1));
+  const auto blocker = sched.submit(job_with(900, 400), 0, "blocker");
+  const Job target = job_with(901, 50);
+  const auto t1 = sched.submit(target, 1, "first");
+  const auto t2 = sched.submit(target, 2, "second");
+  EXPECT_FALSE(t1.deduped);
+  EXPECT_TRUE(t2.deduped);
+  EXPECT_EQ(t1.key, t2.key);
+
+  const Scheduler::ResultPtr r1 = t1.future.get();
+  const Scheduler::ResultPtr r2 = t2.future.get();
+  // Same task, same shared result object — ran exactly once.
+  EXPECT_EQ(r1.get(), r2.get());
+  EXPECT_EQ(r1->tier, ResultTier::kComputed);
+  blocker.future.wait();
+  const SchedulerCounters c = sched.counters();
+  EXPECT_EQ(c.dedup_inflight, 1);
+  EXPECT_EQ(c.submitted, 2);  // dedup attachments are not submissions
+}
+
+TEST(Scheduler, CompletedJobsAreServedByTheCacheNotDedup) {
+  Scheduler sched(ram_only(1));
+  const Job job = job_with(77, 50);
+  sched.submit(job, 0).future.wait();
+  wait_for_completed(sched, 1);  // the in-flight erase trails the future
+  const auto again = sched.submit(job, 0);
+  EXPECT_FALSE(again.deduped);  // left the in-flight table on completion
+  EXPECT_EQ(again.future.get()->tier, ResultTier::kHot);
+}
+
+TEST(Scheduler, AdmissionCapBlocksSubmitUntilSlotsFree) {
+  SchedulerOptions o = ram_only(1);
+  o.max_inflight_per_client = 1;
+  Scheduler sched(o);
+
+  // Heavy enough that it is still running when the next submit arrives
+  // even on a loaded 1-core runner (~100 ms of chips vs. a microsecond
+  // gap between the two calls).
+  const auto first = sched.submit(job_with(300, 20000), 7, "slow");
+  // The same client's next submit must block until the first completes.
+  const auto second = sched.submit(job_with(301, 50), 7, "blocked");
+  EXPECT_TRUE(first.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready)
+      << "submit returned before the client's slot freed";
+  second.future.wait();
+  EXPECT_GE(sched.counters().admission_waits, 1);
+}
+
+TEST(Scheduler, RoundRobinInterleavesClientsAndTracesTheirIds) {
+  ScratchDir dir("sched-trace");
+  const std::string trace_path = (dir.path / "trace.jsonl").string();
+  fs::create_directories(dir.path);
+  TraceLog trace;
+  trace.open(trace_path);
+
+  SchedulerOptions o = ram_only(1);
+  std::vector<Scheduler::Ticket> tickets;
+  {
+    Scheduler sched(o);
+    sched.set_trace(&trace);
+    // Pin the worker, then queue client 0 twice and client 1 once. The
+    // round-robin pick must serve client 1 between client 0's jobs.
+    tickets.push_back(sched.submit(job_with(500, 300), 0, "blocker"));
+    tickets.push_back(sched.submit(job_with(501, 50), 0, "a2"));
+    tickets.push_back(sched.submit(job_with(502, 50), 0, "a3"));
+    tickets.push_back(sched.submit(job_with(503, 50), 1, "b1"));
+    for (const auto& t : tickets) t.future.wait();
+  }
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> finish_order;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ev\":\"job_finish\"") == std::string::npos) continue;
+    const auto pos = line.find("\"label\":\"");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const auto start = pos + 9;
+    finish_order.push_back(line.substr(start, line.find('"', start) - start));
+    EXPECT_NE(line.find("\"client\":"), std::string::npos) << line;
+  }
+  ASSERT_EQ(finish_order.size(), 4u);
+  // Whether the worker grabbed "blocker" before or after the rest were
+  // queued, round-robin must serve client 1's lone job before client 0's
+  // second one — b1 strictly ahead of a2 and a3.
+  const auto pos = [&finish_order](const std::string& label) {
+    return std::find(finish_order.begin(), finish_order.end(), label) -
+           finish_order.begin();
+  };
+  EXPECT_LT(pos("b1"), pos("a2")) << "client 1 was starved by client 0";
+  EXPECT_LT(pos("b1"), pos("a3"));
+}
+
+TEST(Scheduler, SecondBatchNeitherBlocksOnNorCorruptsTheFirst) {
+  // Regression for the batch-scoped runtime: a long first batch must not
+  // delay an independent second batch past the fairness slice, and both
+  // must produce the same values as direct execution.
+  Scheduler sched(ram_only(1));
+  const Job a1 = job_with(600, 300), a2 = job_with(601, 300),
+            a3 = job_with(602, 300);
+  const Job b1 = job_with(700, 40);
+  const auto ta1 = sched.submit(a1, 0, "a1");
+  const auto ta2 = sched.submit(a2, 0, "a2");
+  const auto ta3 = sched.submit(a3, 0, "a3");
+  const auto tb1 = sched.submit(b1, 1, "b1");
+
+  // Batch B resolves while batch A still has queued work: with one
+  // worker and round-robin, b1 runs right after the job in flight, ahead
+  // of a2/a3.
+  const Scheduler::ResultPtr rb = tb1.future.get();
+  EXPECT_NE(ta3.future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "batch B waited for the whole of batch A";
+
+  const auto direct_b = execute_job(b1, 1, nullptr);
+  EXPECT_EQ(std::get<YieldResult>(rb->value).yield,
+            std::get<YieldResult>(direct_b).yield);
+  for (const auto* t : {&ta1, &ta2, &ta3}) {
+    const auto ra = t->future.get();
+    EXPECT_EQ(ra->tier, ResultTier::kComputed);
+  }
+  EXPECT_EQ(std::get<YieldResult>(ta1.future.get()->value).yield,
+            std::get<YieldResult>(execute_job(a1, 1, nullptr)).yield);
+}
+
+TEST(Scheduler, ManyConcurrentSubmittersAllGetCorrectResults) {
+  Scheduler sched(ram_only(4));
+  constexpr int kClients = 6;
+  constexpr int kJobsEach = 8;
+  constexpr int kUnique = 5;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> yields(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&sched, &yields, c] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        const auto t =
+            sched.submit(job_with(800 + (c + i) % kUnique, 60),
+                         static_cast<std::uint64_t>(c));
+        yields[c].push_back(
+            std::get<YieldResult>(t.future.get()->value).yield);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every client that asked question u must have gotten the same answer.
+  const JobValue expect[kUnique] = {
+      execute_job(job_with(800, 60), 1, nullptr),
+      execute_job(job_with(801, 60), 1, nullptr),
+      execute_job(job_with(802, 60), 1, nullptr),
+      execute_job(job_with(803, 60), 1, nullptr),
+      execute_job(job_with(804, 60), 1, nullptr),
+  };
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kJobsEach; ++i) {
+      EXPECT_EQ(yields[c][static_cast<std::size_t>(i)],
+                std::get<YieldResult>(expect[(c + i) % kUnique]).yield)
+          << "client " << c << " job " << i;
+    }
+  }
+  // The completed counter is bumped after the future resolves; give the
+  // worker's bookkeeping a bounded moment to catch up.
+  for (int spin = 0; spin < 2000; ++spin) {
+    const SchedulerCounters c = sched.counters();
+    if (c.completed == c.submitted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const SchedulerCounters counters = sched.counters();
+  EXPECT_EQ(counters.submitted + counters.dedup_inflight,
+            kClients * kJobsEach);
+  EXPECT_EQ(counters.completed, counters.submitted);
+}
+
+// --- JobGraph on a shared executor -----------------------------------------
+
+TEST(SharedExecutorGraph, NullExecutorThrows) {
+  EXPECT_THROW(JobGraph(RuntimeOptions{}, nullptr), std::invalid_argument);
+}
+
+TEST(SharedExecutorGraph, GraphsShareOneSetOfCacheTiers) {
+  ExecutorOptions eo;
+  eo.hot_bytes = 1 << 20;
+  auto exec = std::make_shared<JobExecutor>(eo);
+  const Job job = job_with(42, 50);
+
+  JobGraph g1(RuntimeOptions{}, exec);
+  const JobId id1 = g1.add(job);
+  g1.run_all();
+  EXPECT_FALSE(g1.record(id1).cache_hit);
+
+  JobGraph g2(RuntimeOptions{}, exec);
+  const JobId id2 = g2.add(job);
+  g2.run_all();
+  EXPECT_TRUE(g2.record(id2).cache_hit);
+  EXPECT_EQ(g2.record(id2).tier, ResultTier::kHot);
+  EXPECT_EQ(g1.record(id1).stats.evaluated + g2.record(id2).stats.evaluated,
+            50);
+  EXPECT_EQ(std::get<YieldResult>(g1.record(id1).value).yield,
+            std::get<YieldResult>(g2.record(id2).value).yield);
+}
+
+TEST(SharedExecutorGraph, ConcurrentGraphsOnOneExecutorStayIndependent) {
+  ExecutorOptions eo;
+  eo.hot_bytes = 1 << 20;
+  auto exec = std::make_shared<JobExecutor>(eo);
+  std::vector<std::thread> threads;
+  std::vector<double> yields(4, -1.0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&exec, &yields, t] {
+      JobGraph g(RuntimeOptions{}, exec);
+      // Two graphs share job 1000; two share job 1001.
+      const JobId id = g.add(job_with(1000 + (t % 2), 60));
+      g.run_all();
+      yields[static_cast<std::size_t>(t)] =
+          std::get<YieldResult>(g.record(id).value).yield;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(yields[0], yields[2]);
+  EXPECT_EQ(yields[1], yields[3]);
+  EXPECT_EQ(yields[0],
+            std::get<YieldResult>(execute_job(job_with(1000, 60), 1, nullptr))
+                .yield);
+  EXPECT_EQ(yields[1],
+            std::get<YieldResult>(execute_job(job_with(1001, 60), 1, nullptr))
+                .yield);
+}
+
+}  // namespace
+}  // namespace csdac::runtime

@@ -12,7 +12,11 @@ mc.chips_evaluated. Schema /4 additionally records the active SIMD
 dispatch ("simd_backend"/"simd_lanes" top-level) and carries at least one
 simd-vs-scalar bench ("simd"/"scalar" sections + "simd_speedup"); the two
 sections must report identical yields — the lane kernels are bit-identical
-by contract.
+by contract. Schema /5 is the design-server loadgen document
+(tools/csdac_loadgen): at least one bench with a "serve" section reporting
+requests/errors/mismatches and the latency distribution; a run with any
+failed request, any cross-client result mismatch, or non-positive
+throughput fails validation.
 
 With --compare BASELINE.json, every bench path present in both documents
 is also checked for throughput regressions: chips_per_s must be at least
@@ -28,7 +32,7 @@ import json
 import sys
 
 SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3",
-           "csdac-bench/4")
+           "csdac-bench/4", "csdac-bench/5")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -133,6 +137,34 @@ def check_simd_bench(bench, name):
         fail(f"bench '{name}': simd_speedup must be positive")
 
 
+def check_serve_bench(bench, name):
+    """Schema /5 design-server loadgen bench."""
+    where = f"bench '{name}' / serve"
+    serve = check_type(bench, "serve", dict, f"bench '{name}'")
+    for key in ("requests", "errors", "mismatches", "chip_evals"):
+        if not isinstance(serve.get(key), int):
+            fail(f"{where}: missing/non-integer '{key}'")
+    for key in ("wall_s", "requests_per_s", "p50_us", "p99_us"):
+        check_type(serve, key, (int, float), where)
+    if serve["requests"] <= 0:
+        fail(f"{where}: requests must be positive")
+    if serve["errors"] != 0:
+        fail(f"{where}: {serve['errors']} request(s) failed")
+    if serve["mismatches"] != 0:
+        fail(f"{where}: {serve['mismatches']} cross-client result "
+             f"mismatch(es) — concurrent replies must be bit-identical")
+    if serve["requests_per_s"] <= 0:
+        fail(f"{where}: requests_per_s must be positive")
+    if serve["p50_us"] < 0:
+        fail(f"{where}: p50_us must be >= 0")
+    if serve["p99_us"] < serve["p50_us"]:
+        fail(f"{where}: p99_us below p50_us")
+    if serve["wall_s"] < 0:
+        fail(f"{where}: wall_s must be >= 0")
+    if serve["chip_evals"] < 0:
+        fail(f"{where}: chip_evals must be >= 0")
+
+
 def bench_paths(doc):
     """Yields (bench_name, path_name, path_dict) for every measured path."""
     for bench in doc.get("benches", []):
@@ -201,6 +233,7 @@ def main():
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
     v2 = doc["schema"] != "csdac-bench/1"
     v4 = doc["schema"] == "csdac-bench/4"
+    v5 = doc["schema"] == "csdac-bench/5"
     if not doc["benches"]:
         fail("benches array is empty")
     if doc["schema"] in ("csdac-bench/3", "csdac-bench/4"):
@@ -216,6 +249,7 @@ def main():
     names = set()
     cache_benches = 0
     simd_benches = 0
+    serve_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -236,6 +270,12 @@ def main():
             check_simd_bench(bench, name)
             simd_benches += 1
             continue
+        if "serve" in bench:
+            if not v5:
+                fail(f"bench '{name}': serve benches require csdac-bench/5")
+            check_serve_bench(bench, name)
+            serve_benches += 1
+            continue
         check_path(bench, name, "workspace")
         if "legacy" in bench:
             check_path(bench, name, "legacy")
@@ -243,10 +283,12 @@ def main():
                                  f"bench '{name}'")
             if speedup <= 0:
                 fail(f"bench '{name}': speedup must be positive")
-    if v2 and cache_benches == 0:
+    if v2 and not v5 and cache_benches == 0:
         fail("csdac-bench/2 document has no runtime cache benches")
     if v4 and simd_benches == 0:
         fail("csdac-bench/4 document has no simd-vs-scalar benches")
+    if v5 and serve_benches == 0:
+        fail("csdac-bench/5 document has no serve benches")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")

@@ -14,7 +14,7 @@ checks the exposition structure, then applies csdac-specific invariants:
     (monotone in le) and the +Inf bucket equals _count.
 
 Modes:
-  check_metrics.py METRICS.prom [--expect-simd BACKEND]
+  check_metrics.py METRICS.prom [--expect-simd BACKEND] [--expect-serve]
       Structural validation plus cold-run sanity: chips evaluated > 0 and
       cache misses >= 1 when the cache counters are present. The SIMD
       dispatch counters (csdac_simd_dispatch_{scalar,sse2,avx2}_total)
@@ -27,6 +27,11 @@ Modes:
       must show csdac_cache_misses_total == 0,
       csdac_mc_chips_evaluated_total == 0, csdac_cache_hits_total >= 1,
       and warm hits >= cold misses (every cold result reached the store).
+
+--expect-serve (either mode) additionally requires the design-server
+counters: connections and requests accepted, zero error frames, a
+complete serve.request_us latency histogram. Used by the CI serve-smoke
+job on the dumps the server writes at shutdown.
 
 Exits nonzero with a message on the first violation.
 """
@@ -202,6 +207,24 @@ def check_simd(path, samples, expect=None):
                      f"{b} recorded {int(v)}")
 
 
+def check_serve(path, samples):
+    """A dump from the design server must show it actually served:
+    connections accepted, requests answered, no error frames, and the
+    request latency histogram populated."""
+    if counter(samples, "csdac_serve_connections_total") < 1:
+        fail(f"{path}: server accepted no connections")
+    requests = counter(samples, "csdac_serve_requests_total")
+    if requests < 1:
+        fail(f"{path}: server answered no requests")
+    if counter(samples, "csdac_serve_errors_total", 0) != 0:
+        fail(f"{path}: server sent "
+             f"{int(samples['csdac_serve_errors_total'])} error frame(s)")
+    latency_count = samples.get("csdac_serve_request_us_count", 0)
+    if latency_count < requests:
+        fail(f"{path}: latency histogram recorded {int(latency_count)} "
+             f"requests, counter says {int(requests)}")
+
+
 def check_warm(path, samples):
     if counter(samples, "csdac_cache_misses_total", 0) != 0:
         fail(f"{path}: warm run has cache misses — the cache did not "
@@ -213,6 +236,8 @@ def check_warm(path, samples):
 
 
 def main(argv):
+    expect_serve = "--expect-serve" in argv
+    argv = [a for a in argv if a != "--expect-serve"]
     expect_simd = None
     if len(argv) == 4 and argv[2] == "--expect-simd":
         expect_simd = argv[3]
@@ -223,6 +248,8 @@ def main(argv):
         check_cold(argv[1], samples)
         if expect_simd is not None:
             check_simd(argv[1], samples, expect_simd)
+        if expect_serve:
+            check_serve(argv[1], samples)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
               f"{len(samples)} samples")
         return 0
@@ -234,6 +261,9 @@ def main(argv):
         check_structure(warm_path, warm, warm_types)
         check_cold(cold_path, cold)
         check_warm(warm_path, warm)
+        if expect_serve:
+            check_serve(cold_path, cold)
+            check_serve(warm_path, warm)
         if counter(warm, "csdac_cache_hits_total") < counter(
                 cold, "csdac_cache_misses_total"):
             fail("warm hits < cold misses: some cold results never "
@@ -244,8 +274,10 @@ def main(argv):
               f"served {int(warm['csdac_cache_hits_total'])} hits with "
               f"0 chips")
         return 0
-    print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND]\n"
-          "       check_metrics.py --cold COLD.prom --warm WARM.prom",
+    print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND] "
+          "[--expect-serve]\n"
+          "       check_metrics.py --cold COLD.prom --warm WARM.prom "
+          "[--expect-serve]",
           file=sys.stderr)
     return 2
 

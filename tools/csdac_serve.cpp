@@ -1,46 +1,63 @@
-// Batch design-service front end: reads a JSON request file describing many
-// design questions (yield estimates, calibration studies, design-space
-// sweeps, spectrum evaluations), dedupes identical jobs, executes the job
-// graph with the persistent content-addressed cache, and writes a JSON
-// response (schema "csdac-serve/2", which embeds a metrics-registry
-// snapshot under "metrics"). A warm-cache run answers every question
-// without a single Monte-Carlo chip evaluation — the CI runtime-smoke and
-// metrics-smoke jobs assert exactly that from the JSONL trace and the
-// Prometheus dump.
+// Design-service front end, in two modes sharing one parser and one
+// result emitter (src/serve/request.*, src/serve/response.*):
+//
+// Batch (default): reads a JSON request file describing many design
+// questions (yield estimates, calibration studies, design-space sweeps,
+// spectrum evaluations), dedupes identical jobs, executes the job graph
+// with the persistent content-addressed cache, and writes a JSON response
+// (schema "csdac-serve/2", which embeds a metrics-registry snapshot under
+// "metrics"). A warm-cache run answers every question without a single
+// Monte-Carlo chip evaluation — the CI runtime-smoke and metrics-smoke
+// jobs assert exactly that from the JSONL trace and the Prometheus dump.
 //
 //   csdac_serve REQUEST.json [--out PATH] [--cache DIR] [--no-cache]
 //               [--cache-max-mb N] [--trace PATH] [--threads N]
 //               [--metrics-out PATH] [--chrome-trace PATH]
 //
+// Server (--listen): persistent length-framed TCP service on the shared
+// scheduler (src/serve/server.*): many concurrent clients, cross-request
+// dedup, in-memory hot tier above the same disk cache, per-client
+// admission control. Runs until SIGINT/SIGTERM or a ctl shutdown frame,
+// then dumps metrics (--metrics-out) and exits cleanly.
+//
+//   csdac_serve --listen [--host H] [--port N] [--port-file PATH]
+//               [--workers N] [--max-inflight N] [--max-connections N]
+//               [--hot-mb N] [--cache DIR] [--no-cache] [--cache-max-mb N]
+//               [--trace PATH] [--metrics-out PATH]
+//
 // --metrics-out writes the full registry in Prometheus text exposition
-// format after the batch. --chrome-trace collects every span of the run
-// and writes Chrome trace_event JSON — open it in Perfetto or
-// chrome://tracing for a flamegraph of graph.run > graph.job > mc.*.
+// format after the batch (or on server exit). --chrome-trace collects
+// every span of a batch run and writes Chrome trace_event JSON — open it
+// in Perfetto or chrome://tracing for a flamegraph of graph.run >
+// graph.job > mc.*.
 //
 // Request schema ("csdac-request/1"):
 //   { "schema": "csdac-request/1", "jobs": [ <job>, ... ] }
 // Every job object has "kind": one of inl_yield | dnl_yield | cal_yield |
 // sweep_basic | sweep_cascode | spectrum, an optional "id" echoed in the
 // response, an optional "spec" object overriding DacSpec fields, and
-// kind-specific fields (see parse_* below and EXPERIMENTS.md). The unit
-// sigma may be given absolutely ("sigma_unit") or relative to the eq. (1)
-// design value ("sigma_mult").
+// kind-specific fields (see src/serve/request.cpp and EXPERIMENTS.md).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
-#include "core/accuracy.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/json.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+#include "serve/server.hpp"
 
 using namespace csdac;
 
@@ -56,278 +73,167 @@ struct RequestEntry {
   std::exit(1);
 }
 
-core::DacSpec parse_spec(const runtime::JsonValue& job) {
-  core::DacSpec spec;  // paper's 12-bit defaults
-  if (const auto* s = job.find("spec")) {
-    if (!s->is_object()) die("'spec' must be an object");
-    spec.nbits = static_cast<int>(s->int_or("nbits", spec.nbits));
-    spec.binary_bits =
-        static_cast<int>(s->int_or("binary_bits", spec.binary_bits));
-    spec.vdd = s->number_or("vdd", spec.vdd);
-    spec.v_swing = s->number_or("v_swing", spec.v_swing);
-    spec.v_out_min = s->number_or("v_out_min", spec.v_out_min);
-    spec.r_load = s->number_or("r_load", spec.r_load);
-    spec.c_load = s->number_or("c_load", spec.c_load);
-    spec.c_int = s->number_or("c_int", spec.c_int);
-    spec.inl_yield = s->number_or("inl_yield", spec.inl_yield);
-    spec.r_load_tol = s->number_or("r_load_tol", spec.r_load_tol);
-  }
-  spec.validate();
-  return spec;
-}
+std::atomic<bool> g_signal_stop{false};
 
-double parse_sigma(const runtime::JsonValue& job, const core::DacSpec& spec,
-                   double def_mult) {
-  if (const auto* abs = job.find("sigma_unit")) {
-    if (!abs->is_number() || abs->num < 0) die("bad sigma_unit");
-    return abs->num;
-  }
-  const double mult = job.number_or("sigma_mult", def_mult);
-  if (mult < 0) die("bad sigma_mult");
-  return mult * core::unit_sigma_spec(spec.nbits, spec.inl_yield);
-}
+void on_signal(int) { g_signal_stop.store(true); }
 
-core::GridAxis parse_axis(const runtime::JsonValue& job, const char* key) {
-  core::GridAxis a;
-  if (const auto* ax = job.find(key)) {
-    if (!ax->is_object()) die(std::string("'") + key + "' must be an object");
-    a.lo = ax->number_or("lo", a.lo);
-    a.hi = ax->number_or("hi", a.hi);
-    a.steps = static_cast<int>(ax->int_or("steps", a.steps));
-  }
-  if (a.steps < 1 || !(a.lo <= a.hi)) die(std::string("bad axis ") + key);
-  return a;
-}
-
-core::MarginPolicy parse_policy(const runtime::JsonValue& job) {
-  const std::string p = job.string_or("policy", "statistical");
-  if (p == "none") return core::MarginPolicy::kNone;
-  if (p == "fixed") return core::MarginPolicy::kFixedMargin;
-  if (p == "statistical") return core::MarginPolicy::kStatistical;
-  die("bad policy '" + p + "'");
-}
-
-tech::MosTechParams parse_tech(const runtime::JsonValue& job) {
-  const std::string t = job.string_or("tech", "generic_035um");
-  if (t == "generic_035um") return tech::generic_035um().nmos;
-  if (t == "generic_025um") return tech::generic_025um().nmos;
-  die("bad tech '" + t + "'");
-}
-
-runtime::Job parse_job(const runtime::JsonValue& job) {
-  const std::string kind = job.string_or("kind", "");
-  const core::DacSpec spec = parse_spec(job);
-
-  if (kind == "inl_yield" || kind == "dnl_yield") {
-    runtime::InlYieldJob j;
-    j.spec = spec;
-    j.sigma_unit = parse_sigma(job, spec, 1.0);
-    j.chips = static_cast<int>(job.int_or("chips", 1000));
-    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
-    j.limit = job.number_or("limit", 0.5);
-    j.dnl = kind == "dnl_yield";
-    const std::string ref = job.string_or("ref", "bestfit");
-    if (ref == "endpoint") j.ref = dac::InlReference::kEndpoint;
-    else if (ref == "bestfit") j.ref = dac::InlReference::kBestFit;
-    else die("bad ref '" + ref + "'");
-    j.adaptive = job.bool_or("adaptive", false);
-    j.min_chips = static_cast<int>(job.int_or("min_chips", j.min_chips));
-    j.batch = static_cast<int>(job.int_or("batch", j.batch));
-    j.ci_half_width = job.number_or("ci_half_width", j.ci_half_width);
-    if (j.chips < 1) die("bad chips");
-    return j;
-  }
-  if (kind == "cal_yield") {
-    runtime::CalYieldJob j;
-    j.spec = spec;
-    j.sigma_unit = parse_sigma(job, spec, 1.0);
-    j.cal.range_lsb = job.number_or("cal_range_lsb", j.cal.range_lsb);
-    j.cal.bits = static_cast<int>(job.int_or("cal_bits", j.cal.bits));
-    j.cal.measure_noise_lsb =
-        job.number_or("cal_noise_lsb", j.cal.measure_noise_lsb);
-    j.chips = static_cast<int>(job.int_or("chips", 1000));
-    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
-    j.limit = job.number_or("limit", 0.5);
-    if (j.chips < 1) die("bad chips");
-    return j;
-  }
-  if (kind == "sweep_basic") {
-    runtime::SweepBasicJob j;
-    j.spec = spec;
-    j.tech = parse_tech(job);
-    j.cs = parse_axis(job, "cs");
-    j.sw = parse_axis(job, "sw");
-    j.policy = parse_policy(job);
-    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
-    return j;
-  }
-  if (kind == "sweep_cascode") {
-    runtime::SweepCascodeJob j;
-    j.spec = spec;
-    j.tech = parse_tech(job);
-    j.cs = parse_axis(job, "cs");
-    j.sw = parse_axis(job, "sw");
-    j.cas = parse_axis(job, "cas");
-    j.policy = parse_policy(job);
-    j.fixed_margin = job.number_or("fixed_margin", j.fixed_margin);
-    const std::string agg = job.string_or("agg", "max");
-    if (agg == "rss") j.agg = core::SigmaAggregation::kRss;
-    else if (agg != "max") die("bad agg '" + agg + "'");
-    return j;
-  }
-  if (kind == "spectrum") {
-    runtime::SpectrumJob j;
-    j.spec = spec;
-    // Spectrum questions default to the mismatch-free converter; ask for
-    // matching effects with sigma_mult/sigma_unit.
-    j.sigma_unit = parse_sigma(job, spec, 0.0);
-    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 2003));
-    j.dyn.fs = job.number_or("fs", j.dyn.fs);
-    j.dyn.oversample =
-        static_cast<int>(job.int_or("oversample", j.dyn.oversample));
-    j.dyn.tau = job.number_or("tau", j.dyn.tau);
-    j.dyn.rout_unit = job.number_or("rout_unit", j.dyn.rout_unit);
-    j.dyn.binary_skew = job.number_or("binary_skew", j.dyn.binary_skew);
-    j.dyn.jitter_sigma = job.number_or("jitter_sigma", j.dyn.jitter_sigma);
-    j.dyn.feedthrough_lsb =
-        job.number_or("feedthrough_lsb", j.dyn.feedthrough_lsb);
-    j.n_samples = static_cast<int>(job.int_or("n_samples", j.n_samples));
-    j.cycles = static_cast<int>(job.int_or("cycles", j.cycles));
-    j.differential = job.bool_or("differential", true);
-    return j;
-  }
-  die("unknown job kind '" + kind + "'");
-}
-
-void emit_result(bench::JsonWriter& w, const runtime::JobRecord& r) {
-  w.key("result").begin_object();
-  std::visit(
-      [&w](const auto& v) {
-        using T = std::decay_t<decltype(v)>;
-        if constexpr (std::is_same_v<T, runtime::YieldResult>) {
-          w.field("chips", v.chips);
-          w.field("pass", v.pass);
-          w.field("yield", v.yield);
-          w.field("ci95", v.ci95);
-        } else if constexpr (std::is_same_v<T, runtime::CalYieldResult>) {
-          w.field("chips", v.chips);
-          w.field("yield_before", v.yield_before);
-          w.field("yield_after", v.yield_after);
-        } else if constexpr (std::is_same_v<T, runtime::SweepResult>) {
-          w.field("points", static_cast<std::int64_t>(v.points.size()));
-          std::int64_t feasible = 0;
-          for (const auto& p : v.points) feasible += p.feasible ? 1 : 0;
-          w.field("feasible", feasible);
-          const auto emit_best = [&w](const char* name,
-                                      const std::optional<core::DesignPoint>&
-                                          best) {
-            if (!best) return;
-            w.key(name).begin_object();
-            w.field("vod_cs", best->vod_cs);
-            w.field("vod_sw", best->vod_sw);
-            w.field("vod_cas", best->vod_cas);
-            w.field("area_m2", best->area);
-            w.field("f_min_hz", best->f_min_hz);
-            w.field("t_settle_s", best->t_settle_s);
-            w.end_object();
-          };
-          emit_best("best_min_area",
-                    core::DesignSpaceExplorer::select(
-                        v.points, core::Objective::kMinArea));
-          emit_best("best_max_speed",
-                    core::DesignSpaceExplorer::select(
-                        v.points, core::Objective::kMaxSpeed));
-        } else if constexpr (std::is_same_v<T, runtime::SpectrumSummary>) {
-          w.field("sfdr_db", v.sfdr_db);
-          w.field("sndr_db", v.sndr_db);
-          w.field("thd_db", v.thd_db);
-          w.field("enob", v.enob);
-        }
-      },
-      r.value);
-  w.end_object();
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string request_path, out_path = "serve_response.json";
+struct Options {
+  std::string request_path;
+  std::string out_path = "serve_response.json";
   std::string cache_dir = ".csdac-cache";
-  std::string trace_path, metrics_path, chrome_path;
+  std::string trace_path, metrics_path, chrome_path, port_file;
+  std::string host = "127.0.0.1";
   bool use_cache = true;
+  bool listen = false;
   int threads = 0;
+  int port = 0;
+  int workers = 0;
+  int max_inflight = 16;
+  int max_connections = 64;
   double cache_max_mb = 256.0;
+  double hot_mb = 64.0;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: csdac_serve REQUEST.json [--out PATH] [--cache DIR] "
+      "[--no-cache] [--cache-max-mb N] [--trace PATH] [--threads N] "
+      "[--metrics-out PATH] [--chrome-trace PATH]\n"
+      "       csdac_serve --listen [--host H] [--port N] "
+      "[--port-file PATH] [--workers N] [--max-inflight N] "
+      "[--max-connections N] [--hot-mb N] [--cache DIR] [--no-cache] "
+      "[--cache-max-mb N] [--trace PATH] [--metrics-out PATH]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  const auto value = [&](int& a) -> const char* {
+    if (a + 1 >= argc) usage();
+    return argv[++a];
+  };
   for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
-      out_path = argv[++a];
-    } else if (std::strcmp(argv[a], "--cache") == 0 && a + 1 < argc) {
-      cache_dir = argv[++a];
-    } else if (std::strcmp(argv[a], "--no-cache") == 0) {
-      use_cache = false;
-    } else if (std::strcmp(argv[a], "--cache-max-mb") == 0 && a + 1 < argc) {
-      cache_max_mb = std::atof(argv[++a]);
-    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
-      trace_path = argv[++a];
-    } else if (std::strcmp(argv[a], "--metrics-out") == 0 && a + 1 < argc) {
-      metrics_path = argv[++a];
-    } else if (std::strcmp(argv[a], "--chrome-trace") == 0 && a + 1 < argc) {
-      chrome_path = argv[++a];
-    } else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
-      threads = std::atoi(argv[++a]);
-    } else if (argv[a][0] != '-' && request_path.empty()) {
-      request_path = argv[a];
-    } else {
-      std::fprintf(stderr,
-                   "usage: csdac_serve REQUEST.json [--out PATH] "
-                   "[--cache DIR] [--no-cache] [--cache-max-mb N] "
-                   "[--trace PATH] [--threads N] [--metrics-out PATH] "
-                   "[--chrome-trace PATH]\n");
-      return 2;
-    }
+    if (std::strcmp(argv[a], "--out") == 0) o.out_path = value(a);
+    else if (std::strcmp(argv[a], "--cache") == 0) o.cache_dir = value(a);
+    else if (std::strcmp(argv[a], "--no-cache") == 0) o.use_cache = false;
+    else if (std::strcmp(argv[a], "--cache-max-mb") == 0)
+      o.cache_max_mb = std::atof(value(a));
+    else if (std::strcmp(argv[a], "--trace") == 0) o.trace_path = value(a);
+    else if (std::strcmp(argv[a], "--metrics-out") == 0)
+      o.metrics_path = value(a);
+    else if (std::strcmp(argv[a], "--chrome-trace") == 0)
+      o.chrome_path = value(a);
+    else if (std::strcmp(argv[a], "--threads") == 0)
+      o.threads = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--listen") == 0) o.listen = true;
+    else if (std::strcmp(argv[a], "--host") == 0) o.host = value(a);
+    else if (std::strcmp(argv[a], "--port") == 0)
+      o.port = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--port-file") == 0)
+      o.port_file = value(a);
+    else if (std::strcmp(argv[a], "--workers") == 0)
+      o.workers = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--max-inflight") == 0)
+      o.max_inflight = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--max-connections") == 0)
+      o.max_connections = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--hot-mb") == 0)
+      o.hot_mb = std::atof(value(a));
+    else if (argv[a][0] != '-' && o.request_path.empty())
+      o.request_path = argv[a];
+    else usage();
   }
-  if (request_path.empty()) {
-    std::fprintf(stderr, "csdac_serve: no request file given\n");
-    return 2;
+  return o;
+}
+
+void dump_metrics(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream mout(path, std::ios::binary);
+  if (!mout) die("cannot write " + path);
+  mout << obs::Registry::global().snapshot().to_prometheus();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run_server(const Options& o) {
+  serve::ServerOptions so;
+  so.host = o.host;
+  so.port = o.port;
+  so.max_connections = o.max_connections;
+  so.sched.workers = o.workers;
+  so.sched.threads_per_job = 1;
+  so.sched.max_inflight_per_client = o.max_inflight;
+  if (o.use_cache) so.sched.exec.cache_dir = o.cache_dir;
+  so.sched.exec.cache_max_bytes =
+      static_cast<std::uint64_t>(o.cache_max_mb * 1024.0 * 1024.0);
+  so.sched.exec.hot_bytes =
+      static_cast<std::uint64_t>(o.hot_mb * 1024.0 * 1024.0);
+
+  serve::Server server(so);
+  if (!o.port_file.empty()) {
+    std::ofstream pf(o.port_file, std::ios::binary);
+    if (!pf) die("cannot write " + o.port_file);
+    pf << server.port() << "\n";
   }
 
-  std::ifstream in(request_path, std::ios::binary);
-  if (!in) die("cannot read " + request_path);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  server.start();
+  std::printf("csdac_serve: listening on %s:%d (%d workers, cache %s, "
+              "hot %.0f MiB)\n",
+              o.host.c_str(), server.port(), server.scheduler().workers(),
+              o.use_cache ? o.cache_dir.c_str() : "off", o.hot_mb);
+  std::fflush(stdout);
+
+  while (!g_signal_stop.load() && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+
+  const serve::ServerCounters c = server.counters();
+  std::printf("csdac_serve: served %lld requests on %lld connections "
+              "(%lld errors, %lld rejected)\n",
+              static_cast<long long>(c.requests),
+              static_cast<long long>(c.connections),
+              static_cast<long long>(c.errors),
+              static_cast<long long>(c.rejected));
+  dump_metrics(o.metrics_path);
+  return 0;
+}
+
+int run_batch(const Options& o) {
+  if (o.request_path.empty()) die("no request file given");
+  std::ifstream in(o.request_path, std::ios::binary);
+  if (!in) die("cannot read " + o.request_path);
   std::stringstream buf;
   buf << in.rdbuf();
 
-  runtime::JsonValue request;
-  std::string err;
-  if (!runtime::parse_json(buf.str(), request, &err)) {
-    die(request_path + ": " + err);
-  }
-  if (request.string_or("schema", "") != "csdac-request/1") {
-    die("request schema must be 'csdac-request/1'");
-  }
-  const auto* jobs = request.find("jobs");
-  if (!jobs || !jobs->is_array() || jobs->arr.empty()) {
-    die("request has no jobs");
+  std::vector<serve::RequestJob> parsed;
+  try {
+    parsed = serve::parse_request_text(buf.str());
+  } catch (const serve::RequestError& e) {
+    die(o.request_path + ": " + e.what());
   }
 
   runtime::RuntimeOptions opts;
-  opts.threads = threads;
-  if (use_cache) opts.cache_dir = cache_dir;
+  opts.threads = o.threads;
+  if (o.use_cache) opts.cache_dir = o.cache_dir;
   opts.cache_max_bytes =
-      static_cast<std::uint64_t>(cache_max_mb * 1024.0 * 1024.0);
-  opts.trace_path = trace_path;
+      static_cast<std::uint64_t>(o.cache_max_mb * 1024.0 * 1024.0);
+  opts.trace_path = o.trace_path;
 
   // Collect spans for the Chrome trace export (independent of --trace,
   // which routes spans into the JSONL via the graph's own sink).
   obs::SpanCollector collector;
-  if (!chrome_path.empty()) obs::Tracer::global().add_sink(&collector);
+  if (!o.chrome_path.empty()) obs::Tracer::global().add_sink(&collector);
 
   runtime::JobGraph graph(opts);
   std::vector<RequestEntry> entries;
-  for (std::size_t i = 0; i < jobs->arr.size(); ++i) {
-    const auto& jv = jobs->arr[i];
-    if (!jv.is_object()) die("job entries must be objects");
+  entries.reserve(parsed.size());
+  for (auto& pj : parsed) {
     RequestEntry e;
-    e.id = jv.string_or("id", "job" + std::to_string(i));
-    e.job_id = graph.add(parse_job(jv), e.id);
+    e.id = pj.id;
+    e.job_id = graph.add(std::move(pj.job), e.id);
     entries.push_back(std::move(e));
   }
 
@@ -335,7 +241,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   {
     obs::ScopedSpan batch("serve.batch");
-    batch.attr("request", request_path)
+    batch.attr("request", o.request_path)
         .attr("jobs", static_cast<std::int64_t>(entries.size()));
     graph.run_all();
   }
@@ -349,7 +255,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter w;
   w.begin_object();
   w.field("schema", "csdac-serve/2");
-  w.field("request", request_path.c_str());
+  w.field("request", o.request_path.c_str());
   w.field("engine_version", std::string(runtime::kEngineVersion).c_str());
   w.key("jobs").begin_array();
   for (const auto& e : entries) {
@@ -359,10 +265,10 @@ int main(int argc, char** argv) {
     w.field("kind",
             std::string(runtime::kind_name(runtime::job_kind(r.job))).c_str());
     w.field("key", r.key.hex().c_str());
-    w.field("cache", use_cache ? (r.cache_hit ? "hit" : "miss") : "off");
+    w.field("cache", o.use_cache ? (r.cache_hit ? "hit" : "miss") : "off");
     w.field("wall_s", r.wall_seconds);
     w.field("evaluated", r.stats.evaluated);
-    emit_result(w, r);
+    serve::emit_result(w, r.value);
     w.end_object();
   }
   w.end_array();
@@ -374,29 +280,29 @@ int main(int argc, char** argv) {
   w.field("cache_evictions", cc.evictions);
   w.field("chip_evals", chip_evals);
   w.field("wall_s", wall);
-  w.field("threads", threads);
+  w.field("threads", o.threads);
   w.end_object();
   w.key("metrics").raw(snap.to_json());
   w.end_object();
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) die("cannot write " + out_path);
+  std::ofstream out(o.out_path, std::ios::binary);
+  if (!out) die("cannot write " + o.out_path);
   out << w.str() << "\n";
   out.close();
 
-  if (!metrics_path.empty()) {
-    std::ofstream mout(metrics_path, std::ios::binary);
-    if (!mout) die("cannot write " + metrics_path);
+  if (!o.metrics_path.empty()) {
+    std::ofstream mout(o.metrics_path, std::ios::binary);
+    if (!mout) die("cannot write " + o.metrics_path);
     mout << snap.to_prometheus();
-    std::printf("wrote %s\n", metrics_path.c_str());
+    std::printf("wrote %s\n", o.metrics_path.c_str());
   }
-  if (!chrome_path.empty()) {
+  if (!o.chrome_path.empty()) {
     obs::Tracer::global().remove_sink(&collector);
-    if (!obs::write_chrome_trace(chrome_path, collector.take(),
+    if (!obs::write_chrome_trace(o.chrome_path, collector.take(),
                                  "csdac_serve")) {
-      die("cannot write " + chrome_path);
+      die("cannot write " + o.chrome_path);
     }
-    std::printf("wrote %s\n", chrome_path.c_str());
+    std::printf("wrote %s\n", o.chrome_path.c_str());
   }
 
   std::printf(
@@ -405,6 +311,20 @@ int main(int argc, char** argv) {
       entries.size(), graph.size(), static_cast<long long>(cc.hits),
       static_cast<long long>(cc.misses), static_cast<long long>(chip_evals),
       wall);
-  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("wrote %s\n", o.out_path.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  if (o.listen) {
+    try {
+      return run_server(o);
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  }
+  return run_batch(o);
 }
