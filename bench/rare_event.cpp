@@ -1,0 +1,98 @@
+// E12 — rare-event yield estimation: chips needed to pin the INL failure
+// probability of the paper's 12-bit converter to a 50% relative 95% CI,
+// brute-force Monte-Carlo vs importance sampling vs stratified+antithetic
+// vs the closed-form Brownian-bridge surrogate (arXiv math/0606584).
+//
+// For each target yield the unit sigma is calibrated from the bridge
+// surrogate, so the true failure probability is known by construction
+// (1e-3 / 1e-4 / 1e-5 rows). The brute-force column then shows the core
+// problem: at 99.99% yield a 20k-chip run typically observes ~2 failures
+// — nowhere near enough to size a design margin — while the tilted IS
+// proposal turns most draws into informative tail samples and needs
+// ~100x fewer chips for the same interval. The stratified estimator is
+// reported for completeness; stratifying one bridge mode helps at
+// mid-yield but cannot concentrate 1e-4 tails, which is exactly why the
+// IS estimator exists.
+//
+//   bench_rare_event [chips]   (default 20000 proposal draws per row)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "dac/rare_event.hpp"
+#include "dac/static_analysis.hpp"
+#include "mathx/rare_event.hpp"
+
+using namespace csdac;
+using namespace csdac::bench;
+
+int main(int argc, char** argv) {
+  const int chips = argc > 1 ? std::atoi(argv[1]) : 20000;
+  if (chips < 2) {
+    std::fprintf(stderr, "usage: bench_rare_event [chips >= 2]\n");
+    return 2;
+  }
+  core::DacSpec spec;  // paper's 12-bit, b = 4 design point
+  const std::uint64_t seed = 7;
+  const double sigma_scale = 2.2;
+  const int modes = 8;
+  const int strata = 16;
+  const double z95 = 1.959963984540054;
+  const double targets[] = {0.999, 0.9999, 0.99999};
+
+  print_header("E12",
+               "rare-event INL yield — chips to a 50% relative 95% CI");
+  std::printf("12-bit, b=4, endpoint INL ref, limit 0.5 LSB; sigma per row "
+              "calibrated\nfrom the bridge surrogate; %d draws per "
+              "estimator, IS tilt g=%.1f over\n%d bridge modes, %d "
+              "strata.\n\n",
+              chips, sigma_scale, modes, strata);
+  print_row({"target_yield", "sigma_u[%]", "bf_fails", "bf_chips",
+             "is_chips", "strat_chips", "is_gain", "is_p_fail", "ess%"});
+
+  bool ok = true;
+  for (const double target : targets) {
+    const double c = mathx::kolmogorov_quantile(target);
+    const double sigma =
+        0.5 / (c * std::sqrt(spec.unary_weight() *
+                             static_cast<double>(spec.num_unary())));
+
+    const auto bf = dac::inl_yield_mc(spec, sigma, chips, seed, 0.5,
+                                      dac::InlReference::kEndpoint, 0);
+    const auto is =
+        dac::inl_yield_is(spec, sigma, sigma_scale, modes, chips, seed, 0.5,
+                          dac::InlReference::kEndpoint, 0);
+    const auto strat =
+        dac::inl_yield_stratified(spec, sigma, strata, chips, seed, 0.5,
+                                  dac::InlReference::kEndpoint, 0);
+
+    const double p = 1.0 - is.yield;
+    const double h = p / 2.0;
+    const double var_bf = p * (1.0 - p);
+    const double var_is =
+        (is.ci95 / z95) * (is.ci95 / z95) * static_cast<double>(is.chips);
+    const double var_strat = (strat.ci95 / z95) * (strat.ci95 / z95) *
+                             static_cast<double>(strat.chips);
+    const auto chips_to_ci = [&](double var) {
+      return var > 0.0 && h > 0.0 ? z95 * z95 * var / (h * h) : 0.0;
+    };
+    const double gain = var_is > 0.0 ? var_bf / var_is : 0.0;
+    if (!(p > 0.0) || is.low_ess) ok = false;
+
+    print_row({fmt(target, "%.5g"), fmt(sigma * 100, "%.4f"),
+               fmt(static_cast<double>(bf.chips - bf.pass), "%.0f"),
+               fmt(chips_to_ci(var_bf), "%.3g"),
+               fmt(chips_to_ci(var_is), "%.3g"),
+               fmt(chips_to_ci(var_strat), "%.3g"), fmt(gain, "%.0fx"),
+               fmt(p, "%.2e"), fmt(100 * is.ess_fraction, "%.0f")});
+  }
+  std::printf("\nbridge surrogate: closed form, zero chips — it set the "
+              "sigma column.\n");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: an IS row lost the tail (p <= 0 or low ESS)\n");
+    return 1;
+  }
+  return 0;
+}

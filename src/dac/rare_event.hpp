@@ -1,0 +1,116 @@
+// Rare-event INL yield estimators: the paper's yield_V = yield^(1/4)
+// sizing rule pushes per-variable yields to 99.99 %+, where brute-force
+// Monte Carlo needs millions of chips to resolve the failure tail. This
+// layer makes that regime cheap with three complementary estimators:
+//
+//  * Importance sampling (inl_yield_is): inflate the mismatch draw by a
+//    tunable factor along the dominant INL modes and reweight each chip
+//    by the exact likelihood ratio. Thermometer-array INL is
+//    asymptotically a Brownian-bridge functional (Heydenreich-van der
+//    Hofstad-Radulov, arXiv math/0606584), so the bridge's leading
+//    cosine modes are where INL failures live; tilting only those K
+//    modes keeps the weight variance bounded (inflating all ~2^n
+//    mismatch dimensions collapses the effective sample size — the
+//    classic high-dimension IS failure, which the ESS diagnostics here
+//    are designed to expose).
+//
+//  * Stratified + antithetic sampling (inl_yield_stratified): stratify
+//    the half-normal magnitude of the first bridge-mode amplitude and
+//    reflect it within each stratum for the antithetic partner. Plain
+//    antithetic pairing (z -> -z) is useless for INL yield because
+//    max|INL| is symmetric under sign flips; reflecting the dominant
+//    magnitude is the antithetic transform that actually anticorrelates
+//    the pass/fail indicator.
+//
+//  * Analytic bridge surrogate (inl_yield_bridge): no sampling at all —
+//    the Kolmogorov distribution of the bridge maximum excursion gives a
+//    closed-form yield estimate to cross-check the sampled numbers and
+//    prune the design space before any chips are drawn.
+//
+// All three keep the engine's determinism contract: per-chip randomness
+// is a pure function of (seed, chip index) via the shared stream_rng
+// discipline, per-chip outputs land in index-addressed slots, and the
+// final reduction runs sequentially in index order — results are
+// bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "core/spec.hpp"
+#include "dac/static_analysis.hpp"
+#include "mathx/parallel.hpp"
+
+namespace csdac::dac {
+
+/// Self-normalized importance-sampling weights below this effective-
+/// sample-size fraction are flagged untrustworthy (IsYieldEstimate::
+/// low_ess): a handful of chips then carry nearly all the weight and the
+/// reported CI is itself unreliable. Reduce sigma_scale (or modes) until
+/// the fraction clears this.
+inline constexpr double kEssTrustFraction = 0.02;
+
+struct IsYieldEstimate {
+  std::int64_t chips = 0;    ///< proposal draws evaluated
+  std::int64_t fails = 0;    ///< raw failures under the inflated proposal
+  double yield = 0.0;        ///< 1 - self-normalized failure probability
+  double ci95 = 0.0;         ///< delta-method 95 % half-width
+  double ess = 0.0;          ///< effective sample size (sum w)^2 / sum w^2
+  double ess_fraction = 0.0; ///< ess / chips
+  double log_weight_max = 0.0;  ///< reweight extremes (diagnostics)
+  double log_weight_min = 0.0;
+  bool low_ess = false;      ///< ess_fraction < kEssTrustFraction
+  mathx::RunStats stats;
+};
+
+/// Importance-sampled INL yield. The proposal scales the amplitudes of
+/// the first `modes` discrete-cosine modes of the unary mismatch vector
+/// by `sigma_scale` (>= 1; 1 recovers plain MC with unit weights);
+/// `modes` is clamped to the number of available cosine modes
+/// (num_unary() - 1). Failure is max|INL| >= inl_limit, judged exactly
+/// like inl_yield_mc. Bit-identical for any thread count.
+IsYieldEstimate inl_yield_is(const core::DacSpec& spec, double sigma_unit,
+                             double sigma_scale, int modes, int chips,
+                             std::uint64_t seed, double inl_limit = 0.5,
+                             InlReference ref = InlReference::kBestFit,
+                             int threads = 1);
+
+struct StratYieldEstimate {
+  std::int64_t chips = 0;  ///< chips evaluated (= 2 * pairs)
+  std::int64_t pairs = 0;  ///< antithetic pairs
+  int strata = 0;
+  double yield = 0.0;
+  double ci95 = 0.0;  ///< stratified 95 % half-width
+  mathx::RunStats stats;
+};
+
+/// Stratified + antithetic INL yield: chips come in pairs sharing one
+/// (seed, pair) stream; the half-normal magnitude of the first bridge
+/// mode is stratified over `strata` equal-probability bins (pair j lands
+/// in bin j % strata) and reflected within the bin for the second pair
+/// member. `chips` is rounded down to a whole number of pairs, and
+/// strata must not exceed the pair count. Unbiased for the same yield as
+/// inl_yield_mc; bit-identical for any thread count.
+StratYieldEstimate inl_yield_stratified(
+    const core::DacSpec& spec, double sigma_unit, int strata, int chips,
+    std::uint64_t seed, double inl_limit = 0.5,
+    InlReference ref = InlReference::kBestFit, int threads = 1);
+
+struct BridgeYieldEstimate {
+  double yield = 0.0;      ///< P(sup |bridge| <= normalized limit)
+  double c = 0.0;          ///< inl_limit / sigma_inl, the normalized limit
+  double sigma_inl = 0.0;  ///< bridge scale: sigma_unit * sqrt(w * U) [LSB]
+};
+
+/// Closed-form Brownian-bridge surrogate for endpoint-referenced INL of
+/// the thermometer segment: with U unary sources of weight w, the INL at
+/// the unary code boundaries is the discrete bridge of the per-source
+/// errors, whose maximum excursion converges to sigma_unit*sqrt(w*U)
+/// times the Kolmogorov law (arXiv math/0606584). Exact in the U -> inf
+/// limit; an asymptotic cross-check (it ignores binary-segment wiggle
+/// and discreteness) rather than a replacement for sampling. Requires
+/// sigma_unit > 0.
+BridgeYieldEstimate inl_yield_bridge(const core::DacSpec& spec,
+                                     double sigma_unit,
+                                     double inl_limit = 0.5);
+
+}  // namespace csdac::dac

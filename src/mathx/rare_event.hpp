@@ -1,0 +1,93 @@
+// Estimator mathematics for rare-event (deep-tail) yield estimation:
+// the Kolmogorov distribution of the Brownian-bridge maximum excursion
+// (the asymptotic law of thermometer-array INL, Heydenreich-van der
+// Hofstad-Radulov, arXiv math/0606584), the deterministic reduction of
+// importance-sampling log-weights with effective-sample-size and
+// delta-method confidence diagnostics, and the combiner for
+// stratified/antithetic pair samples. Everything here is plain
+// sequential arithmetic over caller-provided per-item slot arrays: the
+// parallel engine fills the slots (one slot per chip index), this layer
+// reduces them in index order, so every estimate is bit-identical for
+// any thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csdac::mathx {
+
+/// Kolmogorov distribution function K(x) = P(sup_t |B(t)| <= x) for a
+/// standard Brownian bridge B on [0, 1]. Two complementary series are
+/// used (Jacobi theta identity): the alternating tail series for large x
+/// and the functional-equation form for small x, switching where both
+/// converge fast, so the result is accurate to ~1e-15 everywhere.
+/// Returns 0 for x <= 0.
+double kolmogorov_cdf(double x);
+
+/// Smallest x with kolmogorov_cdf(x) >= p (bisection to ~1e-12); the
+/// bridge-excursion quantile. p in (0, 1).
+double kolmogorov_quantile(double p);
+
+/// Deterministic sequential reduction of per-item importance weights.
+/// `log_w[i]` is the log likelihood ratio log(p(z_i)/q(z_i)) of item i and
+/// `fail[i]` is nonzero when the item realized the rare event. Weights are
+/// rescaled by exp(-max log_w) during the pass (log-sum-exp guard), so the
+/// sums are finite even when individual weights overflow; every returned
+/// ratio (estimate, ESS) is invariant to that rescaling.
+struct IsReduction {
+  std::int64_t n = 0;          ///< items reduced
+  std::int64_t fails = 0;      ///< raw failures under the proposal
+  double log_w_max = 0.0;      ///< largest log weight seen
+  double log_w_min = 0.0;      ///< smallest log weight seen
+  double sum_w = 0.0;          ///< sum of w_i / exp(log_w_max)
+  double sum_w2 = 0.0;         ///< sum of (w_i / exp(log_w_max))^2
+  double sum_wf = 0.0;         ///< sum over failures of w_i / exp(log_w_max)
+  double sum_w2f = 0.0;        ///< sum over failures of the squared scaled w
+};
+
+IsReduction reduce_is_weights(std::span<const double> log_w,
+                              std::span<const unsigned char> fail);
+
+/// Self-normalized importance-sampling estimate of the failure
+/// probability p = E_p[fail] from a weight reduction:
+///   p_hat = sum(w_i f_i) / sum(w_i)
+/// with the delta-method (linearization) standard error of the ratio
+/// estimator and the effective sample size ESS = (sum w)^2 / sum w^2.
+struct IsEstimate {
+  double fail_probability = 0.0;  ///< self-normalized p_hat
+  double ci95 = 0.0;              ///< 1.96 * delta-method standard error
+  double ess = 0.0;               ///< effective sample size
+  double ess_fraction = 0.0;      ///< ess / n
+};
+
+IsEstimate is_estimate(const IsReduction& r);
+
+/// Per-stratum pair-sample moments for the stratified/antithetic
+/// estimator: y_j is the mean of an antithetic PAIR (0, 1/2 or 1 for a
+/// pass/fail indicator), accumulated per stratum in pair-index order.
+struct StratumMoments {
+  std::int64_t pairs = 0;
+  double sum_y = 0.0;
+  double sum_y2 = 0.0;
+};
+
+/// Equal-weight stratified estimate over S strata:
+///   p_hat = (1/S) * sum_s mean_s
+/// with Var(p_hat) = (1/S^2) * sum_s var_s / n_s (var_s the unbiased
+/// within-stratum sample variance of the pair means; a stratum with
+/// fewer than 2 pairs contributes 0 variance). ci95 = 1.96 * sqrt(Var).
+struct StratEstimate {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::int64_t pairs = 0;  ///< total pairs across strata
+};
+
+StratEstimate stratified_estimate(std::span<const StratumMoments> strata);
+
+/// Inverse CDF of the standard half-normal distribution |Z|, Z ~ N(0,1):
+/// the magnitude with P(|Z| <= result) = u. Used to stratify the dominant
+/// bridge-mode amplitude. u in [0, 1).
+double half_normal_inv(double u);
+
+}  // namespace csdac::mathx

@@ -14,6 +14,9 @@ std::string_view kind_name(JobKind kind) {
     case JobKind::kSweepBasic: return "sweep_basic";
     case JobKind::kSweepCascode: return "sweep_cascode";
     case JobKind::kSpectrum: return "spectrum";
+    case JobKind::kInlYieldIs: return "inl_yield_is";
+    case JobKind::kInlYieldStrat: return "inl_yield_strat";
+    case JobKind::kInlYieldBridge: return "inl_yield_bridge";
   }
   return "unknown";
 }
@@ -31,6 +34,15 @@ JobKind job_kind(const Job& job) {
           return JobKind::kSweepCascode;
         }
         if constexpr (std::is_same_v<T, SpectrumJob>) return JobKind::kSpectrum;
+        if constexpr (std::is_same_v<T, InlYieldIsJob>) {
+          return JobKind::kInlYieldIs;
+        }
+        if constexpr (std::is_same_v<T, InlYieldStratJob>) {
+          return JobKind::kInlYieldStrat;
+        }
+        if constexpr (std::is_same_v<T, InlYieldBridgeJob>) {
+          return JobKind::kInlYieldBridge;
+        }
       },
       job);
 }
@@ -149,6 +161,33 @@ void put_params(const SpectrumJob& j, mathx::ByteWriter& w) {
   w.boolean(j.differential);
 }
 
+void put_params(const InlYieldIsJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  w.f64(j.sigma_scale);
+  w.i32(j.modes);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+  w.u8(static_cast<std::uint8_t>(j.ref));
+}
+
+void put_params(const InlYieldStratJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  w.i32(j.strata);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+  w.u8(static_cast<std::uint8_t>(j.ref));
+}
+
+void put_params(const InlYieldBridgeJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  w.f64(j.limit);
+}
+
 // Result payload codec. Each kind carries its own schema version so a
 // result-format change invalidates only that kind's entries (the reader
 // rejects, the caller recomputes and overwrites).
@@ -156,6 +195,9 @@ constexpr std::uint8_t kYieldResultV = 1;
 constexpr std::uint8_t kCalResultV = 1;
 constexpr std::uint8_t kSweepResultV = 1;
 constexpr std::uint8_t kSpectrumResultV = 1;
+constexpr std::uint8_t kIsResultV = 1;
+constexpr std::uint8_t kStratResultV = 1;
+constexpr std::uint8_t kBridgeResultV = 1;
 
 }  // namespace
 
@@ -206,6 +248,29 @@ void encode_value(const JobValue& value, mathx::ByteWriter& w) {
           w.f64(v.sndr_db);
           w.f64(v.thd_db);
           w.f64(v.enob);
+        } else if constexpr (std::is_same_v<T, IsYieldResult>) {
+          w.u8(kIsResultV);
+          w.i64(v.chips);
+          w.i64(v.fails);
+          w.f64(v.yield);
+          w.f64(v.ci95);
+          w.f64(v.ess);
+          w.f64(v.ess_fraction);
+          w.f64(v.log_weight_max);
+          w.f64(v.log_weight_min);
+          w.boolean(v.low_ess);
+        } else if constexpr (std::is_same_v<T, StratYieldResult>) {
+          w.u8(kStratResultV);
+          w.i64(v.chips);
+          w.i64(v.pairs);
+          w.i32(v.strata);
+          w.f64(v.yield);
+          w.f64(v.ci95);
+        } else if constexpr (std::is_same_v<T, BridgeYieldResult>) {
+          w.u8(kBridgeResultV);
+          w.f64(v.yield);
+          w.f64(v.c);
+          w.f64(v.sigma_inl);
         }
       },
       value);
@@ -260,6 +325,41 @@ bool decode_value(JobKind kind, mathx::ByteReader& r, JobValue& out) {
       v.sndr_db = r.f64();
       v.thd_db = r.f64();
       v.enob = r.f64();
+      out = v;
+      break;
+    }
+    case JobKind::kInlYieldIs: {
+      if (r.u8() != kIsResultV) return false;
+      IsYieldResult v;
+      v.chips = r.i64();
+      v.fails = r.i64();
+      v.yield = r.f64();
+      v.ci95 = r.f64();
+      v.ess = r.f64();
+      v.ess_fraction = r.f64();
+      v.log_weight_max = r.f64();
+      v.log_weight_min = r.f64();
+      v.low_ess = r.boolean();
+      out = v;
+      break;
+    }
+    case JobKind::kInlYieldStrat: {
+      if (r.u8() != kStratResultV) return false;
+      StratYieldResult v;
+      v.chips = r.i64();
+      v.pairs = r.i64();
+      v.strata = r.i32();
+      v.yield = r.f64();
+      v.ci95 = r.f64();
+      out = v;
+      break;
+    }
+    case JobKind::kInlYieldBridge: {
+      if (r.u8() != kBridgeResultV) return false;
+      BridgeYieldResult v;
+      v.yield = r.f64();
+      v.c = r.f64();
+      v.sigma_inl = r.f64();
       out = v;
       break;
     }
@@ -373,6 +473,56 @@ JobValue run_spectrum(const SpectrumJob& j, int threads,
   return r;
 }
 
+JobValue run_inl_yield_is(const InlYieldIsJob& j, int threads,
+                          mathx::RunStats* stats) {
+  const dac::IsYieldEstimate y =
+      dac::inl_yield_is(j.spec, j.sigma_unit, j.sigma_scale, j.modes, j.chips,
+                        j.seed, j.limit, j.ref, threads);
+  if (stats) *stats = y.stats;
+  IsYieldResult r;
+  r.chips = y.chips;
+  r.fails = y.fails;
+  r.yield = y.yield;
+  r.ci95 = y.ci95;
+  r.ess = y.ess;
+  r.ess_fraction = y.ess_fraction;
+  r.log_weight_max = y.log_weight_max;
+  r.log_weight_min = y.log_weight_min;
+  r.low_ess = y.low_ess;
+  return r;
+}
+
+JobValue run_inl_yield_strat(const InlYieldStratJob& j, int threads,
+                             mathx::RunStats* stats) {
+  const dac::StratYieldEstimate y = dac::inl_yield_stratified(
+      j.spec, j.sigma_unit, j.strata, j.chips, j.seed, j.limit, j.ref,
+      threads);
+  if (stats) *stats = y.stats;
+  StratYieldResult r;
+  r.chips = y.chips;
+  r.pairs = y.pairs;
+  r.strata = y.strata;
+  r.yield = y.yield;
+  r.ci95 = y.ci95;
+  return r;
+}
+
+JobValue run_inl_yield_bridge(const InlYieldBridgeJob& j, int threads,
+                              mathx::RunStats* stats) {
+  (void)threads;  // closed form; nothing to parallelize
+  const dac::BridgeYieldEstimate y =
+      dac::inl_yield_bridge(j.spec, j.sigma_unit, j.limit);
+  if (stats) {
+    stats->evaluated = 0;  // no chips drawn: that is the whole point
+    stats->threads = 1;
+  }
+  BridgeYieldResult r;
+  r.yield = y.yield;
+  r.c = y.c;
+  r.sigma_inl = y.sigma_inl;
+  return r;
+}
+
 }  // namespace
 
 JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
@@ -387,6 +537,12 @@ JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
           return run_sweep_basic(j, threads, stats);
         } else if constexpr (std::is_same_v<T, SweepCascodeJob>) {
           return run_sweep_cascode(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, InlYieldIsJob>) {
+          return run_inl_yield_is(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, InlYieldStratJob>) {
+          return run_inl_yield_strat(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, InlYieldBridgeJob>) {
+          return run_inl_yield_bridge(j, threads, stats);
         } else {
           return run_spectrum(j, threads, stats);
         }

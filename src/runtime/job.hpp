@@ -16,6 +16,7 @@
 #include "core/spec.hpp"
 #include "dac/calibration.hpp"
 #include "dac/dynamic.hpp"
+#include "dac/rare_event.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/hash.hpp"
 #include "mathx/parallel.hpp"
@@ -35,6 +36,9 @@ enum class JobKind : std::uint8_t {
   kSweepBasic = 3,
   kSweepCascode = 4,
   kSpectrum = 5,
+  kInlYieldIs = 6,
+  kInlYieldStrat = 7,
+  kInlYieldBridge = 8,
 };
 
 std::string_view kind_name(JobKind kind);
@@ -100,8 +104,44 @@ struct SpectrumJob {
   bool differential = true;
 };
 
+/// Importance-sampled INL yield (rare-event tail): the mismatch draw is
+/// tilted along the first `modes` bridge modes by `sigma_scale` and each
+/// chip reweighted by the exact likelihood ratio (dac::inl_yield_is).
+struct InlYieldIsJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;
+  double sigma_scale = 2.2;  ///< first-mode tilt, >= 1 (1 = plain MC)
+  int modes = 8;             ///< tilted bridge modes, >= 1
+  int chips = 1000;
+  std::uint64_t seed = 0;
+  double limit = 0.5;  ///< pass limit [LSB]
+  dac::InlReference ref = dac::InlReference::kBestFit;
+};
+
+/// Stratified + antithetic INL yield (dac::inl_yield_stratified):
+/// half-normal first-mode magnitude over `strata` equal-probability bins,
+/// reflected within the bin for the antithetic pair member.
+struct InlYieldStratJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;
+  int strata = 16;
+  int chips = 1000;  ///< rounded down to a whole number of pairs
+  std::uint64_t seed = 0;
+  double limit = 0.5;
+  dac::InlReference ref = dac::InlReference::kBestFit;
+};
+
+/// Closed-form Brownian-bridge INL-excursion surrogate (no sampling;
+/// dac::inl_yield_bridge). sigma_unit must be > 0.
+struct InlYieldBridgeJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;
+  double limit = 0.5;
+};
+
 using Job = std::variant<InlYieldJob, CalYieldJob, SweepBasicJob,
-                         SweepCascodeJob, SpectrumJob>;
+                         SweepCascodeJob, SpectrumJob, InlYieldIsJob,
+                         InlYieldStratJob, InlYieldBridgeJob>;
 
 JobKind job_kind(const Job& job);
 
@@ -131,8 +171,35 @@ struct SpectrumSummary {
   double enob = 0.0;
 };
 
+struct IsYieldResult {
+  std::int64_t chips = 0;
+  std::int64_t fails = 0;  ///< raw failures under the inflated proposal
+  double yield = 0.0;      ///< 1 - self-normalized failure probability
+  double ci95 = 0.0;       ///< delta-method 95 % half-width
+  double ess = 0.0;
+  double ess_fraction = 0.0;
+  double log_weight_max = 0.0;
+  double log_weight_min = 0.0;
+  bool low_ess = false;  ///< ess_fraction below the trust threshold
+};
+
+struct StratYieldResult {
+  std::int64_t chips = 0;
+  std::int64_t pairs = 0;
+  std::int32_t strata = 0;
+  double yield = 0.0;
+  double ci95 = 0.0;
+};
+
+struct BridgeYieldResult {
+  double yield = 0.0;
+  double c = 0.0;          ///< normalized excursion limit
+  double sigma_inl = 0.0;  ///< bridge scale [LSB]
+};
+
 using JobValue =
-    std::variant<YieldResult, CalYieldResult, SweepResult, SpectrumSummary>;
+    std::variant<YieldResult, CalYieldResult, SweepResult, SpectrumSummary,
+                 IsYieldResult, StratYieldResult, BridgeYieldResult>;
 
 // --- Key and result codec --------------------------------------------------
 

@@ -80,6 +80,13 @@ core::MarginPolicy parse_policy(const runtime::JsonValue& job) {
   bad_job("bad policy '" + p + "'");
 }
 
+dac::InlReference parse_ref(const runtime::JsonValue& job) {
+  const std::string ref = job.string_or("ref", "bestfit");
+  if (ref == "endpoint") return dac::InlReference::kEndpoint;
+  if (ref == "bestfit") return dac::InlReference::kBestFit;
+  bad_job("bad ref '" + ref + "'");
+}
+
 tech::MosTechParams parse_tech(const runtime::JsonValue& job) {
   const std::string t = job.string_or("tech", "generic_035um");
   if (t == "generic_035um") return tech::generic_035um().nmos;
@@ -102,10 +109,7 @@ runtime::Job parse_job(const runtime::JsonValue& job) {
     j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
     j.limit = job.number_or("limit", 0.5);
     j.dnl = kind == "dnl_yield";
-    const std::string ref = job.string_or("ref", "bestfit");
-    if (ref == "endpoint") j.ref = dac::InlReference::kEndpoint;
-    else if (ref == "bestfit") j.ref = dac::InlReference::kBestFit;
-    else bad_job("bad ref '" + ref + "'");
+    j.ref = parse_ref(job);
     j.adaptive = job.bool_or("adaptive", false);
     j.min_chips = static_cast<int>(
         bounded_int(job, "min_chips", j.min_chips, 1, kMaxChips));
@@ -173,6 +177,47 @@ runtime::Job parse_job(const runtime::JsonValue& job) {
     j.cycles = static_cast<int>(
         bounded_int(job, "cycles", j.cycles, 1, kMaxSamples));
     j.differential = job.bool_or("differential", true);
+    return j;
+  }
+  if (kind == "inl_yield_is") {
+    runtime::InlYieldIsJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.sigma_scale = job.number_or("sigma_scale", j.sigma_scale);
+    if (!(j.sigma_scale >= 1.0 && j.sigma_scale <= kMaxSigmaScale)) {
+      bad_job("'sigma_scale' out of range [1, 8]");
+    }
+    j.modes = static_cast<int>(bounded_int(job, "modes", j.modes, 1,
+                                           kMaxIsModes));
+    j.chips = static_cast<int>(bounded_int(job, "chips", 1000, 1, kMaxChips));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    j.ref = parse_ref(job);
+    return j;
+  }
+  if (kind == "inl_yield_strat") {
+    runtime::InlYieldStratJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.strata =
+        static_cast<int>(bounded_int(job, "strata", j.strata, 1, kMaxStrata));
+    j.chips = static_cast<int>(bounded_int(job, "chips", 1000, 2, kMaxChips));
+    if (j.chips / 2 < j.strata) bad_job("fewer chip pairs than strata");
+    if (spec.num_unary() < 2) {
+      bad_job("inl_yield_strat needs a thermometer segment (num_unary >= 2)");
+    }
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = job.number_or("limit", 0.5);
+    j.ref = parse_ref(job);
+    return j;
+  }
+  if (kind == "inl_yield_bridge") {
+    runtime::InlYieldBridgeJob j;
+    j.spec = spec;
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    if (!(j.sigma_unit > 0.0)) bad_job("inl_yield_bridge needs sigma > 0");
+    j.limit = job.number_or("limit", 0.5);
+    if (!(j.limit > 0.0)) bad_job("inl_yield_bridge needs limit > 0");
     return j;
   }
   bad_job("unknown job kind '" + kind + "'");

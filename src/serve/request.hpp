@@ -29,6 +29,9 @@ inline constexpr std::int64_t kMaxJobsPerRequest = 4096;
 inline constexpr std::int64_t kMaxChips = 10'000'000;
 inline constexpr std::int64_t kMaxAxisSteps = 2048;
 inline constexpr std::int64_t kMaxSamples = 1 << 22;
+inline constexpr std::int64_t kMaxStrata = 4096;
+inline constexpr std::int64_t kMaxIsModes = 64;
+inline constexpr double kMaxSigmaScale = 8.0;
 
 /// Request-level failure with a stable error code for the wire protocol:
 /// "bad_json", "bad_schema", "bad_request" (request envelope), or

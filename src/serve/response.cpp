@@ -50,6 +50,26 @@ void emit_result(bench::JsonWriter& w, const runtime::JobValue& value) {
           w.field("sndr_db", v.sndr_db);
           w.field("thd_db", v.thd_db);
           w.field("enob", v.enob);
+        } else if constexpr (std::is_same_v<T, runtime::IsYieldResult>) {
+          w.field("chips", v.chips);
+          w.field("fails", v.fails);
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+          w.field("ess", v.ess);
+          w.field("ess_fraction", v.ess_fraction);
+          w.field("log_weight_max", v.log_weight_max);
+          w.field("log_weight_min", v.log_weight_min);
+          w.field("low_ess", v.low_ess);
+        } else if constexpr (std::is_same_v<T, runtime::StratYieldResult>) {
+          w.field("chips", v.chips);
+          w.field("pairs", v.pairs);
+          w.field("strata", static_cast<std::int64_t>(v.strata));
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+        } else if constexpr (std::is_same_v<T, runtime::BridgeYieldResult>) {
+          w.field("yield", v.yield);
+          w.field("c", v.c);
+          w.field("sigma_inl", v.sigma_inl);
         }
       },
       value);

@@ -16,7 +16,12 @@ by contract. Schema /5 is the design-server loadgen document
 (tools/csdac_loadgen): at least one bench with a "serve" section reporting
 requests/errors/mismatches and the latency distribution; a run with any
 failed request, any cross-client result mismatch, or non-positive
-throughput fails validation.
+throughput fails validation. Schema /6 (run_benches again) additionally
+carries the rare-event estimator bench: "bruteforce"/"is"/"stratified"/
+"bridge" sections with per-estimator "chips_to_ci", an "is_chip_reduction"
+variance ratio that must exceed 1 (the importance sampler must actually
+beat brute force), a healthy effective sample size (low_ess false), and
+bridge/IS tail agreement already enforced by the producer.
 
 With --compare BASELINE.json, every bench path present in both documents
 is also checked for throughput regressions: chips_per_s must be at least
@@ -32,7 +37,7 @@ import json
 import sys
 
 SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3",
-           "csdac-bench/4", "csdac-bench/5")
+           "csdac-bench/4", "csdac-bench/5", "csdac-bench/6")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -137,6 +142,37 @@ def check_simd_bench(bench, name):
         fail(f"bench '{name}': simd_speedup must be positive")
 
 
+def check_rare_bench(bench, name):
+    """Schema /6 rare-event estimator bench."""
+    bf = check_path(bench, name, "bruteforce")
+    is_ = check_path(bench, name, "is")
+    strat = check_path(bench, name, "stratified")
+    where = f"bench '{name}'"
+    for which, path in (("bruteforce", bf), ("is", is_),
+                        ("stratified", strat)):
+        ctc = check_type(path, "chips_to_ci", (int, float),
+                         f"{where} / {which}")
+        if ctc <= 0:
+            fail(f"{where} / {which}: chips_to_ci must be positive")
+    bridge = check_type(bench, "bridge", dict, where)
+    for key in ("yield", "c", "sigma_inl"):
+        if not isinstance(bridge.get(key), (int, float)):
+            fail(f"{where} / bridge: missing/non-number '{key}'")
+    if not 0.0 < bridge["yield"] < 1.0:
+        fail(f"{where} / bridge: yield out of (0, 1)")
+    if is_.get("low_ess") is not False:
+        fail(f"{where} / is: low_ess must be false — the reweighted "
+             f"estimate is not trustworthy")
+    if not isinstance(is_.get("ess"), (int, float)) or is_["ess"] <= 0:
+        fail(f"{where} / is: ess must be positive")
+    if is_.get("fails", 0) <= 0:
+        fail(f"{where} / is: the proposal saw no failures")
+    reduction = check_type(bench, "is_chip_reduction", (int, float), where)
+    if reduction <= 1.0:
+        fail(f"{where}: is_chip_reduction is {reduction:.2f}x — importance "
+             f"sampling must beat brute force")
+
+
 def check_serve_bench(bench, name):
     """Schema /5 design-server loadgen bench."""
     where = f"bench '{name}' / serve"
@@ -171,7 +207,7 @@ def bench_paths(doc):
         if not isinstance(bench, dict) or "name" not in bench:
             continue
         for which in ("workspace", "legacy", "simd", "scalar", "cold",
-                      "warm"):
+                      "warm", "bruteforce", "is", "stratified"):
             path = bench.get(which)
             if isinstance(path, dict) and "chips_per_s" in path:
                 yield bench["name"], which, path
@@ -232,11 +268,12 @@ def main():
     if doc["schema"] not in SCHEMAS:
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
     v2 = doc["schema"] != "csdac-bench/1"
-    v4 = doc["schema"] == "csdac-bench/4"
+    v4 = doc["schema"] in ("csdac-bench/4", "csdac-bench/6")
     v5 = doc["schema"] == "csdac-bench/5"
+    v6 = doc["schema"] == "csdac-bench/6"
     if not doc["benches"]:
         fail("benches array is empty")
-    if doc["schema"] in ("csdac-bench/3", "csdac-bench/4"):
+    if doc["schema"] in ("csdac-bench/3", "csdac-bench/4", "csdac-bench/6"):
         check_metrics(doc)
     if v4:
         check_type(doc, "simd_backend", str, "top level")
@@ -250,6 +287,7 @@ def main():
     cache_benches = 0
     simd_benches = 0
     serve_benches = 0
+    rare_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -276,6 +314,13 @@ def main():
             check_serve_bench(bench, name)
             serve_benches += 1
             continue
+        if "bridge" in bench or "is" in bench:
+            if not v6:
+                fail(f"bench '{name}': rare-event benches require "
+                     f"csdac-bench/6")
+            check_rare_bench(bench, name)
+            rare_benches += 1
+            continue
         check_path(bench, name, "workspace")
         if "legacy" in bench:
             check_path(bench, name, "legacy")
@@ -289,6 +334,8 @@ def main():
         fail("csdac-bench/4 document has no simd-vs-scalar benches")
     if v5 and serve_benches == 0:
         fail("csdac-bench/5 document has no serve benches")
+    if v6 and rare_benches == 0:
+        fail("csdac-bench/6 document has no rare-event bench")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")

@@ -33,6 +33,13 @@ counters: connections and requests accepted, zero error frames, a
 complete serve.request_us latency histogram. Used by the CI serve-smoke
 job on the dumps the server writes at shutdown.
 
+--expect-rare (either mode) additionally requires the rare-event
+estimator instruments: the cold dump must show at least one importance-
+sampling run with proposal chips drawn and a positive csdac_rare_ess
+gauge (the ESS diagnostic actually reached the registry); the warm dump
+must show ZERO rare-event proposal chips — a cached IS result must be
+served without re-running the estimator.
+
 Exits nonzero with a message on the first violation.
 """
 import math
@@ -225,6 +232,31 @@ def check_serve(path, samples):
              f"requests, counter says {int(requests)}")
 
 
+def check_rare_cold(path, samples):
+    """A dump from a run that importance-sampled a rare-event job."""
+    if counter(samples, "csdac_rare_is_runs_total") < 1:
+        fail(f"{path}: no importance-sampling runs recorded")
+    if counter(samples, "csdac_rare_is_chips_total") < 1:
+        fail(f"{path}: importance sampling drew no proposal chips")
+    ess = samples.get("csdac_rare_ess")
+    if ess is None:
+        fail(f"{path}: rare-event run did not publish the csdac_rare_ess "
+             f"gauge")
+    if ess <= 0:
+        fail(f"{path}: csdac_rare_ess is {ess} — the reweighted estimate "
+             f"carries no information")
+    essf = samples.get("csdac_rare_ess_fraction")
+    if essf is None or not 0.0 < essf <= 1.0:
+        fail(f"{path}: csdac_rare_ess_fraction missing or out of (0, 1] "
+             f"(got {essf!r})")
+
+
+def check_rare_warm(path, samples):
+    if counter(samples, "csdac_rare_is_chips_total", 0) != 0:
+        fail(f"{path}: warm run drew rare-event proposal chips — the "
+             f"cached IS result was recomputed")
+
+
 def check_warm(path, samples):
     if counter(samples, "csdac_cache_misses_total", 0) != 0:
         fail(f"{path}: warm run has cache misses — the cache did not "
@@ -238,6 +270,8 @@ def check_warm(path, samples):
 def main(argv):
     expect_serve = "--expect-serve" in argv
     argv = [a for a in argv if a != "--expect-serve"]
+    expect_rare = "--expect-rare" in argv
+    argv = [a for a in argv if a != "--expect-rare"]
     expect_simd = None
     if len(argv) == 4 and argv[2] == "--expect-simd":
         expect_simd = argv[3]
@@ -250,6 +284,8 @@ def main(argv):
             check_simd(argv[1], samples, expect_simd)
         if expect_serve:
             check_serve(argv[1], samples)
+        if expect_rare:
+            check_rare_cold(argv[1], samples)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
               f"{len(samples)} samples")
         return 0
@@ -264,6 +300,9 @@ def main(argv):
         if expect_serve:
             check_serve(cold_path, cold)
             check_serve(warm_path, warm)
+        if expect_rare:
+            check_rare_cold(cold_path, cold)
+            check_rare_warm(warm_path, warm)
         if counter(warm, "csdac_cache_hits_total") < counter(
                 cold, "csdac_cache_misses_total"):
             fail("warm hits < cold misses: some cold results never "
@@ -275,9 +314,9 @@ def main(argv):
               f"0 chips")
         return 0
     print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND] "
-          "[--expect-serve]\n"
+          "[--expect-serve] [--expect-rare]\n"
           "       check_metrics.py --cold COLD.prom --warm WARM.prom "
-          "[--expect-serve]",
+          "[--expect-serve] [--expect-rare]",
           file=sys.stderr)
     return 2
 

@@ -17,15 +17,26 @@
 // pass count — the SIMD path is required to be bit-identical, so a
 // mismatch is a correctness bug, not noise. The active backend is
 // recorded top-level under "simd_backend" / "simd_lanes".
+// (Schema /5 is the design-server loadgen document written by
+// tools/csdac_loadgen, not by this harness.)
+// Schema /6 adds the rare-event estimator bench: the 99.99%-yield
+// 12-bit tail case measured by brute-force MC, importance sampling,
+// stratified+antithetic sampling, and the analytic bridge surrogate,
+// each section reporting "chips_to_ci" — the chip count that estimator
+// needs to pin the failure probability to a 50% relative 95% CI — plus
+// the headline "is_chip_reduction" variance ratio (brute-force /
+// importance-sampling chips for equal CI).
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
-//               [--require-simd-speedup X]
+//               [--require-simd-speedup X] [--require-rare-reduction X]
 //
 // --smoke shrinks the chip budgets for CI; --require-speedup X exits
 // nonzero unless the workspace INL bench shows >= X times the legacy
 // chips/s; --require-simd-speedup X does the same for the simd-vs-scalar
 // INL bench (used for local acceptance runs, not in CI where shared
-// runners make timing unreliable).
+// runners make timing unreliable). --require-rare-reduction X gates on
+// is_chip_reduction >= X; unlike the timing gates this one is a variance
+// ratio, stable on shared runners, so CI enforces it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,11 +46,15 @@
 #include <string>
 #include <thread>
 
+#include <cmath>
+
 #include "bench_json.hpp"
 #include "core/accuracy.hpp"
 #include "dac/calibration.hpp"
+#include "dac/rare_event.hpp"
 #include "dac/static_analysis.hpp"
 #include "mathx/alloc_counter.hpp"
+#include "mathx/rare_event.hpp"
 #include "mathx/simd.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/graph.hpp"
@@ -174,6 +189,7 @@ int main(int argc, char** argv) {
   int threads = 0;  // hardware concurrency
   double require_speedup = 0.0;
   double require_simd_speedup = 0.0;
+  double require_rare_reduction = 0.0;
   std::string out_path = "BENCH_mc.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0) {
@@ -188,10 +204,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--require-simd-speedup") == 0 &&
                a + 1 < argc) {
       require_simd_speedup = std::atof(argv[++a]);
+    } else if (std::strcmp(argv[a], "--require-rare-reduction") == 0 &&
+               a + 1 < argc) {
+      require_rare_reduction = std::atof(argv[++a]);
     } else {
       std::fprintf(stderr,
                    "usage: run_benches [--smoke] [--out PATH] [--threads N] "
-                   "[--require-speedup X] [--require-simd-speedup X]\n");
+                   "[--require-speedup X] [--require-simd-speedup X] "
+                   "[--require-rare-reduction X]\n");
       return 2;
     }
   }
@@ -205,7 +225,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter w;
   w.begin_object();
   const mathx::SimdBackend simd_backend = mathx::simd_backend();
-  w.field("schema", "csdac-bench/4");
+  w.field("schema", "csdac-bench/6");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
@@ -479,6 +499,144 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Rare-event estimators at the 99.99%-yield tail -------------------
+  // Sigma is chosen FROM the bridge surrogate so the true failure
+  // probability is ~1e-4 by construction: brute-force MC at this budget
+  // sees a handful of failures at best, while the tilted IS proposal
+  // fails constantly and reweights back. The headline number is the
+  // variance ratio = how many times fewer chips IS needs for the same CI.
+  double rare_reduction = 0.0;
+  {
+    const int rare_chips = smoke ? 4000 : 20000;
+    const std::uint64_t rare_seed = 7;
+    const double sigma_scale = 2.2;
+    const int modes = 8;
+    const int strata = 16;
+    const double c9999 = mathx::kolmogorov_quantile(0.9999);
+    const double rare_sigma =
+        0.5 / (c9999 * std::sqrt(spec.unary_weight() *
+                                 static_cast<double>(spec.num_unary())));
+    std::printf("rare_inl_yield_9999: %d chips, sigma = %.4f%% "
+                "(bridge-calibrated 99.99%% yield) ...\n",
+                rare_chips, rare_sigma * 100);
+
+    const auto bf =
+        dac::inl_yield_mc(spec, rare_sigma, rare_chips, rare_seed, 0.5,
+                          dac::InlReference::kEndpoint, threads);
+    const auto is =
+        dac::inl_yield_is(spec, rare_sigma, sigma_scale, modes, rare_chips,
+                          rare_seed, 0.5, dac::InlReference::kEndpoint,
+                          threads);
+    const auto strat = dac::inl_yield_stratified(
+        spec, rare_sigma, strata, rare_chips, rare_seed, 0.5,
+        dac::InlReference::kEndpoint, threads);
+    const auto bridge = dac::inl_yield_bridge(spec, rare_sigma, 0.5);
+
+    if (is.fails == 0 || is.low_ess) {
+      std::fprintf(stderr,
+                   "FATAL: IS proposal saw no tail (fails=%lld, low_ess=%d) "
+                   "— the tilt is miscalibrated\n",
+                   static_cast<long long>(is.fails), is.low_ess);
+      return 1;
+    }
+    const double p = 1.0 - is.yield;  // best available tail estimate
+    const double p_bridge = 1.0 - bridge.yield;
+    if (!(p > 0.0)) {
+      std::fprintf(stderr, "FATAL: IS failure probability is not positive\n");
+      return 1;
+    }
+    if (std::fabs(p - p_bridge) > 10.0 * is.ci95 + 2e-5) {
+      std::fprintf(stderr,
+                   "FATAL: IS tail %.3e disagrees with bridge surrogate "
+                   "%.3e beyond 10x CI — estimator bug, not noise\n",
+                   p, p_bridge);
+      return 1;
+    }
+
+    // Per-chip variance of each estimator, from its measured CI; chips
+    // needed to pin p to a 50% relative 95% CI (half-width p/2).
+    const double z95 = 1.959963984540054;
+    const double h = p / 2.0;
+    const double var_bf = p * (1.0 - p);  // Bernoulli, exact
+    const double var_is =
+        (is.ci95 / z95) * (is.ci95 / z95) * static_cast<double>(is.chips);
+    const double var_strat = (strat.ci95 / z95) * (strat.ci95 / z95) *
+                             static_cast<double>(strat.chips);
+    const auto chips_to_ci = [&](double var) {
+      return var > 0.0 ? z95 * z95 * var / (h * h) : 0.0;
+    };
+    rare_reduction = var_is > 0.0 ? var_bf / var_is : 0.0;
+    const double strat_reduction = var_strat > 0.0 ? var_bf / var_strat : 0.0;
+    std::printf("  p_fail: is %.3e (ci %.1e, ess %.0f/%lld), strat %.3e, "
+                "bridge %.3e, brute-force saw %lld/%lld\n",
+                p, is.ci95, is.ess, static_cast<long long>(is.chips),
+                1.0 - strat.yield, p_bridge,
+                static_cast<long long>(bf.chips - bf.pass),
+                static_cast<long long>(bf.chips));
+    std::printf("  chips to 50%% CI: brute-force %.0f, is %.0f, strat %.0f "
+                "-> IS reduction %.0fx\n",
+                chips_to_ci(var_bf), chips_to_ci(var_is),
+                chips_to_ci(var_strat), rare_reduction);
+
+    w.begin_object();
+    w.field("name", "rare_inl_yield_9999");
+    w.key("config").begin_object();
+    w.field("nbits", spec.nbits);
+    w.field("binary_bits", spec.binary_bits);
+    w.field("sigma_unit", rare_sigma);
+    w.field("target_yield", 0.9999);
+    w.field("chips", rare_chips);
+    w.field("seed", static_cast<std::int64_t>(rare_seed));
+    w.field("sigma_scale", sigma_scale);
+    w.field("modes", modes);
+    w.field("strata", strata);
+    w.field("inl_limit", 0.5);
+    w.field("ref", "endpoint");
+    w.end_object();
+    w.key("bruteforce").begin_object();
+    w.field("chips", bf.chips);
+    w.field("fails", static_cast<std::int64_t>(bf.chips - bf.pass));
+    w.field("yield", bf.yield);
+    w.field("ci95", bf.ci95);
+    w.field("chips_per_s", bf.stats.items_per_second);
+    w.field("wall_s", bf.stats.wall_seconds);
+    w.field("chips_to_ci", chips_to_ci(var_bf));
+    w.end_object();
+    w.key("is").begin_object();
+    w.field("chips", is.chips);
+    w.field("fails", is.fails);
+    w.field("yield", is.yield);
+    w.field("ci95", is.ci95);
+    w.field("ess", is.ess);
+    w.field("ess_fraction", is.ess_fraction);
+    w.field("log_weight_max", is.log_weight_max);
+    w.field("log_weight_min", is.log_weight_min);
+    w.field("low_ess", is.low_ess);
+    w.field("chips_per_s", is.stats.items_per_second);
+    w.field("wall_s", is.stats.wall_seconds);
+    w.field("chips_to_ci", chips_to_ci(var_is));
+    w.end_object();
+    w.key("stratified").begin_object();
+    w.field("chips", strat.chips);
+    w.field("pairs", strat.pairs);
+    w.field("strata", static_cast<std::int64_t>(strat.strata));
+    w.field("yield", strat.yield);
+    w.field("ci95", strat.ci95);
+    w.field("chips_per_s", strat.stats.items_per_second);
+    w.field("wall_s", strat.stats.wall_seconds);
+    w.field("chips_to_ci", chips_to_ci(var_strat));
+    w.end_object();
+    w.key("bridge").begin_object();
+    w.field("yield", bridge.yield);
+    w.field("c", bridge.c);
+    w.field("sigma_inl", bridge.sigma_inl);
+    w.field("chips_to_ci", 0.0);  // closed form: no chips at all
+    w.end_object();
+    w.field("is_chip_reduction", rare_reduction);
+    w.field("strat_chip_reduction", strat_reduction);
+    w.end_object();
+  }
+
   w.end_array();
   w.key("metrics").raw(obs::Registry::global().snapshot().to_json());
   w.end_object();
@@ -501,6 +659,12 @@ int main(int argc, char** argv) {
   if (require_simd_speedup > 0.0 && simd_speedup < require_simd_speedup) {
     std::fprintf(stderr, "FAIL: simd speedup %.2fx below required %.2fx\n",
                  simd_speedup, require_simd_speedup);
+    return 1;
+  }
+  if (require_rare_reduction > 0.0 && rare_reduction < require_rare_reduction) {
+    std::fprintf(stderr,
+                 "FAIL: IS chip reduction %.0fx below required %.0fx\n",
+                 rare_reduction, require_rare_reduction);
     return 1;
   }
   return 0;
