@@ -1,0 +1,100 @@
+#pragma once
+
+// Per-cell dynamic-error simulator for an arbitrary cell weighting.
+//
+// Unlike dac::DynamicSimulator (one global binary skew, therm/binary edge
+// pair), every cell here carries its own switching-instant offset and its
+// own rise/fall asymmetry, drawn from deterministic (seed,index) streams
+// like the amplitude MC.  A per-cell skew makes the timing error
+// code-dependent — that is what turns a linear settling response into
+// distortion (Beauchamp–Chugg, arXiv 2203.08939) — so the output must be
+// analyzed as a full oversampled waveform: sampling at the end of each
+// period would see settled values and hide the effect entirely.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/weighting.hpp"
+#include "dac/spectrum.hpp"
+#include "mathx/rng.hpp"
+
+namespace csdac::arch {
+
+struct TimingParams {
+  double fs = 300e6;        ///< sample rate [S/s]
+  int oversample = 16;      ///< waveform points per sample period
+  double tau = 0.25e-9;     ///< shared settling time constant [s]
+  double sigma_t = 0.0;     ///< per-cell switching-instant skew sigma [s]
+  /// Per-cell rise/fall asymmetry sigma [s]: a cell's ON edge fires
+  /// asym/2 later and its OFF edge asym/2 earlier (asym is signed), the
+  /// classic glitch-energy mechanism of mismatched complementary switches.
+  double asym_sigma = 0.0;
+
+  /// Throws std::invalid_argument on non-finite or out-of-range values.
+  void validate() const;
+};
+
+/// One chip realization of the timing errors: per-cell edge delay and
+/// signed rise/fall asymmetry, both in seconds.
+struct CellTiming {
+  std::vector<double> dt;
+  std::vector<double> asym;
+};
+
+CellTiming ideal_cell_timing(int cells);
+CellTiming draw_cell_timing(int cells, const TimingParams& params,
+                            mathx::Xoshiro256& rng);
+
+/// All edges sit at a common nominal delay of 0.125 * ts.  A shared delay
+/// is pure LTI delay (no distortion) but keeps the signed Gaussian skews
+/// from being truncated by the t >= 0 clamp below.
+inline constexpr double kNominalEdgeFrac = 0.125;
+
+/// Edge instant of cell `c` within a sample period of length `ts`:
+/// nominal + dt + asym/2 for a turn-ON, nominal + dt - asym/2 for a
+/// turn-OFF, clamped to [0, 0.45 * ts] so edges stay inside the first half
+/// of the period.  Shared by the waveform simulator and the ETE predictor
+/// so both see exactly the same effective delays.
+double edge_time(const CellTiming& t, std::size_t c, bool turning_on,
+                 double ts);
+
+/// Event-driven waveform synthesis: per period, the switching cells are
+/// sorted by edge instant and the shared single-pole settling state is
+/// advanced between events, sampling on the oversample grid.
+class ArchSimulator {
+ public:
+  ArchSimulator(CellArray array, TimingParams params, double v_lsb);
+
+  const CellArray& array() const { return array_; }
+  const TimingParams& params() const { return params_; }
+  double v_lsb() const { return v_lsb_; }
+
+  /// Oversampled waveform (codes.size() * oversample points at rate
+  /// fs * oversample) in periodic steady state: the walk starts settled
+  /// at codes.back() and period 0 carries the wrap-around transition to
+  /// codes.front(), so a coherent record matches the DFT's periodic
+  /// extension (no start-up transient polluting the noise floor).
+  std::vector<double> waveform(const std::vector<int>& codes,
+                               const CellTiming& timing) const;
+
+  /// Glitch energy of one code transition [V*s]: integral of |v - v_ref|
+  /// over the transition period, where v_ref is the same transition with
+  /// ideal (zero-error) cell timing.  Zero timing errors give exactly 0.
+  double glitch_energy(const CellTiming& timing, int code_from,
+                       int code_to) const;
+
+  /// Spectrum of the full oversampled waveform, restricted to the
+  /// converter's own band (max_freq = fs/2) and told where the fundamental
+  /// is (`fund_cycles` coherent cycles per record).
+  dac::SpectrumResult spectrum(const std::vector<int>& codes,
+                               const CellTiming& timing,
+                               int fund_cycles) const;
+
+ private:
+  CellArray array_;
+  TimingParams params_;
+  double v_lsb_ = 0.0;
+};
+
+}  // namespace csdac::arch

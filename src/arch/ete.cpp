@@ -1,0 +1,69 @@
+#include "arch/ete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/instruments.hpp"
+
+namespace csdac::arch {
+
+EtePrediction ete_predict(const CellArray& arr, const CellTiming& timing,
+                          double v_lsb, double fs,
+                          const std::vector<int>& codes, int fund_cycles) {
+  const std::size_t n_cells = static_cast<std::size_t>(arr.cells());
+  if (timing.dt.size() != n_cells || timing.asym.size() != n_cells) {
+    throw std::invalid_argument("ete_predict: timing size != cell count");
+  }
+  if (codes.empty()) return {};
+  arch_instruments().ete_evals.add(1);
+
+  const double ts = 1.0 / fs;
+  const auto& w = arr.weights();
+  std::vector<double> record(codes.size());
+  std::vector<std::uint8_t> prev;
+  std::vector<std::uint8_t> cur;
+  // Like ArchSimulator::waveform, the record is the periodic steady
+  // state: sample 0 carries the error of the wrap-around transition from
+  // codes.back(), so coherent records have no start-up transient.
+  arr.encode(codes.back(), prev);
+  for (std::size_t k = 0; k < codes.size(); ++k) {
+    arr.encode(codes[k], cur);
+    double err = 0.0;
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      if (cur[c] == prev[c]) continue;
+      const bool on = cur[c] != 0;
+      const double te = edge_time(timing, c, on, ts);
+      const double delta = on ? 1.0 : -1.0;
+      err -= fs * delta * w[c] * v_lsb * te;
+    }
+    record[k] = static_cast<double>(codes[k]) * v_lsb + err;
+    std::swap(prev, cur);
+  }
+
+  const dac::SpectrumResult r = dac::analyze_spectrum(
+      record, fs, {}, static_cast<std::size_t>(fund_cycles));
+  EtePrediction p;
+  p.record = std::move(record);
+  p.sfdr_db = r.sfdr_db;
+  p.sndr_db = r.sndr_db;
+  return p;
+}
+
+double ete_expected_sndr_db(const CellArray& arr,
+                            const std::vector<int>& codes,
+                            const TimingParams& params) {
+  params.validate();
+  if (codes.empty()) return 300.0;
+  const auto [lo, hi] = std::minmax_element(codes.begin(), codes.end());
+  const double amp = 0.5 * (*hi - *lo);
+  const double sigma_eff2 = params.sigma_t * params.sigma_t +
+                            0.25 * params.asym_sigma * params.asym_sigma;
+  const double activity = switching_activity(arr, codes);
+  const double noise = params.fs * params.fs * sigma_eff2 * activity /
+                       static_cast<double>(codes.size());
+  if (!(noise > 0.0) || !(amp > 0.0)) return 300.0;
+  return 10.0 * std::log10(0.5 * amp * amp / noise);
+}
+
+}  // namespace csdac::arch

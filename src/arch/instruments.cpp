@@ -1,0 +1,19 @@
+#include "arch/instruments.hpp"
+
+namespace csdac::arch {
+
+ArchInstruments& arch_instruments() {
+  auto& reg = obs::Registry::global();
+  static ArchInstruments m{
+      reg.counter("arch.waveforms", "Dynamic waveform syntheses"),
+      reg.counter("arch.ete_evals", "Equivalent-timing-error predictions"),
+      reg.counter("arch.opt_searches", "Weighting optimizations run"),
+      reg.counter("arch.dyn_runs", "Dynamic-spectrum yield runs"),
+      reg.counter("arch.compare_runs", "Architecture-comparison sweeps"),
+      reg.gauge("arch.last_sfdr_db", "Mean SFDR of last dyn-spectrum run"),
+      reg.gauge("arch.last_yield", "Yield of last dyn-spectrum run"),
+  };
+  return m;
+}
+
+}  // namespace csdac::arch

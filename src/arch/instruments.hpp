@@ -1,0 +1,21 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace csdac::arch {
+
+/// Process-wide instruments for the dynamic-error architecture engine,
+/// registered once on first use (same idiom as RareInstruments).
+struct ArchInstruments {
+  obs::Counter& waveforms;     ///< waveform syntheses (ArchSimulator)
+  obs::Counter& ete_evals;     ///< equivalent-timing-error predictions
+  obs::Counter& opt_searches;  ///< optimize_weighting invocations
+  obs::Counter& dyn_runs;      ///< DynSpectrumJob executions
+  obs::Counter& compare_runs;  ///< ArchCompareJob executions
+  obs::Gauge& last_sfdr_db;    ///< mean SFDR of the last dyn-spectrum run
+  obs::Gauge& last_yield;      ///< yield of the last dyn-spectrum run
+};
+
+ArchInstruments& arch_instruments();
+
+}  // namespace csdac::arch

@@ -8,8 +8,14 @@
 namespace csdac::dac {
 
 void DynamicParams::validate() const {
-  if (!(fs > 0.0) || oversample < 2 || !(tau > 0.0) || !(rout_unit > 0.0) ||
-      !(binary_skew >= 0.0) || !(jitter_sigma >= 0.0)) {
+  // isfinite matters: +inf passes every one-sided `> 0` test but produces
+  // NaN waveforms downstream, and JSON requests can smuggle it in (1e999
+  // parses to +inf).
+  if (!std::isfinite(fs) || !(fs > 0.0) || oversample < 2 ||
+      !std::isfinite(tau) || !(tau > 0.0) || !std::isfinite(rout_unit) ||
+      !(rout_unit > 0.0) || !std::isfinite(binary_skew) ||
+      !(binary_skew >= 0.0) || !std::isfinite(jitter_sigma) ||
+      !(jitter_sigma >= 0.0) || !std::isfinite(feedthrough_lsb)) {
     throw std::invalid_argument("DynamicParams: bad values");
   }
   if (binary_skew >= 1.0 / fs) {

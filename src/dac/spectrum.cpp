@@ -6,13 +6,32 @@
 
 namespace csdac::dac {
 
+void SpectrumOptions::validate() const {
+  if (guard_bins < 0 || guard_bins > (1 << 20)) {
+    throw std::invalid_argument("SpectrumOptions: bad guard_bins");
+  }
+  if (dc_bins < 0 || dc_bins > (1 << 20)) {
+    throw std::invalid_argument("SpectrumOptions: bad dc_bins");
+  }
+  if (harmonics < 1 || harmonics > 1000) {
+    throw std::invalid_argument("SpectrumOptions: harmonics must be in [1, 1000]");
+  }
+  if (!std::isfinite(max_freq) || max_freq < 0.0) {
+    throw std::invalid_argument(
+        "SpectrumOptions: max_freq must be finite and >= 0");
+  }
+}
+
 SpectrumResult analyze_spectrum(const std::vector<double>& samples, double fs,
                                 const SpectrumOptions& opts,
                                 std::size_t fund_bin_hint) {
+  opts.validate();
   if (samples.size() < 16) {
     throw std::invalid_argument("analyze_spectrum: record too short");
   }
-  if (!(fs > 0.0)) throw std::invalid_argument("analyze_spectrum: fs <= 0");
+  if (!std::isfinite(fs) || !(fs > 0.0)) {
+    throw std::invalid_argument("analyze_spectrum: fs <= 0");
+  }
 
   const std::size_t n = samples.size();
   // Remove the WINDOW-WEIGHTED mean (zeroes bin 0 exactly; the plain mean
@@ -53,14 +72,32 @@ SpectrumResult analyze_spectrum(const std::vector<double>& samples, double fs,
   if (fund == 0 || fund >= half) {
     throw std::invalid_argument("analyze_spectrum: no fundamental found");
   }
+  if (fund <= static_cast<std::size_t>(opts.dc_bins)) {
+    throw std::invalid_argument(
+        "analyze_spectrum: fundamental inside the DC exclusion");
+  }
+  std::size_t search_limit = half;
+  if (opts.max_freq > 0.0) {
+    search_limit = std::min(
+        half, static_cast<std::size_t>(opts.max_freq / fs *
+                                       static_cast<double>(n)) + 1);
+  }
+  if (fund >= search_limit) {
+    throw std::invalid_argument(
+        "analyze_spectrum: max_freq excludes the fundamental");
+  }
 
-  // Tone power including guard bins.
+  // Tone power including guard bins.  The guard band must not reach into
+  // the DC exclusion: a wide guard around a near-DC fundamental would
+  // otherwise count DC leakage as signal power.
+  const std::size_t dc_lo = static_cast<std::size_t>(opts.dc_bins) + 1;
   auto tone_power = [&](std::size_t center) {
     double p = 0.0;
-    const std::size_t lo =
+    std::size_t lo =
         center > static_cast<std::size_t>(opts.guard_bins)
             ? center - static_cast<std::size_t>(opts.guard_bins)
             : 0;
+    lo = std::max(lo, dc_lo);
     const std::size_t hi = std::min(
         half - 1, center + static_cast<std::size_t>(opts.guard_bins));
     for (std::size_t k = lo; k <= hi; ++k) p += power[k];
@@ -87,20 +124,16 @@ SpectrumResult analyze_spectrum(const std::vector<double>& samples, double fs,
     return k + static_cast<std::size_t>(opts.guard_bins) >= fund &&
            k <= fund + static_cast<std::size_t>(opts.guard_bins);
   };
-  std::size_t search_limit = half;
-  if (opts.max_freq > 0.0) {
-    search_limit = std::min(
-        half, static_cast<std::size_t>(opts.max_freq / fs *
-                                       static_cast<double>(n)) + 1);
-  }
   // Spur integration must not swallow the fundamental's own skirt: bins
-  // inside the fundamental guard band are excluded from candidate windows.
+  // inside the fundamental guard band are excluded from candidate windows,
+  // and the window is clamped away from the DC exclusion like tone_power.
   auto spur_power = [&](std::size_t center) {
     double p = 0.0;
-    const std::size_t lo =
+    std::size_t lo =
         center > static_cast<std::size_t>(opts.guard_bins)
             ? center - static_cast<std::size_t>(opts.guard_bins)
             : 0;
+    lo = std::max(lo, dc_lo);
     const std::size_t hi = std::min(
         half - 1, center + static_cast<std::size_t>(opts.guard_bins));
     for (std::size_t k = lo; k <= hi; ++k) {

@@ -34,6 +34,10 @@ struct SpectrumOptions {
   /// Useful on oversampled DAC waveforms, where the zero-order-hold images
   /// above the converter's own Nyquist are not in-band spurs.
   double max_freq = 0.0;
+
+  /// Throws std::invalid_argument on out-of-range fields (negative guard
+  /// or DC bins, harmonics < 1, non-finite or negative max_freq).
+  void validate() const;
 };
 
 /// Analyzes a real record sampled at `fs`. The fundamental is located

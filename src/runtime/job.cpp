@@ -1,9 +1,14 @@
 #include "runtime/job.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "arch/ete.hpp"
+#include "arch/instruments.hpp"
 #include "dac/dac_model.hpp"
 #include "dac/spectrum.hpp"
+#include "mathx/rng.hpp"
 
 namespace csdac::runtime {
 
@@ -17,6 +22,8 @@ std::string_view kind_name(JobKind kind) {
     case JobKind::kInlYieldIs: return "inl_yield_is";
     case JobKind::kInlYieldStrat: return "inl_yield_strat";
     case JobKind::kInlYieldBridge: return "inl_yield_bridge";
+    case JobKind::kDynSpectrum: return "dyn_spectrum";
+    case JobKind::kArchCompare: return "arch_compare";
   }
   return "unknown";
 }
@@ -42,6 +49,12 @@ JobKind job_kind(const Job& job) {
         }
         if constexpr (std::is_same_v<T, InlYieldBridgeJob>) {
           return JobKind::kInlYieldBridge;
+        }
+        if constexpr (std::is_same_v<T, DynSpectrumJob>) {
+          return JobKind::kDynSpectrum;
+        }
+        if constexpr (std::is_same_v<T, ArchCompareJob>) {
+          return JobKind::kArchCompare;
         }
       },
       job);
@@ -188,6 +201,46 @@ void put_params(const InlYieldBridgeJob& j, mathx::ByteWriter& w) {
   w.f64(j.limit);
 }
 
+void put(const arch::TimingParams& t, mathx::ByteWriter& w) {
+  w.f64(t.fs);
+  w.i32(t.oversample);
+  w.f64(t.tau);
+  w.f64(t.sigma_t);
+  w.f64(t.asym_sigma);
+}
+
+void put_params(const DynSpectrumJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.u8(static_cast<std::uint8_t>(j.scheme));
+  w.i32(j.scheme_param);
+  put(j.timing, w);
+  w.i32(j.n_samples);
+  w.i32(j.cycles);
+  w.f64(j.sfdr_limit_db);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.boolean(j.adaptive);
+  w.i32(j.min_chips);
+  w.i32(j.batch);
+  w.f64(j.ci_half_width);
+}
+
+void put_params(const ArchCompareJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  w.f64(j.sigma_unit);
+  put(j.timing, w);
+  w.i32(j.n_samples);
+  w.i32(j.cycles);
+  w.i32(j.chips);
+  w.i32(j.dyn_chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+  w.i32(j.seg_lo);
+  w.i32(j.seg_hi);
+  w.boolean(j.include_unary);
+  w.i32(j.opt_cells);
+}
+
 // Result payload codec. Each kind carries its own schema version so a
 // result-format change invalidates only that kind's entries (the reader
 // rejects, the caller recomputes and overwrites).
@@ -198,6 +251,8 @@ constexpr std::uint8_t kSpectrumResultV = 1;
 constexpr std::uint8_t kIsResultV = 1;
 constexpr std::uint8_t kStratResultV = 1;
 constexpr std::uint8_t kBridgeResultV = 1;
+constexpr std::uint8_t kDynSpectrumResultV = 1;
+constexpr std::uint8_t kArchCompareResultV = 1;
 
 }  // namespace
 
@@ -271,6 +326,30 @@ void encode_value(const JobValue& value, mathx::ByteWriter& w) {
           w.f64(v.yield);
           w.f64(v.c);
           w.f64(v.sigma_inl);
+        } else if constexpr (std::is_same_v<T, DynSpectrumResult>) {
+          w.u8(kDynSpectrumResultV);
+          w.i64(v.chips);
+          w.i64(v.pass);
+          w.f64(v.yield);
+          w.f64(v.ci95);
+          w.f64(v.sfdr_mean_db);
+          w.f64(v.sfdr_min_db);
+          w.f64(v.sndr_mean_db);
+          w.f64(v.ete_sfdr_mean_db);
+          w.i32(v.cells);
+        } else if constexpr (std::is_same_v<T, ArchCompareResult>) {
+          w.u8(kArchCompareResultV);
+          w.u32(static_cast<std::uint32_t>(v.points.size()));
+          for (const auto& p : v.points) {
+            w.u8(p.scheme);
+            w.i32(p.param);
+            w.i32(p.cells);
+            w.f64(p.inl_yield);
+            w.f64(p.inl_ci95);
+            w.f64(p.sfdr_db);
+            w.f64(p.ete_sfdr_db);
+            w.f64(p.activity);
+          }
         }
       },
       value);
@@ -361,6 +440,41 @@ bool decode_value(JobKind kind, mathx::ByteReader& r, JobValue& out) {
       v.c = r.f64();
       v.sigma_inl = r.f64();
       out = v;
+      break;
+    }
+    case JobKind::kDynSpectrum: {
+      if (r.u8() != kDynSpectrumResultV) return false;
+      DynSpectrumResult v;
+      v.chips = r.i64();
+      v.pass = r.i64();
+      v.yield = r.f64();
+      v.ci95 = r.f64();
+      v.sfdr_mean_db = r.f64();
+      v.sfdr_min_db = r.f64();
+      v.sndr_mean_db = r.f64();
+      v.ete_sfdr_mean_db = r.f64();
+      v.cells = r.i32();
+      out = v;
+      break;
+    }
+    case JobKind::kArchCompare: {
+      if (r.u8() != kArchCompareResultV) return false;
+      ArchCompareResult v;
+      const std::uint32_t n = r.u32();
+      // Bytes per encoded ArchPoint: u8 scheme + 2 * i32 + 5 * f64.
+      if (n > r.remaining() / (5 * 8 + 2 * 4 + 1)) return false;
+      v.points.resize(n);
+      for (auto& p : v.points) {
+        p.scheme = r.u8();
+        p.param = r.i32();
+        p.cells = r.i32();
+        p.inl_yield = r.f64();
+        p.inl_ci95 = r.f64();
+        p.sfdr_db = r.f64();
+        p.ete_sfdr_db = r.f64();
+        p.activity = r.f64();
+      }
+      out = std::move(v);
       break;
     }
     default: return false;
@@ -523,6 +637,234 @@ JobValue run_inl_yield_bridge(const InlYieldBridgeJob& j, int threads,
   return r;
 }
 
+/// Resolves the scheme-param defaults against the spec: segmented 0 means
+/// the spec's own binary split; optimized 0 means "same cell count as the
+/// spec's segmented architecture" so comparisons stay cell- and
+/// area-matched.
+arch::WeightingScheme resolve_weighting(const core::DacSpec& spec,
+                                        arch::WeightingKind kind, int param) {
+  int p = param;
+  if (kind == arch::WeightingKind::kSegmented && p == 0) p = spec.binary_bits;
+  if (kind == arch::WeightingKind::kOptimized && p == 0) {
+    const int b = spec.binary_bits;
+    p = ((1 << (spec.nbits - b)) - 1) + b;
+  }
+  if ((kind == arch::WeightingKind::kBinary ||
+       kind == arch::WeightingKind::kUnary) &&
+      p != 0) {
+    throw std::invalid_argument("weighting scheme takes no parameter");
+  }
+  return arch::make_weighting(kind, spec.nbits, p);
+}
+
+void check_record_shape(int n_samples, int cycles) {
+  if (n_samples < 32 || cycles < 1 || cycles >= n_samples / 2) {
+    throw std::invalid_argument("arch job: bad record shape");
+  }
+}
+
+JobValue run_dyn_spectrum(const DynSpectrumJob& j, int threads,
+                          mathx::RunStats* stats) {
+  j.spec.validate();
+  j.timing.validate();
+  check_record_shape(j.n_samples, j.cycles);
+  if (j.chips < 1 || (j.adaptive && (j.min_chips < 1 || j.batch < 1))) {
+    throw std::invalid_argument("dyn_spectrum job: bad chip counts");
+  }
+  const arch::CellArray arr(
+      resolve_weighting(j.spec, j.scheme, j.scheme_param));
+  const double v_lsb = j.spec.i_lsb() * j.spec.r_load;
+  const arch::ArchSimulator sim(arr, j.timing, v_lsb);
+  const std::vector<int> codes =
+      dac::sine_codes(j.spec, j.n_samples, j.cycles);
+
+  // Per-chip metrics land in index-addressed slots, so the means below are
+  // reduced sequentially in chip order — bit-identical for any thread
+  // count, like every other cached job.
+  std::vector<double> sfdr(static_cast<std::size_t>(j.chips), 0.0);
+  std::vector<double> sndr(static_cast<std::size_t>(j.chips), 0.0);
+  std::vector<double> ete(static_cast<std::size_t>(j.chips), 0.0);
+  const auto item = [&](std::int64_t i) -> bool {
+    mathx::Xoshiro256 rng =
+        mathx::stream_rng(j.seed, static_cast<std::uint64_t>(i));
+    const arch::CellTiming t =
+        arch::draw_cell_timing(arr.cells(), j.timing, rng);
+    const dac::SpectrumResult s = sim.spectrum(codes, t, j.cycles);
+    const arch::EtePrediction p =
+        arch::ete_predict(arr, t, v_lsb, j.timing.fs, codes, j.cycles);
+    const auto slot = static_cast<std::size_t>(i);
+    sfdr[slot] = s.sfdr_db;
+    sndr[slot] = s.sndr_db;
+    ete[slot] = p.sfdr_db;
+    return s.sfdr_db >= j.sfdr_limit_db;
+  };
+  mathx::EarlyStopOptions o;
+  o.max_items = j.chips;
+  o.min_items = j.adaptive
+                    ? std::min<std::int64_t>(j.min_chips, j.chips)
+                    : j.chips;
+  o.batch = j.adaptive ? j.batch : j.chips;
+  o.ci_half_width = j.adaptive ? j.ci_half_width : 0.0;
+  const mathx::YieldRun y = mathx::adaptive_yield_run(o, threads, item);
+  dac::detail::count_chip_evals(y.evaluated);
+
+  DynSpectrumResult r;
+  r.chips = y.evaluated;
+  r.pass = y.passed;
+  r.yield = y.yield;
+  r.ci95 = y.ci95;
+  r.cells = arr.cells();
+  r.sfdr_min_db = sfdr[0];
+  double sfdr_sum = 0.0, sndr_sum = 0.0, ete_sum = 0.0;
+  for (std::int64_t i = 0; i < y.evaluated; ++i) {
+    const auto slot = static_cast<std::size_t>(i);
+    sfdr_sum += sfdr[slot];
+    sndr_sum += sndr[slot];
+    ete_sum += ete[slot];
+    r.sfdr_min_db = std::min(r.sfdr_min_db, sfdr[slot]);
+  }
+  const double denom = static_cast<double>(y.evaluated);
+  r.sfdr_mean_db = sfdr_sum / denom;
+  r.sndr_mean_db = sndr_sum / denom;
+  r.ete_sfdr_mean_db = ete_sum / denom;
+  if (stats) *stats = y.stats;
+
+  auto& m = arch::arch_instruments();
+  m.dyn_runs.add(1);
+  m.last_sfdr_db.set(r.sfdr_mean_db);
+  m.last_yield.set(r.yield);
+  return r;
+}
+
+JobValue run_arch_compare(const ArchCompareJob& j, int threads,
+                          mathx::RunStats* stats) {
+  j.spec.validate();
+  j.timing.validate();
+  check_record_shape(j.n_samples, j.cycles);
+  if (j.chips < 1 || j.dyn_chips < 1) {
+    throw std::invalid_argument("arch_compare job: bad chip counts");
+  }
+  if (!std::isfinite(j.sigma_unit) || j.sigma_unit < 0.0) {
+    throw std::invalid_argument("arch_compare job: bad sigma_unit");
+  }
+  if (j.seg_lo < 1 || j.seg_hi < j.seg_lo || j.seg_hi >= j.spec.nbits) {
+    throw std::invalid_argument("arch_compare job: bad segment range");
+  }
+
+  std::vector<arch::WeightingScheme> schemes;
+  schemes.push_back(arch::make_weighting(arch::WeightingKind::kBinary,
+                                         j.spec.nbits));
+  if (j.include_unary) {
+    schemes.push_back(arch::make_weighting(arch::WeightingKind::kUnary,
+                                           j.spec.nbits));
+  }
+  for (int b = j.seg_lo; b <= j.seg_hi; ++b) {
+    schemes.push_back(arch::make_weighting(arch::WeightingKind::kSegmented,
+                                           j.spec.nbits, b));
+  }
+  schemes.push_back(resolve_weighting(j.spec, arch::WeightingKind::kOptimized,
+                                      j.opt_cells));
+
+  const std::vector<int> codes =
+      dac::sine_codes(j.spec, j.n_samples, j.cycles);
+  const double v_lsb = j.spec.i_lsb() * j.spec.r_load;
+  const int total_units = (1 << j.spec.nbits) - 1;
+  const int n_codes = 1 << j.spec.nbits;
+
+  ArchCompareResult res;
+  std::int64_t total_evals = 0;
+  int run_threads = 1;
+  for (std::size_t a = 0; a < schemes.size(); ++a) {
+    const arch::CellArray arr(schemes[a]);
+    ArchPoint p;
+    p.scheme = static_cast<std::uint8_t>(arr.scheme().kind);
+    p.param = arr.scheme().param;
+    p.cells = arr.cells();
+    p.activity = arch::switching_activity(arr, codes);
+
+    // Cell c spans the unit interval [offset[c], offset[c+1]) of a shared
+    // per-chip unit-error pool: every architecture sees the SAME wafer
+    // (common random numbers), so yield differences between schemes are
+    // not resampling noise.
+    const auto& w = arr.weights();
+    std::vector<int> offset(w.size() + 1, 0);
+    for (std::size_t c = 0; c < w.size(); ++c) offset[c + 1] = offset[c] + w[c];
+
+    struct Ws {
+      std::vector<double> prefix;
+      std::vector<double> levels;
+      std::vector<std::uint8_t> on;
+    };
+    std::vector<std::uint8_t> pass(static_cast<std::size_t>(j.chips), 0);
+    const mathx::RunStats rs = mathx::parallel_for_workspace(
+        j.chips, threads,
+        [&] {
+          Ws ws;
+          ws.prefix.resize(static_cast<std::size_t>(total_units) + 1);
+          ws.levels.resize(static_cast<std::size_t>(n_codes));
+          return ws;
+        },
+        [&](Ws& ws, std::int64_t chip) {
+          mathx::Xoshiro256 rng =
+              mathx::stream_rng(j.seed, static_cast<std::uint64_t>(chip));
+          ws.prefix[0] = 0.0;
+          for (int u = 0; u < total_units; ++u) {
+            ws.prefix[static_cast<std::size_t>(u) + 1] =
+                ws.prefix[static_cast<std::size_t>(u)] +
+                j.sigma_unit * mathx::normal(rng);
+          }
+          for (int code = 0; code < n_codes; ++code) {
+            arr.encode(code, ws.on);
+            double level = 0.0;
+            for (std::size_t c = 0; c < w.size(); ++c) {
+              if (!ws.on[c]) continue;
+              level += w[c] +
+                       (ws.prefix[static_cast<std::size_t>(offset[c + 1])] -
+                        ws.prefix[static_cast<std::size_t>(offset[c])]);
+            }
+            ws.levels[static_cast<std::size_t>(code)] = level;
+          }
+          const dac::StaticSummary s = dac::analyze_levels_summary(
+              ws.levels, dac::InlReference::kBestFit);
+          dac::detail::count_chip_eval();
+          pass[static_cast<std::size_t>(chip)] = s.inl_max < j.limit ? 1 : 0;
+        });
+    run_threads = std::max(run_threads, rs.threads);
+    total_evals += j.chips;
+    std::int64_t passed = 0;
+    for (std::uint8_t f : pass) passed += f;
+    p.inl_yield = static_cast<double>(passed) / j.chips;
+    p.inl_ci95 = mathx::wilson_half_width(passed, j.chips);
+
+    // Timing MC on a distinct stream lane (per-architecture cell counts
+    // differ, so timing draws cannot be shared across schemes).
+    const arch::ArchSimulator sim(arr, j.timing, v_lsb);
+    double sfdr_sum = 0.0, ete_sum = 0.0;
+    for (int d = 0; d < j.dyn_chips; ++d) {
+      mathx::Xoshiro256 rng = mathx::stream_rng(
+          j.seed ^ 0x74696d696e67ULL,
+          (static_cast<std::uint64_t>(a) << 32) |
+              static_cast<std::uint64_t>(d));
+      const arch::CellTiming t =
+          arch::draw_cell_timing(arr.cells(), j.timing, rng);
+      sfdr_sum += sim.spectrum(codes, t, j.cycles).sfdr_db;
+      ete_sum +=
+          arch::ete_predict(arr, t, v_lsb, j.timing.fs, codes, j.cycles)
+              .sfdr_db;
+    }
+    p.sfdr_db = sfdr_sum / j.dyn_chips;
+    p.ete_sfdr_db = ete_sum / j.dyn_chips;
+    total_evals += j.dyn_chips;
+    res.points.push_back(p);
+  }
+  if (stats) {
+    stats->evaluated = total_evals;
+    stats->threads = run_threads;
+  }
+  arch::arch_instruments().compare_runs.add(1);
+  return res;
+}
+
 }  // namespace
 
 JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
@@ -543,6 +885,10 @@ JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
           return run_inl_yield_strat(j, threads, stats);
         } else if constexpr (std::is_same_v<T, InlYieldBridgeJob>) {
           return run_inl_yield_bridge(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, DynSpectrumJob>) {
+          return run_dyn_spectrum(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, ArchCompareJob>) {
+          return run_arch_compare(j, threads, stats);
         } else {
           return run_spectrum(j, threads, stats);
         }

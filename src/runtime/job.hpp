@@ -12,6 +12,8 @@
 #include <variant>
 #include <vector>
 
+#include "arch/dyn_sim.hpp"
+#include "arch/weighting.hpp"
 #include "core/explorer.hpp"
 #include "core/spec.hpp"
 #include "dac/calibration.hpp"
@@ -39,6 +41,8 @@ enum class JobKind : std::uint8_t {
   kInlYieldIs = 6,
   kInlYieldStrat = 7,
   kInlYieldBridge = 8,
+  kDynSpectrum = 9,
+  kArchCompare = 10,
 };
 
 std::string_view kind_name(JobKind kind);
@@ -139,9 +143,54 @@ struct InlYieldBridgeJob {
   double limit = 0.5;
 };
 
+/// Mismatch-MC yield over the timing-limited SFDR of an arbitrary cell
+/// weighting (arch::ArchSimulator): each chip draws per-cell skew and
+/// rise/fall asymmetry from the (seed, chip) stream, synthesizes the
+/// oversampled waveform, and passes when in-band SFDR >= sfdr_limit_db.
+/// The ETE prediction runs on the same draws as a cross-check. With
+/// `adaptive`, Wilson-CI early stopping as in InlYieldJob.
+struct DynSpectrumJob {
+  core::DacSpec spec;
+  arch::WeightingKind scheme = arch::WeightingKind::kSegmented;
+  /// Segmented: binary split (0 = spec default). Optimized: cell budget
+  /// (0 = match the default segmented cell count). Binary/unary: must be 0.
+  int scheme_param = 0;
+  arch::TimingParams timing;
+  int n_samples = 256;
+  int cycles = 21;  ///< coprime with n_samples for coherent capture
+  double sfdr_limit_db = 60.0;
+  int chips = 32;
+  std::uint64_t seed = 0;
+  bool adaptive = false;
+  int min_chips = 8;
+  int batch = 8;
+  double ci_half_width = 0.0;
+};
+
+/// Architecture-comparison sweep: binary, segmented splits in
+/// [seg_lo, seg_hi], optionally unary, and the optimized weighting, each
+/// reporting amplitude-INL yield (common-random-numbers unit pool shared
+/// across architectures) and timing-limited SFDR side by side.
+struct ArchCompareJob {
+  core::DacSpec spec;
+  double sigma_unit = 0.0;  ///< relative unit-current mismatch sigma
+  arch::TimingParams timing;
+  int n_samples = 256;
+  int cycles = 21;
+  int chips = 200;     ///< amplitude-INL MC chips per architecture
+  int dyn_chips = 4;   ///< timing-MC waveform draws per architecture
+  std::uint64_t seed = 0;
+  double limit = 0.5;  ///< INL pass limit [LSB]
+  int seg_lo = 2;
+  int seg_hi = 6;
+  bool include_unary = false;
+  int opt_cells = 0;  ///< 0 = match the default segmented cell count
+};
+
 using Job = std::variant<InlYieldJob, CalYieldJob, SweepBasicJob,
                          SweepCascodeJob, SpectrumJob, InlYieldIsJob,
-                         InlYieldStratJob, InlYieldBridgeJob>;
+                         InlYieldStratJob, InlYieldBridgeJob, DynSpectrumJob,
+                         ArchCompareJob>;
 
 JobKind job_kind(const Job& job);
 
@@ -197,9 +246,37 @@ struct BridgeYieldResult {
   double sigma_inl = 0.0;  ///< bridge scale [LSB]
 };
 
+struct DynSpectrumResult {
+  std::int64_t chips = 0;  ///< chips actually evaluated
+  std::int64_t pass = 0;
+  double yield = 0.0;
+  double ci95 = 0.0;
+  double sfdr_mean_db = 0.0;  ///< waveform-MC mean in-band SFDR
+  double sfdr_min_db = 0.0;
+  double sndr_mean_db = 0.0;
+  double ete_sfdr_mean_db = 0.0;  ///< ETE-predicted mean SFDR (cross-check)
+  std::int32_t cells = 0;         ///< resolved cell count of the weighting
+};
+
+struct ArchPoint {
+  std::uint8_t scheme = 0;  ///< arch::WeightingKind
+  std::int32_t param = 0;   ///< resolved split / cell budget
+  std::int32_t cells = 0;
+  double inl_yield = 0.0;
+  double inl_ci95 = 0.0;
+  double sfdr_db = 0.0;      ///< mean waveform-MC SFDR over dyn_chips
+  double ete_sfdr_db = 0.0;  ///< mean ETE-predicted SFDR, same draws
+  double activity = 0.0;     ///< timing-distortion proxy sum w^2 N
+};
+
+struct ArchCompareResult {
+  std::vector<ArchPoint> points;
+};
+
 using JobValue =
     std::variant<YieldResult, CalYieldResult, SweepResult, SpectrumSummary,
-                 IsYieldResult, StratYieldResult, BridgeYieldResult>;
+                 IsYieldResult, StratYieldResult, BridgeYieldResult,
+                 DynSpectrumResult, ArchCompareResult>;
 
 // --- Key and result codec --------------------------------------------------
 

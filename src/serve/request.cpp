@@ -1,5 +1,9 @@
 #include "serve/request.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "arch/weighting.hpp"
 #include "core/accuracy.hpp"
 #include "tech/tech.hpp"
 
@@ -17,6 +21,20 @@ std::int64_t bounded_int(const runtime::JsonValue& job, std::string_view key,
   if (v < lo || v > hi) {
     bad_job("'" + std::string(key) + "' out of range [" + std::to_string(lo) +
             ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+/// Range- and finiteness-checked number field. JSON cannot spell inf/nan
+/// literally, but "1e999" parses to +inf — without this check such a value
+/// sails through every one-sided comparison and asserts server-side
+/// instead of answering a structured error.
+double bounded_number(const runtime::JsonValue& job, std::string_view key,
+                      double def, double lo, double hi) {
+  const double v = job.number_or(key, def);
+  if (!std::isfinite(v) || v < lo || v > hi) {
+    bad_job("'" + std::string(key) + "' must be a finite number in [" +
+            std::to_string(lo) + ", " + std::to_string(hi) + "]");
   }
   return v;
 }
@@ -94,6 +112,45 @@ tech::MosTechParams parse_tech(const runtime::JsonValue& job) {
   bad_job("bad tech '" + t + "'");
 }
 
+/// Shared parse of the arch-job timing fields + record shape. The waveform
+/// cost is n_samples * oversample points per chip, so both are capped and
+/// their product is checked against the same ceiling as "spectrum".
+arch::TimingParams parse_timing(const runtime::JsonValue& job,
+                                int n_samples) {
+  arch::TimingParams t;
+  t.fs = bounded_number(job, "fs", t.fs, 1.0, 1e12);
+  t.oversample =
+      static_cast<int>(bounded_int(job, "oversample", t.oversample, 2, 256));
+  t.tau = bounded_number(job, "tau", t.tau, 1e-15, 1.0);
+  t.sigma_t = bounded_number(job, "sigma_t", 0.0, 0.0, 1.0);
+  t.asym_sigma = bounded_number(job, "asym_sigma", 0.0, 0.0, 1.0);
+  try {
+    t.validate();  // cross-field rules (sigma vs period)
+  } catch (const std::exception& e) {
+    bad_job(std::string("bad timing params: ") + e.what());
+  }
+  if (static_cast<std::int64_t>(n_samples) * t.oversample > kMaxWavePoints) {
+    bad_job("n_samples * oversample exceeds the waveform ceiling");
+  }
+  return t;
+}
+
+/// Record shape shared by dyn_spectrum / arch_compare: cycles must leave
+/// the fundamental strictly inside the first Nyquist zone.
+int parse_cycles(const runtime::JsonValue& job, int n_samples, int def) {
+  return static_cast<int>(
+      bounded_int(job, "cycles", def, 1, n_samples / 2 - 1));
+}
+
+arch::WeightingKind parse_scheme(const runtime::JsonValue& job) {
+  const std::string s = job.string_or("scheme", "segmented");
+  arch::WeightingKind kind;
+  if (!arch::parse_weighting_kind(s, kind)) {
+    bad_job("bad scheme '" + s + "'");
+  }
+  return kind;
+}
+
 }  // namespace
 
 runtime::Job parse_job(const runtime::JsonValue& job) {
@@ -163,17 +220,29 @@ runtime::Job parse_job(const runtime::JsonValue& job) {
     // matching effects with sigma_mult/sigma_unit.
     j.sigma_unit = parse_sigma(job, spec, 0.0);
     j.seed = static_cast<std::uint64_t>(job.int_or("seed", 2003));
-    j.dyn.fs = job.number_or("fs", j.dyn.fs);
+    j.dyn.fs = bounded_number(job, "fs", j.dyn.fs, 1.0, 1e12);
     j.dyn.oversample = static_cast<int>(
-        bounded_int(job, "oversample", j.dyn.oversample, 1, 256));
-    j.dyn.tau = job.number_or("tau", j.dyn.tau);
-    j.dyn.rout_unit = job.number_or("rout_unit", j.dyn.rout_unit);
-    j.dyn.binary_skew = job.number_or("binary_skew", j.dyn.binary_skew);
-    j.dyn.jitter_sigma = job.number_or("jitter_sigma", j.dyn.jitter_sigma);
-    j.dyn.feedthrough_lsb =
-        job.number_or("feedthrough_lsb", j.dyn.feedthrough_lsb);
+        bounded_int(job, "oversample", j.dyn.oversample, 2, 256));
+    j.dyn.tau = bounded_number(job, "tau", j.dyn.tau, 1e-15, 1.0);
+    j.dyn.rout_unit =
+        bounded_number(job, "rout_unit", j.dyn.rout_unit, 1e-3, 1e18);
+    j.dyn.binary_skew =
+        bounded_number(job, "binary_skew", j.dyn.binary_skew, 0.0, 1.0);
+    j.dyn.jitter_sigma =
+        bounded_number(job, "jitter_sigma", j.dyn.jitter_sigma, 0.0, 1.0);
+    j.dyn.feedthrough_lsb = bounded_number(job, "feedthrough_lsb",
+                                           j.dyn.feedthrough_lsb, -1e3, 1e3);
+    try {
+      j.dyn.validate();  // cross-field rules (skew vs period, ...)
+    } catch (const std::exception& e) {
+      bad_job(std::string("bad dynamic params: ") + e.what());
+    }
     j.n_samples = static_cast<int>(
         bounded_int(job, "n_samples", j.n_samples, 8, kMaxSamples));
+    if (static_cast<std::int64_t>(j.n_samples) * j.dyn.oversample >
+        kMaxWavePoints) {
+      bad_job("n_samples * oversample exceeds the waveform ceiling");
+    }
     j.cycles = static_cast<int>(
         bounded_int(job, "cycles", j.cycles, 1, kMaxSamples));
     j.differential = job.bool_or("differential", true);
@@ -209,6 +278,82 @@ runtime::Job parse_job(const runtime::JsonValue& job) {
     j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
     j.limit = job.number_or("limit", 0.5);
     j.ref = parse_ref(job);
+    return j;
+  }
+  if (kind == "dyn_spectrum") {
+    runtime::DynSpectrumJob j;
+    j.spec = spec;
+    if (spec.nbits > kMaxArchBits) {
+      bad_job("dyn_spectrum supports nbits <= " +
+              std::to_string(kMaxArchBits));
+    }
+    j.scheme = parse_scheme(job);
+    j.scheme_param = static_cast<int>(
+        bounded_int(job, "scheme_param", 0, 0, (1 << spec.nbits) - 1));
+    if ((j.scheme == arch::WeightingKind::kBinary ||
+         j.scheme == arch::WeightingKind::kUnary) &&
+        j.scheme_param != 0) {
+      bad_job("scheme_param only applies to segmented/optimized schemes");
+    }
+    if (j.scheme == arch::WeightingKind::kSegmented &&
+        j.scheme_param >= spec.nbits) {
+      bad_job("segmented scheme_param must be < nbits");
+    }
+    if (j.scheme == arch::WeightingKind::kOptimized &&
+        j.scheme_param != 0 && j.scheme_param < spec.nbits) {
+      bad_job("optimized scheme_param (cell budget) must be >= nbits");
+    }
+    j.n_samples = static_cast<int>(
+        bounded_int(job, "n_samples", j.n_samples, 32, kMaxDynSamples));
+    j.cycles = parse_cycles(job, j.n_samples, j.cycles);
+    j.timing = parse_timing(job, j.n_samples);
+    j.sfdr_limit_db =
+        bounded_number(job, "sfdr_limit_db", j.sfdr_limit_db, 0.0, 200.0);
+    j.chips =
+        static_cast<int>(bounded_int(job, "chips", j.chips, 1, kMaxDynChips));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.adaptive = job.bool_or("adaptive", false);
+    j.min_chips = static_cast<int>(
+        bounded_int(job, "min_chips", j.min_chips, 1, kMaxDynChips));
+    j.batch = static_cast<int>(
+        bounded_int(job, "batch", j.batch, 1, kMaxDynChips));
+    j.ci_half_width =
+        bounded_number(job, "ci_half_width", j.ci_half_width, 0.0, 1.0);
+    return j;
+  }
+  if (kind == "arch_compare") {
+    runtime::ArchCompareJob j;
+    j.spec = spec;
+    if (spec.nbits > kMaxArchBits) {
+      bad_job("arch_compare supports nbits <= " +
+              std::to_string(kMaxArchBits));
+    }
+    j.sigma_unit = parse_sigma(job, spec, 1.0);
+    j.n_samples = static_cast<int>(
+        bounded_int(job, "n_samples", j.n_samples, 32, kMaxDynSamples));
+    j.cycles = parse_cycles(job, j.n_samples, j.cycles);
+    j.timing = parse_timing(job, j.n_samples);
+    j.chips = static_cast<int>(
+        bounded_int(job, "chips", j.chips, 1, kMaxArchChips));
+    j.dyn_chips = static_cast<int>(
+        bounded_int(job, "dyn_chips", j.dyn_chips, 1, 64));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = bounded_number(job, "limit", j.limit, 1e-6, 1e3);
+    j.seg_lo = static_cast<int>(
+        bounded_int(job, "seg_lo", j.seg_lo, 1, spec.nbits - 1));
+    j.seg_hi = static_cast<int>(
+        bounded_int(job, "seg_hi", std::min(j.seg_hi, spec.nbits - 1), 1,
+                    spec.nbits - 1));
+    if (j.seg_hi < j.seg_lo) bad_job("seg_hi must be >= seg_lo");
+    j.include_unary = job.bool_or("include_unary", false);
+    if (j.include_unary && spec.nbits > 10) {
+      bad_job("include_unary supports nbits <= 10 (cell count explodes)");
+    }
+    j.opt_cells = static_cast<int>(
+        bounded_int(job, "opt_cells", 0, 0, (1 << spec.nbits) - 1));
+    if (j.opt_cells != 0 && j.opt_cells < spec.nbits) {
+      bad_job("opt_cells must be 0 (default) or >= nbits");
+    }
     return j;
   }
   if (kind == "inl_yield_bridge") {

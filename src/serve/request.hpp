@@ -32,6 +32,13 @@ inline constexpr std::int64_t kMaxSamples = 1 << 22;
 inline constexpr std::int64_t kMaxStrata = 4096;
 inline constexpr std::int64_t kMaxIsModes = 64;
 inline constexpr double kMaxSigmaScale = 8.0;
+// Arch jobs synthesize oversampled waveforms (n_samples * oversample
+// points each), so their ceilings are much tighter than the static MC's.
+inline constexpr std::int64_t kMaxDynChips = 4096;
+inline constexpr std::int64_t kMaxArchChips = 10'000;
+inline constexpr std::int64_t kMaxDynSamples = 1 << 14;
+inline constexpr std::int64_t kMaxWavePoints = 1 << 20;
+inline constexpr std::int64_t kMaxArchBits = 14;
 
 /// Request-level failure with a stable error code for the wire protocol:
 /// "bad_json", "bad_schema", "bad_request" (request envelope), or

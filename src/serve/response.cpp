@@ -3,6 +3,7 @@
 #include <optional>
 #include <type_traits>
 
+#include "arch/weighting.hpp"
 #include "core/explorer.hpp"
 
 namespace csdac::serve {
@@ -70,6 +71,34 @@ void emit_result(bench::JsonWriter& w, const runtime::JobValue& value) {
           w.field("yield", v.yield);
           w.field("c", v.c);
           w.field("sigma_inl", v.sigma_inl);
+        } else if constexpr (std::is_same_v<T, runtime::DynSpectrumResult>) {
+          w.field("chips", v.chips);
+          w.field("pass", v.pass);
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+          w.field("sfdr_mean_db", v.sfdr_mean_db);
+          w.field("sfdr_min_db", v.sfdr_min_db);
+          w.field("sndr_mean_db", v.sndr_mean_db);
+          w.field("ete_sfdr_mean_db", v.ete_sfdr_mean_db);
+          w.field("cells", static_cast<std::int64_t>(v.cells));
+        } else if constexpr (std::is_same_v<T, runtime::ArchCompareResult>) {
+          w.field("points", static_cast<std::int64_t>(v.points.size()));
+          w.key("architectures").begin_array();
+          for (const auto& p : v.points) {
+            w.begin_object();
+            w.field("scheme",
+                    arch::weighting_name(
+                        static_cast<arch::WeightingKind>(p.scheme)));
+            w.field("param", static_cast<std::int64_t>(p.param));
+            w.field("cells", static_cast<std::int64_t>(p.cells));
+            w.field("inl_yield", p.inl_yield);
+            w.field("inl_ci95", p.inl_ci95);
+            w.field("sfdr_db", p.sfdr_db);
+            w.field("ete_sfdr_db", p.ete_sfdr_db);
+            w.field("activity", p.activity);
+            w.end_object();
+          }
+          w.end_array();
         }
       },
       value);

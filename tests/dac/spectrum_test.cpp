@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "dac/dynamic.hpp"
@@ -196,6 +197,89 @@ TEST(Spectrum, InputValidation) {
   EXPECT_THROW(analyze_spectrum({1.0, 2.0}, 1e6), std::invalid_argument);
   auto v = tone(64, 5, 1.0);
   EXPECT_THROW(analyze_spectrum(v, 0.0), std::invalid_argument);
+  EXPECT_THROW(analyze_spectrum(v, std::nan("")), std::invalid_argument);
+}
+
+TEST(Spectrum, OptionsValidateRejectsBadFields) {
+  auto v = tone(64, 5, 1.0);
+  SpectrumOptions o;
+  o.guard_bins = -1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  EXPECT_THROW(analyze_spectrum(v, 1e6, o), std::invalid_argument);
+  o = SpectrumOptions{};
+  o.dc_bins = -1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = SpectrumOptions{};
+  o.harmonics = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = SpectrumOptions{};
+  o.harmonics = 5000;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = SpectrumOptions{};
+  o.max_freq = -1.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = SpectrumOptions{};
+  o.max_freq = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(SpectrumOptions{}.validate());
+}
+
+TEST(Spectrum, MaxFreqBelowFundamentalThrows) {
+  // fundamental at bin 53 of 1024 at 300 MHz -> 15.5 MHz; an analysis
+  // band capped at 10 MHz cannot see it and must say so instead of
+  // silently reporting a spur-free band.
+  auto v = tone(1024, 53, 1.0);
+  SpectrumOptions o;
+  o.max_freq = 10e6;
+  EXPECT_THROW(analyze_spectrum(v, 300e6, o, 53), std::invalid_argument);
+  // The same record passes once the band reaches past the fundamental.
+  o.max_freq = 20e6;
+  EXPECT_NO_THROW(analyze_spectrum(v, 300e6, o, 53));
+}
+
+TEST(Spectrum, FundamentalInsideDcExclusionThrows) {
+  auto v = tone(1024, 3, 1.0);
+  SpectrumOptions o;
+  o.dc_bins = 4;  // swallows bin 3
+  EXPECT_THROW(analyze_spectrum(v, 300e6, o, 3), std::invalid_argument);
+  o.dc_bins = 2;
+  EXPECT_NO_THROW(analyze_spectrum(v, 300e6, o, 3));
+}
+
+TEST(Spectrum, FundamentalGuardMustNotSwallowDcLeakage) {
+  // A strong component right above DC (bin 1) with the fundamental at
+  // bin 2 and a wide guard band: the guard must clamp at the DC
+  // exclusion instead of counting bin 1 (and bin 0) as signal power.
+  const std::size_t n = 256;
+  auto v = tone(n, 2, 1.0);
+  const auto near_dc = tone(n, 1, 10.0);  // 20 dB above the fundamental
+  for (std::size_t i = 0; i < n; ++i) v[i] += near_dc[i];
+  const auto spur = tone(n, 30, 0.01);  // -40 dBc reference spur
+  for (std::size_t i = 0; i < n; ++i) v[i] += spur[i];
+  SpectrumOptions o;
+  o.guard_bins = 2;
+  o.dc_bins = 1;  // bin 1 is "DC junk", bin 2 is the signal
+  const auto r = analyze_spectrum(v, 1e6, o, 2);
+  // Tone power must reflect the unit-amplitude fundamental alone: the
+  // known -40 dBc spur reads -40 dB. If the guard window leaked the 10x
+  // near-DC component into p_fund it would read -60 dB instead.
+  EXPECT_NEAR(r.mag_db[30], -40.0, 0.5);
+  EXPECT_NEAR(r.sfdr_db, 40.0, 0.5);
+}
+
+TEST(Spectrum, HarmonicAliasingFoldsPastNyquist) {
+  // Fundamental at bin 100 of 256: its 2nd harmonic (bin 200) lives past
+  // Nyquist (128) and must fold back to bin 256 - 200 = 56 in the THD
+  // accumulation.
+  const std::size_t n = 256;
+  auto v = tone(n, 100, 1.0);
+  const auto h2 = tone(n, 56, 0.01);  // folded 2nd harmonic, -40 dBc
+  for (std::size_t i = 0; i < n; ++i) v[i] += h2[i];
+  SpectrumOptions o;
+  o.harmonics = 3;
+  const auto r = analyze_spectrum(v, 1e6, o, 100);
+  EXPECT_NEAR(r.thd_db, -40.0, 0.5);
+  EXPECT_NEAR(r.sfdr_db, 40.0, 0.5);
 }
 
 }  // namespace

@@ -137,5 +137,59 @@ TEST(WindowFn, BlackmanHarrisEdgesNearZero) {
   EXPECT_NEAR(w[128], 1.0, 1e-3);  // periodic window peaks at n/2
 }
 
+TEST(WindowFn, CoherentGainMatchesWindowMean) {
+  // The coherent gain IS the mean of the window samples — the DFT of a
+  // windowed coherent tone scales its fundamental bin by exactly that.
+  for (const auto win :
+       {Window::kRect, Window::kHann, Window::kBlackmanHarris4}) {
+    for (const std::size_t n : {64u, 256u, 1000u}) {
+      const auto w = make_window(win, n);
+      double mean = 0.0;
+      for (double v : w) mean += v;
+      mean /= static_cast<double>(n);
+      EXPECT_NEAR(window_coherent_gain(win, n), mean, 1e-12)
+          << static_cast<int>(win) << " n=" << n;
+    }
+  }
+  // Textbook values for the periodic windows.
+  EXPECT_NEAR(window_coherent_gain(Window::kHann, 4096), 0.5, 1e-3);
+  EXPECT_NEAR(window_coherent_gain(Window::kBlackmanHarris4, 4096), 0.35875,
+              1e-3);
+}
+
+TEST(WindowFn, HannMainlobeConfinesNonCoherentLeakage) {
+  // A tone landing exactly between bins: rectangular leakage decays as
+  // 1/|k - k0| and pollutes the whole spectrum, while Hann's raised-
+  // cosine sidelobes are at least 31 dB down and fall much faster.  Probe
+  // the floor 20 bins away from the tone.
+  const std::size_t n = 256;
+  const double k0 = 40.5;
+  std::vector<Cplx> rect_in(n), hann_in(n);
+  const auto hann = make_window(Window::kHann, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s =
+        std::sin(2.0 * std::numbers::pi * k0 * static_cast<double>(i) / n);
+    rect_in[i] = Cplx(s, 0.0);
+    hann_in[i] = Cplx(s * hann[i], 0.0);
+  }
+  fft_pow2(rect_in);
+  fft_pow2(hann_in);
+  const auto& rect_spec = rect_in;
+  const auto& hann_spec = hann_in;
+  const auto floor_db = [&](const std::vector<Cplx>& spec) {
+    const double peak = std::abs(spec[40]);
+    double worst = 0.0;
+    for (std::size_t k = 61; k < n / 2; ++k) {
+      worst = std::max(worst, std::abs(spec[k]));
+    }
+    return 20.0 * std::log10(worst / peak);
+  };
+  const double rect_floor = floor_db(rect_spec);
+  const double hann_floor = floor_db(hann_spec);
+  EXPECT_GT(rect_floor, -40.0);  // rect leakage stays high
+  EXPECT_LT(hann_floor, -60.0);  // Hann buries it
+  EXPECT_LT(hann_floor, rect_floor - 25.0);
+}
+
 }  // namespace
 }  // namespace csdac::mathx

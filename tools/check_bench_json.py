@@ -21,7 +21,13 @@ carries the rare-event estimator bench: "bruteforce"/"is"/"stratified"/
 "bridge" sections with per-estimator "chips_to_ci", an "is_chip_reduction"
 variance ratio that must exceed 1 (the importance sampler must actually
 beat brute force), a healthy effective sample size (low_ess false), and
-bridge/IS tail agreement already enforced by the producer.
+bridge/IS tail agreement already enforced by the producer. Schema /7
+additionally carries the dynamic-error architecture benches: the cached
+timing-MC spectrum job validates as an ordinary cache bench, and the
+architecture-comparison table ("architectures" array) must sweep at least
+binary plus two more weightings with sane per-architecture numbers
+(yields in [0, 1], positive cell counts and switching activity) and a
+metrics snapshot whose arch.* engine counters actually moved.
 
 With --compare BASELINE.json, every bench path present in both documents
 is also checked for throughput regressions: chips_per_s must be at least
@@ -37,7 +43,8 @@ import json
 import sys
 
 SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3",
-           "csdac-bench/4", "csdac-bench/5", "csdac-bench/6")
+           "csdac-bench/4", "csdac-bench/5", "csdac-bench/6",
+           "csdac-bench/7")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -173,6 +180,41 @@ def check_rare_bench(bench, name):
              f"sampling must beat brute force")
 
 
+def check_arch_bench(bench, name):
+    """Schema /7 architecture-comparison bench."""
+    where = f"bench '{name}'"
+    wall = check_type(bench, "wall_s", (int, float), where)
+    if wall < 0:
+        fail(f"{where}: wall_s must be >= 0")
+    archs = check_type(bench, "architectures", list, where)
+    if len(archs) < 3:
+        fail(f"{where}: expected at least 3 architectures (binary plus "
+             f"two more), got {len(archs)}")
+    schemes = []
+    for i, point in enumerate(archs):
+        pw = f"{where} / architectures[{i}]"
+        if not isinstance(point, dict):
+            fail(f"{pw}: not an object")
+        scheme = check_type(point, "scheme", str, pw)
+        schemes.append(scheme)
+        for key in ("param", "cells"):
+            if not isinstance(point.get(key), int):
+                fail(f"{pw}: missing/non-integer '{key}'")
+        for key in ("inl_yield", "inl_ci95", "sfdr_db", "ete_sfdr_db",
+                    "activity"):
+            check_type(point, key, (int, float), pw)
+        if point["cells"] <= 0:
+            fail(f"{pw}: cells must be positive")
+        if not 0.0 <= point["inl_yield"] <= 1.0:
+            fail(f"{pw}: inl_yield out of [0, 1]")
+        if point["inl_ci95"] < 0:
+            fail(f"{pw}: inl_ci95 must be >= 0")
+        if point["activity"] <= 0:
+            fail(f"{pw}: activity must be positive")
+    if "binary" not in schemes:
+        fail(f"{where}: sweep is missing the binary reference architecture")
+
+
 def check_serve_bench(bench, name):
     """Schema /5 design-server loadgen bench."""
     where = f"bench '{name}' / serve"
@@ -268,13 +310,23 @@ def main():
     if doc["schema"] not in SCHEMAS:
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
     v2 = doc["schema"] != "csdac-bench/1"
-    v4 = doc["schema"] in ("csdac-bench/4", "csdac-bench/6")
+    v4 = doc["schema"] in ("csdac-bench/4", "csdac-bench/6",
+                           "csdac-bench/7")
     v5 = doc["schema"] == "csdac-bench/5"
-    v6 = doc["schema"] == "csdac-bench/6"
+    v6 = doc["schema"] in ("csdac-bench/6", "csdac-bench/7")
+    v7 = doc["schema"] == "csdac-bench/7"
     if not doc["benches"]:
         fail("benches array is empty")
-    if doc["schema"] in ("csdac-bench/3", "csdac-bench/4", "csdac-bench/6"):
+    if doc["schema"] in ("csdac-bench/3", "csdac-bench/4", "csdac-bench/6",
+                         "csdac-bench/7"):
         check_metrics(doc)
+    if v7:
+        counters = doc["metrics"]["counters"]
+        for key in ("arch.dyn_runs", "arch.waveforms", "arch.ete_evals",
+                    "arch.compare_runs"):
+            if not isinstance(counters.get(key), int) or counters[key] <= 0:
+                fail(f"metrics: counter '{key}' must be positive after the "
+                     f"arch benches ran")
     if v4:
         check_type(doc, "simd_backend", str, "top level")
         lanes = check_type(doc, "simd_lanes", int, "top level")
@@ -288,6 +340,7 @@ def main():
     simd_benches = 0
     serve_benches = 0
     rare_benches = 0
+    arch_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -321,6 +374,13 @@ def main():
             check_rare_bench(bench, name)
             rare_benches += 1
             continue
+        if "architectures" in bench:
+            if not v7:
+                fail(f"bench '{name}': architecture benches require "
+                     f"csdac-bench/7")
+            check_arch_bench(bench, name)
+            arch_benches += 1
+            continue
         check_path(bench, name, "workspace")
         if "legacy" in bench:
             check_path(bench, name, "legacy")
@@ -335,7 +395,12 @@ def main():
     if v5 and serve_benches == 0:
         fail("csdac-bench/5 document has no serve benches")
     if v6 and rare_benches == 0:
-        fail("csdac-bench/6 document has no rare-event bench")
+        fail("csdac-bench/6+ document has no rare-event bench")
+    if v7 and arch_benches == 0:
+        fail("csdac-bench/7 document has no architecture-comparison bench")
+    if v7 and "runtime_cache_dyn_spectrum" not in names:
+        fail("csdac-bench/7 document is missing the cached dyn-spectrum "
+             "bench")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")

@@ -40,6 +40,12 @@ gauge (the ESS diagnostic actually reached the registry); the warm dump
 must show ZERO rare-event proposal chips — a cached IS result must be
 served without re-running the estimator.
 
+--expect-arch (either mode) additionally requires the dynamic-error
+architecture instruments: the cold dump must show at least one
+dyn-spectrum run with waveform syntheses and ETE predictions recorded;
+the warm dump must show ZERO waveform syntheses — a cached dyn-spectrum
+result must be served without re-synthesizing waveforms.
+
 Exits nonzero with a message on the first violation.
 """
 import math
@@ -257,6 +263,23 @@ def check_rare_warm(path, samples):
              f"cached IS result was recomputed")
 
 
+def check_arch_cold(path, samples):
+    """A dump from a run that executed a dynamic-spectrum timing-MC job."""
+    if counter(samples, "csdac_arch_dyn_runs_total") < 1:
+        fail(f"{path}: no dynamic-spectrum runs recorded")
+    if counter(samples, "csdac_arch_waveforms_total") < 1:
+        fail(f"{path}: dyn-spectrum run synthesized no waveforms")
+    if counter(samples, "csdac_arch_ete_evals_total") < 1:
+        fail(f"{path}: dyn-spectrum run made no ETE predictions — the "
+             f"analytic cross-check never ran")
+
+
+def check_arch_warm(path, samples):
+    if counter(samples, "csdac_arch_waveforms_total", 0) != 0:
+        fail(f"{path}: warm run synthesized waveforms — the cached "
+             f"dyn-spectrum result was recomputed")
+
+
 def check_warm(path, samples):
     if counter(samples, "csdac_cache_misses_total", 0) != 0:
         fail(f"{path}: warm run has cache misses — the cache did not "
@@ -272,6 +295,8 @@ def main(argv):
     argv = [a for a in argv if a != "--expect-serve"]
     expect_rare = "--expect-rare" in argv
     argv = [a for a in argv if a != "--expect-rare"]
+    expect_arch = "--expect-arch" in argv
+    argv = [a for a in argv if a != "--expect-arch"]
     expect_simd = None
     if len(argv) == 4 and argv[2] == "--expect-simd":
         expect_simd = argv[3]
@@ -286,6 +311,8 @@ def main(argv):
             check_serve(argv[1], samples)
         if expect_rare:
             check_rare_cold(argv[1], samples)
+        if expect_arch:
+            check_arch_cold(argv[1], samples)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
               f"{len(samples)} samples")
         return 0
@@ -303,6 +330,9 @@ def main(argv):
         if expect_rare:
             check_rare_cold(cold_path, cold)
             check_rare_warm(warm_path, warm)
+        if expect_arch:
+            check_arch_cold(cold_path, cold)
+            check_arch_warm(warm_path, warm)
         if counter(warm, "csdac_cache_hits_total") < counter(
                 cold, "csdac_cache_misses_total"):
             fail("warm hits < cold misses: some cold results never "
@@ -314,9 +344,9 @@ def main(argv):
               f"0 chips")
         return 0
     print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND] "
-          "[--expect-serve] [--expect-rare]\n"
+          "[--expect-serve] [--expect-rare] [--expect-arch]\n"
           "       check_metrics.py --cold COLD.prom --warm WARM.prom "
-          "[--expect-serve] [--expect-rare]",
+          "[--expect-serve] [--expect-rare] [--expect-arch]",
           file=sys.stderr)
     return 2
 

@@ -26,6 +26,12 @@
 // needs to pin the failure probability to a 50% relative 95% CI — plus
 // the headline "is_chip_reduction" variance ratio (brute-force /
 // importance-sampling chips for equal CI).
+// Schema /7 adds the dynamic-error architecture benches: the cold/warm
+// cache pass of a per-cell timing-MC spectrum job
+// ("runtime_cache_dyn_spectrum"), and the architecture-comparison table
+// ("arch_compare_10bit") sweeping binary / segmented splits / optimized
+// weightings with INL yield, timing-limited SFDR, ETE prediction, and
+// switching activity side by side.
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
 //               [--require-simd-speedup X] [--require-rare-reduction X]
@@ -48,6 +54,7 @@
 
 #include <cmath>
 
+#include "arch/weighting.hpp"
 #include "bench_json.hpp"
 #include "core/accuracy.hpp"
 #include "dac/calibration.hpp"
@@ -225,7 +232,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter w;
   w.begin_object();
   const mathx::SimdBackend simd_backend = mathx::simd_backend();
-  w.field("schema", "csdac-bench/6");
+  w.field("schema", "csdac-bench/7");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
@@ -634,6 +641,95 @@ int main(int argc, char** argv) {
     w.end_object();
     w.field("is_chip_reduction", rare_reduction);
     w.field("strat_chip_reduction", strat_reduction);
+    w.end_object();
+  }
+
+  // --- Dynamic-error architecture engine --------------------------------
+  // A 10-bit array keeps the weighting search and the oversampled
+  // waveform synthesis affordable (the 12-bit optimizer alone runs tens
+  // of seconds); the mechanisms exercised are identical.
+  {
+    core::DacSpec arch_spec;
+    arch_spec.nbits = 10;
+    arch_spec.binary_bits = 3;
+
+    const int dyn_mc_chips = smoke ? 8 : 32;
+    std::printf("runtime_cache_dyn_spectrum: %d timing chips cold vs warm "
+                "...\n",
+                dyn_mc_chips);
+    runtime::DynSpectrumJob dyn_job;
+    dyn_job.spec = arch_spec;
+    dyn_job.timing.sigma_t = 60e-12;
+    dyn_job.timing.oversample = smoke ? 8 : 16;
+    dyn_job.n_samples = 256;
+    dyn_job.cycles = 21;
+    dyn_job.chips = dyn_mc_chips;
+    dyn_job.seed = seed;
+    if (!bench_cache_job(w, "runtime_cache_dyn_spectrum", dyn_job,
+                         dyn_mc_chips, threads)) {
+      return 1;
+    }
+
+    runtime::ArchCompareJob cmp;
+    cmp.spec = arch_spec;
+    cmp.sigma_unit = 0.02;
+    cmp.timing = dyn_job.timing;
+    cmp.n_samples = 256;
+    cmp.cycles = 21;
+    cmp.chips = smoke ? 200 : 1000;
+    cmp.dyn_chips = smoke ? 2 : 4;
+    cmp.seed = seed;
+    cmp.seg_lo = 2;
+    cmp.seg_hi = smoke ? 4 : 6;
+    // Small explicit cell budget in smoke mode: the weighting search is
+    // quadratic in the budget and smoke must stay in CI time.
+    cmp.opt_cells = smoke ? 20 : 0;
+    std::printf("arch_compare_10bit: %d INL chips, %d timing chips per "
+                "architecture ...\n",
+                cmp.chips, cmp.dyn_chips);
+    mathx::RunStats cmp_stats;
+    const auto cmp_value = runtime::execute_job(cmp, threads, &cmp_stats);
+    const auto& table = std::get<runtime::ArchCompareResult>(cmp_value);
+    for (const auto& p : table.points) {
+      std::printf("  %-9s param %3d: %4d cells, inl yield %.3f, sfdr "
+                  "%.1f dB (ete %.1f), activity %.3g\n",
+                  std::string(arch::weighting_name(
+                                  static_cast<arch::WeightingKind>(p.scheme)))
+                      .c_str(),
+                  p.param, p.cells, p.inl_yield, p.sfdr_db, p.ete_sfdr_db,
+                  p.activity);
+    }
+
+    w.begin_object();
+    w.field("name", "arch_compare_10bit");
+    w.key("config").begin_object();
+    w.field("nbits", arch_spec.nbits);
+    w.field("binary_bits", arch_spec.binary_bits);
+    w.field("sigma_unit", cmp.sigma_unit);
+    w.field("sigma_t", cmp.timing.sigma_t);
+    w.field("chips", cmp.chips);
+    w.field("dyn_chips", cmp.dyn_chips);
+    w.field("seed", static_cast<std::int64_t>(cmp.seed));
+    w.field("seg_lo", cmp.seg_lo);
+    w.field("seg_hi", cmp.seg_hi);
+    w.field("opt_cells", cmp.opt_cells);
+    w.end_object();
+    w.field("wall_s", cmp_stats.wall_seconds);
+    w.key("architectures").begin_array();
+    for (const auto& p : table.points) {
+      w.begin_object();
+      w.field("scheme", arch::weighting_name(
+                            static_cast<arch::WeightingKind>(p.scheme)));
+      w.field("param", static_cast<std::int64_t>(p.param));
+      w.field("cells", static_cast<std::int64_t>(p.cells));
+      w.field("inl_yield", p.inl_yield);
+      w.field("inl_ci95", p.inl_ci95);
+      w.field("sfdr_db", p.sfdr_db);
+      w.field("ete_sfdr_db", p.ete_sfdr_db);
+      w.field("activity", p.activity);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
 
