@@ -1,0 +1,128 @@
+// Flight recorder: an always-on, lock-free ring buffer holding the last N
+// request / span / error events with their trace ids, so a crash, a
+// SIGTERM, or a "what just happened?" ctl dump can reconstruct the recent
+// past of a long-running server without any tracing having been enabled in
+// advance.
+//
+// Writers are wait-free on the hot path: one fetch_add to claim a global
+// sequence number, one CAS to claim the slot (which only fails when a
+// writer has been lapped a full ring-generation mid-write — the event is
+// dropped and counted instead of blocking), then plain relaxed stores of
+// the fixed-size payload words and a release publish. No allocation, no
+// locks, no syscalls — cheap enough to record every request and every
+// span unconditionally.
+//
+// Readers (the ctl `dump` verb, the shutdown flush, the terminate
+// handler) walk the slots with a per-slot seqlock protocol: read the
+// sequence word, copy the payload, re-read — a torn read is detected and
+// skipped, never returned. Reading never blocks writers.
+//
+// Events are fixed-size POD: names and trace ids are truncated into
+// embedded char arrays (kNameBytes / kTraceBytes) so a slot write touches
+// no heap. The dump renders as Chrome trace_event JSON (the same format
+// as obs/chrome_trace.hpp) and loads in Perfetto, with trace ids in
+// `args` for request-centric filtering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace csdac::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kRequest = 1,  ///< one served request (dur = handling wall time)
+  kSpan = 2,     ///< a finished span forwarded by the span sink
+  kError = 3,    ///< an error frame / failed job (dur usually 0)
+};
+
+std::string_view flight_event_kind_name(FlightEventKind kind);
+
+inline constexpr std::size_t kFlightNameBytes = 40;
+inline constexpr std::size_t kFlightTraceBytes = 40;
+
+/// Fixed-size event record; strings are NUL-padded (and silently
+/// truncated) so the whole event copies as raw words.
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kSpan;
+  std::uint32_t tid = 0;      ///< this_thread_trace_tid() of the recorder
+  double start_us = 0.0;      ///< trace_now_us() timeline
+  double dur_us = 0.0;
+  std::int64_t arg = 0;       ///< kind-specific (jobs in request, ...)
+  char name[kFlightNameBytes] = {};
+  char trace[kFlightTraceBytes] = {};
+
+  std::string_view name_view() const;
+  std::string_view trace_view() const;
+};
+
+class FlightRecorder {
+ public:
+  /// Capacity is rounded up to a power of two; the ring keeps the most
+  /// recent `capacity` events.
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-wide instance (leaked, like the metrics registry, so events
+  /// recorded during static destruction stay safe).
+  static FlightRecorder& global();
+
+  /// Records one event (wait-free; see file comment). Never throws.
+  void record(FlightEventKind kind, std::string_view name,
+              std::string_view trace, double start_us, double dur_us,
+              std::int64_t arg = 0) noexcept;
+
+  /// Stable copy of the current ring contents, oldest first by start
+  /// time. Safe to call concurrently with writers.
+  std::vector<FlightEvent> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded over the recorder's lifetime (>= ring contents).
+  std::int64_t total_recorded() const {
+    return static_cast<std::int64_t>(
+        head_.load(std::memory_order_relaxed));
+  }
+  /// Events dropped because a lapped writer lost its slot CAS.
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the ring as a Chrome trace_event document (Perfetto-loadable;
+  /// trace ids and event kinds in args).
+  std::string chrome_trace_json(
+      const std::string& process_name = "csdac-flight") const;
+  /// Writes chrome_trace_json to `path`; false on I/O failure.
+  bool dump(const std::string& path,
+            const std::string& process_name = "csdac-flight") const;
+
+  /// Registers a process-wide SpanSink that copies every finished span
+  /// into global() (idempotent). This makes the tracer permanently active
+  /// — span construction then pays its recording cost — so the serve
+  /// tools install it at startup while unit-test binaries leave it off.
+  static void install_global_span_sink();
+
+ private:
+  // One slot: a seqlock word plus the event payload as relaxed atomic
+  // words, so concurrent read/write is data-race-free by construction.
+  static constexpr std::size_t kWords =
+      (sizeof(FlightEvent) + sizeof(std::uint64_t) - 1) /
+      sizeof(std::uint64_t);
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 empty; odd writing; even done
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  std::size_t capacity_;  ///< power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+}  // namespace csdac::obs

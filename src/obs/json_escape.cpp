@@ -27,6 +27,17 @@ void append_json_escaped(std::string& out, std::string_view s) {
   }
 }
 
+void append_prometheus_label_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 std::string json_quoted(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);

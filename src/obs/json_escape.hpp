@@ -18,4 +18,13 @@ void append_json_escaped(std::string& out, std::string_view s);
 /// Convenience: `s` escaped and wrapped in double quotes.
 std::string json_quoted(std::string_view s);
 
+/// Appends `s` to `out` with Prometheus label-value escaping (no
+/// surrounding quotes): backslash, double quote, and line feed get a
+/// backslash escape per the text-exposition spec; every other byte passes
+/// through, so valid UTF-8 stays valid UTF-8. Routed through the same
+/// translation unit as the JSON escaper on purpose — hostile label values
+/// must be harmless in BOTH output formats, and the exposition tests feed
+/// one corpus through both paths.
+void append_prometheus_label_escaped(std::string& out, std::string_view s);
+
 }  // namespace csdac::obs

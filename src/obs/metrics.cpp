@@ -59,20 +59,26 @@ Registry& Registry::global() {
 }
 
 Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          LabelSet labels,
                                           std::string_view help, Kind kind) {
+  std::sort(labels.begin(), labels.end());
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& e : entries_) {
     if (e->name == name) {
+      // One metric NAME has one type across every label set — mixing
+      // labeled and unlabeled series of one name is fine, mixing types
+      // would corrupt the exposition.
       if (e->kind != kind) {
         throw std::logic_error("obs::Registry: '" + std::string(name) +
                                "' already registered as a different type");
       }
-      return *e;
+      if (e->labels == labels) return *e;
     }
   }
   auto e = std::make_unique<Entry>();
   e->name = std::string(name);
   e->help = std::string(help);
+  e->labels = std::move(labels);
   e->kind = kind;
   switch (kind) {
     case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
@@ -84,15 +90,32 @@ Registry::Entry& Registry::find_or_create(std::string_view name,
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help) {
-  return *find_or_create(name, help, Kind::kCounter).counter;
+  return *find_or_create(name, {}, help, Kind::kCounter).counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help) {
-  return *find_or_create(name, help, Kind::kGauge).gauge;
+  return *find_or_create(name, {}, help, Kind::kGauge).gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help) {
-  return *find_or_create(name, help, Kind::kHistogram).histogram;
+  return *find_or_create(name, {}, help, Kind::kHistogram).histogram;
+}
+
+Counter& Registry::counter(std::string_view name, LabelSet labels,
+                           std::string_view help) {
+  return *find_or_create(name, std::move(labels), help, Kind::kCounter)
+              .counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, LabelSet labels,
+                       std::string_view help) {
+  return *find_or_create(name, std::move(labels), help, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, LabelSet labels,
+                               std::string_view help) {
+  return *find_or_create(name, std::move(labels), help, Kind::kHistogram)
+              .histogram;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -102,15 +125,18 @@ MetricsSnapshot Registry::snapshot() const {
     for (const auto& e : entries_) {
       switch (e->kind) {
         case Kind::kCounter:
-          snap.counters.push_back({e->name, e->help, e->counter->value()});
+          snap.counters.push_back(
+              {e->name, e->help, e->labels, e->counter->value()});
           break;
         case Kind::kGauge:
-          snap.gauges.push_back({e->name, e->help, e->gauge->value()});
+          snap.gauges.push_back(
+              {e->name, e->help, e->labels, e->gauge->value()});
           break;
         case Kind::kHistogram: {
           HistogramSample h;
           h.name = e->name;
           h.help = e->help;
+          h.labels = e->labels;
           h.buckets = e->histogram->bucket_counts();
           for (const std::int64_t c : h.buckets) h.count += c;
           h.sum = e->histogram->sum();
@@ -124,7 +150,7 @@ MetricsSnapshot Registry::snapshot() const {
     }
   }
   const auto by_name = [](const auto& a, const auto& b) {
-    return a.name < b.name;
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
   };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
@@ -144,6 +170,26 @@ void append_double(std::string& out, double v) {
   }
 }
 
+/// JSON export key of a series: the plain name, or `name{k="v",...}` for
+/// labeled series (one flat key so dashboards keyed on names keep working
+/// and labeled series stay distinguishable).
+std::string series_key(const std::string& name, const LabelSet& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::to_json() const {
@@ -152,7 +198,7 @@ std::string MetricsSnapshot::to_json() const {
   for (const auto& c : counters) {
     if (!first) out += ',';
     first = false;
-    out += json_quoted(c.name);
+    out += json_quoted(series_key(c.name, c.labels));
     out += ':';
     out += std::to_string(c.value);
   }
@@ -161,7 +207,7 @@ std::string MetricsSnapshot::to_json() const {
   for (const auto& g : gauges) {
     if (!first) out += ',';
     first = false;
-    out += json_quoted(g.name);
+    out += json_quoted(series_key(g.name, g.labels));
     out += ':';
     append_double(out, g.value);
   }
@@ -170,7 +216,7 @@ std::string MetricsSnapshot::to_json() const {
   for (const auto& h : histograms) {
     if (!first) out += ',';
     first = false;
-    out += json_quoted(h.name);
+    out += json_quoted(series_key(h.name, h.labels));
     out += ":{\"count\":" + std::to_string(h.count) +
            ",\"sum\":" + std::to_string(h.sum) + ",\"buckets\":[";
     bool bfirst = true;
@@ -208,10 +254,33 @@ std::string prometheus_name(std::string_view prefix, std::string_view name) {
   return out;
 }
 
+std::string prometheus_labels(const LabelSet& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name({}, k);
+    out += "=\"";
+    append_prometheus_label_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 std::string MetricsSnapshot::to_prometheus(std::string_view prefix) const {
   std::string out;
-  const auto header = [&out](const std::string& name,
-                             const std::string& help, const char* type) {
+  // Samples are sorted by (name, labels); a labeled metric's series are
+  // contiguous and must share ONE # TYPE header, so headers are emitted
+  // only when the name changes.
+  std::string last_header;
+  const auto header = [&out, &last_header](const std::string& name,
+                                           const std::string& help,
+                                           const char* type) {
+    if (name == last_header) return;
+    last_header = name;
     if (!help.empty()) {
       out += "# HELP " + name + " ";
       // Exposition-format escaping for HELP text: backslash and newline.
@@ -229,29 +298,42 @@ std::string MetricsSnapshot::to_prometheus(std::string_view prefix) const {
   for (const auto& c : counters) {
     const std::string name = prometheus_name(prefix, c.name) + "_total";
     header(name, c.help, "counter");
-    out += name + " " + std::to_string(c.value) + "\n";
+    out += name + prometheus_labels(c.labels) + " " +
+           std::to_string(c.value) + "\n";
   }
   for (const auto& g : gauges) {
     const std::string name = prometheus_name(prefix, g.name);
     header(name, g.help, "gauge");
-    out += name + " ";
+    out += name + prometheus_labels(g.labels) + " ";
     append_double(out, g.value);
     out += '\n';
   }
   for (const auto& h : histograms) {
     const std::string name = prometheus_name(prefix, h.name);
     header(name, h.help, "histogram");
+    // Bucket lines splice `le` into the series' own label set (the spec
+    // orders labels arbitrarily; keeping le last reads naturally).
+    std::string bucket_labels = prometheus_labels(h.labels);
+    if (bucket_labels.empty()) {
+      bucket_labels = "{le=\"";
+    } else {
+      bucket_labels.back() = ',';
+      bucket_labels += "le=\"";
+    }
     std::int64_t cum = 0;
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       cum += h.buckets[b];
       const std::int64_t le = histogram_bucket_le(static_cast<int>(b));
       if (le < 0) break;  // overflow bucket is covered by +Inf below
-      out += name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+      out += name + "_bucket" + bucket_labels + std::to_string(le) + "\"} " +
              std::to_string(cum) + "\n";
     }
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
-    out += name + "_sum " + std::to_string(h.sum) + "\n";
-    out += name + "_count " + std::to_string(h.count) + "\n";
+    out += name + "_bucket" + bucket_labels + "+Inf\"} " +
+           std::to_string(h.count) + "\n";
+    out += name + "_sum" + prometheus_labels(h.labels) + " " +
+           std::to_string(h.sum) + "\n";
+    out += name + "_count" + prometheus_labels(h.labels) + " " +
+           std::to_string(h.count) + "\n";
   }
   return out;
 }

@@ -112,20 +112,40 @@ class Histogram {
   Shard shards_[kShards];
 };
 
+// --- Labels ----------------------------------------------------------------
+
+/// One key=value label pair. A labeled instrument is a separate series per
+/// distinct label set under one metric name (Prometheus style):
+/// `serve.stage_us{kind="inl_yield",stage="compute"}`. Label keys must be
+/// code-controlled identifiers; label VALUES may be arbitrary (they are
+/// escaped on export), but high-cardinality values (ids, traces) belong in
+/// spans and the flight recorder, never in labels — every distinct set is
+/// a live series for the process lifetime.
+using Label = std::pair<std::string, std::string>;
+using LabelSet = std::vector<Label>;
+
+/// Canonical `{k="v",...}` rendering for Prometheus exposition: keys
+/// sanitized like metric names, values escaped per the text format
+/// (backslash, quote, newline). Empty for an empty set.
+std::string prometheus_labels(const LabelSet& labels);
+
 // --- Snapshot and export ---------------------------------------------------
 
 struct CounterSample {
   std::string name, help;
+  LabelSet labels;
   std::int64_t value = 0;
 };
 
 struct GaugeSample {
   std::string name, help;
+  LabelSet labels;
   double value = 0.0;
 };
 
 struct HistogramSample {
   std::string name, help;
+  LabelSet labels;
   std::vector<std::int64_t> buckets;  ///< non-cumulative, trailing zeros cut
   std::int64_t count = 0;
   std::int64_t sum = 0;
@@ -157,8 +177,11 @@ std::string prometheus_name(std::string_view prefix, std::string_view name);
 
 /// Named-instrument registry. `global()` is the process-wide instance the
 /// engine, cache, and tools all write to; separate instances exist for
-/// tests. Re-registering a name returns the same instrument; registering a
-/// name as two different types throws std::logic_error.
+/// tests. Re-registering a (name, labels) pair returns the same
+/// instrument; registering one NAME as two different types (labeled or
+/// not) throws std::logic_error. Labeled lookups take the registry mutex —
+/// cache the returned reference at the call site, exactly like the
+/// unlabeled instruments.
 class Registry {
  public:
   Registry() = default;
@@ -171,19 +194,29 @@ class Registry {
   Gauge& gauge(std::string_view name, std::string_view help = {});
   Histogram& histogram(std::string_view name, std::string_view help = {});
 
+  /// Labeled series of the same metric name. The label set is normalized
+  /// (sorted by key) so {a,b} and {b,a} name one series.
+  Counter& counter(std::string_view name, LabelSet labels,
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, LabelSet labels,
+               std::string_view help = {});
+  Histogram& histogram(std::string_view name, LabelSet labels,
+                       std::string_view help = {});
+
   MetricsSnapshot snapshot() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     std::string name, help;
+    LabelSet labels;  ///< sorted by key; empty = unlabeled
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry& find_or_create(std::string_view name, std::string_view help,
-                        Kind kind);
+  Entry& find_or_create(std::string_view name, LabelSet labels,
+                        std::string_view help, Kind kind);
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;

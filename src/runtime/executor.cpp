@@ -2,7 +2,25 @@
 
 #include <chrono>
 
+#include "obs/span.hpp"
+
 namespace csdac::runtime {
+
+namespace {
+
+/// Microseconds elapsed since `from`, advancing `from` to now — the stage
+/// stopwatch: each stage costs one clock read beyond what run() already
+/// paid for wall_seconds.
+std::int64_t lap_us(std::chrono::steady_clock::time_point& from) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - from)
+          .count();
+  from = now;
+  return us;
+}
+
+}  // namespace
 
 std::string_view tier_name(ResultTier tier) {
   switch (tier) {
@@ -32,19 +50,26 @@ JobExecutor::JobExecutor(ExecutorOptions opts) : opts_(std::move(opts)) {
 }
 
 ExecResult JobExecutor::run(const Job& job, const mathx::HashKey128& key,
-                            int threads) {
+                            int threads, std::string_view trace_id) {
   const auto t0 = std::chrono::steady_clock::now();
+  auto mark = t0;
   ExecResult r;
   const JobKind kind = job_kind(job);
+  obs::ScopedSpan span("exec.job");
+  span.attr("kind", kind_name(kind));
+  if (!trace_id.empty()) span.attr("trace_id", trace_id);
 
   std::vector<unsigned char> payload;
-  if (hot_ && hot_->get(key, payload)) {
-    mathx::ByteReader reader(payload);
-    if (decode_value(kind, reader, r.value)) {
-      r.tier = ResultTier::kHot;
+  if (hot_) {
+    if (hot_->get(key, payload)) {
+      mathx::ByteReader reader(payload);
+      if (decode_value(kind, reader, r.value)) {
+        r.tier = ResultTier::kHot;
+      }
+      // A hot entry that fails the decode is impossible unless the process
+      // mixes engine versions; fall through and recompute.
     }
-    // A hot entry that fails the decode is impossible unless the process
-    // mixes engine versions; fall through and recompute.
+    r.stages.hot_us = lap_us(mark);
   }
   if (r.tier == ResultTier::kComputed && disk_) {
     payload.clear();
@@ -57,6 +82,7 @@ ExecResult JobExecutor::run(const Job& job, const mathx::HashKey128& key,
       }
       // Framing-valid but schema-stale entries miss and get overwritten.
     }
+    r.stages.disk_us = lap_us(mark);
   }
 
   if (r.tier != ResultTier::kComputed) {
@@ -66,13 +92,16 @@ ExecResult JobExecutor::run(const Job& job, const mathx::HashKey128& key,
     r.value = execute_job(job, threads, &r.stats);
     r.stats.cache_hits = 0;
     r.stats.cache_misses = (disk_ || hot_) ? 1 : 0;
+    r.stages.compute_us = lap_us(mark);
     if (disk_ || hot_) {
       mathx::ByteWriter w;
       encode_value(r.value, w);
       if (disk_) disk_->put(key, w.data());
       if (hot_) hot_->put(key, w.data());
+      r.stages.store_us = lap_us(mark);
     }
   }
+  span.attr("tier", tier_name(r.tier));
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

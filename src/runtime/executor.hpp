@@ -40,11 +40,26 @@ enum class ResultTier : std::uint8_t {
 
 std::string_view tier_name(ResultTier tier);
 
+/// Per-stage latency attribution of one resolved job, microseconds. The
+/// executor fills the lookup/compute/store stages; the scheduler adds the
+/// admission and queue waits it alone can see. Stages a job never entered
+/// stay 0 — a hot hit has compute_us == 0 by construction, which is
+/// exactly what the warm-pass regression checks assert on.
+struct StageTimes {
+  std::int64_t admission_us = 0;  ///< blocked at the per-client cap
+  std::int64_t queue_us = 0;      ///< submit -> worker pickup
+  std::int64_t hot_us = 0;        ///< hot-tier lookup (hit or miss)
+  std::int64_t disk_us = 0;       ///< disk-tier lookup incl. hot promote
+  std::int64_t compute_us = 0;    ///< fresh execution
+  std::int64_t store_us = 0;      ///< encode + write-through to the tiers
+};
+
 struct ExecResult {
   JobValue value;
   mathx::RunStats stats;  ///< cache_hits=1/evaluated=0 on any cache hit
   ResultTier tier = ResultTier::kComputed;
   double wall_seconds = 0.0;  ///< end-to-end, including cache I/O
+  StageTimes stages;
 
   bool cache_hit() const { return tier != ResultTier::kComputed; }
 };
@@ -60,7 +75,10 @@ class JobExecutor {
   /// engine workers. Thread-safe; concurrent callers with the same key
   /// may both compute (identical results race benignly into the store) —
   /// single-flight dedup is the Scheduler's job, not the executor's.
-  ExecResult run(const Job& job, const mathx::HashKey128& key, int threads);
+  /// `trace_id`, when non-empty, tags the exec.job span so the flight
+  /// recorder and trace dumps can tie tier lookups back to the request.
+  ExecResult run(const Job& job, const mathx::HashKey128& key, int threads,
+                 std::string_view trace_id = {});
 
   /// Counters of the disk tier (zeroes when disabled).
   CacheCounters disk_counters() const;

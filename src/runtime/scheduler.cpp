@@ -78,9 +78,11 @@ Scheduler::~Scheduler() {
 }
 
 Scheduler::Ticket Scheduler::submit(Job job, std::uint64_t client,
-                                    std::string label) {
+                                    std::string label, std::string trace_id,
+                                    std::uint64_t parent_span) {
   const mathx::HashKey128 key = job_key(job);
   SchedMetrics& m = SchedMetrics::get();
+  std::int64_t admission_us = 0;
   std::unique_lock<std::mutex> lock(mutex_);
 
   if (const auto it = inflight_.find(key); it != inflight_.end()) {
@@ -96,11 +98,13 @@ Scheduler::Ticket Scheduler::submit(Job job, std::uint64_t client,
          client_load_[client] >= opts_.max_inflight_per_client) {
     ++counters_.admission_waits;
     m.admission_waits.add(1);
+    const double wait0 = now_us();
     cv_slot_.wait(lock, [&] {
       return stop_ ||
              client_load_[client] < opts_.max_inflight_per_client ||
              inflight_.count(key) != 0;
     });
+    admission_us += static_cast<std::int64_t>(now_us() - wait0);
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
       ++counters_.dedup_inflight;
       m.dedup.add(1);
@@ -117,6 +121,9 @@ Scheduler::Ticket Scheduler::submit(Job job, std::uint64_t client,
   task->label = label.empty()
                     ? std::string(kind_name(job_kind(task->job)))
                     : std::move(label);
+  task->trace_id = std::move(trace_id);
+  task->parent_span = parent_span;
+  task->admission_us = admission_us;
   task->client = client;
   task->seq = next_seq_++;
   task->submit_us = now_us();
@@ -175,18 +182,28 @@ void Scheduler::worker_loop(int /*worker*/) {
       m.queue_depth.set(static_cast<double>(queued_));
     }
 
-    m.queue_us.observe(
-        static_cast<std::int64_t>(now_us() - task->submit_us));
+    const std::int64_t queue_us =
+        static_cast<std::int64_t>(now_us() - task->submit_us);
+    m.queue_us.observe(queue_us);
     ResultPtr result;
     std::exception_ptr error;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-      obs::ScopedSpan span("sched.job");
+      // Cross-thread parent: the submitting request's span, when given
+      // (parent 0 keeps the span a root, which is what worker threads had
+      // before trace propagation existed).
+      obs::ScopedSpan span("sched.job", task->parent_span);
       span.attr("kind", kind_name(job_kind(task->job)))
           .attr("label", task->label)
           .attr("client", static_cast<std::int64_t>(task->client));
-      result = std::make_shared<const ExecResult>(
-          executor_->run(task->job, task->key, opts_.threads_per_job));
+      if (!task->trace_id.empty()) span.attr("trace_id", task->trace_id);
+      ExecResult er = executor_->run(task->job, task->key,
+                                     opts_.threads_per_job, task->trace_id);
+      // The scheduler alone can see the pre-execution waits; fold them
+      // into the job's stage record before the future freezes it.
+      er.stages.admission_us = task->admission_us;
+      er.stages.queue_us = queue_us;
+      result = std::make_shared<const ExecResult>(std::move(er));
     } catch (...) {
       error = std::current_exception();
     }

@@ -90,7 +90,13 @@ class Scheduler {
 
   /// Enqueues `job` for `client` (any stable id — the server uses the
   /// connection id). Blocks while the client is at its admission cap.
-  Ticket submit(Job job, std::uint64_t client = 0, std::string label = {});
+  /// `trace_id` tags the job's sched.job/exec.job spans and flows into the
+  /// flight recorder; `parent_span` cross-thread-parents the worker's
+  /// sched.job span under the caller's span (a serve.request, typically).
+  /// Deduped submissions join the FIRST submitter's task and keep its
+  /// trace id — by design: one execution, one attribution.
+  Ticket submit(Job job, std::uint64_t client = 0, std::string label = {},
+                std::string trace_id = {}, std::uint64_t parent_span = 0);
 
   /// Optional JSONL trace (job_start/job_finish lines with client ids).
   /// Must be set before the first submit and outlive the scheduler.
@@ -107,9 +113,12 @@ class Scheduler {
     Job job;
     mathx::HashKey128 key;
     std::string label;
+    std::string trace_id;
+    std::uint64_t parent_span = 0;
     std::uint64_t client = 0;
     std::uint64_t seq = 0;
     double submit_us = 0.0;
+    std::int64_t admission_us = 0;  ///< time submit() blocked on the cap
     std::promise<ResultPtr> promise;
     std::shared_future<ResultPtr> future;
   };

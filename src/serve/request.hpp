@@ -26,6 +26,9 @@ inline constexpr std::string_view kRequestSchema = "csdac-request/1";
 // (the paper's studies run ~1e3 chips and 40-step axes) but small enough
 // that a hostile request cannot size an unbounded allocation or loop.
 inline constexpr std::int64_t kMaxJobsPerRequest = 4096;
+/// Client-supplied trace ids are capped so they embed whole in the
+/// fixed-size flight-recorder events (kFlightTraceBytes minus the NUL).
+inline constexpr std::size_t kMaxTraceIdBytes = 39;
 inline constexpr std::int64_t kMaxChips = 10'000'000;
 inline constexpr std::int64_t kMaxAxisSteps = 2048;
 inline constexpr std::int64_t kMaxSamples = 1 << 22;

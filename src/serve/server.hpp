@@ -9,25 +9,40 @@
 // max_connections; excess connections get a "busy" error frame and are
 // closed). Framing errors answer a best-effort error frame and drop the
 // connection; payload errors (bad JSON, bad schema, bad job fields)
-// answer a structured "csdac-serve/3" error frame and KEEP the
+// answer a structured "csdac-serve/4" error frame and KEEP the
 // connection open — one malformed request never takes down a client's
 // session, let alone the server.
 //
 // Control channel ("csdac-ctl/1" payloads on the same port):
 //   {"schema":"csdac-ctl/1","cmd":"ping"}      liveness probe
 //   {"schema":"csdac-ctl/1","cmd":"metrics"}   Prometheus text dump
+//   {"schema":"csdac-ctl/1","cmd":"dump"}      flight-recorder Chrome trace
 //   {"schema":"csdac-ctl/1","cmd":"shutdown"}  ack, then wake wait()
 //
+// Tracing: every design request carries a trace id — the caller's
+// "trace_id" field when given (<= 64 chars), a server-minted
+// "sv-<conn>-<n>" otherwise — echoed in the reply and attached to the
+// serve.request span, the scheduler's sched.job span, and the executor's
+// exec.job span, so one id follows the request across every thread that
+// touched it. Each job's reply entry carries a per-stage latency
+// breakdown (see response.hpp), every stage is also observed into
+// serve.stage_us{kind,stage} labeled histograms, and requests slower
+// than ServerOptions::slow_us land in a structured JSONL slow log with
+// the full breakdown. Every request/error additionally drops a
+// fixed-size event into the obs flight recorder for post-hoc dumps.
+//
 // Observability: serve.connections / serve.connections_active /
-// serve.requests / serve.requests_inflight / serve.errors plus the
-// serve.request_us latency histogram, and a serve.request span per
-// request — all in the process-wide obs registry, exported by the
-// csdac_serve tool's --metrics-out or the ctl metrics command.
+// serve.requests / serve.requests_inflight / serve.errors /
+// serve.slow_requests plus the serve.request_us latency histogram, and a
+// serve.request span per request — all in the process-wide obs registry,
+// exported by the csdac_serve tool's --metrics-out or the ctl metrics
+// command.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +65,14 @@ struct ServerOptions {
   /// "busy" error frame and closed.
   int max_connections = 64;
   std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Tail-sampling threshold, microseconds: requests whose handling takes
+  /// at least this long are written to the slow log with their full stage
+  /// breakdown. 0 samples every request; negative (default) disables.
+  std::int64_t slow_us = -1;
+  /// JSONL file receiving sampled slow requests (appended, one object per
+  /// line). Empty leaves sampling active (counter + flight recorder) but
+  /// writes no file.
+  std::string slow_log;
   runtime::SchedulerOptions sched;
 };
 
@@ -58,6 +81,7 @@ struct ServerCounters {
   std::int64_t requests = 0;     ///< design requests answered (ok or error)
   std::int64_t errors = 0;       ///< error frames sent (payload or framing)
   std::int64_t rejected = 0;     ///< connections refused at the cap
+  std::int64_t slow = 0;         ///< requests sampled into the slow log
 };
 
 class Server {
@@ -102,6 +126,9 @@ class Server {
                              bool* shutdown_after);
   std::string handle_request(const runtime::JsonValue& request,
                              std::uint64_t conn_id);
+  /// Appends one JSONL record for a sampled slow request (no-op without a
+  /// slow log file). Serialized internally.
+  void log_slow_request(const std::string& line);
 
   ServerOptions opts_;
   std::unique_ptr<runtime::Scheduler> sched_;
@@ -119,6 +146,10 @@ class Server {
   std::int64_t active_ = 0;
   std::uint64_t next_conn_id_ = 1;
   ServerCounters counters_;
+
+  std::atomic<std::uint64_t> trace_seq_{0};  ///< minted trace-id suffix
+  std::mutex slow_mutex_;
+  std::FILE* slow_file_ = nullptr;  ///< open slow log (owned)
 };
 
 }  // namespace csdac::serve

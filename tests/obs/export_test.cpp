@@ -117,6 +117,115 @@ TEST(Prometheus, GoldenExposition) {
   EXPECT_EQ(r.snapshot().to_prometheus(), expected);
 }
 
+TEST(Prometheus, LabeledSeriesShareOneTypeHeader) {
+  obs::Registry r;
+  r.counter("stage.jobs", {{"kind", "inl_yield"}}, "jobs per kind").add(2);
+  r.counter("stage.jobs", {{"kind", "dnl_yield"}}, "jobs per kind").add(1);
+  obs::Histogram& h =
+      r.histogram("stage.us", {{"kind", "inl_yield"}, {"stage", "compute"}});
+  h.observe(3);
+
+  const std::string expected =
+      "# HELP csdac_stage_jobs_total jobs per kind\n"
+      "# TYPE csdac_stage_jobs_total counter\n"
+      "csdac_stage_jobs_total{kind=\"dnl_yield\"} 1\n"
+      "csdac_stage_jobs_total{kind=\"inl_yield\"} 2\n"
+      "# TYPE csdac_stage_us histogram\n"
+      "csdac_stage_us_bucket{kind=\"inl_yield\",stage=\"compute\","
+      "le=\"0\"} 0\n"
+      "csdac_stage_us_bucket{kind=\"inl_yield\",stage=\"compute\","
+      "le=\"1\"} 0\n"
+      "csdac_stage_us_bucket{kind=\"inl_yield\",stage=\"compute\","
+      "le=\"3\"} 1\n"
+      "csdac_stage_us_bucket{kind=\"inl_yield\",stage=\"compute\","
+      "le=\"+Inf\"} 1\n"
+      "csdac_stage_us_sum{kind=\"inl_yield\",stage=\"compute\"} 3\n"
+      "csdac_stage_us_count{kind=\"inl_yield\",stage=\"compute\"} 1\n";
+  EXPECT_EQ(r.snapshot().to_prometheus(), expected);
+}
+
+TEST(Prometheus, HostileLabelCorpusIsEscaped) {
+  // Every value routed through the shared exposition escaper: backslash,
+  // quote, and newline get escaped; everything else (spaces, braces,
+  // commas, equals, tabs, UTF-8) passes through as bytes inside the
+  // quoted value, which the text format permits.
+  const struct {
+    const char* value;
+    const char* escaped;
+  } corpus[] = {
+      {"plain", "plain"},
+      {"", ""},
+      {"a\"b", "a\\\"b"},
+      {"back\\slash", "back\\\\slash"},
+      {"line\nbreak", "line\\nbreak"},
+      {"\\n literal", "\\\\n literal"},
+      {"sp ace", "sp ace"},
+      {"{},=", "{},="},
+      {"k=\"v\"", "k=\\\"v\\\""},
+      {"tab\there", "tab\there"},
+      {"\xc2\xb5s", "\xc2\xb5s"},
+      {"\"\\\n", "\\\"\\\\\\n"},
+  };
+  for (const auto& tc : corpus) {
+    const std::string labels =
+        obs::prometheus_labels({{"v", tc.value}});
+    EXPECT_EQ(labels, std::string("{v=\"") + tc.escaped + "\"}")
+        << tc.value;
+  }
+  // Label KEYS are sanitized like metric names, not escaped.
+  EXPECT_EQ(obs::prometheus_labels({{"weird key!", "x"}}),
+            "{weird_key_=\"x\"}");
+
+  // A hostile value embedded in a full exposition still renders one
+  // parseable sample line per series.
+  obs::Registry r;
+  r.counter("hostile.hits", {{"src", "a\"b\\c\nd e"}}).add(7);
+  const std::string out = r.snapshot().to_prometheus();
+  EXPECT_NE(
+      out.find(
+          "csdac_hostile_hits_total{src=\"a\\\"b\\\\c\\nd e\"} 7\n"),
+      std::string::npos)
+      << out;
+}
+
+TEST(Prometheus, EmptyHistogramStillTerminatesWithInf) {
+  // A registered-but-never-observed histogram must still be a complete
+  // series: the +Inf bucket is emitted unconditionally so scrapers and
+  // check_metrics.py never see a bucket list without a terminal bound.
+  obs::Registry r;
+  r.histogram("quiet_us");
+  r.histogram("quiet.labeled_us", {{"kind", "x"}});
+  const std::string expected =
+      "# TYPE csdac_quiet_labeled_us histogram\n"
+      "csdac_quiet_labeled_us_bucket{kind=\"x\",le=\"+Inf\"} 0\n"
+      "csdac_quiet_labeled_us_sum{kind=\"x\"} 0\n"
+      "csdac_quiet_labeled_us_count{kind=\"x\"} 0\n"
+      "# TYPE csdac_quiet_us histogram\n"
+      "csdac_quiet_us_bucket{le=\"+Inf\"} 0\n"
+      "csdac_quiet_us_sum 0\n"
+      "csdac_quiet_us_count 0\n";
+  EXPECT_EQ(r.snapshot().to_prometheus(), expected);
+}
+
+TEST(Metrics, LabelOrderNamesOneSeries) {
+  obs::Registry r;
+  obs::Counter& a = r.counter("multi", {{"b", "2"}, {"a", "1"}});
+  obs::Counter& b = r.counter("multi", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  b.add(1);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 2);
+}
+
+TEST(Metrics, OneTypePerNameAcrossLabeledAndPlain) {
+  obs::Registry r;
+  r.counter("typed", {{"k", "v"}});
+  EXPECT_THROW(r.histogram("typed"), std::logic_error);
+  EXPECT_THROW(r.gauge("typed", {{"k", "other"}}), std::logic_error);
+}
+
 TEST(ChromeTrace, ValidJsonWithNestedSpans) {
   obs::SpanCollector collector;
   obs::Tracer::global().add_sink(&collector);

@@ -5,13 +5,16 @@ Parses the dump (stdlib only — no prometheus_client in the toolchain),
 checks the exposition structure, then applies csdac-specific invariants:
 
   * every sample line is `name value` with a finite non-negative value,
-    names match [a-zA-Z_][a-zA-Z0-9_]* (label form `name{le="..."}` is
-    accepted on histogram buckets only);
+    names match [a-zA-Z_][a-zA-Z0-9_]*; the label form `name{k="v",...}`
+    is accepted on any sample, with the exposition escapes (\\, \",
+    \n) decoded and series identity taken as (name, label set);
   * every metric has a # TYPE line (HELP is optional — instruments may
     register without help text) declaring counter/gauge/histogram;
   * counters end in _total; histogram series are complete (_bucket with
     a trailing le="+Inf", _sum, _count), bucket counts are cumulative
-    (monotone in le) and the +Inf bucket equals _count.
+    (monotone in le) and the +Inf bucket equals _count — checked per
+    label group, so csdac_serve_stage_us{kind=...,stage=...} must be a
+    complete histogram for every (kind, stage) pair it mentions.
 
 Modes:
   check_metrics.py METRICS.prom [--expect-simd BACKEND] [--expect-serve]
@@ -40,6 +43,15 @@ gauge (the ESS diagnostic actually reached the registry); the warm dump
 must show ZERO rare-event proposal chips — a cached IS result must be
 served without re-running the estimator.
 
+--expect-stages (either mode) requires the per-stage latency attribution
+histograms (csdac_serve_stage_us{kind=...,stage=...}): every kind that
+appears must carry the full stage set (admission, queue, hot, disk,
+compute, store, serialize, total). On a cold dump the compute stage must
+have accumulated positive time (work actually ran). On a warm dump the
+compute stage must have count > 0 with sum == 0: every job was observed
+through the stage pipeline, and every one of them skipped compute
+because the cache answered.
+
 --expect-arch (either mode) additionally requires the dynamic-error
 architecture instruments: the cold dump must show at least one
 dyn-spectrum run with waveform syntheses and ETE predictions recorded;
@@ -55,13 +67,82 @@ import sys
 SIMD_BACKENDS = ("scalar", "sse2", "avx2")
 
 NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
-BUCKET_RE = re.compile(
-    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\{le="(?P<le>[^"]+)"\}$')
+
+STAGE_HIST = "csdac_serve_stage_us"
+STAGES = ("admission", "queue", "hot", "disk", "compute", "store",
+          "serialize", "total")
 
 
 def fail(msg):
     print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def parse_sample_name(raw, where):
+    """Splits `name{k="v",...}` into (name, labels) with labels a tuple of
+    (key, value) pairs, decoding the exposition escapes (backslash, quote,
+    newline). A bare name yields an empty label tuple."""
+    brace = raw.find("{")
+    if brace < 0:
+        if not NAME_RE.match(raw):
+            fail(f"{where}: bad metric name {raw!r}")
+        return raw, ()
+    name = raw[:brace]
+    if not NAME_RE.match(name):
+        fail(f"{where}: bad metric name {name!r}")
+    if not raw.endswith("}"):
+        fail(f"{where}: unterminated label set in {raw!r}")
+    body = raw[brace + 1:-1]
+    labels = []
+    i = 0
+    while i < len(body):
+        eq = body.find('="', i)
+        if eq < 0:
+            fail(f"{where}: malformed label set in {raw!r}")
+        key = body[i:eq]
+        if not NAME_RE.match(key):
+            fail(f"{where}: bad label name {key!r} in {raw!r}")
+        i = eq + 2
+        val = []
+        while True:
+            if i >= len(body):
+                fail(f"{where}: unterminated label value in {raw!r}")
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= len(body):
+                    fail(f"{where}: dangling escape in {raw!r}")
+                esc = body[i + 1]
+                if esc == "n":
+                    val.append("\n")
+                elif esc in ('"', "\\"):
+                    val.append(esc)
+                else:
+                    fail(f"{where}: unknown escape \\{esc} in {raw!r}")
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                val.append(c)
+                i += 1
+        labels.append((key, "".join(val)))
+        if i < len(body):
+            if body[i] != ",":
+                fail(f"{where}: expected ',' between labels in {raw!r}")
+            i += 1
+            if i >= len(body):
+                fail(f"{where}: trailing comma in {raw!r}")
+    return name, tuple(sorted(labels))
+
+
+def sample_key(name, labels):
+    """Series identity: plain string for label-free samples (keeps the
+    existing check_* helpers untouched), (name, labels) otherwise."""
+    return name if not labels else (name, labels)
+
+
+def labels_text(labels):
+    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
 
 
 def parse_value(text, where):
@@ -75,9 +156,9 @@ def parse_value(text, where):
 
 
 def parse_exposition(path):
-    """Returns (samples, types): samples maps a sample name (or
-    (name, le) for buckets) to its value; types maps metric name to the
-    declared TYPE."""
+    """Returns (samples, types): samples maps a series key — the bare
+    name, or (name, labels) for labeled series — to its value; types maps
+    metric name to the declared TYPE."""
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -110,17 +191,14 @@ def parse_exposition(path):
             continue
         if line.startswith("#"):
             continue
-        fields = line.split()
+        # rsplit, not split: label values may legally contain spaces
+        # (the escaper only rewrites backslash, quote, newline).
+        fields = line.rsplit(None, 1)
         if len(fields) != 2:
             fail(f"{where}: sample line is not `name value`")
         raw_name, value = fields
-        m = BUCKET_RE.match(raw_name)
-        if m:
-            key = (m.group("name"), m.group("le"))
-        else:
-            if not NAME_RE.match(raw_name):
-                fail(f"{where}: bad metric name {raw_name!r}")
-            key = raw_name
+        name, labels = parse_sample_name(raw_name, where)
+        key = sample_key(name, labels)
         if key in samples:
             fail(f"{where}: duplicate sample {raw_name!r}")
         samples[key] = parse_value(value, where)
@@ -133,50 +211,72 @@ def le_key(le):
     return math.inf if le == "+Inf" else float(le)
 
 
+def series_of(samples, name):
+    """All samples of one metric as (labels, value) pairs."""
+    out = []
+    for key, v in samples.items():
+        if key == name:
+            out.append(((), v))
+        elif isinstance(key, tuple) and key[0] == name:
+            out.append((key[1], v))
+    return out
+
+
 def check_structure(path, samples, types):
     for name, kind in types.items():
         if kind == "counter":
             if not name.endswith("_total"):
                 fail(f"{path}: counter {name} lacks _total suffix")
-            if name not in samples:
+            series = series_of(samples, name)
+            if not series:
                 fail(f"{path}: counter {name} has no sample")
-            if samples[name] < 0:
-                fail(f"{path}: counter {name} is negative")
+            for labels, v in series:
+                if v < 0:
+                    fail(f"{path}: counter {name}{labels_text(labels)} "
+                         f"is negative")
         elif kind == "gauge":
-            if name not in samples:
+            if not series_of(samples, name):
                 fail(f"{path}: gauge {name} has no sample")
         elif kind == "histogram":
-            buckets = sorted(
-                ((le_key(k[1]), v) for k, v in samples.items()
-                 if isinstance(k, tuple) and k[0] == name + "_bucket"),
-                key=lambda p: p[0])
-            if not buckets:
+            # Group the buckets by their non-le labels: each group is an
+            # independent histogram series needing +Inf / _sum / _count.
+            groups = {}
+            for labels, v in series_of(samples, name + "_bucket"):
+                les = [lv for lk, lv in labels if lk == "le"]
+                if len(les) != 1:
+                    fail(f"{path}: bucket {name}{labels_text(labels)} "
+                         f"needs exactly one le label")
+                group = tuple(p for p in labels if p[0] != "le")
+                groups.setdefault(group, []).append((le_key(les[0]), v))
+            if not groups:
                 fail(f"{path}: histogram {name} has no buckets")
-            if buckets[-1][0] != math.inf:
-                fail(f"{path}: histogram {name} lacks a +Inf bucket")
-            prev = -1
-            for le, count in buckets:
-                if count < prev:
-                    fail(f"{path}: histogram {name} bucket le={le} count "
-                         f"{count} below previous {prev} (not cumulative)")
-                prev = count
-            for suffix in ("_sum", "_count"):
-                if name + suffix not in samples:
-                    fail(f"{path}: histogram {name} lacks {suffix}")
-            if buckets[-1][1] != samples[name + "_count"]:
-                fail(f"{path}: histogram {name} +Inf bucket "
-                     f"{buckets[-1][1]} != _count "
-                     f"{samples[name + '_count']}")
+            for group, buckets in sorted(groups.items()):
+                tag = name + (labels_text(group) if group else "")
+                buckets.sort(key=lambda p: p[0])
+                if buckets[-1][0] != math.inf:
+                    fail(f"{path}: histogram {tag} lacks a +Inf bucket")
+                prev = -1
+                for le, count in buckets:
+                    if count < prev:
+                        fail(f"{path}: histogram {tag} bucket le={le} "
+                             f"count {count} below previous {prev} "
+                             f"(not cumulative)")
+                    prev = count
+                for suffix in ("_sum", "_count"):
+                    if sample_key(name + suffix, group) not in samples:
+                        fail(f"{path}: histogram {tag} lacks {suffix}")
+                count = samples[sample_key(name + "_count", group)]
+                if buckets[-1][1] != count:
+                    fail(f"{path}: histogram {tag} +Inf bucket "
+                         f"{buckets[-1][1]} != _count {count}")
     # Every sample must belong to a declared metric.
     for key in samples:
-        if isinstance(key, tuple):
-            base = key[0].removesuffix("_bucket")
-        else:
-            base = key
-            for suffix in ("_sum", "_count"):
-                if base.endswith(suffix) and base.removesuffix(
-                        suffix) in types:
-                    base = base.removesuffix(suffix)
+        base = key[0] if isinstance(key, tuple) else key
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base.removesuffix(
+                    suffix) in types:
+                base = base.removesuffix(suffix)
+                break
         if base not in types:
             fail(f"{path}: sample {key!r} has no TYPE declaration")
 
@@ -280,6 +380,53 @@ def check_arch_warm(path, samples):
              f"dyn-spectrum result was recomputed")
 
 
+def stage_values(samples, suffix):
+    """(kind, stage) -> value over csdac_serve_stage_us_<suffix> series."""
+    out = {}
+    for labels, v in series_of(samples, STAGE_HIST + suffix):
+        d = dict(labels)
+        if "kind" in d and "stage" in d:
+            out[(d["kind"], d["stage"])] = v
+    return out
+
+
+def check_stages_complete(path, samples):
+    """Every job kind that shows up in the stage histograms must carry
+    the full stage vocabulary — a missing stage means some path through
+    handle_request skipped part of the attribution pipeline."""
+    sums = stage_values(samples, "_sum")
+    if not sums:
+        fail(f"{path}: no {STAGE_HIST} series — per-stage latency "
+             f"attribution never reached the registry")
+    for kind in sorted({k for k, _ in sums}):
+        for stage in STAGES:
+            if (kind, stage) not in sums:
+                fail(f"{path}: stage histograms for kind={kind} lack "
+                     f"stage={stage}")
+    return sums
+
+
+def check_stages_cold(path, samples):
+    sums = check_stages_complete(path, samples)
+    compute = sum(v for (_, s), v in sums.items() if s == "compute")
+    if compute <= 0:
+        fail(f"{path}: cold run attributed zero compute time — stage "
+             f"timing is not reaching the executor")
+
+
+def check_stages_warm(path, samples):
+    sums = check_stages_complete(path, samples)
+    counts = stage_values(samples, "_count")
+    observed = sum(v for (_, s), v in counts.items() if s == "compute")
+    if observed < 1:
+        fail(f"{path}: warm run observed no jobs through the compute "
+             f"stage — zero-duration stages must still be recorded")
+    compute = sum(v for (_, s), v in sums.items() if s == "compute")
+    if compute != 0:
+        fail(f"{path}: warm run attributed {int(compute)} us of compute "
+             f"— the cache did not answer everything")
+
+
 def check_warm(path, samples):
     if counter(samples, "csdac_cache_misses_total", 0) != 0:
         fail(f"{path}: warm run has cache misses — the cache did not "
@@ -297,6 +444,8 @@ def main(argv):
     argv = [a for a in argv if a != "--expect-rare"]
     expect_arch = "--expect-arch" in argv
     argv = [a for a in argv if a != "--expect-arch"]
+    expect_stages = "--expect-stages" in argv
+    argv = [a for a in argv if a != "--expect-stages"]
     expect_simd = None
     if len(argv) == 4 and argv[2] == "--expect-simd":
         expect_simd = argv[3]
@@ -313,6 +462,8 @@ def main(argv):
             check_rare_cold(argv[1], samples)
         if expect_arch:
             check_arch_cold(argv[1], samples)
+        if expect_stages:
+            check_stages_cold(argv[1], samples)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
               f"{len(samples)} samples")
         return 0
@@ -333,6 +484,9 @@ def main(argv):
         if expect_arch:
             check_arch_cold(cold_path, cold)
             check_arch_warm(warm_path, warm)
+        if expect_stages:
+            check_stages_cold(cold_path, cold)
+            check_stages_warm(warm_path, warm)
         if counter(warm, "csdac_cache_hits_total") < counter(
                 cold, "csdac_cache_misses_total"):
             fail("warm hits < cold misses: some cold results never "
@@ -344,9 +498,11 @@ def main(argv):
               f"0 chips")
         return 0
     print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND] "
-          "[--expect-serve] [--expect-rare] [--expect-arch]\n"
+          "[--expect-serve] [--expect-rare] [--expect-arch] "
+          "[--expect-stages]\n"
           "       check_metrics.py --cold COLD.prom --warm WARM.prom "
-          "[--expect-serve] [--expect-rare] [--expect-arch]",
+          "[--expect-serve] [--expect-rare] [--expect-arch] "
+          "[--expect-stages]",
           file=sys.stderr)
     return 2
 

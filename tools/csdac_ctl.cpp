@@ -1,0 +1,338 @@
+// Operator CLI for the design server's control channel ("csdac-ctl/1" on
+// the serve port):
+//
+//   csdac_ctl [--host H] (--port N | --port-file PATH) CMD
+//
+//   ping                         liveness probe (workers, inflight)
+//   metrics                      print the Prometheus exposition dump
+//   dump [--out PATH]            fetch the flight-recorder ring as Chrome
+//                                trace JSON (stdout or --out; loads in
+//                                Perfetto / chrome://tracing)
+//   stats [--interval-s S]       poll the metrics twice S seconds apart
+//                                (default 2) and print RATES: requests/s,
+//                                jobs/s, chips/s, hot/disk hit %, queue
+//                                depth, and per-kind p50/p99 latency from
+//                                the serve.stage_us{stage="total"}
+//                                histogram deltas — percentiles of what
+//                                happened DURING the window, not since
+//                                server start
+//   shutdown                     ask the server to exit cleanly
+//
+// Exit status: 0 on success, 1 on transport/server errors, 2 on usage.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/json.hpp"
+#include "serve/client.hpp"
+
+using namespace csdac;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "csdac_ctl: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: csdac_ctl [--host H] (--port N | --port-file PATH) "
+               "CMD\n"
+               "  CMD: ping | metrics | dump [--out PATH] | "
+               "stats [--interval-s S] | shutdown\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  std::string cmd;
+  std::string out_path;      ///< dump target ("" = stdout)
+  double interval_s = 2.0;   ///< stats sampling window
+  int port = 0;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  const auto value = [&](int& a) -> const char* {
+    if (a + 1 >= argc) usage();
+    return argv[++a];
+  };
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--host") == 0) o.host = value(a);
+    else if (std::strcmp(argv[a], "--port") == 0)
+      o.port = std::atoi(value(a));
+    else if (std::strcmp(argv[a], "--port-file") == 0)
+      o.port_file = value(a);
+    else if (std::strcmp(argv[a], "--out") == 0) o.out_path = value(a);
+    else if (std::strcmp(argv[a], "--interval-s") == 0)
+      o.interval_s = std::atof(value(a));
+    else if (argv[a][0] != '-' && o.cmd.empty()) o.cmd = argv[a];
+    else usage();
+  }
+  if (o.cmd != "ping" && o.cmd != "metrics" && o.cmd != "dump" &&
+      o.cmd != "stats" && o.cmd != "shutdown") {
+    usage();
+  }
+  if (!(o.interval_s > 0)) die("--interval-s must be positive");
+  if (!o.port_file.empty() && o.port <= 0) {
+    std::ifstream pf(o.port_file);
+    if (!pf || !(pf >> o.port)) die("cannot read port from " + o.port_file);
+  }
+  if (o.port <= 0) die("no --port (or --port-file) given");
+  return o;
+}
+
+/// One ctl round trip; dies on transport errors or server error frames.
+runtime::JsonValue ctl_call(serve::Client& conn, const std::string& cmd) {
+  const std::string payload =
+      "{\"schema\":\"csdac-ctl/1\",\"cmd\":\"" + cmd + "\"}";
+  std::string reply;
+  const serve::FrameStatus st = conn.call(payload, reply);
+  if (st != serve::FrameStatus::kOk) {
+    die("transport error: " + std::string(serve::frame_status_name(st)));
+  }
+  runtime::JsonValue doc;
+  std::string err;
+  if (!runtime::parse_json(reply, doc, &err)) {
+    die("unparseable reply: " + err);
+  }
+  if (const auto* e = doc.find("error")) {
+    die("server error: " + e->string_or("code", "?") + ": " +
+        e->string_or("message", ""));
+  }
+  return doc;
+}
+
+// --- Prometheus text parsing (for `stats`) ---------------------------------
+
+/// One exposition sample: metric name, sorted labels, value.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  std::string label_or(const std::string& key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+};
+
+/// Parses the subset of the exposition format the registry emits: comment
+/// lines, `name value`, and `name{k="v",...} value` with \\ \" \n escapes
+/// in label values.
+std::vector<PromSample> parse_prometheus(const std::string& text) {
+  std::vector<PromSample> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    PromSample s;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = std::string(line.substr(0, i));
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = i;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        std::string key(line.substr(i, eq - i));
+        i = eq + 2;  // skip ="
+        std::string val;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            const char c = line[i + 1];
+            val += c == 'n' ? '\n' : c;
+            i += 2;
+          } else {
+            val += line[i++];
+          }
+        }
+        ++i;  // closing quote
+        s.labels.emplace_back(std::move(key), std::move(val));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      ++i;  // closing brace
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) continue;  // malformed; skip
+    const std::string num(line.substr(i));
+    s.value = num == "+Inf" ? HUGE_VAL : std::strtod(num.c_str(), nullptr);
+    std::sort(s.labels.begin(), s.labels.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Value of the sample with this exact name and labels (0 when absent —
+/// counters the server never touched simply read as zero deltas).
+double sample_value(const std::vector<PromSample>& samples,
+                    const std::string& name,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        labels = {}) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return 0.0;
+}
+
+std::string fetch_metrics(serve::Client& conn) {
+  const runtime::JsonValue doc = ctl_call(conn, "metrics");
+  return doc.string_or("prometheus", "");
+}
+
+/// Cumulative-bucket histogram restricted to one (kind, stage) series:
+/// le upper bound -> cumulative count.
+std::map<double, double> stage_buckets(const std::vector<PromSample>& samples,
+                                       const std::string& kind,
+                                       const std::string& stage) {
+  std::map<double, double> out;
+  for (const auto& s : samples) {
+    if (s.name != "csdac_serve_stage_us_bucket") continue;
+    if (s.label_or("kind") != kind || s.label_or("stage") != stage) continue;
+    const std::string le = s.label_or("le");
+    out[le == "+Inf" ? HUGE_VAL : std::strtod(le.c_str(), nullptr)] =
+        s.value;
+  }
+  return out;
+}
+
+/// Upper-bound percentile from a cumulative-bucket DELTA: the smallest le
+/// whose windowed count reaches p of the windowed total. Log2 buckets, so
+/// the answer is a ceiling ("under N us"), not an interpolation.
+double bucket_percentile(const std::map<double, double>& before,
+                         const std::map<double, double>& after, double p) {
+  double total = 0.0;
+  for (const auto& [le, cum] : after) {
+    const auto it = before.find(le);
+    const double delta = cum - (it == before.end() ? 0.0 : it->second);
+    if (std::isinf(le)) total = delta;
+  }
+  if (total <= 0.0) return std::nan("");
+  const double target = p * total;
+  for (const auto& [le, cum] : after) {
+    const auto it = before.find(le);
+    const double delta = cum - (it == before.end() ? 0.0 : it->second);
+    if (delta >= target - 1e-9) return le;
+  }
+  return HUGE_VAL;
+}
+
+int run_stats(serve::Client& conn, const Options& o) {
+  const std::string text0 = fetch_metrics(conn);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(o.interval_s));
+  const std::string text1 = fetch_metrics(conn);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::vector<PromSample> a = parse_prometheus(text0);
+  const std::vector<PromSample> b = parse_prometheus(text1);
+  const auto rate = [&](const std::string& name) {
+    return (sample_value(b, name) - sample_value(a, name)) / dt;
+  };
+  const auto hit_pct = [&](const std::string& hits,
+                           const std::string& misses) {
+    const double h = sample_value(b, hits) - sample_value(a, hits);
+    const double m = sample_value(b, misses) - sample_value(a, misses);
+    return h + m > 0 ? 100.0 * h / (h + m) : std::nan("");
+  };
+
+  std::printf("csdac_ctl: stats over %.2f s window\n", dt);
+  std::printf("  requests/s   %10.2f\n", rate("csdac_serve_requests_total"));
+  std::printf("  jobs/s       %10.2f\n", rate("csdac_sched_completed_total"));
+  std::printf("  chips/s      %10.0f\n",
+              rate("csdac_mc_chips_evaluated_total"));
+  const double hot = hit_pct("csdac_cache_hot_hits_total",
+                             "csdac_cache_hot_misses_total");
+  const double disk =
+      hit_pct("csdac_cache_hits_total", "csdac_cache_misses_total");
+  std::printf("  hot hit %%    %10.1f\n", hot);
+  std::printf("  disk hit %%   %10.1f\n", disk);
+  std::printf("  queue depth  %10.0f\n",
+              sample_value(b, "csdac_sched_queue_depth"));
+  std::printf("  inflight     %10.0f\n",
+              sample_value(b, "csdac_sched_inflight"));
+
+  // Per-kind latency percentiles from the windowed stage_us{stage=total}
+  // histogram deltas. Log2 buckets: each figure is an upper bound.
+  std::vector<std::string> kinds;
+  for (const auto& s : b) {
+    if (s.name != "csdac_serve_stage_us_count") continue;
+    if (s.label_or("stage") != "total") continue;
+    kinds.push_back(s.label_or("kind"));
+  }
+  std::sort(kinds.begin(), kinds.end());
+  kinds.erase(std::unique(kinds.begin(), kinds.end()), kinds.end());
+  for (const std::string& kind : kinds) {
+    const auto before = stage_buckets(a, kind, "total");
+    const auto after = stage_buckets(b, kind, "total");
+    const double p50 = bucket_percentile(before, after, 0.50);
+    const double p99 = bucket_percentile(before, after, 0.99);
+    if (std::isnan(p50)) continue;  // no traffic for this kind in window
+    std::printf("  %-12s p50 <= %.0f us, p99 <= %.0f us\n", kind.c_str(),
+                p50, p99);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  serve::Client conn;
+  std::string err;
+  if (!conn.connect(o.host, o.port, &err)) die("connect: " + err);
+
+  if (o.cmd == "ping") {
+    const runtime::JsonValue doc = ctl_call(conn, "ping");
+    std::printf("ok: %lld workers, %lld jobs inflight\n",
+                static_cast<long long>(doc.int_or("workers", 0)),
+                static_cast<long long>(doc.int_or("inflight", 0)));
+    return 0;
+  }
+  if (o.cmd == "metrics") {
+    std::fputs(fetch_metrics(conn).c_str(), stdout);
+    return 0;
+  }
+  if (o.cmd == "dump") {
+    const runtime::JsonValue doc = ctl_call(conn, "dump");
+    const std::string trace = doc.string_or("chrome_trace", "");
+    if (trace.empty()) die("server returned no chrome_trace");
+    if (o.out_path.empty()) {
+      std::fputs(trace.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::ofstream out(o.out_path, std::ios::binary);
+      if (!out) die("cannot write " + o.out_path);
+      out << trace << "\n";
+      std::fprintf(stderr, "csdac_ctl: wrote %s (%lld events, %lld "
+                           "dropped)\n",
+                   o.out_path.c_str(),
+                   static_cast<long long>(doc.int_or("events", 0)),
+                   static_cast<long long>(doc.int_or("dropped", 0)));
+    }
+    return 0;
+  }
+  if (o.cmd == "stats") return run_stats(conn, o);
+
+  ctl_call(conn, "shutdown");
+  std::printf("ok: shutdown acknowledged\n");
+  return 0;
+}

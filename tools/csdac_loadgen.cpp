@@ -14,6 +14,13 @@
 // questions, so concurrent clients collide on the same keys constantly —
 // the worst (best) case for cross-request dedup. Exits nonzero on any
 // transport error, error frame, or cross-client result mismatch.
+//
+// Every request carries a "trace_id" (lg-<client>-<r>) the server must
+// echo; replies' per-job "stages" objects are aggregated into a
+// server-side latency attribution (admission / queue / hot / disk /
+// compute / store / serialize, mean us per job) reported next to the
+// client-observed p50/p99 — a cold run shows the compute stage dominating
+// and a warm run attributes ~0 us to compute.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -114,10 +121,15 @@ std::string job_payload(int u, int chips) {
   return w.str();
 }
 
+std::string loadgen_trace_id(int client, int r) {
+  return "lg-" + std::to_string(client) + "-" + std::to_string(r);
+}
+
 std::string request_payload(const Options& o, int client, int r) {
   bench::JsonWriter w;
   w.begin_object();
   w.field("schema", "csdac-request/1");
+  w.field("trace_id", loadgen_trace_id(client, r));
   w.key("jobs").begin_array();
   for (int j = 0; j < o.jobs_per_request; ++j) {
     w.raw(job_payload((client + r + j) % o.unique, o.chips));
@@ -168,6 +180,12 @@ void dump_json(const runtime::JsonValue& v, std::string& out) {
   }
 }
 
+/// The per-job stage fields of a serve/4 reply, aggregation order.
+constexpr const char* kStageFields[] = {
+    "admission_us", "queue_us", "compute_us", "hot_us",
+    "disk_us",      "store_us", "serialize_us"};
+constexpr int kNumStages = 7;
+
 struct Shared {
   std::mutex mutex;
   std::map<std::string, std::string> results;  ///< job id -> result JSON
@@ -176,6 +194,8 @@ struct Shared {
   std::int64_t mismatches = 0;
   std::int64_t chip_evals = 0;
   std::int64_t requests = 0;
+  std::int64_t stage_sums[kNumStages] = {};  ///< summed over all jobs
+  std::int64_t stage_jobs = 0;  ///< jobs contributing stage records
 };
 
 void note_error(Shared& s, const std::string& msg) {
@@ -229,6 +249,10 @@ void client_main(const Options& o, int client, Shared& s) {
       note_error(s, "unexpected reply schema");
       return;
     }
+    if (doc.string_or("trace_id", "") != loadgen_trace_id(client, r)) {
+      note_error(s, "reply does not echo the request trace_id");
+      return;
+    }
     const auto* jobs = doc.find("jobs");
     if (!jobs || !jobs->is_array()) {
       note_error(s, "reply has no jobs array");
@@ -251,6 +275,13 @@ void client_main(const Options& o, int client, Shared& s) {
       if (id.empty() || !result) {
         ++s.errors;
         continue;
+      }
+      if (const auto* stages = job.find("stages");
+          stages && stages->is_object()) {
+        ++s.stage_jobs;
+        for (int st = 0; st < kNumStages; ++st) {
+          s.stage_sums[st] += stages->int_or(kStageFields[st], 0);
+        }
       }
       std::string text;
       dump_json(*result, text);
@@ -342,6 +373,15 @@ int main(int argc, char** argv) {
   w.field("p99_us", p99);
   w.field("mean_us", mean);
   w.field("chip_evals", s.chip_evals);
+  // Server-side attribution: where the time went INSIDE the server,
+  // summed over every job the run received stages for. The client p50/p99
+  // above includes network + framing on top of these.
+  w.key("server_stages").begin_object();
+  w.field("jobs", s.stage_jobs);
+  for (int st = 0; st < kNumStages; ++st) {
+    w.field(kStageFields[st], s.stage_sums[st]);
+  }
+  w.end_object();
   w.end_object();
   w.end_object();
   w.end_array();
@@ -360,6 +400,16 @@ int main(int argc, char** argv) {
       static_cast<long long>(s.chip_evals),
       static_cast<long long>(s.errors),
       static_cast<long long>(s.mismatches));
+  if (s.stage_jobs > 0) {
+    std::printf("csdac_loadgen: server stages, mean us/job over %lld jobs:",
+                static_cast<long long>(s.stage_jobs));
+    for (int st = 0; st < kNumStages; ++st) {
+      std::printf(" %s %.0f", kStageFields[st],
+                  static_cast<double>(s.stage_sums[st]) /
+                      static_cast<double>(s.stage_jobs));
+    }
+    std::printf("\n");
+  }
   std::printf("wrote %s\n", o.out_path.c_str());
   return s.errors == 0 && s.mismatches == 0 &&
                  s.requests ==

@@ -18,12 +18,23 @@
 // scheduler (src/serve/server.*): many concurrent clients, cross-request
 // dedup, in-memory hot tier above the same disk cache, per-client
 // admission control. Runs until SIGINT/SIGTERM or a ctl shutdown frame,
-// then dumps metrics (--metrics-out) and exits cleanly.
+// then flushes the flight recorder (--flight-out) and metrics
+// (--metrics-out) on EVERY exit path — signal, ctl shutdown, or a fatal
+// error (std::terminate dumps the flight ring before aborting, so the
+// last seconds of requests survive a crash).
 //
 //   csdac_serve --listen [--host H] [--port N] [--port-file PATH]
 //               [--workers N] [--max-inflight N] [--max-connections N]
 //               [--hot-mb N] [--cache DIR] [--no-cache] [--cache-max-mb N]
-//               [--trace PATH] [--metrics-out PATH]
+//               [--trace PATH] [--metrics-out PATH] [--flight-out PATH]
+//               [--slow-us N] [--slow-log PATH]
+//
+// --slow-us N tail-samples requests taking >= N microseconds into the
+// --slow-log JSONL file with a per-job stage breakdown (admission /
+// queue / hot / disk / compute / store / serialize); 0 samples every
+// request. Every request also carries a trace id (client-supplied
+// "trace_id" or server-minted), visible in the slow log, the reply, and
+// the flight-recorder dump.
 //
 // --metrics-out writes the full registry in Prometheus text exposition
 // format after the batch (or on server exit). --chrome-trace collects
@@ -43,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -51,6 +63,7 @@
 
 #include "bench_json.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "runtime/graph.hpp"
@@ -82,6 +95,7 @@ struct Options {
   std::string out_path = "serve_response.json";
   std::string cache_dir = ".csdac-cache";
   std::string trace_path, metrics_path, chrome_path, port_file;
+  std::string flight_path, slow_log;
   std::string host = "127.0.0.1";
   bool use_cache = true;
   bool listen = false;
@@ -92,6 +106,7 @@ struct Options {
   int max_connections = 64;
   double cache_max_mb = 256.0;
   double hot_mb = 64.0;
+  long long slow_us = -1;  ///< >= 0 enables slow-request sampling
 };
 
 [[noreturn]] void usage() {
@@ -103,7 +118,8 @@ struct Options {
       "       csdac_serve --listen [--host H] [--port N] "
       "[--port-file PATH] [--workers N] [--max-inflight N] "
       "[--max-connections N] [--hot-mb N] [--cache DIR] [--no-cache] "
-      "[--cache-max-mb N] [--trace PATH] [--metrics-out PATH]\n");
+      "[--cache-max-mb N] [--trace PATH] [--metrics-out PATH] "
+      "[--flight-out PATH] [--slow-us N] [--slow-log PATH]\n");
   std::exit(2);
 }
 
@@ -140,6 +156,12 @@ Options parse_args(int argc, char** argv) {
       o.max_connections = std::atoi(value(a));
     else if (std::strcmp(argv[a], "--hot-mb") == 0)
       o.hot_mb = std::atof(value(a));
+    else if (std::strcmp(argv[a], "--flight-out") == 0)
+      o.flight_path = value(a);
+    else if (std::strcmp(argv[a], "--slow-us") == 0)
+      o.slow_us = std::atoll(value(a));
+    else if (std::strcmp(argv[a], "--slow-log") == 0)
+      o.slow_log = value(a);
     else if (argv[a][0] != '-' && o.request_path.empty())
       o.request_path = argv[a];
     else usage();
@@ -155,11 +177,39 @@ void dump_metrics(const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+void dump_flight(const std::string& path) {
+  if (path.empty()) return;
+  if (!obs::FlightRecorder::global().dump(path)) {
+    std::fprintf(stderr, "csdac_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Fatal-error artifact paths, latched before the server starts so the
+// terminate handler (which cannot take arguments) can flush them. A
+// crashing server still leaves its flight ring and final metrics behind.
+std::string g_fatal_flight_path;
+std::string g_fatal_metrics_path;
+
+void on_terminate() {
+  if (!g_fatal_flight_path.empty()) {
+    obs::FlightRecorder::global().dump(g_fatal_flight_path);
+  }
+  if (!g_fatal_metrics_path.empty()) {
+    std::ofstream mout(g_fatal_metrics_path, std::ios::binary);
+    if (mout) mout << obs::Registry::global().snapshot().to_prometheus();
+  }
+  std::abort();
+}
+
 int run_server(const Options& o) {
   serve::ServerOptions so;
   so.host = o.host;
   so.port = o.port;
   so.max_connections = o.max_connections;
+  so.slow_us = o.slow_us;
+  so.slow_log = o.slow_log;
   so.sched.workers = o.workers;
   so.sched.threads_per_job = 1;
   so.sched.max_inflight_per_client = o.max_inflight;
@@ -176,6 +226,14 @@ int run_server(const Options& o) {
     pf << server.port() << "\n";
   }
 
+  // The server records every request and span into the flight recorder;
+  // the sink makes the tracer permanently active for this process, which
+  // is the point — the ring must be populated BEFORE anyone asks for it.
+  obs::FlightRecorder::install_global_span_sink();
+  g_fatal_flight_path = o.flight_path;
+  g_fatal_metrics_path = o.metrics_path;
+  std::set_terminate(on_terminate);
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   server.start();
@@ -188,15 +246,22 @@ int run_server(const Options& o) {
   while (!g_signal_stop.load() && !server.shutdown_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // One flush sequence for every exit path — SIGINT/SIGTERM mid-batch and
+  // ctl shutdown land here identically: stop() joins the connection
+  // threads (in-flight requests finish and get recorded), THEN the
+  // artifacts are written, so a dump after `csdac-ctl shutdown` is never
+  // missing the final requests.
   server.stop();
 
   const serve::ServerCounters c = server.counters();
   std::printf("csdac_serve: served %lld requests on %lld connections "
-              "(%lld errors, %lld rejected)\n",
+              "(%lld errors, %lld rejected, %lld slow)\n",
               static_cast<long long>(c.requests),
               static_cast<long long>(c.connections),
               static_cast<long long>(c.errors),
-              static_cast<long long>(c.rejected));
+              static_cast<long long>(c.rejected),
+              static_cast<long long>(c.slow));
+  dump_flight(o.flight_path);
   dump_metrics(o.metrics_path);
   return 0;
 }
