@@ -42,12 +42,17 @@ using MatrixD = Matrix<double>;
 using MatrixC = Matrix<std::complex<double>>;
 
 /// Thrown when LU factorization meets a (numerically) singular matrix.
+/// pivot_row() is the elimination step (= unknown index) with no usable
+/// pivot; callers that know what the unknowns mean (the MNA solver) may
+/// rethrow with a message naming the offending node or branch.
 class SingularMatrixError : public std::runtime_error {
  public:
   explicit SingularMatrixError(std::size_t pivot_row)
       : std::runtime_error("singular matrix at pivot row " +
                            std::to_string(pivot_row)),
         pivot_row_(pivot_row) {}
+  SingularMatrixError(std::size_t pivot_row, const std::string& message)
+      : std::runtime_error(message), pivot_row_(pivot_row) {}
   std::size_t pivot_row() const { return pivot_row_; }
 
  private:

@@ -82,6 +82,7 @@ struct ScalarOps {
   static F64 fmin(F64 a, F64 b) { return a < b ? a : b; }
   static F64 fmax(F64 a, F64 b) { return a > b ? a : b; }
   static F64 fabs(F64 v) { return std::abs(v); }
+  static F64 fsqrt(F64 v) { return std::sqrt(v); }
 
   static Mask mask_all() { return true; }
   static Mask cmp_gt(F64 a, F64 b) { return a > b; }

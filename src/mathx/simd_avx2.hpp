@@ -31,6 +31,7 @@ struct Avx2Ops {
   static F64 fabs(F64 v) {
     return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
   }
+  static F64 fsqrt(F64 v) { return _mm256_sqrt_pd(v); }
 
   static Mask mask_all() {
     return _mm256_castsi256_pd(_mm256_set1_epi64x(-1));

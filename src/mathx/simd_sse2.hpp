@@ -28,6 +28,7 @@ struct Sse2Ops {
   static F64 fmin(F64 a, F64 b) { return _mm_min_pd(a, b); }
   static F64 fmax(F64 a, F64 b) { return _mm_max_pd(a, b); }
   static F64 fabs(F64 v) { return _mm_andnot_pd(_mm_set1_pd(-0.0), v); }
+  static F64 fsqrt(F64 v) { return _mm_sqrt_pd(v); }
 
   static Mask mask_all() {
     return _mm_castsi128_pd(_mm_set1_epi64x(-1));

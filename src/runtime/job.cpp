@@ -24,6 +24,7 @@ std::string_view kind_name(JobKind kind) {
     case JobKind::kInlYieldBridge: return "inl_yield_bridge";
     case JobKind::kDynSpectrum: return "dyn_spectrum";
     case JobKind::kArchCompare: return "arch_compare";
+    case JobKind::kSpiceMc: return "spice_mc";
   }
   return "unknown";
 }
@@ -55,6 +56,9 @@ JobKind job_kind(const Job& job) {
         }
         if constexpr (std::is_same_v<T, ArchCompareJob>) {
           return JobKind::kArchCompare;
+        }
+        if constexpr (std::is_same_v<T, SpiceMcJob>) {
+          return JobKind::kSpiceMc;
         }
       },
       job);
@@ -241,6 +245,21 @@ void put_params(const ArchCompareJob& j, mathx::ByteWriter& w) {
   w.i32(j.opt_cells);
 }
 
+void put_params(const SpiceMcJob& j, mathx::ByteWriter& w) {
+  put(j.spec, w);
+  put(j.tech, w);
+  w.f64(j.vod_cs);
+  w.f64(j.vod_sw);
+  w.f64(j.vod_cas);
+  w.boolean(j.cascode);
+  w.i32(j.chips);
+  w.u64(j.seed);
+  w.f64(j.limit);
+  w.f64(j.sigma_scale);
+  w.boolean(j.differential);
+  w.boolean(j.with_caps);
+}
+
 // Result payload codec. Each kind carries its own schema version so a
 // result-format change invalidates only that kind's entries (the reader
 // rejects, the caller recomputes and overwrites).
@@ -253,6 +272,7 @@ constexpr std::uint8_t kStratResultV = 1;
 constexpr std::uint8_t kBridgeResultV = 1;
 constexpr std::uint8_t kDynSpectrumResultV = 1;
 constexpr std::uint8_t kArchCompareResultV = 1;
+constexpr std::uint8_t kSpiceMcResultV = 1;
 
 }  // namespace
 
@@ -337,6 +357,21 @@ void encode_value(const JobValue& value, mathx::ByteWriter& w) {
           w.f64(v.sndr_mean_db);
           w.f64(v.ete_sfdr_mean_db);
           w.i32(v.cells);
+        } else if constexpr (std::is_same_v<T, SpiceMcResult>) {
+          w.u8(kSpiceMcResultV);
+          w.i64(v.chips);
+          w.i64(v.pass);
+          w.f64(v.yield);
+          w.f64(v.ci95);
+          w.f64(v.inl_mean);
+          w.f64(v.inl_worst);
+          w.i64(v.newton_iters);
+          w.i64(v.factorizations);
+          w.i64(v.refactorizations);
+          w.i64(v.warm_starts);
+          w.i64(v.warm_start_hits);
+          w.i64(v.device_evals);
+          w.f64(v.warm_start_hit_rate);
         } else if constexpr (std::is_same_v<T, ArchCompareResult>) {
           w.u8(kArchCompareResultV);
           w.u32(static_cast<std::uint32_t>(v.points.size()));
@@ -475,6 +510,25 @@ bool decode_value(JobKind kind, mathx::ByteReader& r, JobValue& out) {
         p.activity = r.f64();
       }
       out = std::move(v);
+      break;
+    }
+    case JobKind::kSpiceMc: {
+      if (r.u8() != kSpiceMcResultV) return false;
+      SpiceMcResult v;
+      v.chips = r.i64();
+      v.pass = r.i64();
+      v.yield = r.f64();
+      v.ci95 = r.f64();
+      v.inl_mean = r.f64();
+      v.inl_worst = r.f64();
+      v.newton_iters = r.i64();
+      v.factorizations = r.i64();
+      v.refactorizations = r.i64();
+      v.warm_starts = r.i64();
+      v.warm_start_hits = r.i64();
+      v.device_evals = r.i64();
+      v.warm_start_hit_rate = r.f64();
+      out = v;
       break;
     }
     default: return false;
@@ -865,6 +919,36 @@ JobValue run_arch_compare(const ArchCompareJob& j, int threads,
   return res;
 }
 
+JobValue run_spice_mc(const SpiceMcJob& j, int threads,
+                      mathx::RunStats* stats) {
+  // Serial by design: the per-code symbolic-factorization reuse and
+  // corner-to-corner warm starts are inherently sequential, and the result
+  // must not depend on the thread count anyway.
+  (void)threads;
+  j.spec.validate();
+  if (j.chips < 1) throw std::invalid_argument("spice_mc job: chips < 1");
+  if (!std::isfinite(j.sigma_scale) || j.sigma_scale < 0.0) {
+    throw std::invalid_argument("spice_mc job: bad sigma_scale");
+  }
+  const core::CellSizer sizer(j.tech, j.spec);
+  const core::SizedCell cell =
+      j.cascode ? sizer.size_cascode(j.vod_cs, j.vod_sw, j.vod_cas)
+                : sizer.size_basic(j.vod_cs, j.vod_sw);
+  dacgen::SpiceMcOptions o;
+  o.chips = j.chips;
+  o.seed = j.seed;
+  o.limit = j.limit;
+  o.sigma_scale = j.sigma_scale;
+  o.differential = j.differential;
+  o.with_caps = j.with_caps;
+  const SpiceMcResult r = dacgen::spice_mismatch_mc(j.spec, cell, j.tech, o);
+  if (stats) {
+    stats->evaluated = r.chips;
+    stats->threads = 1;
+  }
+  return r;
+}
+
 }  // namespace
 
 JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
@@ -889,6 +973,8 @@ JobValue execute_job(const Job& job, int threads, mathx::RunStats* stats) {
           return run_dyn_spectrum(j, threads, stats);
         } else if constexpr (std::is_same_v<T, ArchCompareJob>) {
           return run_arch_compare(j, threads, stats);
+        } else if constexpr (std::is_same_v<T, SpiceMcJob>) {
+          return run_spice_mc(j, threads, stats);
         } else {
           return run_spectrum(j, threads, stats);
         }

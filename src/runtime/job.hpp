@@ -20,6 +20,7 @@
 #include "dac/dynamic.hpp"
 #include "dac/rare_event.hpp"
 #include "dac/static_analysis.hpp"
+#include "dacgen/spice_mc.hpp"
 #include "mathx/hash.hpp"
 #include "mathx/parallel.hpp"
 #include "tech/tech.hpp"
@@ -43,6 +44,7 @@ enum class JobKind : std::uint8_t {
   kInlYieldBridge = 8,
   kDynSpectrum = 9,
   kArchCompare = 10,
+  kSpiceMc = 11,
 };
 
 std::string_view kind_name(JobKind kind);
@@ -187,10 +189,30 @@ struct ArchCompareJob {
   int opt_cells = 0;  ///< 0 = match the default segmented cell count
 };
 
+/// SPICE-in-the-loop mismatch MC (dacgen::spice_mismatch_mc): each corner
+/// perturbs every transistor of the netlist-level DAC with Pelgrom
+/// Vth/beta draws from the (seed, corner) stream and judges max|INL| on
+/// MNA-solved transfer functions. The unit cell is sized inside the job
+/// from (spec, tech, vod_*), so the job stays fully value-specified.
+struct SpiceMcJob {
+  core::DacSpec spec;
+  tech::MosTechParams tech;
+  double vod_cs = 0.25;
+  double vod_sw = 0.2;
+  double vod_cas = 0.2;  ///< ignored when cascode = false
+  bool cascode = true;
+  int chips = 16;  ///< Monte-Carlo corners
+  std::uint64_t seed = 0;
+  double limit = 0.5;        ///< max|INL| pass limit [LSB]
+  double sigma_scale = 1.0;  ///< scales the Pelgrom sigmas
+  bool differential = true;
+  bool with_caps = false;
+};
+
 using Job = std::variant<InlYieldJob, CalYieldJob, SweepBasicJob,
                          SweepCascodeJob, SpectrumJob, InlYieldIsJob,
                          InlYieldStratJob, InlYieldBridgeJob, DynSpectrumJob,
-                         ArchCompareJob>;
+                         ArchCompareJob, SpiceMcJob>;
 
 JobKind job_kind(const Job& job);
 
@@ -273,10 +295,13 @@ struct ArchCompareResult {
   std::vector<ArchPoint> points;
 };
 
+/// kSpiceMc reuses the runner's own result struct (fixed-width fields).
+using SpiceMcResult = dacgen::SpiceMcResult;
+
 using JobValue =
     std::variant<YieldResult, CalYieldResult, SweepResult, SpectrumSummary,
                  IsYieldResult, StratYieldResult, BridgeYieldResult,
-                 DynSpectrumResult, ArchCompareResult>;
+                 DynSpectrumResult, ArchCompareResult, SpiceMcResult>;
 
 // --- Key and result codec --------------------------------------------------
 

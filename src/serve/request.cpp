@@ -356,6 +356,27 @@ runtime::Job parse_job(const runtime::JsonValue& job) {
     }
     return j;
   }
+  if (kind == "spice_mc") {
+    runtime::SpiceMcJob j;
+    j.spec = spec;
+    if (spec.nbits > kMaxSpiceBits) {
+      bad_job("spice_mc supports nbits <= " + std::to_string(kMaxSpiceBits));
+    }
+    j.tech = parse_tech(job);
+    j.vod_cs = bounded_number(job, "vod_cs", j.vod_cs, 0.01, 2.0);
+    j.vod_sw = bounded_number(job, "vod_sw", j.vod_sw, 0.01, 2.0);
+    j.vod_cas = bounded_number(job, "vod_cas", j.vod_cas, 0.01, 2.0);
+    j.cascode = job.bool_or("cascode", true);
+    j.chips = static_cast<int>(
+        bounded_int(job, "chips", j.chips, 1, kMaxSpiceChips));
+    j.seed = static_cast<std::uint64_t>(job.int_or("seed", 1000));
+    j.limit = bounded_number(job, "limit", j.limit, 1e-6, 1e3);
+    j.sigma_scale =
+        bounded_number(job, "sigma_scale", 1.0, 0.0, kMaxSigmaScale);
+    j.differential = job.bool_or("differential", true);
+    j.with_caps = job.bool_or("with_caps", false);
+    return j;
+  }
   if (kind == "inl_yield_bridge") {
     runtime::InlYieldBridgeJob j;
     j.spec = spec;

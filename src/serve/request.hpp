@@ -42,6 +42,11 @@ inline constexpr std::int64_t kMaxArchChips = 10'000;
 inline constexpr std::int64_t kMaxDynSamples = 1 << 14;
 inline constexpr std::int64_t kMaxWavePoints = 1 << 20;
 inline constexpr std::int64_t kMaxArchBits = 14;
+// SPICE-in-the-loop MC solves 2^nbits MNA systems per corner, so both the
+// resolution and the corner count get much tighter ceilings than the
+// behavioral MC paths.
+inline constexpr std::int64_t kMaxSpiceBits = 8;
+inline constexpr std::int64_t kMaxSpiceChips = 64;
 
 /// Request-level failure with a stable error code for the wire protocol:
 /// "bad_json", "bad_schema", "bad_request" (request envelope), or

@@ -99,6 +99,22 @@ void emit_result(bench::JsonWriter& w, const runtime::JobValue& value) {
             w.end_object();
           }
           w.end_array();
+        } else if constexpr (std::is_same_v<T, runtime::SpiceMcResult>) {
+          w.field("chips", v.chips);
+          w.field("pass", v.pass);
+          w.field("yield", v.yield);
+          w.field("ci95", v.ci95);
+          w.field("inl_mean", v.inl_mean);
+          w.field("inl_worst", v.inl_worst);
+          w.key("solver").begin_object();
+          w.field("newton_iters", v.newton_iters);
+          w.field("factorizations", v.factorizations);
+          w.field("refactorizations", v.refactorizations);
+          w.field("warm_starts", v.warm_starts);
+          w.field("warm_start_hits", v.warm_start_hits);
+          w.field("device_evals", v.device_evals);
+          w.field("warm_start_hit_rate", v.warm_start_hit_rate);
+          w.end_object();
         }
       },
       value);

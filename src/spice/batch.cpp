@@ -1,0 +1,213 @@
+#include "spice/batch.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+#include "spice/batch_impl.hpp"
+#include "spice/circuit.hpp"
+
+namespace csdac::spice {
+namespace {
+
+/// Same instrument names as the dac lane kernels: the registry returns the
+/// one process-wide counter per name, so SPICE batches and behavioral MC
+/// land in the same simd.dispatch.* series.
+struct SpiceSimdMetrics {
+  obs::Counter& dispatch_scalar;
+  obs::Counter& dispatch_sse2;
+  obs::Counter& dispatch_avx2;
+  obs::Counter& lanes_utilized;
+  obs::Counter& chips_scalar_tail;
+
+  static SpiceSimdMetrics& get() {
+    static SpiceSimdMetrics m{
+        obs::Registry::global().counter(
+            "simd.dispatch.scalar", "MC runs dispatched to the scalar kernel"),
+        obs::Registry::global().counter(
+            "simd.dispatch.sse2", "MC runs dispatched to the SSE2 kernel"),
+        obs::Registry::global().counter(
+            "simd.dispatch.avx2", "MC runs dispatched to the AVX2 kernel"),
+        obs::Registry::global().counter(
+            "simd.lanes_utilized",
+            "chips evaluated through SIMD vector lanes"),
+        obs::Registry::global().counter(
+            "simd.chips_scalar_tail",
+            "chips evaluated by the scalar kernel (remainder blocks or "
+            "scalar dispatch)"),
+    };
+    return m;
+  }
+};
+
+void record_batch_run(const MosBatchKernel& k, std::int64_t vector_devs,
+                      std::int64_t scalar_tail_devs) {
+  SpiceSimdMetrics& m = SpiceSimdMetrics::get();
+  switch (k.backend) {
+    case mathx::SimdBackend::kScalar:
+      m.dispatch_scalar.add(1);
+      break;
+    case mathx::SimdBackend::kSse2:
+      m.dispatch_sse2.add(1);
+      break;
+    case mathx::SimdBackend::kAvx2:
+      m.dispatch_avx2.add(1);
+      break;
+  }
+  if (vector_devs > 0) m.lanes_utilized.add(vector_devs);
+  if (scalar_tail_devs > 0) m.chips_scalar_tail.add(scalar_tail_devs);
+}
+
+const MosBatchKernel& scalar_mos_kernel() {
+  static const MosBatchKernel k{mathx::SimdBackend::kScalar, 1,
+                                &detail::mos_prologue<mathx::ScalarOps>};
+  return k;
+}
+
+}  // namespace
+
+const MosBatchKernel* mos_batch_kernel(mathx::SimdBackend backend) {
+  switch (backend) {
+    case mathx::SimdBackend::kScalar:
+      return &scalar_mos_kernel();
+    case mathx::SimdBackend::kSse2:
+      return detail::mos_kernel_sse2();
+    case mathx::SimdBackend::kAvx2:
+      return detail::mos_kernel_avx2();
+  }
+  return nullptr;
+}
+
+const MosBatchKernel& active_mos_batch_kernel() {
+  mathx::SimdBackend b = mathx::simd_backend();
+  for (;;) {
+    if (const MosBatchKernel* k = mos_batch_kernel(b)) return *k;
+    b = b == mathx::SimdBackend::kAvx2 ? mathx::SimdBackend::kSse2
+                                       : mathx::SimdBackend::kScalar;
+  }
+}
+
+MosfetBatchSet::MosfetBatchSet(const Circuit& ckt) {
+  // Group key: everything evaluate() reads that is per-model/per-geometry
+  // (the per-device delta_vt/beta_scale stay lane inputs).
+  using Key = std::tuple<double, double, double, double, double, double,
+                         double, double, double>;
+  std::map<Key, std::size_t> index;
+  for (const auto& dev : ckt.devices()) {
+    const auto* m = dynamic_cast<const Mosfet*>(dev.get());
+    if (m == nullptr) continue;
+    const auto& p = m->params();
+    const auto& g = m->geometry();
+    const double sign = p.type == tech::MosType::kNmos ? 1.0 : -1.0;
+    const double lam = p.lambda(g.l);
+    const Key key{sign, p.vt0, p.gamma, p.phi_2f, p.kp, lam, g.w, g.l, g.m};
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, groups_.size()).first;
+      Group grp;
+      grp.consts = MosBatchConsts{sign,          p.vt0, p.gamma,
+                                  p.phi_2f,      std::sqrt(p.phi_2f),
+                                  p.kp,          g.w,   g.l,
+                                  g.m,           lam};
+      groups_.push_back(std::move(grp));
+    }
+    Group& grp = groups_[it->second];
+    grp.devs.push_back(m);
+    grp.slots.push_back(static_cast<int>(evals_.size()));
+    slot_of_.emplace(dev.get(), evals_.size());
+    evals_.push_back(Mosfet::Eval{});
+  }
+  for (auto& grp : groups_) {
+    const std::size_t n = grp.devs.size();
+    grp.vd.resize(n);
+    grp.vg.resize(n);
+    grp.vs.resize(n);
+    grp.vb.resize(n);
+    grp.dvt.resize(n);
+    grp.bscale.resize(n);
+    grp.vgs.resize(n);
+    grp.vds.resize(n);
+    grp.vbs.resize(n);
+    grp.vt.resize(n);
+    grp.vod.resize(n);
+    grp.beta.resize(n);
+    grp.sqrt_arg.resize(n);
+    grp.swapped.resize(n);
+    grp.clamped.resize(n);
+  }
+}
+
+void MosfetBatchSet::evaluate(const EvalContext& ctx) {
+  if (evals_.empty()) return;
+  const MosBatchKernel& kernel = active_mos_batch_kernel();
+  std::int64_t vector_devs = 0, tail_devs = 0;
+  for (auto& grp : groups_) {
+    const int n = static_cast<int>(grp.devs.size());
+    const MosBatchConsts& c = grp.consts;
+    for (int l = 0; l < n; ++l) {
+      const Mosfet* m = grp.devs[static_cast<std::size_t>(l)];
+      // sign is +-1.0, so these products are exact — identical to the
+      // scalar evaluate()'s own sign flip.
+      grp.vd[static_cast<std::size_t>(l)] = c.sign * ctx.v(m->node_d());
+      grp.vg[static_cast<std::size_t>(l)] = c.sign * ctx.v(m->node_g());
+      grp.vs[static_cast<std::size_t>(l)] = c.sign * ctx.v(m->node_s());
+      grp.vb[static_cast<std::size_t>(l)] = c.sign * ctx.v(m->node_b());
+      grp.dvt[static_cast<std::size_t>(l)] = m->delta_vt();
+      grp.bscale[static_cast<std::size_t>(l)] = m->beta_scale();
+    }
+    MosBatchSpans io{grp.vd.data(),     grp.vg.data(),    grp.vs.data(),
+                     grp.vb.data(),     grp.dvt.data(),   grp.bscale.data(),
+                     grp.vgs.data(),    grp.vds.data(),   grp.vbs.data(),
+                     grp.vt.data(),     grp.vod.data(),   grp.beta.data(),
+                     grp.sqrt_arg.data(), grp.swapped.data(),
+                     grp.clamped.data()};
+    kernel.prologue(c, io, n);
+    const int vec = (n / kernel.lanes) * kernel.lanes;
+    vector_devs += kernel.lanes > 1 ? vec : 0;
+    tail_devs += kernel.lanes > 1 ? n - vec : n;
+
+    // Region-dependent tail, scalar per lane — byte-for-byte the same
+    // expressions as Mosfet::evaluate().
+    for (int l = 0; l < n; ++l) {
+      const auto sl = static_cast<std::size_t>(l);
+      const Mosfet* m = grp.devs[sl];
+      Mosfet::Eval e{};
+      const bool sw = grp.swapped[sl] != 0;
+      e.eff_d = sw ? m->node_s() : m->node_d();
+      e.eff_s = sw ? m->node_d() : m->node_s();
+      e.vgs = grp.vgs[sl];
+      e.vds = grp.vds[sl];
+      e.vbs = grp.vbs[sl];
+      e.vt = grp.vt[sl];
+      e.vod = grp.vod[sl];
+      const double beta = grp.beta[sl];
+      const double dvt_dvbs =
+          grp.clamped[sl] != 0 ? 0.0
+                               : -c.gamma / (2.0 * grp.sqrt_arg[sl]);
+      if (e.vod <= 0.0) {
+        e.region = MosRegion::kCutoff;
+        e.id = e.gm = e.gds = e.gmb = 0.0;
+      } else {
+        const double clm = 1.0 + c.lam * e.vds;
+        if (e.vds >= e.vod) {
+          e.region = MosRegion::kSaturation;
+          e.id = 0.5 * beta * e.vod * e.vod * clm;
+          e.gm = beta * e.vod * clm;
+          e.gds = 0.5 * beta * e.vod * e.vod * c.lam;
+        } else {
+          e.region = MosRegion::kTriode;
+          const double shape = e.vod * e.vds - 0.5 * e.vds * e.vds;
+          e.id = beta * shape * clm;
+          e.gm = beta * e.vds * clm;
+          e.gds = beta * (e.vod - e.vds) * clm + beta * shape * c.lam;
+        }
+        e.gmb = e.gm * (-dvt_dvbs);
+      }
+      evals_[static_cast<std::size_t>(grp.slots[sl])] = e;
+    }
+  }
+  record_batch_run(kernel, vector_devs, tail_devs);
+}
+
+}  // namespace csdac::spice

@@ -1,0 +1,24 @@
+// SSE2 instantiation of the batched MOSFET prologue. SSE2 is part of the
+// x86-64 baseline, so this TU needs no extra compile flags on 64-bit
+// builds; the guard keeps non-x86 targets on scalar-only dispatch.
+#include "spice/batch.hpp"
+
+#if defined(__SSE2__)
+#include "mathx/simd_sse2.hpp"
+#include "spice/batch_impl.hpp"
+#endif
+
+namespace csdac::spice::detail {
+
+const MosBatchKernel* mos_kernel_sse2() {
+#if defined(__SSE2__)
+  static const MosBatchKernel k{mathx::SimdBackend::kSse2,
+                                mathx::Sse2Ops::kLanes,
+                                &mos_prologue<mathx::Sse2Ops>};
+  return &k;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace csdac::spice::detail

@@ -2,17 +2,17 @@
 
 #include <stdexcept>
 
+#include "spice/sparse.hpp"
+
 namespace csdac::spice {
 
 void RealStamper::conductance(int a, int b, double g) {
   const int ra = node_row(a);
   const int rb = node_row(b);
-  if (ra >= 0) g_(ra, ra) += g;
-  if (rb >= 0) g_(rb, rb) += g;
-  if (ra >= 0 && rb >= 0) {
-    g_(ra, rb) -= g;
-    g_(rb, ra) -= g;
-  }
+  entry_raw(ra, ra, g);
+  entry_raw(rb, rb, g);
+  entry_raw(ra, rb, -g);
+  entry_raw(rb, ra, -g);
 }
 
 void RealStamper::current_leaving(int a, double i) {
@@ -21,13 +21,17 @@ void RealStamper::current_leaving(int a, double i) {
 }
 
 void RealStamper::entry(int row_node, int col_node, double val) {
-  const int r = node_row(row_node);
-  const int c = node_row(col_node);
-  if (r >= 0 && c >= 0) g_(r, c) += val;
+  entry_raw(node_row(row_node), node_row(col_node), val);
 }
 
 void RealStamper::entry_raw(int row, int col, double val) {
-  if (row >= 0 && col >= 0) g_(row, col) += val;
+  if (row < 0 || col < 0) return;
+  if (dense_) {
+    (*dense_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+        val;
+  } else {
+    sparse_->add(row, col, val);
+  }
 }
 
 void RealStamper::branch_rhs(int branch_row, double val) {
@@ -37,12 +41,10 @@ void RealStamper::branch_rhs(int branch_row, double val) {
 void ComplexStamper::admittance(int a, int b, std::complex<double> y) {
   const int ra = a - 1;
   const int rb = b - 1;
-  if (ra >= 0) g_(ra, ra) += y;
-  if (rb >= 0) g_(rb, rb) += y;
-  if (ra >= 0 && rb >= 0) {
-    g_(ra, rb) -= y;
-    g_(rb, ra) -= y;
-  }
+  entry_raw(ra, ra, y);
+  entry_raw(rb, rb, y);
+  entry_raw(ra, rb, -y);
+  entry_raw(rb, ra, -y);
 }
 
 void ComplexStamper::current_leaving(int a, std::complex<double> i) {
@@ -52,13 +54,17 @@ void ComplexStamper::current_leaving(int a, std::complex<double> i) {
 
 void ComplexStamper::entry(int row_node, int col_node,
                            std::complex<double> val) {
-  const int r = row_node - 1;
-  const int c = col_node - 1;
-  if (r >= 0 && c >= 0) g_(r, c) += val;
+  entry_raw(row_node - 1, col_node - 1, val);
 }
 
 void ComplexStamper::entry_raw(int row, int col, std::complex<double> val) {
-  if (row >= 0 && col >= 0) g_(row, col) += val;
+  if (row < 0 || col < 0) return;
+  if (dense_) {
+    (*dense_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+        val;
+  } else {
+    sparse_->add(row, col, val);
+  }
 }
 
 void ComplexStamper::branch_rhs(int branch_row, std::complex<double> val) {

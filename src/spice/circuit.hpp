@@ -19,6 +19,9 @@ namespace csdac::spice {
 using mathx::MatrixC;
 using mathx::MatrixD;
 
+template <typename T>
+class SparseAssembly;  // sparse.hpp
+
 /// Integration scheme for the transient companion models.
 enum class Integrator { kBackwardEuler, kTrapezoidal };
 
@@ -45,10 +48,17 @@ struct EvalContext {
 /// Real-valued stamping helper: assembles G*x = rhs.
 /// KCL convention: each node row states "sum of currents leaving = 0";
 /// independent currents leaving a node are moved to the RHS.
+///
+/// Backs onto either a dense matrix or a sparse assembly — device stamp()
+/// implementations are written once against this interface and run
+/// unchanged under both solver policies.
 class RealStamper {
  public:
   RealStamper(MatrixD& g, std::vector<double>& rhs, int num_nodes)
-      : g_(g), rhs_(rhs), num_nodes_(num_nodes) {}
+      : dense_(&g), rhs_(rhs), num_nodes_(num_nodes) {}
+  RealStamper(SparseAssembly<double>& g, std::vector<double>& rhs,
+              int num_nodes)
+      : sparse_(&g), rhs_(rhs), num_nodes_(num_nodes) {}
 
   /// Two-terminal conductance g between nodes a and b.
   void conductance(int a, int b, double g);
@@ -66,7 +76,8 @@ class RealStamper {
   int num_nodes() const { return num_nodes_; }
 
  private:
-  MatrixD& g_;
+  MatrixD* dense_ = nullptr;
+  SparseAssembly<double>* sparse_ = nullptr;
   std::vector<double>& rhs_;
   int num_nodes_;
 };
@@ -76,7 +87,10 @@ class ComplexStamper {
  public:
   ComplexStamper(MatrixC& g, std::vector<std::complex<double>>& rhs,
                  int num_nodes)
-      : g_(g), rhs_(rhs), num_nodes_(num_nodes) {}
+      : dense_(&g), rhs_(rhs), num_nodes_(num_nodes) {}
+  ComplexStamper(SparseAssembly<std::complex<double>>& g,
+                 std::vector<std::complex<double>>& rhs, int num_nodes)
+      : sparse_(&g), rhs_(rhs), num_nodes_(num_nodes) {}
 
   void admittance(int a, int b, std::complex<double> y);
   void current_leaving(int a, std::complex<double> i);
@@ -87,7 +101,8 @@ class ComplexStamper {
   int num_nodes() const { return num_nodes_; }
 
  private:
-  MatrixC& g_;
+  MatrixC* dense_ = nullptr;
+  SparseAssembly<std::complex<double>>* sparse_ = nullptr;
   std::vector<std::complex<double>>& rhs_;
   int num_nodes_;
 };

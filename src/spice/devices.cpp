@@ -359,7 +359,11 @@ Mosfet::Eval Mosfet::evaluate(const EvalContext& ctx) const {
 }
 
 void Mosfet::stamp(RealStamper& s, const EvalContext& ctx) const {
-  const Eval e = evaluate(ctx);
+  stamp_linearized(s, ctx, evaluate(ctx));
+}
+
+void Mosfet::stamp_linearized(RealStamper& s, const EvalContext& ctx,
+                              const Eval& e) const {
   const double sign = params_.type == tech::MosType::kNmos ? 1.0 : -1.0;
   const int d = e.eff_d, sn = e.eff_s;
 

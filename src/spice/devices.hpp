@@ -210,6 +210,16 @@ class Mosfet final : public Device {
     MosRegion region = MosRegion::kCutoff;
   };
 
+  /// One linearization of the device at a Newton iterate. Public so the
+  /// batched evaluator (batch.hpp) can compute it for whole unit-cell
+  /// groups at once and hand it back through stamp_linearized().
+  struct Eval {
+    double id, gm, gds, gmb;  // in N-equivalent space, post swap
+    int eff_d, eff_s;         // node indices after source/drain swap
+    double vgs, vds, vbs, vt, vod;
+    MosRegion region;
+  };
+
   Mosfet(std::string name, const tech::MosTechParams& params, int d, int g,
          int s, int b, Geometry geo, bool with_caps = false);
 
@@ -225,19 +235,22 @@ class Mosfet final : public Device {
   void append_noise_sources(std::vector<struct NoiseSource>& out,
                             double temperature_k) const override;
 
+  Eval evaluate(const EvalContext& ctx) const;
+  /// Stamps a precomputed linearization (the second half of stamp()).
+  void stamp_linearized(RealStamper& s, const EvalContext& ctx,
+                        const Eval& e) const;
+
   const OpPoint& op() const { return op_; }
   const Geometry& geometry() const { return geo_; }
   const tech::MosTechParams& params() const { return params_; }
+  double delta_vt() const { return delta_vt_; }
+  double beta_scale() const { return beta_scale_; }
+  int node_d() const { return d_; }
+  int node_g() const { return g_; }
+  int node_s() const { return s_; }
+  int node_b() const { return b_; }
 
  private:
-  struct Eval {
-    double id, gm, gds, gmb;  // in N-equivalent space, post swap
-    int eff_d, eff_s;         // node indices after source/drain swap
-    double vgs, vds, vbs, vt, vod;
-    MosRegion region;
-  };
-  Eval evaluate(const EvalContext& ctx) const;
-
   tech::MosTechParams params_;
   int d_, g_, s_, b_;
   Geometry geo_;

@@ -4,33 +4,215 @@
 #include <cmath>
 
 #include "mathx/linalg.hpp"
+#include "obs/metrics.hpp"
+#include "spice/batch.hpp"
 #include "spice/devices.hpp"
+#include "spice/sparse.hpp"
 
 namespace csdac::spice {
+
+/// Everything a SolverContext caches between solves. Bound to one circuit
+/// topology; bind_context() resets it when handed a different circuit (or
+/// the same circuit after nodes/devices were added).
+struct SolverContext::Impl {
+  const Circuit* ckt = nullptr;
+  int n = 0;
+  std::size_t num_devices = 0;
+  SparseAssembly<double> assembly;
+  SparseLu<double> lu;
+  std::unique_ptr<MosfetBatchSet> batch;
+  std::vector<double> rhs;  ///< scratch RHS for the sparse path
+};
+
+SolverContext::SolverContext() : impl_(std::make_unique<Impl>()) {}
+SolverContext::~SolverContext() = default;
+SolverContext::SolverContext(SolverContext&&) noexcept = default;
+SolverContext& SolverContext::operator=(SolverContext&&) noexcept = default;
+
+void SolverContext::invalidate() {
+  impl_->ckt = nullptr;
+  impl_->n = 0;
+  impl_->num_devices = 0;
+  impl_->assembly.invalidate();
+  impl_->lu.reset();
+  impl_->batch.reset();
+}
+
 namespace {
 
 using mathx::LuSolver;
 using mathx::MatrixC;
 using mathx::MatrixD;
 
-/// Assembles and solves one Newton step; returns the proposed solution.
-std::vector<double> linearized_solve(Circuit& ckt, const EvalContext& ctx) {
-  const int n = ckt.num_unknowns();
-  MatrixD g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
-  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
-  RealStamper stamper(g, rhs, ckt.num_nodes());
-  for (const auto& dev : ckt.devices()) dev->stamp(stamper, ctx);
-  // gmin shunts keep otherwise-floating nodes (e.g. all-cutoff MOSFETs)
-  // numerically anchored.
-  for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
-    g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += ctx.gmin;
+/// Process-wide spice.* counters (exported through /metrics by the serve
+/// layer, asserted by tools/check_metrics.py --expect-spice).
+struct SpiceMetrics {
+  obs::Counter& solves;
+  obs::Counter& newton_iters;
+  obs::Counter& factorizations;
+  obs::Counter& refactorizations;
+  obs::Counter& dense_solves;
+  obs::Counter& device_evals;
+  obs::Counter& warm_starts;
+  obs::Counter& warm_start_hits;
+
+  static SpiceMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static SpiceMetrics m{
+        reg.counter("spice.solves", "linear MNA systems solved"),
+        reg.counter("spice.newton_iters", "Newton-Raphson iterations"),
+        reg.counter("spice.factorizations",
+                    "sparse LU full factorizations (pivoting + symbolic)"),
+        reg.counter("spice.refactorizations",
+                    "sparse LU numeric-only refactorizations"),
+        reg.counter("spice.dense_solves", "dense LU factorizations"),
+        reg.counter("spice.device_evals", "batched MOSFET model evaluations"),
+        reg.counter("spice.warm_starts",
+                    "DC solves seeded from a previous operating point"),
+        reg.counter("spice.warm_start_hits",
+                    "warm-started DC solves converged without homotopy"),
+    };
+    return m;
   }
-  return LuSolver<double>::solve_once(g, rhs);
+};
+
+/// Resolves the effective backend for a circuit of n unknowns.
+bool use_sparse(const NewtonOptions& opts, int n) {
+  switch (opts.solver) {
+    case LinearSolverKind::kDense:
+      return false;
+    case LinearSolverKind::kSparse:
+      return true;
+    case LinearSolverKind::kAuto:
+      break;
+  }
+  return n >= opts.sparse_threshold;
+}
+
+/// Binds a context to a circuit, resetting cached state when the topology
+/// it was built for no longer matches.
+SolverContext::Impl& bind_context(SolverContext& sc, const Circuit& ckt) {
+  SolverContext::Impl& im = sc.impl();
+  if (im.ckt != &ckt || im.n != ckt.num_unknowns() ||
+      im.num_devices != ckt.devices().size()) {
+    sc.invalidate();
+    im.ckt = &ckt;
+    im.n = ckt.num_unknowns();
+    im.num_devices = ckt.devices().size();
+  }
+  return im;
+}
+
+/// First singular pivot seen during a (failed) Newton descent; solve_dc
+/// turns it into a SingularSystemError naming the unknown.
+struct SingularInfo {
+  bool hit = false;
+  std::size_t row = 0;
+};
+
+/// Maps an MNA row to its unknown: node voltage or device branch current.
+SingularSystemError make_singular_error(const Circuit& ckt, std::size_t row,
+                                        const std::string& analysis) {
+  const int node_unknowns = ckt.num_nodes() - 1;
+  std::string unknown = "unknown " + std::to_string(row);
+  if (row < static_cast<std::size_t>(node_unknowns)) {
+    unknown = "node '" + ckt.node_name(static_cast<int>(row) + 1) + "'";
+  } else {
+    for (const auto& dev : ckt.devices()) {
+      for (int k = 0; k < dev->branch_count(); ++k) {
+        if (static_cast<std::size_t>(
+                dev->branch_matrix_row(ckt.num_nodes(), k)) == row) {
+          unknown = "branch of device '" + dev->name() + "'";
+        }
+      }
+    }
+  }
+  return SingularSystemError(
+      row, unknown,
+      analysis + ": singular MNA matrix at row " + std::to_string(row) +
+          " (" + unknown +
+          ") — check for a floating node or a voltage-source loop");
+}
+
+/// Assembles and solves one Newton step; returns the proposed solution.
+/// Throws mathx::SingularMatrixError (original unknown index) when no
+/// usable pivot exists.
+std::vector<double> linearized_solve(Circuit& ckt, const EvalContext& ctx,
+                                     SolverContext::Impl& im, bool sparse,
+                                     SolveStats* stats) {
+  const int n = ckt.num_unknowns();
+  SpiceMetrics& m = SpiceMetrics::get();
+
+  if (im.batch == nullptr) im.batch = std::make_unique<MosfetBatchSet>(ckt);
+  MosfetBatchSet& batch = *im.batch;
+  if (!batch.empty()) {
+    batch.evaluate(ctx);
+    if (stats != nullptr) stats->device_evals += batch.device_count();
+    m.device_evals.add(batch.device_count());
+  }
+  // Stamping runs in ORIGINAL device order with the cached evaluations, so
+  // matrix accumulation order — and therefore every rounding — matches the
+  // historical one-virtual-call-per-device path exactly.
+  const auto stamp_all = [&](RealStamper& stamper) {
+    for (const auto& dev : ckt.devices()) {
+      if (const Mosfet::Eval* e = batch.eval_for(dev.get())) {
+        static_cast<const Mosfet*>(dev.get())->stamp_linearized(stamper, ctx,
+                                                                *e);
+      } else {
+        dev->stamp(stamper, ctx);
+      }
+    }
+  };
+
+  if (!sparse) {
+    MatrixD g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+    RealStamper stamper(g, rhs, ckt.num_nodes());
+    stamp_all(stamper);
+    // gmin shunts keep otherwise-floating nodes (e.g. all-cutoff MOSFETs)
+    // numerically anchored.
+    for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+      g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += ctx.gmin;
+    }
+    if (stats != nullptr) stats->dense_solves += 1;
+    m.dense_solves.add(1);
+    m.solves.add(1);
+    return LuSolver<double>::solve_once(g, rhs);
+  }
+
+  im.assembly.begin(n);
+  im.rhs.assign(static_cast<std::size_t>(n), 0.0);
+  RealStamper stamper(im.assembly, im.rhs, ckt.num_nodes());
+  stamp_all(stamper);
+  for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+    im.assembly.add(r, r, ctx.gmin);
+  }
+  const bool pattern_changed = im.assembly.finish();
+
+  bool full = pattern_changed || !im.lu.has_symbolic();
+  if (!full) {
+    if (im.lu.refactorize(im.assembly)) {
+      if (stats != nullptr) stats->refactorizations += 1;
+      m.refactorizations.add(1);
+    } else {
+      full = true;  // pivot degraded past the floor: re-pivot from scratch
+    }
+  }
+  if (full) {
+    im.lu.factorize(im.assembly);
+    if (stats != nullptr) stats->factorizations += 1;
+    m.factorizations.add(1);
+  }
+  m.solves.add(1);
+  std::vector<double> out = im.rhs;
+  im.lu.solve(out);
+  return out;
 }
 
 /// Newton-Raphson loop; updates x in place. Returns true on convergence.
 bool newton(Circuit& ckt, EvalContext ctx, std::vector<double>& x,
-            const NewtonOptions& opts) {
+            const NewtonOptions& opts, SolverContext::Impl& im, bool sparse,
+            SingularInfo* sing) {
   const int n = ckt.num_unknowns();
   x.resize(static_cast<std::size_t>(n), 0.0);
   const int node_unknowns = ckt.num_nodes() - 1;
@@ -39,10 +221,16 @@ bool newton(Circuit& ckt, EvalContext ctx, std::vector<double>& x,
     ctx.x = &x;
     std::vector<double> xn;
     try {
-      xn = linearized_solve(ckt, ctx);
-    } catch (const mathx::SingularMatrixError&) {
+      xn = linearized_solve(ckt, ctx, im, sparse, opts.stats);
+    } catch (const mathx::SingularMatrixError& e) {
+      if (sing != nullptr && !sing->hit) {
+        sing->hit = true;
+        sing->row = e.pivot_row();
+      }
       return false;
     }
+    if (opts.stats != nullptr) opts.stats->newton_iters += 1;
+    SpiceMetrics::get().newton_iters.add(1);
     // Damping: scale the whole update so no node voltage moves more than
     // max_step in one iteration.
     double max_node_delta = 0.0;
@@ -88,22 +276,50 @@ Solution solve_dc(Circuit& ckt, const NewtonOptions& opts) {
   ctx.mode = AnalysisMode::kDc;
   ctx.gmin = opts.gmin;
 
-  std::vector<double> x(static_cast<std::size_t>(ckt.num_unknowns()), 0.0);
-  bool ok = newton(ckt, ctx, x, opts);
+  SolverContext local;
+  SolverContext::Impl& im =
+      bind_context(opts.context != nullptr ? *opts.context : local, ckt);
+  const bool sparse = use_sparse(opts, ckt.num_unknowns());
+  SolveStats* stats = opts.stats;
+  SpiceMetrics& m = SpiceMetrics::get();
+
+  const auto n = static_cast<std::size_t>(ckt.num_unknowns());
+  std::vector<double> x;
+  const bool warm = opts.x0 != nullptr && opts.x0->size() == n;
+  if (warm) {
+    x = *opts.x0;
+    if (stats != nullptr) stats->warm_starts += 1;
+    m.warm_starts.add(1);
+  } else {
+    x.assign(n, 0.0);
+  }
+
+  SingularInfo sing;
+  bool ok = newton(ckt, ctx, x, opts, im, sparse, &sing);
+  if (ok && warm) {
+    if (stats != nullptr) stats->warm_start_hits += 1;
+    m.warm_start_hits.add(1);
+  }
+  if (!ok && warm) {
+    // A bad seed must not be worse than no seed: retry cold before any
+    // homotopy, exactly as a cold solve would have started.
+    std::fill(x.begin(), x.end(), 0.0);
+    ok = newton(ckt, ctx, x, opts, im, sparse, &sing);
+  }
 
   if (!ok && opts.gmin_stepping) {
     std::fill(x.begin(), x.end(), 0.0);
     ok = true;
     for (double gmin = 1e-2; gmin >= opts.gmin; gmin /= 10.0) {
       ctx.gmin = gmin;
-      if (!newton(ckt, ctx, x, opts)) {
+      if (!newton(ckt, ctx, x, opts, im, sparse, &sing)) {
         ok = false;
         break;
       }
     }
     if (ok) {
       ctx.gmin = opts.gmin;
-      ok = newton(ckt, ctx, x, opts);
+      ok = newton(ckt, ctx, x, opts, im, sparse, &sing);
     }
   }
   if (!ok && opts.source_stepping) {
@@ -112,14 +328,17 @@ Solution solve_dc(Circuit& ckt, const NewtonOptions& opts) {
     ok = true;
     for (int step = 1; step <= 20; ++step) {
       ctx.source_scale = static_cast<double>(step) / 20.0;
-      if (!newton(ckt, ctx, x, opts)) {
+      if (!newton(ckt, ctx, x, opts, im, sparse, &sing)) {
         ok = false;
         break;
       }
     }
     ctx.source_scale = 1.0;
   }
-  if (!ok) throw ConvergenceError("solve_dc: no convergence");
+  if (!ok) {
+    if (sing.hit) throw make_singular_error(ckt, sing.row, "solve_dc");
+    throw ConvergenceError("solve_dc: no convergence");
+  }
 
   ctx.x = &x;
   ctx.gmin = opts.gmin;
@@ -136,13 +355,18 @@ std::vector<Solution> dc_sweep(Circuit& ckt, VoltageSource& src, double v0,
                                double v1, int points,
                                const NewtonOptions& opts) {
   if (points < 2) throw std::invalid_argument("dc_sweep: points < 2");
+  // One context for the whole sweep: the symbolic factorization from the
+  // first point is replayed at every other one.
+  SolverContext local;
+  NewtonOptions o = opts;
+  if (o.context == nullptr) o.context = &local;
   std::vector<Solution> out;
   out.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {
     const double v =
         v0 + (v1 - v0) * static_cast<double>(i) / (points - 1);
     src.set_dc(v);
-    out.push_back(solve_dc(ckt, opts));
+    out.push_back(solve_dc(ckt, o));
   }
   return out;
 }
@@ -153,25 +377,50 @@ std::vector<double> TranResult::node_waveform(int node) const {
   return out;
 }
 
+std::vector<double> TranResult::branch_waveform(const Device& d, int k) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = branch_current(i, d, k);
+  }
+  return out;
+}
+
 TranResult transient(Circuit& ckt, double dt, double tstop,
                      const TranOptions& opts) {
   if (!(dt > 0.0) || !(tstop > dt)) {
     throw std::invalid_argument("transient: need 0 < dt < tstop");
   }
+  // One context across the DC seed and every timestep. The capacitor
+  // companion entries appear at the first transient step; the assembly
+  // reports that pattern growth and the engine re-runs the symbolic
+  // factorization exactly once.
+  SolverContext local;
+  TranOptions topts = opts;
+  if (topts.newton.context == nullptr) topts.newton.context = &local;
+
   // Initial condition: DC at t = 0.
-  Solution ic = solve_dc(ckt, opts.newton);
+  Solution ic = solve_dc(ckt, topts.newton);
   std::vector<double> x = ic.x;
 
   EvalContext ctx;
   ctx.mode = AnalysisMode::kTran;
-  ctx.gmin = opts.newton.gmin;
+  ctx.gmin = topts.newton.gmin;
   ctx.x = &x;
   ctx.time = 0.0;
   ctx.dt = 0.0;
   for (const auto& dev : ckt.devices()) dev->tran_reset(ctx);
 
+  SolverContext::Impl& im = bind_context(*topts.newton.context, ckt);
+  const bool sparse = use_sparse(topts.newton, ckt.num_unknowns());
+
   TranResult res;
   res.num_nodes = ckt.num_nodes();
+  // Upper bound on accepted steps (+1 for the DC point); halvings retry
+  // within a step, so they never add rows.
+  const auto est_steps =
+      static_cast<std::size_t>(std::ceil(tstop / dt)) + 2;
+  res.time.reserve(est_steps);
+  res.values.reserve(est_steps);
   res.time.push_back(0.0);
   res.values.push_back(x);
 
@@ -192,13 +441,17 @@ TranResult transient(Circuit& ckt, double dt, double tstop,
       step_ctx.dt = sub;
       step_ctx.integ =
           first ? Integrator::kBackwardEuler : opts.integ;
-      if (newton(ckt, step_ctx, x_try, opts.newton)) {
+      SingularInfo sing;
+      if (newton(ckt, step_ctx, x_try, topts.newton, im, sparse, &sing)) {
         x = std::move(x_try);
         step_ctx.x = &x;
         accept_all(ckt, step_ctx);
         advanced += sub;
         first = false;
       } else {
+        if (sing.hit) {
+          throw make_singular_error(ckt, sing.row, "transient");
+        }
         ++halvings;
         if (halvings > opts.max_halvings) {
           throw ConvergenceError("transient: step failed at t = " +
@@ -213,23 +466,94 @@ TranResult transient(Circuit& ckt, double dt, double tstop,
   return res;
 }
 
+std::vector<std::complex<double>> AcResult::node_waveform(int node) const {
+  std::vector<std::complex<double>> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = v(i, node);
+  return out;
+}
+
+std::vector<std::complex<double>> AcResult::branch_waveform(const Device& d,
+                                                            int k) const {
+  std::vector<std::complex<double>> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = branch_current(i, d, k);
+  }
+  return out;
+}
+
 AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
                      double gmin) {
+  AcOptions opts;
+  opts.gmin = gmin;
+  return ac_analysis(ckt, freqs, opts);
+}
+
+AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
+                     const AcOptions& opts) {
   const int n = ckt.num_unknowns();
+  NewtonOptions policy;
+  policy.solver = opts.solver;
+  policy.sparse_threshold = opts.sparse_threshold;
+  const bool sparse = use_sparse(policy, n);
+  SpiceMetrics& m = SpiceMetrics::get();
+
   AcResult res;
   res.num_nodes = ckt.num_nodes();
   res.freq = freqs;
   res.values.reserve(freqs.size());
+
+  // Sparse path: every frequency stamps the same entry set (admittances
+  // scale with omega but never vanish structurally), so the complex
+  // symbolic factorization from the first point is replayed at the rest.
+  SparseAssembly<std::complex<double>> assembly;
+  SparseLu<std::complex<double>> lu;
+
   for (double f : freqs) {
     const double omega = 2.0 * 3.14159265358979323846 * f;
-    MatrixC g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
     std::vector<std::complex<double>> rhs(static_cast<std::size_t>(n));
-    ComplexStamper stamper(g, rhs, ckt.num_nodes());
+    if (!sparse) {
+      MatrixC g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+      ComplexStamper stamper(g, rhs, ckt.num_nodes());
+      for (const auto& dev : ckt.devices()) dev->stamp_ac(stamper, omega);
+      for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
+        g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) +=
+            opts.gmin;
+      }
+      if (opts.stats != nullptr) opts.stats->dense_solves += 1;
+      m.dense_solves.add(1);
+      m.solves.add(1);
+      res.values.push_back(
+          LuSolver<std::complex<double>>::solve_once(g, rhs));
+      continue;
+    }
+    assembly.begin(n);
+    ComplexStamper stamper(assembly, rhs, ckt.num_nodes());
     for (const auto& dev : ckt.devices()) dev->stamp_ac(stamper, omega);
     for (int r = 0; r < ckt.num_nodes() - 1; ++r) {
-      g(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += gmin;
+      assembly.add(r, r, std::complex<double>{opts.gmin, 0.0});
     }
-    res.values.push_back(LuSolver<std::complex<double>>::solve_once(g, rhs));
+    const bool pattern_changed = assembly.finish();
+    bool full = pattern_changed || !lu.has_symbolic();
+    if (!full) {
+      if (lu.refactorize(assembly)) {
+        if (opts.stats != nullptr) opts.stats->refactorizations += 1;
+        m.refactorizations.add(1);
+      } else {
+        full = true;
+      }
+    }
+    if (full) {
+      try {
+        lu.factorize(assembly);
+      } catch (const mathx::SingularMatrixError& e) {
+        throw make_singular_error(ckt, e.pivot_row(), "ac_analysis");
+      }
+      if (opts.stats != nullptr) opts.stats->factorizations += 1;
+      m.factorizations.add(1);
+    }
+    m.solves.add(1);
+    lu.solve(rhs);
+    res.values.push_back(std::move(rhs));
   }
   return res;
 }

@@ -1,9 +1,23 @@
 // Analyses over a Circuit: DC operating point (Newton-Raphson with gmin and
 // source stepping), transient (fixed-step trapezoidal/backward-Euler with
 // automatic step halving on non-convergence), and AC small-signal.
+//
+// Two linear-solver backends sit underneath every analysis:
+//  - dense LU (mathx::LuSolver), the historical baseline, still the
+//    default for small circuits and the equivalence reference; and
+//  - the sparse engine (spice/sparse.hpp): min-degree ordered LU whose
+//    symbolic factorization is computed once per circuit topology and
+//    replayed numerically across Newton iterations, timesteps, homotopy
+//    points, and Monte-Carlo corners.
+// NewtonOptions::solver picks the policy; a SolverContext carries the
+// reusable state (pattern, symbolic factors, batched device groups)
+// across solves, and NewtonOptions::x0 warm-starts Newton from a previous
+// corner's operating point.
 #pragma once
 
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +25,49 @@
 #include "spice/circuit.hpp"
 
 namespace csdac::spice {
+
+/// Linear-solver policy for the MNA systems.
+enum class LinearSolverKind : std::uint8_t {
+  kAuto,   ///< dense below NewtonOptions::sparse_threshold unknowns
+  kDense,  ///< always dense (baseline / small circuits)
+  kSparse  ///< always sparse
+};
+
+/// Per-analysis solver counters (also mirrored into the global spice.*
+/// metrics). Point NewtonOptions::stats at one to collect them.
+struct SolveStats {
+  long newton_iters = 0;
+  long factorizations = 0;    ///< sparse full (pivoting + symbolic)
+  long refactorizations = 0;  ///< sparse numeric-only replays
+  long dense_solves = 0;      ///< dense O(n^3) factorizations
+  long device_evals = 0;      ///< batched MOSFET evaluations
+  long warm_starts = 0;       ///< solves seeded from NewtonOptions::x0
+  long warm_start_hits = 0;   ///< ...that converged without homotopy
+};
+
+/// Reusable per-topology solver state: sparse assembly pattern, symbolic
+/// LU factors, and the batched MOSFET groups. Pass one through
+/// NewtonOptions::context to amortize symbolic work across solves (Newton
+/// iterations and timesteps already share it within one analysis call);
+/// Monte-Carlo loops should keep one context per circuit for the whole
+/// corner sweep. The context binds to the first circuit it sees and
+/// resets itself automatically if handed a different one.
+class SolverContext {
+ public:
+  SolverContext();
+  ~SolverContext();
+  SolverContext(SolverContext&&) noexcept;
+  SolverContext& operator=(SolverContext&&) noexcept;
+
+  /// Drops every cached artifact (pattern, factors, device groups).
+  void invalidate();
+
+  struct Impl;
+  Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 struct NewtonOptions {
   int max_iter = 150;
@@ -20,12 +77,43 @@ struct NewtonOptions {
   double max_step = 0.5;  ///< Newton damping: max node-voltage change [V]
   bool gmin_stepping = true;
   bool source_stepping = true;
+
+  LinearSolverKind solver = LinearSolverKind::kAuto;
+  /// kAuto switches to the sparse engine at this many unknowns.
+  int sparse_threshold = 64;
+  /// Warm-start seed (e.g. the previous Monte-Carlo corner's solution);
+  /// must match the circuit's unknown count to take effect. On a failed
+  /// warm start Newton silently retries cold before any homotopy.
+  const std::vector<double>* x0 = nullptr;
+  /// Shared solver state; nullptr = a private context per analysis call.
+  SolverContext* context = nullptr;
+  SolveStats* stats = nullptr;  ///< optional counter sink
 };
 
 class ConvergenceError : public std::runtime_error {
  public:
   explicit ConvergenceError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Convergence failure whose root cause was a (numerically) singular MNA
+/// matrix: names the offending unknown — a floating node or a degenerate
+/// voltage-source loop — instead of a generic "no convergence". Derives
+/// from ConvergenceError so existing catch sites keep working.
+class SingularSystemError : public ConvergenceError {
+ public:
+  SingularSystemError(std::size_t row, std::string unknown,
+                      const std::string& what)
+      : ConvergenceError(what), row_(row), unknown_(std::move(unknown)) {}
+  /// MNA row/column of the failed pivot (node voltages first, then
+  /// voltage-source branch currents).
+  std::size_t row() const { return row_; }
+  /// Human-readable unknown: "node 'out'" or "branch of device 'v1'".
+  const std::string& unknown_name() const { return unknown_; }
+
+ private:
+  std::size_t row_;
+  std::string unknown_;
 };
 
 /// A converged solution vector with node-voltage accessors.
@@ -43,14 +131,16 @@ struct Solution {
 };
 
 /// Solves the DC operating point; on success every device has accept()ed the
-/// solution (MOSFET OpPoints are valid). Throws ConvergenceError.
+/// solution (MOSFET OpPoints are valid). Throws ConvergenceError (or its
+/// SingularSystemError refinement when the failure was a singular matrix).
 Solution solve_dc(Circuit& ckt, const NewtonOptions& opts = {});
 
 class VoltageSource;
 
 /// DC transfer sweep: steps `src` from v0 to v1 in `points` steps and
 /// solves the operating point at each value (the source keeps the last
-/// value afterwards). Classic .DC analysis.
+/// value afterwards). Classic .DC analysis. The sweep shares one solver
+/// context across all points when the caller did not supply one.
 std::vector<Solution> dc_sweep(Circuit& ckt, VoltageSource& src, double v0,
                                double v1, int points,
                                const NewtonOptions& opts = {});
@@ -72,8 +162,15 @@ struct TranResult {
     return node == 0 ? 0.0
                      : values[step][static_cast<std::size_t>(node - 1)];
   }
+  /// Branch current of a voltage-source-like device at one step.
+  double branch_current(std::size_t step, const Device& d, int k = 0) const {
+    return values[step][static_cast<std::size_t>(
+        d.branch_matrix_row(num_nodes, k))];
+  }
   /// Extracts a single node's waveform.
   std::vector<double> node_waveform(int node) const;
+  /// Extracts a branch current's waveform (mirrors node_waveform()).
+  std::vector<double> branch_waveform(const Device& d, int k = 0) const;
 };
 
 /// Fixed-step transient from t = 0 to tstop. The DC solution at t = 0 seeds
@@ -93,10 +190,33 @@ struct AcResult {
     return node == 0 ? std::complex<double>{}
                      : values[idx][static_cast<std::size_t>(node - 1)];
   }
+  /// Branch current phasor of a voltage-source-like device.
+  std::complex<double> branch_current(std::size_t idx, const Device& d,
+                                      int k = 0) const {
+    return values[idx][static_cast<std::size_t>(
+        d.branch_matrix_row(num_nodes, k))];
+  }
+  /// One node's phasor across the frequency grid.
+  std::vector<std::complex<double>> node_waveform(int node) const;
+  /// One branch current's phasor across the frequency grid (mirrors
+  /// node_waveform()).
+  std::vector<std::complex<double>> branch_waveform(const Device& d,
+                                                    int k = 0) const;
+};
+
+struct AcOptions {
+  double gmin = 1e-12;
+  LinearSolverKind solver = LinearSolverKind::kAuto;
+  int sparse_threshold = 64;
+  SolveStats* stats = nullptr;
 };
 
 AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
                      double gmin = 1e-12);
+/// AC sweep with an explicit solver policy: the sparse path factors the
+/// complex system symbolically once and refactorizes per frequency.
+AcResult ac_analysis(Circuit& ckt, const std::vector<double>& freqs,
+                     const AcOptions& opts);
 
 /// Logarithmically spaced frequency grid [f0, f1] with `per_decade` points
 /// per decade (inclusive of both ends).

@@ -1,0 +1,438 @@
+#include "spice/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <queue>
+#include <utility>
+
+#include "mathx/linalg.hpp"
+
+namespace csdac::spice {
+namespace {
+
+inline double mag(double v) { return std::fabs(v); }
+inline double mag(const std::complex<double>& v) { return std::abs(v); }
+
+/// Threshold for keeping the diagonal as pivot during full factorization:
+/// the diagonal wins whenever |diag| >= kPivotTau * colmax. MNA diagonals
+/// are the natural pivots (gmin guarantees node-row diagonals), so a mild
+/// threshold keeps fill low without sacrificing stability.
+constexpr double kPivotTau = 0.1;
+
+/// Refactorization stability floor: a replayed pivot smaller than
+/// kRefactorFloor times its column's magnitude forces a fresh pivoting
+/// factorization instead of dividing by a near-zero.
+constexpr double kRefactorFloor = 1e-10;
+
+}  // namespace
+
+// --- SparseAssembly --------------------------------------------------------
+
+template <typename T>
+void SparseAssembly<T>::begin(int n) {
+  if (n != n_) {
+    n_ = n;
+    pattern_ready_ = false;
+    col_ptr_.clear();
+    row_idx_.clear();
+    val_.clear();
+  }
+  if (pattern_ready_) {
+    std::fill(val_.begin(), val_.end(), T{});
+  }
+  pending_.clear();
+}
+
+template <typename T>
+bool SparseAssembly<T>::finish() {
+  if (pending_.empty()) return false;
+  // Union of the existing pattern and the pending coordinates, built as
+  // one coordinate list sorted by (col, row) with duplicates summed.
+  struct Coord {
+    int r, c;
+    T v;
+  };
+  std::vector<Coord> coords;
+  coords.reserve(row_idx_.size() + pending_.size());
+  if (pattern_ready_) {
+    for (int c = 0; c < n_; ++c) {
+      for (int p = col_ptr_[static_cast<std::size_t>(c)];
+           p < col_ptr_[static_cast<std::size_t>(c) + 1]; ++p) {
+        coords.push_back(Coord{row_idx_[static_cast<std::size_t>(p)], c,
+                               val_[static_cast<std::size_t>(p)]});
+      }
+    }
+  }
+  for (const auto& t : pending_) coords.push_back(Coord{t.r, t.c, t.v});
+  pending_.clear();
+  // stable_sort keeps duplicates in stamp order, so the summed value of a
+  // coordinate matches what later slot-based accumulation produces — the
+  // first assembled matrix is bit-identical to every reassembled one.
+  std::stable_sort(coords.begin(), coords.end(),
+                   [](const Coord& a, const Coord& b) {
+                     return a.c != b.c ? a.c < b.c : a.r < b.r;
+                   });
+  col_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  row_idx_.clear();
+  val_.clear();
+  row_idx_.reserve(coords.size());
+  val_.reserve(coords.size());
+  for (std::size_t i = 0; i < coords.size();) {
+    const int r = coords[i].r;
+    const int c = coords[i].c;
+    T sum = T{};
+    for (; i < coords.size() && coords[i].r == r && coords[i].c == c; ++i) {
+      sum += coords[i].v;
+    }
+    row_idx_.push_back(r);
+    val_.push_back(sum);
+    ++col_ptr_[static_cast<std::size_t>(c) + 1];
+  }
+  for (int c = 0; c < n_; ++c) {
+    col_ptr_[static_cast<std::size_t>(c) + 1] +=
+        col_ptr_[static_cast<std::size_t>(c)];
+  }
+  pattern_ready_ = true;
+  return true;
+}
+
+// --- Minimum-degree ordering ------------------------------------------------
+
+std::vector<int> min_degree_order(int n, const std::vector<int>& col_ptr,
+                                  const std::vector<int>& row_idx) {
+  // Symmetrized adjacency (A + A^T, no diagonal), sorted and unique.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    for (int p = col_ptr[static_cast<std::size_t>(c)];
+         p < col_ptr[static_cast<std::size_t>(c) + 1]; ++p) {
+      const int r = row_idx[static_cast<std::size_t>(p)];
+      if (r == c) continue;
+      adj[static_cast<std::size_t>(r)].push_back(c);
+      adj[static_cast<std::size_t>(c)].push_back(r);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  // Lazy min-heap of (degree, node); stale entries are skipped on pop.
+  using Entry = std::pair<int, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  for (int v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<int>(adj[static_cast<std::size_t>(v)].size());
+    heap.push({degree[static_cast<std::size_t>(v)], v});
+  }
+
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> in_front(static_cast<std::size_t>(n), 0);
+  std::vector<int> front, merged;
+  while (static_cast<int>(order.size()) < n) {
+    int v = -1;
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (alive[static_cast<std::size_t>(u)] &&
+          d == degree[static_cast<std::size_t>(u)]) {
+        v = u;
+        break;
+      }
+    }
+    if (v < 0) break;  // unreachable: every alive node stays in the heap
+    order.push_back(v);
+    alive[static_cast<std::size_t>(v)] = 0;
+    // Eliminate v: its alive neighbors become a clique.
+    front.clear();
+    for (int u : adj[static_cast<std::size_t>(v)]) {
+      if (alive[static_cast<std::size_t>(u)]) {
+        front.push_back(u);
+        in_front[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+    for (int u : front) {
+      merged.clear();
+      for (int w : adj[static_cast<std::size_t>(u)]) {
+        if (alive[static_cast<std::size_t>(w)] && w != v &&
+            !in_front[static_cast<std::size_t>(w)]) {
+          merged.push_back(w);
+        }
+      }
+      for (int w : front) {
+        if (w != u) merged.push_back(w);
+      }
+      adj[static_cast<std::size_t>(u)].swap(merged);
+      degree[static_cast<std::size_t>(u)] =
+          static_cast<int>(adj[static_cast<std::size_t>(u)].size());
+      heap.push({degree[static_cast<std::size_t>(u)], u});
+    }
+    for (int u : front) in_front[static_cast<std::size_t>(u)] = 0;
+    adj[static_cast<std::size_t>(v)].clear();
+    adj[static_cast<std::size_t>(v)].shrink_to_fit();
+  }
+  return order;
+}
+
+// --- SparseLu ---------------------------------------------------------------
+
+template <typename T>
+void SparseLu<T>::factorize(const SparseAssembly<T>& a) {
+  const int n = a.n();
+  n_ = n;
+  const auto& ap = a.col_ptr();
+  const auto& ai = a.row_idx();
+  const auto& ax = a.values();
+
+  q_ = min_degree_order(n, ap, ai);
+  pinv_.assign(static_cast<std::size_t>(n), -1);
+  lp_.assign(static_cast<std::size_t>(n) + 1, 0);
+  up_.assign(static_cast<std::size_t>(n) + 1, 0);
+  li_.clear();
+  lx_.clear();
+  ui_.clear();
+  ux_.clear();
+
+  std::vector<T> w(static_cast<std::size_t>(n), T{});
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  std::vector<int> reach, stack, upart, cand;
+
+  for (int k = 0; k < n; ++k) {
+    const int col = q_[static_cast<std::size_t>(k)];
+    // Symbolic: rows reachable from A(:,col) through the columns of L
+    // factored so far (original row ids; order fixed by the sorts below).
+    reach.clear();
+    stack.clear();
+    for (int p = ap[static_cast<std::size_t>(col)];
+         p < ap[static_cast<std::size_t>(col) + 1]; ++p) {
+      const int r = ai[static_cast<std::size_t>(p)];
+      if (!mark[static_cast<std::size_t>(r)]) {
+        mark[static_cast<std::size_t>(r)] = 1;
+        stack.push_back(r);
+        reach.push_back(r);
+      }
+    }
+    while (!stack.empty()) {
+      const int r = stack.back();
+      stack.pop_back();
+      const int j = pinv_[static_cast<std::size_t>(r)];
+      if (j < 0) continue;
+      for (int p = lp_[static_cast<std::size_t>(j)];
+           p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+        const int rr = li_[static_cast<std::size_t>(p)];
+        if (!mark[static_cast<std::size_t>(rr)]) {
+          mark[static_cast<std::size_t>(rr)] = 1;
+          stack.push_back(rr);
+          reach.push_back(rr);
+        }
+      }
+    }
+    upart.clear();
+    cand.clear();
+    for (int r : reach) {
+      (pinv_[static_cast<std::size_t>(r)] >= 0 ? upart : cand).push_back(r);
+    }
+    // Ascending pivot order is a valid topological order for the
+    // triangular update, and it is the SAME order refactorize() uses —
+    // which is what makes the two paths bit-identical.
+    std::sort(upart.begin(), upart.end(), [&](int x, int y) {
+      return pinv_[static_cast<std::size_t>(x)] <
+             pinv_[static_cast<std::size_t>(y)];
+    });
+    std::sort(cand.begin(), cand.end());
+
+    // Numeric: w = A(:,col), then eliminate through the recorded columns.
+    for (int p = ap[static_cast<std::size_t>(col)];
+         p < ap[static_cast<std::size_t>(col) + 1]; ++p) {
+      w[static_cast<std::size_t>(ai[static_cast<std::size_t>(p)])] =
+          ax[static_cast<std::size_t>(p)];
+    }
+    for (int r : upart) {
+      const int j = pinv_[static_cast<std::size_t>(r)];
+      const T uval = w[static_cast<std::size_t>(r)];
+      ui_.push_back(j);
+      ux_.push_back(uval);
+      for (int p = lp_[static_cast<std::size_t>(j)];
+           p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+        w[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+            lx_[static_cast<std::size_t>(p)] * uval;
+      }
+    }
+
+    // Pivot: largest candidate magnitude, diagonal preferred within tau.
+    int ipiv = -1;
+    double amax = 0.0;
+    for (int r : cand) {
+      const double m = mag(w[static_cast<std::size_t>(r)]);
+      if (m > amax) {
+        amax = m;
+        ipiv = r;
+      }
+    }
+    if (ipiv < 0 || !(amax > 0.0) || !std::isfinite(amax)) {
+      // Clean up scratch before throwing so the object stays reusable.
+      for (int r : reach) {
+        w[static_cast<std::size_t>(r)] = T{};
+        mark[static_cast<std::size_t>(r)] = 0;
+      }
+      n_ = 0;
+      throw mathx::SingularMatrixError(static_cast<std::size_t>(col));
+    }
+    if (pinv_[static_cast<std::size_t>(col)] < 0 &&
+        mag(w[static_cast<std::size_t>(col)]) >= kPivotTau * amax) {
+      ipiv = col;
+    }
+    const T pivot = w[static_cast<std::size_t>(ipiv)];
+    pinv_[static_cast<std::size_t>(ipiv)] = k;
+    ui_.push_back(k);
+    ux_.push_back(pivot);
+    up_[static_cast<std::size_t>(k) + 1] = static_cast<int>(ui_.size());
+    for (int r : cand) {
+      if (r == ipiv) continue;
+      li_.push_back(r);  // original row id; remapped to pivot space below
+      lx_.push_back(w[static_cast<std::size_t>(r)] / pivot);
+    }
+    lp_[static_cast<std::size_t>(k) + 1] = static_cast<int>(li_.size());
+
+    for (int r : reach) {
+      w[static_cast<std::size_t>(r)] = T{};
+      mark[static_cast<std::size_t>(r)] = 0;
+    }
+  }
+
+  // Remap L's rows into pivot space and sort each column ascending so the
+  // refactorization replay and the solves see a canonical layout.
+  for (auto& r : li_) r = pinv_[static_cast<std::size_t>(r)];
+  std::vector<std::pair<int, T>> colbuf;
+  for (int k = 0; k < n; ++k) {
+    const int lo = lp_[static_cast<std::size_t>(k)];
+    const int hi = lp_[static_cast<std::size_t>(k) + 1];
+    colbuf.clear();
+    for (int p = lo; p < hi; ++p) {
+      colbuf.emplace_back(li_[static_cast<std::size_t>(p)],
+                          lx_[static_cast<std::size_t>(p)]);
+    }
+    std::sort(colbuf.begin(), colbuf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (int p = lo; p < hi; ++p) {
+      li_[static_cast<std::size_t>(p)] =
+          colbuf[static_cast<std::size_t>(p - lo)].first;
+      lx_[static_cast<std::size_t>(p)] =
+          colbuf[static_cast<std::size_t>(p - lo)].second;
+    }
+  }
+  ++factorizations_;
+}
+
+template <typename T>
+bool SparseLu<T>::refactorize(const SparseAssembly<T>& a) {
+  if (n_ == 0 || a.n() != n_) return false;
+  const auto& ap = a.col_ptr();
+  const auto& ai = a.row_idx();
+  const auto& ax = a.values();
+
+  auto& w = work_;
+  w.assign(static_cast<std::size_t>(n_), T{});
+  for (int k = 0; k < n_; ++k) {
+    const int col = q_[static_cast<std::size_t>(k)];
+    for (int p = ap[static_cast<std::size_t>(col)];
+         p < ap[static_cast<std::size_t>(col) + 1]; ++p) {
+      w[static_cast<std::size_t>(
+          pinv_[static_cast<std::size_t>(ai[static_cast<std::size_t>(p)])])] =
+          ax[static_cast<std::size_t>(p)];
+    }
+    const int ulo = up_[static_cast<std::size_t>(k)];
+    const int uhi = up_[static_cast<std::size_t>(k) + 1];
+    for (int p = ulo; p < uhi - 1; ++p) {
+      const int j = ui_[static_cast<std::size_t>(p)];
+      const T uval = w[static_cast<std::size_t>(j)];
+      ux_[static_cast<std::size_t>(p)] = uval;
+      for (int q = lp_[static_cast<std::size_t>(j)];
+           q < lp_[static_cast<std::size_t>(j) + 1]; ++q) {
+        w[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
+            lx_[static_cast<std::size_t>(q)] * uval;
+      }
+    }
+    const T pivot = w[static_cast<std::size_t>(k)];
+    double colmax = mag(pivot);
+    const int llo = lp_[static_cast<std::size_t>(k)];
+    const int lhi = lp_[static_cast<std::size_t>(k) + 1];
+    for (int p = llo; p < lhi; ++p) {
+      colmax = std::max(
+          colmax, mag(w[static_cast<std::size_t>(
+                        li_[static_cast<std::size_t>(p)])]));
+    }
+    if (!(mag(pivot) > 0.0) || !std::isfinite(mag(pivot)) ||
+        mag(pivot) < kRefactorFloor * colmax) {
+      // Pivot degraded: clear scratch and ask the caller to re-pivot.
+      for (int p = ulo; p < uhi; ++p) {
+        w[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])] = T{};
+      }
+      w[static_cast<std::size_t>(k)] = T{};
+      for (int p = llo; p < lhi; ++p) {
+        w[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] = T{};
+      }
+      return false;
+    }
+    ux_[static_cast<std::size_t>(uhi) - 1] = pivot;
+    for (int p = llo; p < lhi; ++p) {
+      lx_[static_cast<std::size_t>(p)] =
+          w[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] /
+          pivot;
+    }
+    for (int p = ulo; p < uhi; ++p) {
+      w[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])] = T{};
+    }
+    for (int p = llo; p < lhi; ++p) {
+      w[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] = T{};
+    }
+  }
+  ++refactorizations_;
+  return true;
+}
+
+template <typename T>
+void SparseLu<T>::solve(std::vector<T>& b) const {
+  auto& w = work_;
+  w.resize(static_cast<std::size_t>(n_));
+  for (int r = 0; r < n_; ++r) {
+    w[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(r)])] =
+        b[static_cast<std::size_t>(r)];
+  }
+  for (int j = 0; j < n_; ++j) {
+    const T xj = w[static_cast<std::size_t>(j)];
+    if (!(xj == T{})) {
+      for (int p = lp_[static_cast<std::size_t>(j)];
+           p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+        w[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+            lx_[static_cast<std::size_t>(p)] * xj;
+      }
+    }
+  }
+  for (int k = n_ - 1; k >= 0; --k) {
+    const int last = up_[static_cast<std::size_t>(k) + 1] - 1;
+    const T xk = w[static_cast<std::size_t>(k)] /
+                 ux_[static_cast<std::size_t>(last)];
+    w[static_cast<std::size_t>(k)] = xk;
+    if (!(xk == T{})) {
+      for (int p = up_[static_cast<std::size_t>(k)]; p < last; ++p) {
+        w[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])] -=
+            ux_[static_cast<std::size_t>(p)] * xk;
+      }
+    }
+  }
+  for (int k = 0; k < n_; ++k) {
+    b[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] =
+        w[static_cast<std::size_t>(k)];
+  }
+}
+
+template class SparseAssembly<double>;
+template class SparseAssembly<std::complex<double>>;
+template class SparseLu<double>;
+template class SparseLu<std::complex<double>>;
+
+}  // namespace csdac::spice

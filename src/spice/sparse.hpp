@@ -1,0 +1,149 @@
+// Sparse MNA backend: compressed-column assembly plus a Gilbert-Peierls
+// left-looking LU with threshold partial pivoting and symbolic reuse.
+//
+// The design exploits a property of this engine's device models: every
+// device stamps a topology-fixed entry set (the MOSFET stamp is symmetric
+// under its internal drain/source swap and stamps structural zeros in
+// cutoff), so the sparsity pattern is invariant across Newton iterations,
+// homotopy (gmin / source stepping) points, transient timesteps, and
+// Monte-Carlo corners. The first factorization therefore chooses a
+// fill-reducing column order (minimum degree on A + A^T), pivots, and
+// records the L/U patterns; every later solve replays the recorded
+// patterns numerically (refactorize), which is the dominant win over the
+// dense path's full O(n^3) elimination per Newton iteration.
+//
+// The one legal pattern change is DC -> transient (capacitor companions
+// begin stamping): SparseAssembly tracks unseen coordinates, folds them in
+// on finish(), and reports the change so the caller re-runs the full
+// pivoting factorization.
+//
+// Both factorize() and refactorize() apply column updates in ascending
+// pivot order, so for an unchanged pattern the two produce bit-identical
+// factors — Newton trajectories do not depend on which path ran.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace csdac::spice {
+
+/// Incremental CSC matrix builder with a persistent pattern. Stamp cycle:
+/// begin(n) zeroes values (keeping the compressed pattern), add() routes
+/// each coordinate either into its existing slot or into a pending triplet
+/// list, and finish() folds any pending coordinates into the pattern,
+/// returning true when the pattern changed (symbolic factorization must be
+/// redone).
+template <typename T>
+class SparseAssembly {
+ public:
+  void begin(int n);
+  void add(int row, int col, T val) {
+    if (pattern_ready_) {
+      const int s = slot(row, col);
+      if (s >= 0) {
+        val_[static_cast<std::size_t>(s)] += val;
+        return;
+      }
+    }
+    pending_.push_back(Triplet{row, col, val});
+  }
+  /// Folds pending coordinates into the compressed pattern. Returns true
+  /// if the pattern changed (first assembly or new coordinates).
+  bool finish();
+
+  int n() const { return n_; }
+  int nnz() const { return static_cast<int>(row_idx_.size()); }
+  const std::vector<int>& col_ptr() const { return col_ptr_; }
+  const std::vector<int>& row_idx() const { return row_idx_; }
+  const std::vector<T>& values() const { return val_; }
+
+  /// Drops the compressed pattern (topology changed externally).
+  void invalidate() { pattern_ready_ = false; }
+  bool pattern_ready() const { return pattern_ready_; }
+
+ private:
+  struct Triplet {
+    int r, c;
+    T v;
+  };
+  /// Binary search for (row, col) in the compressed pattern; -1 if absent.
+  int slot(int row, int col) const {
+    const int lo = col_ptr_[static_cast<std::size_t>(col)];
+    const int hi = col_ptr_[static_cast<std::size_t>(col) + 1];
+    int a = lo, b = hi;
+    while (a < b) {
+      const int mid = a + (b - a) / 2;
+      if (row_idx_[static_cast<std::size_t>(mid)] < row) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    return (a < hi && row_idx_[static_cast<std::size_t>(a)] == row) ? a : -1;
+  }
+
+  int n_ = 0;
+  bool pattern_ready_ = false;
+  std::vector<int> col_ptr_, row_idx_;
+  std::vector<T> val_;
+  std::vector<Triplet> pending_;
+};
+
+/// Fill-reducing column permutation: minimum-degree elimination on the
+/// symmetrized pattern of A (A + A^T, diagonal ignored). Returns q with
+/// q[k] = the original index eliminated at step k. Deterministic: ties
+/// break toward the lowest index.
+std::vector<int> min_degree_order(int n, const std::vector<int>& col_ptr,
+                                  const std::vector<int>& row_idx);
+
+/// Sparse LU (Gilbert-Peierls, left-looking) with threshold partial
+/// pivoting and recorded-pattern numeric refactorization.
+template <typename T>
+class SparseLu {
+ public:
+  /// Full factorization: min-degree column preorder, row pivoting with
+  /// diagonal preference (|diag| >= tau * colmax keeps the diagonal), and
+  /// pattern recording. Throws mathx::SingularMatrixError carrying the
+  /// ORIGINAL unknown index of the column with no usable pivot.
+  void factorize(const SparseAssembly<T>& a);
+
+  /// Numeric-only replay on the recorded pivot order and L/U patterns.
+  /// Returns false (factors untouched beyond scratch) when no symbolic
+  /// data exists, the size changed, or a pivot degraded past the
+  /// stability floor — the caller then runs factorize() again.
+  bool refactorize(const SparseAssembly<T>& a);
+
+  /// In-place solve of A x = b using the current factors.
+  void solve(std::vector<T>& b) const;
+
+  bool has_symbolic() const { return n_ > 0; }
+  void reset() { n_ = 0; }
+  int n() const { return n_; }
+  /// Factor fill-in (L + U nonzeros), for the scaling benchmarks.
+  long nnz_factors() const {
+    return static_cast<long>(li_.size() + ui_.size());
+  }
+  long factorizations() const { return factorizations_; }
+  long refactorizations() const { return refactorizations_; }
+
+ private:
+  int n_ = 0;
+  std::vector<int> q_;     ///< column order: q_[k] = original column
+  std::vector<int> pinv_;  ///< original row -> pivot position
+  // L: unit lower triangular, CSC in pivot space, strictly-below-diagonal
+  // rows sorted ascending. U: upper triangular, CSC, rows ascending with
+  // the diagonal pivot stored last in each column.
+  std::vector<int> lp_, li_, up_, ui_;
+  std::vector<T> lx_, ux_;
+  long factorizations_ = 0;
+  long refactorizations_ = 0;
+
+  mutable std::vector<T> work_;
+};
+
+extern template class SparseAssembly<double>;
+extern template class SparseAssembly<std::complex<double>>;
+extern template class SparseLu<double>;
+extern template class SparseLu<std::complex<double>>;
+
+}  // namespace csdac::spice

@@ -27,7 +27,14 @@ timing-MC spectrum job validates as an ordinary cache bench, and the
 architecture-comparison table ("architectures" array) must sweep at least
 binary plus two more weightings with sane per-architecture numbers
 (yields in [0, 1], positive cell counts and switching activity) and a
-metrics snapshot whose arch.* engine counters actually moved.
+metrics snapshot whose arch.* engine counters actually moved. Schema /8
+additionally carries the sparse-MNA engine benches: "spice_mna_12bit"
+("dense"/"sparse" sections, a positive "spice_speedup", dense/sparse
+solutions already cross-checked by the producer) and "spice_mc_warmstart"
+("cold"/"warm" MC sections whose yields must be identical — warm starting
+may only change where Newton starts, never where it converges — plus a
+"warm_iter_reduction" that must exceed 1), with spice.* engine counters
+in the metrics snapshot that actually moved.
 
 With --compare BASELINE.json, every bench path present in both documents
 is also checked for throughput regressions: chips_per_s must be at least
@@ -44,7 +51,7 @@ import sys
 
 SCHEMAS = ("csdac-bench/1", "csdac-bench/2", "csdac-bench/3",
            "csdac-bench/4", "csdac-bench/5", "csdac-bench/6",
-           "csdac-bench/7")
+           "csdac-bench/7", "csdac-bench/8")
 TOP_KEYS = {
     "schema": str,
     "git_sha": str,
@@ -215,6 +222,60 @@ def check_arch_bench(bench, name):
         fail(f"{where}: sweep is missing the binary reference architecture")
 
 
+def check_spice_mna_bench(bench, name):
+    """Schema /8 dense-vs-sparse MNA solve bench."""
+    where = f"bench '{name}'"
+    for which in ("dense", "sparse"):
+        section = check_type(bench, which, dict, where)
+        wall = check_type(section, "wall_s", (int, float),
+                          f"{where} / {which}")
+        if wall <= 0:
+            fail(f"{where} / {which}: wall_s must be positive")
+        iters = check_type(section, "newton_iters", int,
+                           f"{where} / {which}")
+        if iters <= 0:
+            fail(f"{where} / {which}: newton_iters must be positive")
+    sparse = bench["sparse"]
+    if sparse.get("factorizations", 0) <= 0:
+        fail(f"{where} / sparse: factorizations must be positive")
+    if sparse.get("refactorizations", 0) <= 0:
+        fail(f"{where} / sparse: refactorizations must be positive — "
+             f"symbolic reuse never kicked in")
+    max_dx = check_type(bench, "max_dx", (int, float), where)
+    if not 0 <= max_dx <= 1e-9:
+        fail(f"{where}: dense/sparse solutions diverge by {max_dx:.3e}")
+    speedup = check_type(bench, "spice_speedup", (int, float), where)
+    if speedup <= 0:
+        fail(f"{where}: spice_speedup must be positive")
+
+
+def check_spice_mc_bench(bench, name):
+    """Schema /8 SPICE mismatch-MC warm-start bench."""
+    where = f"bench '{name}'"
+    sections = {}
+    for which in ("cold", "warm"):
+        section = check_type(bench, which, dict, where)
+        sections[which] = section
+        sw = f"{where} / {which}"
+        for key in ("newton_iters", "device_evals"):
+            val = check_type(section, key, int, sw)
+            if val <= 0:
+                fail(f"{sw}: {key} must be positive")
+        y = check_type(section, "yield", (int, float), sw)
+        if not 0.0 <= y <= 1.0:
+            fail(f"{sw}: yield out of [0, 1]")
+    if sections["cold"]["yield"] != sections["warm"]["yield"]:
+        fail(f"{where}: warm starting changed the yield "
+             f"({sections['cold']['yield']!r} vs "
+             f"{sections['warm']['yield']!r})")
+    if sections["warm"].get("warm_start_hits", 0) <= 0:
+        fail(f"{where} / warm: no warm-start hits recorded")
+    reduction = check_type(bench, "warm_iter_reduction", (int, float), where)
+    if reduction <= 1.0:
+        fail(f"{where}: warm_iter_reduction is {reduction:.2f}x — warm "
+             f"starting must reduce Newton iterations")
+
+
 def check_serve_bench(bench, name):
     """Schema /5 design-server loadgen bench."""
     where = f"bench '{name}' / serve"
@@ -311,15 +372,25 @@ def main():
         fail(f"schema is '{doc['schema']}', expected one of {SCHEMAS}")
     v2 = doc["schema"] != "csdac-bench/1"
     v4 = doc["schema"] in ("csdac-bench/4", "csdac-bench/6",
-                           "csdac-bench/7")
+                           "csdac-bench/7", "csdac-bench/8")
     v5 = doc["schema"] == "csdac-bench/5"
-    v6 = doc["schema"] in ("csdac-bench/6", "csdac-bench/7")
-    v7 = doc["schema"] == "csdac-bench/7"
+    v6 = doc["schema"] in ("csdac-bench/6", "csdac-bench/7",
+                           "csdac-bench/8")
+    v7 = doc["schema"] in ("csdac-bench/7", "csdac-bench/8")
+    v8 = doc["schema"] == "csdac-bench/8"
     if not doc["benches"]:
         fail("benches array is empty")
     if doc["schema"] in ("csdac-bench/3", "csdac-bench/4", "csdac-bench/6",
-                         "csdac-bench/7"):
+                         "csdac-bench/7", "csdac-bench/8"):
         check_metrics(doc)
+    if v8:
+        counters = doc["metrics"]["counters"]
+        for key in ("spice.solves", "spice.newton_iters",
+                    "spice.factorizations", "spice.refactorizations",
+                    "spice.device_evals"):
+            if not isinstance(counters.get(key), int) or counters[key] <= 0:
+                fail(f"metrics: counter '{key}' must be positive after the "
+                     f"spice benches ran")
     if v7:
         counters = doc["metrics"]["counters"]
         for key in ("arch.dyn_runs", "arch.waveforms", "arch.ete_evals",
@@ -341,6 +412,7 @@ def main():
     serve_benches = 0
     rare_benches = 0
     arch_benches = 0
+    spice_benches = 0
     for bench in doc["benches"]:
         if not isinstance(bench, dict):
             fail("bench entry is not an object")
@@ -349,6 +421,21 @@ def main():
             fail(f"duplicate bench name '{name}'")
         names.add(name)
         check_type(bench, "config", dict, f"bench '{name}'")
+        # Spice benches are dispatched before the cache benches: the MC
+        # warm-start bench also has cold/warm sections, but they hold
+        # solver counters rather than cache-throughput fields.
+        if "spice_speedup" in bench:
+            if not v8:
+                fail(f"bench '{name}': spice benches require csdac-bench/8")
+            check_spice_mna_bench(bench, name)
+            spice_benches += 1
+            continue
+        if "warm_iter_reduction" in bench:
+            if not v8:
+                fail(f"bench '{name}': spice benches require csdac-bench/8")
+            check_spice_mc_bench(bench, name)
+            spice_benches += 1
+            continue
         if "cold" in bench or "warm" in bench:
             if not v2:
                 fail(f"bench '{name}': cache benches require csdac-bench/2")
@@ -401,6 +488,9 @@ def main():
     if v7 and "runtime_cache_dyn_spectrum" not in names:
         fail("csdac-bench/7 document is missing the cached dyn-spectrum "
              "bench")
+    if v8 and spice_benches < 2:
+        fail("csdac-bench/8 document must carry both spice benches "
+             "(spice_mna_12bit and spice_mc_warmstart)")
 
     print(f"check_bench_json: OK ({len(names)} benches: "
           f"{', '.join(sorted(names))})")

@@ -43,6 +43,14 @@ gauge (the ESS diagnostic actually reached the registry); the warm dump
 must show ZERO rare-event proposal chips — a cached IS result must be
 served without re-running the estimator.
 
+--expect-spice (either mode) additionally requires the sparse-MNA SPICE
+instruments: the cold dump must show at least one SPICE mismatch-MC run
+with Newton iterations, batched device evaluations, and — the point of
+the symbolic-reuse engine — at least one symbolic factorization that was
+then replayed as numeric refactorizations; the warm dump must show ZERO
+Newton iterations and device evaluations — a cached SPICE MC result must
+be served without re-simulating anything.
+
 --expect-stages (either mode) requires the per-stage latency attribution
 histograms (csdac_serve_stage_us{kind=...,stage=...}): every kind that
 appears must carry the full stage set (admission, queue, hot, disk,
@@ -380,6 +388,34 @@ def check_arch_warm(path, samples):
              f"dyn-spectrum result was recomputed")
 
 
+def check_spice_cold(path, samples):
+    """A dump from a run that executed a SPICE-in-the-loop mismatch MC."""
+    if counter(samples, "csdac_spice_mc_runs_total") < 1:
+        fail(f"{path}: no SPICE mismatch-MC runs recorded")
+    if counter(samples, "csdac_spice_newton_iters_total") < 1:
+        fail(f"{path}: SPICE run recorded no Newton iterations")
+    if counter(samples, "csdac_spice_device_evals_total") < 1:
+        fail(f"{path}: SPICE run made no batched device evaluations")
+    if counter(samples, "csdac_spice_factorizations_total") < 1:
+        fail(f"{path}: SPICE run never built a symbolic factorization — "
+             f"the sparse engine was not exercised")
+    if counter(samples, "csdac_spice_refactorizations_total") < 1:
+        fail(f"{path}: SPICE run never reused a symbolic factorization — "
+             f"every solve paid the full symbolic cost")
+    rate = samples.get("csdac_spice_warm_start_hit_rate")
+    if rate is None or not 0.0 <= rate <= 1.0:
+        fail(f"{path}: csdac_spice_warm_start_hit_rate missing or out of "
+             f"[0, 1] (got {rate!r})")
+
+
+def check_spice_warm(path, samples):
+    for name in ("csdac_spice_newton_iters_total",
+                 "csdac_spice_device_evals_total"):
+        if counter(samples, name, 0) != 0:
+            fail(f"{path}: warm run shows nonzero {name} — the cached "
+                 f"SPICE MC result was re-simulated")
+
+
 def stage_values(samples, suffix):
     """(kind, stage) -> value over csdac_serve_stage_us_<suffix> series."""
     out = {}
@@ -444,6 +480,8 @@ def main(argv):
     argv = [a for a in argv if a != "--expect-rare"]
     expect_arch = "--expect-arch" in argv
     argv = [a for a in argv if a != "--expect-arch"]
+    expect_spice = "--expect-spice" in argv
+    argv = [a for a in argv if a != "--expect-spice"]
     expect_stages = "--expect-stages" in argv
     argv = [a for a in argv if a != "--expect-stages"]
     expect_simd = None
@@ -462,6 +500,8 @@ def main(argv):
             check_rare_cold(argv[1], samples)
         if expect_arch:
             check_arch_cold(argv[1], samples)
+        if expect_spice:
+            check_spice_cold(argv[1], samples)
         if expect_stages:
             check_stages_cold(argv[1], samples)
         print(f"check_metrics: OK — {argv[1]}: {len(types)} metrics, "
@@ -484,6 +524,9 @@ def main(argv):
         if expect_arch:
             check_arch_cold(cold_path, cold)
             check_arch_warm(warm_path, warm)
+        if expect_spice:
+            check_spice_cold(cold_path, cold)
+            check_spice_warm(warm_path, warm)
         if expect_stages:
             check_stages_cold(cold_path, cold)
             check_stages_warm(warm_path, warm)
@@ -499,10 +542,10 @@ def main(argv):
         return 0
     print("usage: check_metrics.py METRICS.prom [--expect-simd BACKEND] "
           "[--expect-serve] [--expect-rare] [--expect-arch] "
-          "[--expect-stages]\n"
+          "[--expect-spice] [--expect-stages]\n"
           "       check_metrics.py --cold COLD.prom --warm WARM.prom "
           "[--expect-serve] [--expect-rare] [--expect-arch] "
-          "[--expect-stages]",
+          "[--expect-spice] [--expect-stages]",
           file=sys.stderr)
     return 2
 

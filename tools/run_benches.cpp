@@ -19,6 +19,15 @@
 // recorded top-level under "simd_backend" / "simd_lanes".
 // (Schema /5 is the design-server loadgen document written by
 // tools/csdac_loadgen, not by this harness.)
+// Schema /8 adds the sparse-MNA engine benches: one DC operating-point
+// solve of the paper's full 12-bit transistor-level array under the dense
+// and the sparse solver policies ("spice_mna_12bit", "spice_speedup"
+// ratio, FATAL if the two solutions diverge beyond 1e-9), and the
+// SPICE-in-the-loop mismatch MC run cold vs corner-to-corner warm-started
+// ("spice_mc_warmstart", "warm_iter_reduction" Newton-iteration ratio,
+// FATAL if warm starting changes the yield). Both ratios are
+// compute-shape properties, not wall-clock races, so CI gates on them
+// via --require-spice-speedup.
 // Schema /6 adds the rare-event estimator bench: the 99.99%-yield
 // 12-bit tail case measured by brute-force MC, importance sampling,
 // stratified+antithetic sampling, and the analytic bridge surrogate,
@@ -35,6 +44,7 @@
 //
 //   run_benches [--smoke] [--out PATH] [--threads N] [--require-speedup X]
 //               [--require-simd-speedup X] [--require-rare-reduction X]
+//               [--require-spice-speedup X]
 //
 // --smoke shrinks the chip budgets for CI; --require-speedup X exits
 // nonzero unless the workspace INL bench shows >= X times the legacy
@@ -43,6 +53,12 @@
 // runners make timing unreliable). --require-rare-reduction X gates on
 // is_chip_reduction >= X; unlike the timing gates this one is a variance
 // ratio, stable on shared runners, so CI enforces it.
+// --require-spice-speedup X gates on spice_speedup >= X AND
+// warm_iter_reduction > 1; the dense/sparse ratio compares two
+// single-threaded runs of the same process, so it is stable enough for CI
+// despite being a timing.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +73,11 @@
 #include "arch/weighting.hpp"
 #include "bench_json.hpp"
 #include "core/accuracy.hpp"
+#include "core/sizer.hpp"
+#include "dacgen/dacgen.hpp"
+#include "dacgen/spice_mc.hpp"
+#include "spice/solver.hpp"
+#include "tech/tech.hpp"
 #include "dac/calibration.hpp"
 #include "dac/rare_event.hpp"
 #include "dac/static_analysis.hpp"
@@ -197,6 +218,7 @@ int main(int argc, char** argv) {
   double require_speedup = 0.0;
   double require_simd_speedup = 0.0;
   double require_rare_reduction = 0.0;
+  double require_spice_speedup = 0.0;
   std::string out_path = "BENCH_mc.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0) {
@@ -214,11 +236,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--require-rare-reduction") == 0 &&
                a + 1 < argc) {
       require_rare_reduction = std::atof(argv[++a]);
+    } else if (std::strcmp(argv[a], "--require-spice-speedup") == 0 &&
+               a + 1 < argc) {
+      require_spice_speedup = std::atof(argv[++a]);
     } else {
       std::fprintf(stderr,
                    "usage: run_benches [--smoke] [--out PATH] [--threads N] "
                    "[--require-speedup X] [--require-simd-speedup X] "
-                   "[--require-rare-reduction X]\n");
+                   "[--require-rare-reduction X] "
+                   "[--require-spice-speedup X]\n");
       return 2;
     }
   }
@@ -232,7 +258,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter w;
   w.begin_object();
   const mathx::SimdBackend simd_backend = mathx::simd_backend();
-  w.field("schema", "csdac-bench/7");
+  w.field("schema", "csdac-bench/8");
   w.field("git_sha", detect_git_sha().c_str());
   w.field("generated_unix", static_cast<std::int64_t>(std::time(nullptr)));
   w.field("smoke", smoke);
@@ -733,6 +759,161 @@ int main(int argc, char** argv) {
     w.end_object();
   }
 
+  // --- Sparse MNA engine on the full transistor-level array -------------
+  // Always at the paper's full 12-bit node count, even in smoke: one dense
+  // DC solve is ~50 ms, and the dense/sparse ratio is the acceptance
+  // number for the sparse engine, so shrinking the array would measure
+  // the wrong thing.
+  double spice_speedup = 0.0;
+  double warm_iter_reduction = 0.0;
+  {
+    const tech::MosTechParams& mos_tech = tech::generic_035um().nmos;
+    core::DacSpec spice_spec;  // 12-bit, b = 4
+    const core::CellSizer spice_sizer(mos_tech, spice_spec);
+    const core::SizedCell spice_cell =
+        spice_sizer.size_cascode(0.25, 0.2, 0.2);
+    const dacgen::TransistorLevelDac tdac(spice_spec, spice_cell, mos_tech);
+    auto bc = tdac.build((1 << spice_spec.nbits) / 2);
+    const int n = bc.circuit->num_unknowns();
+    std::printf("spice_mna_12bit: %d unknowns, dense vs sparse DC solve "
+                "...\n",
+                n);
+
+    const auto now_s = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    // Several reps each: the sparse engine pays its symbolic factorization
+    // on the first solve and replays it afterwards, which is its MC
+    // steady state.
+    const int spice_reps = smoke ? 3 : 6;
+    spice::SolveStats dstats, sstats;
+    spice::SolverContext dctx, sctx;
+    spice::NewtonOptions dopts;
+    dopts.solver = spice::LinearSolverKind::kDense;
+    dopts.context = &dctx;
+    dopts.stats = &dstats;
+    spice::NewtonOptions sopts;
+    sopts.solver = spice::LinearSolverKind::kSparse;
+    sopts.context = &sctx;
+    sopts.stats = &sstats;
+    const double d0 = now_s();
+    for (int r = 0; r < spice_reps; ++r) (void)spice::solve_dc(*bc.circuit, dopts);
+    const double dense_s = (now_s() - d0) / spice_reps;
+    const double s0 = now_s();
+    for (int r = 0; r < spice_reps; ++r) (void)spice::solve_dc(*bc.circuit, sopts);
+    const double sparse_s = (now_s() - s0) / spice_reps;
+
+    const auto xd = spice::solve_dc(*bc.circuit, dopts);
+    const auto xs = spice::solve_dc(*bc.circuit, sopts);
+    double max_dx = 0.0;
+    for (std::size_t i = 0; i < xd.x.size(); ++i) {
+      max_dx = std::max(max_dx, std::fabs(xd.x[i] - xs.x[i]));
+    }
+    if (max_dx > 1e-9) {
+      std::fprintf(stderr,
+                   "FATAL: dense/sparse solutions diverge by %.3e\n", max_dx);
+      return 1;
+    }
+    spice_speedup = sparse_s > 0.0 ? dense_s / sparse_s : 0.0;
+    std::printf("  dense %.2f ms, sparse %.2f ms per solve (max dx %.1e): "
+                "%.1fx\n",
+                dense_s * 1e3, sparse_s * 1e3, max_dx, spice_speedup);
+
+    w.begin_object();
+    w.field("name", "spice_mna_12bit");
+    w.key("config").begin_object();
+    w.field("nbits", spice_spec.nbits);
+    w.field("binary_bits", spice_spec.binary_bits);
+    w.field("unknowns", n);
+    w.field("reps", spice_reps);
+    w.end_object();
+    w.key("dense").begin_object();
+    w.field("wall_s", dense_s);
+    w.field("newton_iters", static_cast<std::int64_t>(dstats.newton_iters));
+    w.field("dense_solves", static_cast<std::int64_t>(dstats.dense_solves));
+    w.end_object();
+    w.key("sparse").begin_object();
+    w.field("wall_s", sparse_s);
+    w.field("newton_iters", static_cast<std::int64_t>(sstats.newton_iters));
+    w.field("factorizations",
+            static_cast<std::int64_t>(sstats.factorizations));
+    w.field("refactorizations",
+            static_cast<std::int64_t>(sstats.refactorizations));
+    w.end_object();
+    w.field("max_dx", max_dx);
+    w.field("spice_speedup", spice_speedup);
+    w.end_object();
+
+    // SPICE-in-the-loop mismatch MC: cold vs corner-to-corner warm start.
+    core::DacSpec mc_spec;
+    mc_spec.nbits = smoke ? 5 : 6;
+    mc_spec.binary_bits = 2;
+    const core::CellSizer mc_sizer(mos_tech, mc_spec);
+    const core::SizedCell mc_cell = mc_sizer.size_cascode(0.25, 0.2, 0.2);
+    dacgen::SpiceMcOptions mo;
+    mo.chips = smoke ? 4 : 8;
+    mo.seed = seed;
+    std::printf("spice_mc_warmstart: %d-bit, %d corners, warm start off vs "
+                "on ...\n",
+                mc_spec.nbits, static_cast<int>(mo.chips));
+    mo.warm_start = false;
+    const double mc0 = now_s();
+    const auto mc_cold = dacgen::spice_mismatch_mc(mc_spec, mc_cell,
+                                                   mos_tech, mo);
+    const double mc_cold_s = now_s() - mc0;
+    mo.warm_start = true;
+    const double mw0 = now_s();
+    const auto mc_warm = dacgen::spice_mismatch_mc(mc_spec, mc_cell,
+                                                   mos_tech, mo);
+    const double mc_warm_s = now_s() - mw0;
+    if (mc_warm.yield != mc_cold.yield || mc_warm.pass != mc_cold.pass) {
+      std::fprintf(stderr,
+                   "FATAL: warm starting changed the MC verdict "
+                   "(yield %.4f vs %.4f)\n",
+                   mc_warm.yield, mc_cold.yield);
+      return 1;
+    }
+    warm_iter_reduction =
+        mc_warm.newton_iters > 0
+            ? static_cast<double>(mc_cold.newton_iters) /
+                  static_cast<double>(mc_warm.newton_iters)
+            : 0.0;
+    std::printf("  cold %lld Newton iters (%.1f ms), warm %lld (%.1f ms): "
+                "%.2fx fewer, hit rate %.2f\n",
+                static_cast<long long>(mc_cold.newton_iters), mc_cold_s * 1e3,
+                static_cast<long long>(mc_warm.newton_iters), mc_warm_s * 1e3,
+                warm_iter_reduction, mc_warm.warm_start_hit_rate);
+
+    w.begin_object();
+    w.field("name", "spice_mc_warmstart");
+    w.key("config").begin_object();
+    w.field("nbits", mc_spec.nbits);
+    w.field("binary_bits", mc_spec.binary_bits);
+    w.field("chips", static_cast<std::int64_t>(mo.chips));
+    w.field("seed", static_cast<std::int64_t>(mo.seed));
+    w.field("sigma_scale", mo.sigma_scale);
+    w.end_object();
+    const auto emit_mc = [&w](const char* name,
+                              const dacgen::SpiceMcResult& r, double wall) {
+      w.key(name).begin_object();
+      w.field("wall_s", wall);
+      w.field("yield", r.yield);
+      w.field("newton_iters", r.newton_iters);
+      w.field("factorizations", r.factorizations);
+      w.field("refactorizations", r.refactorizations);
+      w.field("device_evals", r.device_evals);
+      w.field("warm_start_hits", r.warm_start_hits);
+      w.field("warm_start_hit_rate", r.warm_start_hit_rate);
+      w.end_object();
+    };
+    emit_mc("cold", mc_cold, mc_cold_s);
+    emit_mc("warm", mc_warm, mc_warm_s);
+    w.field("warm_iter_reduction", warm_iter_reduction);
+    w.end_object();
+  }
+
   w.end_array();
   w.key("metrics").raw(obs::Registry::global().snapshot().to_json());
   w.end_object();
@@ -762,6 +943,21 @@ int main(int argc, char** argv) {
                  "FAIL: IS chip reduction %.0fx below required %.0fx\n",
                  rare_reduction, require_rare_reduction);
     return 1;
+  }
+  if (require_spice_speedup > 0.0) {
+    if (spice_speedup < require_spice_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: sparse MNA speedup %.2fx below required %.2fx\n",
+                   spice_speedup, require_spice_speedup);
+      return 1;
+    }
+    if (warm_iter_reduction <= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: warm starting did not reduce Newton iterations "
+                   "(%.2fx)\n",
+                   warm_iter_reduction);
+      return 1;
+    }
   }
   return 0;
 }
